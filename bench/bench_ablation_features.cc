@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Ablation: which feature classes carry the signal? (Paper Table 1
+ * defines four: STC, IC, and the counter-range sums SIV/SPV.) Trains
+ * three predictors per benchmark — transition counts only, counter
+ * features only, and the full set — and reports the worst-case test
+ * error of each. Designs whose latency lives in input-dependent
+ * counter ranges (h264 motion compensation, md force loop) cannot be
+ * predicted from transition counts alone, which is the paper's
+ * argument for including the counter features.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "accel/registry.hh"
+#include "core/flow.hh"
+#include "rtl/interpreter.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+#include "workload/suite.hh"
+
+using namespace predvfs;
+
+namespace {
+
+/** Worst absolute relative error (%) of a predictor on the test set. */
+double
+worstError(const core::FlowResult &flow, const rtl::Design &design,
+           const std::vector<rtl::JobInput> &test)
+{
+    rtl::Interpreter interp(design);
+    double worst = 0.0;
+    for (const auto &job : test) {
+        const double actual =
+            static_cast<double>(interp.run(job).cycles);
+        const auto run = flow.predictor->run(job);
+        worst = std::max(worst,
+                         std::fabs(run.predictedCycles - actual) /
+                             actual * 100.0);
+    }
+    return worst;
+}
+
+} // namespace
+
+int
+main()
+{
+    util::setVerbose(false);
+    util::printBanner(std::cout,
+                      "Ablation: feature classes (worst-case test "
+                      "error, %)");
+
+    util::TablePrinter table({"Benchmark", "STC only", "Counters only",
+                              "All features", "Features kept (all)"});
+
+    for (const auto &name : accel::benchmarkNames()) {
+        const auto acc = accel::makeAccelerator(name);
+        const auto work = workload::makeWorkload(*acc);
+
+        core::FlowConfig stc_only;
+        stc_only.featureFilter = [](const rtl::FeatureSpec &spec) {
+            return spec.kind == rtl::FeatureKind::Stc;
+        };
+        core::FlowConfig counters_only;
+        counters_only.featureFilter =
+            [](const rtl::FeatureSpec &spec) {
+                return spec.kind != rtl::FeatureKind::Stc;
+            };
+        core::FlowConfig all;
+
+        const auto f_stc =
+            core::buildPredictor(acc->design(), work.train, stc_only);
+        const auto f_cnt = core::buildPredictor(acc->design(),
+                                                work.train,
+                                                counters_only);
+        const auto f_all =
+            core::buildPredictor(acc->design(), work.train, all);
+
+        table.addRow(
+            {name,
+             util::fixed(worstError(f_stc, acc->design(), work.test),
+                         2),
+             util::fixed(worstError(f_cnt, acc->design(), work.test),
+                         2),
+             util::fixed(worstError(f_all, acc->design(), work.test),
+                         2),
+             std::to_string(f_all.report.featuresSelected)});
+    }
+
+    table.print(std::cout);
+    std::cout << "\nExpected: transition counts alone cannot see "
+                 "input-dependent counter ranges (large errors for "
+                 "h264/md); counters alone miss branch-dependent "
+                 "fixed-latency paths; the combined set wins — the "
+                 "rationale for the paper's Table 1.\n";
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Ablation: safety margins. The paper adds 5% to the predictive
+ * controller (its predictions are accurate, so only a small margin is
+ * needed) and 10% to PID (chosen to balance misses vs energy). This
+ * bench sweeps both margins to show those trade-offs.
+ */
+
+#include <iostream>
+
+#include "accel/registry.hh"
+#include "sim/experiment.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+using namespace predvfs;
+
+int
+main()
+{
+    util::setVerbose(false);
+    util::printBanner(std::cout,
+                      "Ablation: controller margins (averaged over "
+                      "all benchmarks)");
+
+    util::TablePrinter pred_table({"Pred margin (%)", "E pred (%)",
+                                   "Miss pred (%)"});
+    for (double margin : {0.0, 0.02, 0.05, 0.10, 0.20}) {
+        double e = 0.0;
+        double m = 0.0;
+        const auto &names = accel::benchmarkNames();
+        for (const auto &name : names) {
+            sim::ExperimentOptions opts;
+            opts.predictionMargin = margin;
+            sim::Experiment exp(name, opts);
+            e += exp.normalizedEnergy(sim::Scheme::Prediction);
+            m += exp.runScheme(sim::Scheme::Prediction).missRate();
+        }
+        const double n = static_cast<double>(names.size());
+        pred_table.addRow({util::pct(margin, 0), util::pct(e / n),
+                           util::pct(m / n)});
+    }
+    pred_table.print(std::cout);
+
+    util::TablePrinter pid_table({"PID margin (%)", "E pid (%)",
+                                  "Miss pid (%)"});
+    for (double margin : {0.0, 0.05, 0.10, 0.20, 0.40}) {
+        double e = 0.0;
+        double m = 0.0;
+        const auto &names = accel::benchmarkNames();
+        for (const auto &name : names) {
+            sim::ExperimentOptions opts;
+            opts.pidMargin = margin;
+            sim::Experiment exp(name, opts);
+            e += exp.normalizedEnergy(sim::Scheme::Pid);
+            m += exp.runScheme(sim::Scheme::Pid).missRate();
+        }
+        const double n = static_cast<double>(names.size());
+        pid_table.addRow({util::pct(margin, 0), util::pct(e / n),
+                          util::pct(m / n)});
+    }
+    pid_table.print(std::cout);
+
+    std::cout << "\nExpected: prediction needs only a small margin; "
+                 "PID trades misses for energy much less efficiently\n";
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Reproduces the paper's Section 3.7 case study on the H.264 decoder:
+ *
+ *  - feature detection finds the full control-unit feature set, and
+ *    Lasso cuts it to a handful (paper: 257 -> 7) while keeping
+ *    worst-case error around 3%;
+ *  - the surviving features live in the residue/entropy decoding and
+ *    the inter-prediction (motion compensation) control, not in the
+ *    computation datapath;
+ *  - the hardware slice therefore drops the prediction/deblocking
+ *    datapaths, keeping the bitstream parser and control units
+ *    (paper: 37,713 um^2 = 5.7% of the decoder, 2.8% of its energy,
+ *    5-15% of its execution time).
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "rtl/analysis.hh"
+#include "sim/experiment.hh"
+#include "util/logging.hh"
+#include "util/statistics.hh"
+#include "util/table.hh"
+
+using namespace predvfs;
+
+int
+main()
+{
+    util::setVerbose(false);
+    util::printBanner(std::cout,
+                      "Case study (paper Section 3.7): H.264 decoder");
+
+    sim::Experiment exp("h264");
+    const auto &report = exp.flowReport();
+    const auto &slice = exp.predictor().slice();
+    const auto &acc = exp.accelerator();
+
+    std::cout << "Features detected by static analysis: "
+              << report.featuresDetected << "\n"
+              << "Features selected by Lasso:           "
+              << report.featuresSelected << "\n"
+              << "Unmodellable (implicit) states found: "
+              << report.implicitStates << "\n\nSelected features:\n";
+    for (const auto &spec : report.selectedFeatures)
+        std::cout << "  - " << spec.name << "\n";
+
+    // Worst-case test error.
+    double worst_over = 0.0;
+    double worst_under = 0.0;
+    double slice_time_min = 1.0;
+    double slice_time_max = 0.0;
+    double slice_energy = 0.0;
+    double job_energy = 0.0;
+    for (const auto &job : exp.testPrepared()) {
+        const double err =
+            (job.predictedCycles - static_cast<double>(job.cycles)) /
+            static_cast<double>(job.cycles);
+        worst_over = std::max(worst_over, err);
+        worst_under = std::min(worst_under, err);
+        const double ratio = static_cast<double>(job.sliceCycles) /
+            static_cast<double>(job.cycles);
+        slice_time_min = std::min(slice_time_min, ratio);
+        slice_time_max = std::max(slice_time_max, ratio);
+        slice_energy += job.sliceEnergyUnits;
+        job_energy += job.energyUnits;
+    }
+
+    const double slice_um2 =
+        slice.areaUnits() * acc.um2PerAreaUnit();
+
+    std::cout << "\nWorst-case prediction error: +"
+              << util::pct(worst_over) << "% / "
+              << util::pct(worst_under)
+              << "%   (paper: around 3%, manual features ~10%)\n"
+              << "Slice area: " << util::fixed(slice_um2, 0)
+              << " um^2 = " << util::pct(exp.sliceAreaFraction())
+              << "% of the decoder   (paper: 37,713 um^2 = 5.7%)\n"
+              << "Slice energy: " << util::pct(slice_energy / job_energy)
+              << "% of the decoder's   (paper: 2.8%)\n"
+              << "Slice runtime: " << util::pct(slice_time_min) << "% - "
+              << util::pct(slice_time_max)
+              << "% of the decoder's execution time   (paper: 5-15%)\n"
+              << "Kept FSMs: " << slice.keptFsms << " of "
+              << acc.design().fsms().size()
+              << ", kept datapath blocks: " << slice.keptBlocks
+              << " of " << acc.design().blocks().size() << "\n";
+    return 0;
+}

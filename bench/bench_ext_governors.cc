@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Extension: the full governor landscape the paper surveys in
+ * Section 2.4 on one table — interval-based (Linux devfreq style),
+ * table-based (vendor driver style), reactive PID, and the paper's
+ * predictive controller — energy and misses per benchmark.
+ */
+
+#include <iostream>
+
+#include "accel/registry.hh"
+#include "core/interval_governor.hh"
+#include "sim/experiment.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+using namespace predvfs;
+
+int
+main()
+{
+    util::setVerbose(false);
+    util::printBanner(std::cout,
+                      "Extension: governor comparison (interval / "
+                      "table / pid / prediction)");
+
+    util::TablePrinter table({"Benchmark", "E intv (%)", "E table (%)",
+                              "E pid (%)", "E pred (%)",
+                              "Miss intv (%)", "Miss table (%)",
+                              "Miss pid (%)", "Miss pred (%)"});
+
+    double e[4] = {0, 0, 0, 0};
+    double m[4] = {0, 0, 0, 0};
+    const auto &names = accel::benchmarkNames();
+
+    for (const auto &name : names) {
+        sim::Experiment exp(name);
+        const double f0 = exp.accelerator().nominalFrequencyHz();
+
+        core::IntervalGovernorController interval(
+            exp.table(), f0, exp.options().deadlineSeconds);
+        const auto base = exp.runScheme(sim::Scheme::Baseline);
+        const auto intv =
+            exp.engine().run(interval, exp.testPrepared());
+        const auto tab = exp.runScheme(sim::Scheme::Table);
+        const auto pid = exp.runScheme(sim::Scheme::Pid);
+        const auto pred = exp.runScheme(sim::Scheme::Prediction);
+
+        const double eb = base.totalEnergyJoules();
+        const double row_e[4] = {
+            intv.totalEnergyJoules() / eb,
+            tab.totalEnergyJoules() / eb,
+            pid.totalEnergyJoules() / eb,
+            pred.totalEnergyJoules() / eb,
+        };
+        const double row_m[4] = {intv.missRate(), tab.missRate(),
+                                 pid.missRate(), pred.missRate()};
+
+        table.addRow({name, util::pct(row_e[0]), util::pct(row_e[1]),
+                      util::pct(row_e[2]), util::pct(row_e[3]),
+                      util::pct(row_m[0]), util::pct(row_m[1]),
+                      util::pct(row_m[2]), util::pct(row_m[3])});
+        for (int i = 0; i < 4; ++i) {
+            e[i] += row_e[i];
+            m[i] += row_m[i];
+        }
+    }
+
+    const double n = static_cast<double>(names.size());
+    table.addRow({"average", util::pct(e[0] / n), util::pct(e[1] / n),
+                  util::pct(e[2] / n), util::pct(e[3] / n),
+                  util::pct(m[0] / n), util::pct(m[1] / n),
+                  util::pct(m[2] / n), util::pct(m[3] / n)});
+
+    table.print(std::cout);
+    std::cout << "\nExpected ordering (paper 2.4): the interval "
+                 "governor is deadline-blind (most misses); the table "
+                 "scheme is safe but wasteful; PID helps but lags; "
+                 "prediction dominates the miss column at comparable "
+                 "energy.\n";
+    return 0;
+}

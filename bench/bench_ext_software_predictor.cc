@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Extension (paper Section 4.5, "Software-based Predictors"): run the
+ * sliced feature computation on a CPU core instead of a hardware
+ * slice. The paper reports trying this on H.264 with good accuracy
+ * and omits the table for space — this bench generates it: overhead
+ * time/energy, energy savings, and misses for the hardware slice vs
+ * the software predictor, per benchmark.
+ */
+
+#include <iostream>
+
+#include "accel/registry.hh"
+#include "core/software_predictor.hh"
+#include "sim/experiment.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+using namespace predvfs;
+
+int
+main()
+{
+    util::setVerbose(false);
+    util::printBanner(std::cout,
+                      "Extension: hardware slice vs software "
+                      "predictor (paper 4.5)");
+
+    util::TablePrinter table({"Benchmark", "HW E (%)", "SW E (%)",
+                              "HW miss (%)", "SW miss (%)",
+                              "HW ovh (% budget)", "SW ovh (% budget)",
+                              "HW area (%)"});
+
+    core::SoftwarePredictorModel sw_model;
+    double sums[4] = {0.0, 0.0, 0.0, 0.0};
+    const auto &names = accel::benchmarkNames();
+
+    for (const auto &name : names) {
+        sim::Experiment exp(name);
+        const double f0 = exp.accelerator().nominalFrequencyHz();
+
+        core::DvfsModelConfig dvfs;
+        dvfs.deadlineSeconds = exp.options().deadlineSeconds;
+        dvfs.switchTimeSeconds = exp.options().switchTimeSeconds;
+        dvfs.marginFraction = exp.options().predictionMargin;
+        core::SoftwarePredictiveController sw_ctrl(exp.table(), f0,
+                                                   dvfs, sw_model);
+
+        const auto hw = exp.runScheme(sim::Scheme::Prediction);
+        const auto sw =
+            exp.engine().run(sw_ctrl, exp.testPrepared());
+        const auto base = exp.runScheme(sim::Scheme::Baseline);
+
+        double hw_ovh = 0.0;
+        double sw_ovh = 0.0;
+        for (const auto &job : exp.testPrepared()) {
+            hw_ovh += static_cast<double>(job.sliceCycles) / f0;
+            sw_ovh += sw_model.secondsFor(job.sliceCycles);
+        }
+        const double n_jobs =
+            static_cast<double>(exp.testPrepared().size());
+        hw_ovh /= n_jobs * exp.options().deadlineSeconds;
+        sw_ovh /= n_jobs * exp.options().deadlineSeconds;
+
+        const double e_hw = hw.totalEnergyJoules() /
+            base.totalEnergyJoules();
+        const double e_sw = sw.totalEnergyJoules() /
+            base.totalEnergyJoules();
+
+        table.addRow({name, util::pct(e_hw), util::pct(e_sw),
+                      util::pct(hw.missRate()),
+                      util::pct(sw.missRate()), util::pct(hw_ovh),
+                      util::pct(sw_ovh),
+                      util::pct(exp.sliceAreaFraction())});
+        sums[0] += e_hw;
+        sums[1] += e_sw;
+        sums[2] += hw.missRate();
+        sums[3] += sw.missRate();
+    }
+
+    const double n = static_cast<double>(names.size());
+    table.addRow({"average", util::pct(sums[0] / n),
+                  util::pct(sums[1] / n), util::pct(sums[2] / n),
+                  util::pct(sums[3] / n), "", "", ""});
+
+    table.print(std::cout);
+    std::cout << "\nThe software predictor needs no accelerator area "
+                 "at all; its prediction values are identical (same\n"
+                 "features, same model), so the cost is purely the "
+                 "slower, more energy-hungry prediction step.\n";
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Reproduces paper Figure 14: adding a 1.08 V boost level. With
+ * execution-time prediction the controller knows when the remaining
+ * budget is too short and boosts; the paper reports misses are
+ * eliminated while normalized energy grows by only 0.24%.
+ */
+
+#include <iostream>
+
+#include "accel/registry.hh"
+#include "sim/experiment.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+using namespace predvfs;
+
+int
+main()
+{
+    util::setVerbose(false);
+    util::printBanner(std::cout,
+                      "Figure 14: prediction with a 1.08 V boost level");
+
+    util::TablePrinter table({"Benchmark", "E pred (%)",
+                              "E pred+boost (%)", "Miss pred (%)",
+                              "Miss pred+boost (%)"});
+
+    double e_sum[2] = {0.0, 0.0};
+    double m_sum[2] = {0.0, 0.0};
+    const auto &names = accel::benchmarkNames();
+
+    for (const auto &name : names) {
+        sim::Experiment exp(name);
+        const double e_pred =
+            exp.normalizedEnergy(sim::Scheme::Prediction);
+        const double e_boost =
+            exp.normalizedEnergy(sim::Scheme::PredictionBoost);
+        const double m_pred =
+            exp.runScheme(sim::Scheme::Prediction).missRate();
+        const double m_boost =
+            exp.runScheme(sim::Scheme::PredictionBoost).missRate();
+
+        table.addRow({name, util::pct(e_pred), util::pct(e_boost),
+                      util::pct(m_pred), util::pct(m_boost)});
+        e_sum[0] += e_pred;
+        e_sum[1] += e_boost;
+        m_sum[0] += m_pred;
+        m_sum[1] += m_boost;
+    }
+
+    const double n = static_cast<double>(names.size());
+    table.addRow({"average", util::pct(e_sum[0] / n),
+                  util::pct(e_sum[1] / n), util::pct(m_sum[0] / n),
+                  util::pct(m_sum[1] / n)});
+
+    table.print(std::cout);
+    std::cout << "\nPaper: boosting eliminates all misses for +0.24% "
+                 "normalized energy (36.7% -> 36.4% savings)\n";
+    return 0;
+}

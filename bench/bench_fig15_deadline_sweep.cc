@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Reproduces paper Figure 15: sensitivity to the job deadline, sweeping
+ * it from 0.6x to 1.6x of the 16.7 ms default (averaged across all
+ * benchmarks). The predictor is NOT retrained per deadline — only the
+ * DVFS model's budget changes, exactly as the paper highlights.
+ *
+ * Expected shape: longer deadlines let prediction save more energy at
+ * zero misses; below 1.0x even the baseline starts missing (some jobs
+ * cannot finish at the top frequency), and the prediction scheme's
+ * misses track that floor while PID stays worse throughout.
+ */
+
+#include <iostream>
+
+#include "accel/registry.hh"
+#include "sim/experiment.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+using namespace predvfs;
+
+int
+main()
+{
+    util::setVerbose(false);
+    util::printBanner(std::cout,
+                      "Figure 15: varying the deadline 0.6x - 1.6x "
+                      "(averaged over all benchmarks)");
+
+    util::TablePrinter table({"Deadline", "E base (%)", "E pid (%)",
+                              "E pred (%)", "Miss base (%)",
+                              "Miss pid (%)", "Miss pred (%)"});
+
+    const double base_deadline = 1.0 / 60.0;
+    const double factors[] = {0.6, 0.8, 1.0, 1.2, 1.4, 1.6};
+
+    for (double factor : factors) {
+        double e[3] = {0.0, 0.0, 0.0};
+        double m[3] = {0.0, 0.0, 0.0};
+        const auto &names = accel::benchmarkNames();
+        for (const auto &name : names) {
+            sim::ExperimentOptions opts;
+            opts.deadlineSeconds = base_deadline * factor;
+            sim::Experiment exp(name, opts);
+            e[0] += 1.0;
+            e[1] += exp.normalizedEnergy(sim::Scheme::Pid);
+            e[2] += exp.normalizedEnergy(sim::Scheme::Prediction);
+            m[0] += exp.runScheme(sim::Scheme::Baseline).missRate();
+            m[1] += exp.runScheme(sim::Scheme::Pid).missRate();
+            m[2] += exp.runScheme(sim::Scheme::Prediction).missRate();
+        }
+        const double n = static_cast<double>(names.size());
+        table.addRow({util::fixed(factor, 1) + "x",
+                      util::pct(e[0] / n), util::pct(e[1] / n),
+                      util::pct(e[2] / n), util::pct(m[0] / n),
+                      util::pct(m[1] / n), util::pct(m[2] / n)});
+    }
+
+    table.print(std::cout);
+    std::cout << "\nPaper: prediction saves more with longer deadlines "
+                 "at zero misses; short deadlines produce misses even "
+                 "for the baseline; the predictor needs no retraining\n";
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Reproduces paper Figure 18: slicing at the RTL level vs at the HLS
+ * (C source) level for the two MachSuite accelerators with C versions
+ * (md, stencil). Prediction accuracy is high either way; the
+ * HLS-scheduled slice computes the features faster, which removes the
+ * residual deadline misses caused by insufficient budget after the
+ * slice runs.
+ */
+
+#include <iostream>
+
+#include "sim/experiment.hh"
+#include "util/logging.hh"
+#include "util/statistics.hh"
+#include "util/table.hh"
+
+using namespace predvfs;
+
+int
+main()
+{
+    util::setVerbose(false);
+    util::printBanner(std::cout,
+                      "Figure 18: RTL-level vs HLS-level slicing "
+                      "(md, stencil)");
+
+    util::TablePrinter table({"Config", "Err Q1 (%)", "Err median (%)",
+                              "Err Q3 (%)", "Misses (%)"});
+
+    for (const char *name : {"md", "stencil"}) {
+        for (const auto mode : {rtl::SliceOptions::Mode::Rtl,
+                                rtl::SliceOptions::Mode::Hls}) {
+            sim::ExperimentOptions opts;
+            opts.sliceOptions.mode = mode;
+            sim::Experiment exp(name, opts);
+
+            std::vector<double> errors;
+            for (const auto &job : exp.testPrepared()) {
+                const double actual = static_cast<double>(job.cycles);
+                errors.push_back(
+                    (job.predictedCycles - actual) / actual * 100.0);
+            }
+            const auto box = util::boxSummary(errors);
+            const double misses =
+                exp.runScheme(sim::Scheme::Prediction).missRate();
+
+            const std::string label = std::string(name) +
+                (mode == rtl::SliceOptions::Mode::Rtl ? "-rtl"
+                                                      : "-hls");
+            table.addRow({label, util::fixed(box.q1, 2),
+                          util::fixed(box.median, 2),
+                          util::fixed(box.q3, 2), util::pct(misses)});
+        }
+    }
+
+    table.print(std::cout);
+    std::cout << "\nPaper: accuracy high for both levels; the "
+                 "HLS-generated slice removes the deadline misses "
+                 "(they were caused by slice runtime, not "
+                 "misprediction)\n";
+    return 0;
+}

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Reproduces paper Table 3: the benchmark suite, what a task is for
+ * each accelerator, and the training/test workloads. Also reports the
+ * generated job counts and work-item totals as a sanity check that the
+ * synthetic corpora match the paper's shapes.
+ */
+
+#include <iostream>
+
+#include "accel/registry.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+#include "workload/suite.hh"
+
+using namespace predvfs;
+
+int
+main()
+{
+    util::setVerbose(false);
+    util::printBanner(std::cout,
+                      "Table 3: Summary of benchmarks and workloads");
+
+    util::TablePrinter table({"Bmark.", "Description", "Task",
+                              "Workload (Train)", "Workload (Test)",
+                              "Train jobs", "Test jobs"});
+
+    for (const auto &name : accel::benchmarkNames()) {
+        const auto acc = accel::makeAccelerator(name);
+        const auto w = workload::makeWorkload(*acc);
+        table.addRow({name, acc->description(), acc->task(),
+                      w.trainDescription, w.testDescription,
+                      std::to_string(w.train.size()),
+                      std::to_string(w.test.size())});
+    }
+
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Example: bringing your OWN accelerator to the framework.
+ *
+ * Builds a small FFT-style accelerator in the RTL IR from scratch —
+ * fields, counters, FSMs, datapath blocks — then runs the complete
+ * flow on it with zero accelerator-specific code: static analysis
+ * discovers the features, the asymmetric Lasso picks the useful ones,
+ * the slicer produces the runtime predictor, and the DVFS model turns
+ * predictions into levels. This is the paper's "general and
+ * automated" claim as an API walkthrough.
+ */
+
+#include <iostream>
+
+#include "core/dvfs_model.hh"
+#include "core/flow.hh"
+#include "power/operating_points.hh"
+#include "rtl/analysis.hh"
+#include "rtl/expr.hh"
+#include "rtl/interpreter.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+#include "util/table.hh"
+
+using namespace predvfs;
+using namespace predvfs::rtl;
+
+namespace {
+
+/**
+ * A radix-2 FFT accelerator: per work item (one transform), the size
+ * log2(N) decides the number of butterfly passes, and a dynamic
+ * scaling pass runs only when the input risks overflow.
+ */
+Design
+makeFftDesign()
+{
+    Design d("fft");
+    const auto log2n = d.addField("log2n");         // 6..12.
+    const auto needs_scale = d.addField("needs_scaling");
+
+    const auto bfly_dp = d.addBlock("butterfly_dp", 2400.0, 3.5);
+    const auto twiddle_rom = d.addBlock("twiddle_rom", 700.0, 0.6);
+    const auto sample_sram =
+        d.addBlock("sample_sram", 1200.0, 0.4, /*shared=*/true);
+
+    // One pass touches N points: passes x N/2 butterflies. Model the
+    // loop with an up-counter whose limit is log2n * 2^log2n.
+    ExprPtr n_points = lit(1);
+    // 2^log2n via shifts is not in the IR; approximate with a select
+    // ladder over the supported sizes (how real microcode tables do
+    // it).
+    ExprPtr pow2 = lit(64);
+    for (int k = 7; k <= 12; ++k) {
+        pow2 = Expr::select(Expr::ge(fld(log2n), lit(k)),
+                            lit(std::int64_t{1} << k), pow2);
+    }
+    (void)n_points;
+
+    const auto cnt_load = d.addCounter(
+        "sample_load", CounterDir::Down,
+        Expr::add(lit(12), Expr::div(pow2, lit(2))), 20);
+    const auto cnt_bfly = d.addCounter(
+        "butterfly_sched", CounterDir::Up,
+        Expr::mul(fld(log2n), Expr::div(pow2, lit(2))), 24);
+    const auto cnt_scale = d.addCounter(
+        "scaling_pass", CounterDir::Down,
+        Expr::add(lit(8), Expr::div(pow2, lit(4))), 20);
+
+    const auto ctrl = d.addFsm("fft_ctrl");
+    State hdr;
+    hdr.name = "ReadDescriptor";
+    hdr.kind = LatencyKind::Fixed;
+    hdr.fixedCycles = 4;
+    hdr.essential = true;
+    hdr.block = sample_sram;
+    hdr.dpOpsPerCycle = 0.5;
+    hdr.producesFields = {log2n, needs_scale};
+    const auto s_hdr = d.addState(ctrl, std::move(hdr));
+
+    State load;
+    load.name = "LoadSamples";
+    load.kind = LatencyKind::CounterWait;
+    load.counter = cnt_load;
+    load.block = sample_sram;
+    load.dpOpsPerCycle = 1.0;
+    const auto s_load = d.addState(ctrl, std::move(load));
+
+    State scale;
+    scale.name = "ScalePass";
+    scale.kind = LatencyKind::CounterWait;
+    scale.counter = cnt_scale;
+    scale.block = bfly_dp;
+    scale.dpOpsPerCycle = 2.0;
+    const auto s_scale = d.addState(ctrl, std::move(scale));
+
+    State bfly;
+    bfly.name = "ButterflyPasses";
+    bfly.kind = LatencyKind::CounterWait;
+    bfly.counter = cnt_bfly;
+    bfly.block = bfly_dp;
+    bfly.dpOpsPerCycle = 4.0;
+    const auto s_bfly = d.addState(ctrl, std::move(bfly));
+
+    State done;
+    done.name = "TransformDone";
+    done.kind = LatencyKind::Fixed;
+    done.fixedCycles = 2;
+    done.terminal = true;
+    const auto s_done = d.addState(ctrl, std::move(done));
+
+    d.addTransition(ctrl, s_hdr, nullptr, s_load);
+    d.addTransition(ctrl, s_load, Expr::eq(fld(needs_scale), lit(1)),
+                    s_scale);
+    d.addTransition(ctrl, s_load, nullptr, s_bfly);
+    d.addTransition(ctrl, s_scale, nullptr, s_bfly);
+    d.addTransition(ctrl, s_bfly, nullptr, s_done);
+
+    d.setPerJobOverheadCycles(600);
+    d.validate();
+    (void)twiddle_rom;
+    return d;
+}
+
+/** A job = a batch of transforms of mixed sizes. */
+std::vector<JobInput>
+makeBatches(const Design &d, int count, util::Rng &rng)
+{
+    std::vector<JobInput> jobs;
+    for (int j = 0; j < count; ++j) {
+        JobInput job;
+        const auto batch = rng.uniformInt(4, 48);
+        for (std::int64_t i = 0; i < batch; ++i) {
+            WorkItem item;
+            item.fields.assign(d.numFields(), 0);
+            item.fields[0] = rng.uniformInt(6, 12);   // log2n.
+            item.fields[1] = rng.bernoulli(0.3) ? 1 : 0;
+            job.items.push_back(std::move(item));
+        }
+        jobs.push_back(std::move(job));
+    }
+    return jobs;
+}
+
+} // namespace
+
+int
+main()
+{
+    util::setVerbose(false);
+    std::cout << "== predvfs example: plugging in a custom "
+                 "accelerator (FFT) ==\n\n";
+
+    const Design fft = makeFftDesign();
+
+    // 1. What does the static analysis see?
+    const auto report = analyze(fft);
+    std::cout << "Static analysis: " << report.numFsms << " FSM(s), "
+              << report.numCounters << " counters, "
+              << report.numFeatures() << " candidate features\n";
+
+    // 2. Train a predictor on random batches.
+    util::Rng rng(7);
+    const auto train = makeBatches(fft, 120, rng);
+    const auto flow = core::buildPredictor(fft, train);
+    std::cout << "Lasso kept " << flow.report.featuresSelected
+              << " features:\n";
+    for (const auto &spec : flow.report.selectedFeatures)
+        std::cout << "  - " << spec.name << "\n";
+    std::cout << "Slice area: "
+              << util::pct(flow.predictor->slice().areaUnits() /
+                           fft.areaUnits())
+              << "% of the FFT engine\n\n";
+
+    // 3. Use it online: predict fresh batches and pick DVFS levels
+    //    for a 8 ms audio-block deadline at 400 MHz nominal.
+    const double f0 = 400e6;
+    const power::VfModel vf = power::VfModel::asic65nm(f0);
+    const auto table = power::OperatingPointTable::asic(vf);
+    core::DvfsModelConfig config;
+    config.deadlineSeconds = 8e-3;
+    const core::DvfsModel dvfs(table, f0, config);
+
+    Interpreter interp(fft);
+    const auto test = makeBatches(fft, 8, rng);
+
+    util::TablePrinter out({"Batch", "Predicted (ms)", "Actual (ms)",
+                            "Level", "V", "Meets 8 ms?"});
+    for (std::size_t j = 0; j < test.size(); ++j) {
+        const auto run = flow.predictor->run(test[j]);
+        const double predicted_s = run.predictedCycles / f0;
+        const double actual_s =
+            static_cast<double>(interp.run(test[j]).cycles) / f0;
+        const auto choice = dvfs.chooseLevel(
+            predicted_s,
+            static_cast<double>(run.sliceCycles) / f0,
+            table.nominalIndex());
+        out.addRow({std::to_string(j),
+                    util::fixed(predicted_s * 1e3, 3),
+                    util::fixed(actual_s * 1e3, 3),
+                    std::to_string(choice.level),
+                    util::fixed(table[choice.level].voltage, 3),
+                    choice.feasible ? "yes" : "NO"});
+    }
+    out.print(std::cout);
+
+    std::cout << "\nNo FFT-specific code exists anywhere in the "
+                 "framework: the flow above works for any design\n"
+                 "expressed in the RTL IR, which is the paper's "
+                 "generality claim.\n";
+    return 0;
+}

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Example: two accelerators sharing one deadline — DRM-protected
+ * video playback (paper Section 4.2: "when a user is playing a
+ * DRM-protected video, a crypto accelerator has to decrypt the data
+ * for each frame before a certain deadline").
+ *
+ * Per frame the AES engine decrypts the bitstream, then the H.264
+ * engine decodes it, both within the same 16.7 ms budget. With
+ * execution-time prediction for BOTH accelerators, the runtime splits
+ * the budget proportionally to the predicted times and each engine
+ * runs at the lowest level that meets its share — the multi-device
+ * coordination the paper's related work (Nachiappan et al.) asks for,
+ * now with per-job look-ahead.
+ */
+
+#include <iostream>
+
+#include "accel/aes.hh"
+#include "accel/h264.hh"
+#include "core/dvfs_model.hh"
+#include "core/flow.hh"
+#include "power/energy_model.hh"
+#include "power/operating_points.hh"
+#include "rtl/interpreter.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+#include "workload/buffers.hh"
+#include "workload/suite.hh"
+#include "workload/video.hh"
+
+using namespace predvfs;
+
+namespace {
+
+/** Everything one pipeline stage needs. */
+struct Stage
+{
+    accel::Accelerator acc;
+    core::FlowResult flow;
+    power::VfModel vf;
+    power::OperatingPointTable table;
+    power::EnergyModel energy;
+    rtl::Interpreter interp;
+
+    explicit Stage(accel::Accelerator a)
+        : acc(std::move(a)),
+          flow(core::buildPredictor(
+              acc.design(), workload::makeWorkload(acc).train)),
+          vf(power::VfModel::asic65nm(acc.nominalFrequencyHz())),
+          table(power::OperatingPointTable::asic(vf, true)),
+          energy(acc.energyParams()),
+          interp(acc.design())
+    {
+    }
+
+    double
+    nominalSeconds(std::uint64_t cycles) const
+    {
+        return static_cast<double>(cycles) / acc.nominalFrequencyHz();
+    }
+};
+
+} // namespace
+
+int
+main()
+{
+    util::setVerbose(false);
+    std::cout << "== predvfs example: DRM playback pipeline "
+                 "(AES decrypt -> H.264 decode) ==\n\n";
+
+    Stage aes(accel::makeAesAccelerator());
+    Stage h264(accel::makeH264Decoder());
+
+    // Per frame: an encrypted bitstream buffer (~0.5-2 MB) and the
+    // frame's macroblocks.
+    constexpr int frames = 120;
+    constexpr double deadline = 1.0 / 60.0;
+
+    util::Rng rng(777);
+    workload::BufferCorpusOptions buffers;
+    buffers.count = frames;
+    buffers.minBytes = 512 * 1024;
+    buffers.maxBytes = 2 * 1024 * 1024;
+    const auto cipher_jobs = workload::makeAesBuffers(
+        aes.acc.design(), buffers, rng.split(1));
+    const auto video_jobs = workload::makeVideoClip(
+        h264.acc.design(), workload::figure2Profiles()[1], frames,
+        396, rng.split(2));
+
+    double energy_pred = 0.0;
+    double energy_base = 0.0;
+    int misses = 0;
+
+    for (int i = 0; i < frames; ++i) {
+        // Predict both stages through their slices.
+        const auto aes_run = aes.flow.predictor->run(cipher_jobs[i]);
+        const auto dec_run = h264.flow.predictor->run(video_jobs[i]);
+        const double t_aes =
+            aes.nominalSeconds(static_cast<std::uint64_t>(
+                aes_run.predictedCycles));
+        const double t_dec =
+            h264.nominalSeconds(static_cast<std::uint64_t>(
+                dec_run.predictedCycles));
+        const double slice_cost =
+            aes.nominalSeconds(aes_run.sliceCycles) +
+            h264.nominalSeconds(dec_run.sliceCycles);
+
+        // Split the remaining budget proportionally to the predicted
+        // nominal times of the two stages.
+        const double budget = deadline - slice_cost - 2e-4;
+        const double share_aes =
+            budget * t_aes / std::max(t_aes + t_dec, 1e-9);
+        const double share_dec = budget - share_aes;
+
+        core::DvfsModelConfig config;
+        config.deadlineSeconds = deadline;  // Overridden per call.
+        const core::DvfsModel aes_model(
+            aes.table, aes.acc.nominalFrequencyHz(), config);
+        const core::DvfsModel dec_model(
+            h264.table, h264.acc.nominalFrequencyHz(), config);
+        const auto aes_choice = aes_model.chooseLevel(
+            t_aes, 0.0, aes.table.nominalIndex(), share_aes);
+        const auto dec_choice = dec_model.chooseLevel(
+            t_dec, 0.0, h264.table.nominalIndex(), share_dec);
+
+        // Execute both stages.
+        const auto aes_result = aes.interp.run(cipher_jobs[i]);
+        const auto dec_result = h264.interp.run(video_jobs[i]);
+        const double t_total = slice_cost +
+            static_cast<double>(aes_result.cycles) /
+                aes.table[aes_choice.level].frequencyHz +
+            static_cast<double>(dec_result.cycles) /
+                h264.table[dec_choice.level].frequencyHz;
+        if (t_total > deadline)
+            ++misses;
+
+        energy_pred +=
+            aes.energy.jobEnergy(aes_result.energyUnits,
+                                 aes_result.cycles,
+                                 aes.table[aes_choice.level]) +
+            h264.energy.jobEnergy(dec_result.energyUnits,
+                                  dec_result.cycles,
+                                  h264.table[dec_choice.level]);
+        energy_base +=
+            aes.energy.jobEnergy(aes_result.energyUnits,
+                                 aes_result.cycles,
+                                 aes.table[aes.table.nominalIndex()]) +
+            h264.energy.jobEnergy(
+                dec_result.energyUnits, dec_result.cycles,
+                h264.table[h264.table.nominalIndex()]);
+    }
+
+    std::cout << "Frames: " << frames << "\n"
+              << "Pipeline energy (both at nominal): "
+              << util::fixed(energy_base * 1e3, 2) << " mJ\n"
+              << "Pipeline energy (predictive split): "
+              << util::fixed(energy_pred * 1e3, 2) << " mJ  ("
+              << util::pct(1.0 - energy_pred / energy_base)
+              << "% saved)\n"
+              << "Frames past the 16.7 ms deadline: " << misses
+              << "\n\nBoth predictors were generated by the same "
+                 "automated flow; the runtime composes them by\n"
+                 "splitting the frame budget with the two predicted "
+                 "times — no accelerator-specific logic.\n";
+    return 0;
+}

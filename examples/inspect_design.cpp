@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Example/CLI: inspect any benchmark accelerator — its control
+ * structure, the features static analysis discovers, the trained
+ * model, and (with --dot) a Graphviz dump of its FSMs.
+ *
+ * Usage:
+ *   example_inspect_design [benchmark] [--dot]
+ *   example_inspect_design djpeg
+ *   example_inspect_design h264 --dot > h264.dot && dot -Tsvg ...
+ */
+
+#include <cstring>
+#include <iostream>
+
+#include "accel/registry.hh"
+#include "core/flow.hh"
+#include "rtl/analysis.hh"
+#include "rtl/report.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+#include "workload/suite.hh"
+
+using namespace predvfs;
+
+int
+main(int argc, char **argv)
+{
+    util::setVerbose(false);
+
+    std::string benchmark = "h264";
+    bool dot = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--dot") == 0)
+            dot = true;
+        else
+            benchmark = argv[i];
+    }
+
+    bool known = false;
+    for (const auto &name : accel::benchmarkNames())
+        known |= name == benchmark;
+    if (!known) {
+        std::cerr << "unknown benchmark '" << benchmark
+                  << "'; choose one of:";
+        for (const auto &name : accel::benchmarkNames())
+            std::cerr << " " << name;
+        std::cerr << "\n";
+        return 1;
+    }
+
+    const auto acc = accel::makeAccelerator(benchmark);
+
+    if (dot) {
+        rtl::writeDot(std::cout, acc->design());
+        return 0;
+    }
+
+    std::cout << "== " << acc->name() << ": " << acc->description()
+              << " ==\n"
+              << "task: " << acc->task() << ", "
+              << acc->nominalFrequencyHz() / 1e6 << " MHz, "
+              << acc->areaUm2() << " um^2\n\n";
+
+    rtl::writeDesignReport(std::cout, acc->design());
+    std::cout << "\n";
+
+    const auto analysis = rtl::analyze(acc->design());
+    rtl::writeAnalysisReport(std::cout, acc->design(), analysis);
+
+    // Train the predictor and show what ships.
+    const auto work = workload::makeWorkload(*acc);
+    const auto flow = core::buildPredictor(acc->design(), work.train);
+
+    std::cout << "\ntrained model (gamma = "
+              << flow.report.gammaChosen << "):\n";
+    const auto &predictor = *flow.predictor;
+    for (std::size_t i = 0; i < predictor.numFeatures(); ++i) {
+        std::cout << "  " << util::fixed(predictor.coefficients()[i], 4)
+                  << " * " << predictor.slice().features[i].name
+                  << "\n";
+    }
+    std::cout << "  + " << util::fixed(predictor.intercept(), 1)
+              << " (intercept, cycles)\n"
+              << "slice: " << predictor.slice().keptFsms
+              << " FSM(s) kept, area "
+              << util::pct(predictor.slice().areaUnits() /
+                           acc->design().areaUnits())
+              << "% of the accelerator\n";
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Quickstart: the complete flow on one accelerator in ~60 lines.
+ *
+ *   1. Build a benchmark accelerator (the H.264 decoder).
+ *   2. Generate a training workload and run the offline flow: static
+ *      analysis, instrumented profiling, asymmetric-Lasso fit, and
+ *      hardware slicing.
+ *   3. For a fresh job, run the slice to predict execution time and
+ *      ask the DVFS model for the lowest level meeting a 60 fps
+ *      deadline.
+ */
+
+#include <iostream>
+
+#include "accel/registry.hh"
+#include "core/dvfs_model.hh"
+#include "core/flow.hh"
+#include "power/operating_points.hh"
+#include "power/vf_model.hh"
+#include "rtl/interpreter.hh"
+#include "workload/suite.hh"
+
+using namespace predvfs;
+
+int
+main()
+{
+    // 1. The accelerator and its workload.
+    const auto acc = accel::makeAccelerator("h264");
+    const auto workload = workload::makeWorkload(*acc);
+    std::cout << "Accelerator: " << acc->name() << " ("
+              << acc->description() << "), "
+              << acc->nominalFrequencyHz() / 1e6 << " MHz, "
+              << acc->areaUm2() << " um^2\n";
+
+    // 2. Offline: generate the predictor from the RTL + training jobs.
+    const core::FlowResult flow =
+        core::buildPredictor(acc->design(), workload.train);
+    std::cout << "Features: " << flow.report.featuresDetected
+              << " detected -> " << flow.report.featuresSelected
+              << " selected by Lasso\n";
+    std::cout << "Slice area: "
+              << 100.0 * flow.predictor->slice().areaUnits() /
+                     acc->design().areaUnits()
+              << "% of the accelerator\n";
+
+    // 3. Online: predict a fresh job and pick a DVFS level.
+    const power::VfModel vf =
+        power::VfModel::asic65nm(acc->nominalFrequencyHz());
+    const auto table = power::OperatingPointTable::asic(vf);
+
+    core::DvfsModelConfig config;  // 16.7 ms deadline, 5% margin.
+    const core::DvfsModel dvfs(table, acc->nominalFrequencyHz(),
+                               config);
+
+    const rtl::JobInput &job = workload.test.front();
+    const core::SliceRun slice = flow.predictor->run(job);
+    const double predicted_ms = slice.predictedCycles /
+        acc->nominalFrequencyHz() * 1e3;
+
+    rtl::Interpreter interp(acc->design());
+    const double actual_ms = static_cast<double>(
+        interp.run(job).cycles) / acc->nominalFrequencyHz() * 1e3;
+
+    const auto choice = dvfs.chooseLevel(
+        predicted_ms * 1e-3,
+        static_cast<double>(slice.sliceCycles) /
+            acc->nominalFrequencyHz(),
+        table.nominalIndex());
+
+    std::cout << "Job 0: predicted " << predicted_ms << " ms, actual "
+              << actual_ms << " ms at nominal\n";
+    std::cout << "Chosen DVFS level: " << choice.level << " ("
+              << table[choice.level].voltage << " V, "
+              << table[choice.level].frequencyHz / 1e6 << " MHz), "
+              << (choice.feasible ? "meets" : "misses")
+              << " the 16.7 ms deadline\n";
+    return 0;
+}

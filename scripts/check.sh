@@ -1,0 +1,17 @@
+#!/bin/sh
+# Full local check: configure, build (warnings are errors), run the
+# test suite, and smoke-run every bench binary.
+set -eu
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+for b in build/bench/*; do
+    if [ -f "$b" ] && [ -x "$b" ]; then
+        echo "== $b"
+        "$b" > /dev/null
+    fi
+done
+echo "all checks passed"

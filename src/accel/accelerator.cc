@@ -1,0 +1,33 @@
+#include "accel/accelerator.hh"
+
+#include "util/logging.hh"
+
+namespace predvfs {
+namespace accel {
+
+using util::panicIf;
+
+Accelerator::Accelerator(rtl::Design design, double f_nominal_hz,
+                         double area_um2, power::EnergyParams energy,
+                         std::string description, std::string task)
+    : rtlDesign(std::move(design)),
+      fNominal(f_nominal_hz),
+      area(area_um2),
+      energy(energy),
+      desc(std::move(description)),
+      taskDesc(std::move(task))
+{
+    panicIf(!rtlDesign.validated(),
+            "Accelerator '", rtlDesign.name(), "': design not validated");
+    panicIf(fNominal <= 0.0, "Accelerator: bad nominal frequency");
+    panicIf(area <= 0.0, "Accelerator: bad area");
+}
+
+double
+Accelerator::um2PerAreaUnit() const
+{
+    return area / rtlDesign.areaUnits();
+}
+
+} // namespace accel
+} // namespace predvfs

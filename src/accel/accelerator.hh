@@ -1,0 +1,70 @@
+/**
+ * @file
+ * An Accelerator bundles an RTL design with its implementation
+ * metadata: nominal clock, placed-and-routed area, and energy
+ * calibration. This is the unit the benchmark suite (Table 3/4 of the
+ * paper) enumerates and the prediction flow consumes.
+ */
+
+#ifndef PREDVFS_ACCEL_ACCELERATOR_HH
+#define PREDVFS_ACCEL_ACCELERATOR_HH
+
+#include <memory>
+#include <string>
+
+#include "power/energy_model.hh"
+#include "rtl/design.hh"
+
+namespace predvfs {
+namespace accel {
+
+/**
+ * A benchmark accelerator: design + implementation results.
+ *
+ * Accelerators are immutable after construction and shared by
+ * reference; the factory functions in this module (makeH264Decoder()
+ * and friends) each build one benchmark of the paper's Table 3.
+ */
+class Accelerator
+{
+  public:
+    /**
+     * @param design        Validated RTL design.
+     * @param f_nominal_hz  Synthesis frequency at nominal voltage.
+     * @param area_um2      Post-place-and-route area (65 nm).
+     * @param energy        Gate-level energy calibration.
+     * @param description   Table 3 "Description" column.
+     * @param task          Table 3 "Task" column.
+     */
+    Accelerator(rtl::Design design, double f_nominal_hz, double area_um2,
+                power::EnergyParams energy, std::string description,
+                std::string task);
+
+    const rtl::Design &design() const { return rtlDesign; }
+    const std::string &name() const { return rtlDesign.name(); }
+    double nominalFrequencyHz() const { return fNominal; }
+    double areaUm2() const { return area; }
+    const power::EnergyParams &energyParams() const { return energy; }
+    const std::string &description() const { return desc; }
+    const std::string &task() const { return taskDesc; }
+
+    /**
+     * um^2 per abstract area unit: calibrates the structural area
+     * model so the full design matches the placed-and-routed area.
+     * Slice areas use the same scale, giving the Figure 12 overheads.
+     */
+    double um2PerAreaUnit() const;
+
+  private:
+    rtl::Design rtlDesign;
+    double fNominal;
+    double area;
+    power::EnergyParams energy;
+    std::string desc;
+    std::string taskDesc;
+};
+
+} // namespace accel
+} // namespace predvfs
+
+#endif // PREDVFS_ACCEL_ACCELERATOR_HH

@@ -1,0 +1,91 @@
+#include "accel/aes.hh"
+
+#include "accel/builder.hh"
+#include "rtl/expr.hh"
+
+namespace predvfs {
+namespace accel {
+
+using rtl::CounterDir;
+using rtl::Design;
+using rtl::Expr;
+using rtl::fld;
+using rtl::lit;
+
+AesFields
+aesFields(const rtl::Design &design)
+{
+    AesFields f;
+    f.blocks = design.fieldIndex("blocks");
+    f.cbcMode = design.fieldIndex("cbc_mode");
+    f.keyRounds = design.fieldIndex("key_rounds");
+    f.firstSeg = design.fieldIndex("first_seg");
+    return f;
+}
+
+Accelerator
+makeAesAccelerator()
+{
+    Design d("aes");
+
+    const auto blocks = d.addField("blocks");
+    const auto cbc = d.addField("cbc_mode");
+    const auto rounds = d.addField("key_rounds");
+    const auto first = d.addField("first_seg");
+
+    const auto round_dp = d.addBlock("round_dp", 1950.0, 3.4);
+    const auto key_dp = d.addBlock("key_schedule_dp", 540.0, 1.8);
+    const auto io_sram = d.addBlock("io_scratchpad", 900.0, 0.4, true);
+
+    // Per segment: blocks x (rounds + 1) cipher iterations, plus a
+    // two-cycle chaining stall per block in CBC mode.
+    const auto cnt_cipher = d.addCounter(
+        "cipher_sched", CounterDir::Down,
+        Expr::mul(fld(blocks),
+                  Expr::add(Expr::add(fld(rounds), lit(1)),
+                            Expr::select(fld(cbc), lit(2), lit(0)))),
+        24);
+    const auto cnt_dma = d.addCounter(
+        "segment_dma", CounterDir::Down,
+        Expr::add(lit(16), Expr::mul(fld(blocks), lit(2))), 16);
+
+    // ---- FSM: segment control. The segment descriptor (length,
+    // mode, key size) comes from a cheap header read; the bulk data
+    // DMA carries no control information and is sliced away. ----------
+    const auto ctrl = d.addFsm("segment_ctrl");
+    const auto s_desc = d.addState(
+        ctrl,
+        essential(fixedState("ReadDescriptor", 6, io_sram, 0.4),
+                  {blocks, cbc, rounds, first}));
+    const auto s_fetch = d.addState(
+        ctrl, waitState("FetchSegment", cnt_dma, io_sram, 0.8));
+    const auto s_keyexp = d.addState(
+        ctrl, fixedState("KeyExpand", 240, key_dp, 2.6));
+    const auto s_cipher = d.addState(
+        ctrl, waitState("CipherRounds", cnt_cipher, round_dp, 4.0));
+    const auto s_wb = d.addState(
+        ctrl, fixedState("WriteBack", 28, io_sram, 0.8));
+    const auto s_done = d.addState(ctrl, doneState("SegmentDone"));
+    d.addTransition(ctrl, s_desc, nullptr, s_fetch);
+    d.addTransition(ctrl, s_fetch, Expr::eq(fld(first), lit(1)),
+                    s_keyexp);
+    d.addTransition(ctrl, s_fetch, nullptr, s_cipher);
+    d.addTransition(ctrl, s_keyexp, nullptr, s_cipher);
+    d.addTransition(ctrl, s_cipher, nullptr, s_wb);
+    d.addTransition(ctrl, s_wb, nullptr, s_done);
+
+    d.setPerJobOverheadCycles(1400);
+    d.setControlEnergyPerCycle(1.0);
+    d.validate();
+
+    power::EnergyParams energy;
+    energy.joulesPerUnit = 1.0e-11;
+    energy.leakageWattsNominal = 7.04e-3;
+
+    return Accelerator(std::move(d), 500e6, 56121.0, energy,
+                       "Adv. Encryption Standard",
+                       "Encrypt a piece of data");
+}
+
+} // namespace accel
+} // namespace predvfs

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * AES benchmark (OpenCores aes_core). One job encrypts one piece of
+ * data (e.g. one DRM-protected frame); one work item is one 4 KiB
+ * segment of the buffer.
+ */
+
+#ifndef PREDVFS_ACCEL_AES_HH
+#define PREDVFS_ACCEL_AES_HH
+
+#include "accel/accelerator.hh"
+
+namespace predvfs {
+namespace accel {
+
+/** Work-item field layout of the AES accelerator. */
+struct AesFields
+{
+    rtl::FieldId blocks;    //!< 16-byte blocks in this segment (1..256).
+    rtl::FieldId cbcMode;   //!< 1 for CBC chaining, 0 for ECB/CTR.
+    rtl::FieldId keyRounds; //!< 10/12/14 for AES-128/192/256.
+    rtl::FieldId firstSeg;  //!< 1 on the first segment (key schedule).
+};
+
+/** @return the field layout for a built aes design. */
+AesFields aesFields(const rtl::Design &design);
+
+/** Build the AES benchmark accelerator. */
+Accelerator makeAesAccelerator();
+
+} // namespace accel
+} // namespace predvfs
+
+#endif // PREDVFS_ACCEL_AES_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Small helpers for constructing accelerator FSM states; used by the
+ * benchmark design factories to stay readable.
+ */
+
+#ifndef PREDVFS_ACCEL_BUILDER_HH
+#define PREDVFS_ACCEL_BUILDER_HH
+
+#include <string>
+
+#include "rtl/design.hh"
+
+namespace predvfs {
+namespace accel {
+
+/** Make a fixed-latency state. */
+inline rtl::State
+fixedState(std::string name, int cycles, rtl::BlockId block = -1,
+           double dp_ops = 0.0)
+{
+    rtl::State st;
+    st.name = std::move(name);
+    st.kind = rtl::LatencyKind::Fixed;
+    st.fixedCycles = cycles;
+    st.block = block;
+    st.dpOpsPerCycle = dp_ops;
+    return st;
+}
+
+/** Make a counter-wait state. */
+inline rtl::State
+waitState(std::string name, rtl::CounterId counter,
+          rtl::BlockId block = -1, double dp_ops = 0.0)
+{
+    rtl::State st;
+    st.name = std::move(name);
+    st.kind = rtl::LatencyKind::CounterWait;
+    st.counter = counter;
+    st.block = block;
+    st.dpOpsPerCycle = dp_ops;
+    return st;
+}
+
+/** Make an implicit-latency state (input-dependent, no counter). */
+inline rtl::State
+implicitState(std::string name, rtl::ExprPtr latency,
+              rtl::BlockId block = -1, double dp_ops = 0.0)
+{
+    rtl::State st;
+    st.name = std::move(name);
+    st.kind = rtl::LatencyKind::Implicit;
+    st.implicitLatency = std::move(latency);
+    st.block = block;
+    st.dpOpsPerCycle = dp_ops;
+    return st;
+}
+
+/** Make a one-cycle terminal state. */
+inline rtl::State
+doneState(std::string name)
+{
+    rtl::State st;
+    st.name = std::move(name);
+    st.kind = rtl::LatencyKind::Fixed;
+    st.fixedCycles = 1;
+    st.terminal = true;
+    return st;
+}
+
+/** Mark a state essential (latency survives slicing). */
+inline rtl::State
+essential(rtl::State st, std::vector<rtl::FieldId> produces = {})
+{
+    st.essential = true;
+    st.producesFields = std::move(produces);
+    return st;
+}
+
+} // namespace accel
+} // namespace predvfs
+
+#endif // PREDVFS_ACCEL_BUILDER_HH

@@ -1,0 +1,93 @@
+#include "accel/cjpeg.hh"
+
+#include "accel/builder.hh"
+#include "rtl/expr.hh"
+
+namespace predvfs {
+namespace accel {
+
+using rtl::CounterDir;
+using rtl::Design;
+using rtl::Expr;
+using rtl::fld;
+using rtl::lit;
+
+CjpegFields
+cjpegFields(const rtl::Design &design)
+{
+    CjpegFields f;
+    f.nonzeroCoeffs = design.fieldIndex("nonzero_coeffs");
+    f.chromaSub = design.fieldIndex("chroma_sub");
+    return f;
+}
+
+Accelerator
+makeJpegEncoder()
+{
+    Design d("cjpeg");
+
+    const auto nonzero = d.addField("nonzero_coeffs");
+    const auto chroma = d.addField("chroma_sub");
+
+    const auto fdct_dp = d.addBlock("fdct_dp", 2400.0, 2.8);
+    const auto quant_dp = d.addBlock("quant_dp", 340.0, 1.6);
+    const auto huff_dp = d.addBlock("huffman_enc_dp", 780.0, 1.1);
+    const auto mcu_sram = d.addBlock("mcu_scratchpad", 1400.0, 0.3, true);
+
+    // The forward DCT runs a fixed schedule per MCU; subsampled
+    // chroma MCUs push two extra blocks through it.
+    const auto cnt_fdct = d.addCounter(
+        "fdct_sched", CounterDir::Down,
+        Expr::select(fld(chroma), lit(6 * 44), lit(4 * 44)), 16);
+    const auto cnt_quant = d.addCounter(
+        "quant_sched", CounterDir::Up,
+        Expr::select(fld(chroma), lit(6 * 4), lit(4 * 4)), 16);
+    // Huffman/run-length time tracks the number of non-zero
+    // coefficients the quantiser left.
+    const auto cnt_huff = d.addCounter(
+        "huffman_len", CounterDir::Down,
+        Expr::add(lit(36), Expr::mul(fld(nonzero), lit(2))), 16);
+
+    // ---- FSM: MCU pipeline control. --------------------------------
+    const auto ctrl = d.addFsm("mcu_ctrl");
+    const auto s_load = d.addState(
+        ctrl, essential(fixedState("LoadMcu", 12, mcu_sram, 0.8)));
+    const auto s_fdct = d.addState(
+        ctrl, waitState("Fdct", cnt_fdct, fdct_dp, 3.6));
+    const auto s_quant = d.addState(
+        ctrl,
+        essential(waitState("Quantize", cnt_quant, quant_dp, 2.0),
+                  {nonzero}));
+    const auto s_done = d.addState(ctrl, doneState("McuDone"));
+    d.addTransition(ctrl, s_load, nullptr, s_fdct);
+    d.addTransition(ctrl, s_fdct, nullptr, s_quant);
+    d.addTransition(ctrl, s_quant, nullptr, s_done);
+
+    // ---- FSM: entropy coder, chained after the quantiser. ----------
+    const auto huff = d.addFsm("entropy", ctrl);
+    const auto s_check = d.addState(huff, fixedState("RunCheck", 2));
+    const auto s_encode = d.addState(
+        huff, waitState("HuffEncode", cnt_huff, huff_dp, 1.8));
+    const auto s_flush = d.addState(huff, fixedState("BitFlush", 6,
+                                                     huff_dp, 0.9));
+    const auto s_hdone = d.addState(huff, doneState("EntropyDone"));
+    d.addTransition(huff, s_check, Expr::gt(fld(nonzero), lit(0)),
+                    s_encode);
+    d.addTransition(huff, s_check, nullptr, s_flush);
+    d.addTransition(huff, s_encode, nullptr, s_flush);
+    d.addTransition(huff, s_flush, nullptr, s_hdone);
+
+    d.setPerJobOverheadCycles(2600);
+    d.setControlEnergyPerCycle(1.0);
+    d.validate();
+
+    power::EnergyParams energy;
+    energy.joulesPerUnit = 1.1e-11;
+    energy.leakageWattsNominal = 14.08e-3;
+
+    return Accelerator(std::move(d), 250e6, 175225.0, energy,
+                       "JPEG encoder", "Encode one image");
+}
+
+} // namespace accel
+} // namespace predvfs

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * JPEG encoder benchmark (OpenCores video_systems). One job encodes
+ * one image; one work item is one 16x16 MCU.
+ */
+
+#ifndef PREDVFS_ACCEL_CJPEG_HH
+#define PREDVFS_ACCEL_CJPEG_HH
+
+#include "accel/accelerator.hh"
+
+namespace predvfs {
+namespace accel {
+
+/** Work-item field layout of the JPEG encoder. */
+struct CjpegFields
+{
+    rtl::FieldId nonzeroCoeffs;  //!< Post-quantisation AC coefficients.
+    rtl::FieldId chromaSub;      //!< 1 if the MCU carries subsampled
+                                 //!< chroma blocks.
+};
+
+/** @return the field layout for a built cjpeg design. */
+CjpegFields cjpegFields(const rtl::Design &design);
+
+/** Build the JPEG encoder benchmark accelerator. */
+Accelerator makeJpegEncoder();
+
+} // namespace accel
+} // namespace predvfs
+
+#endif // PREDVFS_ACCEL_CJPEG_HH

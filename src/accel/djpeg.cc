@@ -1,0 +1,122 @@
+#include "accel/djpeg.hh"
+
+#include "accel/builder.hh"
+#include "rtl/expr.hh"
+
+namespace predvfs {
+namespace accel {
+
+using rtl::CounterDir;
+using rtl::Design;
+using rtl::Expr;
+using rtl::fld;
+using rtl::lit;
+
+DjpegFields
+djpegFields(const rtl::Design &design)
+{
+    DjpegFields f;
+    f.acCoeffs = design.fieldIndex("ac_coeffs");
+    f.runPattern = design.fieldIndex("run_pattern");
+    f.chromaSub = design.fieldIndex("chroma_sub");
+    return f;
+}
+
+Accelerator
+makeJpegDecoder()
+{
+    Design d("djpeg");
+
+    const auto ac = d.addField("ac_coeffs");
+    const auto run = d.addField("run_pattern");
+    const auto chroma = d.addField("chroma_sub");
+
+    const auto vld_dp = d.addBlock("vld_dp", 1500.0, 1.3);
+    const auto idct_dp = d.addBlock("idct_dp", 7500.0, 3.2);
+    const auto color_dp = d.addBlock("upsample_color_dp", 3400.0, 2.4);
+    const auto mcu_sram = d.addBlock("mcu_scratchpad", 2200.0, 0.3, true);
+
+    const auto cnt_idct = d.addCounter(
+        "idct_sched", CounterDir::Down,
+        Expr::add(lit(60),
+                  Expr::add(Expr::mul(fld(ac), lit(2)),
+                            Expr::select(fld(chroma), lit(120), lit(60)))),
+        16);
+    const auto cnt_color = d.addCounter(
+        "color_conv", CounterDir::Up,
+        Expr::select(fld(chroma), lit(208), lit(132)), 16);
+
+    // ---- FSM: variable-length decoder. The HuffDecode state's dwell
+    // depends on the bit patterns (run_pattern) with no counter — the
+    // analysis flags it as an unmodellable variance source. ----------
+    const auto vld = d.addFsm("vld");
+    const auto s_sync = d.addState(
+        vld, essential(fixedState("MarkerSync", 8, vld_dp, 0.6)));
+    // Dwell: table walk plus per-coefficient decode plus a small
+    // pattern-dependent refill jitter. The state has no counter, but
+    // its latency is near-linear in the coefficient count, so the
+    // model absorbs it through the IDCT counter features.
+    const auto vld_latency = Expr::add(
+        lit(14),
+        Expr::add(
+            Expr::div(fld(ac), lit(3)),
+            Expr::mod(Expr::mul(fld(run), Expr::add(fld(ac), lit(3))),
+                      lit(13))));
+    const auto s_decode = d.addState(
+        vld, essential(implicitState("HuffDecode", vld_latency, vld_dp,
+                                     1.5),
+                       {ac, run, chroma}));
+    const auto s_vdone = d.addState(vld, doneState("VldDone"));
+    d.addTransition(vld, s_sync, nullptr, s_decode);
+    d.addTransition(vld, s_decode, nullptr, s_vdone);
+
+    // ---- FSM: inverse DCT, after the VLD. ---------------------------
+    const auto idct = d.addFsm("idct", vld);
+    const auto s_icheck = d.addState(idct, fixedState("CoeffCheck", 2));
+    const auto s_itrans = d.addState(
+        idct, waitState("InverseDct", cnt_idct, idct_dp, 3.8));
+    // Coefficient-pattern-dependent raster stall: the FSM waits here
+    // a data-dependent number of cycles with NO counter exposing it —
+    // the unmodellable variance source the paper blames for djpeg's
+    // wider prediction-error box (Figure 10). Quadratic in ac, so it
+    // does not average out across a job the way random jitter would.
+    const auto s_stall = d.addState(
+        idct,
+        implicitState("RasterStall",
+                      Expr::add(lit(6),
+                                Expr::div(Expr::mul(fld(ac), fld(ac)),
+                                          lit(80))),
+                      idct_dp, 0.8));
+    const auto s_dcfill = d.addState(
+        idct, fixedState("DcFill", 24, idct_dp, 1.2));
+    const auto s_idone = d.addState(idct, doneState("IdctDone"));
+    d.addTransition(idct, s_icheck, Expr::gt(fld(ac), lit(0)), s_itrans);
+    d.addTransition(idct, s_icheck, nullptr, s_dcfill);
+    d.addTransition(idct, s_itrans, nullptr, s_stall);
+    d.addTransition(idct, s_stall, nullptr, s_idone);
+    d.addTransition(idct, s_dcfill, nullptr, s_idone);
+
+    // ---- FSM: upsampling and colour conversion, after the IDCT. ----
+    const auto color = d.addFsm("color", vld);
+    const auto s_up = d.addState(
+        color, waitState("UpsampleConvert", cnt_color, color_dp, 2.6));
+    const auto s_store = d.addState(
+        color, fixedState("StorePixels", 18, mcu_sram, 0.8));
+    const auto s_cdone = d.addState(color, doneState("ColorDone"));
+    d.addTransition(color, s_up, nullptr, s_store);
+    d.addTransition(color, s_store, nullptr, s_cdone);
+
+    d.setPerJobOverheadCycles(3100);
+    d.setControlEnergyPerCycle(1.0);
+    d.validate();
+
+    power::EnergyParams energy;
+    energy.joulesPerUnit = 1.3e-11;
+    energy.leakageWattsNominal = 28.16e-3;
+
+    return Accelerator(std::move(d), 250e6, 394635.0, energy,
+                       "JPEG decoder", "Decode one image");
+}
+
+} // namespace accel
+} // namespace predvfs

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * JPEG decoder benchmark (OpenCores djpeg). One job decodes one image;
+ * one work item is one MCU.
+ *
+ * The variable-length decoder's FSM dwells in its decode state for a
+ * bit-pattern-dependent number of cycles that no counter tracks — the
+ * paper singles this design out for exactly that reason (its
+ * prediction error in Figure 10 is visibly wider than the others').
+ */
+
+#ifndef PREDVFS_ACCEL_DJPEG_HH
+#define PREDVFS_ACCEL_DJPEG_HH
+
+#include "accel/accelerator.hh"
+
+namespace predvfs {
+namespace accel {
+
+/** Work-item field layout of the JPEG decoder. */
+struct DjpegFields
+{
+    rtl::FieldId acCoeffs;    //!< Non-zero AC coefficients in the MCU.
+    rtl::FieldId runPattern;  //!< Hash of the run-length structure;
+                              //!< drives un-counted VLD stalls.
+    rtl::FieldId chromaSub;   //!< 1 if chroma is subsampled.
+};
+
+/** @return the field layout for a built djpeg design. */
+DjpegFields djpegFields(const rtl::Design &design);
+
+/** Build the JPEG decoder benchmark accelerator. */
+Accelerator makeJpegDecoder();
+
+} // namespace accel
+} // namespace predvfs
+
+#endif // PREDVFS_ACCEL_DJPEG_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The H.264/AVC baseline decoder benchmark (paper Section 3.7 case
+ * study; RTL after Xu & Choy). One job decodes one frame; one work
+ * item is one macroblock.
+ */
+
+#ifndef PREDVFS_ACCEL_H264_HH
+#define PREDVFS_ACCEL_H264_HH
+
+#include "accel/accelerator.hh"
+
+namespace predvfs {
+namespace accel {
+
+/**
+ * Work-item field layout of the H.264 decoder.
+ *
+ * Generators write these; the design's guards and counter ranges read
+ * them. Field semantics follow the real decoder's per-macroblock
+ * syntax elements.
+ */
+struct H264Fields
+{
+    rtl::FieldId mbType;        //!< 0 I16x16, 1 I4x4, 2 P16x16,
+                                //!< 3 P8x8, 4 P_SKIP.
+    rtl::FieldId coeffCount;    //!< Non-zero transform coefficients.
+    rtl::FieldId cbpBlocks;     //!< Coded 8x8 blocks (0..24).
+    rtl::FieldId mvFrac;        //!< 0 full-, 1 half-, 2 quarter-pel.
+    rtl::FieldId refParts;      //!< Motion partitions (1, 2 or 4).
+    rtl::FieldId deblockEdges;  //!< Edges the loop filter touches.
+};
+
+/** @return the field layout for a built H.264 design. */
+H264Fields h264Fields(const rtl::Design &design);
+
+/** Build the H.264 decoder benchmark accelerator. */
+Accelerator makeH264Decoder();
+
+} // namespace accel
+} // namespace predvfs
+
+#endif // PREDVFS_ACCEL_H264_HH

@@ -1,0 +1,84 @@
+#include "accel/md.hh"
+
+#include "accel/builder.hh"
+#include "rtl/expr.hh"
+
+namespace predvfs {
+namespace accel {
+
+using rtl::CounterDir;
+using rtl::Design;
+using rtl::Expr;
+using rtl::fld;
+using rtl::lit;
+
+MdFields
+mdFields(const rtl::Design &design)
+{
+    MdFields f;
+    f.neighbors = design.fieldIndex("neighbors");
+    return f;
+}
+
+Accelerator
+makeMdAccelerator()
+{
+    Design d("md");
+
+    const auto neighbors = d.addField("neighbors");
+
+    const auto force_dp = d.addBlock("lj_force_dp", 2100.0, 4.0);
+    const auto pos_sram = d.addBlock("position_scratchpad", 700.0, 0.4, true);
+
+    // Neighbour-list DMA preload and the force inner loop both scale
+    // with the neighbour count.
+    const auto cnt_fetch = d.addCounter(
+        "nlist_fetch", CounterDir::Down,
+        Expr::add(lit(20), Expr::mul(fld(neighbors), lit(14))), 16);
+    const auto cnt_force = d.addCounter(
+        "force_loop", CounterDir::Up,
+        Expr::add(lit(44), Expr::mul(fld(neighbors), lit(157))), 20);
+
+    // ---- FSM: neighbour-list walker (essential: it discovers the
+    // neighbour count the force loop depends on). --------------------
+    const auto nlist = d.addFsm("nlist");
+    const auto s_fetch = d.addState(
+        nlist,
+        essential(waitState("FetchNeighbors", cnt_fetch, pos_sram, 1.1),
+                  {neighbors}));
+    const auto s_ndone = d.addState(nlist, doneState("NlistDone"));
+    d.addTransition(nlist, s_fetch, nullptr, s_ndone);
+
+    // ---- FSM: force computation. ------------------------------------
+    const auto force = d.addFsm("force", nlist);
+    const auto s_check = d.addState(force, fixedState("PairCheck", 2));
+    const auto s_loop = d.addState(
+        force, waitState("ForceLoop", cnt_force, force_dp, 4.6));
+    const auto s_fdone = d.addState(force, doneState("ForceDone"));
+    d.addTransition(force, s_check, Expr::gt(fld(neighbors), lit(0)),
+                    s_loop);
+    d.addTransition(force, s_check, nullptr, s_fdone);
+    d.addTransition(force, s_loop, nullptr, s_fdone);
+
+    // ---- FSM: position integrator. ----------------------------------
+    const auto integ = d.addFsm("integrate", force);
+    const auto s_upd = d.addState(
+        integ, fixedState("VerletUpdate", 52, force_dp, 2.2));
+    const auto s_idone = d.addState(integ, doneState("IntegrateDone"));
+    d.addTransition(integ, s_upd, nullptr, s_idone);
+
+    d.setPerJobOverheadCycles(1800);
+    d.setControlEnergyPerCycle(1.0);
+    d.validate();
+
+    power::EnergyParams energy;
+    energy.joulesPerUnit = 0.9e-11;
+    energy.leakageWattsNominal = 4.22e-3;
+
+    return Accelerator(std::move(d), 455e6, 31791.0, energy,
+                       "Molecules/physics simulation",
+                       "Simulate one timestep");
+}
+
+} // namespace accel
+} // namespace predvfs

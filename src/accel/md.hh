@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Molecular-dynamics benchmark (MachSuite md/knn). One job simulates
+ * one timestep; one work item is one particle.
+ */
+
+#ifndef PREDVFS_ACCEL_MD_HH
+#define PREDVFS_ACCEL_MD_HH
+
+#include "accel/accelerator.hh"
+
+namespace predvfs {
+namespace accel {
+
+/** Work-item field layout of the MD accelerator. */
+struct MdFields
+{
+    rtl::FieldId neighbors;  //!< Particles within the cutoff radius.
+};
+
+/** @return the field layout for a built md design. */
+MdFields mdFields(const rtl::Design &design);
+
+/** Build the molecular-dynamics benchmark accelerator. */
+Accelerator makeMdAccelerator();
+
+} // namespace accel
+} // namespace predvfs
+
+#endif // PREDVFS_ACCEL_MD_HH

@@ -1,0 +1,55 @@
+#include "accel/registry.hh"
+
+#include "accel/aes.hh"
+#include "accel/cjpeg.hh"
+#include "accel/djpeg.hh"
+#include "accel/h264.hh"
+#include "accel/md.hh"
+#include "accel/sha.hh"
+#include "accel/stencil.hh"
+#include "util/logging.hh"
+
+namespace predvfs {
+namespace accel {
+
+const std::vector<std::string> &
+benchmarkNames()
+{
+    static const std::vector<std::string> names = {
+        "h264", "cjpeg", "djpeg", "md", "stencil", "aes", "sha",
+    };
+    return names;
+}
+
+std::shared_ptr<const Accelerator>
+makeAccelerator(const std::string &name)
+{
+    if (name == "h264")
+        return std::make_shared<const Accelerator>(makeH264Decoder());
+    if (name == "cjpeg")
+        return std::make_shared<const Accelerator>(makeJpegEncoder());
+    if (name == "djpeg")
+        return std::make_shared<const Accelerator>(makeJpegDecoder());
+    if (name == "md")
+        return std::make_shared<const Accelerator>(makeMdAccelerator());
+    if (name == "stencil")
+        return std::make_shared<const Accelerator>(
+            makeStencilAccelerator());
+    if (name == "aes")
+        return std::make_shared<const Accelerator>(makeAesAccelerator());
+    if (name == "sha")
+        return std::make_shared<const Accelerator>(makeShaAccelerator());
+    util::fatal("unknown benchmark accelerator '", name, "'");
+}
+
+std::vector<std::shared_ptr<const Accelerator>>
+makeAllAccelerators()
+{
+    std::vector<std::shared_ptr<const Accelerator>> all;
+    for (const auto &name : benchmarkNames())
+        all.push_back(makeAccelerator(name));
+    return all;
+}
+
+} // namespace accel
+} // namespace predvfs

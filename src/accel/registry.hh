@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Registry of the paper's seven benchmark accelerators (Table 3).
+ */
+
+#ifndef PREDVFS_ACCEL_REGISTRY_HH
+#define PREDVFS_ACCEL_REGISTRY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "accel/accelerator.hh"
+
+namespace predvfs {
+namespace accel {
+
+/** @return the benchmark names in the paper's order. */
+const std::vector<std::string> &benchmarkNames();
+
+/**
+ * Construct one benchmark accelerator by name.
+ *
+ * @param name One of benchmarkNames(); fatal() on anything else.
+ */
+std::shared_ptr<const Accelerator> makeAccelerator(
+    const std::string &name);
+
+/** Construct the whole suite, in paper order. */
+std::vector<std::shared_ptr<const Accelerator>> makeAllAccelerators();
+
+} // namespace accel
+} // namespace predvfs
+
+#endif // PREDVFS_ACCEL_REGISTRY_HH

@@ -1,0 +1,82 @@
+#include "accel/sha.hh"
+
+#include "accel/builder.hh"
+#include "rtl/expr.hh"
+
+namespace predvfs {
+namespace accel {
+
+using rtl::CounterDir;
+using rtl::Design;
+using rtl::Expr;
+using rtl::fld;
+using rtl::lit;
+
+ShaFields
+shaFields(const rtl::Design &design)
+{
+    ShaFields f;
+    f.chunks = design.fieldIndex("chunks");
+    f.lastSeg = design.fieldIndex("last_seg");
+    return f;
+}
+
+Accelerator
+makeShaAccelerator()
+{
+    Design d("sha");
+
+    const auto chunks = d.addField("chunks");
+    const auto last = d.addField("last_seg");
+
+    const auto round_dp = d.addBlock("compress_dp", 1500.0, 2.8);
+    const auto w_sram = d.addBlock("schedule_buffer", 520.0, 0.5, true);
+
+    const auto cnt_sched = d.addCounter(
+        "msg_schedule", CounterDir::Down,
+        Expr::add(lit(12), Expr::mul(fld(chunks), lit(16))), 16);
+    // 64 compression rounds per chunk; the final segment pays an
+    // extra padded chunk.
+    const auto cnt_compress = d.addCounter(
+        "compress_rounds", CounterDir::Up,
+        Expr::add(Expr::mul(fld(chunks), lit(64)),
+                  Expr::select(fld(last), lit(72), lit(0))),
+        20);
+
+    // ---- FSM: message scheduler. The segment length comes from a
+    // cheap header read; W expansion itself is sliced away. -----------
+    const auto sched = d.addFsm("scheduler");
+    const auto s_len = d.addState(
+        sched,
+        essential(fixedState("ReadLength", 4, w_sram, 0.4),
+                  {chunks, last}));
+    const auto s_exp = d.addState(
+        sched, waitState("ExpandW", cnt_sched, w_sram, 1.0));
+    const auto s_sdone = d.addState(sched, doneState("SchedDone"));
+    d.addTransition(sched, s_len, nullptr, s_exp);
+    d.addTransition(sched, s_exp, nullptr, s_sdone);
+
+    // ---- FSM: compression core. --------------------------------------
+    const auto comp = d.addFsm("compressor", sched);
+    const auto s_rounds = d.addState(
+        comp, waitState("CompressRounds", cnt_compress, round_dp, 3.2));
+    const auto s_digest = d.addState(
+        comp, fixedState("DigestUpdate", 10, round_dp, 1.4));
+    const auto s_cdone = d.addState(comp, doneState("CompressDone"));
+    d.addTransition(comp, s_rounds, nullptr, s_digest);
+    d.addTransition(comp, s_digest, nullptr, s_cdone);
+
+    d.setPerJobOverheadCycles(1100);
+    d.setControlEnergyPerCycle(1.0);
+    d.validate();
+
+    power::EnergyParams energy;
+    energy.joulesPerUnit = 0.85e-11;
+    energy.leakageWattsNominal = 2.82e-3;
+
+    return Accelerator(std::move(d), 500e6, 19740.0, energy,
+                       "Secure Hash Function", "Hash a piece of data");
+}
+
+} // namespace accel
+} // namespace predvfs

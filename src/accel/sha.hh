@@ -1,0 +1,31 @@
+/**
+ * @file
+ * SHA-256 benchmark (OpenCores sha_core). One job hashes one piece of
+ * data; one work item is one 4 KiB segment (64 message chunks).
+ */
+
+#ifndef PREDVFS_ACCEL_SHA_HH
+#define PREDVFS_ACCEL_SHA_HH
+
+#include "accel/accelerator.hh"
+
+namespace predvfs {
+namespace accel {
+
+/** Work-item field layout of the SHA accelerator. */
+struct ShaFields
+{
+    rtl::FieldId chunks;   //!< 512-bit message chunks (1..64).
+    rtl::FieldId lastSeg;  //!< 1 on the final segment (padding pass).
+};
+
+/** @return the field layout for a built sha design. */
+ShaFields shaFields(const rtl::Design &design);
+
+/** Build the SHA benchmark accelerator. */
+Accelerator makeShaAccelerator();
+
+} // namespace accel
+} // namespace predvfs
+
+#endif // PREDVFS_ACCEL_SHA_HH

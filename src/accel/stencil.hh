@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Stencil image-filtering benchmark (MachSuite stencil). One job
+ * filters one image; one work item is one image row.
+ */
+
+#ifndef PREDVFS_ACCEL_STENCIL_HH
+#define PREDVFS_ACCEL_STENCIL_HH
+
+#include "accel/accelerator.hh"
+
+namespace predvfs {
+namespace accel {
+
+/** Work-item field layout of the stencil accelerator. */
+struct StencilFields
+{
+    rtl::FieldId width;     //!< Pixels in the row.
+    rtl::FieldId boundary;  //!< 1 for top/bottom rows (edge handling).
+};
+
+/** @return the field layout for a built stencil design. */
+StencilFields stencilFields(const rtl::Design &design);
+
+/** Build the stencil filtering benchmark accelerator. */
+Accelerator makeStencilAccelerator();
+
+} // namespace accel
+} // namespace predvfs
+
+#endif // PREDVFS_ACCEL_STENCIL_HH

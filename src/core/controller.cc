@@ -1,0 +1,37 @@
+#include "core/controller.hh"
+
+namespace predvfs {
+namespace core {
+
+void
+DvfsController::observe(const PreparedJob &job, double nominal_seconds)
+{
+    (void)job;
+    (void)nominal_seconds;
+}
+
+void
+DvfsController::reset()
+{
+}
+
+ConstantController::ConstantController(std::size_t level)
+    : fixedLevel(level)
+{
+}
+
+Decision
+ConstantController::decide(const PreparedJob &job,
+                           std::size_t current_level,
+                           double budget_seconds)
+{
+    (void)job;
+    (void)current_level;
+    (void)budget_seconds;
+    Decision d;
+    d.level = fixedLevel;
+    return d;
+}
+
+} // namespace core
+} // namespace predvfs

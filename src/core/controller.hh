@@ -1,0 +1,120 @@
+/**
+ * @file
+ * DVFS controller interface and the constant-frequency baseline.
+ *
+ * Controllers decide one DVFS level per job. They see a PreparedJob —
+ * the per-job quantities the simulation pipeline precomputes once
+ * (actual cycles from RTL simulation, slice results if a predictor
+ * exists) — but each scheme is only entitled to part of it:
+ *
+ *  - baseline uses nothing;
+ *  - pid uses only past observations (observe());
+ *  - table uses the job's coarse size parameter;
+ *  - prediction uses the slice output (sliceCycles, predictedCycles);
+ *  - oracle uses the actual cycle count (it is the upper-bound scheme).
+ */
+
+#ifndef PREDVFS_CORE_CONTROLLER_HH
+#define PREDVFS_CORE_CONTROLLER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/dvfs_model.hh"
+#include "rtl/design.hh"
+
+namespace predvfs {
+namespace core {
+
+/** Everything the pipeline precomputes about one job. */
+struct PreparedJob
+{
+    const rtl::JobInput *input = nullptr;
+    std::uint64_t cycles = 0;        //!< Full design at nominal clock.
+    double energyUnits = 0.0;        //!< Full design activity.
+    std::uint64_t sliceCycles = 0;   //!< 0 when no predictor is used.
+    double sliceEnergyUnits = 0.0;
+    double predictedCycles = 0.0;    //!< Slice-predicted full cycles.
+};
+
+/** A controller's decision for one job. */
+struct Decision
+{
+    std::size_t level = 0;
+
+    /** Predictor execution time charged before the job runs. */
+    double overheadSeconds = 0.0;
+
+    /** Predictor energy (activity units at nominal voltage). */
+    double overheadEnergyUnits = 0.0;
+
+    /**
+     * Predictor energy already expressed in joules (e.g. a software
+     * predictor running on a CPU core); added on top of the unit-based
+     * overhead above.
+     */
+    double overheadEnergyJoules = 0.0;
+
+    /** Whether a level change should pay the DVFS switch penalty. */
+    bool chargeSwitch = true;
+
+    /** The controller's execution-time estimate at nominal frequency
+     *  (for prediction-trace figures); 0 if the scheme has none. */
+    double predictedNominalSeconds = 0.0;
+};
+
+/** Abstract per-job DVFS policy. */
+class DvfsController
+{
+  public:
+    virtual ~DvfsController() = default;
+
+    /** Scheme name as used in the paper's figures. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Pick the level for the next job.
+     *
+     * @param job            The prepared job about to run.
+     * @param current_level  Level the accelerator currently runs at.
+     * @param budget_seconds Time remaining until this job's deadline.
+     *        Usually the full period; less when the previous job ran
+     *        past its own deadline (jobs are periodic, Figure 1).
+     */
+    virtual Decision decide(const PreparedJob &job,
+                            std::size_t current_level,
+                            double budget_seconds) = 0;
+
+    /**
+     * Feed back the job's actual execution time at nominal frequency
+     * (what a cycle counter would report, rescaled to the nominal
+     * clock). Reactive schemes learn from this.
+     */
+    virtual void observe(const PreparedJob &job, double nominal_seconds);
+
+    /** Forget history (start of a new stream). */
+    virtual void reset();
+};
+
+/**
+ * The paper's baseline: constant voltage and frequency (the level the
+ * accelerator was synthesised at), no decisions at all.
+ */
+class ConstantController : public DvfsController
+{
+  public:
+    /** @param level Level to hold; usually the nominal index. */
+    explicit ConstantController(std::size_t level);
+
+    std::string name() const override { return "baseline"; }
+    Decision decide(const PreparedJob &job, std::size_t current_level,
+                    double budget_seconds) override;
+
+  private:
+    std::size_t fixedLevel;
+};
+
+} // namespace core
+} // namespace predvfs
+
+#endif // PREDVFS_CORE_CONTROLLER_HH

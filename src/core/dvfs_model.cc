@@ -1,0 +1,68 @@
+#include "core/dvfs_model.hh"
+
+#include "util/logging.hh"
+
+namespace predvfs {
+namespace core {
+
+using util::panicIf;
+
+DvfsModel::DvfsModel(const power::OperatingPointTable &table,
+                     double f_nominal_hz, const DvfsModelConfig &config)
+    : opTable(table), fNominal(f_nominal_hz), modelConfig(config)
+{
+    panicIf(fNominal <= 0.0, "DvfsModel: bad nominal frequency");
+    panicIf(config.deadlineSeconds <= 0.0, "DvfsModel: bad deadline");
+    panicIf(config.marginFraction < 0.0, "DvfsModel: negative margin");
+}
+
+DvfsModel::Choice
+DvfsModel::chooseLevel(double predicted_nominal_seconds,
+                       double slice_seconds, std::size_t current_level,
+                       double budget_seconds) const
+{
+    panicIf(current_level >= opTable.size(),
+            "chooseLevel: bad current level ", current_level);
+    const double budget = budget_seconds > 0.0
+        ? budget_seconds
+        : modelConfig.deadlineSeconds;
+
+    const double padded = predicted_nominal_seconds *
+        (1.0 + modelConfig.marginFraction);
+    const double slice =
+        modelConfig.ignoreOverheads ? 0.0 : slice_seconds;
+    const double switch_cost =
+        modelConfig.ignoreOverheads ? 0.0
+                                    : modelConfig.switchTimeSeconds;
+
+    // Walk levels from slowest to fastest; the first level whose total
+    // time fits the budget implements the paper's "round up to the
+    // nearest frequency level" with overheads deducted from the
+    // budget. Staying at the current level avoids the switch penalty,
+    // which the walk naturally accounts for per candidate.
+    for (std::size_t level = 0; level < opTable.size(); ++level) {
+        const auto &op = opTable[level];
+        if (op.boost && !modelConfig.allowBoost)
+            continue;
+        const double exec =
+            padded * fNominal / op.frequencyHz;
+        const double total = slice +
+            (level == current_level ? 0.0 : switch_cost) + exec;
+        if (total <= budget) {
+            // Prefer boost only when no regular level works.
+            if (op.boost) {
+                return {level, true, level != current_level};
+            }
+            return {level, true, level != current_level};
+        }
+    }
+
+    // Nothing fits: run as fast as permitted and accept the miss.
+    std::size_t fastest = opTable.nominalIndex();
+    if (modelConfig.allowBoost && opTable.hasBoost())
+        fastest = opTable.size() - 1;
+    return {fastest, false, fastest != current_level};
+}
+
+} // namespace core
+} // namespace predvfs

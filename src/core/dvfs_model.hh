@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The DVFS model (paper Section 3.6): converts a predicted execution
+ * time at nominal frequency into the lowest discrete DVFS level that
+ * meets the job's deadline, accounting for the prediction margin, the
+ * slice execution time, and the voltage/frequency switching time:
+ *
+ *   f = ceil_to_level( f0 * (T0 + Tmargin)
+ *                      / (Tbudget - Tslice - Tdvfs) )
+ *
+ * Because execution time is compute-dominated (T = C / f; the paper
+ * argues Tmemory is negligible for accelerators with DMA-managed
+ * scratchpads), scaling from T0 at f0 to any level is exact.
+ */
+
+#ifndef PREDVFS_CORE_DVFS_MODEL_HH
+#define PREDVFS_CORE_DVFS_MODEL_HH
+
+#include <cstddef>
+
+#include "power/operating_points.hh"
+
+namespace predvfs {
+namespace core {
+
+/** Deadline and overhead parameters of the DVFS decision. */
+struct DvfsModelConfig
+{
+    /** Job time budget; 16.7 ms = one 60 fps frame (paper 4.2). */
+    double deadlineSeconds = 1.0 / 60.0;
+
+    /** Safety margin added to the predicted time (fractional). */
+    double marginFraction = 0.05;
+
+    /** Voltage/frequency switch settling time (paper: 100 us). */
+    double switchTimeSeconds = 100e-6;
+
+    /** May the boost level be used when nominal cannot make it? */
+    bool allowBoost = false;
+
+    /** Figure 13 variant: pretend slice and switch cost nothing. */
+    bool ignoreOverheads = false;
+};
+
+/** Level chooser shared by every DVFS controller. */
+class DvfsModel
+{
+  public:
+    /** Outcome of a level decision. */
+    struct Choice
+    {
+        std::size_t level = 0;
+        bool feasible = false;   //!< Deadline met at this level?
+        bool switched = false;   //!< Level differs from the current one.
+    };
+
+    /**
+     * @param table         Operating points of this accelerator.
+     * @param f_nominal_hz  Frequency the prediction was made at.
+     * @param config        Deadline/overhead parameters.
+     */
+    DvfsModel(const power::OperatingPointTable &table,
+              double f_nominal_hz, const DvfsModelConfig &config);
+
+    /**
+     * Choose the lowest level that meets the deadline.
+     *
+     * @param predicted_nominal_seconds Predicted execution time at the
+     *        nominal frequency (T0).
+     * @param slice_seconds Time already spent (or to be spent) running
+     *        the predictor for this job; 0 for schemes without one.
+     * @param current_level The level the accelerator is at, so the
+     *        switch penalty is only charged when the level changes.
+     * @param budget_seconds Remaining time budget for this job; pass
+     *        a non-positive value to use the configured deadline. A
+     *        late-running predecessor (missed deadline) shrinks the
+     *        successor's budget — jobs are periodic (paper Figure 1).
+     */
+    Choice chooseLevel(double predicted_nominal_seconds,
+                       double slice_seconds, std::size_t current_level,
+                       double budget_seconds = 0.0) const;
+
+    const DvfsModelConfig &config() const { return modelConfig; }
+    const power::OperatingPointTable &table() const { return opTable; }
+    double nominalFrequencyHz() const { return fNominal; }
+
+  private:
+    const power::OperatingPointTable &opTable;
+    double fNominal;
+    DvfsModelConfig modelConfig;
+};
+
+} // namespace core
+} // namespace predvfs
+
+#endif // PREDVFS_CORE_DVFS_MODEL_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Feature-dataset collection: the "RTL simulation of training jobs"
+ * stage of the paper's offline flow (Figure 6). Runs the instrumented
+ * accelerator over a job set and tabulates, per job, the feature
+ * readouts and the execution time.
+ */
+
+#ifndef PREDVFS_CORE_FEATURES_HH
+#define PREDVFS_CORE_FEATURES_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "opt/matrix.hh"
+#include "rtl/analysis.hh"
+#include "rtl/design.hh"
+
+namespace predvfs {
+namespace core {
+
+/** Per-job profiling results over a feature list. */
+struct FeatureDataset
+{
+    opt::Matrix x;                      //!< Rows = jobs, cols = features.
+    opt::Vector y;                      //!< Execution cycles per job.
+    std::vector<std::uint64_t> cycles;  //!< Same as y, integral.
+    std::vector<double> energyUnits;    //!< Activity units per job.
+};
+
+/**
+ * Simulate @p jobs on @p design recording @p features.
+ *
+ * @param design   Validated design (full accelerator or a slice).
+ * @param features Features to record.
+ * @param jobs     Jobs to profile.
+ */
+FeatureDataset collectDataset(const rtl::Design &design,
+                              const std::vector<rtl::FeatureSpec> &features,
+                              const std::vector<rtl::JobInput> &jobs);
+
+} // namespace core
+} // namespace predvfs
+
+#endif // PREDVFS_CORE_FEATURES_HH

@@ -1,0 +1,247 @@
+#include "core/flow.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/features.hh"
+#include "opt/standardize.hh"
+#include "rtl/analysis.hh"
+#include "util/logging.hh"
+#include "util/statistics.hh"
+
+namespace predvfs {
+namespace core {
+
+using util::panicIf;
+
+namespace {
+
+/** Deterministic train/validation split: every k-th job validates. */
+void
+splitDataset(const FeatureDataset &ds, double val_fraction,
+             opt::Matrix &x_train, opt::Vector &y_train,
+             opt::Matrix &x_val, opt::Vector &y_val)
+{
+    const std::size_t n = ds.x.rows();
+    const std::size_t p = ds.x.cols();
+    const std::size_t stride = val_fraction > 0.0
+        ? std::max<std::size_t>(
+              2, static_cast<std::size_t>(std::llround(
+                     1.0 / val_fraction)))
+        : n + 1;
+
+    std::vector<std::size_t> train_rows;
+    std::vector<std::size_t> val_rows;
+    for (std::size_t i = 0; i < n; ++i) {
+        if ((i % stride) == stride - 1)
+            val_rows.push_back(i);
+        else
+            train_rows.push_back(i);
+    }
+    if (val_rows.empty()) {  // Tiny training sets: validate on train.
+        val_rows = train_rows;
+    }
+
+    x_train = opt::Matrix(train_rows.size(), p);
+    y_train = opt::Vector(train_rows.size());
+    for (std::size_t i = 0; i < train_rows.size(); ++i) {
+        for (std::size_t c = 0; c < p; ++c)
+            x_train.at(i, c) = ds.x.at(train_rows[i], c);
+        y_train[i] = ds.y[train_rows[i]];
+    }
+    x_val = opt::Matrix(val_rows.size(), p);
+    y_val = opt::Vector(val_rows.size());
+    for (std::size_t i = 0; i < val_rows.size(); ++i) {
+        for (std::size_t c = 0; c < p; ++c)
+            x_val.at(i, c) = ds.x.at(val_rows[i], c);
+        y_val[i] = ds.y[val_rows[i]];
+    }
+}
+
+/** Validation loss: the same asymmetric quadratic the fit minimises. */
+double
+validationLoss(const opt::Matrix &x, const opt::Vector &y,
+               const opt::FitResult &fit, double alpha)
+{
+    double loss = 0.0;
+    const opt::Vector pred = x.multiply(fit.beta);
+    for (std::size_t i = 0; i < y.size(); ++i) {
+        const double r = pred[i] + fit.intercept - y[i];
+        loss += (r > 0.0 ? 1.0 : alpha) * r * r;
+    }
+    return loss / static_cast<double>(y.size());
+}
+
+/** Keep only the columns in @p keep. */
+opt::Matrix
+selectColumns(const opt::Matrix &x, const std::vector<std::size_t> &keep)
+{
+    opt::Matrix out(x.rows(), keep.size());
+    for (std::size_t r = 0; r < x.rows(); ++r)
+        for (std::size_t c = 0; c < keep.size(); ++c)
+            out.at(r, c) = x.at(r, keep[c]);
+    return out;
+}
+
+} // namespace
+
+FlowResult
+buildPredictor(const rtl::Design &design,
+               const std::vector<rtl::JobInput> &train_jobs,
+               const FlowConfig &config)
+{
+    panicIf(train_jobs.empty(), "buildPredictor: no training jobs");
+    panicIf(config.alpha <= 1.0,
+            "buildPredictor: alpha must exceed 1 for conservative fits");
+
+    FlowResult result;
+
+    // --- 1. Static analysis: discover the feature set. --------------
+    rtl::AnalysisReport analysis = rtl::analyze(design);
+    if (config.featureFilter) {
+        std::vector<rtl::FeatureSpec> kept_specs;
+        for (auto &spec : analysis.features)
+            if (config.featureFilter(spec))
+                kept_specs.push_back(std::move(spec));
+        analysis.features = std::move(kept_specs);
+    }
+    result.report.featuresDetected = analysis.numFeatures();
+    result.report.implicitStates = analysis.implicitStates.size();
+    panicIf(analysis.features.empty(),
+            "design '", design.name(), "' exposes no features");
+
+    // --- 2. Profile the instrumented design on the training set. ----
+    const FeatureDataset ds =
+        collectDataset(design, analysis.features, train_jobs);
+
+    opt::Matrix x_train_raw, x_val_raw;
+    opt::Vector y_train, y_val;
+    splitDataset(ds, config.validationFraction, x_train_raw, y_train,
+                 x_val_raw, y_val);
+
+    // Standardise features; scale targets to O(1) so gamma has a
+    // workload-independent meaning.
+    const opt::Standardizer stdizer(x_train_raw);
+    const opt::Matrix x_train = stdizer.transform(x_train_raw);
+    const opt::Matrix x_val = stdizer.transform(x_val_raw);
+
+    double y_scale = 0.0;
+    for (std::size_t i = 0; i < y_train.size(); ++i)
+        y_scale += y_train[i];
+    y_scale /= static_cast<double>(y_train.size());
+    y_scale = std::max(y_scale, 1.0);
+
+    opt::Vector y_train_s(y_train.size());
+    for (std::size_t i = 0; i < y_train.size(); ++i)
+        y_train_s[i] = y_train[i] / y_scale;
+    opt::Vector y_val_s(y_val.size());
+    for (std::size_t i = 0; i < y_val.size(); ++i)
+        y_val_s[i] = y_val[i] / y_scale;
+
+    // --- 3. Sweep gamma; prefer the sparsest accurate model. --------
+    const double n_train = static_cast<double>(x_train.rows());
+    struct Candidate
+    {
+        opt::FitResult fit;
+        double gamma = 0.0;
+        double valLoss = 0.0;
+        std::size_t nnz = 0;
+    };
+    std::vector<Candidate> candidates;
+    for (double g : config.gammaSweep) {
+        opt::LassoConfig lc;
+        lc.alpha = config.alpha;
+        lc.gamma = g * n_train;
+        Candidate cand;
+        cand.fit = opt::AsymmetricLasso::fit(x_train, y_train_s, lc);
+        cand.gamma = lc.gamma;
+        cand.valLoss =
+            validationLoss(x_val, y_val_s, cand.fit, config.alpha);
+        cand.nnz = cand.fit.nonZeroCount(config.coefficientThreshold);
+        candidates.push_back(std::move(cand));
+    }
+
+    double best_loss = candidates.front().valLoss;
+    for (const auto &cand : candidates)
+        best_loss = std::min(best_loss, cand.valLoss);
+
+    const Candidate *chosen = nullptr;
+    const double acceptable_loss =
+        best_loss * (1.0 + config.accuracyTolerance) +
+        config.absoluteLossFloor * config.alpha;
+    for (const auto &cand : candidates) {
+        if (cand.nnz == 0)
+            continue;
+        if (cand.valLoss <= acceptable_loss) {
+            if (!chosen || cand.nnz < chosen->nnz ||
+                (cand.nnz == chosen->nnz &&
+                 cand.valLoss < chosen->valLoss)) {
+                chosen = &cand;
+            }
+        }
+    }
+    panicIf(!chosen, "gamma sweep produced no usable model");
+    result.report.gammaChosen = chosen->gamma;
+
+    // --- 4. Debias: refit the surviving features without shrinkage
+    // (alpha keeps the fit conservative) on the full training set. ---
+    std::vector<std::size_t> keep;
+    for (std::size_t c = 0; c < chosen->fit.beta.size(); ++c)
+        if (std::fabs(chosen->fit.beta[c]) >
+            config.coefficientThreshold)
+            keep.push_back(c);
+    panicIf(keep.empty(), "model kept no features");
+
+    const opt::Matrix x_full_raw_sel = selectColumns(ds.x, keep);
+    const opt::Standardizer stdizer_sel(x_full_raw_sel);
+    const opt::Matrix x_full_sel = stdizer_sel.transform(x_full_raw_sel);
+    opt::Vector y_full_s(ds.y.size());
+    for (std::size_t i = 0; i < ds.y.size(); ++i)
+        y_full_s[i] = ds.y[i] / y_scale;
+
+    opt::LassoConfig refit_cfg;
+    refit_cfg.alpha = config.alpha;
+    refit_cfg.gamma = 0.0;
+    refit_cfg.maxIterations = 8000;
+    const opt::FitResult refit =
+        opt::AsymmetricLasso::fit(x_full_sel, y_full_s, refit_cfg);
+
+    // Fold the standardisation and the y scale back into raw-space
+    // coefficients: the runtime predictor is a plain dot product.
+    opt::Vector beta_raw;
+    double intercept_raw = 0.0;
+    stdizer_sel.unscale(refit.beta, refit.intercept, beta_raw,
+                        intercept_raw);
+    for (std::size_t i = 0; i < beta_raw.size(); ++i)
+        beta_raw[i] *= y_scale;
+    intercept_raw *= y_scale;
+
+    // Training-set error extremes for the report.
+    for (std::size_t r = 0; r < ds.x.rows(); ++r) {
+        double pred = intercept_raw;
+        for (std::size_t c = 0; c < keep.size(); ++c)
+            pred += beta_raw[c] * ds.x.at(r, keep[c]);
+        const double err = (pred - ds.y[r]) / ds.y[r];
+        result.report.trainMaxOverError =
+            std::max(result.report.trainMaxOverError, err);
+        result.report.trainMaxUnderError =
+            std::min(result.report.trainMaxUnderError, err);
+    }
+
+    // --- 5. Slice the hardware down to the selected features. -------
+    std::vector<rtl::FeatureSpec> selected;
+    for (std::size_t c : keep)
+        selected.push_back(analysis.features[c]);
+    result.report.featuresSelected = selected.size();
+    result.report.selectedFeatures = selected;
+
+    rtl::SliceResult slice =
+        rtl::makeSlice(design, selected, config.sliceOptions);
+
+    result.predictor = std::make_shared<const SlicePredictor>(
+        std::move(slice), std::move(beta_raw), intercept_raw);
+    return result;
+}
+
+} // namespace core
+} // namespace predvfs

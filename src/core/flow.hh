@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The offline predictor-generation flow (paper Figure 6, design-time
+ * part):
+ *
+ *   1. static analysis discovers FSMs/counters and enumerates features;
+ *   2. the instrumented design is simulated over the training jobs;
+ *   3. the asymmetric-penalty Lasso model is fitted, sweeping the
+ *      sparsity weight gamma and keeping the sparsest model whose
+ *      validation loss stays within tolerance of the best
+ *      ("empirically determined to reduce the number of non-zero
+ *      coefficients without impacting modeling accuracy too much");
+ *   4. the surviving features are refitted without shrinkage (still
+ *      with the asymmetric penalty, so predictions stay conservative);
+ *   5. the hardware slice computing those features is generated.
+ */
+
+#ifndef PREDVFS_CORE_FLOW_HH
+#define PREDVFS_CORE_FLOW_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/predictor.hh"
+#include "opt/lasso.hh"
+#include "rtl/slicer.hh"
+
+namespace predvfs {
+namespace core {
+
+/** Tunables of the offline flow. */
+struct FlowConfig
+{
+    /** Under-prediction penalty weight (paper: alpha > 1). */
+    double alpha = 8.0;
+
+    /**
+     * Sparsity weights to sweep, as multiples of the training-sample
+     * count (the loss term scales with it).
+     */
+    std::vector<double> gammaSweep = {
+        0.0, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0, 3.0,
+    };
+
+    /**
+     * A sparser model is preferred as long as its validation loss is
+     * within this relative factor of the best model's.
+     */
+    double accuracyTolerance = 0.30;
+
+    /**
+     * Absolute loss allowance on top of the relative tolerance, in
+     * units of the (mean-scaled) asymmetric loss. Near-exact fits
+     * make any relative tolerance moot; this floor lets the sweep
+     * trade a ~1% RMS error for a much sparser model, which is the
+     * paper's "without impacting modeling accuracy too much".
+     */
+    double absoluteLossFloor = 1.5e-4;
+
+    /** Fraction of training jobs held out for gamma selection. */
+    double validationFraction = 0.25;
+
+    /** Coefficient magnitude (standardised space) counted as zero. */
+    double coefficientThreshold = 1e-4;
+
+    /** Slicing mode (RTL vs HLS). */
+    rtl::SliceOptions sliceOptions;
+
+    /**
+     * Optional restriction of the candidate feature set (ablations:
+     * e.g. train on state-transition counts only). Null keeps every
+     * feature the analysis discovers.
+     */
+    std::function<bool(const rtl::FeatureSpec &)> featureFilter;
+};
+
+/** What the flow learned; feeds the case-study and overhead benches. */
+struct FlowReport
+{
+    std::size_t featuresDetected = 0;   //!< After static analysis.
+    std::size_t featuresSelected = 0;   //!< Non-zero after Lasso.
+    std::size_t implicitStates = 0;     //!< Unmodellable states found.
+    double gammaChosen = 0.0;
+
+    /** Training-set relative error extremes (fraction, signed). */
+    double trainMaxOverError = 0.0;     //!< Most positive error.
+    double trainMaxUnderError = 0.0;    //!< Most negative error.
+
+    std::vector<rtl::FeatureSpec> selectedFeatures;
+};
+
+/** Result of the offline flow. */
+struct FlowResult
+{
+    std::shared_ptr<const SlicePredictor> predictor;
+    FlowReport report;
+};
+
+/**
+ * Run the full offline flow for one accelerator design.
+ *
+ * @param design     Validated accelerator design.
+ * @param train_jobs Training workload (paper Table 3 train column).
+ * @param config     Flow tunables.
+ */
+FlowResult buildPredictor(const rtl::Design &design,
+                          const std::vector<rtl::JobInput> &train_jobs,
+                          const FlowConfig &config = {});
+
+} // namespace core
+} // namespace predvfs
+
+#endif // PREDVFS_CORE_FLOW_HH

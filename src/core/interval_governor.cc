@@ -1,0 +1,80 @@
+#include "core/interval_governor.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace predvfs {
+namespace core {
+
+IntervalGovernorController::IntervalGovernorController(
+    const power::OperatingPointTable &table, double f_nominal_hz,
+    double interval_seconds, IntervalGovernorConfig config)
+    : table(table),
+      fNominal(f_nominal_hz),
+      intervalSeconds(interval_seconds),
+      config(config),
+      targetLevel(table.nominalIndex()),
+      lastLevel(table.nominalIndex())
+{
+    util::panicIf(interval_seconds <= 0.0,
+                  "IntervalGovernor: bad interval");
+}
+
+Decision
+IntervalGovernorController::decide(const PreparedJob &job,
+                                   std::size_t current_level,
+                                   double budget_seconds)
+{
+    (void)job;
+    (void)current_level;
+    (void)budget_seconds;
+    Decision d;
+    d.level = targetLevel;
+    lastLevel = targetLevel;
+    return d;
+}
+
+void
+IntervalGovernorController::observe(const PreparedJob &job,
+                                    double nominal_seconds)
+{
+    (void)job;
+    // Utilisation of the past interval at the frequency we ran at.
+    const double busy = nominal_seconds * fNominal /
+        table[lastLevel].frequencyHz;
+    const double util = std::min(1.0, busy / intervalSeconds);
+
+    if (util > config.upThreshold) {
+        // simple_ondemand: saturate to the maximum non-boost level.
+        targetLevel = table.nominalIndex();
+        return;
+    }
+
+    // Re-target so the next interval's utilisation would sit at
+    // (upThreshold - downDifferential) if the load repeats.
+    const double wanted_ratio =
+        util / (config.upThreshold - config.downDifferential);
+    const double f_required =
+        table[lastLevel].frequencyHz * wanted_ratio;
+
+    std::size_t level = 0;
+    for (std::size_t i = 0; i < table.size(); ++i) {
+        if (table[i].boost)
+            continue;
+        level = i;
+        if (table[i].frequencyHz >= f_required)
+            break;
+    }
+    targetLevel = level;
+}
+
+void
+IntervalGovernorController::reset()
+{
+    targetLevel = table.nominalIndex();
+    lastLevel = table.nominalIndex();
+}
+
+} // namespace core
+} // namespace predvfs

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Interval-based DVFS governor, modelled on the Linux devfreq
+ * simple_ondemand policy the paper discusses in Sections 2.4/5.1:
+ * measure the previous interval's utilisation at the current
+ * frequency; if it exceeds an up-threshold jump to the maximum level,
+ * otherwise re-target so utilisation lands near the threshold. No
+ * notion of deadlines, no look-ahead — which is exactly why it
+ * struggles with workloads that change job to job.
+ */
+
+#ifndef PREDVFS_CORE_INTERVAL_GOVERNOR_HH
+#define PREDVFS_CORE_INTERVAL_GOVERNOR_HH
+
+#include "core/controller.hh"
+
+namespace predvfs {
+namespace core {
+
+/** simple_ondemand-style thresholds. */
+struct IntervalGovernorConfig
+{
+    /** Utilisation above which the governor jumps to maximum. */
+    double upThreshold = 0.90;
+
+    /** Hysteresis subtracted when scaling back down. */
+    double downDifferential = 0.05;
+};
+
+/** Reactive utilisation-driven governor (no deadline awareness). */
+class IntervalGovernorController : public DvfsController
+{
+  public:
+    IntervalGovernorController(const power::OperatingPointTable &table,
+                               double f_nominal_hz,
+                               double interval_seconds,
+                               IntervalGovernorConfig config = {});
+
+    std::string name() const override { return "interval"; }
+    Decision decide(const PreparedJob &job, std::size_t current_level,
+                    double budget_seconds) override;
+    void observe(const PreparedJob &job,
+                 double nominal_seconds) override;
+    void reset() override;
+
+  private:
+    const power::OperatingPointTable &table;
+    double fNominal;
+    double intervalSeconds;
+    IntervalGovernorConfig config;
+
+    std::size_t targetLevel;
+    std::size_t lastLevel;
+};
+
+} // namespace core
+} // namespace predvfs
+
+#endif // PREDVFS_CORE_INTERVAL_GOVERNOR_HH

@@ -1,0 +1,45 @@
+#include "core/oracle_controller.hh"
+
+namespace predvfs {
+namespace core {
+
+namespace {
+
+DvfsModelConfig
+oracleConfig(DvfsModelConfig config)
+{
+    // The oracle has no prediction error and no overheads by
+    // definition (paper: "always sets a best DVFS level for each job,
+    // and without DVFS switching overhead").
+    config.marginFraction = 0.0;
+    config.ignoreOverheads = true;
+    return config;
+}
+
+} // namespace
+
+OracleController::OracleController(const power::OperatingPointTable &table,
+                                   double f_nominal_hz,
+                                   DvfsModelConfig dvfs)
+    : model(table, f_nominal_hz, oracleConfig(dvfs))
+{
+}
+
+Decision
+OracleController::decide(const PreparedJob &job, std::size_t current_level,
+                         double budget_seconds)
+{
+    const double actual_seconds = static_cast<double>(job.cycles) /
+        model.nominalFrequencyHz();
+    const DvfsModel::Choice choice =
+        model.chooseLevel(actual_seconds, 0.0, current_level,
+                          budget_seconds);
+    Decision d;
+    d.level = choice.level;
+    d.chargeSwitch = false;
+    d.predictedNominalSeconds = actual_seconds;
+    return d;
+}
+
+} // namespace core
+} // namespace predvfs

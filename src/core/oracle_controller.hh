@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Oracle DVFS controller (paper Figure 13): for every job it knows the
+ * actual execution time in advance and pays no slice or switching
+ * overhead. It is the energy lower bound any per-job scheme with the
+ * same discrete levels could reach.
+ */
+
+#ifndef PREDVFS_CORE_ORACLE_CONTROLLER_HH
+#define PREDVFS_CORE_ORACLE_CONTROLLER_HH
+
+#include "core/controller.hh"
+
+namespace predvfs {
+namespace core {
+
+/** Perfect-knowledge, zero-overhead controller. */
+class OracleController : public DvfsController
+{
+  public:
+    OracleController(const power::OperatingPointTable &table,
+                     double f_nominal_hz, DvfsModelConfig dvfs);
+
+    std::string name() const override { return "oracle"; }
+    Decision decide(const PreparedJob &job, std::size_t current_level,
+                    double budget_seconds) override;
+
+  private:
+    DvfsModel model;
+};
+
+} // namespace core
+} // namespace predvfs
+
+#endif // PREDVFS_CORE_ORACLE_CONTROLLER_HH

@@ -1,0 +1,128 @@
+#include "core/persist.hh"
+
+#include <iomanip>
+#include <sstream>
+
+#include "rtl/serialize.hh"
+#include "util/logging.hh"
+
+namespace predvfs {
+namespace core {
+
+using util::fatal;
+using util::fatalIf;
+
+namespace {
+
+constexpr const char *magic = "predvfs-predictor-v1";
+
+const char *
+kindToken(rtl::FeatureKind kind)
+{
+    switch (kind) {
+      case rtl::FeatureKind::Stc: return "stc";
+      case rtl::FeatureKind::Ic: return "ic";
+      case rtl::FeatureKind::Siv: return "siv";
+      case rtl::FeatureKind::Spv: return "spv";
+    }
+    return "?";
+}
+
+rtl::FeatureKind
+tokenToKind(const std::string &token)
+{
+    if (token == "stc")
+        return rtl::FeatureKind::Stc;
+    if (token == "ic")
+        return rtl::FeatureKind::Ic;
+    if (token == "siv")
+        return rtl::FeatureKind::Siv;
+    if (token == "spv")
+        return rtl::FeatureKind::Spv;
+    fatal("unknown feature kind '", token, "'");
+    return rtl::FeatureKind::Stc;
+}
+
+} // namespace
+
+void
+savePredictor(std::ostream &os, const SlicePredictor &predictor)
+{
+    const auto &slice = predictor.slice();
+    os << magic << "\n";
+    rtl::writeDesign(os, slice.design);
+
+    os << "features " << slice.features.size() << "\n";
+    for (const auto &spec : slice.features) {
+        os << "feature " << kindToken(spec.kind) << " " << spec.fsm
+           << " " << spec.src << " " << spec.dst << " " << spec.counter
+           << " " << spec.name << "\n";
+    }
+
+    os << std::setprecision(17);
+    os << "model " << predictor.intercept();
+    for (std::size_t i = 0; i < predictor.coefficients().size(); ++i)
+        os << " " << predictor.coefficients()[i];
+    os << "\n";
+
+    os << "sliceinfo " << slice.keptFsms << " " << slice.keptCounters
+       << " " << slice.keptBlocks << " "
+       << slice.instrumentationAreaUnits << " "
+       << slice.modelEvalAreaUnits << "\n";
+}
+
+std::shared_ptr<const SlicePredictor>
+loadPredictor(std::istream &is)
+{
+    std::string line;
+    fatalIf(!std::getline(is, line) || line != magic,
+            "not a predvfs predictor file");
+
+    rtl::SliceResult slice{rtl::Design("placeholder"), {}, 0, 0, 0,
+                           0.0, 0.0};
+    slice.design = rtl::readDesign(is);
+
+    fatalIf(!std::getline(is, line), "missing features section");
+    std::istringstream fh(line);
+    std::string keyword;
+    std::size_t count = 0;
+    fh >> keyword >> count;
+    fatalIf(keyword != "features", "expected 'features <n>'");
+
+    for (std::size_t i = 0; i < count; ++i) {
+        fatalIf(!std::getline(is, line), "truncated feature list");
+        std::istringstream fs(line);
+        std::string kind;
+        rtl::FeatureSpec spec;
+        fs >> keyword >> kind >> spec.fsm >> spec.src >> spec.dst >>
+            spec.counter >> spec.name;
+        fatalIf(keyword != "feature", "expected 'feature' line");
+        spec.kind = tokenToKind(kind);
+        slice.features.push_back(std::move(spec));
+    }
+
+    fatalIf(!std::getline(is, line), "missing model line");
+    std::istringstream ms(line);
+    ms >> keyword;
+    fatalIf(keyword != "model", "expected 'model' line");
+    double intercept = 0.0;
+    ms >> intercept;
+    opt::Vector beta(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        fatalIf(!(ms >> beta[i]), "model line has too few "
+                                  "coefficients");
+    }
+
+    fatalIf(!std::getline(is, line), "missing sliceinfo line");
+    std::istringstream si(line);
+    si >> keyword >> slice.keptFsms >> slice.keptCounters >>
+        slice.keptBlocks >> slice.instrumentationAreaUnits >>
+        slice.modelEvalAreaUnits;
+    fatalIf(keyword != "sliceinfo", "expected 'sliceinfo' line");
+
+    return std::make_shared<const SlicePredictor>(
+        std::move(slice), std::move(beta), intercept);
+}
+
+} // namespace core
+} // namespace predvfs

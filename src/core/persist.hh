@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Predictor persistence: a trained SlicePredictor — the slice design,
+ * the feature list, and the model coefficients — serialised to a
+ * single text stream, so the offline flow's output can ship with a
+ * driver and be reloaded without retraining.
+ */
+
+#ifndef PREDVFS_CORE_PERSIST_HH
+#define PREDVFS_CORE_PERSIST_HH
+
+#include <istream>
+#include <memory>
+#include <ostream>
+
+#include "core/predictor.hh"
+
+namespace predvfs {
+namespace core {
+
+/** Write @p predictor to @p os (textual, versioned). */
+void savePredictor(std::ostream &os, const SlicePredictor &predictor);
+
+/**
+ * Reload a predictor saved with savePredictor().
+ * fatal()s on malformed input.
+ */
+std::shared_ptr<const SlicePredictor> loadPredictor(std::istream &is);
+
+} // namespace core
+} // namespace predvfs
+
+#endif // PREDVFS_CORE_PERSIST_HH

@@ -1,0 +1,130 @@
+#include "core/pid_controller.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace predvfs {
+namespace core {
+
+namespace {
+
+DvfsModelConfig
+withMargin(DvfsModelConfig config, double margin)
+{
+    config.marginFraction = margin;
+    return config;
+}
+
+} // namespace
+
+PidController::PidController(const power::OperatingPointTable &table,
+                             double f_nominal_hz, DvfsModelConfig dvfs,
+                             PidConfig pid)
+    : model(table, f_nominal_hz, withMargin(dvfs, pid.marginFraction)),
+      pidConfig(pid)
+{
+}
+
+Decision
+PidController::decide(const PreparedJob &job, std::size_t current_level,
+                      double budget_seconds)
+{
+    (void)job;
+    Decision d;
+    if (!primed) {
+        // No history yet: run the first job at nominal, the only safe
+        // choice a reactive scheme has.
+        d.level = model.table().nominalIndex();
+        d.predictedNominalSeconds = 0.0;
+        return d;
+    }
+    const DvfsModel::Choice choice =
+        model.chooseLevel(prediction, 0.0, current_level,
+                          budget_seconds);
+    d.level = choice.level;
+    d.predictedNominalSeconds = prediction;
+    return d;
+}
+
+void
+PidController::observe(const PreparedJob &job, double nominal_seconds)
+{
+    (void)job;
+    if (!primed) {
+        primed = true;
+        prediction = nominal_seconds;
+        integral = 0.0;
+        prevError = 0.0;
+        return;
+    }
+    const double error = nominal_seconds - prediction;
+    integral += error;
+    prediction += pidConfig.kp * error + pidConfig.ki * integral +
+        pidConfig.kd * (error - prevError);
+    prevError = error;
+    if (prediction < 0.0)
+        prediction = 0.0;
+}
+
+void
+PidController::reset()
+{
+    primed = false;
+    prediction = 0.0;
+    integral = 0.0;
+    prevError = 0.0;
+}
+
+PidConfig
+PidController::tune(const std::vector<double> &nominal_seconds,
+                    double margin_fraction)
+{
+    util::panicIf(nominal_seconds.size() < 3,
+                  "PidController::tune: need at least 3 samples");
+
+    const std::vector<double> kp_grid = {0.2, 0.4, 0.6, 0.8, 1.0, 1.2};
+    const std::vector<double> ki_grid = {0.0, 0.02, 0.05, 0.1};
+    const std::vector<double> kd_grid = {0.0, 0.1, 0.2, 0.4};
+
+    PidConfig best;
+    best.marginFraction = margin_fraction;
+    double best_mse = std::numeric_limits<double>::infinity();
+
+    for (double kp : kp_grid) {
+        for (double ki : ki_grid) {
+            for (double kd : kd_grid) {
+                double prediction = nominal_seconds[0];
+                double integral = 0.0;
+                double prev_error = 0.0;
+                double sse = 0.0;
+                std::size_t count = 0;
+                for (std::size_t t = 1; t < nominal_seconds.size();
+                     ++t) {
+                    const double err_eval =
+                        nominal_seconds[t] - prediction;
+                    sse += err_eval * err_eval;
+                    ++count;
+                    integral += err_eval;
+                    prediction += kp * err_eval + ki * integral +
+                        kd * (err_eval - prev_error);
+                    prev_error = err_eval;
+                    if (prediction < 0.0)
+                        prediction = 0.0;
+                }
+                const double mse = sse / static_cast<double>(count);
+                if (mse < best_mse) {
+                    best_mse = mse;
+                    best.kp = kp;
+                    best.ki = ki;
+                    best.kd = kd;
+                }
+            }
+        }
+    }
+    return best;
+}
+
+} // namespace core
+} // namespace predvfs

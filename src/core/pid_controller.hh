@@ -1,0 +1,82 @@
+/**
+ * @file
+ * PID-based reactive DVFS controller (the paper's `pid` comparison
+ * scheme, Section 4.2): a control-theory predictor over the history of
+ * job execution times, with a safety margin on top of its output.
+ * Reacting to history makes it lag one job behind every spike
+ * (Figure 3), which is what the predictive scheme fixes.
+ */
+
+#ifndef PREDVFS_CORE_PID_CONTROLLER_HH
+#define PREDVFS_CORE_PID_CONTROLLER_HH
+
+#include <vector>
+
+#include "core/controller.hh"
+
+namespace predvfs {
+namespace core {
+
+/** PID gains and margin. */
+struct PidConfig
+{
+    double kp = 0.6;   //!< Proportional gain.
+    double ki = 0.05;  //!< Integral gain.
+    double kd = 0.1;   //!< Derivative gain.
+
+    /** Margin added to the PID output (paper: 10%, chosen to balance
+     *  deadline misses and energy). */
+    double marginFraction = 0.10;
+};
+
+/** Reactive controller driven by prediction error feedback. */
+class PidController : public DvfsController
+{
+  public:
+    /**
+     * @param table        Operating points of the accelerator.
+     * @param f_nominal_hz Nominal clock of the accelerator.
+     * @param dvfs         Deadline/switch parameters (margin inside
+     *                     this struct is ignored; PidConfig's is used).
+     * @param pid          Gains.
+     */
+    PidController(const power::OperatingPointTable &table,
+                  double f_nominal_hz, DvfsModelConfig dvfs,
+                  PidConfig pid);
+
+    std::string name() const override { return "pid"; }
+    Decision decide(const PreparedJob &job, std::size_t current_level,
+                    double budget_seconds) override;
+    void observe(const PreparedJob &job,
+                 double nominal_seconds) override;
+    void reset() override;
+
+    /** @return the controller's current raw prediction (seconds). */
+    double currentPrediction() const { return prediction; }
+
+    /**
+     * Grid-search gains minimising squared prediction error over a
+     * training sequence of nominal execution times (the paper tunes
+     * each accelerator's PID "to achieve the best prediction
+     * accuracy").
+     *
+     * @param nominal_seconds Training jobs' execution times at f0.
+     * @param margin_fraction Margin to embed in the returned config.
+     */
+    static PidConfig tune(const std::vector<double> &nominal_seconds,
+                          double margin_fraction = 0.10);
+
+  private:
+    DvfsModel model;
+    PidConfig pidConfig;
+
+    bool primed = false;
+    double prediction = 0.0;
+    double integral = 0.0;
+    double prevError = 0.0;
+};
+
+} // namespace core
+} // namespace predvfs
+
+#endif // PREDVFS_CORE_PID_CONTROLLER_HH

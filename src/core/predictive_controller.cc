@@ -1,0 +1,56 @@
+#include "core/predictive_controller.hh"
+
+#include "util/logging.hh"
+
+namespace predvfs {
+namespace core {
+
+PredictiveController::PredictiveController(
+    const power::OperatingPointTable &table, double f_nominal_hz,
+    DvfsModelConfig dvfs)
+    : model(table, f_nominal_hz, dvfs)
+{
+}
+
+std::string
+PredictiveController::name() const
+{
+    if (model.config().ignoreOverheads)
+        return "prediction w/o overhead";
+    if (model.config().allowBoost)
+        return "prediction w/ boost";
+    return "prediction";
+}
+
+Decision
+PredictiveController::decide(const PreparedJob &job,
+                             std::size_t current_level,
+                             double budget_seconds)
+{
+    util::panicIf(job.predictedCycles <= 0.0 && job.cycles > 0,
+                  "PredictiveController: job has no slice prediction "
+                  "(was the stream prepared with a predictor?)");
+
+    const double f0 = model.nominalFrequencyHz();
+    const double predicted_seconds = job.predictedCycles / f0;
+    const double slice_seconds =
+        static_cast<double>(job.sliceCycles) / f0;
+
+    const DvfsModel::Choice choice =
+        model.chooseLevel(predicted_seconds, slice_seconds,
+                          current_level, budget_seconds);
+
+    Decision d;
+    d.level = choice.level;
+    d.predictedNominalSeconds = predicted_seconds;
+    if (!model.config().ignoreOverheads) {
+        d.overheadSeconds = slice_seconds;
+        d.overheadEnergyUnits = job.sliceEnergyUnits;
+    } else {
+        d.chargeSwitch = false;
+    }
+    return d;
+}
+
+} // namespace core
+} // namespace predvfs

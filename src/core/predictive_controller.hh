@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The paper's contribution: the prediction-based DVFS controller. For
+ * every job the hardware slice runs first (its latency and energy are
+ * charged as overhead), the linear model converts the slice's feature
+ * readout into a predicted execution time, and the DVFS model picks
+ * the lowest level that still meets the deadline after overheads.
+ */
+
+#ifndef PREDVFS_CORE_PREDICTIVE_CONTROLLER_HH
+#define PREDVFS_CORE_PREDICTIVE_CONTROLLER_HH
+
+#include "core/controller.hh"
+
+namespace predvfs {
+namespace core {
+
+/** Look-ahead controller driven by the slice predictor. */
+class PredictiveController : public DvfsController
+{
+  public:
+    /**
+     * @param table        Operating points (include the boost level
+     *                     and set dvfs.allowBoost for the Figure 14
+     *                     configuration).
+     * @param f_nominal_hz Nominal clock (slice and prediction are both
+     *                     referenced to it).
+     * @param dvfs         Deadline/margin/switch parameters. With
+     *                     ignoreOverheads set this becomes the
+     *                     "prediction w/o overhead" scheme of
+     *                     Figure 13.
+     */
+    PredictiveController(const power::OperatingPointTable &table,
+                         double f_nominal_hz, DvfsModelConfig dvfs);
+
+    std::string name() const override;
+    Decision decide(const PreparedJob &job, std::size_t current_level,
+                    double budget_seconds) override;
+
+  private:
+    DvfsModel model;
+};
+
+} // namespace core
+} // namespace predvfs
+
+#endif // PREDVFS_CORE_PREDICTIVE_CONTROLLER_HH

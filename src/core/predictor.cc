@@ -1,0 +1,47 @@
+#include "core/predictor.hh"
+
+#include "util/logging.hh"
+
+namespace predvfs {
+namespace core {
+
+SlicePredictor::SlicePredictor(rtl::SliceResult slice, opt::Vector beta,
+                               double intercept)
+    : sliceResult(std::move(slice)),
+      betaRaw(std::move(beta)),
+      interceptRaw(intercept),
+      sliceInterp(sliceResult.design),
+      sliceInstr(sliceResult.design, sliceResult.features)
+{
+    util::panicIf(betaRaw.size() != sliceResult.features.size(),
+                  "SlicePredictor: coefficient/feature count mismatch (",
+                  betaRaw.size(), " vs ", sliceResult.features.size(),
+                  ")");
+}
+
+double
+SlicePredictor::predictCycles(const rtl::FeatureValues &values) const
+{
+    util::panicIf(values.size() != betaRaw.size(),
+                  "predictCycles: feature vector size mismatch");
+    double y = interceptRaw;
+    for (std::size_t i = 0; i < values.size(); ++i)
+        y += betaRaw[i] * values[i];
+    return y;
+}
+
+SliceRun
+SlicePredictor::run(const rtl::JobInput &job) const
+{
+    sliceInstr.reset();
+    const rtl::JobResult result = sliceInterp.run(job, &sliceInstr);
+
+    SliceRun out;
+    out.sliceCycles = result.cycles;
+    out.sliceEnergyUnits = result.energyUnits;
+    out.predictedCycles = predictCycles(sliceInstr.values());
+    return out;
+}
+
+} // namespace core
+} // namespace predvfs

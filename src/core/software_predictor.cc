@@ -1,0 +1,53 @@
+#include "core/software_predictor.hh"
+
+#include "util/logging.hh"
+
+namespace predvfs {
+namespace core {
+
+double
+SoftwarePredictorModel::secondsFor(std::uint64_t slice_cycles) const
+{
+    return static_cast<double>(slice_cycles) * cyclesPerSliceCycle /
+        cpuFrequencyHz;
+}
+
+double
+SoftwarePredictorModel::energyFor(std::uint64_t slice_cycles) const
+{
+    return cpuPowerWatts * secondsFor(slice_cycles);
+}
+
+SoftwarePredictiveController::SoftwarePredictiveController(
+    const power::OperatingPointTable &table, double f_nominal_hz,
+    DvfsModelConfig dvfs, SoftwarePredictorModel model)
+    : dvfsModel(table, f_nominal_hz, dvfs), swModel(model)
+{
+}
+
+Decision
+SoftwarePredictiveController::decide(const PreparedJob &job,
+                                     std::size_t current_level,
+                                     double budget_seconds)
+{
+    util::panicIf(job.predictedCycles <= 0.0 && job.cycles > 0,
+                  "SoftwarePredictiveController: job has no slice "
+                  "prediction");
+
+    const double f0 = dvfsModel.nominalFrequencyHz();
+    const double predicted_seconds = job.predictedCycles / f0;
+    const double sw_seconds = swModel.secondsFor(job.sliceCycles);
+
+    const DvfsModel::Choice choice = dvfsModel.chooseLevel(
+        predicted_seconds, sw_seconds, current_level, budget_seconds);
+
+    Decision d;
+    d.level = choice.level;
+    d.predictedNominalSeconds = predicted_seconds;
+    d.overheadSeconds = sw_seconds;
+    d.overheadEnergyJoules = swModel.energyFor(job.sliceCycles);
+    return d;
+}
+
+} // namespace core
+} // namespace predvfs

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Software-based prediction (paper Section 4.5, "Software-based
+ * Predictors"): when an accelerator has a software implementation of
+ * its function (an HLS source, or e.g. ffmpeg for H.264), the sliced
+ * feature computation can run on a CPU core instead of a dedicated
+ * hardware slice — no area overhead at all, at the cost of a slower,
+ * more energy-hungry prediction step. The paper reports trying this
+ * for H.264 with good accuracy but omits the numbers for space;
+ * bench_ext_software_predictor generates that missing comparison.
+ */
+
+#ifndef PREDVFS_CORE_SOFTWARE_PREDICTOR_HH
+#define PREDVFS_CORE_SOFTWARE_PREDICTOR_HH
+
+#include "core/controller.hh"
+
+namespace predvfs {
+namespace core {
+
+/** Cost model of running the sliced computation on a CPU core. */
+struct SoftwarePredictorModel
+{
+    /** Clock of the (little) core running the predictor. */
+    double cpuFrequencyHz = 1.2e9;
+
+    /**
+     * CPU cycles per simulated slice cycle: software re-implements
+     * the control walk with loads, branches, and table lookups where
+     * hardware uses dedicated logic.
+     */
+    double cyclesPerSliceCycle = 5.0;
+
+    /** Core power while running the predictor (watts). */
+    double cpuPowerWatts = 0.12;
+
+    /** Wall-clock time of a software prediction (seconds). */
+    double secondsFor(std::uint64_t slice_cycles) const;
+
+    /** CPU energy of a software prediction (joules). */
+    double energyFor(std::uint64_t slice_cycles) const;
+};
+
+/**
+ * Predictive controller whose predictor runs in software on a CPU
+ * (the model itself is identical to the hardware-slice one; only the
+ * overhead accounting changes, plus zero accelerator-area cost).
+ */
+class SoftwarePredictiveController : public DvfsController
+{
+  public:
+    SoftwarePredictiveController(const power::OperatingPointTable &table,
+                                 double f_nominal_hz,
+                                 DvfsModelConfig dvfs,
+                                 SoftwarePredictorModel model);
+
+    std::string name() const override { return "sw prediction"; }
+    Decision decide(const PreparedJob &job, std::size_t current_level,
+                    double budget_seconds) override;
+
+  private:
+    DvfsModel dvfsModel;
+    SoftwarePredictorModel swModel;
+};
+
+} // namespace core
+} // namespace predvfs
+
+#endif // PREDVFS_CORE_SOFTWARE_PREDICTOR_HH

@@ -1,0 +1,62 @@
+#include "core/table_controller.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace predvfs {
+namespace core {
+
+TableController::TableController(
+    const power::OperatingPointTable &table, double f_nominal_hz,
+    DvfsModelConfig dvfs,
+    const std::vector<std::pair<std::size_t, double>> &training_seconds)
+    : model(table, f_nominal_hz, dvfs)
+{
+    util::panicIf(training_seconds.empty(),
+                  "TableController: empty training profile");
+    for (const auto &[items, seconds] : training_seconds) {
+        const int cls = sizeClass(items);
+        auto it = worstCaseSeconds.find(cls);
+        if (it == worstCaseSeconds.end())
+            worstCaseSeconds[cls] = seconds;
+        else
+            it->second = std::max(it->second, seconds);
+        globalWorstSeconds = std::max(globalWorstSeconds, seconds);
+    }
+}
+
+int
+TableController::sizeClass(std::size_t item_count)
+{
+    int cls = 0;
+    while (item_count > 1) {
+        item_count >>= 1;
+        ++cls;
+    }
+    return cls;
+}
+
+Decision
+TableController::decide(const PreparedJob &job, std::size_t current_level,
+                        double budget_seconds)
+{
+    util::panicIf(!job.input, "TableController: job without input");
+    const int cls = sizeClass(job.input->items.size());
+    const auto it = worstCaseSeconds.find(cls);
+    // A size class never profiled falls back to the global worst case
+    // — the conservative choice a driver table would ship with.
+    const double worst = it != worstCaseSeconds.end()
+        ? it->second
+        : globalWorstSeconds;
+
+    const DvfsModel::Choice choice =
+        model.chooseLevel(worst, 0.0, current_level, budget_seconds);
+    Decision d;
+    d.level = choice.level;
+    d.predictedNominalSeconds = worst;
+    return d;
+}
+
+} // namespace core
+} // namespace predvfs

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Table-based DVFS controller (paper Section 2.4: e.g. the Samsung
+ * Exynos MFC driver). A lookup table indexed by a coarse-grained job
+ * parameter — we use the work-item count, the analogue of video
+ * resolution or buffer size — maps to the worst-case execution time
+ * profiled for that class, and the level is set for that worst case.
+ * It never misses on inputs like its profile, but burns the slack of
+ * every easier-than-worst-case job.
+ */
+
+#ifndef PREDVFS_CORE_TABLE_CONTROLLER_HH
+#define PREDVFS_CORE_TABLE_CONTROLLER_HH
+
+#include <map>
+
+#include "core/controller.hh"
+
+namespace predvfs {
+namespace core {
+
+/** Worst-case-per-size-class controller. */
+class TableController : public DvfsController
+{
+  public:
+    /**
+     * @param table            Operating points.
+     * @param f_nominal_hz     Nominal clock.
+     * @param dvfs             Deadline/switch parameters.
+     * @param training_seconds Per-training-job (item count, nominal
+     *                         execution seconds) pairs used to build
+     *                         the worst-case table.
+     */
+    TableController(
+        const power::OperatingPointTable &table, double f_nominal_hz,
+        DvfsModelConfig dvfs,
+        const std::vector<std::pair<std::size_t, double>>
+            &training_seconds);
+
+    std::string name() const override { return "table"; }
+    Decision decide(const PreparedJob &job, std::size_t current_level,
+                    double budget_seconds) override;
+
+    /** Coarse size class of a job: log2 bucket of its item count. */
+    static int sizeClass(std::size_t item_count);
+
+  private:
+    DvfsModel model;
+    std::map<int, double> worstCaseSeconds;
+    double globalWorstSeconds = 0.0;
+};
+
+} // namespace core
+} // namespace predvfs
+
+#endif // PREDVFS_CORE_TABLE_CONTROLLER_HH

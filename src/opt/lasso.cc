@@ -1,0 +1,176 @@
+#include "opt/lasso.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace predvfs {
+namespace opt {
+
+using util::panicIf;
+
+std::size_t
+FitResult::nonZeroCount(double threshold) const
+{
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < beta.size(); ++i)
+        if (std::fabs(beta[i]) > threshold)
+            ++n;
+    return n;
+}
+
+double
+FitResult::predict(const Vector &x) const
+{
+    return beta.dot(x) + intercept;
+}
+
+namespace {
+
+/** Asymmetric quadratic loss over residuals (no L1 term). */
+double
+asymmetricLoss(const Vector &residual, double alpha)
+{
+    double loss = 0.0;
+    for (std::size_t i = 0; i < residual.size(); ++i) {
+        const double r = residual[i];
+        loss += (r > 0.0 ? 1.0 : alpha) * r * r;
+    }
+    return loss;
+}
+
+/** Loss gradient with respect to the residual vector. */
+Vector
+lossGradient(const Vector &residual, double alpha)
+{
+    Vector g(residual.size());
+    for (std::size_t i = 0; i < residual.size(); ++i) {
+        const double r = residual[i];
+        g[i] = 2.0 * (r > 0.0 ? 1.0 : alpha) * r;
+    }
+    return g;
+}
+
+double
+softThreshold(double v, double t)
+{
+    if (v > t)
+        return v - t;
+    if (v < -t)
+        return v + t;
+    return 0.0;
+}
+
+} // namespace
+
+double
+AsymmetricLasso::objective(const Matrix &x, const Vector &y,
+                           const Vector &beta, double intercept,
+                           const LassoConfig &config)
+{
+    Vector residual = x.multiply(beta);
+    for (std::size_t i = 0; i < residual.size(); ++i)
+        residual[i] += intercept - y[i];
+    return asymmetricLoss(residual, config.alpha) +
+        config.gamma * beta.norm1();
+}
+
+FitResult
+AsymmetricLasso::fit(const Matrix &x, const Vector &y,
+                     const LassoConfig &config)
+{
+    panicIf(x.rows() != y.size(), "lasso: sample count mismatch");
+    panicIf(x.rows() == 0, "lasso: no training samples");
+    panicIf(config.alpha <= 0.0, "lasso: alpha must be positive");
+    panicIf(config.gamma < 0.0, "lasso: gamma must be non-negative");
+
+    const std::size_t n = x.rows();
+    const std::size_t p = x.cols();
+
+    // Lipschitz constant of the smooth part's gradient over the
+    // augmented variable (beta, intercept): 2 max(1, alpha) times the
+    // largest eigenvalue of [X 1]^T [X 1]. The intercept column of
+    // ones adds at most n to the spectral norm; bounding it that way
+    // avoids materialising the augmented matrix.
+    const double spectral =
+        x.gramSpectralNorm() + static_cast<double>(n);
+    const double lipschitz =
+        2.0 * std::max(1.0, config.alpha) * std::max(spectral, 1e-12);
+    const double step = 1.0 / lipschitz;
+
+    FitResult result;
+    result.beta = Vector(p);
+    result.intercept = 0.0;
+
+    Vector beta = result.beta;
+    double intercept = 0.0;
+    Vector z_beta = beta;          // Momentum point.
+    double z_intercept = intercept;
+    double t = 1.0;
+
+    double prev_obj =
+        objective(x, y, beta, intercept, config);
+
+    int iter = 0;
+    for (; iter < config.maxIterations; ++iter) {
+        // Gradient of the smooth part at the momentum point.
+        Vector residual = x.multiply(z_beta);
+        for (std::size_t i = 0; i < n; ++i)
+            residual[i] += z_intercept - y[i];
+        const Vector g_r = lossGradient(residual, config.alpha);
+        const Vector g_beta = x.multiplyTransposed(g_r);
+        double g_intercept = 0.0;
+        for (std::size_t i = 0; i < n; ++i)
+            g_intercept += g_r[i];
+
+        // Proximal gradient step (soft threshold on beta only).
+        Vector beta_next(p);
+        const double thresh = config.gamma * step;
+        for (std::size_t j = 0; j < p; ++j)
+            beta_next[j] =
+                softThreshold(z_beta[j] - step * g_beta[j], thresh);
+        const double intercept_next = z_intercept - step * g_intercept;
+
+        // Nesterov momentum update.
+        const double t_next =
+            (1.0 + std::sqrt(1.0 + 4.0 * t * t)) / 2.0;
+        const double momentum = (t - 1.0) / t_next;
+        z_beta = beta_next + (beta_next - beta) * momentum;
+        z_intercept =
+            intercept_next + (intercept_next - intercept) * momentum;
+
+        beta = beta_next;
+        intercept = intercept_next;
+        t = t_next;
+
+        if ((iter + 1) % 10 == 0 || iter + 1 == config.maxIterations) {
+            const double obj =
+                objective(x, y, beta, intercept, config);
+            const double denom = std::max(std::fabs(prev_obj), 1.0);
+            if (std::fabs(prev_obj - obj) / denom < config.tolerance) {
+                result.converged = true;
+                prev_obj = obj;
+                ++iter;
+                break;
+            }
+            // FISTA is not monotone; restart momentum on an increase
+            // to recover monotone-ish behaviour.
+            if (obj > prev_obj) {
+                z_beta = beta;
+                z_intercept = intercept;
+                t = 1.0;
+            }
+            prev_obj = obj;
+        }
+    }
+
+    result.beta = beta;
+    result.intercept = intercept;
+    result.iterations = iter;
+    result.objective = objective(x, y, beta, intercept, config);
+    return result;
+}
+
+} // namespace opt
+} // namespace predvfs

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The paper's prediction-model training objective (Section 3.4):
+ *
+ *   minimize  ||pos(X b + c - y)||^2 + alpha ||neg(X b + c - y)||^2
+ *      b,c                                        + gamma ||b||_1
+ *
+ * where pos(x) = max(x, 0), neg(x) = max(-x, 0), alpha > 1 penalises
+ * under-prediction (which risks deadline misses) more than
+ * over-prediction, and the L1 term drives most coefficients to exactly
+ * zero so the hardware slice only needs a handful of features. The
+ * intercept c is not penalised.
+ *
+ * The objective is convex with an L-Lipschitz smooth part, so it is
+ * solved with FISTA (accelerated proximal gradient): gradient steps on
+ * the asymmetric quadratic, soft-thresholding as the L1 proximal
+ * operator, and Nesterov momentum.
+ */
+
+#ifndef PREDVFS_OPT_LASSO_HH
+#define PREDVFS_OPT_LASSO_HH
+
+#include "opt/matrix.hh"
+
+namespace predvfs {
+namespace opt {
+
+/** Hyper-parameters of the asymmetric Lasso fit. */
+struct LassoConfig
+{
+    double alpha = 4.0;    //!< Under-prediction penalty weight (> 1).
+    double gamma = 1.0;    //!< L1 sparsity weight (>= 0).
+    int maxIterations = 4000;
+    double tolerance = 1e-8;  //!< Relative objective-change stop rule.
+};
+
+/** Outcome of a fit. */
+struct FitResult
+{
+    Vector beta;          //!< Feature coefficients.
+    double intercept = 0.0;
+    int iterations = 0;
+    double objective = 0.0;
+    bool converged = false;
+
+    /** Number of coefficients with magnitude above @p threshold. */
+    std::size_t nonZeroCount(double threshold = 1e-9) const;
+
+    /** Predict one sample given its feature vector. */
+    double predict(const Vector &x) const;
+};
+
+/** Trainer for the asymmetric-penalty Lasso objective. */
+class AsymmetricLasso
+{
+  public:
+    /**
+     * Evaluate the objective at a candidate model.
+     *
+     * @param x Feature matrix (rows = samples).
+     * @param y Targets.
+     */
+    static double objective(const Matrix &x, const Vector &y,
+                            const Vector &beta, double intercept,
+                            const LassoConfig &config);
+
+    /**
+     * Fit the model with FISTA.
+     *
+     * @param x Feature matrix (rows = samples). Standardise columns
+     *          first (see Standardizer) or gamma is meaningless.
+     * @param y Targets.
+     */
+    static FitResult fit(const Matrix &x, const Vector &y,
+                         const LassoConfig &config);
+};
+
+} // namespace opt
+} // namespace predvfs
+
+#endif // PREDVFS_OPT_LASSO_HH

@@ -1,0 +1,58 @@
+#include "opt/least_squares.hh"
+
+#include "util/logging.hh"
+
+namespace predvfs {
+namespace opt {
+
+using util::panicIf;
+
+FitResult
+leastSquares(const Matrix &x, const Vector &y, double ridge)
+{
+    panicIf(x.rows() != y.size(), "leastSquares: sample count mismatch");
+    panicIf(x.rows() == 0, "leastSquares: no samples");
+    panicIf(ridge < 0.0, "leastSquares: negative ridge");
+
+    const std::size_t n = x.rows();
+    const std::size_t p = x.cols();
+
+    // Augment with the intercept column: solve over (beta, c).
+    Matrix xa(n, p + 1);
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < p; ++c)
+            xa.at(r, c) = x.at(r, c);
+        xa.at(r, p) = 1.0;
+    }
+
+    Matrix gram = xa.gram();
+    // Ridge on features only; a hair of jitter on the intercept keeps
+    // the factorisation positive definite for degenerate inputs.
+    for (std::size_t i = 0; i < p; ++i)
+        gram.at(i, i) += ridge;
+    gram.at(p, p) += 1e-12;
+
+    const Vector rhs = xa.multiplyTransposed(y);
+    const Vector solution = choleskySolve(gram, rhs);
+
+    FitResult result;
+    result.beta = Vector(p);
+    for (std::size_t i = 0; i < p; ++i)
+        result.beta[i] = solution[i];
+    result.intercept = solution[p];
+    result.converged = true;
+    result.iterations = 1;
+
+    // Report the symmetric squared error as the objective.
+    Vector residual = x.multiply(result.beta);
+    double obj = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double r = residual[i] + result.intercept - y[i];
+        obj += r * r;
+    }
+    result.objective = obj;
+    return result;
+}
+
+} // namespace opt
+} // namespace predvfs

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Classic least-squares baselines for the prediction model: ordinary
+ * least squares and ridge regression via the normal equations. The
+ * paper motivates the asymmetric Lasso by contrasting it with exactly
+ * this estimator (uses all features, treats under- and over-prediction
+ * equally); the ablation benches quantify that contrast.
+ */
+
+#ifndef PREDVFS_OPT_LEAST_SQUARES_HH
+#define PREDVFS_OPT_LEAST_SQUARES_HH
+
+#include "opt/lasso.hh"
+#include "opt/matrix.hh"
+
+namespace predvfs {
+namespace opt {
+
+/**
+ * Fit y ~ X beta + c with an L2 penalty on beta (not on c).
+ *
+ * @param x     Feature matrix (rows = samples).
+ * @param y     Targets.
+ * @param ridge L2 weight; use a small positive value (default 1e-8
+ *              times trace scale) to regularise collinear features,
+ *              which feature sets from real control units are full of.
+ */
+FitResult leastSquares(const Matrix &x, const Vector &y,
+                       double ridge = 1e-6);
+
+} // namespace opt
+} // namespace predvfs
+
+#endif // PREDVFS_OPT_LEAST_SQUARES_HH

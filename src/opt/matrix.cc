@@ -1,0 +1,223 @@
+#include "opt/matrix.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace predvfs {
+namespace opt {
+
+using util::panicIf;
+
+double
+Vector::norm() const
+{
+    double ss = 0.0;
+    for (double v : data)
+        ss += v * v;
+    return std::sqrt(ss);
+}
+
+double
+Vector::norm1() const
+{
+    double s = 0.0;
+    for (double v : data)
+        s += std::fabs(v);
+    return s;
+}
+
+double
+Vector::dot(const Vector &other) const
+{
+    panicIf(size() != other.size(), "dot: dimension mismatch ",
+            size(), " vs ", other.size());
+    double s = 0.0;
+    for (std::size_t i = 0; i < data.size(); ++i)
+        s += data[i] * other.data[i];
+    return s;
+}
+
+Vector
+Vector::operator+(const Vector &other) const
+{
+    panicIf(size() != other.size(), "operator+: dimension mismatch");
+    Vector out(*this);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        out.data[i] += other.data[i];
+    return out;
+}
+
+Vector
+Vector::operator-(const Vector &other) const
+{
+    panicIf(size() != other.size(), "operator-: dimension mismatch");
+    Vector out(*this);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        out.data[i] -= other.data[i];
+    return out;
+}
+
+Vector
+Vector::operator*(double scalar) const
+{
+    Vector out(*this);
+    for (double &v : out.data)
+        v *= scalar;
+    return out;
+}
+
+void
+Vector::axpy(double alpha, const Vector &x)
+{
+    panicIf(size() != x.size(), "axpy: dimension mismatch");
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] += alpha * x.data[i];
+}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : numRows(rows), numCols(cols), data(rows * cols, 0.0)
+{
+}
+
+double &
+Matrix::at(std::size_t r, std::size_t c)
+{
+    panicIf(r >= numRows || c >= numCols,
+            "Matrix::at(", r, ", ", c, ") out of ", numRows, "x", numCols);
+    return data[r * numCols + c];
+}
+
+double
+Matrix::at(std::size_t r, std::size_t c) const
+{
+    panicIf(r >= numRows || c >= numCols,
+            "Matrix::at(", r, ", ", c, ") out of ", numRows, "x", numCols);
+    return data[r * numCols + c];
+}
+
+Vector
+Matrix::multiply(const Vector &x) const
+{
+    panicIf(x.size() != numCols, "multiply: dimension mismatch");
+    Vector y(numRows);
+    for (std::size_t r = 0; r < numRows; ++r) {
+        double s = 0.0;
+        const double *row = &data[r * numCols];
+        for (std::size_t c = 0; c < numCols; ++c)
+            s += row[c] * x[c];
+        y[r] = s;
+    }
+    return y;
+}
+
+Vector
+Matrix::multiplyTransposed(const Vector &x) const
+{
+    panicIf(x.size() != numRows, "multiplyTransposed: dimension mismatch");
+    Vector y(numCols);
+    for (std::size_t r = 0; r < numRows; ++r) {
+        const double xr = x[r];
+        if (xr == 0.0)
+            continue;
+        const double *row = &data[r * numCols];
+        for (std::size_t c = 0; c < numCols; ++c)
+            y[c] += row[c] * xr;
+    }
+    return y;
+}
+
+Matrix
+Matrix::gram() const
+{
+    Matrix g(numCols, numCols);
+    for (std::size_t r = 0; r < numRows; ++r) {
+        const double *row = &data[r * numCols];
+        for (std::size_t i = 0; i < numCols; ++i) {
+            if (row[i] == 0.0)
+                continue;
+            for (std::size_t j = i; j < numCols; ++j)
+                g.at(i, j) += row[i] * row[j];
+        }
+    }
+    for (std::size_t i = 0; i < numCols; ++i)
+        for (std::size_t j = 0; j < i; ++j)
+            g.at(i, j) = g.at(j, i);
+    return g;
+}
+
+double
+Matrix::gramSpectralNorm(int iterations) const
+{
+    if (numRows == 0 || numCols == 0)
+        return 0.0;
+    Vector v(numCols);
+    // Deterministic non-degenerate start vector.
+    for (std::size_t i = 0; i < numCols; ++i)
+        v[i] = 1.0 + 0.01 * static_cast<double>(i % 7);
+
+    double lambda = 0.0;
+    for (int it = 0; it < iterations; ++it) {
+        Vector w = multiplyTransposed(multiply(v));
+        const double n = w.norm();
+        if (n <= 1e-300)
+            return 0.0;
+        lambda = n / (v.norm() <= 1e-300 ? 1.0 : v.norm());
+        v = w * (1.0 / n);
+    }
+    // One Rayleigh quotient step for a tighter estimate.
+    Vector w = multiplyTransposed(multiply(v));
+    const double vv = v.dot(v);
+    if (vv > 1e-300)
+        lambda = v.dot(w) / vv;
+    return lambda;
+}
+
+Vector
+choleskySolve(const Matrix &m, const Vector &b)
+{
+    panicIf(m.rows() != m.cols(), "choleskySolve: matrix not square");
+    panicIf(b.size() != m.rows(), "choleskySolve: rhs dimension mismatch");
+    const std::size_t n = m.rows();
+
+    // Factor M = L L^T.
+    Matrix l(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j <= i; ++j) {
+            double s = m.at(i, j);
+            for (std::size_t k = 0; k < j; ++k)
+                s -= l.at(i, k) * l.at(j, k);
+            if (i == j) {
+                panicIf(s <= 0.0,
+                        "choleskySolve: matrix not positive definite "
+                        "(pivot ", s, " at ", i, ")");
+                l.at(i, i) = std::sqrt(s);
+            } else {
+                l.at(i, j) = s / l.at(j, j);
+            }
+        }
+    }
+
+    // Forward substitution: L y = b.
+    Vector y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double s = b[i];
+        for (std::size_t k = 0; k < i; ++k)
+            s -= l.at(i, k) * y[k];
+        y[i] = s / l.at(i, i);
+    }
+
+    // Back substitution: L^T x = y.
+    Vector x(n);
+    for (std::size_t ii = n; ii > 0; --ii) {
+        const std::size_t i = ii - 1;
+        double s = y[i];
+        for (std::size_t k = i + 1; k < n; ++k)
+            s -= l.at(k, i) * x[k];
+        x[i] = s / l.at(i, i);
+    }
+    return x;
+}
+
+} // namespace opt
+} // namespace predvfs

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Minimal dense linear algebra for the prediction-model training:
+ * vectors, row-major matrices, and a Cholesky solver for the
+ * least-squares baselines. Deliberately small — the asymmetric-Lasso
+ * fit only needs matrix-vector products and vector arithmetic.
+ */
+
+#ifndef PREDVFS_OPT_MATRIX_HH
+#define PREDVFS_OPT_MATRIX_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace predvfs {
+namespace opt {
+
+/** A dense real vector. */
+class Vector
+{
+  public:
+    Vector() = default;
+
+    /** A zero vector of dimension @p n. */
+    explicit Vector(std::size_t n) : data(n, 0.0) {}
+
+    /** Wrap existing values. */
+    explicit Vector(std::vector<double> values) : data(std::move(values)) {}
+
+    std::size_t size() const { return data.size(); }
+    double &operator[](std::size_t i) { return data[i]; }
+    double operator[](std::size_t i) const { return data[i]; }
+    const std::vector<double> &values() const { return data; }
+
+    /** Euclidean norm. */
+    double norm() const;
+
+    /** Sum of absolute values. */
+    double norm1() const;
+
+    /** Dot product; dimensions must match. */
+    double dot(const Vector &other) const;
+
+    Vector operator+(const Vector &other) const;
+    Vector operator-(const Vector &other) const;
+    Vector operator*(double scalar) const;
+
+    /** In-place axpy: *this += alpha * x. */
+    void axpy(double alpha, const Vector &x);
+
+  private:
+    std::vector<double> data;
+};
+
+/** A dense row-major matrix. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** A zero matrix with @p rows x @p cols entries. */
+    Matrix(std::size_t rows, std::size_t cols);
+
+    std::size_t rows() const { return numRows; }
+    std::size_t cols() const { return numCols; }
+
+    double &at(std::size_t r, std::size_t c);
+    double at(std::size_t r, std::size_t c) const;
+
+    /** @return y = A x. */
+    Vector multiply(const Vector &x) const;
+
+    /** @return y = A^T x. */
+    Vector multiplyTransposed(const Vector &x) const;
+
+    /** @return A^T A (a cols x cols symmetric matrix). */
+    Matrix gram() const;
+
+    /**
+     * Largest eigenvalue of A^T A estimated by power iteration; this
+     * is the Lipschitz constant of the least-squares gradient, used to
+     * pick the FISTA step size.
+     */
+    double gramSpectralNorm(int iterations = 60) const;
+
+  private:
+    std::size_t numRows = 0;
+    std::size_t numCols = 0;
+    std::vector<double> data;
+};
+
+/**
+ * Solve the symmetric positive-definite system M x = b by Cholesky
+ * factorisation. panics if M is not SPD (within jitter tolerance).
+ *
+ * @param m SPD matrix (e.g. a Gram matrix plus ridge).
+ * @param b Right-hand side.
+ */
+Vector choleskySolve(const Matrix &m, const Vector &b);
+
+} // namespace opt
+} // namespace predvfs
+
+#endif // PREDVFS_OPT_MATRIX_HH

@@ -1,0 +1,65 @@
+#include "opt/standardize.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace predvfs {
+namespace opt {
+
+using util::panicIf;
+
+Standardizer::Standardizer(const Matrix &x)
+{
+    panicIf(x.rows() == 0, "Standardizer: empty training matrix");
+    const std::size_t n = x.rows();
+    const std::size_t p = x.cols();
+    mu.assign(p, 0.0);
+    sigma.assign(p, 1.0);
+
+    for (std::size_t c = 0; c < p; ++c) {
+        double sum = 0.0;
+        for (std::size_t r = 0; r < n; ++r)
+            sum += x.at(r, c);
+        mu[c] = sum / static_cast<double>(n);
+
+        double ss = 0.0;
+        for (std::size_t r = 0; r < n; ++r) {
+            const double d = x.at(r, c) - mu[c];
+            ss += d * d;
+        }
+        const double sd = std::sqrt(ss / static_cast<double>(n));
+        // Constant columns carry no signal; keep scale 1 so their
+        // standardised value is exactly 0 and Lasso zeroes them out.
+        sigma[c] = sd > 1e-12 ? sd : 1.0;
+    }
+}
+
+Matrix
+Standardizer::transform(const Matrix &x) const
+{
+    panicIf(x.cols() != mu.size(),
+            "Standardizer::transform: column mismatch");
+    Matrix out(x.rows(), x.cols());
+    for (std::size_t r = 0; r < x.rows(); ++r)
+        for (std::size_t c = 0; c < x.cols(); ++c)
+            out.at(r, c) = (x.at(r, c) - mu[c]) / sigma[c];
+    return out;
+}
+
+void
+Standardizer::unscale(const Vector &beta_std, double intercept_std,
+                      Vector &beta_raw, double &intercept_raw) const
+{
+    panicIf(beta_std.size() != mu.size(),
+            "Standardizer::unscale: dimension mismatch");
+    beta_raw = Vector(beta_std.size());
+    intercept_raw = intercept_std;
+    for (std::size_t c = 0; c < mu.size(); ++c) {
+        beta_raw[c] = beta_std[c] / sigma[c];
+        intercept_raw -= beta_std[c] * mu[c] / sigma[c];
+    }
+}
+
+} // namespace opt
+} // namespace predvfs

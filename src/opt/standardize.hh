@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Feature standardisation for the training pipeline.
+ *
+ * Lasso's L1 penalty is scale-sensitive: a feature measured in
+ * thousands would be penalised far less per unit of effect than one
+ * measured in units. The Standardizer maps each column to zero mean
+ * and unit variance on the training set, and can fold the learned
+ * affine transform back into model coefficients so that the runtime
+ * predictor works on raw feature values (one dot product, no
+ * normalisation hardware).
+ */
+
+#ifndef PREDVFS_OPT_STANDARDIZE_HH
+#define PREDVFS_OPT_STANDARDIZE_HH
+
+#include <vector>
+
+#include "opt/matrix.hh"
+
+namespace predvfs {
+namespace opt {
+
+/** Per-column affine normaliser learned from a training matrix. */
+class Standardizer
+{
+  public:
+    /** Learn column means and scales from @p x (rows = samples). */
+    explicit Standardizer(const Matrix &x);
+
+    /** @return the standardised copy of @p x. */
+    Matrix transform(const Matrix &x) const;
+
+    /**
+     * Fold standardised-space coefficients back to raw space.
+     *
+     * Given beta_std (length = columns) and intercept_std such that
+     * prediction = x_std . beta_std + intercept_std, produce
+     * (beta_raw, intercept_raw) with identical predictions on raw x.
+     */
+    void unscale(const Vector &beta_std, double intercept_std,
+                 Vector &beta_raw, double &intercept_raw) const;
+
+    const std::vector<double> &means() const { return mu; }
+    const std::vector<double> &scales() const { return sigma; }
+
+  private:
+    std::vector<double> mu;
+    std::vector<double> sigma;  //!< 1.0 for constant columns.
+};
+
+} // namespace opt
+} // namespace predvfs
+
+#endif // PREDVFS_OPT_STANDARDIZE_HH

@@ -1,0 +1,47 @@
+#include "power/energy_model.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace predvfs {
+namespace power {
+
+using util::panicIf;
+
+EnergyModel::EnergyModel(EnergyParams params)
+    : energyParams(params)
+{
+    panicIf(params.vNominal <= 0.0, "EnergyModel: bad nominal voltage");
+    panicIf(params.joulesPerUnit <= 0.0, "EnergyModel: bad energy/unit");
+    panicIf(params.leakageWattsNominal < 0.0,
+            "EnergyModel: negative leakage");
+}
+
+double
+EnergyModel::dynamicEnergy(double units, double v) const
+{
+    const double ratio = v / energyParams.vNominal;
+    return units * energyParams.joulesPerUnit * ratio * ratio;
+}
+
+double
+EnergyModel::leakagePower(double v) const
+{
+    const double ratio = v / energyParams.vNominal;
+    return energyParams.leakageWattsNominal * ratio * ratio * ratio;
+}
+
+double
+EnergyModel::jobEnergy(double units, std::uint64_t cycles,
+                       const OperatingPoint &op) const
+{
+    panicIf(op.frequencyHz <= 0.0, "jobEnergy: bad operating point");
+    const double seconds =
+        static_cast<double>(cycles) / op.frequencyHz;
+    return dynamicEnergy(units, op.voltage) +
+        leakagePower(op.voltage) * seconds;
+}
+
+} // namespace power
+} // namespace predvfs

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Gate-level energy model.
+ *
+ * The paper obtains per-job power/energy from post-place-and-route
+ * gate-level simulation at 1 V, then scales it to other DVFS levels
+ * via the voltage-frequency model. We reproduce the scaling step
+ * analytically on top of the interpreter's activity counts:
+ *
+ *   E_dyn(V)  = units * e_unit * (V / Vnom)^2          (CV^2 switching)
+ *   P_leak(V) = P_leak_nom * (V / Vnom)^3              (DIBL-dominated)
+ *   E_job(V)  = E_dyn(V) + P_leak(V) * cycles / f(V)
+ *
+ * "units" is the activity-weighted count the Interpreter accumulates
+ * (control cycles + datapath ops), standing in for the switched
+ * capacitance a gate-level simulation would report.
+ */
+
+#ifndef PREDVFS_POWER_ENERGY_MODEL_HH
+#define PREDVFS_POWER_ENERGY_MODEL_HH
+
+#include <cstdint>
+
+#include "power/operating_points.hh"
+
+namespace predvfs {
+namespace power {
+
+/** Per-accelerator calibration constants. */
+struct EnergyParams
+{
+    double vNominal = 1.0;
+
+    /** Dynamic energy per activity unit at nominal voltage (joules). */
+    double joulesPerUnit = 2.0e-12;
+
+    /** Leakage power at nominal voltage (watts). */
+    double leakageWattsNominal = 5.0e-3;
+};
+
+/** Scales activity counts into joules at arbitrary DVFS levels. */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(EnergyParams params);
+
+    /** Dynamic energy for @p units of activity at voltage @p v. */
+    double dynamicEnergy(double units, double v) const;
+
+    /** Leakage power at voltage @p v. */
+    double leakagePower(double v) const;
+
+    /**
+     * Total energy of a job run entirely at one operating point.
+     *
+     * @param units  Activity units reported by the Interpreter.
+     * @param cycles Cycle count of the job.
+     * @param op     Operating point it ran at.
+     */
+    double jobEnergy(double units, std::uint64_t cycles,
+                     const OperatingPoint &op) const;
+
+    const EnergyParams &params() const { return energyParams; }
+
+  private:
+    EnergyParams energyParams;
+};
+
+} // namespace power
+} // namespace predvfs
+
+#endif // PREDVFS_POWER_ENERGY_MODEL_HH

@@ -1,0 +1,85 @@
+#include "power/operating_points.hh"
+
+#include "util/logging.hh"
+
+namespace predvfs {
+namespace power {
+
+using util::panicIf;
+
+OperatingPointTable::OperatingPointTable(const VfModel &vf, int num_levels,
+                                         double v_min, double v_max,
+                                         double boost_v)
+{
+    panicIf(num_levels < 2, "need at least 2 levels");
+    panicIf(v_min >= v_max, "v_min must be below v_max");
+
+    for (int i = 0; i < num_levels; ++i) {
+        const double v = v_min +
+            (v_max - v_min) * static_cast<double>(i) /
+                static_cast<double>(num_levels - 1);
+        levels.push_back({v, vf.frequencyAt(v), false});
+    }
+    if (boost_v > 0.0) {
+        panicIf(boost_v <= v_max,
+                "boost voltage ", boost_v, " not above nominal ", v_max);
+        levels.push_back({boost_v, vf.frequencyAt(boost_v), true});
+    }
+
+    for (std::size_t i = 1; i < levels.size(); ++i)
+        panicIf(levels[i].frequencyHz <= levels[i - 1].frequencyHz,
+                "operating points not strictly increasing in frequency");
+}
+
+OperatingPointTable
+OperatingPointTable::asic(const VfModel &vf, bool with_boost)
+{
+    return OperatingPointTable(vf, 6, 0.625, 1.0,
+                               with_boost ? 1.08 : 0.0);
+}
+
+OperatingPointTable
+OperatingPointTable::fpga(const VfModel &vf, bool with_boost)
+{
+    return OperatingPointTable(vf, 7, 0.7, 1.0, with_boost ? 1.08 : 0.0);
+}
+
+const OperatingPoint &
+OperatingPointTable::operator[](std::size_t i) const
+{
+    panicIf(i >= levels.size(), "operating point index ", i,
+            " out of range ", levels.size());
+    return levels[i];
+}
+
+std::size_t
+OperatingPointTable::nominalIndex() const
+{
+    std::size_t best = 0;
+    for (std::size_t i = 0; i < levels.size(); ++i)
+        if (!levels[i].boost)
+            best = i;
+    return best;
+}
+
+bool
+OperatingPointTable::hasBoost() const
+{
+    return !levels.empty() && levels.back().boost;
+}
+
+std::optional<std::size_t>
+OperatingPointTable::lowestLevelAtLeast(double f_required_hz,
+                                        bool allow_boost) const
+{
+    for (std::size_t i = 0; i < levels.size(); ++i) {
+        if (levels[i].boost && !allow_boost)
+            continue;
+        if (levels[i].frequencyHz >= f_required_hz)
+            return i;
+    }
+    return std::nullopt;
+}
+
+} // namespace power
+} // namespace predvfs

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Discrete DVFS operating points.
+ *
+ * Paper Section 4.2: ASIC accelerators use six equally-spaced voltage
+ * levels from 1 V down to 0.625 V; FPGA accelerators use seven levels
+ * from 1 V to 0.7 V. The frequency at each voltage comes from the
+ * circuit-level V-f model. Section 4.3 adds an optional boost level at
+ * 1.08 V that eliminates the residual deadline misses.
+ */
+
+#ifndef PREDVFS_POWER_OPERATING_POINTS_HH
+#define PREDVFS_POWER_OPERATING_POINTS_HH
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "power/vf_model.hh"
+
+namespace predvfs {
+namespace power {
+
+/** One DVFS level: a (voltage, frequency) pair. */
+struct OperatingPoint
+{
+    double voltage = 0.0;      //!< Supply voltage in volts.
+    double frequencyHz = 0.0;  //!< Clock frequency at that voltage.
+    bool boost = false;        //!< Above-nominal emergency level.
+};
+
+/**
+ * The set of levels one accelerator can run at, sorted by ascending
+ * frequency. The nominal level is the fastest non-boost level.
+ */
+class OperatingPointTable
+{
+  public:
+    /**
+     * Build a table of equally-spaced voltage levels.
+     *
+     * @param vf         Voltage-frequency model of the accelerator.
+     * @param num_levels Number of non-boost levels.
+     * @param v_min      Lowest voltage level.
+     * @param v_max      Highest (nominal) voltage level.
+     * @param boost_v    If positive, append a boost level there.
+     */
+    OperatingPointTable(const VfModel &vf, int num_levels, double v_min,
+                        double v_max, double boost_v = 0.0);
+
+    /** Paper ASIC configuration: 6 levels, 1.0 V .. 0.625 V. */
+    static OperatingPointTable asic(const VfModel &vf,
+                                    bool with_boost = false);
+
+    /** Paper FPGA configuration: 7 levels, 1.0 V .. 0.7 V. */
+    static OperatingPointTable fpga(const VfModel &vf,
+                                    bool with_boost = false);
+
+    /** @return all levels, ascending frequency (boost last if any). */
+    const std::vector<OperatingPoint> &points() const { return levels; }
+
+    /** @return number of levels including boost. */
+    std::size_t size() const { return levels.size(); }
+
+    const OperatingPoint &operator[](std::size_t i) const;
+
+    /** @return index of the fastest non-boost level. */
+    std::size_t nominalIndex() const;
+
+    /** @return index of the slowest level. */
+    std::size_t lowestIndex() const { return 0; }
+
+    /** @return true if the table contains a boost level. */
+    bool hasBoost() const;
+
+    /**
+     * The paper's rounding rule: the slowest level whose frequency is
+     * at least @p f_required_hz.
+     *
+     * @param f_required_hz Minimum frequency demanded by the deadline.
+     * @param allow_boost   Whether the boost level may be chosen.
+     * @return level index, or std::nullopt if even the fastest
+     *         permitted level is too slow.
+     */
+    std::optional<std::size_t>
+    lowestLevelAtLeast(double f_required_hz, bool allow_boost) const;
+
+  private:
+    std::vector<OperatingPoint> levels;
+};
+
+} // namespace power
+} // namespace predvfs
+
+#endif // PREDVFS_POWER_OPERATING_POINTS_HH

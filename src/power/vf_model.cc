@@ -1,0 +1,63 @@
+#include "power/vf_model.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace predvfs {
+namespace power {
+
+using util::panicIf;
+
+VfModel::VfModel(double v_nominal, double f_nominal_hz, double vth,
+                 double alpha)
+    : vNominal(v_nominal), fNominal(f_nominal_hz), vth(vth), alpha(alpha)
+{
+    panicIf(v_nominal <= vth,
+            "VfModel: nominal voltage ", v_nominal,
+            " not above threshold ", vth);
+    panicIf(f_nominal_hz <= 0.0, "VfModel: non-positive frequency");
+    panicIf(alpha < 1.0 || alpha > 2.0,
+            "VfModel: alpha ", alpha, " outside [1, 2]");
+}
+
+VfModel
+VfModel::asic65nm(double f_nominal_hz)
+{
+    // 65 nm low-power process: Vth ~0.40 V, velocity-saturation
+    // exponent ~1.4; gives f(0.625 V) ~ 0.40 f(1.0 V), matching
+    // published FO4 sweeps for LP libraries.
+    return VfModel(1.0, f_nominal_hz, 0.40, 1.4);
+}
+
+VfModel
+VfModel::fpga28nm(double f_nominal_hz)
+{
+    return VfModel(1.0, f_nominal_hz, 0.42, 1.4);
+}
+
+double
+VfModel::delayRatio(double v) const
+{
+    panicIf(v <= vth,
+            "VfModel: supply ", v, " at or below threshold ", vth);
+    const double d_v = v / std::pow(v - vth, alpha);
+    const double d_nom = vNominal / std::pow(vNominal - vth, alpha);
+    return d_v / d_nom;
+}
+
+double
+VfModel::frequencyAt(double v) const
+{
+    return fNominal / delayRatio(v);
+}
+
+double
+VfModel::fo4ChainLength(double fo4_delay_nominal_ps) const
+{
+    const double cycle_ps = 1e12 / fNominal;
+    return cycle_ps / fo4_delay_nominal_ps;
+}
+
+} // namespace power
+} // namespace predvfs

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Circuit-level voltage-frequency model.
+ *
+ * The paper characterises each ASIC accelerator's V-f relationship by
+ * SPICE-simulating a chain of FO4-loaded inverters whose total delay at
+ * nominal voltage equals the accelerator's cycle time, then sweeping
+ * the supply. We reproduce that methodology analytically with the
+ * alpha-power-law MOSFET delay model (Sakurai-Newton), which is the
+ * functional form such SPICE sweeps fit:
+ *
+ *     d(V) ∝ V / (V - Vth)^alpha
+ *
+ * The chain length N is chosen so N * dFO4(Vnom) = 1 / fNominal; N
+ * cancels out of all frequency ratios but is reported for reference.
+ * FPGA V-f curves (paper: published Kintex-7 characterisation) use the
+ * same form with process parameters typical of 28 nm FPGA fabric.
+ */
+
+#ifndef PREDVFS_POWER_VF_MODEL_HH
+#define PREDVFS_POWER_VF_MODEL_HH
+
+namespace predvfs {
+namespace power {
+
+/** Maps supply voltage to achievable clock frequency. */
+class VfModel
+{
+  public:
+    /**
+     * @param v_nominal    Nominal supply voltage (e.g. 1.0 V).
+     * @param f_nominal_hz Clock frequency achieved at v_nominal.
+     * @param vth          Effective threshold voltage of the process.
+     * @param alpha        Velocity-saturation exponent (1..2).
+     */
+    VfModel(double v_nominal, double f_nominal_hz, double vth = 0.35,
+            double alpha = 1.3);
+
+    /** A 65 nm ASIC process model (paper: TSMC 65 nm at 1 V). */
+    static VfModel asic65nm(double f_nominal_hz);
+
+    /** A 28 nm FPGA fabric model (paper: Xilinx Kintex-7). */
+    static VfModel fpga28nm(double f_nominal_hz);
+
+    /** @return gate delay at @p v relative to delay at nominal. */
+    double delayRatio(double v) const;
+
+    /** @return achievable frequency (Hz) at supply @p v. */
+    double frequencyAt(double v) const;
+
+    /** @return nominal voltage. */
+    double nominalVoltage() const { return vNominal; }
+
+    /** @return nominal frequency in Hz. */
+    double nominalFrequency() const { return fNominal; }
+
+    /**
+     * Length of the FO4 inverter chain whose delay matches one cycle
+     * at nominal voltage, assuming a representative 65 nm FO4 delay.
+     * Informational only (it cancels from every ratio).
+     */
+    double fo4ChainLength(double fo4_delay_nominal_ps = 25.0) const;
+
+  private:
+    double vNominal;
+    double fNominal;
+    double vth;
+    double alpha;
+};
+
+} // namespace power
+} // namespace predvfs
+
+#endif // PREDVFS_POWER_VF_MODEL_HH

@@ -1,0 +1,109 @@
+#include "rtl/analysis.hh"
+
+#include <set>
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace predvfs {
+namespace rtl {
+
+const char *
+featureKindName(FeatureKind kind)
+{
+    switch (kind) {
+      case FeatureKind::Stc: return "STC";
+      case FeatureKind::Ic: return "IC";
+      case FeatureKind::Siv: return "SIV";
+      case FeatureKind::Spv: return "SPV";
+    }
+    return "?";
+}
+
+bool
+FeatureSpec::operator==(const FeatureSpec &other) const
+{
+    return kind == other.kind && fsm == other.fsm && src == other.src &&
+        dst == other.dst && counter == other.counter;
+}
+
+AnalysisReport
+analyze(const Design &design)
+{
+    util::panicIf(!design.validated(),
+                  "analyze: design '", design.name(), "' not validated");
+
+    AnalysisReport report;
+    report.numFsms = design.fsms().size();
+    report.numCounters = design.counters().size();
+    report.numStates = design.totalStates();
+    report.numTransitions = design.totalTransitions();
+
+    // STC features: one per distinct (src, dst) pair. Several guarded
+    // transitions between the same pair share one feature, exactly as
+    // one instrumentation register would count them in hardware.
+    for (std::size_t f = 0; f < design.fsms().size(); ++f) {
+        const Fsm &fsm = design.fsms()[f];
+        std::set<std::pair<StateId, StateId>> pairs;
+        for (std::size_t s = 0; s < fsm.states.size(); ++s) {
+            for (const auto &t : fsm.states[s].transitions) {
+                const auto key =
+                    std::make_pair(static_cast<StateId>(s), t.dst);
+                if (!pairs.insert(key).second)
+                    continue;
+                FeatureSpec spec;
+                spec.kind = FeatureKind::Stc;
+                spec.fsm = static_cast<FsmId>(f);
+                spec.src = static_cast<StateId>(s);
+                spec.dst = t.dst;
+                spec.name = "stc:" + fsm.name + "." +
+                    fsm.states[s].name + "->" + fsm.states[t.dst].name;
+                report.features.push_back(std::move(spec));
+            }
+        }
+    }
+
+    // Counter features. Which of SIV/SPV is informative depends on the
+    // direction: a down-counter's range shows up in its initial value,
+    // an up-counter's in its final (pre-reset) value.
+    for (std::size_t c = 0; c < design.counters().size(); ++c) {
+        const Counter &ctr = design.counters()[c];
+
+        FeatureSpec ic;
+        ic.kind = FeatureKind::Ic;
+        ic.counter = static_cast<CounterId>(c);
+        ic.name = "ic:" + ctr.name;
+        report.features.push_back(std::move(ic));
+
+        FeatureSpec range;
+        range.counter = static_cast<CounterId>(c);
+        if (ctr.dir == CounterDir::Down) {
+            range.kind = FeatureKind::Siv;
+            range.name = "siv:" + ctr.name;
+        } else {
+            range.kind = FeatureKind::Spv;
+            range.name = "spv:" + ctr.name;
+        }
+        report.features.push_back(std::move(range));
+    }
+
+    // Implicit-latency states: dwell time varies with input but no
+    // counter exposes it, so no feature can capture it.
+    for (std::size_t f = 0; f < design.fsms().size(); ++f) {
+        const Fsm &fsm = design.fsms()[f];
+        for (std::size_t s = 0; s < fsm.states.size(); ++s) {
+            const State &st = fsm.states[s];
+            if (st.kind == LatencyKind::Implicit &&
+                !st.implicitLatency->isConstant()) {
+                report.implicitStates.push_back(
+                    {static_cast<FsmId>(f), static_cast<StateId>(s),
+                     fsm.name + "." + st.name});
+            }
+        }
+    }
+
+    return report;
+}
+
+} // namespace rtl
+} // namespace predvfs

@@ -1,0 +1,270 @@
+#include "rtl/design.hh"
+
+#include <functional>
+#include <set>
+
+#include "util/logging.hh"
+
+namespace predvfs {
+namespace rtl {
+
+using util::panic;
+using util::panicIf;
+
+Design::Design(std::string name)
+    : designName(std::move(name))
+{
+}
+
+FieldId
+Design::addField(const std::string &name)
+{
+    panicIf(isValidated, "addField after validate()");
+    for (const auto &f : fields)
+        panicIf(f == name, "duplicate field name '", name, "'");
+    fields.push_back(name);
+    return static_cast<FieldId>(fields.size() - 1);
+}
+
+CounterId
+Design::addCounter(const std::string &name, CounterDir dir, ExprPtr range,
+                   int bits)
+{
+    panicIf(isValidated, "addCounter after validate()");
+    panicIf(!range, "counter '", name, "' has no range expression");
+    panicIf(bits <= 0 || bits > 64, "counter '", name, "' bad width ", bits);
+    Counter c;
+    c.name = name;
+    c.dir = dir;
+    c.range = std::move(range);
+    c.bits = bits;
+    counterDefs.push_back(std::move(c));
+    return static_cast<CounterId>(counterDefs.size() - 1);
+}
+
+BlockId
+Design::addBlock(const std::string &name, double area_weight,
+                 double energy_weight, bool shared)
+{
+    panicIf(isValidated, "addBlock after validate()");
+    panicIf(area_weight < 0.0 || energy_weight < 0.0,
+            "block '", name, "' has negative weight");
+    blockDefs.push_back({name, area_weight, energy_weight, shared});
+    return static_cast<BlockId>(blockDefs.size() - 1);
+}
+
+FsmId
+Design::addFsm(const std::string &name, FsmId start_after)
+{
+    panicIf(isValidated, "addFsm after validate()");
+    Fsm f;
+    f.name = name;
+    f.startAfter = start_after;
+    fsmDefs.push_back(std::move(f));
+    return static_cast<FsmId>(fsmDefs.size() - 1);
+}
+
+StateId
+Design::addState(FsmId fsm, State state)
+{
+    panicIf(isValidated, "addState after validate()");
+    panicIf(fsm < 0 || static_cast<std::size_t>(fsm) >= fsmDefs.size(),
+            "addState: bad fsm id ", fsm);
+    fsmDefs[fsm].states.push_back(std::move(state));
+    return static_cast<StateId>(fsmDefs[fsm].states.size() - 1);
+}
+
+void
+Design::addTransition(FsmId fsm, StateId src, ExprPtr guard, StateId dst)
+{
+    panicIf(isValidated, "addTransition after validate()");
+    panicIf(fsm < 0 || static_cast<std::size_t>(fsm) >= fsmDefs.size(),
+            "addTransition: bad fsm id ", fsm);
+    auto &states = fsmDefs[fsm].states;
+    panicIf(src < 0 || static_cast<std::size_t>(src) >= states.size(),
+            "addTransition: bad src state ", src);
+    states[src].transitions.push_back({std::move(guard), dst});
+}
+
+void
+Design::setPerJobOverheadCycles(std::uint64_t cycles)
+{
+    jobOverhead = cycles;
+}
+
+void
+Design::setControlEnergyPerCycle(double units)
+{
+    panicIf(units < 0.0, "negative control energy");
+    ctrlEnergy = units;
+}
+
+void
+Design::validate()
+{
+    panicIf(isValidated, "validate() called twice on '", designName, "'");
+    panicIf(fsmDefs.empty(), "design '", designName, "' has no FSMs");
+
+    // startAfter references must be valid and acyclic.
+    for (std::size_t i = 0; i < fsmDefs.size(); ++i) {
+        const FsmId dep = fsmDefs[i].startAfter;
+        panicIf(dep >= 0 &&
+                static_cast<std::size_t>(dep) >= fsmDefs.size(),
+                "fsm '", fsmDefs[i].name, "': bad startAfter ", dep);
+        panicIf(dep == static_cast<FsmId>(i),
+                "fsm '", fsmDefs[i].name, "' startAfter itself");
+    }
+    for (std::size_t i = 0; i < fsmDefs.size(); ++i) {
+        std::set<FsmId> seen;
+        FsmId cur = static_cast<FsmId>(i);
+        while (cur >= 0) {
+            panicIf(seen.count(cur),
+                    "startAfter cycle involving fsm '",
+                    fsmDefs[i].name, "'");
+            seen.insert(cur);
+            cur = fsmDefs[cur].startAfter;
+        }
+    }
+
+    for (const auto &fsm : fsmDefs) {
+        panicIf(fsm.states.empty(),
+                "fsm '", fsm.name, "' has no states");
+        panicIf(fsm.initial < 0 ||
+                static_cast<std::size_t>(fsm.initial) >= fsm.states.size(),
+                "fsm '", fsm.name, "': bad initial state");
+
+        bool any_terminal = false;
+        for (const auto &st : fsm.states) {
+            if (st.terminal)
+                any_terminal = true;
+
+            if (st.kind == LatencyKind::Fixed) {
+                panicIf(st.fixedCycles < 1,
+                        "state '", st.name, "' fixed latency < 1");
+            } else if (st.kind == LatencyKind::CounterWait) {
+                panicIf(st.counter < 0 ||
+                        static_cast<std::size_t>(st.counter) >=
+                            counterDefs.size(),
+                        "state '", st.name, "' waits on bad counter ",
+                        st.counter);
+            } else {
+                panicIf(!st.implicitLatency,
+                        "state '", st.name,
+                        "' implicit latency has no expression");
+            }
+
+            panicIf(st.block >= 0 &&
+                    static_cast<std::size_t>(st.block) >= blockDefs.size(),
+                    "state '", st.name, "' uses bad block ", st.block);
+            panicIf(st.dpOpsPerCycle < 0.0,
+                    "state '", st.name, "' negative datapath activity");
+            panicIf(st.waitScale < 1,
+                    "state '", st.name, "' waitScale < 1");
+            for (FieldId f : st.producesFields) {
+                panicIf(f < 0 ||
+                        static_cast<std::size_t>(f) >= fields.size(),
+                        "state '", st.name, "' produces bad field ", f);
+            }
+
+            if (!st.terminal) {
+                panicIf(st.transitions.empty(),
+                        "non-terminal state '", st.name,
+                        "' in fsm '", fsm.name, "' has no transitions");
+                panicIf(st.transitions.back().guard != nullptr,
+                        "state '", st.name, "' in fsm '", fsm.name,
+                        "' has no default (unguarded last) transition");
+            }
+            for (const auto &t : st.transitions) {
+                panicIf(t.dst < 0 ||
+                        static_cast<std::size_t>(t.dst) >=
+                            fsm.states.size(),
+                        "state '", st.name, "': transition to bad state ",
+                        t.dst);
+            }
+        }
+        panicIf(!any_terminal,
+                "fsm '", fsm.name, "' has no terminal state");
+
+        // Reachability from the initial state.
+        std::set<StateId> reached;
+        std::function<void(StateId)> walk = [&](StateId s) {
+            if (reached.count(s))
+                return;
+            reached.insert(s);
+            for (const auto &t : fsm.states[s].transitions)
+                walk(t.dst);
+        };
+        walk(fsm.initial);
+        for (std::size_t s = 0; s < fsm.states.size(); ++s) {
+            panicIf(!reached.count(static_cast<StateId>(s)),
+                    "state '", fsm.states[s].name,
+                    "' in fsm '", fsm.name, "' is unreachable");
+        }
+        bool terminal_reachable = false;
+        for (StateId s : reached)
+            if (fsm.states[s].terminal)
+                terminal_reachable = true;
+        panicIf(!terminal_reachable,
+                "fsm '", fsm.name, "': no reachable terminal state");
+    }
+
+    isValidated = true;
+}
+
+FieldId
+Design::fieldIndex(const std::string &name) const
+{
+    for (std::size_t i = 0; i < fields.size(); ++i)
+        if (fields[i] == name)
+            return static_cast<FieldId>(i);
+    panic("design '", designName, "' has no field '", name, "'");
+    return -1;
+}
+
+std::size_t
+Design::totalStates() const
+{
+    std::size_t n = 0;
+    for (const auto &fsm : fsmDefs)
+        n += fsm.states.size();
+    return n;
+}
+
+std::size_t
+Design::totalTransitions() const
+{
+    std::size_t n = 0;
+    for (const auto &fsm : fsmDefs)
+        for (const auto &st : fsm.states)
+            n += st.transitions.size();
+    return n;
+}
+
+double
+Design::controlAreaUnits() const
+{
+    // Control logic: flip-flops for state encoding plus next-state
+    // logic per transition, and counter registers plus their
+    // decrement/compare logic.
+    double units = 0.0;
+    for (const auto &fsm : fsmDefs) {
+        units += 6.0 * static_cast<double>(fsm.states.size());
+        for (const auto &st : fsm.states)
+            units += 3.0 * static_cast<double>(st.transitions.size());
+    }
+    for (const auto &c : counterDefs)
+        units += 1.5 * static_cast<double>(c.bits);
+    return units;
+}
+
+double
+Design::areaUnits() const
+{
+    double units = controlAreaUnits();
+    for (const auto &b : blockDefs)
+        units += b.areaWeight;
+    return units;
+}
+
+} // namespace rtl
+} // namespace predvfs

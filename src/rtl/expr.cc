@@ -1,0 +1,235 @@
+#include "rtl/expr.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace predvfs {
+namespace rtl {
+
+namespace {
+
+ExprPtr
+makeNode(Op op, std::vector<ExprPtr> args)
+{
+    for (const auto &a : args)
+        util::panicIf(!a, "Expr: null child for op ", static_cast<int>(op));
+    struct Access : Expr
+    {
+        Access(Op op, std::int64_t v, FieldId f, std::vector<ExprPtr> a)
+            : Expr(op, v, f, std::move(a))
+        {}
+    };
+    return std::make_shared<Access>(op, 0, -1, std::move(args));
+}
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::Const: return "const";
+      case Op::Field: return "field";
+      case Op::Add: return "+";
+      case Op::Sub: return "-";
+      case Op::Mul: return "*";
+      case Op::Div: return "/";
+      case Op::Mod: return "%";
+      case Op::Min: return "min";
+      case Op::Max: return "max";
+      case Op::Eq: return "==";
+      case Op::Ne: return "!=";
+      case Op::Lt: return "<";
+      case Op::Le: return "<=";
+      case Op::Gt: return ">";
+      case Op::Ge: return ">=";
+      case Op::And: return "&&";
+      case Op::Or: return "||";
+      case Op::Not: return "!";
+      case Op::Select: return "?:";
+    }
+    return "?";
+}
+
+} // namespace
+
+Expr::Expr(Op op, std::int64_t value, FieldId field, std::vector<ExprPtr> args)
+    : opTag(op), value(value), fieldRef(field), children(std::move(args))
+{
+}
+
+ExprPtr
+Expr::constant(std::int64_t v)
+{
+    struct Access : Expr
+    {
+        Access(std::int64_t v) : Expr(Op::Const, v, -1, {}) {}
+    };
+    return std::make_shared<Access>(v);
+}
+
+ExprPtr
+Expr::field(FieldId id)
+{
+    util::panicIf(id < 0, "Expr::field: negative field id ", id);
+    struct Access : Expr
+    {
+        Access(FieldId f) : Expr(Op::Field, 0, f, {}) {}
+    };
+    return std::make_shared<Access>(id);
+}
+
+ExprPtr Expr::add(ExprPtr a, ExprPtr b)
+{ return makeNode(Op::Add, {std::move(a), std::move(b)}); }
+ExprPtr Expr::sub(ExprPtr a, ExprPtr b)
+{ return makeNode(Op::Sub, {std::move(a), std::move(b)}); }
+ExprPtr Expr::mul(ExprPtr a, ExprPtr b)
+{ return makeNode(Op::Mul, {std::move(a), std::move(b)}); }
+ExprPtr Expr::div(ExprPtr a, ExprPtr b)
+{ return makeNode(Op::Div, {std::move(a), std::move(b)}); }
+ExprPtr Expr::mod(ExprPtr a, ExprPtr b)
+{ return makeNode(Op::Mod, {std::move(a), std::move(b)}); }
+ExprPtr Expr::min(ExprPtr a, ExprPtr b)
+{ return makeNode(Op::Min, {std::move(a), std::move(b)}); }
+ExprPtr Expr::max(ExprPtr a, ExprPtr b)
+{ return makeNode(Op::Max, {std::move(a), std::move(b)}); }
+ExprPtr Expr::eq(ExprPtr a, ExprPtr b)
+{ return makeNode(Op::Eq, {std::move(a), std::move(b)}); }
+ExprPtr Expr::ne(ExprPtr a, ExprPtr b)
+{ return makeNode(Op::Ne, {std::move(a), std::move(b)}); }
+ExprPtr Expr::lt(ExprPtr a, ExprPtr b)
+{ return makeNode(Op::Lt, {std::move(a), std::move(b)}); }
+ExprPtr Expr::le(ExprPtr a, ExprPtr b)
+{ return makeNode(Op::Le, {std::move(a), std::move(b)}); }
+ExprPtr Expr::gt(ExprPtr a, ExprPtr b)
+{ return makeNode(Op::Gt, {std::move(a), std::move(b)}); }
+ExprPtr Expr::ge(ExprPtr a, ExprPtr b)
+{ return makeNode(Op::Ge, {std::move(a), std::move(b)}); }
+ExprPtr Expr::logicalAnd(ExprPtr a, ExprPtr b)
+{ return makeNode(Op::And, {std::move(a), std::move(b)}); }
+ExprPtr Expr::logicalOr(ExprPtr a, ExprPtr b)
+{ return makeNode(Op::Or, {std::move(a), std::move(b)}); }
+ExprPtr Expr::logicalNot(ExprPtr a)
+{ return makeNode(Op::Not, {std::move(a)}); }
+ExprPtr Expr::select(ExprPtr c, ExprPtr t, ExprPtr e)
+{ return makeNode(Op::Select, {std::move(c), std::move(t), std::move(e)}); }
+
+std::int64_t
+Expr::constValue() const
+{
+    util::panicIf(opTag != Op::Const, "constValue on non-Const node");
+    return value;
+}
+
+FieldId
+Expr::fieldId() const
+{
+    util::panicIf(opTag != Op::Field, "fieldId on non-Field node");
+    return fieldRef;
+}
+
+std::int64_t
+Expr::eval(const std::vector<std::int64_t> &fields) const
+{
+    switch (opTag) {
+      case Op::Const:
+        return value;
+      case Op::Field:
+        util::panicIf(static_cast<std::size_t>(fieldRef) >= fields.size(),
+                      "field ", fieldRef, " out of range (item has ",
+                      fields.size(), " fields)");
+        return fields[fieldRef];
+      default:
+        break;
+    }
+
+    const std::int64_t a = children[0]->eval(fields);
+    if (opTag == Op::Not)
+        return a == 0 ? 1 : 0;
+    if (opTag == Op::Select)
+        return a != 0 ? children[1]->eval(fields)
+                      : children[2]->eval(fields);
+    // Short-circuit logical ops.
+    if (opTag == Op::And)
+        return (a != 0 && children[1]->eval(fields) != 0) ? 1 : 0;
+    if (opTag == Op::Or)
+        return (a != 0 || children[1]->eval(fields) != 0) ? 1 : 0;
+
+    const std::int64_t b = children[1]->eval(fields);
+    switch (opTag) {
+      case Op::Add: return a + b;
+      case Op::Sub: return a - b;
+      case Op::Mul: return a * b;
+      case Op::Div: return b == 0 ? 0 : a / b;
+      case Op::Mod: return b == 0 ? 0 : a % b;
+      case Op::Min: return a < b ? a : b;
+      case Op::Max: return a > b ? a : b;
+      case Op::Eq: return a == b ? 1 : 0;
+      case Op::Ne: return a != b ? 1 : 0;
+      case Op::Lt: return a < b ? 1 : 0;
+      case Op::Le: return a <= b ? 1 : 0;
+      case Op::Gt: return a > b ? 1 : 0;
+      case Op::Ge: return a >= b ? 1 : 0;
+      default:
+        util::panic("unreachable op in eval");
+    }
+    return 0;
+}
+
+void
+Expr::collectFields(std::set<FieldId> &out) const
+{
+    if (opTag == Op::Field)
+        out.insert(fieldRef);
+    for (const auto &c : children)
+        c->collectFields(out);
+}
+
+bool
+Expr::isConstant() const
+{
+    std::set<FieldId> fields;
+    collectFields(fields);
+    return fields.empty();
+}
+
+std::string
+Expr::toString(const std::vector<std::string> *field_names) const
+{
+    std::ostringstream os;
+    switch (opTag) {
+      case Op::Const:
+        os << value;
+        break;
+      case Op::Field:
+        if (field_names &&
+            static_cast<std::size_t>(fieldRef) < field_names->size()) {
+            os << (*field_names)[fieldRef];
+        } else {
+            os << "f" << fieldRef;
+        }
+        break;
+      case Op::Not:
+        os << "!(" << children[0]->toString(field_names) << ")";
+        break;
+      case Op::Select:
+        os << "(" << children[0]->toString(field_names) << " ? "
+           << children[1]->toString(field_names) << " : "
+           << children[2]->toString(field_names) << ")";
+        break;
+      case Op::Min:
+      case Op::Max:
+        os << opName(opTag) << "("
+           << children[0]->toString(field_names) << ", "
+           << children[1]->toString(field_names) << ")";
+        break;
+      default:
+        os << "(" << children[0]->toString(field_names) << " "
+           << opName(opTag) << " "
+           << children[1]->toString(field_names) << ")";
+        break;
+    }
+    return os.str();
+}
+
+} // namespace rtl
+} // namespace predvfs

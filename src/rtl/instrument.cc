@@ -1,0 +1,101 @@
+#include "rtl/instrument.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace predvfs {
+namespace rtl {
+
+using util::panicIf;
+
+Instrumenter::Instrumenter(const Design &design,
+                           std::vector<FeatureSpec> specs)
+    : featureSpecs(std::move(specs))
+{
+    panicIf(!design.validated(), "Instrumenter: design not validated");
+
+    stcIndex.resize(design.fsms().size());
+    counterIndex.resize(design.counters().size());
+    accumulators.assign(featureSpecs.size(), 0.0);
+
+    for (std::size_t i = 0; i < featureSpecs.size(); ++i) {
+        const FeatureSpec &spec = featureSpecs[i];
+        switch (spec.kind) {
+          case FeatureKind::Stc: {
+            panicIf(spec.fsm < 0 ||
+                    static_cast<std::size_t>(spec.fsm) >= stcIndex.size(),
+                    "STC feature '", spec.name, "': bad fsm ", spec.fsm);
+            auto &index = stcIndex[spec.fsm];
+            const auto key = edgeKey(spec.src, spec.dst);
+            panicIf(index.count(key),
+                    "duplicate STC feature '", spec.name, "'");
+            index[key] = i;
+            break;
+          }
+          case FeatureKind::Ic:
+          case FeatureKind::Siv:
+          case FeatureKind::Spv: {
+            panicIf(spec.counter < 0 ||
+                    static_cast<std::size_t>(spec.counter) >=
+                        counterIndex.size(),
+                    "counter feature '", spec.name, "': bad counter ",
+                    spec.counter);
+            auto &slots = counterIndex[spec.counter];
+            int &slot = spec.kind == FeatureKind::Ic ? slots.ic :
+                spec.kind == FeatureKind::Siv ? slots.siv : slots.spv;
+            panicIf(slot >= 0,
+                    "duplicate counter feature '", spec.name, "'");
+            slot = static_cast<int>(i);
+            break;
+          }
+        }
+    }
+}
+
+std::uint64_t
+Instrumenter::edgeKey(StateId src, StateId dst)
+{
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src))
+            << 32) |
+        static_cast<std::uint32_t>(dst);
+}
+
+void
+Instrumenter::reset()
+{
+    std::fill(accumulators.begin(), accumulators.end(), 0.0);
+}
+
+double
+Instrumenter::areaUnits() const
+{
+    // A 24-bit accumulator register plus increment/add logic per
+    // feature, comparable in cost to one of the design's counters.
+    return 2.0 * 24.0 * static_cast<double>(featureSpecs.size());
+}
+
+void
+Instrumenter::onTransition(FsmId fsm, StateId src, StateId dst)
+{
+    const auto &index = stcIndex[fsm];
+    const auto it = index.find(edgeKey(src, dst));
+    if (it != index.end())
+        accumulators[it->second] += 1.0;
+}
+
+void
+Instrumenter::onCounterArm(CounterId counter, std::int64_t init_value,
+                           std::int64_t final_value)
+{
+    const CounterSlots &slots = counterIndex[counter];
+    if (slots.ic >= 0)
+        accumulators[slots.ic] += 1.0;
+    if (slots.siv >= 0)
+        accumulators[slots.siv] += static_cast<double>(init_value);
+    if (slots.spv >= 0)
+        accumulators[slots.spv] += static_cast<double>(final_value);
+}
+
+} // namespace rtl
+} // namespace predvfs

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Instrumentation: the software model of the registers the paper's
+ * flow adds to an accelerator's RTL (Section 3.3).
+ *
+ * An Instrumenter is constructed for a design and a feature list and
+ * plugged into the Interpreter as a Recorder. After a job runs, the
+ * feature vector can be read out, exactly like reading the added
+ * registers after a job in real hardware.
+ */
+
+#ifndef PREDVFS_RTL_INSTRUMENT_HH
+#define PREDVFS_RTL_INSTRUMENT_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "rtl/analysis.hh"
+#include "rtl/interpreter.hh"
+
+namespace predvfs {
+namespace rtl {
+
+/** A job's feature readout, indexed like the FeatureSpec list. */
+using FeatureValues = std::vector<double>;
+
+/**
+ * Accumulates feature values while a job executes.
+ *
+ * reset() between jobs, exactly like the hardware clears its
+ * instrumentation registers when a new job is accepted.
+ */
+class Instrumenter : public Recorder
+{
+  public:
+    /**
+     * @param design Design the features refer to (for validation).
+     * @param specs  Features to record; order defines vector layout.
+     */
+    Instrumenter(const Design &design, std::vector<FeatureSpec> specs);
+
+    /** Clear all accumulators (start of a new job). */
+    void reset();
+
+    /** @return current accumulator values, one per FeatureSpec. */
+    const FeatureValues &values() const { return accumulators; }
+
+    /** @return the features being recorded. */
+    const std::vector<FeatureSpec> &specs() const { return featureSpecs; }
+
+    /** @return number of features recorded. */
+    std::size_t numFeatures() const { return featureSpecs.size(); }
+
+    /**
+     * Area of the added instrumentation registers in the same abstract
+     * units as Design::areaUnits(): one 24-bit accumulator per feature
+     * plus its update logic.
+     */
+    double areaUnits() const;
+
+    void onTransition(FsmId fsm, StateId src, StateId dst) override;
+    void onCounterArm(CounterId counter, std::int64_t init_value,
+                      std::int64_t final_value) override;
+
+  private:
+    /** Pack a (src, dst) pair into a map key. */
+    static std::uint64_t edgeKey(StateId src, StateId dst);
+
+    std::vector<FeatureSpec> featureSpecs;
+    FeatureValues accumulators;
+
+    /** Per FSM: (src,dst) -> feature index. */
+    std::vector<std::unordered_map<std::uint64_t, std::size_t>> stcIndex;
+
+    struct CounterSlots
+    {
+        int ic = -1;
+        int siv = -1;
+        int spv = -1;
+    };
+    /** Per counter: which accumulators it feeds. */
+    std::vector<CounterSlots> counterIndex;
+};
+
+} // namespace rtl
+} // namespace predvfs
+
+#endif // PREDVFS_RTL_INSTRUMENT_HH

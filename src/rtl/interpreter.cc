@@ -1,0 +1,166 @@
+#include "rtl/interpreter.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace predvfs {
+namespace rtl {
+
+using util::panic;
+using util::panicIf;
+
+Interpreter::Interpreter(const Design &design)
+    : design(design)
+{
+    panicIf(!design.validated(),
+            "Interpreter: design '", design.name(), "' not validated");
+
+    // Topological order over startAfter dependencies. validate()
+    // guarantees acyclicity, so a simple repeated sweep terminates.
+    const auto &fsms = design.fsms();
+    std::vector<bool> placed(fsms.size(), false);
+    while (order.size() < fsms.size()) {
+        bool progress = false;
+        for (std::size_t i = 0; i < fsms.size(); ++i) {
+            if (placed[i])
+                continue;
+            const FsmId dep = fsms[i].startAfter;
+            if (dep < 0 || placed[dep]) {
+                order.push_back(static_cast<FsmId>(i));
+                placed[i] = true;
+                progress = true;
+            }
+        }
+        panicIf(!progress, "startAfter ordering failed (cycle?)");
+    }
+}
+
+std::uint64_t
+Interpreter::runFsm(FsmId id, const WorkItem &item, Recorder *recorder,
+                    double &energy_units) const
+{
+    const Fsm &fsm = design.fsms()[id];
+    const auto &counters = design.counters();
+    const auto &blocks = design.blocks();
+
+    std::uint64_t cycles = 0;
+    std::size_t visits = 0;
+    StateId cur = fsm.initial;
+
+    while (true) {
+        panicIf(++visits > maxVisitsPerItem,
+                "fsm '", fsm.name, "' exceeded ", maxVisitsPerItem,
+                " state visits on one item (runaway control loop)");
+
+        const State &st = fsm.states[cur];
+
+        std::uint64_t dwell = 1;
+        switch (st.kind) {
+          case LatencyKind::Fixed:
+            dwell = static_cast<std::uint64_t>(st.fixedCycles);
+            break;
+          case LatencyKind::CounterWait: {
+            const Counter &c = counters[st.counter];
+            std::int64_t range = c.range->eval(item.fields);
+            if (range < 1)
+                range = 1;
+            // An arm-only state (slicer output) computes the counter's
+            // range in one cycle without waiting it out; waitScale > 1
+            // models an HLS-compressed wait. The recorder always sees
+            // the full range either way.
+            if (st.armOnly) {
+                dwell = 1;
+            } else if (st.waitScale > 1) {
+                const std::int64_t scaled = range / st.waitScale;
+                dwell = static_cast<std::uint64_t>(
+                    scaled < 1 ? 1 : scaled);
+            } else {
+                dwell = static_cast<std::uint64_t>(range);
+            }
+            if (recorder) {
+                if (c.dir == CounterDir::Down)
+                    recorder->onCounterArm(st.counter, range, 0);
+                else
+                    recorder->onCounterArm(st.counter, 0, range);
+            }
+            break;
+          }
+          case LatencyKind::Implicit: {
+            std::int64_t lat = st.implicitLatency->eval(item.fields);
+            if (lat < 1)
+                lat = 1;
+            dwell = static_cast<std::uint64_t>(lat);
+            break;
+          }
+        }
+
+        cycles += dwell;
+
+        double per_cycle = design.controlEnergyPerCycle();
+        if (st.block >= 0)
+            per_cycle += st.dpOpsPerCycle * blocks[st.block].energyWeight;
+        energy_units += per_cycle * static_cast<double>(dwell);
+
+        if (st.terminal)
+            break;
+
+        StateId next = -1;
+        for (const auto &t : st.transitions) {
+            if (!t.guard || t.guard->eval(item.fields) != 0) {
+                next = t.dst;
+                break;
+            }
+        }
+        panicIf(next < 0,
+                "state '", st.name, "' in fsm '", fsm.name,
+                "': no transition fired");
+
+        if (recorder)
+            recorder->onTransition(id, cur, next);
+        cur = next;
+    }
+
+    return cycles;
+}
+
+JobResult
+Interpreter::run(const JobInput &job, Recorder *recorder,
+                 std::vector<std::uint64_t> *item_cycles) const
+{
+    JobResult result;
+    result.cycles = design.perJobOverheadCycles();
+    result.energyUnits = design.controlEnergyPerCycle() *
+        static_cast<double>(design.perJobOverheadCycles());
+
+    if (item_cycles) {
+        item_cycles->clear();
+        item_cycles->reserve(job.items.size());
+    }
+
+    const auto &fsms = design.fsms();
+    std::vector<std::uint64_t> end_time(fsms.size(), 0);
+
+    for (const auto &item : job.items) {
+        std::fill(end_time.begin(), end_time.end(), 0);
+        std::uint64_t item_latency = 0;
+
+        for (FsmId id : order) {
+            const FsmId dep = fsms[id].startAfter;
+            const std::uint64_t start = dep < 0 ? 0 : end_time[dep];
+            const std::uint64_t lat =
+                runFsm(id, item, recorder, result.energyUnits);
+            end_time[id] = start + lat;
+            item_latency = std::max(item_latency, end_time[id]);
+        }
+
+        result.cycles += item_latency;
+        if (item_cycles)
+            item_cycles->push_back(item_latency);
+    }
+
+    return result;
+}
+
+} // namespace rtl
+} // namespace predvfs

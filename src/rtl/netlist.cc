@@ -1,0 +1,248 @@
+#include "rtl/netlist.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.hh"
+
+namespace predvfs {
+namespace rtl {
+
+using util::panicIf;
+
+namespace {
+
+/** Width (bits) needed to encode @p n distinct states. */
+int
+stateWidth(std::size_t n)
+{
+    int width = 1;
+    while ((std::size_t{1} << width) < n)
+        ++width;
+    return width;
+}
+
+/** Lower one FSM into its state register. */
+NetRegister
+lowerFsm(const Fsm &fsm)
+{
+    NetRegister reg;
+    reg.name = fsm.name + "_state";
+    reg.width = stateWidth(fsm.states.size());
+    reg.resetValue = fsm.initial;
+
+    for (std::size_t s = 0; s < fsm.states.size(); ++s) {
+        for (const auto &t : fsm.states[s].transitions) {
+            RegisterUpdate update;
+            update.kind = RegisterUpdate::Kind::Const;
+            update.selfValue = static_cast<std::int64_t>(s);
+            update.guard = t.guard;  // Null = default edge.
+            update.constant = t.dst;
+            reg.updates.push_back(std::move(update));
+        }
+    }
+    return reg;
+}
+
+/** Lower one counter into its count register. */
+NetRegister
+lowerCounter(const Counter &counter)
+{
+    NetRegister reg;
+    reg.name = counter.name + "_cnt";
+    reg.width = counter.bits;
+
+    if (counter.dir == CounterDir::Down) {
+        // Armed: load the range; active: decrement to zero.
+        RegisterUpdate init;
+        init.kind = RegisterUpdate::Kind::Load;
+        init.load = counter.range;
+        reg.updates.push_back(std::move(init));
+
+        RegisterUpdate step;
+        step.kind = RegisterUpdate::Kind::SelfDec;
+        reg.updates.push_back(std::move(step));
+    } else {
+        // Armed: clear; active: increment until the limit comparator
+        // (not part of the register itself) fires.
+        RegisterUpdate init;
+        init.kind = RegisterUpdate::Kind::Const;
+        init.constant = 0;
+        reg.updates.push_back(std::move(init));
+
+        RegisterUpdate step;
+        step.kind = RegisterUpdate::Kind::SelfInc;
+        reg.updates.push_back(std::move(step));
+
+        // The limit register the comparator reads: a pure data load.
+        // It is appended by the caller so counters contribute one
+        // count register here and one limit register there.
+    }
+    return reg;
+}
+
+} // namespace
+
+Netlist
+lowerToNetlist(const Design &design)
+{
+    panicIf(!design.validated(), "lowerToNetlist: design not validated");
+
+    Netlist net;
+    net.name = design.name();
+
+    for (const auto &fsm : design.fsms())
+        net.registers.push_back(lowerFsm(fsm));
+
+    for (const auto &counter : design.counters()) {
+        net.registers.push_back(lowerCounter(counter));
+        if (counter.dir == CounterDir::Up) {
+            // Companion limit register (see lowerCounter): the done
+            // comparator reads both it and the count register, which
+            // the netlist records as comparator fanin.
+            NetRegister limit;
+            limit.name = counter.name + "_limit";
+            limit.width = counter.bits;
+            limit.comparatorPeer =
+                static_cast<int>(net.registers.size() - 1);
+            RegisterUpdate load;
+            load.kind = RegisterUpdate::Kind::Load;
+            load.load = counter.range;
+            limit.updates.push_back(std::move(load));
+            net.registers.push_back(std::move(limit));
+        }
+    }
+
+    // Datapath decoys: per block, an accumulator (load + hold) and a
+    // two-stage pipeline register — the structures a real netlist is
+    // full of, which the extractor must leave unclassified.
+    for (const auto &block : design.blocks()) {
+        NetRegister acc;
+        acc.name = block.name + "_acc";
+        acc.width = 32;
+        RegisterUpdate load;
+        load.kind = RegisterUpdate::Kind::Load;
+        load.load = lit(0);
+        acc.updates.push_back(std::move(load));
+        net.registers.push_back(std::move(acc));
+
+        NetRegister pipe;
+        pipe.name = block.name + "_pipe";
+        pipe.width = 32;
+        RegisterUpdate stage;
+        stage.kind = RegisterUpdate::Kind::Load;
+        stage.load = lit(0);
+        pipe.updates.push_back(std::move(stage));
+        net.registers.push_back(std::move(pipe));
+    }
+
+    return net;
+}
+
+ExtractedStructures
+extractStructures(const Netlist &netlist)
+{
+    ExtractedStructures out;
+
+    // Up-counter limit registers look like plain data loads; they are
+    // recognised by pairing after the main classification pass, so
+    // collect counter names first.
+    std::set<std::string> counter_names;
+
+    for (const auto &reg : netlist.registers) {
+        panicIf(reg.updates.empty() && reg.width <= 0,
+                "malformed register '", reg.name, "'");
+
+        bool any_const = false;
+        bool any_load = false;
+        bool any_inc = false;
+        bool any_dec = false;
+        bool all_const = !reg.updates.empty();
+        bool all_self_conditioned = !reg.updates.empty();
+        for (const auto &u : reg.updates) {
+            switch (u.kind) {
+              case RegisterUpdate::Kind::Const:
+                any_const = true;
+                break;
+              case RegisterUpdate::Kind::Load:
+                any_load = true;
+                all_const = false;
+                break;
+              case RegisterUpdate::Kind::SelfInc:
+                any_inc = true;
+                all_const = false;
+                break;
+              case RegisterUpdate::Kind::SelfDec:
+                any_dec = true;
+                all_const = false;
+                break;
+            }
+            if (u.selfValue < 0)
+                all_self_conditioned = false;
+        }
+
+        // FSM state register: every update assigns a constant and is
+        // predicated on the register's own current value (the
+        // next-state mux reads the state).
+        if (all_const && all_self_conditioned) {
+            ExtractedFsm fsm;
+            fsm.registerName = reg.name;
+            std::set<std::int64_t> states;
+            std::set<std::pair<std::int64_t, std::int64_t>> edges;
+            states.insert(reg.resetValue);
+            for (const auto &u : reg.updates) {
+                states.insert(u.selfValue);
+                states.insert(u.constant);
+                edges.insert({u.selfValue, u.constant});
+            }
+            fsm.states.assign(states.begin(), states.end());
+            fsm.transitions.assign(edges.begin(), edges.end());
+            out.fsms.push_back(std::move(fsm));
+            continue;
+        }
+
+        // Counter: a self-increment or self-decrement step plus an
+        // initialisation (a load of the range, or a clear to a
+        // constant).
+        if ((any_inc || any_dec) && !(any_inc && any_dec) &&
+            (any_load || any_const)) {
+            ExtractedCounter counter;
+            counter.registerName = reg.name;
+            counter.direction =
+                any_dec ? CounterDir::Down : CounterDir::Up;
+            counter.hasLoadInit = any_load;
+            counter_names.insert(reg.name);
+            out.counters.push_back(std::move(counter));
+            continue;
+        }
+
+        out.dataRegisters.push_back(reg.name);
+    }
+
+    // Pair up-counter limit registers: a pure-load register is
+    // indistinguishable from data by its own updates, but the
+    // extraction follows the comparator fanin (as gate-level
+    // extraction follows wires): a load-only register whose
+    // comparator also reads a classified counter is that counter's
+    // limit, not datapath state.
+    std::vector<std::string> still_data;
+    for (const auto &name : out.dataRegisters) {
+        bool is_limit = false;
+        for (const auto &reg : netlist.registers) {
+            if (reg.name != name || reg.comparatorPeer < 0)
+                continue;
+            const auto &peer = netlist.registers[static_cast<
+                std::size_t>(reg.comparatorPeer)];
+            if (counter_names.count(peer.name))
+                is_limit = true;
+        }
+        if (!is_limit)
+            still_data.push_back(name);
+    }
+    out.dataRegisters = std::move(still_data);
+
+    return out;
+}
+
+} // namespace rtl
+} // namespace predvfs

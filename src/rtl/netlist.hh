@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Register-transfer netlist lowering and structure extraction.
+ *
+ * The paper's flow does not get told where the FSMs and counters are:
+ * it synthesises behavioural RTL to a structural netlist (Yosys) and
+ * *discovers* them with an extraction algorithm (after Shi et al.,
+ * ISCAS 2010 — "A Highly Efficient Method for Extracting FSMs from
+ * Flattened Gate-level Netlist"). This module reproduces that step:
+ *
+ *  - lowerToNetlist() flattens a Design into registers with guarded
+ *    update rules — state registers become constant-assignment muxes
+ *    conditioned on their own value, counters become load/increment/
+ *    decrement registers, and every datapath block contributes decoy
+ *    data registers (accumulators, shift pipes) so the extractor has
+ *    to genuinely discriminate;
+ *
+ *  - extractStructures() classifies every register from its update
+ *    structure alone: a register whose non-hold updates all assign
+ *    constants and are predicated on its own current value is an FSM
+ *    state register (its constants are the state encoding and the
+ *    (self, target) pairs are the transition table); a register with
+ *    a load/clear initialisation plus self-increment or -decrement
+ *    updates is a counter; everything else is datapath.
+ *
+ * The test suite cross-checks extraction against the declarative
+ * analysis for every benchmark accelerator: same FSMs, same state and
+ * transition counts, same counters and directions.
+ */
+
+#ifndef PREDVFS_RTL_NETLIST_HH
+#define PREDVFS_RTL_NETLIST_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rtl/design.hh"
+
+namespace predvfs {
+namespace rtl {
+
+/** One guarded update rule of a netlist register. */
+struct RegisterUpdate
+{
+    /** What the rule writes when it fires. */
+    enum class Kind
+    {
+        Const,    //!< next = constant (state encodings, clears).
+        Load,     //!< next = f(inputs) (counter init, data capture).
+        SelfInc,  //!< next = self + 1.
+        SelfDec,  //!< next = self - 1.
+    };
+
+    Kind kind = Kind::Const;
+
+    /**
+     * Value of the register itself this rule is predicated on
+     * (the "current state" term of a next-state mux); -1 if the rule
+     * fires regardless of the register's own value.
+     */
+    std::int64_t selfValue = -1;
+
+    /** Additional input-dependent guard; null = unconditional. */
+    ExprPtr guard;
+
+    std::int64_t constant = 0;  //!< For Kind::Const.
+    ExprPtr load;               //!< For Kind::Load.
+};
+
+/** A flattened register with its update rules (priority-ordered). */
+struct NetRegister
+{
+    std::string name;
+    int width = 1;
+    std::int64_t resetValue = 0;
+    std::vector<RegisterUpdate> updates;  //!< Default: hold.
+
+    /**
+     * Wire-level fanin: index of another register this register is
+     * compared against by a comparator cell (e.g. an up-counter's
+     * limit register feeds the done comparator that also reads the
+     * count register). -1 = no comparator fanin. This is the
+     * connectivity information a gate-level netlist carries and the
+     * extraction algorithm of Shi et al. traverses.
+     */
+    int comparatorPeer = -1;
+};
+
+/** The flattened design. */
+struct Netlist
+{
+    std::string name;
+    std::vector<NetRegister> registers;
+};
+
+/** What the extraction algorithm recovered. */
+struct ExtractedFsm
+{
+    std::string registerName;
+    std::vector<std::int64_t> states;  //!< Distinct encodings, sorted.
+    /** Distinct (src, dst) transition pairs, sorted. */
+    std::vector<std::pair<std::int64_t, std::int64_t>> transitions;
+};
+
+/** A recovered counter. */
+struct ExtractedCounter
+{
+    std::string registerName;
+    CounterDir direction = CounterDir::Down;
+    bool hasLoadInit = false;  //!< Initialised from an input expression.
+};
+
+/** Full classification of a netlist. */
+struct ExtractedStructures
+{
+    std::vector<ExtractedFsm> fsms;
+    std::vector<ExtractedCounter> counters;
+    std::vector<std::string> dataRegisters;
+};
+
+/**
+ * Flatten a validated design into a netlist.
+ *
+ * Deterministic: register order is FSM state registers (design
+ * order), then counter registers, then per-block decoy data
+ * registers.
+ */
+Netlist lowerToNetlist(const Design &design);
+
+/**
+ * Classify every register of a netlist by structural analysis only
+ * (the update rules; never the names).
+ */
+ExtractedStructures extractStructures(const Netlist &netlist);
+
+} // namespace rtl
+} // namespace predvfs
+
+#endif // PREDVFS_RTL_NETLIST_HH

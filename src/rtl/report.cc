@@ -1,0 +1,144 @@
+#include "rtl/report.hh"
+
+#include "util/logging.hh"
+
+namespace predvfs {
+namespace rtl {
+
+namespace {
+
+const char *
+latencyLabel(const State &st)
+{
+    switch (st.kind) {
+      case LatencyKind::Fixed: return "fixed";
+      case LatencyKind::CounterWait: return "counter";
+      case LatencyKind::Implicit: return "implicit";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+writeDesignReport(std::ostream &os, const Design &design)
+{
+    util::panicIf(!design.validated(),
+                  "writeDesignReport: design not validated");
+    const auto &names = design.fieldNames();
+
+    os << "design " << design.name() << "\n"
+       << "  fields (" << names.size() << "):";
+    for (const auto &f : names)
+        os << " " << f;
+    os << "\n  per-job overhead: " << design.perJobOverheadCycles()
+       << " cycles\n  area: " << design.areaUnits() << " units ("
+       << design.controlAreaUnits() << " control)\n";
+
+    os << "  counters (" << design.counters().size() << "):\n";
+    for (const auto &c : design.counters()) {
+        os << "    " << c.name << " ["
+           << (c.dir == CounterDir::Down ? "down" : "up") << ", "
+           << c.bits << "b] range = " << c.range->toString(&names)
+           << "\n";
+    }
+
+    os << "  datapath blocks (" << design.blocks().size() << "):\n";
+    for (const auto &b : design.blocks()) {
+        os << "    " << b.name << " area=" << b.areaWeight
+           << " energy/op=" << b.energyWeight
+           << (b.shared ? " (shared)" : "") << "\n";
+    }
+
+    for (std::size_t f = 0; f < design.fsms().size(); ++f) {
+        const Fsm &fsm = design.fsms()[f];
+        os << "  fsm " << fsm.name;
+        if (fsm.startAfter >= 0)
+            os << " (after " << design.fsms()[fsm.startAfter].name
+               << ")";
+        os << ":\n";
+        for (std::size_t s = 0; s < fsm.states.size(); ++s) {
+            const State &st = fsm.states[s];
+            os << "    " << st.name << " [" << latencyLabel(st);
+            if (st.kind == LatencyKind::Fixed)
+                os << " " << st.fixedCycles;
+            if (st.kind == LatencyKind::CounterWait)
+                os << " " << design.counters()[st.counter].name;
+            if (st.kind == LatencyKind::Implicit)
+                os << " " << st.implicitLatency->toString(&names);
+            os << "]";
+            if (st.essential)
+                os << " essential";
+            if (st.terminal)
+                os << " terminal";
+            os << "\n";
+            for (const auto &t : st.transitions) {
+                os << "      -> " << fsm.states[t.dst].name;
+                if (t.guard)
+                    os << " when " << t.guard->toString(&names);
+                os << "\n";
+            }
+        }
+    }
+}
+
+void
+writeDot(std::ostream &os, const Design &design)
+{
+    util::panicIf(!design.validated(), "writeDot: design not validated");
+    const auto &names = design.fieldNames();
+
+    os << "digraph \"" << design.name() << "\" {\n"
+       << "  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n";
+
+    for (std::size_t f = 0; f < design.fsms().size(); ++f) {
+        const Fsm &fsm = design.fsms()[f];
+        os << "  subgraph cluster_" << f << " {\n"
+           << "    label=\"" << fsm.name << "\";\n";
+        for (std::size_t s = 0; s < fsm.states.size(); ++s) {
+            const State &st = fsm.states[s];
+            os << "    f" << f << "s" << s << " [label=\"" << st.name;
+            if (st.kind == LatencyKind::CounterWait)
+                os << "\\nwait "
+                   << design.counters()[st.counter].name;
+            os << "\"";
+            if (st.terminal)
+                os << ", peripheries=2";
+            if (st.essential)
+                os << ", style=bold";
+            os << "];\n";
+        }
+        for (std::size_t s = 0; s < fsm.states.size(); ++s) {
+            for (const auto &t : fsm.states[s].transitions) {
+                os << "    f" << f << "s" << s << " -> f" << f << "s"
+                   << t.dst;
+                if (t.guard)
+                    os << " [label=\"" << t.guard->toString(&names)
+                       << "\"]";
+                os << ";\n";
+            }
+        }
+        os << "  }\n";
+    }
+    os << "}\n";
+}
+
+void
+writeAnalysisReport(std::ostream &os, const Design &design,
+                    const AnalysisReport &report)
+{
+    os << "analysis of " << design.name() << ": "
+       << report.numFeatures() << " features from " << report.numFsms
+       << " FSM(s) / " << report.numCounters << " counter(s)\n";
+    for (const auto &spec : report.features)
+        os << "  [" << featureKindName(spec.kind) << "] " << spec.name
+           << "\n";
+    if (!report.implicitStates.empty()) {
+        os << "  unmodellable (implicit-latency) states:\n";
+        for (const auto &st : report.implicitStates)
+            os << "    " << st.name << "\n";
+    }
+}
+
+} // namespace rtl
+} // namespace predvfs

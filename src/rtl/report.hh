@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Human-readable reporting for designs and predictors: a textual
+ * summary of an accelerator's control structure (FSMs with their
+ * transition tables, counters with their range expressions, datapath
+ * blocks), and a Graphviz dump of the FSMs for documentation. The
+ * predictor report lists the selected features with their model
+ * coefficients — what a designer reviews before taping out a slice.
+ */
+
+#ifndef PREDVFS_RTL_REPORT_HH
+#define PREDVFS_RTL_REPORT_HH
+
+#include <ostream>
+
+#include "rtl/analysis.hh"
+#include "rtl/design.hh"
+
+namespace predvfs {
+namespace rtl {
+
+/** Write a structured textual summary of @p design to @p os. */
+void writeDesignReport(std::ostream &os, const Design &design);
+
+/**
+ * Write the design's FSMs as a Graphviz digraph (one cluster per
+ * FSM, guard expressions as edge labels, wait states annotated with
+ * their counters).
+ */
+void writeDot(std::ostream &os, const Design &design);
+
+/** Write the analysis outcome (features + unmodellable states). */
+void writeAnalysisReport(std::ostream &os, const Design &design,
+                         const AnalysisReport &report);
+
+} // namespace rtl
+} // namespace predvfs
+
+#endif // PREDVFS_RTL_REPORT_HH

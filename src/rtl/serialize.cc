@@ -1,0 +1,392 @@
+#include "rtl/serialize.hh"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace predvfs {
+namespace rtl {
+
+using util::fatal;
+using util::fatalIf;
+using util::panicIf;
+
+// ---- Expressions -----------------------------------------------------
+
+namespace {
+
+const std::map<Op, std::string> &
+opTokens()
+{
+    static const std::map<Op, std::string> tokens = {
+        {Op::Add, "add"}, {Op::Sub, "sub"}, {Op::Mul, "mul"},
+        {Op::Div, "div"}, {Op::Mod, "mod"}, {Op::Min, "min"},
+        {Op::Max, "max"}, {Op::Eq, "eq"},   {Op::Ne, "ne"},
+        {Op::Lt, "lt"},   {Op::Le, "le"},   {Op::Gt, "gt"},
+        {Op::Ge, "ge"},   {Op::And, "and"}, {Op::Or, "or"},
+        {Op::Not, "not"}, {Op::Select, "sel"},
+    };
+    return tokens;
+}
+
+void
+serializeInto(std::ostringstream &os, const ExprPtr &expr)
+{
+    switch (expr->op()) {
+      case Op::Const:
+        os << "(lit " << expr->constValue() << ")";
+        return;
+      case Op::Field:
+        os << "(fld " << expr->fieldId() << ")";
+        return;
+      default:
+        break;
+    }
+    const auto it = opTokens().find(expr->op());
+    panicIf(it == opTokens().end(), "unserialisable op");
+    os << "(" << it->second;
+    for (const auto &arg : expr->args()) {
+        os << " ";
+        serializeInto(os, arg);
+    }
+    os << ")";
+}
+
+/** Recursive-descent S-expression parser over a token stream. */
+class ExprParser
+{
+  public:
+    explicit ExprParser(const std::string &text)
+    {
+        std::string current;
+        for (char c : text) {
+            if (c == '(' || c == ')') {
+                if (!current.empty()) {
+                    tokens.push_back(current);
+                    current.clear();
+                }
+                tokens.push_back(std::string(1, c));
+            } else if (std::isspace(static_cast<unsigned char>(c))) {
+                if (!current.empty()) {
+                    tokens.push_back(current);
+                    current.clear();
+                }
+            } else {
+                current += c;
+            }
+        }
+        if (!current.empty())
+            tokens.push_back(current);
+    }
+
+    ExprPtr
+    parse()
+    {
+        const ExprPtr result = parseNode();
+        fatalIf(pos != tokens.size(),
+                "expression has trailing tokens");
+        return result;
+    }
+
+  private:
+    std::string
+    next()
+    {
+        fatalIf(pos >= tokens.size(),
+                "unexpected end of expression");
+        return tokens[pos++];
+    }
+
+    ExprPtr
+    parseNode()
+    {
+        fatalIf(next() != "(", "expected '(' in expression");
+        const std::string op = next();
+
+        if (op == "lit") {
+            const std::int64_t v = std::stoll(next());
+            fatalIf(next() != ")", "expected ')' after lit");
+            return lit(v);
+        }
+        if (op == "fld") {
+            const int f = std::stoi(next());
+            fatalIf(next() != ")", "expected ')' after fld");
+            return fld(f);
+        }
+
+        std::vector<ExprPtr> args;
+        while (pos < tokens.size() && tokens[pos] == "(")
+            args.push_back(parseNode());
+        fatalIf(next() != ")", "expected ')' after operands");
+
+        auto need = [&](std::size_t n) {
+            fatalIf(args.size() != n,
+                    "operator '", op, "' expects ", n, " operands");
+        };
+        if (op == "not") {
+            need(1);
+            return Expr::logicalNot(args[0]);
+        }
+        if (op == "sel") {
+            need(3);
+            return Expr::select(args[0], args[1], args[2]);
+        }
+        need(2);
+        if (op == "add") return Expr::add(args[0], args[1]);
+        if (op == "sub") return Expr::sub(args[0], args[1]);
+        if (op == "mul") return Expr::mul(args[0], args[1]);
+        if (op == "div") return Expr::div(args[0], args[1]);
+        if (op == "mod") return Expr::mod(args[0], args[1]);
+        if (op == "min") return Expr::min(args[0], args[1]);
+        if (op == "max") return Expr::max(args[0], args[1]);
+        if (op == "eq") return Expr::eq(args[0], args[1]);
+        if (op == "ne") return Expr::ne(args[0], args[1]);
+        if (op == "lt") return Expr::lt(args[0], args[1]);
+        if (op == "le") return Expr::le(args[0], args[1]);
+        if (op == "gt") return Expr::gt(args[0], args[1]);
+        if (op == "ge") return Expr::ge(args[0], args[1]);
+        if (op == "and") return Expr::logicalAnd(args[0], args[1]);
+        if (op == "or") return Expr::logicalOr(args[0], args[1]);
+        fatal("unknown expression operator '", op, "'");
+        return nullptr;
+    }
+
+    std::vector<std::string> tokens;
+    std::size_t pos = 0;
+};
+
+} // namespace
+
+std::string
+serializeExpr(const ExprPtr &expr)
+{
+    panicIf(!expr, "serializeExpr: null expression");
+    std::ostringstream os;
+    serializeInto(os, expr);
+    return os.str();
+}
+
+ExprPtr
+parseExpr(const std::string &text)
+{
+    return ExprParser(text).parse();
+}
+
+// ---- Designs ---------------------------------------------------------
+
+void
+writeDesign(std::ostream &os, const Design &design)
+{
+    panicIf(!design.validated(), "writeDesign: design not validated");
+
+    os << "design " << design.name() << "\n";
+    for (const auto &field : design.fieldNames())
+        os << "field " << field << "\n";
+    for (const auto &c : design.counters()) {
+        os << "counter " << c.name << " "
+           << (c.dir == CounterDir::Down ? "down" : "up") << " "
+           << c.bits << " " << serializeExpr(c.range) << "\n";
+    }
+    for (const auto &b : design.blocks()) {
+        os << "block " << b.name << " " << b.areaWeight << " "
+           << b.energyWeight << " " << (b.shared ? "shared" : "-")
+           << "\n";
+    }
+
+    for (const auto &fsm : design.fsms()) {
+        os << "fsm " << fsm.name << " " << fsm.startAfter << "\n";
+        for (const auto &st : fsm.states) {
+            os << "state " << st.name << " ";
+            switch (st.kind) {
+              case LatencyKind::Fixed:
+                os << "fixed " << st.fixedCycles;
+                break;
+              case LatencyKind::CounterWait:
+                os << "counter " << st.counter;
+                break;
+              case LatencyKind::Implicit:
+                os << "implicit " << serializeExpr(st.implicitLatency);
+                break;
+            }
+            if (st.block >= 0)
+                os << " block=" << st.block << " dp="
+                   << st.dpOpsPerCycle;
+            if (st.essential)
+                os << " essential";
+            if (st.terminal)
+                os << " terminal";
+            if (st.armOnly)
+                os << " armonly";
+            if (st.waitScale != 1)
+                os << " waitscale=" << st.waitScale;
+            if (!st.producesFields.empty()) {
+                os << " produces=";
+                for (std::size_t i = 0; i < st.producesFields.size();
+                     ++i) {
+                    if (i)
+                        os << ",";
+                    os << st.producesFields[i];
+                }
+            }
+            os << "\n";
+        }
+        for (std::size_t s = 0; s < fsm.states.size(); ++s) {
+            for (const auto &t : fsm.states[s].transitions) {
+                os << "trans " << s << " " << t.dst << " "
+                   << (t.guard ? serializeExpr(t.guard)
+                               : std::string("-"))
+                   << "\n";
+            }
+        }
+    }
+
+    os << "overhead " << design.perJobOverheadCycles() << "\n";
+    os << "ctrlenergy " << design.controlEnergyPerCycle() << "\n";
+    os << "end\n";
+}
+
+Design
+readDesign(std::istream &is)
+{
+    std::string line;
+    fatalIf(!std::getline(is, line), "empty design stream");
+    std::istringstream first(line);
+    std::string keyword;
+    std::string name;
+    first >> keyword >> name;
+    fatalIf(keyword != "design" || name.empty(),
+            "design file must start with 'design <name>'");
+
+    Design d(name);
+    FsmId current_fsm = -1;
+    bool ended = false;
+
+    while (!ended && std::getline(is, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        ls >> keyword;
+
+        if (keyword == "field") {
+            std::string field;
+            ls >> field;
+            d.addField(field);
+        } else if (keyword == "counter") {
+            std::string cname;
+            std::string dir;
+            int bits = 0;
+            ls >> cname >> dir >> bits;
+            std::string rest;
+            std::getline(ls, rest);
+            d.addCounter(cname,
+                         dir == "down" ? CounterDir::Down
+                                       : CounterDir::Up,
+                         parseExpr(rest), bits);
+        } else if (keyword == "block") {
+            std::string bname;
+            double area = 0.0;
+            double energy = 0.0;
+            std::string shared;
+            ls >> bname >> area >> energy >> shared;
+            d.addBlock(bname, area, energy, shared == "shared");
+        } else if (keyword == "fsm") {
+            std::string fname;
+            int after = -1;
+            ls >> fname >> after;
+            current_fsm = d.addFsm(fname, after);
+        } else if (keyword == "state") {
+            fatalIf(current_fsm < 0, "state before any fsm");
+            State st;
+            std::string kind;
+            ls >> st.name >> kind;
+            std::string token;
+            if (kind == "fixed") {
+                ls >> st.fixedCycles;
+                st.kind = LatencyKind::Fixed;
+            } else if (kind == "counter") {
+                ls >> st.counter;
+                st.kind = LatencyKind::CounterWait;
+            } else if (kind == "implicit") {
+                // The expression is the next parenthesised group;
+                // read it greedily up to its balancing ')'.
+                std::string expr_text;
+                int depth = 0;
+                char c = 0;
+                while (ls.get(c)) {
+                    if (c == '(')
+                        ++depth;
+                    if (depth > 0)
+                        expr_text += c;
+                    if (c == ')') {
+                        --depth;
+                        if (depth == 0)
+                            break;
+                    }
+                }
+                st.kind = LatencyKind::Implicit;
+                st.implicitLatency = parseExpr(expr_text);
+            } else {
+                fatal("unknown state kind '", kind, "'");
+            }
+            while (ls >> token) {
+                if (token == "essential") {
+                    st.essential = true;
+                } else if (token == "terminal") {
+                    st.terminal = true;
+                } else if (token == "armonly") {
+                    st.armOnly = true;
+                } else if (token.rfind("block=", 0) == 0) {
+                    st.block = std::stoi(token.substr(6));
+                } else if (token.rfind("dp=", 0) == 0) {
+                    st.dpOpsPerCycle = std::stod(token.substr(3));
+                } else if (token.rfind("waitscale=", 0) == 0) {
+                    st.waitScale = std::stoi(token.substr(10));
+                } else if (token.rfind("produces=", 0) == 0) {
+                    std::istringstream fields(token.substr(9));
+                    std::string part;
+                    while (std::getline(fields, part, ','))
+                        st.producesFields.push_back(std::stoi(part));
+                } else {
+                    fatal("unknown state attribute '", token, "'");
+                }
+            }
+            d.addState(current_fsm, std::move(st));
+        } else if (keyword == "trans") {
+            fatalIf(current_fsm < 0, "trans before any fsm");
+            int src = -1;
+            int dst = -1;
+            ls >> src >> dst;
+            std::string rest;
+            std::getline(ls, rest);
+            // Trim leading whitespace.
+            const auto begin = rest.find_first_not_of(" \t");
+            rest = begin == std::string::npos ? "" :
+                rest.substr(begin);
+            ExprPtr guard;
+            if (rest != "-" && !rest.empty())
+                guard = parseExpr(rest);
+            d.addTransition(current_fsm, src, guard, dst);
+        } else if (keyword == "overhead") {
+            std::uint64_t cycles = 0;
+            ls >> cycles;
+            d.setPerJobOverheadCycles(cycles);
+        } else if (keyword == "ctrlenergy") {
+            double units = 0.0;
+            ls >> units;
+            d.setControlEnergyPerCycle(units);
+        } else if (keyword == "end") {
+            ended = true;
+        } else {
+            fatal("unknown design keyword '", keyword, "'");
+        }
+    }
+    fatalIf(!ended, "design file missing 'end'");
+
+    d.validate();
+    return d;
+}
+
+} // namespace rtl
+} // namespace predvfs

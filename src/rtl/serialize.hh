@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Textual serialization of designs (and, via core/persist, trained
+ * predictors). The format is a line-oriented, whitespace-tokenised
+ * description with S-expression syntax for guard/range expressions:
+ *
+ *   design h264
+ *   field mb_type
+ *   counter entropy_len down 16 (add (lit 46) (mul (fld 1) (lit 3)))
+ *   block parser_dp 2600 1.2 -
+ *   fsm parser -1
+ *   state ParseHeader fixed 30 block=0 dp=1.0 essential produces=0,3,4
+ *   state EntropyDecode counter 0 essential produces=1,2,5
+ *   trans 0 1 (gt (fld 1) (lit 0))
+ *   trans 0 2 -
+ *   overhead 5200
+ *   end
+ *
+ * writeDesign() and readDesign() round-trip: the parsed design is
+ * structurally identical (same cycle counts, same features, same
+ * slices). This is how a generated hardware slice leaves the flow for
+ * implementation.
+ */
+
+#ifndef PREDVFS_RTL_SERIALIZE_HH
+#define PREDVFS_RTL_SERIALIZE_HH
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "rtl/design.hh"
+
+namespace predvfs {
+namespace rtl {
+
+/** Serialise an expression as an S-expression. */
+std::string serializeExpr(const ExprPtr &expr);
+
+/**
+ * Parse an S-expression produced by serializeExpr().
+ * fatal()s on malformed input (user data, not an internal bug).
+ */
+ExprPtr parseExpr(const std::string &text);
+
+/** Write @p design (validated) in the textual format. */
+void writeDesign(std::ostream &os, const Design &design);
+
+/**
+ * Parse a design written by writeDesign(). The result is validated.
+ * fatal()s on malformed input.
+ */
+Design readDesign(std::istream &is);
+
+} // namespace rtl
+} // namespace predvfs
+
+#endif // PREDVFS_RTL_SERIALIZE_HH

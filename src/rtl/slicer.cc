@@ -1,0 +1,299 @@
+#include "rtl/slicer.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/logging.hh"
+
+namespace predvfs {
+namespace rtl {
+
+using util::panicIf;
+
+namespace {
+
+/** Fields read by any guard, counter range, or implicit latency of an
+ *  FSM (the inputs its control logic consumes). */
+std::set<FieldId>
+fieldsConsumedBy(const Design &design, FsmId id)
+{
+    std::set<FieldId> fields;
+    const Fsm &fsm = design.fsms()[id];
+    for (const auto &st : fsm.states) {
+        for (const auto &t : st.transitions)
+            if (t.guard)
+                t.guard->collectFields(fields);
+        if (st.kind == LatencyKind::CounterWait)
+            design.counters()[st.counter].range->collectFields(fields);
+        if (st.kind == LatencyKind::Implicit)
+            st.implicitLatency->collectFields(fields);
+    }
+    return fields;
+}
+
+/** Map each produced field to the FSM whose state produces it. */
+std::map<FieldId, FsmId>
+fieldProducers(const Design &design)
+{
+    std::map<FieldId, FsmId> producers;
+    for (std::size_t f = 0; f < design.fsms().size(); ++f) {
+        for (const auto &st : design.fsms()[f].states) {
+            for (FieldId field : st.producesFields) {
+                const auto ins =
+                    producers.insert({field, static_cast<FsmId>(f)});
+                panicIf(!ins.second &&
+                        ins.first->second != static_cast<FsmId>(f),
+                        "field ", field, " produced by two FSMs");
+            }
+        }
+    }
+    return producers;
+}
+
+} // namespace
+
+double
+SliceResult::areaUnits() const
+{
+    return design.areaUnits() + instrumentationAreaUnits +
+        modelEvalAreaUnits;
+}
+
+SliceResult
+makeSlice(const Design &design, const std::vector<FeatureSpec> &selected,
+          const SliceOptions &options)
+{
+    panicIf(!design.validated(), "makeSlice: design not validated");
+    panicIf(selected.empty(), "makeSlice: no features selected");
+
+    const std::size_t num_fsms = design.fsms().size();
+    const std::size_t num_counters = design.counters().size();
+    const bool hls = options.mode == SliceOptions::Mode::Hls;
+    const int speedup = options.hlsSpeedup;
+    panicIf(hls && speedup < 1, "bad hlsSpeedup ", speedup);
+
+    // --- Step 1: which counters and FSMs are needed? ----------------
+    std::set<CounterId> needed_counters;
+    std::set<FsmId> kept_fsms;
+
+    for (const auto &spec : selected) {
+        switch (spec.kind) {
+          case FeatureKind::Stc:
+            panicIf(spec.fsm < 0 ||
+                    static_cast<std::size_t>(spec.fsm) >= num_fsms,
+                    "slice: feature '", spec.name, "' bad fsm");
+            kept_fsms.insert(spec.fsm);
+            break;
+          case FeatureKind::Ic:
+          case FeatureKind::Siv:
+          case FeatureKind::Spv:
+            panicIf(spec.counter < 0 ||
+                    static_cast<std::size_t>(spec.counter) >=
+                        num_counters,
+                    "slice: feature '", spec.name, "' bad counter");
+            needed_counters.insert(spec.counter);
+            break;
+        }
+    }
+
+    // FSMs that arm a needed counter must be kept.
+    for (std::size_t f = 0; f < num_fsms; ++f) {
+        for (const auto &st : design.fsms()[f].states) {
+            if (st.kind == LatencyKind::CounterWait &&
+                needed_counters.count(st.counter)) {
+                kept_fsms.insert(static_cast<FsmId>(f));
+            }
+        }
+    }
+
+    // Fixed point: keep the producers of every field any kept FSM (or
+    // needed counter range) consumes.
+    const auto producers = fieldProducers(design);
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        std::set<FieldId> consumed;
+        for (FsmId f : kept_fsms) {
+            const auto fields = fieldsConsumedBy(design, f);
+            consumed.insert(fields.begin(), fields.end());
+        }
+        for (CounterId c : needed_counters)
+            design.counters()[c].range->collectFields(consumed);
+        for (FieldId field : consumed) {
+            const auto it = producers.find(field);
+            if (it != producers.end() && !kept_fsms.count(it->second)) {
+                kept_fsms.insert(it->second);
+                changed = true;
+            }
+        }
+    }
+
+    panicIf(kept_fsms.empty(), "slice kept no FSMs");
+
+    // Counters kept: needed ones, plus counters of essential waits in
+    // kept FSMs (the wait survives, so the hardware keeps the counter).
+    std::set<CounterId> kept_counters = needed_counters;
+    for (FsmId f : kept_fsms) {
+        for (const auto &st : design.fsms()[f].states) {
+            if (st.kind == LatencyKind::CounterWait && st.essential)
+                kept_counters.insert(st.counter);
+        }
+    }
+
+    // Datapath blocks referenced by essential states of kept FSMs.
+    std::set<BlockId> kept_blocks;
+    for (FsmId f : kept_fsms) {
+        for (const auto &st : design.fsms()[f].states) {
+            if (st.essential && st.block >= 0)
+                kept_blocks.insert(st.block);
+        }
+    }
+
+    // --- Step 2: build the slice design ------------------------------
+    SliceResult result{Design(design.name() + ".slice"), {}, 0, 0, 0,
+                       0.0, 0.0};
+    Design &slice = result.design;
+
+    for (const auto &name : design.fieldNames())
+        slice.addField(name);
+
+    std::map<CounterId, CounterId> counter_map;
+    for (CounterId c = 0; c < static_cast<CounterId>(num_counters); ++c) {
+        if (!kept_counters.count(c))
+            continue;
+        const Counter &orig = design.counters()[c];
+        counter_map[c] =
+            slice.addCounter(orig.name, orig.dir, orig.range, orig.bits);
+    }
+
+    std::map<BlockId, BlockId> block_map;
+    for (BlockId b = 0;
+         b < static_cast<BlockId>(design.blocks().size()); ++b) {
+        if (!kept_blocks.count(b))
+            continue;
+        const DatapathBlock &orig = design.blocks()[b];
+        // Shared scratchpads are accessed through time multiplexing
+        // (Figure 5), so the slice carries no copy of their area.
+        block_map[b] = slice.addBlock(
+            orig.name, orig.shared ? 0.0 : orig.areaWeight,
+            orig.energyWeight, orig.shared);
+    }
+
+    // startAfter must point at the nearest kept ancestor in the chain.
+    auto nearest_kept = [&](FsmId start) -> FsmId {
+        FsmId cur = start;
+        while (cur >= 0 && !kept_fsms.count(cur))
+            cur = design.fsms()[cur].startAfter;
+        return cur;
+    };
+
+    std::map<FsmId, FsmId> fsm_map;
+    // First pass assigns new ids so startAfter remapping below can
+    // reference any kept FSM regardless of order.
+    {
+        FsmId next = 0;
+        for (FsmId f = 0; f < static_cast<FsmId>(num_fsms); ++f)
+            if (kept_fsms.count(f))
+                fsm_map[f] = next++;
+    }
+
+    for (FsmId f = 0; f < static_cast<FsmId>(num_fsms); ++f) {
+        if (!kept_fsms.count(f))
+            continue;
+        const Fsm &orig = design.fsms()[f];
+
+        const FsmId dep = nearest_kept(orig.startAfter);
+        const FsmId new_id =
+            slice.addFsm(orig.name, dep < 0 ? -1 : fsm_map.at(dep));
+        panicIf(new_id != fsm_map.at(f), "fsm id remap mismatch");
+
+        for (const auto &orig_st : orig.states) {
+            State st;
+            st.name = orig_st.name;
+            st.terminal = orig_st.terminal;
+            st.essential = orig_st.essential;
+            st.producesFields = orig_st.producesFields;
+            st.transitions = orig_st.transitions;  // State ids local.
+
+            if (orig_st.essential) {
+                // Essential state: latency and datapath preserved (it
+                // computes the fields features derive from). Under HLS
+                // slicing the scheduler compresses it.
+                st.kind = orig_st.kind;
+                if (orig_st.block >= 0) {
+                    st.block = block_map.at(orig_st.block);
+                    st.dpOpsPerCycle = orig_st.dpOpsPerCycle;
+                }
+                switch (orig_st.kind) {
+                  case LatencyKind::Fixed:
+                    st.fixedCycles = hls ?
+                        std::max(1, (orig_st.fixedCycles + speedup - 1) /
+                                    speedup) :
+                        orig_st.fixedCycles;
+                    break;
+                  case LatencyKind::CounterWait:
+                    st.counter = counter_map.at(orig_st.counter);
+                    st.waitScale = hls ? speedup : 1;
+                    break;
+                  case LatencyKind::Implicit:
+                    st.implicitLatency = hls ?
+                        Expr::max(lit(1),
+                                  Expr::div(orig_st.implicitLatency,
+                                            lit(speedup))) :
+                        orig_st.implicitLatency;
+                    break;
+                }
+            } else if (orig_st.kind == LatencyKind::CounterWait &&
+                       needed_counters.count(orig_st.counter)) {
+                // Wait-state elision: arm the counter (one cycle) so
+                // the instrumentation records its range, don't wait.
+                st.kind = LatencyKind::CounterWait;
+                st.counter = counter_map.at(orig_st.counter);
+                st.armOnly = true;
+            } else {
+                // Pure wait or datapath-only state: single-cycle visit
+                // to follow control flow.
+                st.kind = LatencyKind::Fixed;
+                st.fixedCycles = 1;
+            }
+
+            slice.addState(new_id, std::move(st));
+        }
+    }
+
+    // Per-job overhead: the slice reuses the job's scratchpad contents
+    // (access is time-multiplexed, Figure 5), so the DMA overhead is
+    // not paid again; only a small kick-off cost remains.
+    slice.setPerJobOverheadCycles(
+        std::min<std::uint64_t>(design.perJobOverheadCycles(), 8));
+    slice.setControlEnergyPerCycle(design.controlEnergyPerCycle());
+    slice.validate();
+
+    // --- Step 3: rebase the selected features onto the slice --------
+    for (const auto &spec : selected) {
+        FeatureSpec rebased = spec;
+        if (spec.kind == FeatureKind::Stc) {
+            rebased.fsm = fsm_map.at(spec.fsm);
+        } else {
+            rebased.counter = counter_map.at(spec.counter);
+        }
+        result.features.push_back(std::move(rebased));
+    }
+
+    result.keptFsms = kept_fsms.size();
+    result.keptCounters = kept_counters.size();
+    result.keptBlocks = kept_blocks.size();
+
+    // Instrumentation registers (one 24-bit accumulator with update
+    // logic per feature) plus a serial multiply-accumulate unit
+    // evaluating the linear model.
+    result.instrumentationAreaUnits =
+        30.0 * static_cast<double>(selected.size());
+    result.modelEvalAreaUnits = 64.0;
+
+    return result;
+}
+
+} // namespace rtl
+} // namespace predvfs

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Hardware slicing (paper Section 3.5).
+ *
+ * Given an accelerator design and the subset of features the trained
+ * prediction model actually uses, the slicer produces a minimal
+ * version of the hardware — a new Design — that computes exactly those
+ * feature values as fast as possible:
+ *
+ *  1. Dependency analysis keeps only the FSMs that (a) source a
+ *     selected STC feature, (b) arm a selected counter, or (c) contain
+ *     an essential state producing a field consumed by any kept guard
+ *     or counter range (computed to a fixed point — e.g. the H.264
+ *     bitstream parser stays because it decodes the fields the inter
+ *     prediction control consumes).
+ *  2. Datapath blocks not referenced by kept essential states are
+ *     removed (the bulk of the area).
+ *  3. Wait-state elision: non-essential counter waits become one-cycle
+ *     "arm only" states; fixed and implicit non-essential dwell times
+ *     collapse to one cycle. Essential states keep their latency —
+ *     they do the real work that produces feature inputs.
+ *
+ * The optional HLS mode models slicing at the source (C) level before
+ * high-level synthesis (Section 4.5): the HLS scheduler can compress
+ * even the essential computation, so essential latencies shrink by a
+ * speedup factor. This is what removes the residual deadline misses in
+ * the paper's Figure 18.
+ */
+
+#ifndef PREDVFS_RTL_SLICER_HH
+#define PREDVFS_RTL_SLICER_HH
+
+#include <vector>
+
+#include "rtl/analysis.hh"
+#include "rtl/design.hh"
+
+namespace predvfs {
+namespace rtl {
+
+/** Slicing configuration. */
+struct SliceOptions
+{
+    /** Where slicing happens in the design flow. */
+    enum class Mode
+    {
+        Rtl,  //!< Slice the RTL directly (the paper's main flow).
+        Hls   //!< Slice the HLS source; scheduler compresses latency.
+    };
+
+    Mode mode = Mode::Rtl;
+
+    /** Latency compression of essential states under HLS slicing. */
+    int hlsSpeedup = 3;
+};
+
+/** Result of slicing: a runnable mini-design plus feature remapping. */
+struct SliceResult
+{
+    /** The slice itself, validated and runnable by the Interpreter. */
+    Design design;
+
+    /**
+     * Feature specs rebased onto the slice's FSM/counter numbering, in
+     * the SAME order as the selected features handed to makeSlice(),
+     * so a model coefficient vector aligns with either design.
+     */
+    std::vector<FeatureSpec> features;
+
+    std::size_t keptFsms = 0;
+    std::size_t keptCounters = 0;
+    std::size_t keptBlocks = 0;
+
+    /** Area of the instrumentation registers added to the slice. */
+    double instrumentationAreaUnits = 0.0;
+
+    /** Area of the dot-product (multiply-accumulate) evaluation unit. */
+    double modelEvalAreaUnits = 0.0;
+
+    /** Total slice area including instrumentation and model eval. */
+    double areaUnits() const;
+};
+
+/**
+ * Build a hardware slice of @p design computing @p selected features.
+ *
+ * @param design   A validated accelerator design.
+ * @param selected Features the prediction model uses (usually the
+ *                 non-zero-coefficient subset after Lasso).
+ * @param options  RTL vs HLS mode.
+ */
+SliceResult makeSlice(const Design &design,
+                      const std::vector<FeatureSpec> &selected,
+                      const SliceOptions &options = {});
+
+} // namespace rtl
+} // namespace predvfs
+
+#endif // PREDVFS_RTL_SLICER_HH

@@ -1,0 +1,150 @@
+#include "sim/engine.hh"
+
+#include <algorithm>
+
+#include "rtl/interpreter.hh"
+#include "util/logging.hh"
+
+namespace predvfs {
+namespace sim {
+
+using util::panicIf;
+
+SimulationEngine::SimulationEngine(
+    const accel::Accelerator &accelerator,
+    const power::OperatingPointTable &table, EngineConfig config,
+    std::optional<power::EnergyParams> energy_params)
+    : accel(accelerator),
+      opTable(table),
+      engineConfig(config),
+      energyModel(energy_params ? *energy_params
+                                : accelerator.energyParams())
+{
+    panicIf(engineConfig.deadlineSeconds <= 0.0, "bad deadline");
+}
+
+std::vector<core::PreparedJob>
+SimulationEngine::prepare(const std::vector<rtl::JobInput> &jobs,
+                          const core::SlicePredictor *predictor) const
+{
+    rtl::Interpreter interp(accel.design());
+
+    std::vector<core::PreparedJob> prepared;
+    prepared.reserve(jobs.size());
+    for (const auto &job : jobs) {
+        core::PreparedJob record;
+        record.input = &job;
+        const rtl::JobResult result = interp.run(job);
+        record.cycles = result.cycles;
+        record.energyUnits = result.energyUnits;
+        if (predictor) {
+            const core::SliceRun slice = predictor->run(job);
+            record.sliceCycles = slice.sliceCycles;
+            record.sliceEnergyUnits = slice.sliceEnergyUnits;
+            record.predictedCycles = slice.predictedCycles;
+        }
+        prepared.push_back(record);
+    }
+    return prepared;
+}
+
+double
+SimulationEngine::nominalSeconds(const core::PreparedJob &job) const
+{
+    return static_cast<double>(job.cycles) / accel.nominalFrequencyHz();
+}
+
+RunMetrics
+SimulationEngine::run(core::DvfsController &controller,
+                      const std::vector<core::PreparedJob> &jobs,
+                      std::vector<JobTrace> *trace) const
+{
+    controller.reset();
+    if (trace) {
+        trace->clear();
+        trace->reserve(jobs.size());
+    }
+
+    RunMetrics metrics;
+    const double v_nominal = energyModel.params().vNominal;
+    std::size_t current_level = opTable.nominalIndex();
+
+    // Jobs are periodic (one per deadline interval, Figure 1): when a
+    // job overruns its deadline, the accelerator is still busy when
+    // the next job is released, so the successor starts late and has
+    // less than a full period of budget.
+    double carry_seconds = 0.0;
+
+    for (const auto &job : jobs) {
+        const double budget =
+            engineConfig.deadlineSeconds - carry_seconds;
+        const core::Decision decision =
+            controller.decide(job, current_level,
+                              std::max(budget, 1e-9));
+        panicIf(decision.level >= opTable.size(),
+                "controller '", controller.name(),
+                "' chose invalid level ", decision.level);
+        const auto &op = opTable[decision.level];
+
+        const bool switched = decision.level != current_level;
+        const double switch_seconds =
+            (switched && decision.chargeSwitch)
+                ? engineConfig.switchTimeSeconds
+                : 0.0;
+        current_level = decision.level;
+
+        const double exec_seconds =
+            static_cast<double>(job.cycles) / op.frequencyHz;
+        const double total_seconds = decision.overheadSeconds +
+            switch_seconds + exec_seconds;
+
+        const double exec_energy =
+            energyModel.jobEnergy(job.energyUnits, job.cycles, op);
+        // The predictor slice runs at nominal voltage/frequency (it is
+        // a separate small block, Figure 5); charge its dynamic energy
+        // plus leakage for its runtime.
+        const double overhead_energy =
+            energyModel.dynamicEnergy(decision.overheadEnergyUnits,
+                                      v_nominal) +
+            (decision.overheadEnergyUnits > 0.0
+                 ? energyModel.leakagePower(v_nominal) *
+                       decision.overheadSeconds
+                 : 0.0) +
+            decision.overheadEnergyJoules;
+
+        const double finish_seconds = carry_seconds + total_seconds;
+        const bool missed =
+            finish_seconds > engineConfig.deadlineSeconds;
+        carry_seconds = std::max(
+            0.0, finish_seconds - engineConfig.deadlineSeconds);
+
+        metrics.jobs += 1;
+        metrics.misses += missed ? 1 : 0;
+        metrics.switches += switched ? 1 : 0;
+        metrics.execEnergyJoules += exec_energy;
+        metrics.overheadEnergyJoules += overhead_energy;
+        metrics.execSeconds += exec_seconds;
+        metrics.overheadSeconds +=
+            decision.overheadSeconds + switch_seconds;
+
+        const double nominal_seconds = nominalSeconds(job);
+        controller.observe(job, nominal_seconds);
+
+        if (trace) {
+            JobTrace t;
+            t.level = decision.level;
+            t.actualNominalSeconds = nominal_seconds;
+            t.predictedNominalSeconds =
+                decision.predictedNominalSeconds;
+            t.execSeconds = exec_seconds;
+            t.totalSeconds = total_seconds;
+            t.energyJoules = exec_energy + overhead_energy;
+            t.missed = missed;
+            trace->push_back(t);
+        }
+    }
+    return metrics;
+}
+
+} // namespace sim
+} // namespace predvfs

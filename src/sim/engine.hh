@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The simulation engine ties everything together: it RTL-simulates
+ * each job once (full design, and the slice when a predictor is
+ * given), then replays the resulting per-job records under any DVFS
+ * controller, accounting time, energy, switching, and deadline
+ * misses. Replaying precomputed records is exact because execution is
+ * compute-bound: cycles are frequency-independent, so time at any
+ * level is cycles / f(level).
+ */
+
+#ifndef PREDVFS_SIM_ENGINE_HH
+#define PREDVFS_SIM_ENGINE_HH
+
+#include <optional>
+#include <vector>
+
+#include "accel/accelerator.hh"
+#include "core/controller.hh"
+#include "core/predictor.hh"
+#include "power/energy_model.hh"
+#include "power/operating_points.hh"
+#include "sim/metrics.hh"
+
+namespace predvfs {
+namespace sim {
+
+/** Timing parameters of a simulated deployment. */
+struct EngineConfig
+{
+    double deadlineSeconds = 1.0 / 60.0;  //!< 60 fps refresh budget.
+    double switchTimeSeconds = 100e-6;    //!< DVFS settle time.
+};
+
+/** Precomputes job records and replays them under controllers. */
+class SimulationEngine
+{
+  public:
+    /**
+     * @param accelerator   Benchmark accelerator (design + calibration).
+     * @param table         Operating points; must outlive the engine.
+     * @param config        Deadline and switch time.
+     * @param energy_params Optional override of the accelerator's
+     *                      energy calibration (e.g. the FPGA variant).
+     */
+    SimulationEngine(const accel::Accelerator &accelerator,
+                     const power::OperatingPointTable &table,
+                     EngineConfig config,
+                     std::optional<power::EnergyParams> energy_params =
+                         std::nullopt);
+
+    /**
+     * RTL-simulate @p jobs once, with the optional predictor's slice.
+     *
+     * The returned records keep pointers into @p jobs; the caller must
+     * keep the job vector alive while the records are used.
+     */
+    std::vector<core::PreparedJob>
+    prepare(const std::vector<rtl::JobInput> &jobs,
+            const core::SlicePredictor *predictor = nullptr) const;
+
+    /**
+     * Replay a prepared stream under @p controller.
+     *
+     * @param controller The DVFS policy (reset() is called first).
+     * @param jobs       Prepared records.
+     * @param trace      Optional per-job trace output.
+     */
+    RunMetrics run(core::DvfsController &controller,
+                   const std::vector<core::PreparedJob> &jobs,
+                   std::vector<JobTrace> *trace = nullptr) const;
+
+    const accel::Accelerator &accelerator() const { return accel; }
+    const power::OperatingPointTable &table() const { return opTable; }
+    const EngineConfig &config() const { return engineConfig; }
+
+    /** Nominal execution seconds of a prepared job. */
+    double nominalSeconds(const core::PreparedJob &job) const;
+
+    /** Energy model in effect (after any platform override). */
+    const power::EnergyModel &energy() const { return energyModel; }
+
+  private:
+    const accel::Accelerator &accel;
+    const power::OperatingPointTable &opTable;
+    EngineConfig engineConfig;
+    power::EnergyModel energyModel;
+};
+
+} // namespace sim
+} // namespace predvfs
+
+#endif // PREDVFS_SIM_ENGINE_HH

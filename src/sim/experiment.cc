@@ -1,0 +1,235 @@
+#include "sim/experiment.hh"
+
+#include "accel/registry.hh"
+#include "core/oracle_controller.hh"
+#include "core/predictive_controller.hh"
+#include "core/table_controller.hh"
+#include "util/logging.hh"
+
+namespace predvfs {
+namespace sim {
+
+const char *
+schemeName(Scheme scheme)
+{
+    switch (scheme) {
+      case Scheme::Baseline: return "baseline";
+      case Scheme::Pid: return "pid";
+      case Scheme::Table: return "table";
+      case Scheme::Prediction: return "prediction";
+      case Scheme::PredictionNoOverhead: return "prediction w/o overhead";
+      case Scheme::PredictionBoost: return "prediction w/ boost";
+      case Scheme::Oracle: return "oracle";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Fraction of each design's area implemented in FPGA hard blocks
+ *  (DSP/BRAM); the rest maps to LUTs. Datapath-heavy designs like
+ *  stencil have a tiny LUT footprint, which inflates the *relative*
+ *  resource overhead of their (LUT-only) slice — paper Figure 17. */
+double
+fpgaLutShare(const std::string &name)
+{
+    if (name == "h264") return 0.72;
+    if (name == "cjpeg") return 0.78;
+    if (name == "djpeg") return 0.74;
+    if (name == "md") return 0.45;
+    if (name == "stencil") return 0.24;
+    if (name == "aes") return 0.80;
+    if (name == "sha") return 0.62;
+    return 0.7;
+}
+
+power::EnergyParams
+platformEnergyParams(power::EnergyParams params, Platform platform)
+{
+    if (platform == Platform::Fpga) {
+        // FPGA fabric: higher switched capacitance per op and much
+        // higher static power than a 65 nm ASIC.
+        params.joulesPerUnit *= 3.0;
+        params.leakageWattsNominal *= 6.0;
+    }
+    return params;
+}
+
+} // namespace
+
+Experiment::Experiment(const std::string &benchmark,
+                       ExperimentOptions options)
+    : opts(std::move(options))
+{
+    accelPtr = accel::makeAccelerator(benchmark);
+    work = workload::makeWorkload(*accelPtr, opts.seed);
+
+    // Offline flow: analyse, profile the training set, fit, slice.
+    core::FlowConfig flow_config = opts.flowConfig;
+    flow_config.sliceOptions = opts.sliceOptions;
+    flow = core::buildPredictor(accelPtr->design(), work.train,
+                                flow_config);
+
+    const double f0 = accelPtr->nominalFrequencyHz();
+    if (opts.platform == Platform::Asic) {
+        vf = std::make_unique<power::VfModel>(
+            power::VfModel::asic65nm(f0));
+        opTable = std::make_unique<power::OperatingPointTable>(
+            power::OperatingPointTable::asic(*vf, /*with_boost=*/true));
+    } else {
+        vf = std::make_unique<power::VfModel>(
+            power::VfModel::fpga28nm(f0));
+        opTable = std::make_unique<power::OperatingPointTable>(
+            power::OperatingPointTable::fpga(*vf, /*with_boost=*/true));
+    }
+
+    EngineConfig engine_config;
+    engine_config.deadlineSeconds = opts.deadlineSeconds;
+    engine_config.switchTimeSeconds = opts.switchTimeSeconds;
+
+    // The engine's energy model follows the platform.
+    simEngine = std::make_unique<SimulationEngine>(
+        *accelPtr, *opTable, engine_config,
+        platformEnergyParams(accelPtr->energyParams(), opts.platform));
+
+    trainJobs = simEngine->prepare(work.train, flow.predictor.get());
+    testJobs = simEngine->prepare(work.test, flow.predictor.get());
+}
+
+const core::PidConfig &
+Experiment::pidConfig()
+{
+    if (!tunedPid) {
+        std::vector<double> nominal;
+        nominal.reserve(trainJobs.size());
+        for (const auto &job : trainJobs)
+            nominal.push_back(simEngine->nominalSeconds(job));
+        tunedPid =
+            core::PidController::tune(nominal, opts.pidMargin);
+    }
+    return *tunedPid;
+}
+
+std::unique_ptr<core::DvfsController>
+Experiment::makeController(Scheme scheme)
+{
+    const double f0 = accelPtr->nominalFrequencyHz();
+
+    core::DvfsModelConfig dvfs;
+    dvfs.deadlineSeconds = opts.deadlineSeconds;
+    dvfs.switchTimeSeconds = opts.switchTimeSeconds;
+    dvfs.marginFraction = opts.predictionMargin;
+
+    switch (scheme) {
+      case Scheme::Baseline:
+        return std::make_unique<core::ConstantController>(
+            opTable->nominalIndex());
+      case Scheme::Pid:
+        return std::make_unique<core::PidController>(
+            *opTable, f0, dvfs, pidConfig());
+      case Scheme::Table: {
+        std::vector<std::pair<std::size_t, double>> profile;
+        profile.reserve(trainJobs.size());
+        for (const auto &job : trainJobs)
+            profile.emplace_back(job.input->items.size(),
+                                 simEngine->nominalSeconds(job));
+        core::DvfsModelConfig table_dvfs = dvfs;
+        table_dvfs.marginFraction = 0.0;  // Worst case is the margin.
+        return std::make_unique<core::TableController>(
+            *opTable, f0, table_dvfs, profile);
+      }
+      case Scheme::Prediction:
+        return std::make_unique<core::PredictiveController>(
+            *opTable, f0, dvfs);
+      case Scheme::PredictionNoOverhead: {
+        core::DvfsModelConfig no_ovh = dvfs;
+        no_ovh.ignoreOverheads = true;
+        return std::make_unique<core::PredictiveController>(
+            *opTable, f0, no_ovh);
+      }
+      case Scheme::PredictionBoost: {
+        core::DvfsModelConfig boost = dvfs;
+        boost.allowBoost = true;
+        return std::make_unique<core::PredictiveController>(
+            *opTable, f0, boost);
+      }
+      case Scheme::Oracle:
+        return std::make_unique<core::OracleController>(
+            *opTable, f0, dvfs);
+    }
+    util::panic("unknown scheme");
+    return nullptr;
+}
+
+RunMetrics
+Experiment::runScheme(Scheme scheme, std::vector<JobTrace> *trace)
+{
+    if (!trace) {
+        const auto it = cache.find(scheme);
+        if (it != cache.end())
+            return it->second;
+    }
+    auto controller = makeController(scheme);
+    const RunMetrics metrics =
+        simEngine->run(*controller, testJobs, trace);
+    cache[scheme] = metrics;
+    return metrics;
+}
+
+double
+Experiment::normalizedEnergy(Scheme scheme)
+{
+    const double base =
+        runScheme(Scheme::Baseline).totalEnergyJoules();
+    util::panicIf(base <= 0.0, "baseline energy is zero");
+    return runScheme(scheme).totalEnergyJoules() / base;
+}
+
+double
+Experiment::sliceAreaFraction() const
+{
+    const auto &slice = flow.predictor->slice();
+    return slice.areaUnits() / accelPtr->design().areaUnits();
+}
+
+double
+Experiment::sliceResourceFraction() const
+{
+    const auto &slice = flow.predictor->slice();
+    const double lut_share = fpgaLutShare(accelPtr->name());
+    // The slice is control logic and maps entirely to LUTs; relate it
+    // to the accelerator's LUT footprint (hard blocks are excluded
+    // the way LUT-utilisation reports exclude DSPs).
+    return slice.areaUnits() /
+        (accelPtr->design().areaUnits() * lut_share);
+}
+
+double
+Experiment::meanSliceTimeFraction() const
+{
+    if (testJobs.empty())
+        return 0.0;
+    const double f0 = accelPtr->nominalFrequencyHz();
+    double total = 0.0;
+    for (const auto &job : testJobs)
+        total += static_cast<double>(job.sliceCycles) / f0;
+    return (total / static_cast<double>(testJobs.size())) /
+        opts.deadlineSeconds;
+}
+
+double
+Experiment::meanSliceEnergyFraction() const
+{
+    if (testJobs.empty())
+        return 0.0;
+    double slice_units = 0.0;
+    double job_units = 0.0;
+    for (const auto &job : testJobs) {
+        slice_units += job.sliceEnergyUnits;
+        job_units += job.energyUnits;
+    }
+    return job_units > 0.0 ? slice_units / job_units : 0.0;
+}
+
+} // namespace sim
+} // namespace predvfs

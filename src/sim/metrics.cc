@@ -1,0 +1,41 @@
+#include "sim/metrics.hh"
+
+namespace predvfs {
+namespace sim {
+
+double
+RunMetrics::totalEnergyJoules() const
+{
+    return execEnergyJoules + overheadEnergyJoules;
+}
+
+double
+RunMetrics::missRate() const
+{
+    return jobs == 0 ? 0.0
+                     : static_cast<double>(misses) /
+            static_cast<double>(jobs);
+}
+
+std::vector<double>
+traceActualSeconds(const std::vector<JobTrace> &trace)
+{
+    std::vector<double> out;
+    out.reserve(trace.size());
+    for (const auto &t : trace)
+        out.push_back(t.actualNominalSeconds);
+    return out;
+}
+
+std::vector<double>
+tracePredictedSeconds(const std::vector<JobTrace> &trace)
+{
+    std::vector<double> out;
+    out.reserve(trace.size());
+    for (const auto &t : trace)
+        out.push_back(t.predictedNominalSeconds);
+    return out;
+}
+
+} // namespace sim
+} // namespace predvfs

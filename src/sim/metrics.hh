@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Run-level metrics the evaluation reports: energy, deadline misses,
+ * switching activity, plus optional per-job traces for the
+ * time-series figures.
+ */
+
+#ifndef PREDVFS_SIM_METRICS_HH
+#define PREDVFS_SIM_METRICS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace predvfs {
+namespace sim {
+
+/** Aggregate result of running one controller over one job stream. */
+struct RunMetrics
+{
+    std::size_t jobs = 0;
+    std::size_t misses = 0;
+    std::size_t switches = 0;
+
+    double execEnergyJoules = 0.0;      //!< Accelerator execution.
+    double overheadEnergyJoules = 0.0;  //!< Predictor slice runs.
+    double execSeconds = 0.0;           //!< Busy time of the jobs.
+    double overheadSeconds = 0.0;       //!< Slice + switch time.
+
+    /** @return total energy (execution + predictor overhead). */
+    double totalEnergyJoules() const;
+
+    /** @return fraction of jobs that missed their deadline. */
+    double missRate() const;
+};
+
+/** Per-job record for trace figures (e.g. the paper's Figure 3). */
+struct JobTrace
+{
+    std::size_t level = 0;
+    double actualNominalSeconds = 0.0;   //!< T at f0.
+    double predictedNominalSeconds = 0.0;//!< Controller's estimate at f0.
+    double execSeconds = 0.0;            //!< At the chosen level.
+    double totalSeconds = 0.0;           //!< Including overheads.
+    double energyJoules = 0.0;
+    bool missed = false;
+};
+
+/** Convenience: extract a field across a trace. */
+std::vector<double> traceActualSeconds(const std::vector<JobTrace> &trace);
+std::vector<double> tracePredictedSeconds(
+    const std::vector<JobTrace> &trace);
+
+} // namespace sim
+} // namespace predvfs
+
+#endif // PREDVFS_SIM_METRICS_HH

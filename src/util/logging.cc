@@ -1,0 +1,47 @@
+#include "util/logging.hh"
+
+#include <cstdio>
+
+namespace predvfs {
+namespace util {
+
+namespace {
+
+bool verboseFlag = true;
+
+const char *
+prefixFor(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info: ";
+      case LogLevel::Warn: return "warn: ";
+      case LogLevel::Fatal: return "fatal: ";
+      case LogLevel::Panic: return "panic: ";
+    }
+    return "?: ";
+}
+
+} // namespace
+
+void
+setVerbose(bool verbose)
+{
+    verboseFlag = verbose;
+}
+
+bool
+verbose()
+{
+    return verboseFlag;
+}
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    if (level == LogLevel::Inform && !verboseFlag)
+        return;
+    std::fprintf(stderr, "%s%s\n", prefixFor(level), msg.c_str());
+}
+
+} // namespace util
+} // namespace predvfs

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Status-message and error helpers in the gem5 style.
+ *
+ * panic()  — an internal invariant was violated (a bug in this library).
+ *            Prints a message and aborts.
+ * fatal()  — the simulation cannot continue because of a user-level error
+ *            (bad configuration, invalid arguments). Prints and exits(1).
+ * warn()   — something is questionable but the run can continue.
+ * inform() — normal operating status for the user.
+ */
+
+#ifndef PREDVFS_UTIL_LOGGING_HH
+#define PREDVFS_UTIL_LOGGING_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace predvfs {
+namespace util {
+
+/** Severity of a log message. */
+enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+/**
+ * Route a formatted message to the log sink.
+ *
+ * @param level Severity class of the message.
+ * @param msg   Fully formatted message body.
+ */
+void logMessage(LogLevel level, const std::string &msg);
+
+/** Enable or disable Inform-level output (Warn and above always print). */
+void setVerbose(bool verbose);
+
+/** @return true if Inform-level output is enabled. */
+bool verbose();
+
+namespace detail {
+
+inline void
+formatInto(std::ostringstream &os)
+{
+    (void)os;
+}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &os, const T &value, const Rest &...rest)
+{
+    os << value;
+    formatInto(os, rest...);
+}
+
+template <typename... Args>
+std::string
+format(const Args &...args)
+{
+    std::ostringstream os;
+    formatInto(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Print an informational status message (suppressed unless verbose). */
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    logMessage(LogLevel::Inform, detail::format(args...));
+}
+
+/** Print a warning; execution continues. */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    logMessage(LogLevel::Warn, detail::format(args...));
+}
+
+/** Report an unrecoverable user-level error and exit(1). */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    logMessage(LogLevel::Fatal, detail::format(args...));
+    std::exit(1);
+}
+
+/** Report a violated internal invariant and abort(). */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    logMessage(LogLevel::Panic, detail::format(args...));
+    std::abort();
+}
+
+/** panic() unless @p cond holds. */
+template <typename... Args>
+void
+panicIf(bool cond, const Args &...args)
+{
+    if (cond)
+        panic(args...);
+}
+
+/** fatal() unless @p cond holds. */
+template <typename... Args>
+void
+fatalIf(bool cond, const Args &...args)
+{
+    if (cond)
+        fatal(args...);
+}
+
+} // namespace util
+} // namespace predvfs
+
+#endif // PREDVFS_UTIL_LOGGING_HH

@@ -1,0 +1,139 @@
+#include "util/statistics.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace predvfs {
+namespace util {
+
+RunningStats::RunningStats()
+{
+    reset();
+}
+
+void
+RunningStats::reset()
+{
+    n = 0;
+    meanValue = 0.0;
+    m2 = 0.0;
+    minValue = std::numeric_limits<double>::infinity();
+    maxValue = -std::numeric_limits<double>::infinity();
+    total = 0.0;
+}
+
+void
+RunningStats::add(double x)
+{
+    ++n;
+    const double delta = x - meanValue;
+    meanValue += delta / static_cast<double>(n);
+    m2 += delta * (x - meanValue);
+    minValue = std::min(minValue, x);
+    maxValue = std::max(maxValue, x);
+    total += x;
+}
+
+double
+RunningStats::mean() const
+{
+    return n == 0 ? 0.0 : meanValue;
+}
+
+double
+RunningStats::variance() const
+{
+    return n < 2 ? 0.0 : m2 / static_cast<double>(n);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+percentile(std::vector<double> values, double p)
+{
+    panicIf(values.empty(), "percentile of empty sample set");
+    panicIf(p < 0.0 || p > 100.0, "percentile ", p, " out of [0,100]");
+    std::sort(values.begin(), values.end());
+    if (values.size() == 1)
+        return values[0];
+    const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(rank));
+    const auto hi = static_cast<std::size_t>(std::ceil(rank));
+    const double frac = rank - static_cast<double>(lo);
+    return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double total = 0.0;
+    for (double v : values)
+        total += v;
+    return total / static_cast<double>(values.size());
+}
+
+double
+median(std::vector<double> values)
+{
+    return percentile(std::move(values), 50.0);
+}
+
+double
+stddev(const std::vector<double> &values)
+{
+    if (values.size() < 2)
+        return 0.0;
+    const double m = mean(values);
+    double ss = 0.0;
+    for (double v : values)
+        ss += (v - m) * (v - m);
+    return std::sqrt(ss / static_cast<double>(values.size() - 1));
+}
+
+BoxSummary
+boxSummary(std::vector<double> values)
+{
+    panicIf(values.empty(), "boxSummary of empty sample set");
+    std::sort(values.begin(), values.end());
+
+    BoxSummary box;
+    box.q1 = percentile(values, 25.0);
+    box.median = percentile(values, 50.0);
+    box.q3 = percentile(values, 75.0);
+
+    const double iqr = box.q3 - box.q1;
+    const double lo_fence = box.q1 - 1.5 * iqr;
+    const double hi_fence = box.q3 + 1.5 * iqr;
+
+    box.whiskerLow = box.q1;
+    box.whiskerHigh = box.q3;
+    for (double v : values) {
+        if (v >= lo_fence) {
+            box.whiskerLow = v;
+            break;
+        }
+    }
+    for (auto it = values.rbegin(); it != values.rend(); ++it) {
+        if (*it <= hi_fence) {
+            box.whiskerHigh = *it;
+            break;
+        }
+    }
+    for (double v : values) {
+        if (v < lo_fence || v > hi_fence)
+            box.outliers.push_back(v);
+    }
+    return box;
+}
+
+} // namespace util
+} // namespace predvfs

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Descriptive statistics used throughout the evaluation harness:
+ * streaming summaries, percentiles, and the box-and-whisker summary
+ * needed to reproduce the paper's Figure 10.
+ */
+
+#ifndef PREDVFS_UTIL_STATISTICS_HH
+#define PREDVFS_UTIL_STATISTICS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace predvfs {
+namespace util {
+
+/**
+ * Streaming accumulator for count/mean/variance/min/max.
+ *
+ * Uses Welford's algorithm so variance is numerically stable even for
+ * long runs with large magnitudes.
+ */
+class RunningStats
+{
+  public:
+    RunningStats();
+
+    /** Fold one sample into the summary. */
+    void add(double x);
+
+    /** @return number of samples folded in so far. */
+    std::size_t count() const { return n; }
+
+    /** @return arithmetic mean (0 if empty). */
+    double mean() const;
+
+    /** @return population variance (0 if fewer than 2 samples). */
+    double variance() const;
+
+    /** @return population standard deviation. */
+    double stddev() const;
+
+    /** @return smallest sample (+inf if empty). */
+    double min() const { return minValue; }
+
+    /** @return largest sample (-inf if empty). */
+    double max() const { return maxValue; }
+
+    /** @return sum of all samples. */
+    double sum() const { return total; }
+
+    /** Reset to the empty state. */
+    void reset();
+
+  private:
+    std::size_t n;
+    double meanValue;
+    double m2;
+    double minValue;
+    double maxValue;
+    double total;
+};
+
+/**
+ * Linear-interpolated percentile of a sample set.
+ *
+ * @param values Samples (copied and sorted internally).
+ * @param p Percentile in [0, 100].
+ */
+double percentile(std::vector<double> values, double p);
+
+/** @return arithmetic mean of @p values (0 for empty input). */
+double mean(const std::vector<double> &values);
+
+/** @return median of @p values. */
+double median(std::vector<double> values);
+
+/** @return sample standard deviation of @p values. */
+double stddev(const std::vector<double> &values);
+
+/**
+ * Five-number box-and-whisker summary in the matplotlib convention used
+ * by the paper's Figure 10: box at Q1..Q3, whiskers at the most extreme
+ * samples within 1.5 IQR of the box, everything beyond is an outlier.
+ */
+struct BoxSummary
+{
+    double q1;                     //!< 25th percentile.
+    double median;                 //!< 50th percentile.
+    double q3;                     //!< 75th percentile.
+    double whiskerLow;             //!< Lowest non-outlier sample.
+    double whiskerHigh;            //!< Highest non-outlier sample.
+    std::vector<double> outliers;  //!< Samples beyond the whiskers.
+};
+
+/** Compute a BoxSummary; @p values must be non-empty. */
+BoxSummary boxSummary(std::vector<double> values);
+
+} // namespace util
+} // namespace predvfs
+
+#endif // PREDVFS_UTIL_STATISTICS_HH

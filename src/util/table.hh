@@ -1,0 +1,63 @@
+/**
+ * @file
+ * ASCII table and CSV emission for the benchmark harness. Every bench
+ * binary prints its figure/table reproduction through TablePrinter so
+ * the output format is uniform across experiments.
+ */
+
+#ifndef PREDVFS_UTIL_TABLE_HH
+#define PREDVFS_UTIL_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace predvfs {
+namespace util {
+
+/**
+ * Column-aligned ASCII table builder.
+ *
+ * Usage:
+ * @code
+ *   TablePrinter t({"Bench", "Energy (%)", "Misses (%)"});
+ *   t.addRow({"h264", format(63.1), format(0.3)});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class TablePrinter
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Append one row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with aligned columns and a header separator. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (no alignment padding). */
+    void printCsv(std::ostream &os) const;
+
+    /** @return number of data rows added. */
+    std::size_t rowCount() const { return rows.size(); }
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** Format a double with @p digits digits after the decimal point. */
+std::string fixed(double value, int digits = 2);
+
+/** Format a double as a percentage string, e.g. "36.7". */
+std::string pct(double fraction, int digits = 1);
+
+/** Print a section banner for bench output. */
+void printBanner(std::ostream &os, const std::string &title);
+
+} // namespace util
+} // namespace predvfs
+
+#endif // PREDVFS_UTIL_TABLE_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Variable-size data buffers for the AES and SHA accelerators (paper
+ * Table 3: "100 pieces of data (various sizes)"). Consecutive buffers
+ * are uncorrelated, like frames of a DRM video stream interleaved
+ * with other traffic.
+ */
+
+#ifndef PREDVFS_WORKLOAD_BUFFERS_HH
+#define PREDVFS_WORKLOAD_BUFFERS_HH
+
+#include <vector>
+
+#include "rtl/design.hh"
+#include "util/random.hh"
+
+namespace predvfs {
+namespace workload {
+
+/** Configuration of a buffer corpus. */
+struct BufferCorpusOptions
+{
+    int count = 100;
+
+    /** Mean session length: consecutive buffers from one stream
+     *  (e.g. DRM chunks of one video) have similar sizes. 1 disables
+     *  correlation. */
+    double meanSessionLength = 4.0;
+    /** Buffer size range in bytes. */
+    std::int64_t minBytes = 256 * 1024;
+    std::int64_t maxBytes = 8 * 1024 * 1024;
+};
+
+/** Buffers for the AES design (items = 4 KiB segments). */
+std::vector<rtl::JobInput> makeAesBuffers(
+    const rtl::Design &aes_design, const BufferCorpusOptions &options,
+    util::Rng rng);
+
+/** Buffers for the SHA design (items = 4 KiB segments). */
+std::vector<rtl::JobInput> makeShaBuffers(
+    const rtl::Design &sha_design, const BufferCorpusOptions &options,
+    util::Rng rng);
+
+} // namespace workload
+} // namespace predvfs
+
+#endif // PREDVFS_WORKLOAD_BUFFERS_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Synthetic image corpora for the JPEG encoder/decoder and the stencil
+ * filter (paper Table 3: "100 images (various sizes)"). Images have no
+ * temporal correlation — consecutive jobs are independent, which is
+ * exactly the regime where reactive (history-based) DVFS control
+ * breaks down (paper Section 2.4, JPEG browsing example).
+ */
+
+#ifndef PREDVFS_WORKLOAD_IMAGES_HH
+#define PREDVFS_WORKLOAD_IMAGES_HH
+
+#include <vector>
+
+#include "rtl/design.hh"
+#include "util/random.hh"
+
+namespace predvfs {
+namespace workload {
+
+/** Size/complexity ranges of an image corpus. */
+struct ImageCorpusOptions
+{
+    int count = 100;
+
+    /** Mean burst length: consecutive images from the same source
+     *  (camera burst, one web page) share a size and drift slowly in
+     *  complexity. 1 disables correlation. */
+    double meanBurstLength = 2.5;
+    /** (width, height) size classes sampled per image. */
+    std::vector<std::pair<int, int>> sizes = {
+        {512, 384}, {640, 480}, {800, 600}, {1024, 768},
+        {1280, 720}, {1600, 900}, {1600, 1200},
+    };
+    double minComplexity = 0.15;  //!< Flattest image.
+    double maxComplexity = 0.90;  //!< Busiest image.
+};
+
+/** Images for the JPEG encoder (items = 16x16 MCUs). */
+std::vector<rtl::JobInput> makeEncodeImages(
+    const rtl::Design &cjpeg_design, const ImageCorpusOptions &options,
+    util::Rng rng);
+
+/** Images for the JPEG decoder (items = MCUs). */
+std::vector<rtl::JobInput> makeDecodeImages(
+    const rtl::Design &djpeg_design, const ImageCorpusOptions &options,
+    util::Rng rng);
+
+/** Images for the stencil filter (items = rows). */
+std::vector<rtl::JobInput> makeStencilImages(
+    const rtl::Design &stencil_design, const ImageCorpusOptions &options,
+    util::Rng rng);
+
+} // namespace workload
+} // namespace predvfs
+
+#endif // PREDVFS_WORKLOAD_IMAGES_HH

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Synthetic particle-simulation workload for the MD accelerator
+ * (paper Table 3: "200 steps (particle pos. changes)"). Neighbour
+ * counts evolve smoothly as particles drift, with occasional
+ * clustering events that sharply raise the pair count — the spiky
+ * behaviour that defeats reactive DVFS.
+ */
+
+#ifndef PREDVFS_WORKLOAD_PARTICLES_HH
+#define PREDVFS_WORKLOAD_PARTICLES_HH
+
+#include <vector>
+
+#include "rtl/design.hh"
+#include "util/random.hh"
+
+namespace predvfs {
+namespace workload {
+
+/** Configuration of the MD trace generator. */
+struct MdTraceOptions
+{
+    int steps = 200;          //!< Jobs (timesteps).
+    int particles = 256;      //!< Items per job.
+    double minDensity = 4.0;  //!< Average neighbours, sparse regime.
+    double maxDensity = 165.0;//!< Average neighbours, clustered regime.
+    double walkSigma = 5.0;   //!< Per-step density drift (neighbours).
+    double clusterProb = 0.06;//!< Per-step chance of a cluster event.
+    double clusterJump = 45.0;//!< Density spike of a cluster event.
+};
+
+/** Generate the timestep jobs for the md design. */
+std::vector<rtl::JobInput> makeMdTimesteps(const rtl::Design &md_design,
+                                           const MdTraceOptions &options,
+                                           util::Rng rng);
+
+} // namespace workload
+} // namespace predvfs
+
+#endif // PREDVFS_WORKLOAD_PARTICLES_HH

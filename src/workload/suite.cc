@@ -1,0 +1,109 @@
+#include "workload/suite.hh"
+
+#include "util/logging.hh"
+#include "workload/buffers.hh"
+#include "workload/images.hh"
+#include "workload/particles.hh"
+#include "workload/video.hh"
+
+namespace predvfs {
+namespace workload {
+
+namespace {
+
+void
+append(std::vector<rtl::JobInput> &dst, std::vector<rtl::JobInput> src)
+{
+    for (auto &job : src)
+        dst.push_back(std::move(job));
+}
+
+} // namespace
+
+BenchmarkWorkload
+makeWorkload(const accel::Accelerator &accelerator, std::uint64_t seed)
+{
+    const rtl::Design &design = accelerator.design();
+    const std::string &name = accelerator.name();
+
+    util::Rng root(seed);
+    util::Rng train_rng = root.split(1);
+    util::Rng test_rng = root.split(2);
+
+    BenchmarkWorkload w;
+
+    if (name == "h264") {
+        constexpr int mbs = 396;  // CIF: all clips the same size.
+        int clip = 0;
+        for (const auto &profile : trainSetProfiles())
+            append(w.train, makeVideoClip(design, profile, 300, mbs,
+                                          train_rng.split(++clip)));
+        clip = 0;
+        for (const auto &profile : testSetProfiles())
+            append(w.test, makeVideoClip(design, profile, 300, mbs,
+                                         test_rng.split(++clip)));
+        w.trainDescription = "2 videos (600 frames, same size)";
+        w.testDescription = "5 videos (1500 frames, same size)";
+    } else if (name == "cjpeg") {
+        ImageCorpusOptions options;
+        options.sizes = {
+            {448, 336}, {512, 384}, {640, 480}, {800, 600},
+            {1024, 768}, {1280, 720}, {1600, 900},
+        };
+        options.minComplexity = 0.10;
+        w.train = makeEncodeImages(design, options, train_rng);
+        w.test = makeEncodeImages(design, options, test_rng);
+        w.trainDescription = "100 images (various sizes)";
+        w.testDescription = "100 images (various sizes)";
+    } else if (name == "djpeg") {
+        ImageCorpusOptions options;
+        options.sizes = {
+            {640, 480}, {640, 480}, {800, 600}, {800, 600},
+            {1024, 768}, {1280, 720}, {1920, 1080},
+        };
+        w.train = makeDecodeImages(design, options, train_rng);
+        w.test = makeDecodeImages(design, options, test_rng);
+        w.trainDescription = "100 images (various sizes)";
+        w.testDescription = "100 images (various sizes)";
+    } else if (name == "md") {
+        MdTraceOptions options;
+        w.train = makeMdTimesteps(design, options, train_rng);
+        w.test = makeMdTimesteps(design, options, test_rng);
+        w.trainDescription = "200 steps (particle pos. changes)";
+        w.testDescription = "200 steps (particle pos. changes)";
+    } else if (name == "stencil") {
+        ImageCorpusOptions options;
+        options.sizes = {
+            {320, 240}, {400, 300}, {400, 300}, {512, 384},
+            {512, 384}, {640, 480}, {800, 600}, {1024, 768},
+            {1366, 768},
+        };
+        w.train = makeStencilImages(design, options, train_rng);
+        w.test = makeStencilImages(design, options, test_rng);
+        w.trainDescription = "100 images (various sizes)";
+        w.testDescription = "100 images (various sizes)";
+    } else if (name == "aes") {
+        BufferCorpusOptions options;
+        options.minBytes = 1024 * 1024;
+        options.maxBytes = 7 * 1024 * 1024;
+        w.train = makeAesBuffers(design, options, train_rng);
+        w.test = makeAesBuffers(design, options, test_rng);
+        w.trainDescription = "100 pieces of data (various sizes)";
+        w.testDescription = "100 pieces of data (various sizes)";
+    } else if (name == "sha") {
+        BufferCorpusOptions options;
+        options.minBytes = 420 * 1024;
+        options.maxBytes = 5 * 1024 * 1024;
+        w.train = makeShaBuffers(design, options, train_rng);
+        w.test = makeShaBuffers(design, options, test_rng);
+        w.trainDescription = "100 pieces of data (various sizes)";
+        w.testDescription = "100 pieces of data (various sizes)";
+    } else {
+        util::fatal("no workload defined for accelerator '", name, "'");
+    }
+
+    return w;
+}
+
+} // namespace workload
+} // namespace predvfs

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Train/test workloads for every benchmark, matching the paper's
+ * Table 3: which inputs exist, how many, and the split used to train
+ * the predictor versus evaluate the controllers.
+ */
+
+#ifndef PREDVFS_WORKLOAD_SUITE_HH
+#define PREDVFS_WORKLOAD_SUITE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "accel/accelerator.hh"
+#include "rtl/design.hh"
+
+namespace predvfs {
+namespace workload {
+
+/** One benchmark's training and test job streams. */
+struct BenchmarkWorkload
+{
+    std::vector<rtl::JobInput> train;
+    std::vector<rtl::JobInput> test;
+    std::string trainDescription;  //!< Table 3 "Workload (Train)".
+    std::string testDescription;   //!< Table 3 "Workload (Test)".
+};
+
+/** Default seed; all experiments are reproducible from it. */
+constexpr std::uint64_t defaultSeed = 20151209;  // MICRO-48 dates.
+
+/**
+ * Build the Table 3 workload for one benchmark accelerator.
+ *
+ * Train and test sets use disjoint RNG streams, so test inputs are
+ * never seen during training.
+ */
+BenchmarkWorkload makeWorkload(const accel::Accelerator &accelerator,
+                               std::uint64_t seed = defaultSeed);
+
+} // namespace workload
+} // namespace predvfs
+
+#endif // PREDVFS_WORKLOAD_SUITE_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Trace import/export: job streams as CSV, so real traces (e.g.
+ * per-macroblock statistics dumped by a bitstream analyser, the way
+ * the paper profiles real clips) can drive the framework, and
+ * generated synthetic workloads can leave it for external analysis.
+ *
+ * Format: a header row naming the design's fields plus a leading
+ * `job` column; one row per work item:
+ *
+ *   job,mb_type,coeff_count,...
+ *   0,2,41,...
+ *   0,4,0,...
+ *   1,1,210,...
+ */
+
+#ifndef PREDVFS_WORKLOAD_TRACE_IO_HH
+#define PREDVFS_WORKLOAD_TRACE_IO_HH
+
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "rtl/design.hh"
+
+namespace predvfs {
+namespace workload {
+
+/** Write @p jobs as CSV using @p design's field names. */
+void writeTraceCsv(std::ostream &os, const rtl::Design &design,
+                   const std::vector<rtl::JobInput> &jobs);
+
+/**
+ * Parse a CSV trace for @p design. The header's field columns must
+ * match the design's field names exactly (order included) — a
+ * mismatched trace is a user error (fatal()), not a crash.
+ */
+std::vector<rtl::JobInput> readTraceCsv(std::istream &is,
+                                        const rtl::Design &design);
+
+} // namespace workload
+} // namespace predvfs
+
+#endif // PREDVFS_WORKLOAD_TRACE_IO_HH

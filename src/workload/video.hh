@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Synthetic video workload for the H.264 decoder.
+ *
+ * The paper drives the decoder with real clips (coastguard, foreman,
+ * news, ...). Those bitstreams are not available offline, so we
+ * generate per-macroblock syntax statistics from a content model that
+ * reproduces the structure the DVFS controllers care about (paper
+ * Figure 2): GOP-periodic intra frames that spike execution time,
+ * slowly drifting inter-frame complexity within a scene, and abrupt
+ * scene changes. Clip "profiles" play the role of different source
+ * videos: coastguard (high motion, high texture), foreman (medium),
+ * news (static talking heads).
+ */
+
+#ifndef PREDVFS_WORKLOAD_VIDEO_HH
+#define PREDVFS_WORKLOAD_VIDEO_HH
+
+#include <string>
+#include <vector>
+
+#include "rtl/design.hh"
+#include "util/random.hh"
+
+namespace predvfs {
+namespace workload {
+
+/** Content statistics of one source clip. */
+struct VideoProfile
+{
+    std::string name;
+    double motion = 0.5;    //!< 0 = static .. 1 = fast panning.
+    double texture = 0.5;   //!< 0 = flat .. 1 = detailed.
+    double sceneChangeProb = 1.0 / 150.0;
+    int gopLength = 30;     //!< Intra-frame period.
+};
+
+/** The three clips plotted in the paper's Figure 2. */
+std::vector<VideoProfile> figure2Profiles();
+
+/** Five additional test-set profiles (paper: 5 videos, 1500 frames). */
+std::vector<VideoProfile> testSetProfiles();
+
+/** Two training-set profiles (paper: 2 videos, 600 frames). */
+std::vector<VideoProfile> trainSetProfiles();
+
+/**
+ * Generate one clip: a sequence of frame jobs for the H.264 design.
+ *
+ * @param design        The h264 accelerator design (field schema).
+ * @param profile       Content model of the clip.
+ * @param frames        Number of frames (jobs).
+ * @param mbs_per_frame Macroblocks per frame (constant resolution;
+ *                      396 = CIF, the paper's "same size" setting).
+ * @param rng           Seeded generator (consumed).
+ */
+std::vector<rtl::JobInput> makeVideoClip(const rtl::Design &design,
+                                         const VideoProfile &profile,
+                                         int frames, int mbs_per_frame,
+                                         util::Rng rng);
+
+} // namespace workload
+} // namespace predvfs
+
+#endif // PREDVFS_WORKLOAD_VIDEO_HH

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Behavioural checks for the image-pipeline benchmarks (cjpeg, djpeg,
+ * stencil): per-item cost responds to the fields the real algorithms
+ * respond to, and the parallel/sequential FSM composition shows up in
+ * the timing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/cjpeg.hh"
+#include "accel/djpeg.hh"
+#include "accel/stencil.hh"
+#include "rtl/interpreter.hh"
+
+using namespace predvfs;
+using rtl::JobInput;
+using rtl::WorkItem;
+
+namespace {
+
+std::uint64_t
+runOne(const rtl::Design &design, const WorkItem &item)
+{
+    rtl::Interpreter interp(design);
+    JobInput job;
+    job.items.push_back(item);
+    return interp.run(job).cycles;
+}
+
+WorkItem
+zeroItem(const rtl::Design &design)
+{
+    WorkItem item;
+    item.fields.assign(design.numFields(), 0);
+    return item;
+}
+
+} // namespace
+
+TEST(CjpegDesign, CoefficientsDriveHuffmanTime)
+{
+    const auto acc = accel::makeJpegEncoder();
+    const auto f = accel::cjpegFields(acc.design());
+
+    // Compare two coded MCUs (zero-coefficient MCUs bypass the
+    // encoder entirely): Huffman coding is 2 cycles/coefficient.
+    WorkItem a = zeroItem(acc.design());
+    a.fields[f.nonzeroCoeffs] = 100;
+    WorkItem b = a;
+    b.fields[f.nonzeroCoeffs] = 200;
+
+    EXPECT_EQ(runOne(acc.design(), b) - runOne(acc.design(), a),
+              200u);
+}
+
+TEST(CjpegDesign, ChromaSubsamplingAddsBlocks)
+{
+    const auto acc = accel::makeJpegEncoder();
+    const auto f = accel::cjpegFields(acc.design());
+
+    WorkItem luma_only = zeroItem(acc.design());
+    luma_only.fields[f.nonzeroCoeffs] = 50;
+    WorkItem with_chroma = luma_only;
+    with_chroma.fields[f.chromaSub] = 1;
+
+    // 4 -> 6 blocks through the FDCT and quantiser.
+    EXPECT_GT(runOne(acc.design(), with_chroma),
+              runOne(acc.design(), luma_only));
+}
+
+TEST(CjpegDesign, ZeroCoefficientMcuSkipsEncoder)
+{
+    const auto acc = accel::makeJpegEncoder();
+    const auto f = accel::cjpegFields(acc.design());
+
+    // With zero coefficients the entropy FSM takes the bypass edge;
+    // going from 0 to 1 coefficient pays the whole encoder setup, so
+    // the jump is larger than the 2-cycle/coefficient slope.
+    WorkItem none = zeroItem(acc.design());
+    WorkItem one = none;
+    one.fields[f.nonzeroCoeffs] = 1;
+    const auto t_none = runOne(acc.design(), none);
+    const auto t_one = runOne(acc.design(), one);
+    EXPECT_GT(t_one - t_none, 2u);
+}
+
+TEST(DjpegDesign, RunPatternPerturbsVldOnly)
+{
+    const auto acc = accel::makeJpegDecoder();
+    const auto f = accel::djpegFields(acc.design());
+
+    WorkItem a = zeroItem(acc.design());
+    a.fields[f.acCoeffs] = 60;
+    a.fields[f.runPattern] = 3;
+    WorkItem b = a;
+    b.fields[f.runPattern] = 200;
+
+    // The run pattern feeds only the un-counted VLD jitter: a small
+    // bounded difference (< 13 cycles by construction).
+    const auto ta = runOne(acc.design(), a);
+    const auto tb = runOne(acc.design(), b);
+    const auto diff = ta > tb ? ta - tb : tb - ta;
+    EXPECT_LT(diff, 13u);
+}
+
+TEST(DjpegDesign, QuadraticStallGrowsFasterThanLinear)
+{
+    const auto acc = accel::makeJpegDecoder();
+    const auto f = accel::djpegFields(acc.design());
+
+    // Marginal cost per coefficient must grow with the coefficient
+    // count (the ac^2 raster stall) — the unmodellable curvature that
+    // widens djpeg's error box.
+    auto cost = [&](std::int64_t ac) {
+        WorkItem item = zeroItem(acc.design());
+        item.fields[f.acCoeffs] = ac;
+        return runOne(acc.design(), item);
+    };
+    const auto low_slope = cost(40) - cost(20);
+    const auto high_slope = cost(320) - cost(300);
+    EXPECT_GT(high_slope, low_slope);
+}
+
+TEST(DjpegDesign, ColorConversionOverlapsIdct)
+{
+    const auto acc = accel::makeJpegDecoder();
+    const auto f = accel::djpegFields(acc.design());
+
+    // IDCT and colour conversion both start after the VLD; for a
+    // DC-only MCU the colour path dominates, so adding a few AC
+    // coefficients is FREE until the IDCT path overtakes it.
+    WorkItem dc_only = zeroItem(acc.design());
+    dc_only.fields[f.chromaSub] = 1;
+    WorkItem few_ac = dc_only;
+    few_ac.fields[f.acCoeffs] = 1;
+
+    // Both under the colour-path shadow: small or zero difference.
+    const auto t_dc = runOne(acc.design(), dc_only);
+    const auto t_few = runOne(acc.design(), few_ac);
+    EXPECT_LE(t_few, t_dc + 80);
+}
+
+TEST(StencilDesign, CostLinearInWidth)
+{
+    const auto acc = accel::makeStencilAccelerator();
+    const auto f = accel::stencilFields(acc.design());
+
+    auto row_cost = [&](std::int64_t w) {
+        WorkItem item = zeroItem(acc.design());
+        item.fields[f.width] = w;
+        return runOne(acc.design(), item);
+    };
+    // Doubling the width doubles the marginal cost exactly (widths
+    // divisible by 6 keep the descriptor counter's w/6 term exact).
+    const auto slope1 = row_cost(480) - row_cost(240);
+    const auto slope2 = row_cost(960) - row_cost(480);
+    EXPECT_EQ(slope1 * 2, slope2);
+}
+
+TEST(StencilDesign, BoundaryRowsAreCheaper)
+{
+    const auto acc = accel::makeStencilAccelerator();
+    const auto f = accel::stencilFields(acc.design());
+
+    WorkItem interior = zeroItem(acc.design());
+    interior.fields[f.width] = 640;
+    WorkItem boundary = interior;
+    boundary.fields[f.boundary] = 1;
+
+    // Edge rows use the clamped 4-tap kernel instead of 6 MACs/px.
+    EXPECT_LT(runOne(acc.design(), boundary),
+              runOne(acc.design(), interior));
+}

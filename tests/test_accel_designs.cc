@@ -1,0 +1,262 @@
+/**
+ * @file
+ * The seven benchmark accelerators: structural invariants checked
+ * uniformly via a parameterised suite (valid design, features exist,
+ * input-dependent timing, monotone cost in the main knob), plus
+ * per-design behavioural checks (e.g. quarter-pel is slower than
+ * full-pel in h264, CBC is slower than ECB in aes).
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/aes.hh"
+#include "accel/h264.hh"
+#include "accel/md.hh"
+#include "accel/registry.hh"
+#include "accel/sha.hh"
+#include "rtl/analysis.hh"
+#include "rtl/interpreter.hh"
+
+using namespace predvfs;
+using rtl::JobInput;
+using rtl::WorkItem;
+
+class AccelSuite : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        acc = accel::makeAccelerator(GetParam());
+    }
+
+    std::shared_ptr<const accel::Accelerator> acc;
+};
+
+TEST_P(AccelSuite, DesignValidatedAndSized)
+{
+    EXPECT_TRUE(acc->design().validated());
+    EXPECT_GT(acc->nominalFrequencyHz(), 0.0);
+    EXPECT_GT(acc->areaUm2(), 0.0);
+    EXPECT_GT(acc->um2PerAreaUnit(), 0.0);
+    EXPECT_FALSE(acc->description().empty());
+    EXPECT_FALSE(acc->task().empty());
+}
+
+TEST_P(AccelSuite, ExposesFeatures)
+{
+    const auto report = rtl::analyze(acc->design());
+    EXPECT_GE(report.numFeatures(), 4u);
+    EXPECT_GE(report.numCounters, 1u);
+}
+
+TEST_P(AccelSuite, HasEssentialProducerState)
+{
+    // Every benchmark needs at least one essential state so its slice
+    // can decode the fields it consumes.
+    bool found = false;
+    for (const auto &fsm : acc->design().fsms())
+        for (const auto &st : fsm.states)
+            if (st.essential)
+                found = true;
+    EXPECT_TRUE(found);
+}
+
+TEST_P(AccelSuite, ZeroFieldJobStillRuns)
+{
+    // All-zero fields are the degenerate corner (empty macroblock,
+    // zero-size segment): the design must still terminate.
+    rtl::Interpreter interp(acc->design());
+    JobInput job;
+    WorkItem item;
+    item.fields.assign(acc->design().numFields(), 0);
+    job.items.push_back(item);
+    const auto result = interp.run(job);
+    EXPECT_GT(result.cycles, 0u);
+}
+
+TEST_P(AccelSuite, CyclesScaleWithItemCount)
+{
+    rtl::Interpreter interp(acc->design());
+    WorkItem item;
+    item.fields.assign(acc->design().numFields(), 3);
+    JobInput small;
+    JobInput large;
+    for (int i = 0; i < 4; ++i)
+        small.items.push_back(item);
+    for (int i = 0; i < 40; ++i)
+        large.items.push_back(item);
+    EXPECT_GT(interp.run(large).cycles, interp.run(small).cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, AccelSuite,
+    ::testing::ValuesIn(accel::benchmarkNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+// ---- Per-design behavioural checks. --------------------------------
+
+namespace {
+
+std::uint64_t
+runOne(const rtl::Design &design, const WorkItem &item)
+{
+    rtl::Interpreter interp(design);
+    JobInput job;
+    job.items.push_back(item);
+    return interp.run(job).cycles;
+}
+
+} // namespace
+
+TEST(H264Design, QuarterPelSlowerThanFullPel)
+{
+    const auto acc = accel::makeH264Decoder();
+    const auto f = accel::h264Fields(acc.design());
+
+    WorkItem full;
+    full.fields.assign(acc.design().numFields(), 0);
+    full.fields[f.mbType] = 2;  // P16x16.
+    full.fields[f.coeffCount] = 40;
+    full.fields[f.cbpBlocks] = 4;
+    full.fields[f.refParts] = 1;
+    full.fields[f.deblockEdges] = 10;
+
+    WorkItem quarter = full;
+    quarter.fields[f.mvFrac] = 2;
+
+    // The quarter-pel interpolation chain is much longer (the effect
+    // the paper's case study calls out).
+    EXPECT_GT(runOne(acc.design(), quarter),
+              runOne(acc.design(), full) + 1000);
+}
+
+TEST(H264Design, IntraI4x4IsHeaviest)
+{
+    const auto acc = accel::makeH264Decoder();
+    const auto f = accel::h264Fields(acc.design());
+
+    WorkItem skip;
+    skip.fields.assign(acc.design().numFields(), 0);
+    skip.fields[f.mbType] = 4;
+    skip.fields[f.refParts] = 1;
+
+    WorkItem i4 = skip;
+    i4.fields[f.mbType] = 1;
+    i4.fields[f.coeffCount] = 200;
+    i4.fields[f.cbpBlocks] = 18;
+    i4.fields[f.deblockEdges] = 30;
+
+    EXPECT_GT(runOne(acc.design(), i4), runOne(acc.design(), skip));
+}
+
+TEST(H264Design, CoeffCountDrivesParserTime)
+{
+    const auto acc = accel::makeH264Decoder();
+    const auto f = accel::h264Fields(acc.design());
+
+    WorkItem lo;
+    lo.fields.assign(acc.design().numFields(), 0);
+    lo.fields[f.mbType] = 2;
+    lo.fields[f.refParts] = 1;
+    lo.fields[f.coeffCount] = 5;
+    WorkItem hi = lo;
+    hi.fields[f.coeffCount] = 300;
+    hi.fields[f.cbpBlocks] = 20;
+
+    EXPECT_GT(runOne(acc.design(), hi), runOne(acc.design(), lo));
+}
+
+TEST(AesDesign, CbcSlowerThanEcb)
+{
+    const auto acc = accel::makeAesAccelerator();
+    const auto f = accel::aesFields(acc.design());
+
+    WorkItem ecb;
+    ecb.fields.assign(acc.design().numFields(), 0);
+    ecb.fields[f.blocks] = 256;
+    ecb.fields[f.keyRounds] = 10;
+    WorkItem cbc = ecb;
+    cbc.fields[f.cbcMode] = 1;
+
+    EXPECT_GT(runOne(acc.design(), cbc), runOne(acc.design(), ecb));
+}
+
+TEST(AesDesign, KeyExpandOnlyOnFirstSegment)
+{
+    const auto acc = accel::makeAesAccelerator();
+    const auto f = accel::aesFields(acc.design());
+
+    WorkItem first;
+    first.fields.assign(acc.design().numFields(), 0);
+    first.fields[f.blocks] = 64;
+    first.fields[f.keyRounds] = 10;
+    first.fields[f.firstSeg] = 1;
+    WorkItem later = first;
+    later.fields[f.firstSeg] = 0;
+
+    EXPECT_GT(runOne(acc.design(), first), runOne(acc.design(), later));
+}
+
+TEST(AesDesign, MoreRoundsSlower)
+{
+    const auto acc = accel::makeAesAccelerator();
+    const auto f = accel::aesFields(acc.design());
+
+    WorkItem aes128;
+    aes128.fields.assign(acc.design().numFields(), 0);
+    aes128.fields[f.blocks] = 200;
+    aes128.fields[f.keyRounds] = 10;
+    WorkItem aes256 = aes128;
+    aes256.fields[f.keyRounds] = 14;
+
+    EXPECT_GT(runOne(acc.design(), aes256),
+              runOne(acc.design(), aes128));
+}
+
+TEST(ShaDesign, PaddingChunkOnLastSegment)
+{
+    const auto acc = accel::makeShaAccelerator();
+    const auto f = accel::shaFields(acc.design());
+
+    WorkItem mid;
+    mid.fields.assign(acc.design().numFields(), 0);
+    mid.fields[f.chunks] = 32;
+    WorkItem last = mid;
+    last.fields[f.lastSeg] = 1;
+
+    EXPECT_GT(runOne(acc.design(), last), runOne(acc.design(), mid));
+}
+
+TEST(MdDesign, NeighborsDominateCost)
+{
+    const auto acc = accel::makeMdAccelerator();
+    const auto f = accel::mdFields(acc.design());
+
+    WorkItem sparse;
+    sparse.fields.assign(acc.design().numFields(), 0);
+    sparse.fields[f.neighbors] = 2;
+    WorkItem dense = sparse;
+    dense.fields[f.neighbors] = 120;
+
+    // Compare marginal per-item cost (net of the per-job DMA setup).
+    const auto overhead = acc.design().perJobOverheadCycles();
+    const auto t_sparse = runOne(acc.design(), sparse) - overhead;
+    const auto t_dense = runOne(acc.design(), dense) - overhead;
+    EXPECT_GT(t_dense, 10 * t_sparse);
+}
+
+TEST(Registry, AllNamesConstruct)
+{
+    const auto all = accel::makeAllAccelerators();
+    EXPECT_EQ(all.size(), accel::benchmarkNames().size());
+    for (const auto &acc : all)
+        EXPECT_TRUE(acc->design().validated());
+}
+
+TEST(RegistryDeath, UnknownNameFatal)
+{
+    EXPECT_DEATH(accel::makeAccelerator("nope"), "unknown benchmark");
+}

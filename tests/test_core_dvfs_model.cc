@@ -1,0 +1,180 @@
+/**
+ * @file
+ * DvfsModel level selection: the paper's rounding rule, margin and
+ * overhead handling, budget shrinkage, boost gating, and the
+ * switch-penalty asymmetry (staying put is cheaper).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/dvfs_model.hh"
+#include "power/vf_model.hh"
+
+using namespace predvfs;
+using core::DvfsModel;
+using core::DvfsModelConfig;
+
+namespace {
+
+struct Fixture
+{
+    power::VfModel vf = power::VfModel::asic65nm(250e6);
+    power::OperatingPointTable table =
+        power::OperatingPointTable::asic(vf, /*with_boost=*/true);
+
+    DvfsModel
+    model(DvfsModelConfig config = {})
+    {
+        return DvfsModel(table, 250e6, config);
+    }
+};
+
+} // namespace
+
+TEST(DvfsModel, ShortJobGetsLowestLevel)
+{
+    Fixture f;
+    const auto m = f.model();
+    // 1 ms at nominal easily fits at the slowest level.
+    const auto choice = m.chooseLevel(1e-3, 0.0, f.table.nominalIndex());
+    EXPECT_TRUE(choice.feasible);
+    EXPECT_EQ(choice.level, 0u);
+}
+
+TEST(DvfsModel, NearDeadlineJobStaysAtNominal)
+{
+    Fixture f;
+    const auto m = f.model();
+    // 15.8 ms with 5% margin only fits at the nominal level.
+    const auto choice =
+        m.chooseLevel(15.8e-3, 0.0, f.table.nominalIndex());
+    EXPECT_TRUE(choice.feasible);
+    EXPECT_EQ(choice.level, f.table.nominalIndex());
+}
+
+TEST(DvfsModel, InfeasibleJobRunsFastestWithoutBoost)
+{
+    Fixture f;
+    const auto m = f.model();
+    const auto choice =
+        m.chooseLevel(20e-3, 0.0, f.table.nominalIndex());
+    EXPECT_FALSE(choice.feasible);
+    EXPECT_EQ(choice.level, f.table.nominalIndex());
+}
+
+TEST(DvfsModel, MarginPushesLevelUp)
+{
+    Fixture f;
+    DvfsModelConfig tight;
+    tight.marginFraction = 0.0;
+    DvfsModelConfig wide;
+    wide.marginFraction = 0.30;
+
+    // Pick a prediction that sits just under a level boundary.
+    const double f2_ratio = f.table[2].frequencyHz / 250e6;
+    const double predicted = (1.0 / 60.0) * f2_ratio * 0.98;
+
+    const auto lo = f.model(tight).chooseLevel(predicted, 0.0, 5);
+    const auto hi = f.model(wide).chooseLevel(predicted, 0.0, 5);
+    EXPECT_GT(hi.level, lo.level);
+}
+
+TEST(DvfsModel, SliceTimeShrinksBudget)
+{
+    Fixture f;
+    const auto m = f.model();
+    const double predicted = 8e-3;
+    const auto without = m.chooseLevel(predicted, 0.0, 5);
+    const auto with = m.chooseLevel(predicted, 6e-3, 5);
+    EXPECT_GE(with.level, without.level);
+}
+
+TEST(DvfsModel, IgnoreOverheadsFlagWorks)
+{
+    Fixture f;
+    DvfsModelConfig config;
+    config.ignoreOverheads = true;
+    const auto m = f.model(config);
+    // Even a huge slice time is ignored.
+    const auto choice = m.chooseLevel(1e-3, 10e-3, 5);
+    EXPECT_EQ(choice.level, 0u);
+    EXPECT_TRUE(choice.feasible);
+}
+
+TEST(DvfsModel, StayingAvoidsSwitchCost)
+{
+    Fixture f;
+    DvfsModelConfig config;
+    config.switchTimeSeconds = 3e-3;  // Exaggerated for the test.
+    config.marginFraction = 0.0;
+    const auto m = f.model(config);
+
+    // A job that fits at level 3 with no switch, but not at level 3
+    // after paying 3 ms of switching: from level 3 it stays; from
+    // level 5 it must pick a higher level.
+    const double f3_ratio = f.table[3].frequencyHz / 250e6;
+    const double predicted = (1.0 / 60.0 - 1e-4) * f3_ratio;
+
+    const auto staying = m.chooseLevel(predicted, 0.0, 3);
+    EXPECT_EQ(staying.level, 3u);
+    EXPECT_FALSE(staying.switched);
+
+    const auto moving = m.chooseLevel(predicted, 0.0, 5);
+    EXPECT_GT(moving.level, 3u);
+}
+
+TEST(DvfsModel, BoostOnlyWhenAllowed)
+{
+    Fixture f;
+    DvfsModelConfig no_boost;
+    no_boost.marginFraction = 0.0;
+    DvfsModelConfig with_boost;
+    with_boost.marginFraction = 0.0;
+    with_boost.allowBoost = true;
+
+    // Fits only at boost frequency.
+    const double boost_ratio = f.table[6].frequencyHz / 250e6;
+    const double predicted = (1.0 / 60.0) * (boost_ratio - 0.02);
+
+    const auto denied =
+        f.model(no_boost).chooseLevel(predicted, 0.0, 5);
+    EXPECT_FALSE(denied.feasible);
+    EXPECT_FALSE(f.table[denied.level].boost);
+
+    const auto granted =
+        f.model(with_boost).chooseLevel(predicted, 0.0, 5);
+    EXPECT_TRUE(granted.feasible);
+    EXPECT_TRUE(f.table[granted.level].boost);
+}
+
+TEST(DvfsModel, BoostNotUsedWhenRegularLevelFits)
+{
+    Fixture f;
+    DvfsModelConfig config;
+    config.allowBoost = true;
+    const auto m = f.model(config);
+    const auto choice = m.chooseLevel(2e-3, 0.0, 5);
+    EXPECT_FALSE(f.table[choice.level].boost);
+}
+
+TEST(DvfsModel, ShrunkBudgetForcesHigherLevel)
+{
+    Fixture f;
+    const auto m = f.model();
+    const double predicted = 6e-3;
+    const auto full = m.chooseLevel(predicted, 0.0, 5);
+    const auto squeezed = m.chooseLevel(predicted, 0.0, 5, 8e-3);
+    EXPECT_GT(squeezed.level, full.level);
+}
+
+TEST(DvfsModel, LevelsMonotoneInPrediction)
+{
+    Fixture f;
+    const auto m = f.model();
+    std::size_t prev = 0;
+    for (double t = 1e-3; t < 16e-3; t += 0.5e-3) {
+        const auto choice = m.chooseLevel(t, 0.0, 5);
+        EXPECT_GE(choice.level, prev);
+        prev = choice.level;
+    }
+}

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Dataset collection: matrix layout, agreement with direct
+ * interpretation, and the exact linear relationship between counter
+ * features and execution time that makes the paper's model work.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/features.hh"
+#include "rtl/expr.hh"
+#include "rtl/interpreter.hh"
+#include "util/random.hh"
+
+using namespace predvfs;
+using namespace predvfs::rtl;
+
+namespace {
+
+/** One FSM: Fetch(2cy) -> Work(counter = 4 + 3x) -> Done(1cy). */
+Design
+linearDesign()
+{
+    Design d("linear");
+    const auto x = d.addField("x");
+    const auto c = d.addCounter(
+        "work", CounterDir::Down,
+        Expr::add(lit(4), Expr::mul(fld(x), lit(3))), 16);
+    const auto fsm = d.addFsm("main");
+    State fetch;
+    fetch.name = "Fetch";
+    fetch.fixedCycles = 2;
+    const auto s0 = d.addState(fsm, std::move(fetch));
+    State work;
+    work.name = "Work";
+    work.kind = LatencyKind::CounterWait;
+    work.counter = c;
+    const auto s1 = d.addState(fsm, std::move(work));
+    State done;
+    done.name = "Done";
+    done.terminal = true;
+    const auto s2 = d.addState(fsm, std::move(done));
+    d.addTransition(fsm, s0, nullptr, s1);
+    d.addTransition(fsm, s1, nullptr, s2);
+    d.validate();
+    return d;
+}
+
+std::vector<JobInput>
+randomJobs(std::size_t count, util::Rng &rng)
+{
+    std::vector<JobInput> jobs;
+    for (std::size_t j = 0; j < count; ++j) {
+        JobInput job;
+        const auto items = rng.uniformInt(1, 30);
+        for (std::int64_t i = 0; i < items; ++i)
+            job.items.push_back({{rng.uniformInt(0, 100)}});
+        jobs.push_back(std::move(job));
+    }
+    return jobs;
+}
+
+} // namespace
+
+TEST(CollectDataset, ShapesMatch)
+{
+    const Design d = linearDesign();
+    const auto report = analyze(d);
+    util::Rng rng(1);
+    const auto jobs = randomJobs(12, rng);
+    const auto ds = core::collectDataset(d, report.features, jobs);
+
+    EXPECT_EQ(ds.x.rows(), 12u);
+    EXPECT_EQ(ds.x.cols(), report.features.size());
+    EXPECT_EQ(ds.y.size(), 12u);
+    EXPECT_EQ(ds.cycles.size(), 12u);
+    EXPECT_EQ(ds.energyUnits.size(), 12u);
+}
+
+TEST(CollectDataset, CyclesAgreeWithInterpreter)
+{
+    const Design d = linearDesign();
+    const auto report = analyze(d);
+    util::Rng rng(2);
+    const auto jobs = randomJobs(8, rng);
+    const auto ds = core::collectDataset(d, report.features, jobs);
+
+    Interpreter interp(d);
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+        EXPECT_EQ(ds.cycles[j], interp.run(jobs[j]).cycles);
+        EXPECT_DOUBLE_EQ(ds.y[j],
+                         static_cast<double>(ds.cycles[j]));
+    }
+}
+
+TEST(CollectDataset, CounterFeaturesGiveExactLinearModel)
+{
+    // cycles = 2*N + SIV + N (done) per construction: IC counts items,
+    // SIV sums (4+3x). So cycles = 3*IC + 1*SIV exactly.
+    const Design d = linearDesign();
+    const auto report = analyze(d);
+
+    int ic_col = -1;
+    int siv_col = -1;
+    for (std::size_t i = 0; i < report.features.size(); ++i) {
+        if (report.features[i].kind == FeatureKind::Ic)
+            ic_col = static_cast<int>(i);
+        if (report.features[i].kind == FeatureKind::Siv)
+            siv_col = static_cast<int>(i);
+    }
+    ASSERT_GE(ic_col, 0);
+    ASSERT_GE(siv_col, 0);
+
+    util::Rng rng(3);
+    const auto jobs = randomJobs(20, rng);
+    const auto ds = core::collectDataset(d, report.features, jobs);
+
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+        const double reconstructed =
+            3.0 * ds.x.at(j, ic_col) + ds.x.at(j, siv_col);
+        EXPECT_DOUBLE_EQ(reconstructed, ds.y[j]);
+    }
+}
+
+TEST(CollectDataset, EnergyPositive)
+{
+    const Design d = linearDesign();
+    const auto report = analyze(d);
+    util::Rng rng(4);
+    const auto jobs = randomJobs(5, rng);
+    const auto ds = core::collectDataset(d, report.features, jobs);
+    for (double e : ds.energyUnits)
+        EXPECT_GT(e, 0.0);
+}
+
+TEST(CollectDatasetDeath, EmptyJobsRejected)
+{
+    const Design d = linearDesign();
+    const auto report = analyze(d);
+    EXPECT_DEATH(core::collectDataset(d, report.features, {}),
+                 "no jobs");
+}

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Full-pipeline integration: one Experiment per benchmark (offline
+ * flow + prepared streams + all schemes), asserting the paper's
+ * qualitative results hold for every benchmark:
+ *
+ *  - prediction saves substantial energy over the baseline;
+ *  - prediction misses far fewer deadlines than PID;
+ *  - the oracle lower-bounds everything and never misses;
+ *  - the boost variant never misses;
+ *  - removing overheads moves prediction toward the oracle;
+ *  - the table scheme never misses but saves less than prediction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/registry.hh"
+#include "sim/experiment.hh"
+
+using namespace predvfs;
+using namespace predvfs::sim;
+
+class EndToEnd : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        exp = std::make_unique<Experiment>(GetParam());
+    }
+
+    std::unique_ptr<Experiment> exp;
+};
+
+TEST_P(EndToEnd, PredictionSavesEnergy)
+{
+    const double e = exp->normalizedEnergy(Scheme::Prediction);
+    EXPECT_LT(e, 0.85);
+    EXPECT_GT(e, 0.2);
+}
+
+TEST_P(EndToEnd, PredictionRarelyMisses)
+{
+    EXPECT_LE(exp->runScheme(Scheme::Prediction).missRate(), 0.02);
+}
+
+TEST_P(EndToEnd, PidMissesMoreThanPrediction)
+{
+    const double pid = exp->runScheme(Scheme::Pid).missRate();
+    const double pred = exp->runScheme(Scheme::Prediction).missRate();
+    EXPECT_GE(pid, pred);
+}
+
+TEST_P(EndToEnd, OracleIsLowerBoundAndPerfect)
+{
+    const double oracle = exp->normalizedEnergy(Scheme::Oracle);
+    EXPECT_LE(oracle,
+              exp->normalizedEnergy(Scheme::PredictionNoOverhead) +
+                  1e-9);
+    EXPECT_EQ(exp->runScheme(Scheme::Oracle).misses, 0u);
+}
+
+TEST_P(EndToEnd, RemovingOverheadHelps)
+{
+    EXPECT_LE(exp->normalizedEnergy(Scheme::PredictionNoOverhead),
+              exp->normalizedEnergy(Scheme::Prediction) + 1e-9);
+}
+
+TEST_P(EndToEnd, BoostEliminatesMisses)
+{
+    EXPECT_EQ(exp->runScheme(Scheme::PredictionBoost).misses, 0u);
+}
+
+TEST_P(EndToEnd, TableRarelyMissesButSavesLess)
+{
+    // Worst-case-per-class provisioning only misses when a test job
+    // exceeds every profiled job of its class (possible: the train
+    // set is finite), so allow a small rate.
+    const auto table = exp->runScheme(Scheme::Table);
+    EXPECT_LE(table.missRate(), 0.06);
+    // Worst-case provisioning cannot beat per-job prediction.
+    EXPECT_GE(exp->normalizedEnergy(Scheme::Table),
+              exp->normalizedEnergy(Scheme::PredictionNoOverhead) -
+                  0.02);
+}
+
+TEST_P(EndToEnd, SliceOverheadsWithinPaperBallpark)
+{
+    EXPECT_LT(exp->sliceAreaFraction(), 0.30);
+    EXPECT_LT(exp->meanSliceTimeFraction(), 0.10);
+    EXPECT_LT(exp->meanSliceEnergyFraction(), 0.08);
+}
+
+TEST_P(EndToEnd, PredictorMostlyOverPredicts)
+{
+    std::size_t bad_under = 0;
+    for (const auto &job : exp->testPrepared()) {
+        const double err =
+            (job.predictedCycles - static_cast<double>(job.cycles)) /
+            static_cast<double>(job.cycles);
+        if (err < -0.05)
+            ++bad_under;
+    }
+    EXPECT_LE(bad_under, exp->testPrepared().size() / 20);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, EndToEnd,
+    ::testing::ValuesIn(accel::benchmarkNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+TEST(EndToEndAverages, HeadlineNumbersNearPaper)
+{
+    double pred_energy = 0.0;
+    double pred_miss = 0.0;
+    double pid_miss = 0.0;
+    const auto &names = accel::benchmarkNames();
+    for (const auto &name : names) {
+        Experiment exp(name);
+        pred_energy += exp.normalizedEnergy(Scheme::Prediction);
+        pred_miss += exp.runScheme(Scheme::Prediction).missRate();
+        pid_miss += exp.runScheme(Scheme::Pid).missRate();
+    }
+    const double n = static_cast<double>(names.size());
+    // Paper: 63.3% energy, 0.4% misses, PID 10.5% misses. Allow
+    // generous bands; the *shape* is the claim under test.
+    EXPECT_NEAR(pred_energy / n, 0.633, 0.08);
+    EXPECT_LT(pred_miss / n, 0.01);
+    EXPECT_GT(pid_miss / n, 0.03);
+}
+
+TEST(EndToEndFpga, ComparableToAsic)
+{
+    ExperimentOptions opts;
+    opts.platform = Platform::Fpga;
+    Experiment exp("cjpeg", opts);
+    EXPECT_LT(exp.normalizedEnergy(Scheme::Prediction), 0.9);
+    EXPECT_LE(exp.runScheme(Scheme::Prediction).missRate(), 0.02);
+}
+
+TEST(EndToEndDeadlines, LongerDeadlineSavesMore)
+{
+    ExperimentOptions short_opts;
+    short_opts.deadlineSeconds = 1.0 / 60.0;
+    ExperimentOptions long_opts;
+    long_opts.deadlineSeconds = 1.6 / 60.0;
+    Experiment short_exp("aes", short_opts);
+    Experiment long_exp("aes", long_opts);
+    EXPECT_LT(long_exp.normalizedEnergy(Scheme::Prediction),
+              short_exp.normalizedEnergy(Scheme::Prediction));
+    EXPECT_EQ(long_exp.runScheme(Scheme::Prediction).misses, 0u);
+}

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Asymmetric Lasso trainer: recovery of known models, sparsity under
+ * the L1 penalty, conservativeness under the asymmetric penalty, and
+ * comparison against the least-squares baseline. Includes a
+ * parameterised sweep over alpha asserting the monotone
+ * under-prediction property.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "opt/lasso.hh"
+#include "opt/least_squares.hh"
+#include "util/random.hh"
+
+using namespace predvfs::opt;
+using predvfs::util::Rng;
+
+namespace {
+
+struct Problem
+{
+    Matrix x;
+    Vector y;
+};
+
+/** y = 2 x0 - 3 x1 + 5 + small noise; x2..x4 are pure noise. */
+Problem
+makeProblem(std::size_t n, double noise, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Problem p{Matrix(n, 5), Vector(n)};
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < 5; ++c)
+            p.x.at(r, c) = rng.normal();
+        p.y[r] = 2.0 * p.x.at(r, 0) - 3.0 * p.x.at(r, 1) + 5.0 +
+            noise * rng.normal();
+    }
+    return p;
+}
+
+} // namespace
+
+TEST(Lasso, RecoversExactModelWithoutPenalty)
+{
+    const Problem p = makeProblem(200, 0.0, 1);
+    LassoConfig config;
+    config.alpha = 1.0001;  // Nearly symmetric.
+    config.gamma = 0.0;
+    const FitResult fit = AsymmetricLasso::fit(p.x, p.y, config);
+    EXPECT_NEAR(fit.beta[0], 2.0, 1e-3);
+    EXPECT_NEAR(fit.beta[1], -3.0, 1e-3);
+    EXPECT_NEAR(fit.intercept, 5.0, 1e-3);
+    EXPECT_NEAR(fit.beta[2], 0.0, 1e-3);
+}
+
+TEST(Lasso, L1DrivesNoiseCoefficientsToZero)
+{
+    const Problem p = makeProblem(300, 0.1, 2);
+    LassoConfig config;
+    config.alpha = 2.0;
+    config.gamma = 30.0;
+    const FitResult fit = AsymmetricLasso::fit(p.x, p.y, config);
+    // Informative coefficients survive, noise ones are exactly zero.
+    EXPECT_GT(std::fabs(fit.beta[0]), 1.0);
+    EXPECT_GT(std::fabs(fit.beta[1]), 2.0);
+    EXPECT_NEAR(fit.beta[2], 0.0, 1e-9);
+    EXPECT_NEAR(fit.beta[3], 0.0, 1e-9);
+    EXPECT_NEAR(fit.beta[4], 0.0, 1e-9);
+    EXPECT_EQ(fit.nonZeroCount(), 2u);
+}
+
+TEST(Lasso, HugeGammaZeroesEverything)
+{
+    const Problem p = makeProblem(100, 0.1, 3);
+    LassoConfig config;
+    config.gamma = 1e7;
+    const FitResult fit = AsymmetricLasso::fit(p.x, p.y, config);
+    EXPECT_EQ(fit.nonZeroCount(), 0u);
+}
+
+TEST(Lasso, AsymmetryShiftsPredictionsUp)
+{
+    // Noisy data: a symmetric fit centres the errors; a large alpha
+    // pushes the fit up so residuals are mostly over-predictions.
+    const Problem p = makeProblem(400, 1.0, 4);
+
+    LassoConfig sym;
+    sym.alpha = 1.0001;
+    sym.gamma = 0.0;
+    LassoConfig cons;
+    cons.alpha = 20.0;
+    cons.gamma = 0.0;
+
+    const FitResult f_sym = AsymmetricLasso::fit(p.x, p.y, sym);
+    const FitResult f_cons = AsymmetricLasso::fit(p.x, p.y, cons);
+
+    auto under_rate = [&](const FitResult &fit) {
+        std::size_t under = 0;
+        for (std::size_t r = 0; r < p.x.rows(); ++r) {
+            Vector row(p.x.cols());
+            for (std::size_t c = 0; c < p.x.cols(); ++c)
+                row[c] = p.x.at(r, c);
+            if (fit.predict(row) < p.y[r])
+                ++under;
+        }
+        return static_cast<double>(under) /
+            static_cast<double>(p.x.rows());
+    };
+
+    EXPECT_NEAR(under_rate(f_sym), 0.5, 0.1);
+    EXPECT_LT(under_rate(f_cons), 0.2);
+    EXPECT_GT(f_cons.intercept, f_sym.intercept);
+}
+
+TEST(Lasso, ObjectiveDecreasesVsZeroModel)
+{
+    const Problem p = makeProblem(150, 0.5, 5);
+    LassoConfig config;
+    config.gamma = 1.0;
+    const FitResult fit = AsymmetricLasso::fit(p.x, p.y, config);
+    const double zero_obj = AsymmetricLasso::objective(
+        p.x, p.y, Vector(p.x.cols()), 0.0, config);
+    EXPECT_LT(fit.objective, zero_obj);
+}
+
+TEST(Lasso, MatchesLeastSquaresWhenSymmetricUnpenalised)
+{
+    const Problem p = makeProblem(250, 0.3, 6);
+    LassoConfig config;
+    config.alpha = 1.0;
+    config.gamma = 0.0;
+    config.maxIterations = 20000;
+    config.tolerance = 1e-12;
+    const FitResult lasso = AsymmetricLasso::fit(p.x, p.y, config);
+    const FitResult ols = leastSquares(p.x, p.y, 0.0);
+    for (std::size_t c = 0; c < 5; ++c)
+        EXPECT_NEAR(lasso.beta[c], ols.beta[c], 5e-3);
+    EXPECT_NEAR(lasso.intercept, ols.intercept, 5e-3);
+}
+
+TEST(LeastSquares, ExactOnNoiselessData)
+{
+    const Problem p = makeProblem(100, 0.0, 7);
+    const FitResult fit = leastSquares(p.x, p.y);
+    EXPECT_NEAR(fit.beta[0], 2.0, 1e-4);
+    EXPECT_NEAR(fit.beta[1], -3.0, 1e-4);
+    EXPECT_NEAR(fit.intercept, 5.0, 1e-4);
+}
+
+TEST(LeastSquares, RidgeHandlesCollinearColumns)
+{
+    Rng rng(8);
+    Matrix x(50, 2);
+    Vector y(50);
+    for (std::size_t r = 0; r < 50; ++r) {
+        const double v = rng.normal();
+        x.at(r, 0) = v;
+        x.at(r, 1) = v;  // Perfectly collinear.
+        y[r] = 3.0 * v;
+    }
+    // Without ridge the Gram matrix is singular; with ridge we get a
+    // valid (split) solution.
+    const FitResult fit = leastSquares(x, y, 1e-6);
+    EXPECT_NEAR(fit.beta[0] + fit.beta[1], 3.0, 1e-3);
+}
+
+/** Parameterised sweep: under-prediction rate is non-increasing in
+ *  alpha (the conservativeness knob works monotonically). */
+class LassoAlphaSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(LassoAlphaSweep, UnderRateBoundedByAlpha)
+{
+    const double alpha = GetParam();
+    const Problem p = makeProblem(300, 1.0, 10);
+    LassoConfig config;
+    config.alpha = alpha;
+    config.gamma = 0.0;
+    const FitResult fit = AsymmetricLasso::fit(p.x, p.y, config);
+
+    std::size_t under = 0;
+    for (std::size_t r = 0; r < p.x.rows(); ++r) {
+        Vector row(p.x.cols());
+        for (std::size_t c = 0; c < p.x.cols(); ++c)
+            row[c] = p.x.at(r, c);
+        if (fit.predict(row) < p.y[r])
+            ++under;
+    }
+    const double rate = static_cast<double>(under) / 300.0;
+    // At the optimum of the asymmetric loss the mass of
+    // under-predictions is roughly 1/(1+sqrt(alpha)) for symmetric
+    // noise; assert the loose upper bound.
+    EXPECT_LT(rate, 1.2 / (1.0 + std::sqrt(alpha)) + 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AlphaGrid, LassoAlphaSweep,
+                         ::testing::Values(1.0, 2.0, 4.0, 8.0, 16.0,
+                                           64.0));

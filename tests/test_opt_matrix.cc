@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Dense linear algebra: vector ops, matrix products, Gram matrices,
+ * spectral-norm estimation, and the Cholesky solver.
+ */
+
+#include <gtest/gtest.h>
+
+#include "opt/matrix.hh"
+#include "util/random.hh"
+
+using namespace predvfs::opt;
+using predvfs::util::Rng;
+
+TEST(Vector, Norms)
+{
+    Vector v(std::vector<double>{3.0, -4.0});
+    EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+    EXPECT_DOUBLE_EQ(v.norm1(), 7.0);
+}
+
+TEST(Vector, DotAndAxpy)
+{
+    Vector a(std::vector<double>{1.0, 2.0, 3.0});
+    Vector b(std::vector<double>{4.0, 5.0, 6.0});
+    EXPECT_DOUBLE_EQ(a.dot(b), 32.0);
+    a.axpy(2.0, b);
+    EXPECT_DOUBLE_EQ(a[0], 9.0);
+    EXPECT_DOUBLE_EQ(a[2], 15.0);
+}
+
+TEST(Vector, Arithmetic)
+{
+    Vector a(std::vector<double>{1.0, 2.0});
+    Vector b(std::vector<double>{3.0, 5.0});
+    const Vector sum = a + b;
+    const Vector diff = b - a;
+    const Vector scaled = a * 3.0;
+    EXPECT_DOUBLE_EQ(sum[1], 7.0);
+    EXPECT_DOUBLE_EQ(diff[0], 2.0);
+    EXPECT_DOUBLE_EQ(scaled[1], 6.0);
+}
+
+TEST(VectorDeath, DimensionMismatch)
+{
+    Vector a(2);
+    Vector b(3);
+    EXPECT_DEATH(a.dot(b), "mismatch");
+}
+
+TEST(Matrix, MultiplyKnown)
+{
+    Matrix m(2, 3);
+    // [1 2 3; 4 5 6]
+    int v = 1;
+    for (std::size_t r = 0; r < 2; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            m.at(r, c) = v++;
+    const Vector x(std::vector<double>{1.0, 0.0, -1.0});
+    const Vector y = m.multiply(x);
+    EXPECT_DOUBLE_EQ(y[0], -2.0);
+    EXPECT_DOUBLE_EQ(y[1], -2.0);
+}
+
+TEST(Matrix, MultiplyTransposedConsistent)
+{
+    Rng rng(4);
+    Matrix m(5, 3);
+    for (std::size_t r = 0; r < 5; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            m.at(r, c) = rng.normal();
+    Vector u(5);
+    Vector w(3);
+    for (std::size_t i = 0; i < 5; ++i)
+        u[i] = rng.normal();
+    for (std::size_t i = 0; i < 3; ++i)
+        w[i] = rng.normal();
+    // <A^T u, w> == <u, A w>.
+    EXPECT_NEAR(m.multiplyTransposed(u).dot(w), u.dot(m.multiply(w)),
+                1e-12);
+}
+
+TEST(Matrix, GramIsXtX)
+{
+    Matrix m(3, 2);
+    m.at(0, 0) = 1.0;
+    m.at(0, 1) = 2.0;
+    m.at(1, 0) = 0.0;
+    m.at(1, 1) = 1.0;
+    m.at(2, 0) = -1.0;
+    m.at(2, 1) = 3.0;
+    const Matrix g = m.gram();
+    EXPECT_DOUBLE_EQ(g.at(0, 0), 2.0);
+    EXPECT_DOUBLE_EQ(g.at(0, 1), -1.0);
+    EXPECT_DOUBLE_EQ(g.at(1, 0), -1.0);
+    EXPECT_DOUBLE_EQ(g.at(1, 1), 14.0);
+}
+
+TEST(Matrix, SpectralNormOfDiagonal)
+{
+    Matrix m(3, 3);
+    m.at(0, 0) = 1.0;
+    m.at(1, 1) = 5.0;
+    m.at(2, 2) = 2.0;
+    // Largest eigenvalue of A^T A = 25.
+    EXPECT_NEAR(m.gramSpectralNorm(), 25.0, 1e-6);
+}
+
+TEST(Matrix, SpectralNormUpperBoundsGramDiagonal)
+{
+    Rng rng(6);
+    Matrix m(20, 6);
+    for (std::size_t r = 0; r < 20; ++r)
+        for (std::size_t c = 0; c < 6; ++c)
+            m.at(r, c) = rng.normal();
+    const Matrix g = m.gram();
+    double max_diag = 0.0;
+    for (std::size_t i = 0; i < 6; ++i)
+        max_diag = std::max(max_diag, g.at(i, i));
+    EXPECT_GE(m.gramSpectralNorm() + 1e-9, max_diag);
+}
+
+TEST(Cholesky, SolvesSpdSystem)
+{
+    Matrix m(2, 2);
+    m.at(0, 0) = 4.0;
+    m.at(0, 1) = 2.0;
+    m.at(1, 0) = 2.0;
+    m.at(1, 1) = 3.0;
+    const Vector b(std::vector<double>{8.0, 7.0});
+    const Vector x = choleskySolve(m, b);
+    EXPECT_NEAR(4.0 * x[0] + 2.0 * x[1], 8.0, 1e-12);
+    EXPECT_NEAR(2.0 * x[0] + 3.0 * x[1], 7.0, 1e-12);
+}
+
+TEST(Cholesky, RandomSpdRoundTrip)
+{
+    Rng rng(8);
+    Matrix a(10, 4);
+    for (std::size_t r = 0; r < 10; ++r)
+        for (std::size_t c = 0; c < 4; ++c)
+            a.at(r, c) = rng.normal();
+    Matrix g = a.gram();
+    for (std::size_t i = 0; i < 4; ++i)
+        g.at(i, i) += 0.1;  // Guarantee SPD.
+    Vector x_true(4);
+    for (std::size_t i = 0; i < 4; ++i)
+        x_true[i] = rng.normal();
+    const Vector b = g.multiply(x_true);
+    const Vector x = choleskySolve(g, b);
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+TEST(CholeskyDeath, RejectsIndefinite)
+{
+    Matrix m(2, 2);
+    m.at(0, 0) = 1.0;
+    m.at(1, 1) = -1.0;
+    const Vector b(2);
+    EXPECT_DEATH(choleskySolve(m, b), "positive definite");
+}

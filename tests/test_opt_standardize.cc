@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Standardizer: column scaling, constant-column handling, and the
+ * coefficient unscaling identity (predictions in standardised space
+ * equal predictions in raw space after unscale()).
+ */
+
+#include <gtest/gtest.h>
+
+#include "opt/standardize.hh"
+#include "util/random.hh"
+
+using namespace predvfs::opt;
+using predvfs::util::Rng;
+
+namespace {
+
+Matrix
+randomMatrix(std::size_t n, std::size_t p, Rng &rng, double offset = 0.0)
+{
+    Matrix x(n, p);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < p; ++c)
+            x.at(r, c) = offset + rng.normal() *
+                (static_cast<double>(c) + 1.0) * 3.0;
+    return x;
+}
+
+} // namespace
+
+TEST(Standardizer, TransformedColumnsZeroMeanUnitVar)
+{
+    Rng rng(3);
+    const Matrix x = randomMatrix(500, 4, rng, 100.0);
+    const Standardizer s(x);
+    const Matrix z = s.transform(x);
+
+    for (std::size_t c = 0; c < 4; ++c) {
+        double mean = 0.0;
+        for (std::size_t r = 0; r < 500; ++r)
+            mean += z.at(r, c);
+        mean /= 500.0;
+        double var = 0.0;
+        for (std::size_t r = 0; r < 500; ++r)
+            var += (z.at(r, c) - mean) * (z.at(r, c) - mean);
+        var /= 500.0;
+        EXPECT_NEAR(mean, 0.0, 1e-10);
+        EXPECT_NEAR(var, 1.0, 1e-10);
+    }
+}
+
+TEST(Standardizer, ConstantColumnBecomesZero)
+{
+    Matrix x(10, 2);
+    for (std::size_t r = 0; r < 10; ++r) {
+        x.at(r, 0) = 7.0;  // Constant.
+        x.at(r, 1) = static_cast<double>(r);
+    }
+    const Standardizer s(x);
+    const Matrix z = s.transform(x);
+    for (std::size_t r = 0; r < 10; ++r)
+        EXPECT_DOUBLE_EQ(z.at(r, 0), 0.0);
+}
+
+TEST(Standardizer, UnscalePreservesPredictions)
+{
+    Rng rng(5);
+    const Matrix x = randomMatrix(50, 3, rng, 10.0);
+    const Standardizer s(x);
+    const Matrix z = s.transform(x);
+
+    Vector beta_std(std::vector<double>{1.5, -2.0, 0.25});
+    const double intercept_std = 4.0;
+
+    Vector beta_raw;
+    double intercept_raw = 0.0;
+    s.unscale(beta_std, intercept_std, beta_raw, intercept_raw);
+
+    for (std::size_t r = 0; r < 50; ++r) {
+        double pred_std = intercept_std;
+        double pred_raw = intercept_raw;
+        for (std::size_t c = 0; c < 3; ++c) {
+            pred_std += beta_std[c] * z.at(r, c);
+            pred_raw += beta_raw[c] * x.at(r, c);
+        }
+        EXPECT_NEAR(pred_std, pred_raw, 1e-9);
+    }
+}
+
+TEST(Standardizer, TransformUsesTrainingStatistics)
+{
+    Rng rng(6);
+    const Matrix train = randomMatrix(100, 2, rng, 5.0);
+    const Standardizer s(train);
+    // Fresh data transformed with the *training* mean/scale.
+    Matrix fresh(1, 2);
+    fresh.at(0, 0) = s.means()[0];
+    fresh.at(0, 1) = s.means()[1] + s.scales()[1];
+    const Matrix z = s.transform(fresh);
+    EXPECT_NEAR(z.at(0, 0), 0.0, 1e-12);
+    EXPECT_NEAR(z.at(0, 1), 1.0, 1e-12);
+}
+
+TEST(StandardizerDeath, ColumnMismatchRejected)
+{
+    Matrix x(5, 2);
+    const Standardizer s(x);
+    Matrix wrong(5, 3);
+    EXPECT_DEATH(s.transform(wrong), "column mismatch");
+}

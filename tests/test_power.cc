@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Power models: the alpha-power-law V-f curve, operating point
+ * tables, and the energy model's scaling laws.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/energy_model.hh"
+#include "power/operating_points.hh"
+#include "power/vf_model.hh"
+
+using namespace predvfs::power;
+
+TEST(VfModel, NominalPointIsFixed)
+{
+    const VfModel vf = VfModel::asic65nm(250e6);
+    EXPECT_DOUBLE_EQ(vf.frequencyAt(1.0), 250e6);
+    EXPECT_DOUBLE_EQ(vf.delayRatio(1.0), 1.0);
+}
+
+TEST(VfModel, FrequencyMonotoneInVoltage)
+{
+    const VfModel vf = VfModel::asic65nm(500e6);
+    double prev = 0.0;
+    for (double v = 0.55; v <= 1.1; v += 0.05) {
+        const double f = vf.frequencyAt(v);
+        EXPECT_GT(f, prev);
+        prev = f;
+    }
+}
+
+TEST(VfModel, LowVoltageSlowsSuperlinearly)
+{
+    const VfModel vf = VfModel::asic65nm(250e6);
+    // Near threshold the delay blows up: f(0.625) well below 0.625 f0.
+    EXPECT_LT(vf.frequencyAt(0.625), 0.625 * 250e6);
+    EXPECT_GT(vf.frequencyAt(0.625), 0.2 * 250e6);
+}
+
+TEST(VfModel, BoostAboveNominal)
+{
+    const VfModel vf = VfModel::asic65nm(250e6);
+    EXPECT_GT(vf.frequencyAt(1.08), 250e6);
+}
+
+TEST(VfModel, Fo4ChainLengthMatchesCycleTime)
+{
+    const VfModel vf = VfModel::asic65nm(250e6);
+    // 4 ns cycle / 25 ps FO4 = 160 stages.
+    EXPECT_NEAR(vf.fo4ChainLength(25.0), 160.0, 1e-9);
+}
+
+TEST(VfModelDeath, BelowThresholdRejected)
+{
+    const VfModel vf = VfModel::asic65nm(250e6);
+    EXPECT_DEATH(vf.frequencyAt(0.3), "threshold");
+}
+
+TEST(OperatingPoints, AsicTableShape)
+{
+    const VfModel vf = VfModel::asic65nm(250e6);
+    const auto table = OperatingPointTable::asic(vf);
+    ASSERT_EQ(table.size(), 6u);
+    EXPECT_DOUBLE_EQ(table[0].voltage, 0.625);
+    EXPECT_DOUBLE_EQ(table[5].voltage, 1.0);
+    EXPECT_EQ(table.nominalIndex(), 5u);
+    EXPECT_FALSE(table.hasBoost());
+    // Equally spaced voltages.
+    for (std::size_t i = 1; i < 6; ++i)
+        EXPECT_NEAR(table[i].voltage - table[i - 1].voltage, 0.075,
+                    1e-12);
+}
+
+TEST(OperatingPoints, FpgaTableShape)
+{
+    const VfModel vf = VfModel::fpga28nm(200e6);
+    const auto table = OperatingPointTable::fpga(vf);
+    ASSERT_EQ(table.size(), 7u);
+    EXPECT_DOUBLE_EQ(table[0].voltage, 0.7);
+    EXPECT_DOUBLE_EQ(table[6].voltage, 1.0);
+}
+
+TEST(OperatingPoints, BoostAppendedLast)
+{
+    const VfModel vf = VfModel::asic65nm(250e6);
+    const auto table = OperatingPointTable::asic(vf, true);
+    ASSERT_EQ(table.size(), 7u);
+    EXPECT_TRUE(table.hasBoost());
+    EXPECT_TRUE(table[6].boost);
+    EXPECT_DOUBLE_EQ(table[6].voltage, 1.08);
+    // Nominal index skips the boost level.
+    EXPECT_EQ(table.nominalIndex(), 5u);
+}
+
+TEST(OperatingPoints, LowestLevelAtLeast)
+{
+    const VfModel vf = VfModel::asic65nm(250e6);
+    const auto table = OperatingPointTable::asic(vf, true);
+
+    // A trivial requirement picks the slowest level.
+    auto level = table.lowestLevelAtLeast(1e6, false);
+    ASSERT_TRUE(level.has_value());
+    EXPECT_EQ(*level, 0u);
+
+    // Just above a level's frequency picks the next one up.
+    const double f3 = table[3].frequencyHz;
+    level = table.lowestLevelAtLeast(f3 + 1.0, false);
+    ASSERT_TRUE(level.has_value());
+    EXPECT_EQ(*level, 4u);
+
+    // Beyond nominal: only boost can serve, and only when allowed.
+    const double too_fast = table[5].frequencyHz * 1.01;
+    EXPECT_FALSE(table.lowestLevelAtLeast(too_fast, false).has_value());
+    level = table.lowestLevelAtLeast(too_fast, true);
+    ASSERT_TRUE(level.has_value());
+    EXPECT_TRUE(table[*level].boost);
+
+    // Beyond even boost: nothing.
+    EXPECT_FALSE(table.lowestLevelAtLeast(table[6].frequencyHz * 1.01,
+                                          true)
+                     .has_value());
+}
+
+TEST(EnergyModel, DynamicScalesQuadratically)
+{
+    EnergyParams params;
+    params.joulesPerUnit = 1e-12;
+    params.leakageWattsNominal = 0.0;
+    const EnergyModel em(params);
+    const double e_full = em.dynamicEnergy(1000.0, 1.0);
+    const double e_half = em.dynamicEnergy(1000.0, 0.5);
+    EXPECT_NEAR(e_half / e_full, 0.25, 1e-12);
+}
+
+TEST(EnergyModel, LeakageScalesCubically)
+{
+    EnergyParams params;
+    params.leakageWattsNominal = 10e-3;
+    const EnergyModel em(params);
+    EXPECT_NEAR(em.leakagePower(0.5) / em.leakagePower(1.0), 0.125,
+                1e-12);
+}
+
+TEST(EnergyModel, LowerVoltageLowerJobEnergy)
+{
+    const VfModel vf = VfModel::asic65nm(250e6);
+    const auto table = OperatingPointTable::asic(vf);
+    EnergyParams params;
+    params.joulesPerUnit = 1e-12;
+    params.leakageWattsNominal = 5e-3;
+    const EnergyModel em(params);
+
+    const double units = 1e6;
+    const std::uint64_t cycles = 1000000;
+    // Despite longer runtime (more leakage time), dropping levels
+    // saves energy across the whole table for realistic parameters.
+    double prev = 0.0;
+    for (std::size_t i = 0; i < table.size(); ++i) {
+        const double e = em.jobEnergy(units, cycles, table[i]);
+        if (i > 0) {
+            EXPECT_GT(e, prev);
+        }
+        prev = e;
+    }
+}
+
+TEST(EnergyModel, JobEnergyDecomposition)
+{
+    EnergyParams params;
+    params.joulesPerUnit = 2e-12;
+    params.leakageWattsNominal = 1e-3;
+    const EnergyModel em(params);
+    const OperatingPoint op{1.0, 100e6, false};
+    const double e = em.jobEnergy(500.0, 200, op);
+    const double expected = 500.0 * 2e-12 + 1e-3 * (200.0 / 100e6);
+    EXPECT_NEAR(e, expected, 1e-18);
+}

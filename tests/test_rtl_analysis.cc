@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Static analysis: feature discovery (STC per distinct edge, IC +
+ * SIV/SPV per counter), implicit-state reporting, determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "rtl/analysis.hh"
+#include "rtl/expr.hh"
+
+using namespace predvfs::rtl;
+
+namespace {
+
+/** Two-state FSM with one down-counter and a guarded branch. */
+Design
+branchyDesign()
+{
+    Design d("branchy");
+    const auto x = d.addField("x");
+    const auto c =
+        d.addCounter("work", CounterDir::Down, fld(x), 16);
+
+    const auto fsm = d.addFsm("main");
+    State s0;
+    s0.name = "Pick";
+    const auto id0 = d.addState(fsm, std::move(s0));
+    State s1;
+    s1.name = "Work";
+    s1.kind = LatencyKind::CounterWait;
+    s1.counter = c;
+    const auto id1 = d.addState(fsm, std::move(s1));
+    State s2;
+    s2.name = "Done";
+    s2.terminal = true;
+    const auto id2 = d.addState(fsm, std::move(s2));
+
+    d.addTransition(fsm, id0, Expr::gt(fld(x), lit(0)), id1);
+    d.addTransition(fsm, id0, nullptr, id2);
+    d.addTransition(fsm, id1, nullptr, id2);
+    d.validate();
+    return d;
+}
+
+std::size_t
+countKind(const AnalysisReport &report, FeatureKind kind)
+{
+    return static_cast<std::size_t>(std::count_if(
+        report.features.begin(), report.features.end(),
+        [kind](const FeatureSpec &f) { return f.kind == kind; }));
+}
+
+} // namespace
+
+TEST(Analysis, EnumeratesStcPerEdge)
+{
+    const Design d = branchyDesign();
+    const auto report = analyze(d);
+    // Edges: Pick->Work, Pick->Done, Work->Done.
+    EXPECT_EQ(countKind(report, FeatureKind::Stc), 3u);
+}
+
+TEST(Analysis, CounterFeaturesByDirection)
+{
+    const Design d = branchyDesign();
+    const auto report = analyze(d);
+    EXPECT_EQ(countKind(report, FeatureKind::Ic), 1u);
+    EXPECT_EQ(countKind(report, FeatureKind::Siv), 1u);  // Down.
+    EXPECT_EQ(countKind(report, FeatureKind::Spv), 0u);
+}
+
+TEST(Analysis, UpCounterGetsSpv)
+{
+    Design d("up");
+    const auto x = d.addField("x");
+    const auto c = d.addCounter("acc", CounterDir::Up, fld(x), 16);
+    const auto fsm = d.addFsm("main");
+    State s;
+    s.name = "W";
+    s.kind = LatencyKind::CounterWait;
+    s.counter = c;
+    s.terminal = true;
+    d.addState(fsm, std::move(s));
+    d.validate();
+
+    const auto report = analyze(d);
+    EXPECT_EQ(countKind(report, FeatureKind::Spv), 1u);
+    EXPECT_EQ(countKind(report, FeatureKind::Siv), 0u);
+    EXPECT_EQ(countKind(report, FeatureKind::Ic), 1u);
+}
+
+TEST(Analysis, DuplicateEdgesShareOneFeature)
+{
+    Design d("dup");
+    const auto x = d.addField("x");
+    const auto fsm = d.addFsm("main");
+    State s0;
+    s0.name = "S0";
+    const auto id0 = d.addState(fsm, std::move(s0));
+    State s1;
+    s1.name = "S1";
+    s1.terminal = true;
+    const auto id1 = d.addState(fsm, std::move(s1));
+    // Two guarded edges to the same destination + default.
+    d.addTransition(fsm, id0, Expr::eq(fld(x), lit(1)), id1);
+    d.addTransition(fsm, id0, Expr::eq(fld(x), lit(2)), id1);
+    d.addTransition(fsm, id0, nullptr, id1);
+    d.validate();
+
+    const auto report = analyze(d);
+    EXPECT_EQ(countKind(report, FeatureKind::Stc), 1u);
+}
+
+TEST(Analysis, ReportsImplicitStates)
+{
+    Design d("imp");
+    const auto x = d.addField("x");
+    const auto fsm = d.addFsm("main");
+    State s;
+    s.name = "Variable";
+    s.kind = LatencyKind::Implicit;
+    s.implicitLatency = Expr::add(lit(5), fld(x));
+    s.terminal = true;
+    d.addState(fsm, std::move(s));
+    d.validate();
+
+    const auto report = analyze(d);
+    ASSERT_EQ(report.implicitStates.size(), 1u);
+    EXPECT_EQ(report.implicitStates[0].name, "main.Variable");
+}
+
+TEST(Analysis, ConstantImplicitNotReported)
+{
+    Design d("imp");
+    const auto fsm = d.addFsm("main");
+    State s;
+    s.name = "FixedImplicit";
+    s.kind = LatencyKind::Implicit;
+    s.implicitLatency = lit(12);  // Input-independent.
+    s.terminal = true;
+    d.addState(fsm, std::move(s));
+    d.validate();
+
+    const auto report = analyze(d);
+    EXPECT_TRUE(report.implicitStates.empty());
+}
+
+TEST(Analysis, Deterministic)
+{
+    const Design d = branchyDesign();
+    const auto r1 = analyze(d);
+    const auto r2 = analyze(d);
+    ASSERT_EQ(r1.features.size(), r2.features.size());
+    for (std::size_t i = 0; i < r1.features.size(); ++i) {
+        EXPECT_TRUE(r1.features[i] == r2.features[i]);
+        EXPECT_EQ(r1.features[i].name, r2.features[i].name);
+    }
+}
+
+TEST(Analysis, NamesAreHumanReadable)
+{
+    const Design d = branchyDesign();
+    const auto report = analyze(d);
+    bool found_stc = false;
+    bool found_siv = false;
+    for (const auto &f : report.features) {
+        if (f.name == "stc:main.Pick->Work")
+            found_stc = true;
+        if (f.name == "siv:work")
+            found_siv = true;
+    }
+    EXPECT_TRUE(found_stc);
+    EXPECT_TRUE(found_siv);
+}
+
+TEST(Analysis, StructureCountsMatchDesign)
+{
+    const Design d = branchyDesign();
+    const auto report = analyze(d);
+    EXPECT_EQ(report.numFsms, 1u);
+    EXPECT_EQ(report.numCounters, 1u);
+    EXPECT_EQ(report.numStates, 3u);
+    EXPECT_EQ(report.numTransitions, 3u);
+}

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Design builder and validation: structural checks catch malformed
+ * control units; area model reflects structure. Validation failures
+ * panic (abort), so they are exercised with death tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rtl/design.hh"
+#include "rtl/expr.hh"
+
+using namespace predvfs::rtl;
+
+namespace {
+
+/** Minimal valid single-state design. */
+Design
+tinyDesign()
+{
+    Design d("tiny");
+    d.addField("x");
+    const auto fsm = d.addFsm("main");
+    State s;
+    s.name = "Only";
+    s.terminal = true;
+    d.addState(fsm, std::move(s));
+    return d;
+}
+
+} // namespace
+
+TEST(Design, ValidTinyDesign)
+{
+    Design d = tinyDesign();
+    d.validate();
+    EXPECT_TRUE(d.validated());
+    EXPECT_EQ(d.totalStates(), 1u);
+    EXPECT_EQ(d.numFields(), 1u);
+}
+
+TEST(Design, FieldIndexLookup)
+{
+    Design d("f");
+    const auto a = d.addField("alpha");
+    const auto b = d.addField("beta");
+    EXPECT_EQ(d.fieldIndex("alpha"), a);
+    EXPECT_EQ(d.fieldIndex("beta"), b);
+}
+
+TEST(DesignDeath, UnknownFieldPanics)
+{
+    Design d("f");
+    d.addField("alpha");
+    EXPECT_DEATH(d.fieldIndex("nope"), "no field");
+}
+
+TEST(DesignDeath, DuplicateFieldPanics)
+{
+    Design d("f");
+    d.addField("alpha");
+    EXPECT_DEATH(d.addField("alpha"), "duplicate field");
+}
+
+TEST(DesignDeath, NoDefaultTransitionPanics)
+{
+    Design d("bad");
+    const auto x = d.addField("x");
+    const auto fsm = d.addFsm("main");
+    State s0;
+    s0.name = "S0";
+    const auto id0 = d.addState(fsm, std::move(s0));
+    State s1;
+    s1.name = "S1";
+    s1.terminal = true;
+    const auto id1 = d.addState(fsm, std::move(s1));
+    // Only a guarded edge — no default.
+    d.addTransition(fsm, id0, Expr::gt(fld(x), lit(0)), id1);
+    EXPECT_DEATH(d.validate(), "no default");
+}
+
+TEST(DesignDeath, UnreachableStatePanics)
+{
+    Design d("bad");
+    const auto fsm = d.addFsm("main");
+    State s0;
+    s0.name = "S0";
+    s0.terminal = true;
+    d.addState(fsm, std::move(s0));
+    State orphan;
+    orphan.name = "Orphan";
+    orphan.terminal = true;
+    d.addState(fsm, std::move(orphan));
+    EXPECT_DEATH(d.validate(), "unreachable");
+}
+
+TEST(DesignDeath, NoTerminalPanics)
+{
+    Design d("bad");
+    const auto fsm = d.addFsm("main");
+    State s0;
+    s0.name = "S0";
+    const auto id0 = d.addState(fsm, std::move(s0));
+    d.addTransition(fsm, id0, nullptr, id0);  // Self-loop forever.
+    EXPECT_DEATH(d.validate(), "terminal");
+}
+
+TEST(DesignDeath, BadCounterReferencePanics)
+{
+    Design d("bad");
+    const auto fsm = d.addFsm("main");
+    State s;
+    s.name = "W";
+    s.kind = LatencyKind::CounterWait;
+    s.counter = 3;  // Never declared.
+    s.terminal = true;
+    d.addState(fsm, std::move(s));
+    EXPECT_DEATH(d.validate(), "bad counter");
+}
+
+TEST(DesignDeath, StartAfterCyclePanics)
+{
+    Design d("bad");
+    const auto a = d.addFsm("a", 1);
+    const auto b = d.addFsm("b", 0);
+    (void)a;
+    (void)b;
+    for (FsmId f : {0, 1}) {
+        State s;
+        s.name = "S";
+        s.terminal = true;
+        d.addState(f, std::move(s));
+    }
+    EXPECT_DEATH(d.validate(), "cycle");
+}
+
+TEST(DesignDeath, StartAfterSelfPanics)
+{
+    Design d("bad");
+    d.addFsm("a", 0);  // FSM 0 waiting on itself.
+    State s;
+    s.name = "S";
+    s.terminal = true;
+    d.addState(0, std::move(s));
+    EXPECT_DEATH(d.validate(), "startAfter itself");
+}
+
+TEST(DesignDeath, NoFsmPanics)
+{
+    Design d("empty");
+    EXPECT_DEATH(d.validate(), "no FSMs");
+}
+
+TEST(DesignDeath, MutationAfterValidatePanics)
+{
+    Design d = tinyDesign();
+    d.validate();
+    EXPECT_DEATH(d.addField("late"), "after validate");
+}
+
+TEST(Design, AreaGrowsWithStructure)
+{
+    Design small("small");
+    {
+        const auto fsm = small.addFsm("m");
+        State s;
+        s.name = "S";
+        s.terminal = true;
+        small.addState(fsm, std::move(s));
+        small.validate();
+    }
+
+    Design big("big");
+    {
+        big.addField("x");
+        big.addCounter("c", CounterDir::Down, fld(0), 16);
+        big.addBlock("dp", 500.0, 1.0);
+        const auto fsm = big.addFsm("m");
+        State s0;
+        s0.name = "S0";
+        const auto id0 = big.addState(fsm, std::move(s0));
+        State s1;
+        s1.name = "S1";
+        s1.terminal = true;
+        const auto id1 = big.addState(fsm, std::move(s1));
+        big.addTransition(fsm, id0, nullptr, id1);
+        big.validate();
+    }
+
+    EXPECT_GT(big.areaUnits(), small.areaUnits());
+    EXPECT_GT(big.areaUnits(), big.controlAreaUnits());
+    // Control area excludes the datapath block.
+    EXPECT_NEAR(big.areaUnits() - big.controlAreaUnits(), 500.0, 1e-9);
+}
+
+TEST(Design, TransitionCountsTallied)
+{
+    Design d("count");
+    d.addField("x");
+    const auto fsm = d.addFsm("m");
+    State s0;
+    s0.name = "S0";
+    const auto id0 = d.addState(fsm, std::move(s0));
+    State s1;
+    s1.name = "S1";
+    s1.terminal = true;
+    const auto id1 = d.addState(fsm, std::move(s1));
+    d.addTransition(fsm, id0, Expr::gt(fld(0), lit(1)), id1);
+    d.addTransition(fsm, id0, nullptr, id1);
+    d.validate();
+    EXPECT_EQ(d.totalTransitions(), 2u);
+    EXPECT_EQ(d.totalStates(), 2u);
+}

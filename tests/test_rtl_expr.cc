@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Expression AST: evaluation semantics, field collection, printing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rtl/expr.hh"
+
+using namespace predvfs::rtl;
+
+namespace {
+
+std::int64_t
+evalWith(const ExprPtr &e, std::vector<std::int64_t> fields)
+{
+    return e->eval(fields);
+}
+
+} // namespace
+
+TEST(Expr, ConstAndField)
+{
+    EXPECT_EQ(evalWith(lit(7), {}), 7);
+    EXPECT_EQ(evalWith(fld(1), {10, 20, 30}), 20);
+}
+
+TEST(Expr, Arithmetic)
+{
+    EXPECT_EQ(evalWith(Expr::add(lit(2), lit(3)), {}), 5);
+    EXPECT_EQ(evalWith(Expr::sub(lit(2), lit(3)), {}), -1);
+    EXPECT_EQ(evalWith(Expr::mul(lit(4), lit(3)), {}), 12);
+    EXPECT_EQ(evalWith(Expr::div(lit(7), lit(2)), {}), 3);
+    EXPECT_EQ(evalWith(Expr::mod(lit(7), lit(4)), {}), 3);
+}
+
+TEST(Expr, DivisionByZeroYieldsZero)
+{
+    EXPECT_EQ(evalWith(Expr::div(lit(5), lit(0)), {}), 0);
+    EXPECT_EQ(evalWith(Expr::mod(lit(5), lit(0)), {}), 0);
+}
+
+TEST(Expr, MinMax)
+{
+    EXPECT_EQ(evalWith(Expr::min(lit(3), lit(9)), {}), 3);
+    EXPECT_EQ(evalWith(Expr::max(lit(3), lit(9)), {}), 9);
+}
+
+TEST(Expr, Comparisons)
+{
+    EXPECT_EQ(evalWith(Expr::eq(lit(3), lit(3)), {}), 1);
+    EXPECT_EQ(evalWith(Expr::ne(lit(3), lit(3)), {}), 0);
+    EXPECT_EQ(evalWith(Expr::lt(lit(2), lit(3)), {}), 1);
+    EXPECT_EQ(evalWith(Expr::le(lit(3), lit(3)), {}), 1);
+    EXPECT_EQ(evalWith(Expr::gt(lit(2), lit(3)), {}), 0);
+    EXPECT_EQ(evalWith(Expr::ge(lit(3), lit(3)), {}), 1);
+}
+
+TEST(Expr, Logic)
+{
+    EXPECT_EQ(evalWith(Expr::logicalAnd(lit(1), lit(2)), {}), 1);
+    EXPECT_EQ(evalWith(Expr::logicalAnd(lit(0), lit(2)), {}), 0);
+    EXPECT_EQ(evalWith(Expr::logicalOr(lit(0), lit(2)), {}), 1);
+    EXPECT_EQ(evalWith(Expr::logicalOr(lit(0), lit(0)), {}), 0);
+    EXPECT_EQ(evalWith(Expr::logicalNot(lit(0)), {}), 1);
+    EXPECT_EQ(evalWith(Expr::logicalNot(lit(5)), {}), 0);
+}
+
+TEST(Expr, SelectBranches)
+{
+    const auto e = Expr::select(fld(0), lit(10), lit(20));
+    EXPECT_EQ(evalWith(e, {1}), 10);
+    EXPECT_EQ(evalWith(e, {0}), 20);
+}
+
+TEST(Expr, SelectOnlyEvaluatesTakenBranch)
+{
+    // The untaken branch reads an out-of-range field; eval must not
+    // touch it.
+    const auto e = Expr::select(lit(1), lit(5), fld(99));
+    EXPECT_EQ(evalWith(e, {0}), 5);
+}
+
+TEST(Expr, ShortCircuitLogic)
+{
+    const auto e = Expr::logicalAnd(lit(0), fld(99));
+    EXPECT_EQ(evalWith(e, {0}), 0);
+    const auto e2 = Expr::logicalOr(lit(1), fld(99));
+    EXPECT_EQ(evalWith(e2, {0}), 1);
+}
+
+TEST(Expr, CollectFields)
+{
+    const auto e = Expr::add(
+        Expr::mul(fld(2), lit(3)),
+        Expr::select(Expr::gt(fld(0), lit(1)), fld(2), fld(5)));
+    std::set<FieldId> fields;
+    e->collectFields(fields);
+    EXPECT_EQ(fields, (std::set<FieldId>{0, 2, 5}));
+}
+
+TEST(Expr, IsConstant)
+{
+    EXPECT_TRUE(Expr::add(lit(1), lit(2))->isConstant());
+    EXPECT_FALSE(Expr::add(lit(1), fld(0))->isConstant());
+}
+
+TEST(Expr, ToStringReadable)
+{
+    const std::vector<std::string> names = {"mb_type", "coeffs"};
+    const auto e = Expr::add(fld(1), lit(4));
+    EXPECT_EQ(e->toString(&names), "(coeffs + 4)");
+    EXPECT_EQ(e->toString(), "(f1 + 4)");
+}
+
+TEST(Expr, ToStringSelect)
+{
+    const auto e = Expr::select(Expr::eq(fld(0), lit(2)), lit(1),
+                                lit(0));
+    EXPECT_EQ(e->toString(), "((f0 == 2) ? 1 : 0)");
+}
+
+TEST(Expr, NestedEvaluation)
+{
+    // (f0 * 3 + max(f1, 10)) % 7
+    const auto e = Expr::mod(
+        Expr::add(Expr::mul(fld(0), lit(3)), Expr::max(fld(1), lit(10))),
+        lit(7));
+    EXPECT_EQ(evalWith(e, {4, 20}), (4 * 3 + 20) % 7);
+    EXPECT_EQ(evalWith(e, {4, 2}), (4 * 3 + 10) % 7);
+}

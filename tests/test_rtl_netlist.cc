@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Netlist lowering and structure extraction: the extractor must
+ * recover exactly the FSMs and counters a design declares — for a
+ * hand-built fixture and for all seven benchmark accelerators — while
+ * rejecting the datapath decoy registers, using update structure and
+ * comparator connectivity only.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/registry.hh"
+#include "rtl/analysis.hh"
+#include "rtl/expr.hh"
+#include "rtl/netlist.hh"
+
+using namespace predvfs;
+using namespace predvfs::rtl;
+
+namespace {
+
+/** Two FSMs, one down-counter, one up-counter, one datapath block. */
+Design
+mixedDesign()
+{
+    Design d("mixed");
+    const auto x = d.addField("x");
+    const auto down =
+        d.addCounter("dwn", CounterDir::Down, fld(x), 16);
+    const auto up = d.addCounter("upc", CounterDir::Up, fld(x), 16);
+    d.addBlock("dp", 100.0, 1.0);
+
+    const auto a = d.addFsm("alpha");
+    {
+        State s0;
+        s0.name = "S0";
+        const auto id0 = d.addState(a, std::move(s0));
+        State s1;
+        s1.name = "S1";
+        s1.kind = LatencyKind::CounterWait;
+        s1.counter = down;
+        const auto id1 = d.addState(a, std::move(s1));
+        State s2;
+        s2.name = "S2";
+        s2.terminal = true;
+        const auto id2 = d.addState(a, std::move(s2));
+        d.addTransition(a, id0, Expr::gt(fld(x), lit(4)), id1);
+        d.addTransition(a, id0, nullptr, id2);
+        d.addTransition(a, id1, nullptr, id2);
+    }
+    const auto b = d.addFsm("beta", a);
+    {
+        State s0;
+        s0.name = "T0";
+        s0.kind = LatencyKind::CounterWait;
+        s0.counter = up;
+        const auto id0 = d.addState(b, std::move(s0));
+        State s1;
+        s1.name = "T1";
+        s1.terminal = true;
+        const auto id1 = d.addState(b, std::move(s1));
+        d.addTransition(b, id0, nullptr, id1);
+    }
+    d.validate();
+    return d;
+}
+
+} // namespace
+
+TEST(Netlist, LoweringProducesAllRegisterClasses)
+{
+    const Design d = mixedDesign();
+    const Netlist net = lowerToNetlist(d);
+    // 2 FSM state regs + 1 down counter + (1 up counter + 1 limit)
+    // + 2 decoys per block.
+    EXPECT_EQ(net.registers.size(), 2u + 1u + 2u + 2u);
+}
+
+TEST(Netlist, ExtractionRecoversDeclaredStructures)
+{
+    const Design d = mixedDesign();
+    const auto extracted = extractStructures(lowerToNetlist(d));
+
+    ASSERT_EQ(extracted.fsms.size(), 2u);
+    // FSM alpha: 3 states, 3 distinct edges.
+    EXPECT_EQ(extracted.fsms[0].states.size(), 3u);
+    EXPECT_EQ(extracted.fsms[0].transitions.size(), 3u);
+    // FSM beta: 2 states, 1 edge.
+    EXPECT_EQ(extracted.fsms[1].states.size(), 2u);
+    EXPECT_EQ(extracted.fsms[1].transitions.size(), 1u);
+
+    ASSERT_EQ(extracted.counters.size(), 2u);
+    EXPECT_EQ(extracted.counters[0].direction, CounterDir::Down);
+    EXPECT_TRUE(extracted.counters[0].hasLoadInit);
+    EXPECT_EQ(extracted.counters[1].direction, CounterDir::Up);
+
+    // Both decoys classified as data; the limit register is not.
+    EXPECT_EQ(extracted.dataRegisters.size(), 2u);
+}
+
+TEST(Netlist, TransitionTableMatchesDesign)
+{
+    const Design d = mixedDesign();
+    const auto extracted = extractStructures(lowerToNetlist(d));
+    const auto &alpha = extracted.fsms[0];
+    const std::vector<std::pair<std::int64_t, std::int64_t>> expected =
+        {{0, 1}, {0, 2}, {1, 2}};
+    EXPECT_EQ(alpha.transitions, expected);
+}
+
+TEST(Netlist, DecoyAccumulatorNotAnFsmOrCounter)
+{
+    // A register that only loads can be neither an FSM state register
+    // nor a counter, whatever its width.
+    Netlist net;
+    net.name = "decoy";
+    NetRegister acc;
+    acc.name = "acc";
+    acc.width = 32;
+    RegisterUpdate load;
+    load.kind = RegisterUpdate::Kind::Load;
+    load.load = lit(0);
+    acc.updates.push_back(std::move(load));
+    net.registers.push_back(std::move(acc));
+
+    const auto extracted = extractStructures(net);
+    EXPECT_TRUE(extracted.fsms.empty());
+    EXPECT_TRUE(extracted.counters.empty());
+    ASSERT_EQ(extracted.dataRegisters.size(), 1u);
+}
+
+TEST(Netlist, UpDownRegisterIsNotACounter)
+{
+    // A register that both increments and decrements (e.g. a credit
+    // counter / FIFO occupancy) is not a latency counter.
+    Netlist net;
+    net.name = "credit";
+    NetRegister reg;
+    reg.name = "credits";
+    reg.width = 8;
+    RegisterUpdate inc;
+    inc.kind = RegisterUpdate::Kind::SelfInc;
+    reg.updates.push_back(inc);
+    RegisterUpdate dec;
+    dec.kind = RegisterUpdate::Kind::SelfDec;
+    reg.updates.push_back(dec);
+    RegisterUpdate clear;
+    clear.kind = RegisterUpdate::Kind::Const;
+    reg.updates.push_back(clear);
+    net.registers.push_back(std::move(reg));
+
+    const auto extracted = extractStructures(net);
+    EXPECT_TRUE(extracted.counters.empty());
+    EXPECT_EQ(extracted.dataRegisters.size(), 1u);
+}
+
+TEST(Netlist, ConstLoadsWithoutSelfConditionAreNotFsms)
+{
+    // A mode register written with constants but never conditioned on
+    // its own value (a config latch) must not be mistaken for an FSM.
+    Netlist net;
+    net.name = "cfg";
+    NetRegister reg;
+    reg.name = "mode";
+    reg.width = 2;
+    RegisterUpdate set;
+    set.kind = RegisterUpdate::Kind::Const;
+    set.constant = 3;
+    set.selfValue = -1;  // Unconditioned on self.
+    reg.updates.push_back(set);
+    net.registers.push_back(std::move(reg));
+
+    const auto extracted = extractStructures(net);
+    EXPECT_TRUE(extracted.fsms.empty());
+    EXPECT_EQ(extracted.dataRegisters.size(), 1u);
+}
+
+/** Cross-check against the declarative analysis on every benchmark. */
+class NetlistBenchmarks : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(NetlistBenchmarks, ExtractionMatchesAnalysis)
+{
+    const auto acc = accel::makeAccelerator(GetParam());
+    const Design &design = acc->design();
+    const auto report = analyze(design);
+    const auto extracted =
+        extractStructures(lowerToNetlist(design));
+
+    EXPECT_EQ(extracted.fsms.size(), report.numFsms);
+    EXPECT_EQ(extracted.counters.size(), design.counters().size());
+
+    // Per-FSM state and transition-pair counts must agree (lowering
+    // preserves design order).
+    ASSERT_EQ(extracted.fsms.size(), design.fsms().size());
+    for (std::size_t f = 0; f < extracted.fsms.size(); ++f) {
+        EXPECT_EQ(extracted.fsms[f].states.size(),
+                  design.fsms()[f].states.size())
+            << design.fsms()[f].name;
+    }
+    std::size_t extracted_edges = 0;
+    for (const auto &fsm : extracted.fsms)
+        extracted_edges += fsm.transitions.size();
+    std::size_t stc_features = 0;
+    for (const auto &spec : report.features)
+        if (spec.kind == FeatureKind::Stc)
+            ++stc_features;
+    EXPECT_EQ(extracted_edges, stc_features);
+
+    // Counter directions must match declarations, in order.
+    for (std::size_t c = 0; c < extracted.counters.size(); ++c) {
+        EXPECT_EQ(extracted.counters[c].direction,
+                  design.counters()[c].dir)
+            << design.counters()[c].name;
+    }
+
+    // Exactly two decoys per datapath block remain unclassified.
+    EXPECT_EQ(extracted.dataRegisters.size(),
+              2 * design.blocks().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, NetlistBenchmarks,
+    ::testing::ValuesIn(accel::benchmarkNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });

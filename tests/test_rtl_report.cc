@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Design/analysis report writers: output contains the structures it
+ * claims to document and the Graphviz dump is well formed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "accel/registry.hh"
+#include "rtl/analysis.hh"
+#include "rtl/report.hh"
+
+using namespace predvfs;
+
+TEST(Report, DesignReportMentionsEveryStructure)
+{
+    const auto acc = accel::makeAccelerator("h264");
+    std::ostringstream os;
+    rtl::writeDesignReport(os, acc->design());
+    const std::string out = os.str();
+
+    for (const auto &fsm : acc->design().fsms()) {
+        EXPECT_NE(out.find("fsm " + fsm.name), std::string::npos);
+        for (const auto &st : fsm.states)
+            EXPECT_NE(out.find(st.name), std::string::npos);
+    }
+    for (const auto &c : acc->design().counters())
+        EXPECT_NE(out.find(c.name), std::string::npos);
+    for (const auto &b : acc->design().blocks())
+        EXPECT_NE(out.find(b.name), std::string::npos);
+    for (const auto &f : acc->design().fieldNames())
+        EXPECT_NE(out.find(f), std::string::npos);
+}
+
+TEST(Report, DotOutputWellFormed)
+{
+    const auto acc = accel::makeAccelerator("md");
+    std::ostringstream os;
+    rtl::writeDot(os, acc->design());
+    const std::string out = os.str();
+
+    EXPECT_EQ(out.find("digraph"), 0u);
+    EXPECT_NE(out.find("rankdir=LR"), std::string::npos);
+    // One cluster per FSM.
+    for (std::size_t f = 0; f < acc->design().fsms().size(); ++f)
+        EXPECT_NE(out.find("subgraph cluster_" + std::to_string(f)),
+                  std::string::npos);
+    // Balanced braces.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '{'),
+              std::count(out.begin(), out.end(), '}'));
+    // Ends the digraph.
+    EXPECT_EQ(out.rfind("}\n"), out.size() - 2);
+}
+
+TEST(Report, DotMarksWaitAndTerminalStates)
+{
+    const auto acc = accel::makeAccelerator("sha");
+    std::ostringstream os;
+    rtl::writeDot(os, acc->design());
+    const std::string out = os.str();
+    EXPECT_NE(out.find("wait "), std::string::npos);
+    EXPECT_NE(out.find("peripheries=2"), std::string::npos);
+}
+
+TEST(Report, AnalysisReportListsFeatures)
+{
+    const auto acc = accel::makeAccelerator("djpeg");
+    const auto report = rtl::analyze(acc->design());
+    std::ostringstream os;
+    rtl::writeAnalysisReport(os, acc->design(), report);
+    const std::string out = os.str();
+
+    for (const auto &spec : report.features)
+        EXPECT_NE(out.find(spec.name), std::string::npos);
+    // djpeg's unmodellable states must be called out.
+    EXPECT_NE(out.find("unmodellable"), std::string::npos);
+}
+
+TEST(Report, GuardExpressionsAppearOnEdges)
+{
+    const auto acc = accel::makeAccelerator("aes");
+    std::ostringstream os;
+    rtl::writeDesignReport(os, acc->design());
+    // The first-segment guard of the key-expansion branch.
+    EXPECT_NE(os.str().find("when (first_seg == 1)"),
+              std::string::npos);
+}

@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Hardware slicer invariants:
+ *  - the slice computes exactly the same feature values as the full
+ *    design (the correctness property everything rests on);
+ *  - wait-state elision makes the slice much faster;
+ *  - dependency analysis keeps producer FSMs and drops unrelated ones;
+ *  - datapath blocks vanish unless an essential state uses them;
+ *  - HLS mode compresses essential latency without changing features.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rtl/analysis.hh"
+#include "rtl/expr.hh"
+#include "rtl/instrument.hh"
+#include "rtl/interpreter.hh"
+#include "rtl/slicer.hh"
+#include "util/random.hh"
+
+using namespace predvfs::rtl;
+using predvfs::util::Rng;
+
+namespace {
+
+/**
+ * Two-FSM design: a "parser" that produces field 1 from field 0
+ * (essential), and a "worker" whose counter waits on field 1; plus an
+ * unrelated third FSM with its own counter on field 2.
+ */
+struct Fixture
+{
+    Design d{"fix"};
+    FieldId raw, decoded, other;
+    CounterId work_cnt, other_cnt;
+
+    Fixture()
+    {
+        raw = d.addField("raw");
+        decoded = d.addField("decoded");
+        other = d.addField("other");
+
+        const auto big_dp = d.addBlock("big_dp", 5000.0, 2.0);
+        const auto parse_dp = d.addBlock("parse_dp", 300.0, 1.0);
+
+        work_cnt = d.addCounter(
+            "work", CounterDir::Down,
+            Expr::add(lit(5), Expr::mul(fld(decoded), lit(10))), 16);
+        other_cnt = d.addCounter("other_work", CounterDir::Down,
+                                 Expr::add(lit(3), fld(other)), 16);
+
+        const auto parser = d.addFsm("parser");
+        {
+            State decode;
+            decode.name = "Decode";
+            decode.kind = LatencyKind::Fixed;
+            decode.fixedCycles = 20;
+            decode.essential = true;
+            decode.block = parse_dp;
+            decode.dpOpsPerCycle = 1.0;
+            decode.producesFields = {decoded};
+            decode.terminal = true;
+            d.addState(parser, std::move(decode));
+        }
+
+        const auto worker = d.addFsm("worker", parser);
+        {
+            State work;
+            work.name = "Work";
+            work.kind = LatencyKind::CounterWait;
+            work.counter = work_cnt;
+            work.block = big_dp;
+            work.dpOpsPerCycle = 4.0;
+            work.terminal = true;
+            d.addState(worker, std::move(work));
+        }
+
+        const auto unrelated = d.addFsm("unrelated");
+        {
+            State spin;
+            spin.name = "Spin";
+            spin.kind = LatencyKind::CounterWait;
+            spin.counter = other_cnt;
+            spin.block = big_dp;
+            spin.dpOpsPerCycle = 4.0;
+            spin.terminal = true;
+            d.addState(unrelated, std::move(spin));
+        }
+
+        d.setPerJobOverheadCycles(50);
+        d.validate();
+    }
+
+    JobInput
+    randomJob(Rng &rng, int items = 20) const
+    {
+        JobInput job;
+        for (int i = 0; i < items; ++i) {
+            job.items.push_back({{rng.uniformInt(0, 50),
+                                  rng.uniformInt(0, 30),
+                                  rng.uniformInt(0, 40)}});
+        }
+        return job;
+    }
+
+    /** Features of the work counter only. */
+    std::vector<FeatureSpec>
+    workFeatures() const
+    {
+        std::vector<FeatureSpec> selected;
+        for (const auto &spec : analyze(d).features)
+            if (spec.counter == work_cnt)
+                selected.push_back(spec);
+        return selected;
+    }
+};
+
+} // namespace
+
+TEST(Slicer, SliceFeatureValuesMatchFullDesign)
+{
+    Fixture f;
+    const auto selected = f.workFeatures();
+    ASSERT_FALSE(selected.empty());
+    const auto slice = makeSlice(f.d, selected);
+
+    Interpreter full(f.d);
+    Interpreter fast(slice.design);
+    Instrumenter full_instr(f.d, selected);
+    Instrumenter slice_instr(slice.design, slice.features);
+
+    Rng rng(99);
+    for (int trial = 0; trial < 25; ++trial) {
+        const JobInput job = f.randomJob(rng);
+        full_instr.reset();
+        slice_instr.reset();
+        full.run(job, &full_instr);
+        fast.run(job, &slice_instr);
+        ASSERT_EQ(full_instr.values().size(),
+                  slice_instr.values().size());
+        for (std::size_t i = 0; i < selected.size(); ++i) {
+            EXPECT_DOUBLE_EQ(full_instr.values()[i],
+                             slice_instr.values()[i])
+                << "feature " << selected[i].name << " trial " << trial;
+        }
+    }
+}
+
+TEST(Slicer, SliceIsMuchFaster)
+{
+    Fixture f;
+    const auto slice = makeSlice(f.d, f.workFeatures());
+
+    Interpreter full(f.d);
+    Interpreter fast(slice.design);
+    Rng rng(7);
+    const JobInput job = f.randomJob(rng, 50);
+
+    const auto full_cycles = full.run(job).cycles;
+    const auto slice_cycles = fast.run(job).cycles;
+    EXPECT_LT(slice_cycles, full_cycles / 3);
+}
+
+TEST(Slicer, KeepsProducerDropsUnrelated)
+{
+    Fixture f;
+    const auto slice = makeSlice(f.d, f.workFeatures());
+    // parser (producer of 'decoded') + worker stay; unrelated goes.
+    EXPECT_EQ(slice.keptFsms, 2u);
+    EXPECT_EQ(slice.design.fsms().size(), 2u);
+    bool has_parser = false;
+    bool has_unrelated = false;
+    for (const auto &fsm : slice.design.fsms()) {
+        if (fsm.name == "parser")
+            has_parser = true;
+        if (fsm.name == "unrelated")
+            has_unrelated = true;
+    }
+    EXPECT_TRUE(has_parser);
+    EXPECT_FALSE(has_unrelated);
+}
+
+TEST(Slicer, DropsNonEssentialDatapath)
+{
+    Fixture f;
+    const auto slice = makeSlice(f.d, f.workFeatures());
+    // Only the parser's datapath survives (its state is essential).
+    EXPECT_EQ(slice.keptBlocks, 1u);
+    ASSERT_EQ(slice.design.blocks().size(), 1u);
+    EXPECT_EQ(slice.design.blocks()[0].name, "parse_dp");
+}
+
+TEST(Slicer, SliceAreaMuchSmaller)
+{
+    Fixture f;
+    const auto slice = makeSlice(f.d, f.workFeatures());
+    EXPECT_LT(slice.areaUnits(), 0.35 * f.d.areaUnits());
+}
+
+TEST(Slicer, SliceDesignValidates)
+{
+    Fixture f;
+    const auto slice = makeSlice(f.d, f.workFeatures());
+    EXPECT_TRUE(slice.design.validated());
+}
+
+TEST(Slicer, StcOnlySelectionKeepsThatFsm)
+{
+    Fixture f;
+    // Select an STC feature of the unrelated FSM.
+    std::vector<FeatureSpec> selected;
+    for (const auto &spec : analyze(f.d).features) {
+        if (spec.kind == FeatureKind::Stc &&
+            f.d.fsms()[spec.fsm].name == "unrelated")
+            selected.push_back(spec);
+    }
+    // The unrelated FSM has one state and no transitions, so there
+    // may be no STC features; use its counter instead.
+    if (selected.empty()) {
+        for (const auto &spec : analyze(f.d).features)
+            if (spec.counter == f.other_cnt)
+                selected.push_back(spec);
+    }
+    ASSERT_FALSE(selected.empty());
+    const auto slice = makeSlice(f.d, selected);
+    bool has_unrelated = false;
+    for (const auto &fsm : slice.design.fsms())
+        if (fsm.name == "unrelated")
+            has_unrelated = true;
+    EXPECT_TRUE(has_unrelated);
+}
+
+TEST(Slicer, HlsModeFasterSameFeatures)
+{
+    Fixture f;
+    const auto selected = f.workFeatures();
+    SliceOptions rtl_opts;
+    SliceOptions hls_opts;
+    hls_opts.mode = SliceOptions::Mode::Hls;
+    hls_opts.hlsSpeedup = 4;
+
+    const auto rtl_slice = makeSlice(f.d, selected, rtl_opts);
+    const auto hls_slice = makeSlice(f.d, selected, hls_opts);
+
+    Interpreter rtl_interp(rtl_slice.design);
+    Interpreter hls_interp(hls_slice.design);
+    Instrumenter rtl_instr(rtl_slice.design, rtl_slice.features);
+    Instrumenter hls_instr(hls_slice.design, hls_slice.features);
+
+    Rng rng(123);
+    const JobInput job = f.randomJob(rng, 40);
+
+    rtl_instr.reset();
+    hls_instr.reset();
+    const auto rtl_cycles = rtl_interp.run(job, &rtl_instr).cycles;
+    const auto hls_cycles = hls_interp.run(job, &hls_instr).cycles;
+
+    EXPECT_LT(hls_cycles, rtl_cycles);
+    for (std::size_t i = 0; i < rtl_instr.values().size(); ++i)
+        EXPECT_DOUBLE_EQ(rtl_instr.values()[i], hls_instr.values()[i]);
+}
+
+TEST(Slicer, SharedScratchpadNotChargedToSlice)
+{
+    Design d("sp");
+    const auto x = d.addField("x");
+    const auto sram = d.addBlock("sram", 4000.0, 0.5, /*shared=*/true);
+    const auto c = d.addCounter("c", CounterDir::Down, fld(x), 16);
+    const auto fsm = d.addFsm("main");
+    State read;
+    read.name = "Read";
+    read.kind = LatencyKind::CounterWait;
+    read.counter = c;
+    read.essential = true;
+    read.block = sram;
+    read.dpOpsPerCycle = 1.0;
+    read.producesFields = {x};
+    read.terminal = true;
+    d.addState(fsm, std::move(read));
+    d.validate();
+
+    std::vector<FeatureSpec> selected;
+    for (const auto &spec : analyze(d).features)
+        if (spec.counter == c)
+            selected.push_back(spec);
+    const auto slice = makeSlice(d, selected);
+    // The shared block is referenced but contributes no slice area.
+    EXPECT_EQ(slice.keptBlocks, 1u);
+    EXPECT_DOUBLE_EQ(slice.design.blocks()[0].areaWeight, 0.0);
+}
+
+TEST(SlicerDeath, EmptySelectionRejected)
+{
+    Fixture f;
+    EXPECT_DEATH(makeSlice(f.d, {}), "no features");
+}

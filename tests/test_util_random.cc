@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Rng: determinism, distribution sanity, and stream independence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/random.hh"
+
+using predvfs::util::Rng;
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.nextU64() == b.nextU64())
+            ++same;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    double sum = 0.0;
+    for (int i = 0; i < 20000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 20000.0, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(8);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        ASSERT_GE(u, -3.0);
+        ASSERT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformIntInclusiveBounds)
+{
+    Rng rng(9);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 3000; ++i) {
+        const auto v = rng.uniformInt(2, 6);
+        ASSERT_GE(v, 2);
+        ASSERT_LE(v, 6);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u);  // All values of a small range hit.
+}
+
+TEST(Rng, UniformIntSingleton)
+{
+    Rng rng(10);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(rng.uniformInt(5, 5), 5);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    double ss = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        ss += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(ss / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalShifted)
+{
+    Rng rng(12);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.normal(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, BernoulliRate)
+{
+    Rng rng(13);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        if (rng.bernoulli(0.3))
+            ++hits;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, CategoricalFollowsWeights)
+{
+    Rng rng(14);
+    std::vector<int> counts(3, 0);
+    const int n = 30000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.categorical({1.0, 2.0, 7.0})];
+    EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.02);
+    EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.2, 0.02);
+    EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.7, 0.02);
+}
+
+TEST(Rng, CategoricalZeroWeightNeverPicked)
+{
+    Rng rng(15);
+    for (int i = 0; i < 2000; ++i)
+        EXPECT_NE(rng.categorical({1.0, 0.0, 1.0}), 1u);
+}
+
+TEST(Rng, BurstLengthBounds)
+{
+    Rng rng(16);
+    for (int i = 0; i < 2000; ++i) {
+        const auto len = rng.burstLength(0.8, 10);
+        ASSERT_GE(len, 1);
+        ASSERT_LE(len, 10);
+    }
+}
+
+TEST(Rng, BurstLengthZeroProbIsOne)
+{
+    Rng rng(17);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.burstLength(0.0, 10), 1);
+}
+
+TEST(Rng, SplitStreamsAreIndependent)
+{
+    Rng parent(20);
+    Rng a = parent.split(1);
+    Rng b = parent.split(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.nextU64() == b.nextU64())
+            ++same;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SplitIsDeterministic)
+{
+    Rng p1(21);
+    Rng p2(21);
+    Rng a = p1.split(5);
+    Rng b = p2.split(5);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.nextU64(), b.nextU64());
+}

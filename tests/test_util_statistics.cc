@@ -1,0 +1,133 @@
+/**
+ * @file
+ * RunningStats, percentiles, and the box-and-whisker summary.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/random.hh"
+#include "util/statistics.hh"
+
+using namespace predvfs::util;
+
+TEST(RunningStats, EmptyDefaults)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, BasicMoments)
+{
+    RunningStats s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, ResetClears)
+{
+    RunningStats s;
+    s.add(10.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    s.add(3.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+}
+
+TEST(RunningStats, StableForLargeOffsets)
+{
+    RunningStats s;
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i)
+        s.add(1e9 + rng.uniform());
+    EXPECT_NEAR(s.variance(), 1.0 / 12.0, 0.01);
+}
+
+TEST(Percentile, EndpointsAndMedian)
+{
+    const std::vector<double> v = {1.0, 2.0, 3.0, 4.0, 5.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100.0), 5.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50.0), 3.0);
+}
+
+TEST(Percentile, LinearInterpolation)
+{
+    const std::vector<double> v = {0.0, 10.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.5);
+    EXPECT_DOUBLE_EQ(percentile(v, 75.0), 7.5);
+}
+
+TEST(Percentile, SingleElement)
+{
+    EXPECT_DOUBLE_EQ(percentile({42.0}, 13.0), 42.0);
+}
+
+TEST(Percentile, UnsortedInput)
+{
+    EXPECT_DOUBLE_EQ(percentile({5.0, 1.0, 3.0}, 50.0), 3.0);
+}
+
+TEST(MeanMedianStddev, Basics)
+{
+    const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(mean(v), 2.5);
+    EXPECT_DOUBLE_EQ(median(v), 2.5);
+    EXPECT_NEAR(stddev(v), 1.2909944, 1e-6);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(stddev({1.0}), 0.0);
+}
+
+TEST(BoxSummary, NoOutliers)
+{
+    std::vector<double> v;
+    for (int i = 1; i <= 11; ++i)
+        v.push_back(static_cast<double>(i));
+    const auto box = boxSummary(v);
+    EXPECT_DOUBLE_EQ(box.median, 6.0);
+    EXPECT_DOUBLE_EQ(box.q1, 3.5);
+    EXPECT_DOUBLE_EQ(box.q3, 8.5);
+    EXPECT_DOUBLE_EQ(box.whiskerLow, 1.0);
+    EXPECT_DOUBLE_EQ(box.whiskerHigh, 11.0);
+    EXPECT_TRUE(box.outliers.empty());
+}
+
+TEST(BoxSummary, DetectsOutliers)
+{
+    std::vector<double> v = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 100};
+    const auto box = boxSummary(v);
+    ASSERT_EQ(box.outliers.size(), 1u);
+    EXPECT_DOUBLE_EQ(box.outliers[0], 100.0);
+    EXPECT_LE(box.whiskerHigh, 10.0);
+}
+
+TEST(BoxSummary, AllEqualSamples)
+{
+    const auto box = boxSummary({5.0, 5.0, 5.0, 5.0});
+    EXPECT_DOUBLE_EQ(box.median, 5.0);
+    EXPECT_DOUBLE_EQ(box.whiskerLow, 5.0);
+    EXPECT_DOUBLE_EQ(box.whiskerHigh, 5.0);
+    EXPECT_TRUE(box.outliers.empty());
+}
+
+TEST(BoxSummary, WhiskersWithinFences)
+{
+    Rng rng(5);
+    std::vector<double> v;
+    for (int i = 0; i < 500; ++i)
+        v.push_back(rng.normal());
+    const auto box = boxSummary(v);
+    const double iqr = box.q3 - box.q1;
+    EXPECT_GE(box.whiskerLow, box.q1 - 1.5 * iqr);
+    EXPECT_LE(box.whiskerHigh, box.q3 + 1.5 * iqr);
+    EXPECT_LE(box.q1, box.median);
+    EXPECT_LE(box.median, box.q3);
+}

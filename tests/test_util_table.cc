@@ -1,0 +1,66 @@
+/**
+ * @file
+ * TablePrinter formatting and numeric helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/table.hh"
+
+using namespace predvfs::util;
+
+TEST(TablePrinter, AlignsColumns)
+{
+    TablePrinter t({"Name", "Value"});
+    t.addRow({"a", "1"});
+    t.addRow({"long-name", "22"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("Name"), std::string::npos);
+    EXPECT_NE(out.find("long-name"), std::string::npos);
+    // Header separator line present.
+    EXPECT_NE(out.find("---"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(TablePrinter, CsvOutput)
+{
+    TablePrinter t({"a", "b"});
+    t.addRow({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TablePrinter, EmptyTablePrintsHeaderOnly)
+{
+    TablePrinter t({"x"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("x"), std::string::npos);
+}
+
+TEST(Fixed, FormatsDigits)
+{
+    EXPECT_EQ(fixed(3.14159, 2), "3.14");
+    EXPECT_EQ(fixed(3.0, 0), "3");
+    EXPECT_EQ(fixed(-1.005, 1), "-1.0");
+}
+
+TEST(Pct, ConvertsFractions)
+{
+    EXPECT_EQ(pct(0.367), "36.7");
+    EXPECT_EQ(pct(1.0, 0), "100");
+    EXPECT_EQ(pct(0.004), "0.4");
+}
+
+TEST(Banner, ContainsTitle)
+{
+    std::ostringstream os;
+    printBanner(os, "Hello");
+    EXPECT_NE(os.str().find("Hello"), std::string::npos);
+    EXPECT_NE(os.str().find("===="), std::string::npos);
+}
