@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Example/CLI: run the predvfs-lint static verifier over benchmark
+ * accelerators — the design itself plus its RTL and HLS slices (cut
+ * for the full feature set, the worst case for slice consistency).
+ *
+ * Usage:
+ *   example_lint_design [benchmark|all] [--json]
+ *   example_lint_design djpeg
+ *   example_lint_design all --json
+ *
+ * Exit status is 1 if any design or slice has an error-severity
+ * finding, so the binary drops straight into CI.
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "accel/registry.hh"
+#include "rtl/analysis.hh"
+#include "rtl/lint.hh"
+#include "rtl/report.hh"
+#include "rtl/slicer.hh"
+#include "util/logging.hh"
+
+using namespace predvfs;
+
+namespace {
+
+/**
+ * Prints reports either as compiler-style text or as one JSON array
+ * over every linted design (so `--json` output parses as a single
+ * document even for `all`).
+ */
+class Printer
+{
+  public:
+    explicit Printer(bool json) : json(json)
+    {
+        if (json)
+            std::cout << "[\n";
+    }
+
+    ~Printer()
+    {
+        if (json)
+            std::cout << "]\n";
+    }
+
+    void
+    print(const rtl::Design &design, const rtl::LintReport &report)
+    {
+        if (!json) {
+            rtl::writeLintReport(std::cout, design, report);
+            return;
+        }
+        if (!first)
+            std::cout << ",\n";
+        first = false;
+        rtl::writeLintReportJson(std::cout, design, report);
+    }
+
+  private:
+    const bool json;
+    bool first = true;
+};
+
+/** Lint one design; returns its error count. */
+std::size_t
+lintOne(const rtl::Design &design, Printer &out)
+{
+    const rtl::LintReport report = rtl::lintDesign(design);
+    out.print(design, report);
+    return report.numErrors();
+}
+
+/** Lint a slice against its source design; returns its error count. */
+std::size_t
+lintSliceOf(const rtl::Design &design, rtl::SliceOptions::Mode mode,
+            Printer &out)
+{
+    const auto analysis = rtl::analyze(design);
+    rtl::SliceOptions options;
+    options.mode = mode;
+    const rtl::SliceResult slice =
+        rtl::makeSlice(design, analysis.features, options);
+
+    rtl::LintReport report = rtl::lintSlice(design, slice);
+    const rtl::LintReport design_lint = rtl::lintDesign(slice.design);
+    report.diagnostics.insert(report.diagnostics.end(),
+                              design_lint.diagnostics.begin(),
+                              design_lint.diagnostics.end());
+    out.print(slice.design, report);
+    return report.numErrors();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    util::setVerbose(false);
+
+    std::string benchmark = "all";
+    bool json = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0)
+            json = true;
+        else
+            benchmark = argv[i];
+    }
+
+    std::vector<std::string> targets;
+    if (benchmark == "all") {
+        targets = accel::benchmarkNames();
+    } else {
+        bool known = false;
+        for (const auto &name : accel::benchmarkNames())
+            known |= name == benchmark;
+        if (!known) {
+            std::cerr << "unknown benchmark '" << benchmark
+                      << "'; choose 'all' or one of:";
+            for (const auto &name : accel::benchmarkNames())
+                std::cerr << " " << name;
+            std::cerr << "\n";
+            return 1;
+        }
+        targets.push_back(benchmark);
+    }
+
+    std::size_t errors = 0;
+    {
+        Printer out(json);
+        for (const auto &name : targets) {
+            const auto acc = accel::makeAccelerator(name);
+            errors += lintOne(acc->design(), out);
+            errors += lintSliceOf(acc->design(),
+                                  rtl::SliceOptions::Mode::Rtl, out);
+            errors += lintSliceOf(acc->design(),
+                                  rtl::SliceOptions::Mode::Hls, out);
+        }
+    }
+
+    if (!json)
+        std::cout << (errors ? "LINT FAILED\n" : "LINT OK\n");
+    return errors ? 1 : 0;
+}

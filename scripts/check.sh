@@ -1,6 +1,7 @@
 #!/bin/sh
 # Full local check: configure, build (warnings are errors), run the
-# test suite, and smoke-run every bench binary.
+# test suite, lint every benchmark design, and smoke-run every bench
+# binary. Set CHECK_SANITIZE=1 for an additional ASan/UBSan pass.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -8,10 +9,23 @@ cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
 
+echo "== design lint"
+build/examples/example_lint_design all
+
 for b in build/bench/*; do
     if [ -f "$b" ] && [ -x "$b" ]; then
         echo "== $b"
         "$b" > /dev/null
     fi
 done
+
+if [ "${CHECK_SANITIZE:-0}" = "1" ]; then
+    echo "== sanitizer pass (address;undefined)"
+    cmake -B build-san -G Ninja \
+        -DPREDVFS_SANITIZE="address;undefined"
+    cmake --build build-san
+    ctest --test-dir build-san --output-on-failure
+    build-san/examples/example_lint_design all
+fi
+
 echo "all checks passed"

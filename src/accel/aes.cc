@@ -33,6 +33,12 @@ makeAesAccelerator()
     const auto rounds = d.addField("key_rounds");
     const auto first = d.addField("first_seg");
 
+    // Value bounds honoured by workload::makeAesBuffers.
+    d.setFieldRange(blocks, 1, 256);
+    d.setFieldRange(cbc, 0, 1);
+    d.setFieldRange(rounds, 10, 14);
+    d.setFieldRange(first, 0, 1);
+
     const auto round_dp = d.addBlock("round_dp", 1950.0, 3.4);
     const auto key_dp = d.addBlock("key_schedule_dp", 540.0, 1.8);
     const auto io_sram = d.addBlock("io_scratchpad", 900.0, 0.4, true);

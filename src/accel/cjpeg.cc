@@ -29,6 +29,10 @@ makeJpegEncoder()
     const auto nonzero = d.addField("nonzero_coeffs");
     const auto chroma = d.addField("chroma_sub");
 
+    // Value bounds honoured by workload::makeEncodeImages.
+    d.setFieldRange(nonzero, 0, 384);
+    d.setFieldRange(chroma, 0, 1);
+
     const auto fdct_dp = d.addBlock("fdct_dp", 2400.0, 2.8);
     const auto quant_dp = d.addBlock("quant_dp", 340.0, 1.6);
     const auto huff_dp = d.addBlock("huffman_enc_dp", 780.0, 1.1);

@@ -31,6 +31,11 @@ makeJpegDecoder()
     const auto run = d.addField("run_pattern");
     const auto chroma = d.addField("chroma_sub");
 
+    // Value bounds honoured by workload::makeDecodeImages.
+    d.setFieldRange(ac, 0, 384);
+    d.setFieldRange(run, 0, 255);
+    d.setFieldRange(chroma, 0, 1);
+
     const auto vld_dp = d.addBlock("vld_dp", 1500.0, 1.3);
     const auto idct_dp = d.addBlock("idct_dp", 7500.0, 3.2);
     const auto color_dp = d.addBlock("upsample_color_dp", 3400.0, 2.4);

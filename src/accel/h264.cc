@@ -38,6 +38,15 @@ makeH264Decoder()
     const auto ref_parts = d.addField("ref_parts");
     const auto deblock_edges = d.addField("deblock_edges");
 
+    // Value bounds honoured by workload::makeVideoClip; the lint pass
+    // proves counter ranges and guards safe under them.
+    d.setFieldRange(mb_type, 0, 4);
+    d.setFieldRange(coeff_count, 0, 384);
+    d.setFieldRange(cbp_blocks, 0, 24);
+    d.setFieldRange(mv_frac, 0, 2);
+    d.setFieldRange(ref_parts, 0, 4);
+    d.setFieldRange(deblock_edges, 0, 48);
+
     // Datapath blocks (Figure 9 of the paper). Area weights place
     // ~94% of the design outside the control unit, matching the case
     // study's 5.7% slice-area figure.

@@ -27,6 +27,9 @@ makeMdAccelerator()
 
     const auto neighbors = d.addField("neighbors");
 
+    // Value bounds honoured by workload::makeMdTimesteps.
+    d.setFieldRange(neighbors, 0, 512);
+
     const auto force_dp = d.addBlock("lj_force_dp", 2100.0, 4.0);
     const auto pos_sram = d.addBlock("position_scratchpad", 700.0, 0.4, true);
 

@@ -29,6 +29,10 @@ makeShaAccelerator()
     const auto chunks = d.addField("chunks");
     const auto last = d.addField("last_seg");
 
+    // Value bounds honoured by workload::makeShaBuffers.
+    d.setFieldRange(chunks, 1, 64);
+    d.setFieldRange(last, 0, 1);
+
     const auto round_dp = d.addBlock("compress_dp", 1500.0, 2.8);
     const auto w_sram = d.addBlock("schedule_buffer", 520.0, 0.5, true);
 

@@ -29,6 +29,10 @@ makeStencilAccelerator()
     const auto width = d.addField("width");
     const auto boundary = d.addField("boundary");
 
+    // Value bounds honoured by workload::makeStencilImages.
+    d.setFieldRange(width, 1, 4096);
+    d.setFieldRange(boundary, 0, 1);
+
     // The compute datapath is DSP-heavy relative to the tiny control
     // unit — which is why the paper's Figure 17 notes stencil's
     // *relative* slice-resource overhead looks large on FPGA.

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 #include "core/features.hh"
 #include "opt/standardize.hh"
 #include "rtl/analysis.hh"
+#include "rtl/lint.hh"
+#include "rtl/report.hh"
 #include "util/logging.hh"
 #include "util/statistics.hh"
 
@@ -95,6 +98,18 @@ buildPredictor(const rtl::Design &design,
             "buildPredictor: alpha must exceed 1 for conservative fits");
 
     FlowResult result;
+
+    // --- 0. Static verification: refuse provably broken designs. ----
+    {
+        const rtl::LintReport lint = rtl::lintDesign(design);
+        if (!lint.clean()) {
+            std::ostringstream os;
+            rtl::writeLintReport(os, design, lint);
+            util::fatal("buildPredictor: design '", design.name(),
+                        "' fails lint with ", lint.numErrors(),
+                        " error(s):\n", os.str());
+        }
+    }
 
     // --- 1. Static analysis: discover the feature set. --------------
     rtl::AnalysisReport analysis = rtl::analyze(design);
@@ -237,6 +252,19 @@ buildPredictor(const rtl::Design &design,
 
     rtl::SliceResult slice =
         rtl::makeSlice(design, selected, config.sliceOptions);
+
+    // Slice-consistency check: every selected feature must still be
+    // observable in the slice. A failure here is a slicer bug, not a
+    // user error.
+    {
+        const rtl::LintReport lint = rtl::lintSlice(design, slice);
+        if (!lint.clean()) {
+            std::ostringstream os;
+            rtl::writeLintReport(os, slice.design, lint);
+            util::panic("buildPredictor: slice of '", design.name(),
+                        "' fails consistency lint:\n", os.str());
+        }
+    }
 
     result.predictor = std::make_shared<const SlicePredictor>(
         std::move(slice), std::move(beta_raw), intercept_raw);

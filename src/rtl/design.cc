@@ -1,6 +1,7 @@
 #include "rtl/design.hh"
 
 #include <functional>
+#include <limits>
 #include <set>
 
 #include "util/logging.hh"
@@ -23,7 +24,21 @@ Design::addField(const std::string &name)
     for (const auto &f : fields)
         panicIf(f == name, "duplicate field name '", name, "'");
     fields.push_back(name);
+    fieldLimits.push_back({std::numeric_limits<std::int64_t>::min(),
+                           std::numeric_limits<std::int64_t>::max()});
     return static_cast<FieldId>(fields.size() - 1);
+}
+
+void
+Design::setFieldRange(FieldId field, std::int64_t lo, std::int64_t hi)
+{
+    panicIf(isValidated, "setFieldRange after validate()");
+    panicIf(field < 0 ||
+            static_cast<std::size_t>(field) >= fields.size(),
+            "setFieldRange: bad field id ", field);
+    panicIf(lo > hi, "setFieldRange: field '", fields[field],
+            "' empty range [", lo, ", ", hi, "]");
+    fieldLimits[field] = {lo, hi};
 }
 
 CounterId
@@ -104,6 +119,31 @@ Design::validate()
 {
     panicIf(isValidated, "validate() called twice on '", designName, "'");
     panicIf(fsmDefs.empty(), "design '", designName, "' has no FSMs");
+
+    // Names must be unique: fieldIndex() lookups and lint loci are
+    // ambiguous otherwise. (addField already rejects duplicate fields;
+    // this also covers designs assembled through other paths.)
+    {
+        std::set<std::string> seen;
+        for (const auto &f : fields)
+            panicIf(!seen.insert(f).second,
+                    "duplicate field name '", f, "'");
+        seen.clear();
+        for (const auto &c : counterDefs)
+            panicIf(!seen.insert(c.name).second,
+                    "duplicate counter name '", c.name, "'");
+        seen.clear();
+        for (const auto &fsm : fsmDefs)
+            panicIf(!seen.insert(fsm.name).second,
+                    "duplicate fsm name '", fsm.name, "'");
+        for (const auto &fsm : fsmDefs) {
+            std::set<std::string> states;
+            for (const auto &st : fsm.states)
+                panicIf(!states.insert(st.name).second,
+                        "duplicate state name '", st.name,
+                        "' in fsm '", fsm.name, "'");
+        }
+    }
 
     // startAfter references must be valid and acyclic.
     for (std::size_t i = 0; i < fsmDefs.size(); ++i) {

@@ -46,6 +46,18 @@ struct WorkItem
     std::vector<std::int64_t> fields;
 };
 
+/**
+ * Declared value bounds of one work-item field (inclusive). The lint
+ * pass interprets guard/range/latency expressions over these intervals;
+ * an undeclared field defaults to the full int64 range, which keeps the
+ * analysis sound but proves little — declare bounds for precise lints.
+ */
+struct FieldBounds
+{
+    std::int64_t lo;
+    std::int64_t hi;
+};
+
 /** The complete input of one job (one deadline-bearing invocation). */
 struct JobInput
 {
@@ -173,6 +185,12 @@ class Design
     /** Declare a work-item field; returns its FieldId. */
     FieldId addField(const std::string &name);
 
+    /**
+     * Declare the inclusive value bounds of a field (lint hook). The
+     * workload generator must honour them; the lint pass assumes them.
+     */
+    void setFieldRange(FieldId field, std::int64_t lo, std::int64_t hi);
+
     /** Declare a counter; returns its CounterId. */
     CounterId addCounter(const std::string &name, CounterDir dir,
                          ExprPtr range, int bits = 16);
@@ -200,8 +218,10 @@ class Design
      * Finish construction. Checks: every non-terminal state has a
      * default transition, targets are in range, counters referenced by
      * wait states exist, startAfter edges are acyclic, every state is
-     * reachable, and a terminal state is reachable from the initial
-     * state of every FSM. panic()s on violation.
+     * reachable, a terminal state is reachable from the initial state
+     * of every FSM, and field/counter/FSM names (and state names within
+     * an FSM) are unique so lookups and lint loci stay unambiguous.
+     * panic()s on violation.
      */
     void validate();
 
@@ -215,6 +235,12 @@ class Design
     /** Look up a field by name; panics if absent. */
     FieldId fieldIndex(const std::string &name) const;
     std::size_t numFields() const { return fields.size(); }
+
+    /** Declared bounds per field (full int64 range if undeclared). */
+    const std::vector<FieldBounds> &fieldBounds() const
+    {
+        return fieldLimits;
+    }
     const std::vector<Counter> &counters() const { return counterDefs; }
     const std::vector<Fsm> &fsms() const { return fsmDefs; }
     const std::vector<DatapathBlock> &blocks() const { return blockDefs; }
@@ -242,6 +268,7 @@ class Design
   private:
     std::string designName;
     std::vector<std::string> fields;
+    std::vector<FieldBounds> fieldLimits;
     std::vector<Counter> counterDefs;
     std::vector<Fsm> fsmDefs;
     std::vector<DatapathBlock> blockDefs;

@@ -1,0 +1,259 @@
+#include "rtl/interval.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace predvfs {
+namespace rtl {
+
+using util::panicIf;
+
+namespace {
+
+constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+
+/** Clamp a 128-bit intermediate back into the int64 domain. */
+std::int64_t
+saturate(__int128 v)
+{
+    if (v < static_cast<__int128>(kMin))
+        return kMin;
+    if (v > static_cast<__int128>(kMax))
+        return kMax;
+    return static_cast<std::int64_t>(v);
+}
+
+Interval
+addIv(const Interval &a, const Interval &b)
+{
+    return {saturate(static_cast<__int128>(a.lo) + b.lo),
+            saturate(static_cast<__int128>(a.hi) + b.hi)};
+}
+
+Interval
+subIv(const Interval &a, const Interval &b)
+{
+    return {saturate(static_cast<__int128>(a.lo) - b.hi),
+            saturate(static_cast<__int128>(a.hi) - b.lo)};
+}
+
+Interval
+mulIv(const Interval &a, const Interval &b)
+{
+    const __int128 c[4] = {
+        static_cast<__int128>(a.lo) * b.lo,
+        static_cast<__int128>(a.lo) * b.hi,
+        static_cast<__int128>(a.hi) * b.lo,
+        static_cast<__int128>(a.hi) * b.hi,
+    };
+    const __int128 lo = std::min({c[0], c[1], c[2], c[3]});
+    const __int128 hi = std::max({c[0], c[1], c[2], c[3]});
+    return {saturate(lo), saturate(hi)};
+}
+
+/**
+ * Quotient bounds for a divisor sub-range of constant sign. Truncating
+ * division is monotone in each operand while the divisor's sign is
+ * fixed, so the four corner quotients bound the result.
+ */
+void
+divCorners(const Interval &a, std::int64_t b_lo, std::int64_t b_hi,
+           __int128 &lo, __int128 &hi)
+{
+    const std::int64_t as[2] = {a.lo, a.hi};
+    const std::int64_t bs[2] = {b_lo, b_hi};
+    for (std::int64_t av : as) {
+        for (std::int64_t bv : bs) {
+            const __int128 q = static_cast<__int128>(av) / bv;
+            lo = std::min(lo, q);
+            hi = std::max(hi, q);
+        }
+    }
+}
+
+/** Division with the IR's divide-by-zero-yields-zero semantics. */
+Interval
+divIv(const Interval &a, const Interval &b)
+{
+    __int128 lo = static_cast<__int128>(kMax);
+    __int128 hi = static_cast<__int128>(kMin);
+    if (b.lo <= -1)  // Negative part of the divisor.
+        divCorners(a, b.lo, std::min<std::int64_t>(b.hi, -1), lo, hi);
+    if (b.hi >= 1)   // Positive part of the divisor.
+        divCorners(a, std::max<std::int64_t>(b.lo, 1), b.hi, lo, hi);
+    if (b.contains(0)) {  // x / 0 == 0 by definition.
+        lo = std::min<__int128>(lo, 0);
+        hi = std::max<__int128>(hi, 0);
+    }
+    return {saturate(lo), saturate(hi)};
+}
+
+/** Remainder with the IR's modulus-by-zero-yields-zero semantics. */
+Interval
+modIv(const Interval &a, const Interval &b)
+{
+    // |a % b| < |b| and a % b keeps the sign of a (C++ truncation),
+    // so bound by the largest divisor magnitude and by a itself.
+    const __int128 mag_lo = b.lo == kMin
+        ? -(static_cast<__int128>(kMin)) : static_cast<__int128>(
+              b.lo < 0 ? -b.lo : b.lo);
+    const __int128 mag_hi = b.hi == kMin
+        ? -(static_cast<__int128>(kMin)) : static_cast<__int128>(
+              b.hi < 0 ? -b.hi : b.hi);
+    const std::int64_t m = saturate(std::max(mag_lo, mag_hi));
+    const std::int64_t bound = m > 0 ? m - 1 : 0;
+
+    std::int64_t lo = a.lo >= 0 ? 0 : -bound;
+    std::int64_t hi = a.hi <= 0 ? 0 : bound;
+    // A remainder never exceeds the dividend's own magnitude.
+    lo = std::max(lo, std::min<std::int64_t>(a.lo, 0));
+    hi = std::min(hi, std::max<std::int64_t>(a.hi, 0));
+    return {lo, hi};
+}
+
+/** Three-valued comparison outcome as an interval over {0, 1}. */
+Interval
+boolIv(bool definitely_true, bool definitely_false)
+{
+    if (definitely_true)
+        return Interval::point(1);
+    if (definitely_false)
+        return Interval::point(0);
+    return Interval::of(0, 1);
+}
+
+} // namespace
+
+Interval
+Interval::full()
+{
+    return {kMin, kMax};
+}
+
+Interval
+Interval::point(std::int64_t v)
+{
+    return {v, v};
+}
+
+Interval
+Interval::of(std::int64_t lo, std::int64_t hi)
+{
+    panicIf(lo > hi, "Interval: lo ", lo, " > hi ", hi);
+    return {lo, hi};
+}
+
+bool
+Interval::isFull() const
+{
+    return lo == kMin && hi == kMax;
+}
+
+Interval
+Interval::hull(const Interval &other) const
+{
+    return {std::min(lo, other.lo), std::max(hi, other.hi)};
+}
+
+Interval
+evalInterval(const Expr &expr, const std::vector<Interval> &field_ranges,
+             IntervalEvalFlags *flags)
+{
+    switch (expr.op()) {
+      case Op::Const:
+        return Interval::point(expr.constValue());
+      case Op::Field: {
+        const FieldId f = expr.fieldId();
+        panicIf(f < 0 ||
+                static_cast<std::size_t>(f) >= field_ranges.size(),
+                "evalInterval: field ", f, " out of range (",
+                field_ranges.size(), " ranges)");
+        return field_ranges[f];
+      }
+      default:
+        break;
+    }
+
+    const auto &args = expr.args();
+    const Interval a = evalInterval(*args[0], field_ranges, flags);
+
+    if (expr.op() == Op::Not)
+        return boolIv(a.definitelyFalse(), a.definitelyTrue());
+
+    if (expr.op() == Op::Select) {
+        // Flags from a branch count only if that branch can execute.
+        IntervalEvalFlags then_f, else_f;
+        const Interval t = evalInterval(*args[1], field_ranges, &then_f);
+        const Interval e = evalInterval(*args[2], field_ranges, &else_f);
+        if (flags) {
+            if (!a.definitelyFalse()) {
+                flags->divModByZeroPossible |= then_f.divModByZeroPossible;
+                flags->divModByZeroDefinite |=
+                    a.definitelyTrue() && then_f.divModByZeroDefinite;
+            }
+            if (!a.definitelyTrue()) {
+                flags->divModByZeroPossible |= else_f.divModByZeroPossible;
+                flags->divModByZeroDefinite |=
+                    a.definitelyFalse() && else_f.divModByZeroDefinite;
+            }
+        }
+        if (a.definitelyTrue())
+            return t;
+        if (a.definitelyFalse())
+            return e;
+        return t.hull(e);
+    }
+
+    if (expr.op() == Op::And || expr.op() == Op::Or) {
+        // Short-circuit: the right operand only executes when the left
+        // one did not already decide the result.
+        IntervalEvalFlags rhs_f;
+        const Interval b = evalInterval(*args[1], field_ranges, &rhs_f);
+        const bool rhs_reachable = expr.op() == Op::And
+            ? !a.definitelyFalse() : !a.definitelyTrue();
+        if (flags && rhs_reachable) {
+            flags->divModByZeroPossible |= rhs_f.divModByZeroPossible;
+            flags->divModByZeroDefinite |= rhs_f.divModByZeroDefinite;
+        }
+        if (expr.op() == Op::And)
+            return boolIv(a.definitelyTrue() && b.definitelyTrue(),
+                          a.definitelyFalse() || b.definitelyFalse());
+        return boolIv(a.definitelyTrue() || b.definitelyTrue(),
+                      a.definitelyFalse() && b.definitelyFalse());
+    }
+
+    const Interval b = evalInterval(*args[1], field_ranges, flags);
+    switch (expr.op()) {
+      case Op::Add: return addIv(a, b);
+      case Op::Sub: return subIv(a, b);
+      case Op::Mul: return mulIv(a, b);
+      case Op::Div:
+      case Op::Mod:
+        if (flags && b.contains(0)) {
+            flags->divModByZeroPossible = true;
+            flags->divModByZeroDefinite |= b.isPoint();
+        }
+        return expr.op() == Op::Div ? divIv(a, b) : modIv(a, b);
+      case Op::Min:
+        return {std::min(a.lo, b.lo), std::min(a.hi, b.hi)};
+      case Op::Max:
+        return {std::max(a.lo, b.lo), std::max(a.hi, b.hi)};
+      case Op::Eq:
+        return boolIv(a.isPoint() && a == b, a.hi < b.lo || b.hi < a.lo);
+      case Op::Ne:
+        return boolIv(a.hi < b.lo || b.hi < a.lo, a.isPoint() && a == b);
+      case Op::Lt: return boolIv(a.hi < b.lo, a.lo >= b.hi);
+      case Op::Le: return boolIv(a.hi <= b.lo, a.lo > b.hi);
+      case Op::Gt: return boolIv(a.lo > b.hi, a.hi <= b.lo);
+      case Op::Ge: return boolIv(a.lo >= b.hi, a.hi < b.lo);
+      default:
+        util::panic("unreachable op in evalInterval");
+    }
+    return Interval::full();
+}
+
+} // namespace rtl
+} // namespace predvfs

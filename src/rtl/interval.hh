@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Interval abstract domain over the RTL expression AST.
+ *
+ * The lint pass (rtl/lint) evaluates guard, counter-range, and latency
+ * expressions over per-field value intervals instead of concrete work
+ * items: every field is mapped to an inclusive [lo, hi] range (declared
+ * with Design::setFieldRange(), full int64 range by default) and the
+ * expression tree is interpreted bottom-up with the usual interval
+ * transfer functions. The result soundly over-approximates every value
+ * the expression can take, so "interval excludes 0" proves a guard can
+ * never be false and "interval's high end <= 0" proves a counter range
+ * is always clamped.
+ *
+ * All arithmetic saturates at the int64 limits, mirroring the
+ * conservative direction of the analysis: saturation can only widen an
+ * interval, never lose a reachable value.
+ */
+
+#ifndef PREDVFS_RTL_INTERVAL_HH
+#define PREDVFS_RTL_INTERVAL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "rtl/expr.hh"
+
+namespace predvfs {
+namespace rtl {
+
+/** An inclusive range of signed 64-bit values. Invariant: lo <= hi. */
+struct Interval
+{
+    std::int64_t lo = 0;
+    std::int64_t hi = 0;
+
+    /** The whole int64 value space (an undeclared field range). */
+    static Interval full();
+
+    /** A single value. */
+    static Interval point(std::int64_t v);
+
+    /** The range [lo, hi]; panics if lo > hi. */
+    static Interval of(std::int64_t lo, std::int64_t hi);
+
+    bool contains(std::int64_t v) const { return lo <= v && v <= hi; }
+    bool isPoint() const { return lo == hi; }
+    bool isFull() const;
+
+    /** True if every value in the interval is truthy (non-zero). */
+    bool definitelyTrue() const { return lo > 0 || hi < 0; }
+
+    /** True if the interval is exactly {0}. */
+    bool definitelyFalse() const { return lo == 0 && hi == 0; }
+
+    /** Smallest interval containing both operands. */
+    Interval hull(const Interval &other) const;
+
+    bool operator==(const Interval &other) const
+    {
+        return lo == other.lo && hi == other.hi;
+    }
+};
+
+/**
+ * Flags accumulated while abstractly interpreting one expression.
+ * "Possible" means some value assignment inside the field intervals
+ * triggers the event; "definite" means every assignment does.
+ */
+struct IntervalEvalFlags
+{
+    bool divModByZeroPossible = false;  //!< Some divisor can be 0.
+    bool divModByZeroDefinite = false;  //!< Some divisor is always 0.
+};
+
+/**
+ * Evaluate @p expr over per-field intervals.
+ *
+ * Short-circuit semantics match Expr::eval(): the right operand of
+ * And/Or and the untaken branch of Select only contribute flags when
+ * the abstract condition admits their execution (so a division by zero
+ * in provably dead code is not reported).
+ *
+ * @param expr         Expression to interpret.
+ * @param field_ranges Interval per FieldId; panics on out-of-range
+ *                     field references.
+ * @param flags        Optional out-parameter; OR-accumulated.
+ */
+Interval evalInterval(const Expr &expr,
+                      const std::vector<Interval> &field_ranges,
+                      IntervalEvalFlags *flags = nullptr);
+
+} // namespace rtl
+} // namespace predvfs
+
+#endif // PREDVFS_RTL_INTERVAL_HH

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * predvfs-lint: a static design verifier over the RTL IR.
+ *
+ * Design::validate() only enforces structural well-formedness (targets
+ * in range, default edges present, reachability). This pass proves the
+ * *semantic* properties the prediction flow silently assumes, before
+ * any training or slicing happens:
+ *
+ *  1. Interval analysis — guard, counter-range, and latency
+ *     expressions are abstractly interpreted over the per-field value
+ *     intervals declared with Design::setFieldRange() (rtl/interval).
+ *     Counter ranges that can clamp (<= 0), counter ranges that can
+ *     overflow the declared register width, implicit latencies that
+ *     can clamp (< 1), and reachable division/modulus by zero are all
+ *     flagged. A *definite* violation (every assignment triggers it)
+ *     is an error; a merely *possible* one is a warning, so designs
+ *     with undeclared (full-range) fields stay usable.
+ *
+ *  2. Guard satisfiability — per state, transition guards are checked
+ *     in declaration order: provably-false guards (dead edges),
+ *     provably-true non-final guards (which shadow every later edge),
+ *     and default edges made unreachable by the guarded edges above
+ *     them. When the fields a state's guards consume span a small
+ *     finite domain, the check is exact (exhaustive enumeration);
+ *     otherwise the interval verdicts stand.
+ *
+ *  3. Liveness — counters never armed by any wait state, fields
+ *     neither read by an expression nor produced by a state, and
+ *     datapath blocks attached to no state (all warnings).
+ *
+ *  4. Slice consistency (lintSlice) — given a SliceResult, verify
+ *     every selected feature actually survives in the slice: STC edge
+ *     pairs still present, feature counters still armed, and fields
+ *     consumed by kept control logic still produced by a kept state.
+ *     Violations are errors: they mean the slicer dropped hardware the
+ *     model's features depend on, which would otherwise surface only
+ *     as silent prediction drift.
+ */
+
+#ifndef PREDVFS_RTL_LINT_HH
+#define PREDVFS_RTL_LINT_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "rtl/design.hh"
+#include "rtl/slicer.hh"
+
+namespace predvfs {
+namespace rtl {
+
+/** How bad a finding is. Errors abort the prediction flow. */
+enum class LintSeverity
+{
+    Warning,  //!< Suspicious; the flow continues.
+    Error     //!< Provably broken; the flow refuses the design.
+};
+
+/** Stable identifiers for every diagnostic the verifier can emit. */
+enum class LintCode
+{
+    CounterRangeNonPositive,   //!< Range can evaluate <= 0 (clamped).
+    CounterRangeOverflow,      //!< Range can exceed 2^bits - 1.
+    DivModByZero,              //!< Reachable division/modulus by zero.
+    ImplicitLatencyNonPositive,//!< Implicit latency can fall below 1.
+    DeadEdge,                  //!< Guard can never be true.
+    ShadowedEdge,              //!< Non-final guard is always true.
+    DefaultUnreachable,        //!< Guarded edges starve the default.
+    CounterNeverArmed,         //!< No wait state references the counter.
+    FieldUnused,               //!< Field neither read nor produced.
+    BlockUnattached,           //!< Block referenced by no state.
+    SliceStcEdgeMissing,       //!< STC feature's edge absent in slice.
+    SliceCounterUnarmed,       //!< Feature counter no longer armed.
+    SliceFieldUnproduced,      //!< Consumed field lost its producer.
+};
+
+/** @return the stable kebab-case name of a code ("dead-edge", ...). */
+const char *lintCodeName(LintCode code);
+
+/** @return "warning" or "error". */
+const char *lintSeverityName(LintSeverity severity);
+
+/**
+ * One finding. The locus ids are -1 where not applicable; message is
+ * fully rendered with design names, so reports need no further lookup.
+ */
+struct LintDiagnostic
+{
+    LintSeverity severity = LintSeverity::Warning;
+    LintCode code = LintCode::DeadEdge;
+    FsmId fsm = -1;
+    StateId state = -1;
+    int transition = -1;  //!< Index within the state's transition list.
+    CounterId counter = -1;
+    FieldId field = -1;
+    BlockId block = -1;
+    std::string message;
+};
+
+/** Everything one verifier run found, in deterministic pass order. */
+struct LintReport
+{
+    std::vector<LintDiagnostic> diagnostics;
+
+    std::size_t numErrors() const;
+    std::size_t numWarnings() const;
+
+    /** @return true if no error-severity finding exists. */
+    bool clean() const { return numErrors() == 0; }
+
+    /** @return diagnostics carrying @p code. */
+    std::vector<LintDiagnostic> withCode(LintCode code) const;
+};
+
+/**
+ * Run verifier passes 1-3 over a validated design.
+ *
+ * @param design A validated Design (panics otherwise).
+ */
+LintReport lintDesign(const Design &design);
+
+/**
+ * Run the slice-consistency pass (4) over a slicer result.
+ *
+ * @param original The design @p slice was cut from (field producers
+ *                 are resolved against it by name).
+ * @param slice    The slicer output to verify.
+ */
+LintReport lintSlice(const Design &original, const SliceResult &slice);
+
+} // namespace rtl
+} // namespace predvfs
+
+#endif // PREDVFS_RTL_LINT_HH

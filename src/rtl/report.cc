@@ -140,5 +140,71 @@ writeAnalysisReport(std::ostream &os, const Design &design,
     }
 }
 
+void
+writeLintReport(std::ostream &os, const Design &design,
+                const LintReport &report)
+{
+    for (const auto &d : report.diagnostics) {
+        os << design.name() << ": " << lintSeverityName(d.severity)
+           << ": [" << lintCodeName(d.code) << "] " << d.message
+           << "\n";
+    }
+    os << design.name() << ": " << report.numErrors() << " error(s), "
+       << report.numWarnings() << " warning(s)\n";
+}
+
+namespace {
+
+/** Minimal JSON string escaping (quotes, backslashes, control chars). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                static const char hex[] = "0123456789abcdef";
+                out += "\\u00";
+                out += hex[(c >> 4) & 0xf];
+                out += hex[c & 0xf];
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+void
+writeLintReportJson(std::ostream &os, const Design &design,
+                    const LintReport &report)
+{
+    os << "{\n  \"design\": \"" << jsonEscape(design.name())
+       << "\",\n  \"errors\": " << report.numErrors()
+       << ",\n  \"warnings\": " << report.numWarnings()
+       << ",\n  \"diagnostics\": [";
+    for (std::size_t i = 0; i < report.diagnostics.size(); ++i) {
+        const auto &d = report.diagnostics[i];
+        os << (i ? "," : "") << "\n    {\"severity\": \""
+           << lintSeverityName(d.severity) << "\", \"code\": \""
+           << lintCodeName(d.code) << "\", \"fsm\": " << d.fsm
+           << ", \"state\": " << d.state
+           << ", \"transition\": " << d.transition
+           << ", \"counter\": " << d.counter
+           << ", \"field\": " << d.field
+           << ", \"block\": " << d.block << ", \"message\": \""
+           << jsonEscape(d.message) << "\"}";
+    }
+    os << (report.diagnostics.empty() ? "" : "\n  ") << "]\n}\n";
+}
+
 } // namespace rtl
 } // namespace predvfs

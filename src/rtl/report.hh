@@ -15,6 +15,7 @@
 
 #include "rtl/analysis.hh"
 #include "rtl/design.hh"
+#include "rtl/lint.hh"
 
 namespace predvfs {
 namespace rtl {
@@ -32,6 +33,22 @@ void writeDot(std::ostream &os, const Design &design);
 /** Write the analysis outcome (features + unmodellable states). */
 void writeAnalysisReport(std::ostream &os, const Design &design,
                          const AnalysisReport &report);
+
+/**
+ * Write a lint report in compiler style, one finding per line:
+ * "<design>: <severity>: [<code>] <message>", followed by a summary
+ * line with the error/warning totals.
+ */
+void writeLintReport(std::ostream &os, const Design &design,
+                     const LintReport &report);
+
+/**
+ * Write a lint report as a JSON document: design name, totals, and one
+ * object per diagnostic with its severity, code, loci, and message
+ * (stable schema for CI tooling).
+ */
+void writeLintReportJson(std::ostream &os, const Design &design,
+                         const LintReport &report);
 
 } // namespace rtl
 } // namespace predvfs

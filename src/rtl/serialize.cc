@@ -1,5 +1,6 @@
 #include "rtl/serialize.hh"
 
+#include <limits>
 #include <map>
 #include <sstream>
 #include <vector>
@@ -184,6 +185,13 @@ writeDesign(std::ostream &os, const Design &design)
     os << "design " << design.name() << "\n";
     for (const auto &field : design.fieldNames())
         os << "field " << field << "\n";
+    for (std::size_t f = 0; f < design.numFields(); ++f) {
+        const FieldBounds &b = design.fieldBounds()[f];
+        if (b.lo == std::numeric_limits<std::int64_t>::min() &&
+            b.hi == std::numeric_limits<std::int64_t>::max())
+            continue;  // Default full range: keep old files byte-equal.
+        os << "fieldrange " << f << " " << b.lo << " " << b.hi << "\n";
+    }
     for (const auto &c : design.counters()) {
         os << "counter " << c.name << " "
            << (c.dir == CounterDir::Down ? "down" : "up") << " "
@@ -273,6 +281,12 @@ readDesign(std::istream &is)
             std::string field;
             ls >> field;
             d.addField(field);
+        } else if (keyword == "fieldrange") {
+            FieldId field = -1;
+            std::int64_t lo = 0;
+            std::int64_t hi = 0;
+            ls >> field >> lo >> hi;
+            d.setFieldRange(field, lo, hi);
         } else if (keyword == "counter") {
             std::string cname;
             std::string dir;

@@ -155,8 +155,11 @@ makeSlice(const Design &design, const std::vector<FeatureSpec> &selected,
                        0.0, 0.0};
     Design &slice = result.design;
 
-    for (const auto &name : design.fieldNames())
-        slice.addField(name);
+    for (std::size_t f = 0; f < design.numFields(); ++f) {
+        const FieldId id = slice.addField(design.fieldNames()[f]);
+        const FieldBounds &b = design.fieldBounds()[f];
+        slice.setFieldRange(id, b.lo, b.hi);
+    }
 
     std::map<CounterId, CounterId> counter_map;
     for (CounterId c = 0; c < static_cast<CounterId>(num_counters); ++c) {

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "rtl/design.hh"
 #include "rtl/expr.hh"
 
@@ -210,4 +212,74 @@ TEST(Design, TransitionCountsTallied)
     d.validate();
     EXPECT_EQ(d.totalTransitions(), 2u);
     EXPECT_EQ(d.totalStates(), 2u);
+}
+
+TEST(DesignDeath, DuplicateCounterNamePanics)
+{
+    Design d("dup");
+    d.addField("x");
+    d.addCounter("c", CounterDir::Down, fld(0), 16);
+    d.addCounter("c", CounterDir::Up, fld(0), 16);
+    const auto fsm = d.addFsm("m");
+    State s;
+    s.name = "Only";
+    s.terminal = true;
+    d.addState(fsm, std::move(s));
+    EXPECT_DEATH(d.validate(), "duplicate counter name");
+}
+
+TEST(DesignDeath, DuplicateFsmNamePanics)
+{
+    Design d("dup");
+    for (int i = 0; i < 2; ++i) {
+        const auto fsm = d.addFsm("m");
+        State s;
+        s.name = "Only";
+        s.terminal = true;
+        d.addState(fsm, std::move(s));
+    }
+    EXPECT_DEATH(d.validate(), "duplicate fsm name");
+}
+
+TEST(DesignDeath, DuplicateStateNamePanics)
+{
+    Design d("dup");
+    const auto fsm = d.addFsm("m");
+    State s0;
+    s0.name = "S";
+    const auto id0 = d.addState(fsm, std::move(s0));
+    State s1;
+    s1.name = "S";
+    s1.terminal = true;
+    const auto id1 = d.addState(fsm, std::move(s1));
+    d.addTransition(fsm, id0, nullptr, id1);
+    EXPECT_DEATH(d.validate(), "duplicate state name");
+}
+
+TEST(DesignDeath, FieldRangeAfterValidatePanics)
+{
+    Design d = tinyDesign();
+    d.validate();
+    EXPECT_DEATH(d.setFieldRange(0, 0, 5), "after validate");
+}
+
+TEST(DesignDeath, EmptyFieldRangePanics)
+{
+    Design d("r");
+    const auto x = d.addField("x");
+    EXPECT_DEATH(d.setFieldRange(x, 5, 2), "empty range");
+}
+
+TEST(Design, FieldRangeDefaultsToFullAndIsRecorded)
+{
+    Design d("r");
+    const auto x = d.addField("x");
+    const auto y = d.addField("y");
+    d.setFieldRange(y, -3, 12);
+    EXPECT_EQ(d.fieldBounds()[x].lo,
+              std::numeric_limits<std::int64_t>::min());
+    EXPECT_EQ(d.fieldBounds()[x].hi,
+              std::numeric_limits<std::int64_t>::max());
+    EXPECT_EQ(d.fieldBounds()[y].lo, -3);
+    EXPECT_EQ(d.fieldBounds()[y].hi, 12);
 }

@@ -1,0 +1,533 @@
+/**
+ * @file
+ * Static verifier (predvfs-lint): the interval domain, one crafted
+ * minimal design per diagnostic code (each fires exactly that
+ * diagnostic), a clean bill of health for every registry benchmark and
+ * its RTL/HLS slices, the slice-consistency pass against handcrafted
+ * and seeded slicer regressions, and the flow's refusal of designs
+ * with error-severity findings.
+ */
+
+#include <gtest/gtest.h>
+
+#include <regex>
+#include <sstream>
+
+#include "accel/builder.hh"
+#include "accel/registry.hh"
+#include "core/flow.hh"
+#include "rtl/analysis.hh"
+#include "rtl/interval.hh"
+#include "rtl/lint.hh"
+#include "rtl/report.hh"
+#include "rtl/serialize.hh"
+#include "rtl/slicer.hh"
+
+using namespace predvfs;
+using namespace predvfs::rtl;
+using accel::doneState;
+using accel::fixedState;
+using accel::implicitState;
+using accel::waitState;
+
+namespace {
+
+/** Evaluate @p e over one field x constrained to [lo, hi]. */
+Interval
+ivOf(const ExprPtr &e, std::int64_t lo, std::int64_t hi,
+     IntervalEvalFlags *flags = nullptr)
+{
+    return evalInterval(*e, {Interval::of(lo, hi)}, flags);
+}
+
+/**
+ * Wrap @p range in a minimal design that arms it from a wait state:
+ * Wait(counter) -> Done. Fields and their bounds come from @p bounds.
+ */
+Design
+counterDesign(ExprPtr range, int bits,
+              const std::vector<std::pair<std::int64_t, std::int64_t>>
+                  &bounds)
+{
+    Design d("crafted");
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+        const FieldId f = d.addField("x" + std::to_string(i));
+        d.setFieldRange(f, bounds[i].first, bounds[i].second);
+    }
+    const CounterId c =
+        d.addCounter("c", CounterDir::Down, std::move(range), bits);
+    const FsmId fsm = d.addFsm("main");
+    const StateId w = d.addState(fsm, waitState("Wait", c));
+    const StateId t = d.addState(fsm, doneState("Done"));
+    d.addTransition(fsm, w, nullptr, t);
+    d.validate();
+    return d;
+}
+
+/**
+ * Minimal design exercising a guard list on one state: S0 with the
+ * given guarded edges plus a trailing default, all targeting Done.
+ */
+Design
+guardDesign(const std::vector<ExprPtr> &guards,
+            std::int64_t lo, std::int64_t hi)
+{
+    Design d("crafted");
+    const FieldId x = d.addField("x");
+    d.setFieldRange(x, lo, hi);
+    // Keep the field alive independently of the guards under test.
+    const CounterId c = d.addCounter(
+        "c", CounterDir::Down, Expr::add(fld(x), lit(1)), 16);
+    const FsmId fsm = d.addFsm("main");
+    const StateId s0 = d.addState(fsm, waitState("S0", c));
+    const StateId t = d.addState(fsm, doneState("Done"));
+    for (const auto &g : guards)
+        d.addTransition(fsm, s0, g, t);
+    d.addTransition(fsm, s0, nullptr, t);
+    d.validate();
+    return d;
+}
+
+} // namespace
+
+// ---- Interval domain -------------------------------------------------
+
+TEST(Interval, ArithmeticCorners)
+{
+    const auto x = fld(0);
+    EXPECT_EQ(ivOf(Expr::add(x, lit(3)), -2, 5), Interval::of(1, 8));
+    EXPECT_EQ(ivOf(Expr::sub(lit(10), x), -2, 5), Interval::of(5, 12));
+    // Sign-mixed multiplication needs all four corner products.
+    EXPECT_EQ(evalInterval(*Expr::mul(fld(0), fld(1)),
+                           {Interval::of(-2, 3), Interval::of(-5, 4)}),
+              Interval::of(-15, 12));
+    EXPECT_EQ(ivOf(Expr::mod(x, lit(4)), 0, 10), Interval::of(0, 3));
+    EXPECT_EQ(ivOf(Expr::min(x, lit(3)), 0, 10), Interval::of(0, 3));
+    EXPECT_EQ(ivOf(Expr::max(x, lit(3)), 0, 10), Interval::of(3, 10));
+}
+
+TEST(Interval, DivisionSplitsDivisorSign)
+{
+    // Divisor straddles zero: quotients from both sign halves plus the
+    // defined-to-zero value.
+    IntervalEvalFlags flags;
+    const Interval iv = evalInterval(
+        *Expr::div(fld(0), fld(1)),
+        {Interval::of(8, 16), Interval::of(-2, 4)}, &flags);
+    EXPECT_EQ(iv, Interval::of(-16, 16));
+    EXPECT_TRUE(flags.divModByZeroPossible);
+    EXPECT_FALSE(flags.divModByZeroDefinite);
+}
+
+TEST(Interval, DivByZeroDefinite)
+{
+    IntervalEvalFlags flags;
+    const Interval iv = ivOf(Expr::div(fld(0), lit(0)), 1, 9, &flags);
+    EXPECT_EQ(iv, Interval::point(0));
+    EXPECT_TRUE(flags.divModByZeroDefinite);
+}
+
+TEST(Interval, SelectPrunesDeadBranchFlags)
+{
+    // Condition is provably false, so the div-by-zero in the then
+    // branch can never execute and must not set flags.
+    IntervalEvalFlags flags;
+    const Interval iv = ivOf(
+        Expr::select(Expr::gt(fld(0), lit(0)),
+                     Expr::div(lit(1), lit(0)), lit(2)),
+        -5, -1, &flags);
+    EXPECT_EQ(iv, Interval::point(2));
+    EXPECT_FALSE(flags.divModByZeroPossible);
+}
+
+TEST(Interval, ShortCircuitAndPrunesRhsFlags)
+{
+    IntervalEvalFlags flags;
+    const Interval iv = ivOf(
+        Expr::logicalAnd(Expr::eq(fld(0), lit(1)),
+                         Expr::gt(Expr::div(lit(1), lit(0)), lit(-1))),
+        2, 3, &flags);
+    EXPECT_TRUE(iv.definitelyFalse());
+    EXPECT_FALSE(flags.divModByZeroPossible);
+}
+
+TEST(Interval, ThreeValuedComparisons)
+{
+    EXPECT_TRUE(ivOf(Expr::lt(fld(0), lit(10)), 0, 5).definitelyTrue());
+    EXPECT_TRUE(ivOf(Expr::lt(fld(0), lit(0)), 0, 5).definitelyFalse());
+    EXPECT_EQ(ivOf(Expr::lt(fld(0), lit(3)), 0, 5), Interval::of(0, 1));
+}
+
+// ---- One crafted design per diagnostic code --------------------------
+
+TEST(Lint, CounterRangeNonPositiveDefiniteIsError)
+{
+    const Design d =
+        counterDesign(Expr::sub(fld(0), lit(10)), 16, {{0, 5}});
+    const LintReport r = lintDesign(d);
+    ASSERT_EQ(r.diagnostics.size(), 1u);
+    EXPECT_EQ(r.diagnostics[0].code, LintCode::CounterRangeNonPositive);
+    EXPECT_EQ(r.diagnostics[0].severity, LintSeverity::Error);
+    EXPECT_EQ(r.diagnostics[0].counter, 0);
+    EXPECT_FALSE(r.clean());
+}
+
+TEST(Lint, CounterRangeNonPositivePossibleIsWarning)
+{
+    const Design d =
+        counterDesign(Expr::sub(fld(0), lit(3)), 16, {{0, 5}});
+    const LintReport r = lintDesign(d);
+    ASSERT_EQ(r.diagnostics.size(), 1u);
+    EXPECT_EQ(r.diagnostics[0].code, LintCode::CounterRangeNonPositive);
+    EXPECT_EQ(r.diagnostics[0].severity, LintSeverity::Warning);
+    EXPECT_TRUE(r.clean());
+}
+
+TEST(Lint, CounterRangeOverflowPossibleIsWarning)
+{
+    const Design d =
+        counterDesign(Expr::add(fld(0), lit(1)), 4, {{0, 100}});
+    const LintReport r = lintDesign(d);
+    ASSERT_EQ(r.diagnostics.size(), 1u);
+    EXPECT_EQ(r.diagnostics[0].code, LintCode::CounterRangeOverflow);
+    EXPECT_EQ(r.diagnostics[0].severity, LintSeverity::Warning);
+}
+
+TEST(Lint, CounterRangeOverflowDefiniteIsError)
+{
+    const Design d =
+        counterDesign(Expr::add(fld(0), lit(20)), 4, {{0, 10}});
+    const LintReport r = lintDesign(d);
+    ASSERT_EQ(r.diagnostics.size(), 1u);
+    EXPECT_EQ(r.diagnostics[0].code, LintCode::CounterRangeOverflow);
+    EXPECT_EQ(r.diagnostics[0].severity, LintSeverity::Error);
+}
+
+TEST(Lint, DivModByZeroPossibleIsWarning)
+{
+    const Design d = counterDesign(
+        Expr::add(lit(5), Expr::div(fld(0), fld(1))), 16,
+        {{0, 3}, {0, 3}});
+    const LintReport r = lintDesign(d);
+    ASSERT_EQ(r.diagnostics.size(), 1u);
+    EXPECT_EQ(r.diagnostics[0].code, LintCode::DivModByZero);
+    EXPECT_EQ(r.diagnostics[0].severity, LintSeverity::Warning);
+}
+
+TEST(Lint, DivModByZeroDefiniteIsError)
+{
+    const Design d = counterDesign(
+        Expr::add(lit(5), Expr::mod(fld(0), lit(0))), 16, {{0, 3}});
+    const LintReport r = lintDesign(d);
+    ASSERT_EQ(r.diagnostics.size(), 1u);
+    EXPECT_EQ(r.diagnostics[0].code, LintCode::DivModByZero);
+    EXPECT_EQ(r.diagnostics[0].severity, LintSeverity::Error);
+}
+
+TEST(Lint, ImplicitLatencyNonPositive)
+{
+    Design d("crafted");
+    const FieldId x = d.addField("x");
+    d.setFieldRange(x, 0, 3);
+    const FsmId fsm = d.addFsm("main");
+    const StateId s0 = d.addState(
+        fsm, implicitState("Imp", Expr::sub(fld(x), lit(5))));
+    const StateId t = d.addState(fsm, doneState("Done"));
+    d.addTransition(fsm, s0, nullptr, t);
+    d.validate();
+    const LintReport r = lintDesign(d);
+    ASSERT_EQ(r.diagnostics.size(), 1u);
+    EXPECT_EQ(r.diagnostics[0].code,
+              LintCode::ImplicitLatencyNonPositive);
+    EXPECT_EQ(r.diagnostics[0].severity, LintSeverity::Error);
+    EXPECT_EQ(r.diagnostics[0].state, s0);
+}
+
+TEST(Lint, DeadEdgeByInterval)
+{
+    const Design d =
+        guardDesign({Expr::lt(fld(0), lit(0))}, 0, 5);
+    const LintReport r = lintDesign(d);
+    ASSERT_EQ(r.diagnostics.size(), 1u);
+    EXPECT_EQ(r.diagnostics[0].code, LintCode::DeadEdge);
+    EXPECT_EQ(r.diagnostics[0].severity, LintSeverity::Error);
+    EXPECT_EQ(r.diagnostics[0].transition, 0);
+}
+
+TEST(Lint, DeadEdgeByEnumerationOnly)
+{
+    // Interval analysis cannot relate the two conjuncts (both are
+    // individually satisfiable); exhaustive enumeration can.
+    const Design d = guardDesign(
+        {Expr::logicalAnd(Expr::eq(fld(0), lit(1)),
+                          Expr::eq(fld(0), lit(2)))},
+        0, 3);
+    const LintReport r = lintDesign(d);
+    ASSERT_EQ(r.diagnostics.size(), 1u);
+    EXPECT_EQ(r.diagnostics[0].code, LintCode::DeadEdge);
+}
+
+TEST(Lint, ShadowedEdgeSuppressesDownstream)
+{
+    // The always-true guard shadows both the later guarded edge and
+    // the default; exactly one diagnostic must name the culprit.
+    const Design d = guardDesign(
+        {Expr::ge(fld(0), lit(0)), Expr::eq(fld(0), lit(3))}, 0, 5);
+    const LintReport r = lintDesign(d);
+    ASSERT_EQ(r.diagnostics.size(), 1u);
+    EXPECT_EQ(r.diagnostics[0].code, LintCode::ShadowedEdge);
+    EXPECT_EQ(r.diagnostics[0].severity, LintSeverity::Error);
+    EXPECT_EQ(r.diagnostics[0].transition, 0);
+}
+
+TEST(Lint, DefaultUnreachable)
+{
+    const Design d = guardDesign(
+        {Expr::eq(fld(0), lit(0)), Expr::ne(fld(0), lit(0))}, 0, 1);
+    const LintReport r = lintDesign(d);
+    ASSERT_EQ(r.diagnostics.size(), 1u);
+    EXPECT_EQ(r.diagnostics[0].code, LintCode::DefaultUnreachable);
+    EXPECT_EQ(r.diagnostics[0].severity, LintSeverity::Warning);
+    EXPECT_EQ(r.diagnostics[0].transition, 2);
+}
+
+TEST(Lint, CounterNeverArmed)
+{
+    Design d("crafted");
+    d.addCounter("idle", CounterDir::Down, lit(5), 16);
+    const FsmId fsm = d.addFsm("main");
+    d.addState(fsm, doneState("Done"));
+    d.validate();
+    const LintReport r = lintDesign(d);
+    ASSERT_EQ(r.diagnostics.size(), 1u);
+    EXPECT_EQ(r.diagnostics[0].code, LintCode::CounterNeverArmed);
+    EXPECT_EQ(r.diagnostics[0].severity, LintSeverity::Warning);
+    EXPECT_EQ(r.diagnostics[0].counter, 0);
+}
+
+TEST(Lint, FieldUnused)
+{
+    Design d("crafted");
+    const FieldId x = d.addField("dead");
+    const FsmId fsm = d.addFsm("main");
+    d.addState(fsm, doneState("Done"));
+    d.validate();
+    const LintReport r = lintDesign(d);
+    ASSERT_EQ(r.diagnostics.size(), 1u);
+    EXPECT_EQ(r.diagnostics[0].code, LintCode::FieldUnused);
+    EXPECT_EQ(r.diagnostics[0].field, x);
+}
+
+TEST(Lint, BlockUnattached)
+{
+    Design d("crafted");
+    const BlockId b = d.addBlock("orphan", 100.0, 1.0);
+    const FsmId fsm = d.addFsm("main");
+    d.addState(fsm, doneState("Done"));
+    d.validate();
+    const LintReport r = lintDesign(d);
+    ASSERT_EQ(r.diagnostics.size(), 1u);
+    EXPECT_EQ(r.diagnostics[0].code, LintCode::BlockUnattached);
+    EXPECT_EQ(r.diagnostics[0].block, b);
+}
+
+TEST(Lint, CleanCraftedDesign)
+{
+    const Design d =
+        counterDesign(Expr::add(fld(0), lit(1)), 16, {{0, 100}});
+    const LintReport r = lintDesign(d);
+    EXPECT_TRUE(r.diagnostics.empty());
+    EXPECT_TRUE(r.clean());
+}
+
+TEST(LintDeath, UnvalidatedDesignPanics)
+{
+    Design d("raw");
+    d.addFsm("main");
+    EXPECT_DEATH(lintDesign(d), "not validated");
+}
+
+// ---- Report rendering ------------------------------------------------
+
+TEST(LintReport, TextAndJsonRendering)
+{
+    const Design d =
+        counterDesign(Expr::sub(fld(0), lit(10)), 16, {{0, 5}});
+    const LintReport r = lintDesign(d);
+
+    std::ostringstream text;
+    writeLintReport(text, d, r);
+    EXPECT_NE(text.str().find("error: [counter-range-nonpositive]"),
+              std::string::npos);
+    EXPECT_NE(text.str().find("1 error(s), 0 warning(s)"),
+              std::string::npos);
+
+    std::ostringstream json;
+    writeLintReportJson(json, d, r);
+    EXPECT_NE(json.str().find("\"errors\": 1"), std::string::npos);
+    EXPECT_NE(json.str().find("\"code\": \"counter-range-nonpositive\""),
+              std::string::npos);
+}
+
+// ---- Clean bill of health for the registry ---------------------------
+
+TEST(LintRegistry, AllBenchmarksAndSlicesClean)
+{
+    for (const auto &name : accel::benchmarkNames()) {
+        const auto acc = accel::makeAccelerator(name);
+        const Design &design = acc->design();
+
+        const LintReport r = lintDesign(design);
+        EXPECT_TRUE(r.diagnostics.empty())
+            << name << ": " << r.diagnostics.size() << " finding(s), "
+            << "first: "
+            << (r.diagnostics.empty() ? ""
+                                      : r.diagnostics[0].message);
+
+        const auto analysis = analyze(design);
+        for (const auto mode : {SliceOptions::Mode::Rtl,
+                                SliceOptions::Mode::Hls}) {
+            SliceOptions options;
+            options.mode = mode;
+            const SliceResult slice =
+                makeSlice(design, analysis.features, options);
+            EXPECT_TRUE(lintSlice(design, slice).clean()) << name;
+            EXPECT_TRUE(lintDesign(slice.design).clean()) << name;
+        }
+    }
+}
+
+// ---- Slice-consistency pass ------------------------------------------
+
+TEST(LintSlice, StcEdgeMissing)
+{
+    Design original("orig");
+    const FsmId of = original.addFsm("main");
+    const StateId oa = original.addState(of, fixedState("A", 1));
+    const StateId ob = original.addState(of, fixedState("B", 1));
+    const StateId ot = original.addState(of, doneState("T"));
+    original.addTransition(of, oa, nullptr, ob);
+    original.addTransition(of, ob, nullptr, ot);
+    original.validate();
+
+    // Slice keeps all three states but lost the A -> T edge the
+    // feature counts (states ordered so index 1 stays reachable).
+    Design cut("orig.slice");
+    const FsmId f = cut.addFsm("main");
+    const StateId a = cut.addState(f, fixedState("A", 1));
+    const StateId t = cut.addState(f, doneState("T"));
+    const StateId b = cut.addState(f, fixedState("B", 1));
+    cut.addTransition(f, a, nullptr, b);
+    cut.addTransition(f, b, nullptr, t);
+    cut.validate();
+
+    FeatureSpec spec;
+    spec.kind = FeatureKind::Stc;
+    spec.fsm = f;
+    spec.src = a;
+    spec.dst = t;
+    spec.name = "stc:main.A->T";
+
+    SliceResult slice{std::move(cut), {spec}, 1, 0, 0, 0.0, 0.0};
+    const LintReport r = lintSlice(original, slice);
+    ASSERT_EQ(r.diagnostics.size(), 1u);
+    EXPECT_EQ(r.diagnostics[0].code, LintCode::SliceStcEdgeMissing);
+    EXPECT_EQ(r.diagnostics[0].severity, LintSeverity::Error);
+}
+
+TEST(LintSlice, CounterUnarmed)
+{
+    Design original("orig");
+    original.addCounter("c", CounterDir::Down, lit(3), 16);
+    const FsmId of = original.addFsm("main");
+    original.addState(of, doneState("T"));
+    original.validate();
+
+    Design cut("orig.slice");
+    cut.addCounter("c", CounterDir::Down, lit(3), 16);
+    const FsmId f = cut.addFsm("main");
+    cut.addState(f, doneState("T"));
+    cut.validate();
+
+    FeatureSpec spec;
+    spec.kind = FeatureKind::Ic;
+    spec.counter = 0;
+    spec.name = "ic:c";
+
+    SliceResult slice{std::move(cut), {spec}, 1, 1, 0, 0.0, 0.0};
+    const LintReport r = lintSlice(original, slice);
+    ASSERT_EQ(r.diagnostics.size(), 1u);
+    EXPECT_EQ(r.diagnostics[0].code, LintCode::SliceCounterUnarmed);
+    EXPECT_EQ(r.diagnostics[0].severity, LintSeverity::Error);
+}
+
+TEST(LintSlice, FieldUnproduced)
+{
+    // The original produces 'len' in a parser state; the slice kept a
+    // guard consuming 'len' but dropped the producer.
+    Design original("orig");
+    const FieldId olen = original.addField("len");
+    const FsmId of = original.addFsm("main");
+    State parser = fixedState("Parse", 4);
+    parser.essential = true;
+    parser.producesFields = {olen};
+    const StateId op = original.addState(of, std::move(parser));
+    const StateId ot = original.addState(of, doneState("T"));
+    original.addTransition(of, op, nullptr, ot);
+    original.validate();
+
+    Design cut("orig.slice");
+    const FieldId len = cut.addField("len");
+    const FsmId f = cut.addFsm("main");
+    const StateId s0 = cut.addState(f, fixedState("S0", 1));
+    const StateId t = cut.addState(f, doneState("T"));
+    cut.addTransition(f, s0, Expr::gt(fld(len), lit(0)), t);
+    cut.addTransition(f, s0, nullptr, t);
+    cut.validate();
+
+    SliceResult slice{std::move(cut), {}, 1, 0, 0, 0.0, 0.0};
+    const LintReport r = lintSlice(original, slice);
+    ASSERT_EQ(r.diagnostics.size(), 1u);
+    EXPECT_EQ(r.diagnostics[0].code, LintCode::SliceFieldUnproduced);
+    EXPECT_EQ(r.diagnostics[0].field, len);
+}
+
+TEST(LintSlice, CatchesSeededSlicerRegression)
+{
+    // Seed the regression the pass exists to catch: demote every
+    // armed wait state of a real slice to a fixed one-cycle state (as
+    // a buggy wait-state-elision pass would) and verify the feature
+    // counters are reported as no longer observable.
+    const auto acc = accel::makeAccelerator("md");
+    const Design &design = acc->design();
+    const auto analysis = analyze(design);
+    const SliceResult slice = makeSlice(design, analysis.features);
+    ASSERT_TRUE(lintSlice(design, slice).clean());
+
+    std::ostringstream os;
+    writeDesign(os, slice.design);
+    const std::string tampered_text = std::regex_replace(
+        os.str(), std::regex("state (\\S+) counter \\d+"),
+        "state $1 fixed 1");
+    ASSERT_NE(tampered_text, os.str());
+    std::istringstream is(tampered_text);
+    SliceResult tampered{readDesign(is), slice.features,
+                         slice.keptFsms, slice.keptCounters,
+                         slice.keptBlocks, 0.0, 0.0};
+
+    const LintReport r = lintSlice(design, tampered);
+    EXPECT_FALSE(r.clean());
+    EXPECT_FALSE(r.withCode(LintCode::SliceCounterUnarmed).empty());
+}
+
+// ---- Flow integration ------------------------------------------------
+
+TEST(LintFlowDeath, FlowRefusesDesignWithLintErrors)
+{
+    Design d = counterDesign(Expr::sub(fld(0), lit(10)), 16, {{0, 5}});
+    std::vector<JobInput> jobs(3);
+    for (auto &job : jobs)
+        job.items.push_back({{2}});
+    EXPECT_EXIT(core::buildPredictor(d, jobs),
+                ::testing::ExitedWithCode(1), "fails lint");
+}

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
 #include "accel/registry.hh"
@@ -141,4 +142,36 @@ TEST(SerializeDesignDeath, MissingEndFatal)
     std::stringstream buffer;
     buffer << "design broken\nfield x\n";
     EXPECT_DEATH(readDesign(buffer), "missing 'end'");
+}
+
+TEST(SerializeDesign, FieldRangesRoundTrip)
+{
+    Design d("ranged");
+    const auto x = d.addField("x");
+    const auto y = d.addField("y");
+    d.setFieldRange(y, -7, 1023);
+    const auto fsm = d.addFsm("m");
+    State s0;
+    s0.name = "S0";
+    const auto id0 = d.addState(fsm, std::move(s0));
+    State s1;
+    s1.name = "Done";
+    s1.terminal = true;
+    const auto id1 = d.addState(fsm, std::move(s1));
+    d.addTransition(fsm, id0, Expr::gt(fld(x), lit(0)), id1);
+    d.addTransition(fsm, id0, nullptr, id1);
+    d.validate();
+
+    std::ostringstream os;
+    writeDesign(os, d);
+    // Undeclared fields stay undeclared in the file (back compat).
+    EXPECT_EQ(os.str().find("fieldrange 0"), std::string::npos);
+    EXPECT_NE(os.str().find("fieldrange 1 -7 1023"), std::string::npos);
+
+    std::istringstream is(os.str());
+    const Design parsed = readDesign(is);
+    EXPECT_EQ(parsed.fieldBounds()[x].lo,
+              std::numeric_limits<std::int64_t>::min());
+    EXPECT_EQ(parsed.fieldBounds()[y].lo, -7);
+    EXPECT_EQ(parsed.fieldBounds()[y].hi, 1023);
 }
