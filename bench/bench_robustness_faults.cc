@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Robustness under injected faults: sweeps composite fault plans
+ * (slice readout corruption + DVFS switch faults) over every
+ * benchmark and compares the plain predictive controller against the
+ * watchdog-guarded one, reporting energy/miss degradation curves. A
+ * second scenario injects a persistent model-coefficient corruption
+ * mid-stream, the failure mode the PID fallback exists for.
+ *
+ * Verifies (and exits non-zero otherwise) that
+ *  - fault schedules are reproducible: the same seed yields
+ *    bit-identical metrics across independent instantiations;
+ *  - across the full suite, the guarded controller misses fewer
+ *    deadlines than the plain one at every swept fault rate (only
+ *    checked on the full default run — a restricted run has too few
+ *    jobs for the strict comparison to be meaningful).
+ *
+ * Usage: bench_robustness_faults [benchmark|all] [max_jobs]
+ *   e.g. bench_robustness_faults           (full sweep, all checks)
+ *        bench_robustness_faults sha 60    (CI smoke run)
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "accel/registry.hh"
+#include "core/guarded_controller.hh"
+#include "core/predictive_controller.hh"
+#include "sim/experiment.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+using namespace predvfs;
+
+namespace {
+
+const std::vector<double> faultRates = {0.01, 0.02, 0.05, 0.10};
+
+/** The ISSUE's composite plan: readout corruption at @p rate plus
+ *  switch faults (denied / slow settle) at half that rate each. */
+sim::FaultPlan
+compositePlan(double rate, std::uint64_t seed)
+{
+    sim::FaultPlan plan(seed);
+    plan.sliceReadout(sim::FaultTrigger::probabilistic(rate))
+        .switchDenied(sim::FaultTrigger::probabilistic(rate / 2.0))
+        .switchSettle(sim::FaultTrigger::probabilistic(rate / 2.0),
+                      10.0);
+    return plan;
+}
+
+struct RatePoint
+{
+    std::size_t jobs = 0;
+    std::size_t plainMisses = 0;
+    std::size_t guardedMisses = 0;
+    double plainEnergyNorm = 0.0;    //!< Sum over benchmarks.
+    double guardedEnergyNorm = 0.0;  //!< Sum over benchmarks.
+    std::size_t benchmarks = 0;
+};
+
+core::DvfsModelConfig
+dvfsConfig(const sim::Experiment &exp)
+{
+    core::DvfsModelConfig dvfs;
+    dvfs.deadlineSeconds = exp.options().deadlineSeconds;
+    dvfs.switchTimeSeconds = exp.options().switchTimeSeconds;
+    dvfs.marginFraction = exp.options().predictionMargin;
+    return dvfs;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    util::setVerbose(false);
+    const std::string which = argc > 1 ? argv[1] : "all";
+    const std::size_t max_jobs =
+        argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 0;
+    const bool restricted = which != "all" || max_jobs > 0;
+
+    std::vector<std::string> names;
+    if (which == "all")
+        names = accel::benchmarkNames();
+    else
+        names.push_back(which);
+
+    util::printBanner(std::cout,
+                      "Robustness: fault sweep, plain vs guarded "
+                      "prediction");
+
+    util::TablePrinter table({"Benchmark", "Rate (%)", "Faults",
+                              "Miss plain (%)", "Miss guard (%)",
+                              "Energy plain (%)", "Energy guard (%)",
+                              "Degraded jobs"});
+
+    std::vector<RatePoint> points(faultRates.size());
+    bool deterministic = true;
+    std::size_t persist_plain_misses = 0;
+    std::size_t persist_guarded_misses = 0;
+    std::size_t persist_jobs = 0;
+    std::size_t persist_fallback_jobs = 0;
+
+    for (const auto &name : names) {
+        sim::Experiment exp(name);
+        const auto &engine = exp.engine();
+        const double f0 = exp.accelerator().nominalFrequencyHz();
+        const core::DvfsModelConfig dvfs = dvfsConfig(exp);
+
+        std::vector<core::PreparedJob> clean = exp.testPrepared();
+        if (max_jobs > 0 && clean.size() > max_jobs)
+            clean.resize(max_jobs);
+        const std::size_t n = clean.size();
+
+        // Energy reference: the plain controller on the fault-free
+        // stream (degradation curves are relative to it).
+        core::PredictiveController ref(exp.table(), f0, dvfs);
+        const double clean_energy =
+            engine.run(ref, clean).totalEnergyJoules();
+
+        for (std::size_t r = 0; r < faultRates.size(); ++r) {
+            const double rate = faultRates[r];
+            const std::uint64_t seed =
+                exp.options().seed + 1000 * (r + 1);
+            const sim::FaultPlan plan = compositePlan(rate, seed);
+            const sim::FaultSchedule schedule = plan.instantiate(n);
+
+            std::vector<core::PreparedJob> faulted = clean;
+            schedule.applyPrepareFaults(faulted);
+
+            core::PredictiveController plain(exp.table(), f0, dvfs);
+            core::GuardedPredictiveController guarded(
+                exp.table(), f0, dvfs, exp.pidConfig());
+
+            const auto m_plain =
+                engine.run(plain, faulted, nullptr, &schedule);
+            const auto m_guard =
+                engine.run(guarded, faulted, nullptr, &schedule);
+
+            // Reproducibility: re-instantiating the plan and
+            // re-applying it must give bit-identical metrics.
+            {
+                const sim::FaultSchedule again =
+                    compositePlan(rate, seed).instantiate(n);
+                std::vector<core::PreparedJob> faulted2 = clean;
+                again.applyPrepareFaults(faulted2);
+                core::PredictiveController plain2(exp.table(), f0,
+                                                  dvfs);
+                const auto m2 =
+                    engine.run(plain2, faulted2, nullptr, &again);
+                deterministic = deterministic &&
+                    m2.misses == m_plain.misses &&
+                    m2.switches == m_plain.switches &&
+                    m2.totalEnergyJoules() ==
+                        m_plain.totalEnergyJoules();
+            }
+
+            const auto &stats = guarded.stats();
+            const std::size_t degraded = stats.warningJobs +
+                stats.fallbackJobs + stats.safeModeJobs;
+            table.addRow(
+                {name, util::pct(rate),
+                 std::to_string(schedule.totalFirings()),
+                 util::pct(m_plain.missRate()),
+                 util::pct(m_guard.missRate()),
+                 util::pct(m_plain.totalEnergyJoules() / clean_energy),
+                 util::pct(m_guard.totalEnergyJoules() / clean_energy),
+                 std::to_string(degraded)});
+
+            points[r].jobs += m_plain.jobs;
+            points[r].plainMisses += m_plain.misses;
+            points[r].guardedMisses += m_guard.misses;
+            points[r].plainEnergyNorm +=
+                m_plain.totalEnergyJoules() / clean_energy;
+            points[r].guardedEnergyNorm +=
+                m_guard.totalEnergyJoules() / clean_energy;
+            points[r].benchmarks += 1;
+        }
+
+        // Persistent fault: model coefficients corrupted (x0.4) from
+        // a quarter of the way in. The watchdog should trip to the
+        // PID fallback and hold it until the stream ends.
+        {
+            sim::FaultPlan plan(exp.options().seed + 77);
+            plan.modelCorruption(
+                sim::FaultTrigger::scripted({n / 4}), 0.4);
+            const sim::FaultSchedule schedule = plan.instantiate(n);
+            std::vector<core::PreparedJob> faulted = clean;
+            schedule.applyPrepareFaults(faulted);
+
+            core::PredictiveController plain(exp.table(), f0, dvfs);
+            core::GuardedPredictiveController guarded(
+                exp.table(), f0, dvfs, exp.pidConfig());
+            const auto m_plain =
+                engine.run(plain, faulted, nullptr, &schedule);
+            const auto m_guard =
+                engine.run(guarded, faulted, nullptr, &schedule);
+            persist_plain_misses += m_plain.misses;
+            persist_guarded_misses += m_guard.misses;
+            persist_jobs += m_plain.jobs;
+            persist_fallback_jobs += guarded.stats().fallbackJobs;
+        }
+    }
+
+    table.print(std::cout);
+
+    std::cout << "\nAggregate across " << names.size()
+              << " benchmark(s):\n";
+    util::TablePrinter agg({"Rate (%)", "Miss plain (%)",
+                            "Miss guard (%)", "Energy plain (%)",
+                            "Energy guard (%)"});
+    bool guarded_below = true;
+    for (std::size_t r = 0; r < faultRates.size(); ++r) {
+        const RatePoint &p = points[r];
+        const double nb = static_cast<double>(p.benchmarks);
+        agg.addRow({util::pct(faultRates[r]),
+                    util::pct(static_cast<double>(p.plainMisses) /
+                              static_cast<double>(p.jobs)),
+                    util::pct(static_cast<double>(p.guardedMisses) /
+                              static_cast<double>(p.jobs)),
+                    util::pct(p.plainEnergyNorm / nb),
+                    util::pct(p.guardedEnergyNorm / nb)});
+        guarded_below = guarded_below &&
+            (restricted ? p.guardedMisses <= p.plainMisses
+                        : p.guardedMisses < p.plainMisses);
+    }
+    agg.print(std::cout);
+
+    std::cout << "\nPersistent model corruption (x0.4 from n/4): "
+              << "plain misses "
+              << util::pct(static_cast<double>(persist_plain_misses) /
+                           static_cast<double>(persist_jobs))
+              << "%, guarded "
+              << util::pct(
+                     static_cast<double>(persist_guarded_misses) /
+                     static_cast<double>(persist_jobs))
+              << "% (" << persist_fallback_jobs
+              << " jobs on PID fallback)\n";
+
+    bool ok = true;
+    if (!deterministic) {
+        std::cout << "FAIL: fault schedules are not reproducible "
+                     "from the seed\n";
+        ok = false;
+    }
+    if (!guarded_below) {
+        std::cout << "FAIL: guarded controller did not stay "
+                  << (restricted ? "at or " : "")
+                  << "below the plain controller's miss rate at "
+                     "every fault rate\n";
+        ok = false;
+    }
+    if (persist_guarded_misses >= persist_plain_misses) {
+        std::cout << "FAIL: guarded controller did not reduce misses "
+                     "under persistent model corruption\n";
+        ok = false;
+    }
+    if (ok)
+        std::cout << "robustness checks passed\n";
+    return ok ? 0 : 1;
+}

@@ -12,6 +12,9 @@ ctest --test-dir build --output-on-failure
 echo "== design lint"
 build/examples/example_lint_design all
 
+echo "== robustness smoke (1 benchmark, 60 jobs)"
+build/bench/bench_robustness_faults sha 60 > /dev/null
+
 for b in build/bench/*; do
     if [ -f "$b" ] && [ -x "$b" ]; then
         echo "== $b"

@@ -1,0 +1,148 @@
+#include "core/guarded_controller.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace predvfs {
+namespace core {
+
+GuardedPredictiveController::GuardedPredictiveController(
+    const power::OperatingPointTable &table, double f_nominal_hz,
+    DvfsModelConfig dvfs, PidConfig pid, WatchdogConfig watchdog,
+    GuardedConfig guarded)
+    : inner(table, f_nominal_hz, dvfs),
+      fallback(table, f_nominal_hz, dvfs, pid),
+      model(table, f_nominal_hz, dvfs),
+      dog(watchdog),
+      cfg(guarded)
+{
+    util::panicIf(cfg.historyAlpha <= 0.0 || cfg.historyAlpha > 1.0,
+                  "GuardedPredictiveController: historyAlpha outside "
+                  "(0, 1]");
+}
+
+std::size_t
+GuardedPredictiveController::safeLevel() const
+{
+    if (model.config().allowBoost && model.table().hasBoost())
+        return model.table().size() - 1;
+    return model.table().nominalIndex();
+}
+
+Decision
+GuardedPredictiveController::decideDegraded(const PreparedJob &job,
+                                            std::size_t current_level,
+                                            double budget_seconds,
+                                            bool use_fallback)
+{
+    const double f0 = model.nominalFrequencyHz();
+    const double slice_seconds =
+        static_cast<double>(job.sliceCycles) / f0;
+
+    // Distrust-but-verify: keep using the slice, floored with what
+    // jobs have actually been costing lately, with the margin opened
+    // up in proportion to how wrong predictions have been running.
+    // Once tripped, additionally floor with the PID fallback's
+    // estimate: the decision can then only miss when the slice, the
+    // recent history, and the PID all under-predict at once.
+    double predicted = job.predictedCycles / f0;
+    if (haveRecent && cfg.historyFloorFraction > 0.0)
+        predicted = std::max(
+            predicted, cfg.historyFloorFraction * recentActual);
+    if (use_fallback)
+        predicted = std::max(predicted,
+                             fallback.currentPrediction());
+    const double extra = std::min(
+        cfg.maxWarningMargin,
+        cfg.warningMarginBoost +
+            cfg.warningEwmaGain * std::max(0.0, dog.ewmaUnderError()));
+
+    const DvfsModel::Choice choice =
+        model.chooseLevel(predicted * (1.0 + extra), slice_seconds,
+                          current_level, budget_seconds);
+
+    Decision d;
+    d.level = choice.level;
+    d.predictedNominalSeconds = predicted;
+    d.overheadSeconds = slice_seconds;
+    d.overheadEnergyUnits = job.sliceEnergyUnits;
+    return d;
+}
+
+Decision
+GuardedPredictiveController::decide(const PreparedJob &job,
+                                    std::size_t current_level,
+                                    double budget_seconds)
+{
+    // Close out the previous job: a shrunken budget means it overran
+    // its deadline (jobs are periodic), so the miss signal is exact.
+    if (pendingValid) {
+        const bool missed = budget_seconds <
+            model.config().deadlineSeconds * (1.0 - 1e-12);
+        dog.observe(pendingPredicted, pendingActual, missed);
+        pendingValid = false;
+    }
+
+    const double f0 = model.nominalFrequencyHz();
+    const double slice_seconds =
+        static_cast<double>(job.sliceCycles) / f0;
+    pendingPredicted = job.predictedCycles / f0;
+
+    Decision d;
+    switch (dog.state()) {
+      case HealthState::Healthy:
+        counters.healthyJobs += 1;
+        return inner.decide(job, current_level, budget_seconds);
+      case HealthState::Warning:
+        counters.warningJobs += 1;
+        return decideDegraded(job, current_level, budget_seconds,
+                              /*use_fallback=*/false);
+      case HealthState::Tripped:
+        counters.fallbackJobs += 1;
+        return decideDegraded(job, current_level, budget_seconds,
+                              /*use_fallback=*/true);
+      case HealthState::SafeMode:
+        counters.safeModeJobs += 1;
+        d.level = safeLevel();
+        d.predictedNominalSeconds = pendingPredicted;
+        d.overheadSeconds = slice_seconds;
+        d.overheadEnergyUnits = job.sliceEnergyUnits;
+        return d;
+    }
+    util::panic("GuardedPredictiveController: bad health state");
+    return d;
+}
+
+void
+GuardedPredictiveController::observe(const PreparedJob &job,
+                                     double nominal_seconds)
+{
+    // Keep the fallback's history warm so a trip hands over a primed
+    // controller instead of a cold one.
+    fallback.observe(job, nominal_seconds);
+    pendingActual = nominal_seconds;
+    pendingValid = true;
+    recentActual = haveRecent
+        ? cfg.historyAlpha * nominal_seconds +
+            (1.0 - cfg.historyAlpha) * recentActual
+        : nominal_seconds;
+    haveRecent = true;
+}
+
+void
+GuardedPredictiveController::reset()
+{
+    inner.reset();
+    fallback.reset();
+    dog.reset();
+    counters = GuardedStats{};
+    pendingValid = false;
+    pendingPredicted = 0.0;
+    pendingActual = 0.0;
+    haveRecent = false;
+    recentActual = 0.0;
+}
+
+} // namespace core
+} // namespace predvfs

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * GuardedPredictiveController: the predictive controller wrapped in a
+ * degradation state machine driven by the PredictionWatchdog.
+ *
+ *   Healthy  — delegate verbatim to the inner PredictiveController.
+ *              With a healthy watchdog the wrapper is bit-for-bit
+ *              identical to the plain controller (zero-overhead
+ *              wrapper invariant).
+ *   Warning  — keep trusting the slice, but floor the prediction with
+ *              an EWMA of recent actual execution times and inflate
+ *              the margin in proportion to the watchdog's error EWMA.
+ *   Tripped  — the slice is persistently wrong; additionally floor
+ *              the prediction with the PID fallback's estimate (its
+ *              history is kept warm from the start), so the decision
+ *              is at least as conservative as both predictors.
+ *   SafeMode — repeated misses; run at the maximum permitted level.
+ *
+ * The slice keeps running (and keeps being charged as overhead) in
+ * every state: recovery is detected by the slice becoming accurate
+ * again, after which the watchdog re-promotes one rung per clean
+ * streak. All level changes flow through the engine's normal
+ * switch-time and switch-energy accounting.
+ *
+ * Deadline misses are detected exactly from the budget the engine
+ * passes to decide(): jobs are periodic, so a budget smaller than the
+ * configured deadline means the previous job overran. The watchdog is
+ * therefore fed at the start of each decide() with the previous job's
+ * (prediction, actual, missed) triple — in time to defend the current
+ * job. This requires the engine and the controller to agree on the
+ * deadline, which Experiment guarantees.
+ */
+
+#ifndef PREDVFS_CORE_GUARDED_CONTROLLER_HH
+#define PREDVFS_CORE_GUARDED_CONTROLLER_HH
+
+#include "core/pid_controller.hh"
+#include "core/predictive_controller.hh"
+#include "core/watchdog.hh"
+
+namespace predvfs {
+namespace core {
+
+/** Degraded-mode behaviour of the guarded controller. */
+struct GuardedConfig
+{
+    /** Extra margin in Warning, on top of the base margin. */
+    double warningMarginBoost = 0.10;
+
+    /** Adds warningEwmaGain * max(0, error EWMA) to the extra margin. */
+    double warningEwmaGain = 1.5;
+
+    /** Cap on the extra Warning margin. */
+    double maxWarningMargin = 0.50;
+
+    /** In Warning, the prediction is floored at this fraction of the
+     *  recent-actuals EWMA (0 disables the floor). */
+    double historyFloorFraction = 1.0;
+
+    /** Smoothing factor of the recent-actuals EWMA. */
+    double historyAlpha = 0.30;
+};
+
+/** Per-state job counts and ladder activity of one run. */
+struct GuardedStats
+{
+    std::size_t healthyJobs = 0;
+    std::size_t warningJobs = 0;
+    std::size_t fallbackJobs = 0;  //!< Decided by the PID fallback.
+    std::size_t safeModeJobs = 0;
+};
+
+/** Predictive controller with watchdog-driven graceful degradation. */
+class GuardedPredictiveController : public DvfsController
+{
+  public:
+    /**
+     * @param table        Operating points of the accelerator.
+     * @param f_nominal_hz Nominal clock.
+     * @param dvfs         Deadline/margin/switch parameters; must use
+     *                     the same deadline as the engine.
+     * @param pid          Fallback gains (ideally tuned, see
+     *                     PidController::tune()).
+     * @param watchdog     Trip thresholds.
+     * @param guarded      Degraded-mode behaviour.
+     */
+    GuardedPredictiveController(const power::OperatingPointTable &table,
+                                double f_nominal_hz,
+                                DvfsModelConfig dvfs,
+                                PidConfig pid = {},
+                                WatchdogConfig watchdog = {},
+                                GuardedConfig guarded = {});
+
+    std::string name() const override { return "guarded prediction"; }
+    Decision decide(const PreparedJob &job, std::size_t current_level,
+                    double budget_seconds) override;
+    void observe(const PreparedJob &job,
+                 double nominal_seconds) override;
+    void reset() override;
+
+    const PredictionWatchdog &watchdog() const { return dog; }
+    const GuardedStats &stats() const { return counters; }
+
+  private:
+    Decision decideDegraded(const PreparedJob &job,
+                            std::size_t current_level,
+                            double budget_seconds, bool use_fallback);
+    std::size_t safeLevel() const;
+
+    PredictiveController inner;
+    PidController fallback;
+    DvfsModel model;
+    PredictionWatchdog dog;
+    GuardedConfig cfg;
+    GuardedStats counters;
+
+    // Previous job's triple, fed to the watchdog at the next decide()
+    // when the budget reveals whether it missed.
+    bool pendingValid = false;
+    double pendingPredicted = 0.0;
+    double pendingActual = 0.0;
+
+    // EWMA of actual nominal execution times (the Warning floor).
+    bool haveRecent = false;
+    double recentActual = 0.0;
+};
+
+} // namespace core
+} // namespace predvfs
+
+#endif // PREDVFS_CORE_GUARDED_CONTROLLER_HH

@@ -10,11 +10,23 @@ namespace predvfs {
 namespace core {
 
 using util::fatal;
-using util::fatalIf;
 
 namespace {
 
 constexpr const char *magic = "predvfs-predictor-v1";
+constexpr const char *checksumKeyword = "checksum";
+
+/** 64-bit FNV-1a over the serialised body. */
+std::uint64_t
+fnv1a(const std::string &text)
+{
+    std::uint64_t hash = 1469598103934665603ULL;
+    for (const unsigned char c : text) {
+        hash ^= c;
+        hash *= 1099511628211ULL;
+    }
+    return hash;
+}
 
 const char *
 kindToken(rtl::FeatureKind kind)
@@ -28,7 +40,7 @@ kindToken(rtl::FeatureKind kind)
     return "?";
 }
 
-rtl::FeatureKind
+std::optional<rtl::FeatureKind>
 tokenToKind(const std::string &token)
 {
     if (token == "stc")
@@ -39,14 +51,12 @@ tokenToKind(const std::string &token)
         return rtl::FeatureKind::Siv;
     if (token == "spv")
         return rtl::FeatureKind::Spv;
-    fatal("unknown feature kind '", token, "'");
-    return rtl::FeatureKind::Stc;
+    return std::nullopt;
 }
 
-} // namespace
-
+/** Serialise everything the checksum covers. */
 void
-savePredictor(std::ostream &os, const SlicePredictor &predictor)
+writeBody(std::ostream &os, const SlicePredictor &predictor)
 {
     const auto &slice = predictor.slice();
     os << magic << "\n";
@@ -71,57 +81,133 @@ savePredictor(std::ostream &os, const SlicePredictor &predictor)
        << slice.modelEvalAreaUnits << "\n";
 }
 
-std::shared_ptr<const SlicePredictor>
-loadPredictor(std::istream &is)
+} // namespace
+
+void
+savePredictor(std::ostream &os, const SlicePredictor &predictor)
 {
+    std::ostringstream body;
+    writeBody(body, predictor);
+    const std::string text = body.str();
+    os << text << checksumKeyword << " " << std::hex
+       << std::setfill('0') << std::setw(16) << fnv1a(text) << std::dec
+       << std::setfill(' ') << "\n";
+}
+
+std::optional<std::shared_ptr<const SlicePredictor>>
+tryLoadPredictor(std::istream &is, std::string *error)
+{
+    const auto fail =
+        [error](const std::string &message)
+            -> std::optional<std::shared_ptr<const SlicePredictor>> {
+        if (error)
+            *error = message;
+        return std::nullopt;
+    };
+
+    std::ostringstream all;
+    all << is.rdbuf();
+    std::string text = all.str();
+    if (text.empty())
+        return fail("empty predictor stream");
+
+    // Magic first: a clearer diagnosis than a checksum complaint when
+    // the stream is not a predictor file at all.
+    const std::string first_line = text.substr(0, text.find('\n'));
+    if (first_line != magic)
+        return fail("not a predvfs predictor file");
+
+    // The last line must be the checksum over everything before it.
+    if (text.back() == '\n')
+        text.pop_back();
+    const std::size_t last_nl = text.rfind('\n');
+    if (last_nl == std::string::npos)
+        return fail("predictor stream has no body");
+    const std::string last_line = text.substr(last_nl + 1);
+    const std::string content = text.substr(0, last_nl + 1);
+
+    std::istringstream cs(last_line);
+    std::string keyword;
+    std::uint64_t stored = 0;
+    cs >> keyword >> std::hex >> stored;
+    if (keyword != checksumKeyword || cs.fail())
+        return fail("missing checksum line (truncated stream?)");
+    if (stored != fnv1a(content))
+        return fail("predictor checksum mismatch (stream corrupted "
+                    "or truncated)");
+
+    // From here the content is exactly what savePredictor() wrote;
+    // parse failures indicate a writer bug, and the design reader's
+    // fatal() behaviour is acceptable.
+    std::istringstream body(content);
     std::string line;
-    fatalIf(!std::getline(is, line) || line != magic,
-            "not a predvfs predictor file");
+    if (!std::getline(body, line) || line != magic)
+        return fail("not a predvfs predictor file");
 
     rtl::SliceResult slice{rtl::Design("placeholder"), {}, 0, 0, 0,
                            0.0, 0.0};
-    slice.design = rtl::readDesign(is);
+    slice.design = rtl::readDesign(body);
 
-    fatalIf(!std::getline(is, line), "missing features section");
+    if (!std::getline(body, line))
+        return fail("missing features section");
     std::istringstream fh(line);
-    std::string keyword;
     std::size_t count = 0;
     fh >> keyword >> count;
-    fatalIf(keyword != "features", "expected 'features <n>'");
+    if (keyword != "features")
+        return fail("expected 'features <n>'");
 
     for (std::size_t i = 0; i < count; ++i) {
-        fatalIf(!std::getline(is, line), "truncated feature list");
+        if (!std::getline(body, line))
+            return fail("truncated feature list");
         std::istringstream fs(line);
         std::string kind;
         rtl::FeatureSpec spec;
         fs >> keyword >> kind >> spec.fsm >> spec.src >> spec.dst >>
             spec.counter >> spec.name;
-        fatalIf(keyword != "feature", "expected 'feature' line");
-        spec.kind = tokenToKind(kind);
+        if (keyword != "feature")
+            return fail("expected 'feature' line");
+        const auto parsed_kind = tokenToKind(kind);
+        if (!parsed_kind)
+            return fail("unknown feature kind '" + kind + "'");
+        spec.kind = *parsed_kind;
         slice.features.push_back(std::move(spec));
     }
 
-    fatalIf(!std::getline(is, line), "missing model line");
+    if (!std::getline(body, line))
+        return fail("missing model line");
     std::istringstream ms(line);
     ms >> keyword;
-    fatalIf(keyword != "model", "expected 'model' line");
+    if (keyword != "model")
+        return fail("expected 'model' line");
     double intercept = 0.0;
     ms >> intercept;
     opt::Vector beta(count);
     for (std::size_t i = 0; i < count; ++i) {
-        fatalIf(!(ms >> beta[i]), "model line has too few "
-                                  "coefficients");
+        if (!(ms >> beta[i]))
+            return fail("model line has too few coefficients");
     }
 
-    fatalIf(!std::getline(is, line), "missing sliceinfo line");
+    if (!std::getline(body, line))
+        return fail("missing sliceinfo line");
     std::istringstream si(line);
     si >> keyword >> slice.keptFsms >> slice.keptCounters >>
         slice.keptBlocks >> slice.instrumentationAreaUnits >>
         slice.modelEvalAreaUnits;
-    fatalIf(keyword != "sliceinfo", "expected 'sliceinfo' line");
+    if (keyword != "sliceinfo")
+        return fail("expected 'sliceinfo' line");
 
     return std::make_shared<const SlicePredictor>(
         std::move(slice), std::move(beta), intercept);
+}
+
+std::shared_ptr<const SlicePredictor>
+loadPredictor(std::istream &is)
+{
+    std::string error;
+    auto predictor = tryLoadPredictor(is, &error);
+    if (!predictor)
+        fatal(error);
+    return *predictor;
 }
 
 } // namespace core

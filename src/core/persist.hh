@@ -4,6 +4,11 @@
  * the feature list, and the model coefficients — serialised to a
  * single text stream, so the offline flow's output can ship with a
  * driver and be reloaded without retraining.
+ *
+ * The stream ends with an FNV-1a checksum line over everything before
+ * it, so corruption or truncation between training and deployment is
+ * detected at load time instead of producing a silently-wrong
+ * predictor.
  */
 
 #ifndef PREDVFS_CORE_PERSIST_HH
@@ -11,19 +16,36 @@
 
 #include <istream>
 #include <memory>
+#include <optional>
 #include <ostream>
+#include <string>
 
 #include "core/predictor.hh"
 
 namespace predvfs {
 namespace core {
 
-/** Write @p predictor to @p os (textual, versioned). */
+/** Write @p predictor to @p os (textual, versioned, checksummed). */
 void savePredictor(std::ostream &os, const SlicePredictor &predictor);
 
 /**
+ * Try to reload a predictor saved with savePredictor().
+ *
+ * The stream's checksum is verified before anything is parsed, so a
+ * corrupted or truncated stream is reported instead of being loaded.
+ * (A stream whose checksum verifies but whose checksummed content is
+ * malformed indicates a writer bug and still fatal()s.)
+ *
+ * @param is    Stream to read (consumed to the end).
+ * @param error If non-null, receives a description of the failure.
+ * @return the predictor, or std::nullopt on a malformed stream.
+ */
+std::optional<std::shared_ptr<const SlicePredictor>>
+tryLoadPredictor(std::istream &is, std::string *error = nullptr);
+
+/**
  * Reload a predictor saved with savePredictor().
- * fatal()s on malformed input.
+ * fatal()s on malformed input (routes through tryLoadPredictor()).
  */
 std::shared_ptr<const SlicePredictor> loadPredictor(std::istream &is);
 

@@ -1,0 +1,96 @@
+#include "core/watchdog.hh"
+
+#include "util/logging.hh"
+
+namespace predvfs {
+namespace core {
+
+const char *
+healthStateName(HealthState state)
+{
+    switch (state) {
+      case HealthState::Healthy: return "healthy";
+      case HealthState::Warning: return "warning";
+      case HealthState::Tripped: return "tripped";
+      case HealthState::SafeMode: return "safe-mode";
+    }
+    return "?";
+}
+
+PredictionWatchdog::PredictionWatchdog(WatchdogConfig config)
+    : cfg(config)
+{
+    using util::panicIf;
+    panicIf(cfg.ewmaAlpha <= 0.0 || cfg.ewmaAlpha > 1.0,
+            "PredictionWatchdog: ewmaAlpha outside (0, 1]");
+    panicIf(cfg.repromoteCleanStreak == 0,
+            "PredictionWatchdog: repromoteCleanStreak must be "
+            "positive");
+}
+
+void
+PredictionWatchdog::observe(double predicted_seconds,
+                            double actual_seconds, bool missed_deadline)
+{
+    const double rel = actual_seconds > 0.0
+        ? (actual_seconds - predicted_seconds) / actual_seconds
+        : 0.0;
+    ewma = cfg.ewmaAlpha * rel + (1.0 - cfg.ewmaAlpha) * ewma;
+    underRun = rel >= cfg.streakUnderFraction ? underRun + 1 : 0;
+    missRun = missed_deadline ? missRun + 1 : 0;
+    const bool clean =
+        !missed_deadline && rel < cfg.cleanUnderFraction;
+    cleanRun = clean ? cleanRun + 1 : 0;
+    observed += 1;
+
+    const auto rung = [](HealthState s) {
+        return static_cast<int>(s);
+    };
+
+    // Escalation: worst satisfied condition wins, immediately.
+    HealthState target = current;
+    if (missRun >= cfg.safeMissStreak) {
+        target = HealthState::SafeMode;
+    } else if (rung(current) < rung(HealthState::Tripped) &&
+               (underRun >= cfg.tripUnderStreak ||
+                missRun >= cfg.tripMissStreak ||
+                ewma >= cfg.tripEwmaUnderFraction)) {
+        target = HealthState::Tripped;
+    } else if (current == HealthState::Healthy &&
+               (rel >= cfg.warnSingleUnderFraction ||
+                ewma >= cfg.warnEwmaUnderFraction ||
+                missRun >= cfg.warnMissStreak)) {
+        target = HealthState::Warning;
+    }
+
+    if (rung(target) > rung(current)) {
+        current = target;
+        cleanRun = 0;
+        ups += 1;
+        return;
+    }
+
+    // De-escalation: one rung per clean streak (hysteresis).
+    if (current != HealthState::Healthy &&
+        cleanRun >= cfg.repromoteCleanStreak) {
+        current = static_cast<HealthState>(rung(current) - 1);
+        cleanRun = 0;
+        downs += 1;
+    }
+}
+
+void
+PredictionWatchdog::reset()
+{
+    current = HealthState::Healthy;
+    ewma = 0.0;
+    underRun = 0;
+    missRun = 0;
+    cleanRun = 0;
+    observed = 0;
+    ups = 0;
+    downs = 0;
+}
+
+} // namespace core
+} // namespace predvfs

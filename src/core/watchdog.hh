@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Online prediction watchdog: decides, one job at a time, whether the
+ * slice predictor can still be trusted.
+ *
+ * The watchdog tracks an EWMA of the signed relative prediction error
+ * ((actual - predicted) / actual; positive = under-prediction, the
+ * dangerous direction) plus streak counters for significant
+ * under-predictions and deadline misses, and runs the degradation
+ * ladder
+ *
+ *   Healthy -> Warning -> Tripped -> SafeMode
+ *
+ * with hysteresis: escalation is immediate when a trip condition
+ * holds, de-escalation steps down one rung only after a configurable
+ * streak of clean jobs. The default thresholds are calibrated against
+ * the seven benchmark suites' clean runs (max under-prediction error
+ * 4.4%, max error EWMA 1.4%, max miss streak 1), so a fault-free
+ * stream never leaves Healthy — the GuardedPredictiveController's
+ * zero-overhead wrapper invariant depends on that headroom.
+ */
+
+#ifndef PREDVFS_CORE_WATCHDOG_HH
+#define PREDVFS_CORE_WATCHDOG_HH
+
+#include <cstddef>
+
+namespace predvfs {
+namespace core {
+
+/** Trust level of the predictor, ordered from best to worst. */
+enum class HealthState
+{
+    Healthy = 0,   //!< Predictions track reality; trust the slice.
+    Warning = 1,   //!< Early warning; inflate margins defensively.
+    Tripped = 2,   //!< Predictor untrustworthy; fall back to PID.
+    SafeMode = 3,  //!< Repeated misses; run at maximum frequency.
+};
+
+/** @return a short human-readable name for @p state. */
+const char *healthStateName(HealthState state);
+
+/** Trip thresholds and hysteresis of the watchdog. */
+struct WatchdogConfig
+{
+    /** EWMA smoothing factor for the signed relative error. Low on
+     *  purpose: one corrupted job must not look like systematic
+     *  drift (tripping on isolated spikes swaps a mostly-correct
+     *  predictor for the laggier PID fallback). */
+    double ewmaAlpha = 0.15;
+
+    /** @name Healthy -> Warning */
+    /// @{
+    double warnSingleUnderFraction = 0.30;  //!< One-shot under-pred.
+    double warnEwmaUnderFraction = 0.10;    //!< Sustained under-pred.
+    std::size_t warnMissStreak = 2;         //!< Consecutive misses.
+    /// @}
+
+    /** @name Warning -> Tripped (persistent-fault evidence only) */
+    /// @{
+    /** An under-prediction beyond this counts toward the streak. */
+    double streakUnderFraction = 0.15;
+    std::size_t tripUnderStreak = 3;
+    double tripEwmaUnderFraction = 0.45;
+    std::size_t tripMissStreak = 3;
+    /// @}
+
+    /** Any state -> SafeMode: consecutive deadline misses. */
+    std::size_t safeMissStreak = 5;
+
+    /** @name Re-promotion (one rung down per clean streak) */
+    /// @{
+    /** A job is clean when it met its deadline and its relative
+     *  under-prediction error stayed below this fraction. */
+    double cleanUnderFraction = 0.10;
+    std::size_t repromoteCleanStreak = 20;
+    /// @}
+};
+
+/** EWMA + streak tracker driving the degradation ladder. */
+class PredictionWatchdog
+{
+  public:
+    explicit PredictionWatchdog(WatchdogConfig config = {});
+
+    /**
+     * Feed one finished job.
+     *
+     * @param predicted_seconds The slice's execution-time estimate at
+     *        nominal frequency (even while degraded — recovery is
+     *        detected by the slice becoming accurate again).
+     * @param actual_seconds    Measured execution time at nominal.
+     * @param missed_deadline   Whether the job overran its budget.
+     */
+    void observe(double predicted_seconds, double actual_seconds,
+                 bool missed_deadline);
+
+    HealthState state() const { return current; }
+
+    /** Signed EWMA of (actual - predicted) / actual. */
+    double ewmaUnderError() const { return ewma; }
+
+    std::size_t underStreak() const { return underRun; }
+    std::size_t missStreak() const { return missRun; }
+    std::size_t cleanStreak() const { return cleanRun; }
+    std::size_t jobsObserved() const { return observed; }
+
+    /** Escalations (rung ups) and re-promotions (rung downs) so far. */
+    std::size_t escalations() const { return ups; }
+    std::size_t repromotions() const { return downs; }
+
+    const WatchdogConfig &config() const { return cfg; }
+
+    /** Forget all history and return to Healthy. */
+    void reset();
+
+  private:
+    WatchdogConfig cfg;
+    HealthState current = HealthState::Healthy;
+    double ewma = 0.0;
+    std::size_t underRun = 0;
+    std::size_t missRun = 0;
+    std::size_t cleanRun = 0;
+    std::size_t observed = 0;
+    std::size_t ups = 0;
+    std::size_t downs = 0;
+};
+
+} // namespace core
+} // namespace predvfs
+
+#endif // PREDVFS_CORE_WATCHDOG_HH

@@ -8,6 +8,7 @@
 namespace predvfs {
 namespace sim {
 
+using util::fatalIf;
 using util::panicIf;
 
 SimulationEngine::SimulationEngine(
@@ -20,12 +21,20 @@ SimulationEngine::SimulationEngine(
       energyModel(energy_params ? *energy_params
                                 : accelerator.energyParams())
 {
-    panicIf(engineConfig.deadlineSeconds <= 0.0, "bad deadline");
+    // Config mistakes here would otherwise surface as NaN-shaped
+    // metrics several layers away; reject them up front.
+    fatalIf(engineConfig.deadlineSeconds <= 0.0,
+            "SimulationEngine: deadlineSeconds must be positive, got ",
+            engineConfig.deadlineSeconds);
+    fatalIf(engineConfig.switchTimeSeconds < 0.0,
+            "SimulationEngine: switchTimeSeconds must be "
+            "non-negative, got ", engineConfig.switchTimeSeconds);
 }
 
 std::vector<core::PreparedJob>
 SimulationEngine::prepare(const std::vector<rtl::JobInput> &jobs,
-                          const core::SlicePredictor *predictor) const
+                          const core::SlicePredictor *predictor,
+                          const FaultSchedule *faults) const
 {
     rtl::Interpreter interp(accel.design());
 
@@ -45,6 +54,8 @@ SimulationEngine::prepare(const std::vector<rtl::JobInput> &jobs,
         }
         prepared.push_back(record);
     }
+    if (faults)
+        faults->applyPrepareFaults(prepared);
     return prepared;
 }
 
@@ -57,7 +68,8 @@ SimulationEngine::nominalSeconds(const core::PreparedJob &job) const
 RunMetrics
 SimulationEngine::run(core::DvfsController &controller,
                       const std::vector<core::PreparedJob> &jobs,
-                      std::vector<JobTrace> *trace) const
+                      std::vector<JobTrace> *trace,
+                      const FaultSchedule *faults) const
 {
     controller.reset();
     if (trace) {
@@ -75,7 +87,8 @@ SimulationEngine::run(core::DvfsController &controller,
     // less than a full period of budget.
     double carry_seconds = 0.0;
 
-    for (const auto &job : jobs) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const auto &job = jobs[i];
         const double budget =
             engineConfig.deadlineSeconds - carry_seconds;
         const core::Decision decision =
@@ -84,14 +97,25 @@ SimulationEngine::run(core::DvfsController &controller,
         panicIf(decision.level >= opTable.size(),
                 "controller '", controller.name(),
                 "' chose invalid level ", decision.level);
-        const auto &op = opTable[decision.level];
 
-        const bool switched = decision.level != current_level;
-        const double switch_seconds =
-            (switched && decision.chargeSwitch)
-                ? engineConfig.switchTimeSeconds
-                : 0.0;
-        current_level = decision.level;
+        // DVFS switch faults: a denied transition leaves the
+        // accelerator at its current level (the controller learns of
+        // it through current_level on the next decide()); a settle
+        // fault inflates the switch time.
+        const JobFaults *fault = faults ? &faults->at(i) : nullptr;
+        std::size_t effective_level = decision.level;
+        if (fault && fault->switchDenied &&
+            effective_level != current_level)
+            effective_level = current_level;
+        const auto &op = opTable[effective_level];
+
+        const bool switched = effective_level != current_level;
+        double switch_seconds = (switched && decision.chargeSwitch)
+            ? engineConfig.switchTimeSeconds
+            : 0.0;
+        if (fault)
+            switch_seconds *= fault->settleFactor;
+        current_level = effective_level;
 
         const double exec_seconds =
             static_cast<double>(job.cycles) / op.frequencyHz;
@@ -132,7 +156,7 @@ SimulationEngine::run(core::DvfsController &controller,
 
         if (trace) {
             JobTrace t;
-            t.level = decision.level;
+            t.level = effective_level;
             t.actualNominalSeconds = nominal_seconds;
             t.predictedNominalSeconds =
                 decision.predictedNominalSeconds;

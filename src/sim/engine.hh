@@ -20,6 +20,7 @@
 #include "core/predictor.hh"
 #include "power/energy_model.hh"
 #include "power/operating_points.hh"
+#include "sim/fault.hh"
 #include "sim/metrics.hh"
 
 namespace predvfs {
@@ -54,10 +55,18 @@ class SimulationEngine
      *
      * The returned records keep pointers into @p jobs; the caller must
      * keep the job vector alive while the records are used.
+     *
+     * @param faults Optional fault schedule; its prepare-stage effects
+     *        (readout corruption, slice stalls, model corruption, OOD
+     *        spikes) are applied to the returned records. Sweeping
+     *        fault plans over a fixed stream is cheaper via
+     *        FaultSchedule::applyPrepareFaults() on a copy of a
+     *        fault-free prepared stream.
      */
     std::vector<core::PreparedJob>
     prepare(const std::vector<rtl::JobInput> &jobs,
-            const core::SlicePredictor *predictor = nullptr) const;
+            const core::SlicePredictor *predictor = nullptr,
+            const FaultSchedule *faults = nullptr) const;
 
     /**
      * Replay a prepared stream under @p controller.
@@ -65,10 +74,14 @@ class SimulationEngine
      * @param controller The DVFS policy (reset() is called first).
      * @param jobs       Prepared records.
      * @param trace      Optional per-job trace output.
+     * @param faults     Optional fault schedule; its replay-stage
+     *        effects (denied switches, inflated settle times) are
+     *        applied per job index, identically for every controller.
      */
     RunMetrics run(core::DvfsController &controller,
                    const std::vector<core::PreparedJob> &jobs,
-                   std::vector<JobTrace> *trace = nullptr) const;
+                   std::vector<JobTrace> *trace = nullptr,
+                   const FaultSchedule *faults = nullptr) const;
 
     const accel::Accelerator &accelerator() const { return accel; }
     const power::OperatingPointTable &table() const { return opTable; }

@@ -1,6 +1,7 @@
 #include "sim/experiment.hh"
 
 #include "accel/registry.hh"
+#include "core/guarded_controller.hh"
 #include "core/oracle_controller.hh"
 #include "core/predictive_controller.hh"
 #include "core/table_controller.hh"
@@ -20,6 +21,7 @@ schemeName(Scheme scheme)
       case Scheme::PredictionNoOverhead: return "prediction w/o overhead";
       case Scheme::PredictionBoost: return "prediction w/ boost";
       case Scheme::Oracle: return "oracle";
+      case Scheme::GuardedPrediction: return "guarded prediction";
     }
     return "?";
 }
@@ -156,6 +158,9 @@ Experiment::makeController(Scheme scheme)
       case Scheme::Oracle:
         return std::make_unique<core::OracleController>(
             *opTable, f0, dvfs);
+      case Scheme::GuardedPrediction:
+        return std::make_unique<core::GuardedPredictiveController>(
+            *opTable, f0, dvfs, pidConfig());
     }
     util::panic("unknown scheme");
     return nullptr;

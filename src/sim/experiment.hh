@@ -36,6 +36,7 @@ enum class Scheme
     PredictionNoOverhead,  //!< Figure 13: overheads removed.
     PredictionBoost,       //!< Figure 14: 1.08 V boost allowed.
     Oracle,                //!< Figure 13: perfect knowledge.
+    GuardedPrediction,     //!< Prediction + watchdog degradation.
 };
 
 /** @return the scheme label used in the paper's figures. */

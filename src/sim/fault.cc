@@ -1,0 +1,296 @@
+#include "sim/fault.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace predvfs {
+namespace sim {
+
+using util::panicIf;
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::SliceReadout: return "slice-readout";
+      case FaultKind::SliceStall: return "slice-stall";
+      case FaultKind::ModelCorruption: return "model-corruption";
+      case FaultKind::SwitchDenied: return "switch-denied";
+      case FaultKind::SwitchSettle: return "switch-settle";
+      case FaultKind::OodSpike: return "ood-spike";
+    }
+    return "?";
+}
+
+FaultTrigger
+FaultTrigger::probabilistic(double p)
+{
+    panicIf(p < 0.0 || p > 1.0, "FaultTrigger: probability ", p,
+            " outside [0, 1]");
+    FaultTrigger t;
+    t.mode = Mode::Probabilistic;
+    t.probability = p;
+    return t;
+}
+
+FaultTrigger
+FaultTrigger::every(std::size_t interval, std::size_t phase)
+{
+    panicIf(interval == 0, "FaultTrigger: interval must be positive");
+    FaultTrigger t;
+    t.mode = Mode::Interval;
+    t.interval = interval;
+    t.phase = phase;
+    return t;
+}
+
+FaultTrigger
+FaultTrigger::scripted(std::vector<std::size_t> jobs)
+{
+    FaultTrigger t;
+    t.mode = Mode::Scripted;
+    t.jobs = std::move(jobs);
+    return t;
+}
+
+bool
+JobFaults::any() const
+{
+    return stuckReadout || readoutFlipBit != noBitFlip ||
+        sliceStallFactor != 1.0 || modelScale != 1.0 ||
+        oodScale != 1.0 || switchDenied || settleFactor != 1.0;
+}
+
+const JobFaults &
+FaultSchedule::at(std::size_t job) const
+{
+    panicIf(job >= perJob.size(), "FaultSchedule::at: job ", job,
+            " past schedule of ", perJob.size());
+    return perJob[job];
+}
+
+std::size_t
+FaultSchedule::firings(FaultKind kind) const
+{
+    return counts[static_cast<std::size_t>(kind)];
+}
+
+std::size_t
+FaultSchedule::totalFirings() const
+{
+    std::size_t total = 0;
+    for (const auto c : counts)
+        total += c;
+    return total;
+}
+
+std::size_t
+FaultSchedule::faultedJobs() const
+{
+    std::size_t n = 0;
+    for (const auto &f : perJob)
+        n += f.any() ? 1 : 0;
+    return n;
+}
+
+void
+FaultSchedule::applyPrepareFaults(
+    std::vector<core::PreparedJob> &jobs) const
+{
+    panicIf(jobs.size() > perJob.size(),
+            "FaultSchedule: prepared stream of ", jobs.size(),
+            " jobs exceeds schedule of ", perJob.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const JobFaults &f = perJob[i];
+        core::PreparedJob &job = jobs[i];
+        // Model corruption first: a readout fault on the same job
+        // supersedes whatever the (corrupted) model would report.
+        if (f.modelScale != 1.0)
+            job.predictedCycles *= f.modelScale;
+        // Corrupted readouts clamp to one cycle: the register still
+        // holds *a* value, and downstream code treats a non-positive
+        // prediction as "no predictor attached".
+        if (f.stuckReadout) {
+            job.predictedCycles = 1.0;
+        } else if (f.readoutFlipBit != noBitFlip) {
+            const auto raw = static_cast<std::uint64_t>(
+                std::max(0.0, job.predictedCycles));
+            job.predictedCycles = std::max(
+                1.0, static_cast<double>(
+                         raw ^ (std::uint64_t{1} << f.readoutFlipBit)));
+        }
+        if (f.sliceStallFactor != 1.0)
+            job.sliceCycles = static_cast<std::uint64_t>(
+                static_cast<double>(job.sliceCycles) *
+                f.sliceStallFactor);
+        if (f.oodScale != 1.0) {
+            job.cycles = static_cast<std::uint64_t>(
+                static_cast<double>(job.cycles) * f.oodScale);
+            job.energyUnits *= f.oodScale;
+        }
+    }
+}
+
+std::string
+FaultSchedule::summary() const
+{
+    std::ostringstream os;
+    os << faultedJobs() << "/" << perJob.size() << " jobs faulted (";
+    bool first = true;
+    for (std::size_t k = 0; k < numFaultKinds; ++k) {
+        if (counts[k] == 0)
+            continue;
+        if (!first)
+            os << ", ";
+        os << faultKindName(static_cast<FaultKind>(k)) << " x"
+           << counts[k];
+        first = false;
+    }
+    if (first)
+        os << "none";
+    os << ")";
+    return os.str();
+}
+
+FaultPlan::FaultPlan(std::uint64_t seed) : rngSeed(seed)
+{
+}
+
+FaultPlan &
+FaultPlan::add(FaultModel model)
+{
+    panicIf(model.magnitude <= 0.0,
+            "FaultPlan: non-positive magnitude for ",
+            faultKindName(model.kind));
+    faultModels.push_back(std::move(model));
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::sliceReadout(FaultTrigger trigger)
+{
+    return add({FaultKind::SliceReadout, std::move(trigger), 1.0});
+}
+
+FaultPlan &
+FaultPlan::sliceStall(FaultTrigger trigger, double factor)
+{
+    return add({FaultKind::SliceStall, std::move(trigger), factor});
+}
+
+FaultPlan &
+FaultPlan::modelCorruption(FaultTrigger trigger, double scale)
+{
+    return add({FaultKind::ModelCorruption, std::move(trigger), scale});
+}
+
+FaultPlan &
+FaultPlan::switchDenied(FaultTrigger trigger)
+{
+    return add({FaultKind::SwitchDenied, std::move(trigger), 1.0});
+}
+
+FaultPlan &
+FaultPlan::switchSettle(FaultTrigger trigger, double factor)
+{
+    return add({FaultKind::SwitchSettle, std::move(trigger), factor});
+}
+
+FaultPlan &
+FaultPlan::oodSpike(FaultTrigger trigger, double factor)
+{
+    return add({FaultKind::OodSpike, std::move(trigger), factor});
+}
+
+namespace {
+
+/** Highest flippable bit of the slice's cycle readout register. A
+ *  26-bit register (67M cycles) covers every benchmark's range. */
+constexpr std::int64_t readoutBits = 26;
+
+void
+applyFiring(JobFaults &f, const FaultModel &model, util::Rng &rng)
+{
+    switch (model.kind) {
+      case FaultKind::SliceReadout:
+        // Half the firings are a stuck-at-zero readout, half flip one
+        // random bit of the predicted cycle count.
+        if (rng.bernoulli(0.5)) {
+            f.stuckReadout = true;
+        } else {
+            f.readoutFlipBit = static_cast<std::uint32_t>(
+                rng.uniformInt(0, readoutBits - 1));
+        }
+        break;
+      case FaultKind::SliceStall:
+        f.sliceStallFactor *= model.magnitude;
+        break;
+      case FaultKind::ModelCorruption:
+        // Latched by the caller; nothing per-firing to resolve.
+        break;
+      case FaultKind::SwitchDenied:
+        f.switchDenied = true;
+        break;
+      case FaultKind::SwitchSettle:
+        f.settleFactor *= model.magnitude;
+        break;
+      case FaultKind::OodSpike:
+        f.oodScale *= model.magnitude;
+        break;
+    }
+}
+
+bool
+fires(const FaultTrigger &trigger, std::size_t job, util::Rng &rng)
+{
+    switch (trigger.mode) {
+      case FaultTrigger::Mode::Probabilistic:
+        // Always draw, so the stream position is a function of the
+        // job index alone (controller-independent determinism).
+        return rng.bernoulli(trigger.probability);
+      case FaultTrigger::Mode::Interval:
+        return job >= trigger.phase &&
+            (job - trigger.phase) % trigger.interval == 0;
+      case FaultTrigger::Mode::Scripted:
+        return std::find(trigger.jobs.begin(), trigger.jobs.end(),
+                         job) != trigger.jobs.end();
+    }
+    return false;
+}
+
+} // namespace
+
+FaultSchedule
+FaultPlan::instantiate(std::size_t num_jobs) const
+{
+    FaultSchedule schedule;
+    schedule.perJob.assign(num_jobs, JobFaults{});
+
+    util::Rng base(rngSeed);
+    for (std::size_t m = 0; m < faultModels.size(); ++m) {
+        const FaultModel &model = faultModels[m];
+        util::Rng rng = base.split(m);
+        bool corrupted = false;  // ModelCorruption latch.
+        for (std::size_t job = 0; job < num_jobs; ++job) {
+            const bool fired = fires(model.trigger, job, rng);
+            if (fired) {
+                applyFiring(schedule.perJob[job], model, rng);
+                schedule
+                    .counts[static_cast<std::size_t>(model.kind)] += 1;
+            }
+            if (model.kind == FaultKind::ModelCorruption) {
+                corrupted = corrupted || fired;
+                if (corrupted)
+                    schedule.perJob[job].modelScale *= model.magnitude;
+            }
+        }
+    }
+    return schedule;
+}
+
+} // namespace sim
+} // namespace predvfs

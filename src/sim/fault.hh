@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Deterministic fault injection for the simulation pipeline.
+ *
+ * A FaultPlan is a list of fault models, each paired with a trigger
+ * schedule (seeded-probabilistic, fixed-interval, or scripted job
+ * indices). instantiate() resolves the plan into a FaultSchedule — a
+ * per-job table of concrete fault effects that is a pure function of
+ * (seed, ordered model list, job count), never of controller
+ * behaviour. The same schedule can therefore be replayed against any
+ * controller, stressing every scheme with bit-identical faults.
+ *
+ * Fault models cover the failure scenarios the predictive runtime is
+ * blind to:
+ *  - SliceReadout: the slice's feature readout is corrupted for one
+ *    job (a stuck-at-zero readout, or a single bit flip in the
+ *    predicted cycle count).
+ *  - SliceStall: the slice takes far longer than its budget (latency
+ *    multiplied), eating into the job's deadline.
+ *  - ModelCorruption: the model coefficients are corrupted from the
+ *    first firing onward — every later prediction is scaled, the
+ *    systematic-drift failure mode.
+ *  - SwitchDenied: the DVFS transition is rejected; the accelerator
+ *    is stuck at its current level for this job.
+ *  - SwitchSettle: the DVFS settle time is inflated by a factor for
+ *    this job's switch (marginal voltage regulator).
+ *  - OodSpike: the job itself is far larger than anything in the
+ *    training distribution (actual cycles multiplied); the slice
+ *    still reports the in-distribution estimate.
+ */
+
+#ifndef PREDVFS_SIM_FAULT_HH
+#define PREDVFS_SIM_FAULT_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/controller.hh"
+
+namespace predvfs {
+namespace sim {
+
+/** The injectable fault classes. */
+enum class FaultKind
+{
+    SliceReadout,     //!< Corrupt the slice's predicted cycle count.
+    SliceStall,       //!< Multiply the slice latency.
+    ModelCorruption,  //!< Scale all predictions from first firing on.
+    SwitchDenied,     //!< DVFS transition rejected for this job.
+    SwitchSettle,     //!< DVFS settle time multiplied for this job.
+    OodSpike,         //!< Job cycles multiplied (out-of-distribution).
+};
+
+/** Number of FaultKind values (for per-kind counters). */
+constexpr std::size_t numFaultKinds = 6;
+
+/** @return a short human-readable name for @p kind. */
+const char *faultKindName(FaultKind kind);
+
+/** When a fault model fires. */
+struct FaultTrigger
+{
+    enum class Mode
+    {
+        Probabilistic,  //!< Independent Bernoulli draw per job.
+        Interval,       //!< Every interval-th job, starting at phase.
+        Scripted,       //!< Explicit job indices.
+    };
+
+    Mode mode = Mode::Probabilistic;
+    double probability = 0.0;       //!< Probabilistic: per-job rate.
+    std::size_t interval = 0;       //!< Interval: period in jobs.
+    std::size_t phase = 0;          //!< Interval: first firing index.
+    std::vector<std::size_t> jobs;  //!< Scripted: firing indices.
+
+    static FaultTrigger probabilistic(double p);
+    static FaultTrigger every(std::size_t interval, std::size_t phase = 0);
+    static FaultTrigger scripted(std::vector<std::size_t> jobs);
+};
+
+/** One fault model: what breaks, when, and how hard. */
+struct FaultModel
+{
+    FaultKind kind = FaultKind::SliceReadout;
+    FaultTrigger trigger;
+
+    /**
+     * Kind-specific strength:
+     *  - SliceStall:      slice latency multiplier (e.g. 20).
+     *  - ModelCorruption: prediction scale from onset (e.g. 0.4).
+     *  - SwitchSettle:    settle time multiplier (e.g. 10).
+     *  - OodSpike:        job cycle multiplier (e.g. 3).
+     *  - SliceReadout / SwitchDenied: unused.
+     */
+    double magnitude = 1.0;
+};
+
+/** Sentinel: no readout bit flip scheduled for this job. */
+constexpr std::uint32_t noBitFlip = 0xffffffffu;
+
+/** Concrete fault effects resolved for one job. */
+struct JobFaults
+{
+    // Prepare-stage effects (mutate the prepared record).
+    bool stuckReadout = false;        //!< Predicted cycles forced to 0.
+    std::uint32_t readoutFlipBit = noBitFlip;  //!< Bit to flip, if any.
+    double sliceStallFactor = 1.0;    //!< Multiplies sliceCycles.
+    double modelScale = 1.0;          //!< Multiplies predictedCycles.
+    double oodScale = 1.0;            //!< Multiplies cycles/energy.
+
+    // Replay-stage effects (consumed by SimulationEngine::run).
+    bool switchDenied = false;        //!< Level change rejected.
+    double settleFactor = 1.0;        //!< Multiplies the switch time.
+
+    /** @return true if any effect deviates from the fault-free value. */
+    bool any() const;
+};
+
+/**
+ * A plan resolved against a fixed job count: per-job effects plus
+ * firing counts. Instantiated by FaultPlan::instantiate(); apply the
+ * prepare-stage effects with applyPrepareFaults() and pass the
+ * schedule to SimulationEngine::run() for the replay-stage effects.
+ */
+class FaultSchedule
+{
+  public:
+    /** @return effects for @p job (must be < numJobs()). */
+    const JobFaults &at(std::size_t job) const;
+
+    std::size_t numJobs() const { return perJob.size(); }
+
+    /** @return firings of one fault kind across the schedule. */
+    std::size_t firings(FaultKind kind) const;
+
+    /** @return total firings across all kinds. */
+    std::size_t totalFirings() const;
+
+    /** @return number of jobs with at least one effect. */
+    std::size_t faultedJobs() const;
+
+    /**
+     * Mutate prepared records in place: readout corruption, slice
+     * stalls, model corruption, and OOD spikes. @p jobs must have
+     * been prepared fault-free and must not exceed numJobs().
+     */
+    void applyPrepareFaults(std::vector<core::PreparedJob> &jobs) const;
+
+    /** One-line description, e.g. for bench output. */
+    std::string summary() const;
+
+  private:
+    friend class FaultPlan;
+    std::vector<JobFaults> perJob;
+    std::array<std::size_t, numFaultKinds> counts{};
+};
+
+/** A seeded, ordered list of fault models. */
+class FaultPlan
+{
+  public:
+    explicit FaultPlan(std::uint64_t seed = 0);
+
+    /** Append a fault model; returns *this for chaining. */
+    FaultPlan &add(FaultModel model);
+
+    /** @name Convenience builders for the common models */
+    /// @{
+    FaultPlan &sliceReadout(FaultTrigger trigger);
+    FaultPlan &sliceStall(FaultTrigger trigger, double factor = 20.0);
+    FaultPlan &modelCorruption(FaultTrigger trigger, double scale = 0.4);
+    FaultPlan &switchDenied(FaultTrigger trigger);
+    FaultPlan &switchSettle(FaultTrigger trigger, double factor = 10.0);
+    FaultPlan &oodSpike(FaultTrigger trigger, double factor = 3.0);
+    /// @}
+
+    /**
+     * Resolve the plan over @p num_jobs jobs. Deterministic: the
+     * result depends only on the seed, the order models were added,
+     * and @p num_jobs.
+     */
+    FaultSchedule instantiate(std::size_t num_jobs) const;
+
+    std::uint64_t seed() const { return rngSeed; }
+    const std::vector<FaultModel> &models() const { return faultModels; }
+
+  private:
+    std::uint64_t rngSeed;
+    std::vector<FaultModel> faultModels;
+};
+
+} // namespace sim
+} // namespace predvfs
+
+#endif // PREDVFS_SIM_FAULT_HH

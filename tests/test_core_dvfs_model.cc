@@ -167,6 +167,46 @@ TEST(DvfsModel, ShrunkBudgetForcesHigherLevel)
     EXPECT_GT(squeezed.level, full.level);
 }
 
+TEST(DvfsModel, BudgetSmallerThanOverheadsIsInfeasible)
+{
+    Fixture f;
+    const auto m = f.model();
+    // The slice alone eats the whole remaining budget: no frequency
+    // can help, so the choice is infeasible and runs fastest.
+    const auto choice = m.chooseLevel(1e-3, 5e-3, 5, 4e-3);
+    EXPECT_FALSE(choice.feasible);
+    EXPECT_EQ(choice.level, f.table.nominalIndex());
+}
+
+TEST(DvfsModel, NonPositiveBudgetUsesConfiguredDeadline)
+{
+    Fixture f;
+    const auto m = f.model();
+    const double predicted = 6e-3;
+    const auto by_default = m.chooseLevel(predicted, 0.0, 5);
+    const auto negative = m.chooseLevel(predicted, 0.0, 5, -1.0);
+    const auto explicit_full =
+        m.chooseLevel(predicted, 0.0, 5, 1.0 / 60.0);
+    EXPECT_EQ(negative.level, by_default.level);
+    EXPECT_EQ(negative.feasible, by_default.feasible);
+    EXPECT_EQ(explicit_full.level, by_default.level);
+}
+
+TEST(DvfsModel, BoostRequestWithoutBoostLevelFallsBack)
+{
+    Fixture f;
+    power::OperatingPointTable plain =
+        power::OperatingPointTable::asic(f.vf, /*with_boost=*/false);
+    DvfsModelConfig config;
+    config.allowBoost = true;  // Requested, but the table has none.
+    DvfsModel m(plain, 250e6, config);
+    // Infeasible even at nominal: must settle for the fastest
+    // regular level instead of crashing on a missing boost entry.
+    const auto choice = m.chooseLevel(20e-3, 0.0, 3);
+    EXPECT_FALSE(choice.feasible);
+    EXPECT_EQ(choice.level, plain.nominalIndex());
+}
+
 TEST(DvfsModel, LevelsMonotoneInPrediction)
 {
     Fixture f;

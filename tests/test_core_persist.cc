@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Predictor persistence hardening: the checksum line detects
+ * corruption and truncation, tryLoadPredictor() reports failures
+ * instead of dying, and the fatal loadPredictor() wrapper still dies
+ * with a useful message.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "accel/registry.hh"
+#include "core/flow.hh"
+#include "core/persist.hh"
+#include "workload/suite.hh"
+
+using namespace predvfs;
+
+namespace {
+
+/** One trained predictor, serialised once for the whole suite. */
+class PersistFixture : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        acc = accel::makeAccelerator("sha");
+        work = new workload::BenchmarkWorkload(
+            workload::makeWorkload(*acc));
+        flow = new core::FlowResult(
+            core::buildPredictor(acc->design(), work->train));
+        std::ostringstream os;
+        core::savePredictor(os, *flow->predictor);
+        saved = new std::string(os.str());
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete saved;
+        delete flow;
+        delete work;
+        acc.reset();
+    }
+
+    static std::shared_ptr<const accel::Accelerator> acc;
+    static workload::BenchmarkWorkload *work;
+    static core::FlowResult *flow;
+    static std::string *saved;
+};
+
+std::shared_ptr<const accel::Accelerator> PersistFixture::acc;
+workload::BenchmarkWorkload *PersistFixture::work = nullptr;
+core::FlowResult *PersistFixture::flow = nullptr;
+std::string *PersistFixture::saved = nullptr;
+
+} // namespace
+
+TEST_F(PersistFixture, SavedStreamEndsWithChecksumLine)
+{
+    EXPECT_NE(saved->find("\nchecksum "), std::string::npos);
+}
+
+TEST_F(PersistFixture, TryLoadRoundTrips)
+{
+    std::istringstream is(*saved);
+    std::string error;
+    const auto loaded = core::tryLoadPredictor(is, &error);
+    ASSERT_TRUE(loaded.has_value()) << error;
+    EXPECT_TRUE(error.empty());
+    const auto &reloaded = **loaded;
+    ASSERT_EQ(reloaded.numFeatures(), flow->predictor->numFeatures());
+    for (std::size_t j = 0; j < 10; ++j) {
+        const auto original = flow->predictor->run(work->test[j]);
+        const auto copy = reloaded.run(work->test[j]);
+        EXPECT_EQ(copy.sliceCycles, original.sliceCycles);
+        EXPECT_DOUBLE_EQ(copy.predictedCycles,
+                         original.predictedCycles);
+    }
+}
+
+TEST_F(PersistFixture, CorruptedByteIsReported)
+{
+    std::string bad = *saved;
+    const std::size_t pos = bad.size() / 2;
+    bad[pos] = bad[pos] == 'x' ? 'y' : 'x';
+    std::istringstream is(bad);
+    std::string error;
+    const auto loaded = core::tryLoadPredictor(is, &error);
+    EXPECT_FALSE(loaded.has_value());
+    EXPECT_NE(error.find("checksum"), std::string::npos) << error;
+}
+
+TEST_F(PersistFixture, TruncatedStreamIsReported)
+{
+    std::string cut = saved->substr(0, saved->size() / 2);
+    std::istringstream is(cut);
+    std::string error;
+    const auto loaded = core::tryLoadPredictor(is, &error);
+    EXPECT_FALSE(loaded.has_value());
+    EXPECT_FALSE(error.empty());
+}
+
+TEST_F(PersistFixture, DroppedChecksumLineIsReported)
+{
+    // Strip only the trailing checksum line: the body is intact, but
+    // an un-checksummed stream must still be rejected.
+    const std::size_t pos = saved->rfind("checksum ");
+    ASSERT_NE(pos, std::string::npos);
+    std::istringstream is(saved->substr(0, pos));
+    std::string error;
+    EXPECT_FALSE(core::tryLoadPredictor(is, &error).has_value());
+    EXPECT_FALSE(error.empty());
+}
+
+TEST_F(PersistFixture, WrongMagicIsReported)
+{
+    std::istringstream is("not-a-predictor\nfoo bar\n");
+    std::string error;
+    const auto loaded = core::tryLoadPredictor(is, &error);
+    EXPECT_FALSE(loaded.has_value());
+    EXPECT_NE(error.find("not a predvfs"), std::string::npos);
+}
+
+TEST_F(PersistFixture, EmptyStreamIsReported)
+{
+    std::istringstream is("");
+    std::string error;
+    EXPECT_FALSE(core::tryLoadPredictor(is).has_value());
+    EXPECT_FALSE(core::tryLoadPredictor(is, &error).has_value());
+    EXPECT_FALSE(error.empty());
+}
+
+TEST_F(PersistFixture, NullErrorPointerIsAccepted)
+{
+    std::string bad = *saved;
+    bad[bad.size() / 2] ^= 0x1;
+    std::istringstream is(bad);
+    EXPECT_FALSE(core::tryLoadPredictor(is, nullptr).has_value());
+}
+
+TEST_F(PersistFixture, FatalLoaderDiesOnCorruption)
+{
+    std::string bad = *saved;
+    bad[bad.size() / 2] ^= 0x1;
+    EXPECT_DEATH(
+        {
+            std::istringstream is(bad);
+            core::loadPredictor(is);
+        },
+        "checksum");
+}

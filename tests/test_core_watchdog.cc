@@ -1,0 +1,160 @@
+/**
+ * @file
+ * PredictionWatchdog: stays Healthy on accurate streams, escalates on
+ * single spikes / streaks / sustained drift / miss runs, and steps
+ * back down the ladder one rung per clean streak.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/watchdog.hh"
+
+using namespace predvfs;
+using core::HealthState;
+using core::PredictionWatchdog;
+using core::WatchdogConfig;
+
+namespace {
+
+/** Feed @p n accurate, deadline-meeting jobs. */
+void
+feedClean(PredictionWatchdog &dog, std::size_t n)
+{
+    for (std::size_t j = 0; j < n; ++j)
+        dog.observe(10e-3, 10e-3, false);
+}
+
+} // namespace
+
+TEST(Watchdog, StaysHealthyOnAccuratePredictions)
+{
+    PredictionWatchdog dog;
+    for (std::size_t j = 0; j < 500; ++j) {
+        // Small errors of both signs, well inside the calibrated
+        // clean-run envelope (max under-prediction 4.4%).
+        const double rel = (j % 2 == 0) ? 0.04 : -0.04;
+        dog.observe(10e-3 * (1.0 - rel), 10e-3, false);
+        ASSERT_EQ(dog.state(), HealthState::Healthy) << "job " << j;
+    }
+    EXPECT_EQ(dog.escalations(), 0u);
+    EXPECT_EQ(dog.jobsObserved(), 500u);
+}
+
+TEST(Watchdog, OverPredictionNeverEscalates)
+{
+    PredictionWatchdog dog;
+    for (std::size_t j = 0; j < 100; ++j)
+        dog.observe(20e-3, 10e-3, false);  // 2x over-prediction.
+    EXPECT_EQ(dog.state(), HealthState::Healthy);
+    EXPECT_LT(dog.ewmaUnderError(), 0.0);  // Signed EWMA.
+}
+
+TEST(Watchdog, SingleLargeUnderPredictionWarns)
+{
+    PredictionWatchdog dog;
+    feedClean(dog, 10);
+    dog.observe(5e-3, 10e-3, false);  // rel = 0.5 >= warn threshold.
+    EXPECT_EQ(dog.state(), HealthState::Warning);
+    EXPECT_EQ(dog.escalations(), 1u);
+}
+
+TEST(Watchdog, UnderPredictionStreakTrips)
+{
+    PredictionWatchdog dog;
+    const WatchdogConfig &cfg = dog.config();
+    // Each job under-predicted by 20%: above the streak threshold but
+    // below the single-shot Warning threshold.
+    ASSERT_GT(0.20, cfg.streakUnderFraction);
+    ASSERT_LT(0.20, cfg.warnSingleUnderFraction);
+    for (std::size_t j = 0; j < cfg.tripUnderStreak; ++j)
+        dog.observe(8e-3, 10e-3, false);
+    EXPECT_EQ(dog.state(), HealthState::Tripped);
+    EXPECT_EQ(dog.underStreak(), cfg.tripUnderStreak);
+}
+
+TEST(Watchdog, SustainedDriftTripsViaEwma)
+{
+    WatchdogConfig cfg;
+    cfg.tripUnderStreak = 1000;  // Force the EWMA to be the tripwire.
+    cfg.tripMissStreak = 1000;
+    PredictionWatchdog dog(cfg);
+    for (std::size_t j = 0; j < 50; ++j)
+        dog.observe(4e-3, 10e-3, false);  // rel = 0.6, persistent.
+    EXPECT_EQ(dog.state(), HealthState::Tripped);
+    EXPECT_GT(dog.ewmaUnderError(), cfg.tripEwmaUnderFraction);
+}
+
+TEST(Watchdog, MissStreakClimbsToSafeMode)
+{
+    PredictionWatchdog dog;
+    const WatchdogConfig &cfg = dog.config();
+    feedClean(dog, 5);
+    std::size_t misses = 0;
+    // Accurate predictions but missed deadlines (e.g. switch faults).
+    while (dog.state() != HealthState::SafeMode && misses < 100) {
+        dog.observe(10e-3, 10e-3, true);
+        misses += 1;
+    }
+    EXPECT_EQ(dog.state(), HealthState::SafeMode);
+    EXPECT_EQ(misses, cfg.safeMissStreak);
+}
+
+TEST(Watchdog, RepromotionStepsDownOneRungPerCleanStreak)
+{
+    PredictionWatchdog dog;
+    const std::size_t streak = dog.config().repromoteCleanStreak;
+    // Trip it with an under-prediction streak.
+    for (std::size_t j = 0; j < dog.config().tripUnderStreak; ++j)
+        dog.observe(5e-3, 10e-3, false);
+    ASSERT_EQ(dog.state(), HealthState::Tripped);
+
+    feedClean(dog, streak);
+    EXPECT_EQ(dog.state(), HealthState::Warning);
+    feedClean(dog, streak);
+    EXPECT_EQ(dog.state(), HealthState::Healthy);
+    EXPECT_EQ(dog.repromotions(), 2u);
+
+    // And it stays Healthy from there.
+    feedClean(dog, streak);
+    EXPECT_EQ(dog.state(), HealthState::Healthy);
+}
+
+TEST(Watchdog, DirtyJobResetsCleanStreak)
+{
+    PredictionWatchdog dog;
+    const std::size_t streak = dog.config().repromoteCleanStreak;
+    dog.observe(5e-3, 10e-3, false);  // -> Warning.
+    ASSERT_EQ(dog.state(), HealthState::Warning);
+    feedClean(dog, streak - 1);
+    dog.observe(8e-3, 10e-3, false);  // Under-predicted: not clean.
+    feedClean(dog, streak - 1);
+    EXPECT_EQ(dog.state(), HealthState::Warning);  // Streak broken.
+    feedClean(dog, 1);
+    EXPECT_EQ(dog.state(), HealthState::Healthy);
+}
+
+TEST(Watchdog, ResetForgetsEverything)
+{
+    PredictionWatchdog dog;
+    for (std::size_t j = 0; j < 10; ++j)
+        dog.observe(1e-3, 10e-3, true);
+    ASSERT_NE(dog.state(), HealthState::Healthy);
+    dog.reset();
+    EXPECT_EQ(dog.state(), HealthState::Healthy);
+    EXPECT_EQ(dog.jobsObserved(), 0u);
+    EXPECT_EQ(dog.escalations(), 0u);
+    EXPECT_DOUBLE_EQ(dog.ewmaUnderError(), 0.0);
+    EXPECT_EQ(dog.missStreak(), 0u);
+}
+
+TEST(Watchdog, StateNamesAreStable)
+{
+    EXPECT_STREQ(core::healthStateName(HealthState::Healthy),
+                 "healthy");
+    EXPECT_STREQ(core::healthStateName(HealthState::Warning),
+                 "warning");
+    EXPECT_STREQ(core::healthStateName(HealthState::Tripped),
+                 "tripped");
+    EXPECT_STREQ(core::healthStateName(HealthState::SafeMode),
+                 "safe-mode");
+}

@@ -52,6 +52,27 @@ class PinnedController : public core::DvfsController
 
 } // namespace
 
+TEST(EngineDeath, RejectsNonPositiveDeadline)
+{
+    Fixture f;
+    EngineConfig bad;
+    bad.deadlineSeconds = 0.0;
+    EXPECT_DEATH(SimulationEngine(*f.acc, f.table, bad),
+                 "deadlineSeconds");
+    bad.deadlineSeconds = -1.0 / 60.0;
+    EXPECT_DEATH(SimulationEngine(*f.acc, f.table, bad),
+                 "deadlineSeconds");
+}
+
+TEST(EngineDeath, RejectsNegativeSwitchTime)
+{
+    Fixture f;
+    EngineConfig bad;
+    bad.switchTimeSeconds = -100e-6;
+    EXPECT_DEATH(SimulationEngine(*f.acc, f.table, bad),
+                 "switchTimeSeconds");
+}
+
 TEST(Engine, PrepareMatchesInterpretation)
 {
     Fixture f;

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Fault-injection framework: schedules are a pure function of the
+ * seed, trigger modes fire where specified, prepare-stage effects
+ * mutate the records as documented, and replay-stage effects (denied
+ * switches, inflated settle times) are honoured by the engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/registry.hh"
+#include "sim/engine.hh"
+#include "sim/fault.hh"
+#include "workload/suite.hh"
+
+using namespace predvfs;
+using namespace predvfs::sim;
+
+namespace {
+
+bool
+sameEffects(const JobFaults &a, const JobFaults &b)
+{
+    return a.stuckReadout == b.stuckReadout &&
+        a.readoutFlipBit == b.readoutFlipBit &&
+        a.sliceStallFactor == b.sliceStallFactor &&
+        a.modelScale == b.modelScale && a.oodScale == b.oodScale &&
+        a.switchDenied == b.switchDenied &&
+        a.settleFactor == b.settleFactor;
+}
+
+FaultPlan
+compositePlan(std::uint64_t seed)
+{
+    FaultPlan plan(seed);
+    plan.sliceReadout(FaultTrigger::probabilistic(0.05))
+        .switchDenied(FaultTrigger::probabilistic(0.02))
+        .oodSpike(FaultTrigger::probabilistic(0.01), 3.0);
+    return plan;
+}
+
+core::PreparedJob
+madeJob(std::uint64_t cycles, std::uint64_t slice_cycles,
+        double predicted)
+{
+    core::PreparedJob job;
+    job.cycles = cycles;
+    job.energyUnits = static_cast<double>(cycles);
+    job.sliceCycles = slice_cycles;
+    job.sliceEnergyUnits = static_cast<double>(slice_cycles);
+    job.predictedCycles = predicted;
+    return job;
+}
+
+} // namespace
+
+TEST(FaultPlan, SameSeedSameSchedule)
+{
+    const FaultSchedule a = compositePlan(42).instantiate(500);
+    const FaultSchedule b = compositePlan(42).instantiate(500);
+    ASSERT_EQ(a.numJobs(), b.numJobs());
+    for (std::size_t j = 0; j < a.numJobs(); ++j)
+        EXPECT_TRUE(sameEffects(a.at(j), b.at(j))) << "job " << j;
+    EXPECT_EQ(a.totalFirings(), b.totalFirings());
+    EXPECT_EQ(a.faultedJobs(), b.faultedJobs());
+}
+
+TEST(FaultPlan, DifferentSeedsDiffer)
+{
+    const FaultSchedule a = compositePlan(42).instantiate(500);
+    const FaultSchedule b = compositePlan(43).instantiate(500);
+    bool differs = false;
+    for (std::size_t j = 0; j < a.numJobs() && !differs; ++j)
+        differs = !sameEffects(a.at(j), b.at(j));
+    EXPECT_TRUE(differs);
+}
+
+TEST(FaultPlan, ProbabilisticRateRoughlyHonoured)
+{
+    FaultPlan plan(7);
+    plan.switchDenied(FaultTrigger::probabilistic(0.10));
+    const FaultSchedule s = plan.instantiate(2000);
+    const auto fired = s.firings(FaultKind::SwitchDenied);
+    EXPECT_GT(fired, 130u);  // ~200 expected; 6-sigma bounds.
+    EXPECT_LT(fired, 280u);
+}
+
+TEST(FaultPlan, IntervalFiresAtPhase)
+{
+    FaultPlan plan;
+    plan.sliceStall(FaultTrigger::every(10, 3), 20.0);
+    const FaultSchedule s = plan.instantiate(35);
+    EXPECT_EQ(s.firings(FaultKind::SliceStall), 4u);  // 3,13,23,33.
+    for (std::size_t j = 0; j < 35; ++j) {
+        const bool expect_fired = j >= 3 && (j - 3) % 10 == 0;
+        EXPECT_EQ(s.at(j).sliceStallFactor != 1.0, expect_fired)
+            << "job " << j;
+    }
+}
+
+TEST(FaultPlan, ScriptedFiresExactly)
+{
+    FaultPlan plan;
+    plan.switchSettle(FaultTrigger::scripted({5, 7}), 10.0);
+    const FaultSchedule s = plan.instantiate(10);
+    EXPECT_EQ(s.firings(FaultKind::SwitchSettle), 2u);
+    for (std::size_t j = 0; j < 10; ++j)
+        EXPECT_EQ(s.at(j).settleFactor != 1.0, j == 5 || j == 7);
+}
+
+TEST(FaultPlan, ModelCorruptionLatchesFromFirstFiring)
+{
+    FaultPlan plan;
+    plan.modelCorruption(FaultTrigger::scripted({4}), 0.5);
+    const FaultSchedule s = plan.instantiate(8);
+    for (std::size_t j = 0; j < 4; ++j)
+        EXPECT_DOUBLE_EQ(s.at(j).modelScale, 1.0) << "job " << j;
+    for (std::size_t j = 4; j < 8; ++j)
+        EXPECT_DOUBLE_EQ(s.at(j).modelScale, 0.5) << "job " << j;
+}
+
+TEST(FaultSchedule, ApplyPrepareFaultsMutatesRecords)
+{
+    FaultPlan plan(11);
+    plan.sliceStall(FaultTrigger::scripted({0}), 20.0)
+        .oodSpike(FaultTrigger::scripted({1}), 3.0)
+        .sliceReadout(FaultTrigger::scripted({2}))
+        .modelCorruption(FaultTrigger::scripted({3}), 0.5);
+    const FaultSchedule s = plan.instantiate(5);
+
+    std::vector<core::PreparedJob> jobs;
+    for (int j = 0; j < 5; ++j)
+        jobs.push_back(madeJob(100000, 400, 90000.0));
+    s.applyPrepareFaults(jobs);
+
+    // Job 0: slice stalled 20x, everything else untouched.
+    EXPECT_EQ(jobs[0].sliceCycles, 8000u);
+    EXPECT_EQ(jobs[0].cycles, 100000u);
+    EXPECT_DOUBLE_EQ(jobs[0].predictedCycles, 90000.0);
+    // Job 1: actual cycles and energy spiked 3x, prediction intact.
+    EXPECT_EQ(jobs[1].cycles, 300000u);
+    EXPECT_DOUBLE_EQ(jobs[1].energyUnits, 300000.0);
+    EXPECT_DOUBLE_EQ(jobs[1].predictedCycles, 90000.0);
+    // Job 2: corrupted readout — changed, but clamped positive so the
+    // controller still sees "a" predictor value.
+    EXPECT_NE(jobs[2].predictedCycles, 90000.0);
+    EXPECT_GE(jobs[2].predictedCycles, 1.0);
+    // Job 3 onward: model corruption scales the prediction.
+    EXPECT_DOUBLE_EQ(jobs[3].predictedCycles, 45000.0);
+    EXPECT_DOUBLE_EQ(jobs[4].predictedCycles, 45000.0);
+}
+
+TEST(FaultScheduleDeath, OutOfRangeAccessPanics)
+{
+    const FaultSchedule s = FaultPlan().instantiate(3);
+    EXPECT_DEATH(s.at(3), "past schedule");
+    FaultPlan bad;
+    EXPECT_DEATH(bad.sliceReadout(FaultTrigger::probabilistic(1.5)),
+                 "outside");
+}
+
+namespace {
+
+struct EngineFixture
+{
+    std::shared_ptr<const accel::Accelerator> acc =
+        accel::makeAccelerator("sha");
+    workload::BenchmarkWorkload work = workload::makeWorkload(*acc);
+    power::VfModel vf =
+        power::VfModel::asic65nm(acc->nominalFrequencyHz());
+    power::OperatingPointTable table =
+        power::OperatingPointTable::asic(vf, true);
+    SimulationEngine engine{*acc, table, EngineConfig{}};
+};
+
+/** Forces a specific level for every job. */
+class PinnedController : public core::DvfsController
+{
+  public:
+    explicit PinnedController(std::size_t level) : level(level) {}
+    std::string name() const override { return "pinned"; }
+    core::Decision
+    decide(const core::PreparedJob &, std::size_t, double) override
+    {
+        core::Decision d;
+        d.level = level;
+        return d;
+    }
+
+  private:
+    std::size_t level;
+};
+
+} // namespace
+
+TEST(FaultReplay, DeniedSwitchPinsLevel)
+{
+    EngineFixture f;
+    const auto prepared = f.engine.prepare(f.work.test);
+    FaultPlan plan;
+    plan.switchDenied(FaultTrigger::scripted({0}));
+    const FaultSchedule s = plan.instantiate(prepared.size());
+
+    PinnedController pinned(2);
+    std::vector<JobTrace> trace;
+    const auto metrics = f.engine.run(pinned, prepared, &trace, &s);
+    // Job 0's requested switch is denied: it runs at the starting
+    // nominal level; job 1 then performs the (single) switch.
+    EXPECT_EQ(trace[0].level, f.table.nominalIndex());
+    EXPECT_EQ(trace[1].level, 2u);
+    EXPECT_EQ(metrics.switches, 1u);
+}
+
+TEST(FaultReplay, InflatedSettleChargesMoreOverhead)
+{
+    EngineFixture f;
+    const auto prepared = f.engine.prepare(f.work.test);
+    FaultPlan plan;
+    plan.switchSettle(FaultTrigger::scripted({0}), 10.0);
+    const FaultSchedule s = plan.instantiate(prepared.size());
+
+    PinnedController a(2), b(2);
+    const auto clean = f.engine.run(a, prepared);
+    const auto slow = f.engine.run(b, prepared, nullptr, &s);
+    // Same schedule of levels; the only difference is 9 extra settle
+    // times on job 0's switch.
+    EXPECT_EQ(slow.switches, clean.switches);
+    EXPECT_NEAR(slow.overheadSeconds - clean.overheadSeconds,
+                9.0 * f.engine.config().switchTimeSeconds, 1e-12);
+}
+
+TEST(FaultReplay, ScheduleIsControllerIndependent)
+{
+    EngineFixture f;
+    const auto prepared = f.engine.prepare(f.work.test);
+    const FaultSchedule s =
+        compositePlan(99).instantiate(prepared.size());
+
+    // Running one controller before another must not perturb the
+    // faults the second one sees.
+    PinnedController first(1), again(1);
+    PinnedController other(4);
+    const auto m1 = f.engine.run(first, prepared, nullptr, &s);
+    f.engine.run(other, prepared, nullptr, &s);
+    const auto m2 = f.engine.run(again, prepared, nullptr, &s);
+    EXPECT_EQ(m1.misses, m2.misses);
+    EXPECT_EQ(m1.switches, m2.switches);
+    EXPECT_EQ(m1.totalEnergyJoules(), m2.totalEnergyJoules());
+}
