@@ -1,0 +1,388 @@
+/**
+ * @file
+ * Performance-regression harness for the simulation pipeline.
+ *
+ * For every benchmark accelerator, at fixed seeds, this times:
+ *
+ *  - interp:  interpretation throughput at the layer the expression
+ *             compiler accelerates — every compiled root expression of
+ *             the design (guards, counter ranges, implicit latencies)
+ *             evaluated over the real test-stream field vectors, tree
+ *             walker (Expr::eval) vs compiled evaluator
+ *             (CompiledDesign::evalProgram);
+ *  - job_sim: end-to-end job simulation over the test stream,
+ *             tree-walking reference (runReference) vs the compiled
+ *             engine (run). This additionally contains the FSM event
+ *             scheduling and the bit-exact per-visit energy
+ *             accumulation both paths share, so its speedup is
+ *             structurally smaller than the expression-level one;
+ *  - prepare: the seed-style prepare loop (tree-walk full design +
+ *             instrumented slice + prediction per job) vs the engine's
+ *             cached-interpreter prepare, serial and on a
+ *             deterministic pool with 1/2/4 workers;
+ *  - train:   the full offline flow (buildPredictor);
+ *  - run:     controller replay of the prepared stream.
+ *
+ * Results go to BENCH_perf.json (path overridable via argv[1]):
+ * ns/eval, ns/item, items/s, and speedups against the tree-walk
+ * serial baseline. The process exits non-zero if the compiled
+ * evaluator is slower than the tree walker on any benchmark — at the
+ * expression level or end-to-end — so CI catches a perf regression
+ * the way it catches a failing test. Wall-clock speedups from extra
+ * prepare workers require real cores; speedup_4t is still reported
+ * against the seed baseline on any machine, with hardware_threads
+ * recorded so readers can judge the scaling numbers.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "accel/registry.hh"
+#include "core/flow.hh"
+#include "core/predictive_controller.hh"
+#include "power/operating_points.hh"
+#include "power/vf_model.hh"
+#include "rtl/compile.hh"
+#include "rtl/instrument.hh"
+#include "rtl/interpreter.hh"
+#include "sim/engine.hh"
+#include "util/logging.hh"
+#include "util/thread_pool.hh"
+#include "workload/suite.hh"
+
+using namespace predvfs;
+
+namespace {
+
+/** Best-of-N wall time of fn(), in seconds. */
+template <typename Fn>
+double
+timeBest(int reps, Fn &&fn)
+{
+    double best = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < reps; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        fn();
+        const auto t1 = std::chrono::steady_clock::now();
+        best = std::min(
+            best, std::chrono::duration<double>(t1 - t0).count());
+    }
+    return best;
+}
+
+struct BenchResult
+{
+    std::string name;
+    std::size_t jobs = 0;
+    std::size_t items = 0;
+    std::size_t rootExprs = 0;
+
+    double exprTreeNsPerEval = 0.0;
+    double exprCompiledNsPerEval = 0.0;
+    double exprCompiledEvalsPerSec = 0.0;
+    double exprSpeedup = 0.0;
+
+    double jobTreeNsPerItem = 0.0;
+    double jobCompiledNsPerItem = 0.0;
+    double jobCompiledItemsPerSec = 0.0;
+    double jobSpeedup = 0.0;
+
+    double prepBaselineNsPerJob = 0.0;
+    double prepSerialNsPerJob = 0.0;
+    double prepPool2NsPerJob = 0.0;
+    double prepPool4NsPerJob = 0.0;
+    double prepSpeedupSerial = 0.0;
+    double prepSpeedup4t = 0.0;
+
+    double trainSeconds = 0.0;
+    double runNsPerJob = 0.0;
+
+    std::uint64_t checksum = 0;  //!< Defeats dead-code elimination.
+};
+
+BenchResult
+benchOne(const std::string &name)
+{
+    BenchResult res;
+    res.name = name;
+
+    const auto acc = accel::makeAccelerator(name);
+    const rtl::Design &design = acc->design();
+    const workload::BenchmarkWorkload work = workload::makeWorkload(*acc);
+    const std::vector<rtl::JobInput> &jobs = work.test;
+
+    res.jobs = jobs.size();
+    for (const rtl::JobInput &job : jobs)
+        res.items += job.items.size();
+
+    // --- train: the whole offline flow, once (it is deterministic).
+    core::FlowResult flow;
+    res.trainSeconds = timeBest(1, [&] {
+        flow = core::buildPredictor(design, work.train, {});
+    });
+
+    // --- interp: every compiled root expression of the design over
+    // the real test-stream field vectors, tree vs compiled.
+    const rtl::Interpreter interp(design);
+    const rtl::CompiledDesign &comp = *interp.compiled();
+    const auto &roots = comp.rootExprs();
+    res.rootExprs = roots.size();
+    std::vector<std::int64_t> scratch(
+        std::max<std::size_t>(comp.scratchSize(), 1));
+
+    std::vector<const rtl::WorkItem *> stream;
+    for (const rtl::JobInput &job : jobs)
+        for (const rtl::WorkItem &item : job.items)
+            stream.push_back(&item);
+
+    std::uint64_t sum = 0;
+    const double expr_tree_s = timeBest(3, [&] {
+        for (const rtl::WorkItem *item : stream)
+            for (const auto &root : roots)
+                sum += static_cast<std::uint64_t>(
+                    root.first->eval(item->fields));
+    });
+    const double expr_comp_s = timeBest(3, [&] {
+        for (const rtl::WorkItem *item : stream)
+            for (const auto &root : roots)
+                sum += static_cast<std::uint64_t>(comp.evalProgram(
+                    root.second, item->fields.data(), scratch.data()));
+    });
+
+    const double evals_d =
+        static_cast<double>(stream.size() * roots.size());
+    res.exprTreeNsPerEval = expr_tree_s * 1e9 / evals_d;
+    res.exprCompiledNsPerEval = expr_comp_s * 1e9 / evals_d;
+    res.exprCompiledEvalsPerSec = evals_d / expr_comp_s;
+    res.exprSpeedup = expr_tree_s / expr_comp_s;
+
+    // --- job_sim: end-to-end tree walk vs compiled over the stream.
+    const double tree_s = timeBest(3, [&] {
+        for (const rtl::JobInput &job : jobs)
+            sum += interp.runReference(job).cycles;
+    });
+    const double compiled_s = timeBest(3, [&] {
+        for (const rtl::JobInput &job : jobs)
+            sum += interp.run(job).cycles;
+    });
+    res.checksum = sum;
+
+    const double items_d = static_cast<double>(res.items);
+    res.jobTreeNsPerItem = tree_s * 1e9 / items_d;
+    res.jobCompiledNsPerItem = compiled_s * 1e9 / items_d;
+    res.jobCompiledItemsPerSec = items_d / compiled_s;
+    res.jobSpeedup = tree_s / compiled_s;
+
+    // --- prepare: seed-style baseline (tree walk everywhere) vs the
+    // engine path. The baseline interpreters are built once, outside
+    // the timed region: the seed constructed its Interpreter inside
+    // prepare(), but that constructor only topo-sorted the FSMs —
+    // charging today's compiling constructor to the baseline would
+    // overstate it.
+    power::VfModel vf =
+        power::VfModel::asic65nm(acc->nominalFrequencyHz());
+    power::OperatingPointTable table =
+        power::OperatingPointTable::asic(vf, true);
+    sim::SimulationEngine engine(*acc, table, {});
+    const core::SlicePredictor *pred = flow.predictor.get();
+
+    const rtl::SliceResult &slice = pred->slice();
+    rtl::Interpreter full_tree(design);
+    rtl::Interpreter slice_tree(slice.design);
+    rtl::Instrumenter instr(slice.design, slice.features);
+    const double baseline_s = timeBest(3, [&] {
+        std::vector<core::PreparedJob> prepared;
+        prepared.reserve(jobs.size());
+        for (const rtl::JobInput &job : jobs) {
+            core::PreparedJob record;
+            record.input = &job;
+            const rtl::JobResult r = full_tree.runReference(job);
+            record.cycles = r.cycles;
+            record.energyUnits = r.energyUnits;
+            instr.reset();
+            const rtl::JobResult s =
+                slice_tree.runReference(job, &instr);
+            record.sliceCycles = s.cycles;
+            record.sliceEnergyUnits = s.energyUnits;
+            record.predictedCycles = pred->predictCycles(instr.values());
+            prepared.push_back(record);
+        }
+        sum += prepared.back().cycles;
+    });
+
+    std::vector<core::PreparedJob> prepared;
+    const double serial_s = timeBest(3, [&] {
+        prepared = engine.prepare(jobs, pred);
+    });
+    util::ThreadPool pool2(2);
+    const double pool2_s = timeBest(3, [&] {
+        prepared = engine.prepare(jobs, pred, nullptr, &pool2);
+    });
+    util::ThreadPool pool4(4);
+    const double pool4_s = timeBest(3, [&] {
+        prepared = engine.prepare(jobs, pred, nullptr, &pool4);
+    });
+
+    const double jobs_d = static_cast<double>(res.jobs);
+    res.prepBaselineNsPerJob = baseline_s * 1e9 / jobs_d;
+    res.prepSerialNsPerJob = serial_s * 1e9 / jobs_d;
+    res.prepPool2NsPerJob = pool2_s * 1e9 / jobs_d;
+    res.prepPool4NsPerJob = pool4_s * 1e9 / jobs_d;
+    res.prepSpeedupSerial = baseline_s / serial_s;
+    res.prepSpeedup4t = baseline_s / pool4_s;
+
+    // --- run: controller replay of the prepared stream.
+    core::DvfsModelConfig dvfs;
+    const double run_s = timeBest(5, [&] {
+        core::PredictiveController controller(
+            table, acc->nominalFrequencyHz(), dvfs);
+        sum += engine.run(controller, prepared).switches;
+    });
+    res.runNsPerJob = run_s * 1e9 / jobs_d;
+    res.checksum ^= sum;
+
+    return res;
+}
+
+double
+geomean(const std::vector<BenchResult> &results,
+        double BenchResult::*field)
+{
+    double log_sum = 0.0;
+    for (const BenchResult &r : results)
+        log_sum += std::log(r.*field);
+    return std::exp(log_sum / static_cast<double>(results.size()));
+}
+
+void
+writeJson(std::ostream &os, const std::vector<BenchResult> &results,
+          double interp_gm, double job_gm, double prep_gm, bool pass)
+{
+    os.precision(6);
+    os << "{\n"
+       << "  \"generated_by\": \"bench_perf_pipeline\",\n"
+       << "  \"hardware_threads\": "
+       << util::ThreadPool::hardwareWorkers() << ",\n"
+       << "  \"benchmarks\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const BenchResult &r = results[i];
+        os << "    {\n"
+           << "      \"name\": \"" << r.name << "\",\n"
+           << "      \"jobs\": " << r.jobs << ",\n"
+           << "      \"items\": " << r.items << ",\n"
+           << "      \"root_exprs\": " << r.rootExprs << ",\n"
+           << "      \"interp\": {\n"
+           << "        \"tree_ns_per_eval\": " << r.exprTreeNsPerEval
+           << ",\n"
+           << "        \"compiled_ns_per_eval\": "
+           << r.exprCompiledNsPerEval << ",\n"
+           << "        \"compiled_evals_per_s\": "
+           << r.exprCompiledEvalsPerSec << ",\n"
+           << "        \"speedup_vs_tree\": " << r.exprSpeedup
+           << "\n      },\n"
+           << "      \"job_sim\": {\n"
+           << "        \"tree_ns_per_item\": " << r.jobTreeNsPerItem
+           << ",\n"
+           << "        \"compiled_ns_per_item\": "
+           << r.jobCompiledNsPerItem << ",\n"
+           << "        \"compiled_items_per_s\": "
+           << r.jobCompiledItemsPerSec << ",\n"
+           << "        \"speedup_vs_tree\": " << r.jobSpeedup
+           << "\n      },\n"
+           << "      \"prepare\": {\n"
+           << "        \"baseline_ns_per_job\": "
+           << r.prepBaselineNsPerJob << ",\n"
+           << "        \"serial_ns_per_job\": " << r.prepSerialNsPerJob
+           << ",\n"
+           << "        \"pool2_ns_per_job\": " << r.prepPool2NsPerJob
+           << ",\n"
+           << "        \"pool4_ns_per_job\": " << r.prepPool4NsPerJob
+           << ",\n"
+           << "        \"speedup_serial_vs_baseline\": "
+           << r.prepSpeedupSerial << ",\n"
+           << "        \"speedup_4t_vs_baseline\": " << r.prepSpeedup4t
+           << "\n      },\n"
+           << "      \"train_seconds\": " << r.trainSeconds << ",\n"
+           << "      \"run_ns_per_job\": " << r.runNsPerJob << ",\n"
+           << "      \"checksum\": " << r.checksum << "\n"
+           << "    }" << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n"
+       << "  \"summary\": {\n"
+       << "    \"geomean_interp_speedup\": " << interp_gm << ",\n"
+       << "    \"geomean_job_sim_speedup\": " << job_gm << ",\n"
+       << "    \"geomean_prepare_speedup_4t\": " << prep_gm << ",\n"
+       << "    \"target_interp_speedup\": 5.0,\n"
+       << "    \"target_prepare_speedup_4t\": 2.5,\n"
+       << "    \"pass\": " << (pass ? "true" : "false") << "\n"
+       << "  }\n"
+       << "}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    util::setVerbose(false);
+    const std::string out_path =
+        argc > 1 ? argv[1] : "BENCH_perf.json";
+
+    std::vector<BenchResult> results;
+    for (const std::string &name : accel::benchmarkNames()) {
+        std::cout << "== " << name << std::flush;
+        results.push_back(benchOne(name));
+        const BenchResult &r = results.back();
+        std::cout << ": interp " << r.exprSpeedup << "x, job_sim "
+                  << r.jobSpeedup << "x, prepare(serial) "
+                  << r.prepSpeedupSerial << "x, prepare(4t) "
+                  << r.prepSpeedup4t << "x\n";
+    }
+
+    const double interp_gm = geomean(results, &BenchResult::exprSpeedup);
+    const double job_gm = geomean(results, &BenchResult::jobSpeedup);
+    const double prep_gm =
+        geomean(results, &BenchResult::prepSpeedup4t);
+
+    // Hard regression gate: compiled evaluation slower than the tree
+    // walk on any benchmark — at either level — fails the harness.
+    bool regression = false;
+    for (const BenchResult &r : results) {
+        if (r.exprSpeedup < 1.0) {
+            std::cerr << "REGRESSION: compiled expression eval slower "
+                      << "than tree walk on " << r.name << " ("
+                      << r.exprSpeedup << "x)\n";
+            regression = true;
+        }
+        if (r.jobSpeedup < 1.0) {
+            std::cerr << "REGRESSION: compiled job simulation slower "
+                      << "than tree walk on " << r.name << " ("
+                      << r.jobSpeedup << "x)\n";
+            regression = true;
+        }
+    }
+    const bool pass =
+        !regression && interp_gm >= 5.0 && prep_gm >= 2.5;
+
+    std::ofstream out(out_path);
+    if (!out) {
+        std::cerr << "cannot open " << out_path << " for writing\n";
+        return 1;
+    }
+    writeJson(out, results, interp_gm, job_gm, prep_gm, pass);
+
+    std::cout << "geomean interp speedup: " << interp_gm
+              << "x (target 5x)\n"
+              << "geomean job_sim speedup: " << job_gm << "x\n"
+              << "geomean prepare speedup (4 workers vs baseline): "
+              << prep_gm << "x (target 2.5x)\n"
+              << "wrote " << out_path << "\n";
+    return regression ? 1 : 0;
+}

@@ -15,7 +15,13 @@ build/examples/example_lint_design all
 echo "== robustness smoke (1 benchmark, 60 jobs)"
 build/bench/bench_robustness_faults sha 60 > /dev/null
 
+echo "== perf regression harness"
+build/bench/bench_perf_pipeline BENCH_perf.json
+
 for b in build/bench/*; do
+    case "$b" in
+        */bench_perf_pipeline) continue ;;  # ran above, with output
+    esac
     if [ -f "$b" ] && [ -x "$b" ]; then
         echo "== $b"
         "$b" > /dev/null

@@ -33,14 +33,27 @@ SlicePredictor::predictCycles(const rtl::FeatureValues &values) const
 SliceRun
 SlicePredictor::run(const rtl::JobInput &job) const
 {
-    sliceInstr.reset();
-    const rtl::JobResult result = sliceInterp.run(job, &sliceInstr);
+    return runWith(job, sliceInstr);
+}
+
+SliceRun
+SlicePredictor::runWith(const rtl::JobInput &job,
+                        rtl::Instrumenter &instr) const
+{
+    instr.reset();
+    const rtl::JobResult result = sliceInterp.run(job, &instr);
 
     SliceRun out;
     out.sliceCycles = result.cycles;
     out.sliceEnergyUnits = result.energyUnits;
-    out.predictedCycles = predictCycles(sliceInstr.values());
+    out.predictedCycles = predictCycles(instr.values());
     return out;
+}
+
+rtl::Instrumenter
+SlicePredictor::makeInstrumenter() const
+{
+    return rtl::Instrumenter(sliceResult.design, sliceResult.features);
 }
 
 } // namespace core

@@ -51,6 +51,18 @@ class SlicePredictor
     /** Run the slice on a job's input and predict execution time. */
     SliceRun run(const rtl::JobInput &job) const;
 
+    /**
+     * Like run(), but record into a caller-supplied instrumenter
+     * (reset on entry). The shared member instrumenter is the only
+     * mutable state run() touches, so this is the reentrant entry
+     * point parallel prepare uses with one instrumenter per worker.
+     */
+    SliceRun runWith(const rtl::JobInput &job,
+                     rtl::Instrumenter &instr) const;
+
+    /** Build an instrumenter for this slice (per-thread scratch). */
+    rtl::Instrumenter makeInstrumenter() const;
+
     /** Predict from an already-recorded feature vector. */
     double predictCycles(const rtl::FeatureValues &values) const;
 

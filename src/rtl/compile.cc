@@ -1,0 +1,1211 @@
+#include "rtl/compile.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.hh"
+
+namespace predvfs {
+namespace rtl {
+
+using util::panic;
+using util::panicIf;
+
+namespace {
+
+/** Map a tree operator to its bytecode opcode (non-leaf ops only). */
+BOp
+lowerOp(Op op)
+{
+    switch (op) {
+      case Op::Add: return BOp::Add;
+      case Op::Sub: return BOp::Sub;
+      case Op::Mul: return BOp::Mul;
+      case Op::Div: return BOp::Div;
+      case Op::Mod: return BOp::Mod;
+      case Op::Min: return BOp::Min;
+      case Op::Max: return BOp::Max;
+      case Op::Eq: return BOp::Eq;
+      case Op::Ne: return BOp::Ne;
+      case Op::Lt: return BOp::Lt;
+      case Op::Le: return BOp::Le;
+      case Op::Gt: return BOp::Gt;
+      case Op::Ge: return BOp::Ge;
+      case Op::And: return BOp::And;
+      case Op::Or: return BOp::Or;
+      case Op::Not: return BOp::Not;
+      case Op::Select: return BOp::Select;
+      default:
+        panic("lowerOp: leaf op ", static_cast<int>(op));
+    }
+    return BOp::Add;
+}
+
+/**
+ * Run one straight-line program. @p sp_base and @p locals must have
+ * room for the program's declared stack depth and local count; the
+ * result is the single value left on the stack.
+ */
+std::int64_t
+execProgram(const BInstr *code, std::size_t n, const std::int64_t *pool,
+            const std::int64_t *fields, std::int64_t *sp_base,
+            std::int64_t *locals)
+{
+    std::int64_t *sp = sp_base;
+    for (std::size_t i = 0; i < n; ++i) {
+        const BInstr in = code[i];
+        switch (in.op) {
+          case BOp::PushConst: *sp++ = pool[in.arg]; break;
+          case BOp::PushField: *sp++ = fields[in.arg]; break;
+          case BOp::LoadLocal: *sp++ = locals[in.arg]; break;
+          case BOp::StoreLocal: locals[in.arg] = sp[-1]; break;
+          case BOp::Add: sp[-2] = sp[-2] + sp[-1]; --sp; break;
+          case BOp::Sub: sp[-2] = sp[-2] - sp[-1]; --sp; break;
+          case BOp::Mul: sp[-2] = sp[-2] * sp[-1]; --sp; break;
+          case BOp::Div: sp[-2] = safeDiv(sp[-2], sp[-1]); --sp; break;
+          case BOp::Mod: sp[-2] = safeMod(sp[-2], sp[-1]); --sp; break;
+          case BOp::Min:
+            sp[-2] = sp[-2] < sp[-1] ? sp[-2] : sp[-1];
+            --sp;
+            break;
+          case BOp::Max:
+            sp[-2] = sp[-2] > sp[-1] ? sp[-2] : sp[-1];
+            --sp;
+            break;
+          case BOp::Eq: sp[-2] = sp[-2] == sp[-1] ? 1 : 0; --sp; break;
+          case BOp::Ne: sp[-2] = sp[-2] != sp[-1] ? 1 : 0; --sp; break;
+          case BOp::Lt: sp[-2] = sp[-2] < sp[-1] ? 1 : 0; --sp; break;
+          case BOp::Le: sp[-2] = sp[-2] <= sp[-1] ? 1 : 0; --sp; break;
+          case BOp::Gt: sp[-2] = sp[-2] > sp[-1] ? 1 : 0; --sp; break;
+          case BOp::Ge: sp[-2] = sp[-2] >= sp[-1] ? 1 : 0; --sp; break;
+          case BOp::And:
+            sp[-2] = (sp[-2] != 0 && sp[-1] != 0) ? 1 : 0;
+            --sp;
+            break;
+          case BOp::Or:
+            sp[-2] = (sp[-2] != 0 || sp[-1] != 0) ? 1 : 0;
+            --sp;
+            break;
+          case BOp::Not: sp[-1] = sp[-1] == 0 ? 1 : 0; break;
+          case BOp::Select:
+            sp[-3] = sp[-3] != 0 ? sp[-2] : sp[-1];
+            sp -= 2;
+            break;
+        }
+    }
+    return sp[-1];
+}
+
+/** Wrapping int64 helpers: reassociating an affine expression must
+ *  agree with the tree's op-by-op result modulo 2^64, without tripping
+ *  signed-overflow UB on the way. */
+std::int64_t
+addWrap(std::int64_t a, std::int64_t b)
+{
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) +
+                                     static_cast<std::uint64_t>(b));
+}
+
+std::int64_t
+mulWrap(std::int64_t a, std::int64_t b)
+{
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) *
+                                     static_cast<std::uint64_t>(b));
+}
+
+/** Builder-side mirror of CompiledDesign::CTerm (which is private). */
+struct ATerm
+{
+    std::int64_t a = 0;
+    std::int64_t b = 0;
+    std::int64_t z = 0;
+    FieldId field = -1;
+    BOp cmp = BOp::Eq;
+    int kind = 0;  //!< 0 linear, 1 cond, 2 cond-compare.
+};
+
+bool
+isCmpOp(Op op)
+{
+    switch (op) {
+      case Op::Eq: case Op::Ne: case Op::Lt: case Op::Le:
+      case Op::Gt: case Op::Ge:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/**
+ * Extract `imm + sum(terms)` from a tree of Add/Sub/Mul-by-constant
+ * nodes, where a term is a scaled field or a constant-armed Select
+ * (`field ? a : b`, or `field cmp c ? a : b`). These are the only ops
+ * that distribute over the collected scale, so the reassociated sum
+ * equals the tree's evaluation mod 2^64.
+ */
+bool
+collectAffine(const Expr &e, std::int64_t scale, std::int64_t &imm,
+              std::vector<ATerm> &terms)
+{
+    static const std::vector<std::int64_t> kNoFields;
+    if (e.isConstant()) {
+        imm = addWrap(imm, mulWrap(scale, e.eval(kNoFields)));
+        return true;
+    }
+    switch (e.op()) {
+      case Op::Field: {
+        ATerm t;
+        t.a = scale;
+        t.field = e.fieldId();
+        terms.push_back(t);
+        return true;
+      }
+      case Op::Add:
+        return collectAffine(*e.args()[0], scale, imm, terms) &&
+               collectAffine(*e.args()[1], scale, imm, terms);
+      case Op::Sub:
+        return collectAffine(*e.args()[0], scale, imm, terms) &&
+               collectAffine(*e.args()[1], mulWrap(scale, -1), imm,
+                             terms);
+      case Op::Mul:
+        if (e.args()[0]->isConstant()) {
+            return collectAffine(
+                *e.args()[1],
+                mulWrap(scale, e.args()[0]->eval(kNoFields)), imm,
+                terms);
+        }
+        if (e.args()[1]->isConstant()) {
+            return collectAffine(
+                *e.args()[0],
+                mulWrap(scale, e.args()[1]->eval(kNoFields)), imm,
+                terms);
+        }
+        return false;
+      case Op::Select: {
+        const Expr &c = *e.args()[0];
+        const Expr &ta = *e.args()[1];
+        const Expr &fa = *e.args()[2];
+        if (!ta.isConstant() || !fa.isConstant())
+            return false;
+        ATerm t;
+        t.a = mulWrap(scale, ta.eval(kNoFields));
+        t.b = mulWrap(scale, fa.eval(kNoFields));
+        if (c.op() == Op::Field) {
+            t.kind = 1;
+            t.field = c.fieldId();
+        } else if (isCmpOp(c.op()) &&
+                   c.args()[0]->op() == Op::Field &&
+                   c.args()[1]->isConstant()) {
+            t.kind = 2;
+            t.field = c.args()[0]->fieldId();
+            t.cmp = lowerOp(c.op());
+            t.z = c.args()[1]->eval(kNoFields);
+        } else {
+            return false;
+        }
+        terms.push_back(t);
+        return true;
+      }
+      default:
+        return false;
+    }
+}
+
+/** Highest field index a tree reads (-1 for fieldless trees). */
+FieldId
+maxFieldOf(const Expr &e)
+{
+    if (e.op() == Op::Field)
+        return e.fieldId();
+    FieldId m = -1;
+    for (const ExprPtr &k : e.args())
+        m = std::max(m, maxFieldOf(*k));
+    return m;
+}
+
+/** Total node count of a tree (for the Bin2-vs-bytecode heuristic). */
+std::size_t
+treeSize(const Expr &e)
+{
+    std::size_t n = 1;
+    for (const ExprPtr &k : e.args())
+        n += treeSize(*k);
+    return n;
+}
+
+/** What one compiled expression looks like before pool placement. */
+struct ProgramInfo
+{
+    enum class Kind { Const, Field, Program };
+    Kind kind = Kind::Const;
+    std::int64_t imm = 0;
+    FieldId field = -1;
+    std::uint32_t first = 0;
+    std::uint32_t count = 0;
+    std::uint32_t stackNeeded = 0;
+    std::uint32_t localsNeeded = 0;
+    FieldId maxField = -1;
+};
+
+/**
+ * Lowers expression trees into a shared code/literal pool. One
+ * instance serves a whole design so literals dedupe across programs;
+ * value numbering (and hence CSE locals) resets per program, matching
+ * the runtime, where locals do not survive from one program to the
+ * next.
+ */
+class ExprCompiler
+{
+  public:
+    ExprCompiler(std::vector<BInstr> &code, std::vector<std::int64_t> &pool)
+        : code(code), pool(pool)
+    {}
+
+    ProgramInfo
+    compile(const ExprPtr &tree)
+    {
+        panicIf(!tree, "ExprCompiler: null expression");
+        vnodes.clear();
+        keys.clear();
+        const int root = number(*tree);
+
+        ProgramInfo info;
+        if (vnodes[root].op == Op::Const) {
+            info.kind = ProgramInfo::Kind::Const;
+            info.imm = vnodes[root].imm;
+            return info;
+        }
+        if (vnodes[root].op == Op::Field) {
+            info.kind = ProgramInfo::Kind::Field;
+            info.field = vnodes[root].field;
+            info.maxField = vnodes[root].field;
+            return info;
+        }
+
+        // Reference counts over the deduped DAG decide which subtrees
+        // earn a scratch local (computed once, reloaded after).
+        for (const VNode &n : vnodes)
+            for (int kid : n.kids)
+                ++vnodes[kid].refs;
+        ++vnodes[root].refs;
+
+        info.kind = ProgramInfo::Kind::Program;
+        info.first = static_cast<std::uint32_t>(code.size());
+        depth = 0;
+        maxDepth = 0;
+        locals = 0;
+        maxField = -1;
+        emitVn(root);
+        info.count = static_cast<std::uint32_t>(code.size()) - info.first;
+        info.stackNeeded = maxDepth;
+        info.localsNeeded = locals;
+        info.maxField = maxField;
+        return info;
+    }
+
+  private:
+    /** One structurally-unique subtree. */
+    struct VNode
+    {
+        Op op;
+        std::int64_t imm = 0;
+        FieldId field = -1;
+        std::vector<int> kids;
+        int refs = 0;
+        int slot = -1;  //!< Scratch local once emitted (CSE hits).
+        bool emitted = false;
+    };
+
+    /** Structural identity of a subtree, for value numbering. */
+    struct VKey
+    {
+        Op op;
+        std::int64_t imm;
+        FieldId field;
+        std::vector<int> kids;
+
+        bool
+        operator<(const VKey &o) const
+        {
+            if (op != o.op)
+                return op < o.op;
+            if (imm != o.imm)
+                return imm < o.imm;
+            if (field != o.field)
+                return field < o.field;
+            return kids < o.kids;
+        }
+    };
+
+    int
+    intern(const VKey &key)
+    {
+        const auto it = keys.find(key);
+        if (it != keys.end())
+            return it->second;
+        VNode n;
+        n.op = key.op;
+        n.imm = key.imm;
+        n.field = key.field;
+        n.kids = key.kids;
+        vnodes.push_back(std::move(n));
+        const int vn = static_cast<int>(vnodes.size()) - 1;
+        keys.emplace(key, vn);
+        return vn;
+    }
+
+    int
+    numberConst(std::int64_t v)
+    {
+        return intern({Op::Const, v, -1, {}});
+    }
+
+    int
+    number(const Expr &e)
+    {
+        if (e.op() == Op::Const)
+            return numberConst(e.constValue());
+        if (e.op() == Op::Field)
+            return intern({Op::Field, 0, e.fieldId(), {}});
+        // Defensive fold: factory-built trees are already folded, but
+        // compile anything (e.g. hand-assembled test trees) to the
+        // same bytecode a folded tree would get. eval() on a fieldless
+        // tree is the reference semantics, so no rule can drift.
+        if (e.isConstant()) {
+            static const std::vector<std::int64_t> kNoFields;
+            return numberConst(e.eval(kNoFields));
+        }
+        VKey key{e.op(), 0, -1, {}};
+        key.kids.reserve(e.args().size());
+        for (const ExprPtr &c : e.args())
+            key.kids.push_back(number(*c));
+        return intern(key);
+    }
+
+    int
+    poolIndex(std::int64_t v)
+    {
+        const auto it = poolSlots.find(v);
+        if (it != poolSlots.end())
+            return it->second;
+        pool.push_back(v);
+        const int idx = static_cast<int>(pool.size()) - 1;
+        poolSlots.emplace(v, idx);
+        return idx;
+    }
+
+    void
+    push(BOp op, std::int32_t arg)
+    {
+        code.push_back({op, arg});
+        ++depth;
+        maxDepth = std::max(maxDepth, depth);
+    }
+
+    void
+    emitVn(int vn)
+    {
+        VNode &n = vnodes[vn];
+        if (n.slot >= 0) {
+            push(BOp::LoadLocal, n.slot);
+            return;
+        }
+        switch (n.op) {
+          case Op::Const:
+            push(BOp::PushConst, poolIndex(n.imm));
+            break;
+          case Op::Field:
+            push(BOp::PushField, n.field);
+            maxField = std::max(maxField, n.field);
+            break;
+          default: {
+            for (int kid : n.kids)
+                emitVn(kid);
+            code.push_back({lowerOp(n.op), 0});
+            depth -= static_cast<std::uint32_t>(n.kids.size()) - 1;
+            break;
+          }
+        }
+        // A multiply-referenced interior value gets a tee into a
+        // scratch slot; later references reload instead of recompute.
+        // Leaves stay inline — a reload costs the same as a push.
+        if (n.refs > 1 && n.op != Op::Const && n.op != Op::Field) {
+            n.slot = static_cast<int>(locals++);
+            code.push_back({BOp::StoreLocal, n.slot});
+        }
+    }
+
+    std::vector<BInstr> &code;
+    std::vector<std::int64_t> &pool;
+    std::map<std::int64_t, int> poolSlots;
+    std::vector<VNode> vnodes;
+    std::map<VKey, int> keys;
+    std::uint32_t depth = 0;
+    std::uint32_t maxDepth = 0;
+    std::uint32_t locals = 0;
+    FieldId maxField = -1;
+};
+
+/** Topological order over startAfter edges (validate() = acyclic). */
+std::vector<FsmId>
+topoSort(const Design &design)
+{
+    const auto &fsms = design.fsms();
+    std::vector<FsmId> order;
+    std::vector<bool> placed(fsms.size(), false);
+    while (order.size() < fsms.size()) {
+        bool progress = false;
+        for (std::size_t i = 0; i < fsms.size(); ++i) {
+            if (placed[i])
+                continue;
+            const FsmId dep = fsms[i].startAfter;
+            if (dep < 0 || placed[dep]) {
+                order.push_back(static_cast<FsmId>(i));
+                placed[i] = true;
+                progress = true;
+            }
+        }
+        panicIf(!progress, "startAfter ordering failed (cycle?)");
+    }
+    return order;
+}
+
+} // namespace
+
+ExprProgram::ExprProgram(const ExprPtr &tree)
+{
+    ExprCompiler comp(code, pool);
+    const ProgramInfo info = comp.compile(tree);
+    stackNeeded = info.stackNeeded;
+    localsNeeded = info.localsNeeded;
+    maxField = info.maxField;
+    switch (info.kind) {
+      case ProgramInfo::Kind::Const:
+        kind = 1;
+        imm = info.imm;
+        break;
+      case ProgramInfo::Kind::Field:
+        kind = 2;
+        fieldRef = info.field;
+        break;
+      case ProgramInfo::Kind::Program:
+        kind = 0;
+        break;
+    }
+}
+
+std::int64_t
+ExprProgram::eval(const std::vector<std::int64_t> &fields) const
+{
+    panicIf(maxField >= 0 &&
+            static_cast<std::size_t>(maxField) >= fields.size(),
+            "ExprProgram: field ", maxField, " out of range (item has ",
+            fields.size(), " fields)");
+    if (kind == 1)
+        return imm;
+    if (kind == 2)
+        return fields[fieldRef];
+    std::vector<std::int64_t> scratch(stackNeeded + localsNeeded);
+    return execProgram(code.data(), code.size(), pool.data(),
+                       fields.data(), scratch.data(),
+                       scratch.data() + stackNeeded);
+}
+
+CompiledDesign::CompiledDesign(const Design &design)
+    : src(&design)
+{
+    panicIf(!design.validated(),
+            "CompiledDesign: design '", design.name(), "' not validated");
+
+    order = topoSort(design);
+    jobOverhead = design.perJobOverheadCycles();
+    ctrlEnergy = design.controlEnergyPerCycle();
+
+    ExprCompiler comp(code, pool);
+    const auto &counters = design.counters();
+    const auto &blocks = design.blocks();
+
+    // Lower one expression tree to a typed CExpr node, recursively
+    // appending child nodes first (so every child index is smaller
+    // than its parent's). Design expressions are overwhelmingly
+    // affine cost models, leaf-binary guards, and selects over those
+    // shapes, so nearly everything lands in a specialised node; the
+    // bytecode program remains as the fully general fallback.
+    auto addProgram = [&](auto &&self,
+                          const ExprPtr &tree) -> std::int32_t {
+        static const std::vector<std::int64_t> kNoFields;
+        panicIf(!tree, "CompiledDesign: null expression");
+        CExpr e;
+
+        if (tree->isConstant()) {
+            e.kind = CExpr::Kind::Const;
+            e.imm = tree->eval(kNoFields);
+            programs.push_back(e);
+            return static_cast<std::int32_t>(programs.size()) - 1;
+        }
+
+        // Specialised nodes bypass ExprCompiler, so account for the
+        // fields they read here.
+        maxFieldRead = std::max(maxFieldRead, maxFieldOf(*tree));
+
+        std::int64_t imm = 0;
+        std::vector<ATerm> terms;
+        if (collectAffine(*tree, 1, imm, terms)) {
+            // Merge identical-shape terms: s1*f + s2*f == (s1+s2)*f
+            // mod 2^64, so folding coefficients (and conditional arms)
+            // preserves the sum.
+            std::vector<ATerm> merged;
+            for (const ATerm &t : terms) {
+                bool found = false;
+                for (ATerm &m : merged) {
+                    if (m.kind == t.kind && m.field == t.field &&
+                        m.cmp == t.cmp && m.z == t.z) {
+                        m.a = addWrap(m.a, t.a);
+                        m.b = addWrap(m.b, t.b);
+                        found = true;
+                        break;
+                    }
+                }
+                if (!found)
+                    merged.push_back(t);
+            }
+            if (merged.size() == 1 && merged[0].kind == 0 &&
+                merged[0].a == 1 && imm == 0) {
+                e.kind = CExpr::Kind::Field;
+                e.field = merged[0].field;
+            } else {
+                e.kind = CExpr::Kind::Affine;
+                e.imm = imm;
+                e.first =
+                    static_cast<std::uint32_t>(affinePool.size());
+                e.count = static_cast<std::uint32_t>(merged.size());
+                for (const ATerm &m : merged) {
+                    CTerm ct;
+                    ct.a = m.a;
+                    ct.b = m.b;
+                    ct.z = m.z;
+                    ct.field = m.field;
+                    ct.cmp = m.cmp;
+                    ct.kind = static_cast<CTerm::Kind>(m.kind);
+                    affinePool.push_back(ct);
+                }
+            }
+            programs.push_back(e);
+            return static_cast<std::int32_t>(programs.size()) - 1;
+        }
+
+        const auto &kids = tree->args();
+        switch (tree->op()) {
+          case Op::Not:
+            e.kind = CExpr::Kind::Not1;
+            e.a = self(self, kids[0]);
+            break;
+          case Op::Select:
+            e.kind = CExpr::Kind::Select3;
+            e.a = self(self, kids[0]);
+            e.b = self(self, kids[1]);
+            e.c = self(self, kids[2]);
+            break;
+          case Op::Add: case Op::Sub: case Op::Mul: case Op::Div:
+          case Op::Mod: case Op::Min: case Op::Max: case Op::Eq:
+          case Op::Ne: case Op::Lt: case Op::Le: case Op::Gt:
+          case Op::Ge: case Op::And: case Op::Or: {
+            e.op = lowerOp(tree->op());
+            const Expr &l = *kids[0];
+            const Expr &r = *kids[1];
+            const bool lf = l.op() == Op::Field;
+            const bool rf = r.op() == Op::Field;
+            if (lf && rf) {
+                e.kind = CExpr::Kind::BinFF;
+                e.field = l.fieldId();
+                e.fieldB = r.fieldId();
+            } else if (lf && r.isConstant()) {
+                e.kind = CExpr::Kind::BinFC;
+                e.field = l.fieldId();
+                e.imm = r.eval(kNoFields);
+            } else if (l.isConstant() && rf) {
+                e.kind = CExpr::Kind::BinCF;
+                e.imm = l.eval(kNoFields);
+                e.fieldB = r.fieldId();
+            } else if (treeSize(*tree) <= 5) {
+                e.kind = CExpr::Kind::Bin2;
+                e.a = self(self, kids[0]);
+                e.b = self(self, kids[1]);
+            } else {
+                // Deep arithmetic: one flat bytecode program beats a
+                // chain of out-of-line Bin2 recursions.
+                goto fallback;
+            }
+            break;
+          }
+          default: {
+          fallback:
+            // Anything else runs through the bytecode compiler.
+            const ProgramInfo info = comp.compile(tree);
+            switch (info.kind) {
+              case ProgramInfo::Kind::Const:
+                e.kind = CExpr::Kind::Const;
+                e.imm = info.imm;
+                break;
+              case ProgramInfo::Kind::Field:
+                e.kind = CExpr::Kind::Field;
+                e.field = info.field;
+                break;
+              case ProgramInfo::Kind::Program:
+                e.kind = CExpr::Kind::Program;
+                e.first = info.first;
+                e.count = info.count;
+                break;
+            }
+            maxStack = std::max(maxStack, info.stackNeeded);
+            maxLocals = std::max(maxLocals, info.localsNeeded);
+            break;
+          }
+        }
+        programs.push_back(e);
+        return static_cast<std::int32_t>(programs.size()) - 1;
+    };
+
+    // Top-level entry point: compile and remember the (tree, program)
+    // pair so differential tests and the perf harness can replay every
+    // root expression of the design against its source tree.
+    auto addRoot = [&](const ExprPtr &tree) -> std::int32_t {
+        const std::int32_t idx = addProgram(addProgram, tree);
+        roots.emplace_back(tree, idx);
+        return idx;
+    };
+
+    // States that wait on the same counter share its compiled range.
+    std::map<CounterId, std::int32_t> counterProgs;
+
+    for (const Fsm &fsm : design.fsms()) {
+        CFsm cf;
+        cf.firstState = static_cast<std::uint32_t>(states.size());
+        cf.numStates = static_cast<std::uint32_t>(fsm.states.size());
+        cf.initial = fsm.initial;
+        cf.startAfter = fsm.startAfter;
+        cfsms.push_back(cf);
+
+        for (const State &st : fsm.states) {
+            CState cs;
+            cs.kind = st.kind;
+            cs.armOnly = st.armOnly;
+            cs.terminal = st.terminal;
+            cs.waitScale = st.waitScale;
+            switch (st.kind) {
+              case LatencyKind::Fixed:
+                cs.fixedDwell =
+                    static_cast<std::uint64_t>(st.fixedCycles);
+                break;
+              case LatencyKind::CounterWait: {
+                cs.counter = st.counter;
+                cs.counterDir = counters[st.counter].dir;
+                const auto it = counterProgs.find(st.counter);
+                if (it != counterProgs.end()) {
+                    cs.prog = it->second;
+                } else {
+                    cs.prog = addRoot(counters[st.counter].range);
+                    counterProgs.emplace(st.counter, cs.prog);
+                }
+                break;
+              }
+              case LatencyKind::Implicit:
+                cs.prog = addRoot(st.implicitLatency);
+                break;
+            }
+            // Same value, same operation order as the tree walker's
+            // per-visit "ctrl + dpOps * weight" — precomputed once.
+            cs.energyPerCycle = ctrlEnergy;
+            if (st.block >= 0) {
+                cs.energyPerCycle +=
+                    st.dpOpsPerCycle * blocks[st.block].energyWeight;
+            }
+            cs.firstTrans = static_cast<std::uint32_t>(trans.size());
+            cs.numTrans =
+                static_cast<std::uint32_t>(st.transitions.size());
+            for (const Transition &t : st.transitions) {
+                CTransition ct;
+                ct.dst = t.dst;
+                ct.guard = t.guard ? addRoot(t.guard) : -1;
+                trans.push_back(ct);
+            }
+            states.push_back(cs);
+        }
+    }
+
+    buildSegments();
+}
+
+bool
+CompiledDesign::staticDwell(const CState &st, std::uint64_t &dwell,
+                            std::int64_t &range) const
+{
+    range = 0;
+    if (st.prog < 0) {
+        dwell = st.fixedDwell;
+        return true;
+    }
+    const CExpr &e = programs[st.prog];
+    if (e.kind != CExpr::Kind::Const)
+        return false;
+
+    // Identical clamping to the interpreted path below.
+    std::int64_t r = e.imm;
+    if (r < 1)
+        r = 1;
+    if (st.kind == LatencyKind::CounterWait) {
+        range = r;
+        if (st.armOnly) {
+            dwell = 1;
+        } else if (st.waitScale > 1) {
+            const std::int64_t scaled = r / st.waitScale;
+            dwell = static_cast<std::uint64_t>(scaled < 1 ? 1 : scaled);
+        } else {
+            dwell = static_cast<std::uint64_t>(r);
+        }
+    } else {
+        dwell = static_cast<std::uint64_t>(r);
+    }
+    return true;
+}
+
+StateId
+CompiledDesign::staticNext(const CState &st) const
+{
+    const CTransition *tr = trans.data() + st.firstTrans;
+    for (std::uint32_t i = 0; i < st.numTrans; ++i) {
+        if (tr[i].guard < 0)
+            return tr[i].dst;
+        const CExpr &g = programs[tr[i].guard];
+        if (g.kind != CExpr::Kind::Const)
+            return -1;
+        if (g.imm != 0)
+            return tr[i].dst;
+        // Constant-false guard: the search always skips this edge.
+    }
+    // Every guard is constant-false; leave the state to the
+    // interpreted path so the no-transition panic stays a runtime
+    // property of reachable states only.
+    return -1;
+}
+
+void
+CompiledDesign::buildSegments()
+{
+    segs.assign(states.size(), CSegment{});
+    for (const CFsm &fsm : cfsms) {
+        std::vector<bool> in_chain(fsm.numStates);
+        for (std::uint32_t s = 0; s < fsm.numStates; ++s) {
+            CSegment seg;
+            seg.firstSlot = static_cast<std::uint32_t>(slots.size());
+            std::fill(in_chain.begin(), in_chain.end(), false);
+
+            StateId cur = static_cast<StateId>(s);
+            while (true) {
+                // A revisited state heads a statically-routed loop;
+                // stop so the chain stays finite. Execution re-enters
+                // its segment and the visit counter still catches
+                // true runaways.
+                if (in_chain[cur]) {
+                    seg.next = cur;
+                    break;
+                }
+                const CState &st = states[fsm.firstState + cur];
+                const StateId nxt = st.terminal ? -1 : staticNext(st);
+                if (!st.terminal && nxt < 0) {
+                    // Branch-dynamic: the taken edge depends on the
+                    // item's fields; interpretation resumes here.
+                    seg.next = cur;
+                    break;
+                }
+
+                in_chain[cur] = true;
+                CSlot slot;
+                slot.src = cur;
+                slot.dst = nxt;
+                std::uint64_t dwell = 0;
+                std::int64_t range = 0;
+                if (staticDwell(st, dwell, range)) {
+                    slot.cycles = dwell;
+                    // The identical product the reference walker forms
+                    // on this visit; adding the precomputed addends in
+                    // order keeps the accumulation bit-exact.
+                    slot.energy = st.energyPerCycle *
+                                  static_cast<double>(dwell);
+                    if (st.kind == LatencyKind::CounterWait) {
+                        slot.counter = st.counter;
+                        if (st.counterDir == CounterDir::Down)
+                            slot.armInit = range;
+                        else
+                            slot.armFinal = range;
+                    }
+                } else {
+                    slot.prog = st.prog;
+                    slot.waitScale = st.waitScale;
+                    slot.energy = st.energyPerCycle;
+                    if (st.kind == LatencyKind::CounterWait) {
+                        slot.counter = st.counter;
+                        slot.armOnly = st.armOnly;
+                        slot.down = st.counterDir == CounterDir::Down;
+                    }
+                }
+                slots.push_back(slot);
+                if (st.terminal) {
+                    seg.next = -1;
+                    break;
+                }
+                cur = nxt;
+            }
+            seg.numSlots = static_cast<std::uint32_t>(slots.size()) -
+                           seg.firstSlot;
+
+            // Compress the chain for recorder-free execution: stretches
+            // of static slots collapse into one CRun (summed dwell,
+            // addends packed densely in visit order), each closed by
+            // the dwell-dynamic slot that interrupted it.
+            seg.firstRun = static_cast<std::uint32_t>(runs.size());
+            CRun run;
+            run.firstAdd = static_cast<std::uint32_t>(addendPool.size());
+            for (std::uint32_t i = 0; i < seg.numSlots; ++i) {
+                const CSlot &slot = slots[seg.firstSlot + i];
+                if (slot.prog < 0) {
+                    run.cycles += slot.cycles;
+                    addendPool.push_back(slot.energy);
+                    ++run.numAdds;
+                } else {
+                    run.dynSlot =
+                        static_cast<std::int32_t>(seg.firstSlot + i);
+                    runs.push_back(run);
+                    run = CRun{};
+                    run.firstAdd =
+                        static_cast<std::uint32_t>(addendPool.size());
+                }
+            }
+            if (run.numAdds != 0)
+                runs.push_back(run);
+            seg.numRuns = static_cast<std::uint32_t>(runs.size()) -
+                          seg.firstRun;
+
+            segs[fsm.firstState + s] = seg;
+        }
+    }
+}
+
+std::size_t
+CompiledDesign::numStaticStates() const
+{
+    std::size_t n = 0;
+    for (const CFsm &fsm : cfsms) {
+        for (std::uint32_t s = 0; s < fsm.numStates; ++s) {
+            const CState &st = states[fsm.firstState + s];
+            std::uint64_t dwell = 0;
+            std::int64_t range = 0;
+            if (staticDwell(st, dwell, range) &&
+                (st.terminal || staticNext(st) >= 0)) {
+                ++n;
+            }
+        }
+    }
+    return n;
+}
+
+std::size_t
+CompiledDesign::numSpecialised() const
+{
+    std::size_t n = 0;
+    for (const CExpr &e : programs)
+        if (e.kind != CExpr::Kind::Program)
+            ++n;
+    return n;
+}
+
+std::int64_t
+CompiledDesign::evalExpr(const CExpr &e, const std::int64_t *fields,
+                         std::int64_t *stack, std::int64_t *locals) const
+{
+    if (e.kind <= CExpr::Kind::BinCF)
+        return evalLeaf(e, fields);
+    switch (e.kind) {
+      case CExpr::Kind::Bin2:
+        return applyBOp(e.op,
+                        evalExpr(programs[e.a], fields, stack, locals),
+                        evalExpr(programs[e.b], fields, stack, locals));
+      case CExpr::Kind::Not1:
+        return evalExpr(programs[e.a], fields, stack, locals) == 0
+            ? 1 : 0;
+      case CExpr::Kind::Select3:
+        return evalExpr(programs[e.a], fields, stack, locals) != 0
+            ? evalExpr(programs[e.b], fields, stack, locals)
+            : evalExpr(programs[e.c], fields, stack, locals);
+      default:
+        return execProgram(code.data() + e.first, e.count, pool.data(),
+                           fields, stack, locals);
+    }
+}
+
+template <bool WithRec>
+std::uint64_t
+CompiledDesign::runFsm(FsmId id, const std::int64_t *fields,
+                       Recorder *recorder, double &energy_units,
+                       std::int64_t *stack, std::int64_t *locals) const
+{
+    const CFsm &fsm = cfsms[id];
+    const CState *base = states.data() + fsm.firstState;
+    const CSegment *sbase = segs.data() + fsm.firstState;
+    const CTransition *tbase = trans.data();
+    const CSlot *spool = slots.data();
+
+    std::uint64_t cycles = 0;
+    std::size_t visits = 0;
+    StateId cur = fsm.initial;
+
+    while (true) {
+        const CSegment &seg = sbase[cur];
+        if (seg.numSlots) {
+            // Precompiled chain: a linear sweep over slots — no guard
+            // search, no latency dispatch, exact FP addend order and
+            // (if anyone listens) the exact event stream.
+            visits += seg.numSlots;
+            if (visits > Interpreter::maxVisitsPerItem) {
+                const Fsm &f = src->fsms()[id];
+                panic("fsm '", f.name, "' exceeded ",
+                      Interpreter::maxVisitsPerItem,
+                      " state visits on one item (runaway control loop)");
+            }
+            if constexpr (!WithRec) {
+                // Compressed sweep: each static stretch is one cycle
+                // total plus a dense row of energy addends — the same
+                // values in the same order the slot walk (and the
+                // reference walker) would add, so the accumulation is
+                // bit-identical at a fraction of the bookkeeping.
+                const CRun *rp = runs.data() + seg.firstRun;
+                for (std::uint32_t i = 0; i < seg.numRuns; ++i) {
+                    const CRun &r = rp[i];
+                    cycles += r.cycles;
+                    const double *a = addendPool.data() + r.firstAdd;
+                    for (std::uint32_t j = 0; j < r.numAdds; ++j)
+                        energy_units += a[j];
+                    if (r.dynSlot < 0)
+                        continue;
+                    const CSlot &s = spool[r.dynSlot];
+                    const CExpr &pe = programs[s.prog];
+                    std::int64_t v = pe.kind <= CExpr::Kind::BinCF
+                        ? evalLeaf(pe, fields)
+                        : evalExpr(pe, fields, stack, locals);
+                    if (v < 1)
+                        v = 1;
+                    std::uint64_t dwell;
+                    if (s.counter >= 0 && s.armOnly) {
+                        dwell = 1;
+                    } else if (s.counter >= 0 && s.waitScale > 1) {
+                        const std::int64_t scaled = v / s.waitScale;
+                        dwell = static_cast<std::uint64_t>(
+                            scaled < 1 ? 1 : scaled);
+                    } else {
+                        dwell = static_cast<std::uint64_t>(v);
+                    }
+                    cycles += dwell;
+                    energy_units +=
+                        s.energy * static_cast<double>(dwell);
+                }
+                if (seg.next < 0)
+                    break;
+                cur = seg.next;
+                continue;
+            }
+
+            const CSlot *sl = spool + seg.firstSlot;
+            for (std::uint32_t i = 0; i < seg.numSlots; ++i) {
+                const CSlot &s = sl[i];
+                if (s.prog < 0) {
+                    cycles += s.cycles;
+                    energy_units += s.energy;
+                    if constexpr (WithRec) {
+                        if (s.counter >= 0)
+                            recorder->onCounterArm(s.counter, s.armInit,
+                                                   s.armFinal);
+                        if (s.dst >= 0)
+                            recorder->onTransition(id, s.src, s.dst);
+                    }
+                    continue;
+                }
+                // Dwell-dynamic slot: same evaluation and clamping as
+                // the interpreted path below.
+                const CExpr &pe = programs[s.prog];
+                std::int64_t v = pe.kind <= CExpr::Kind::BinCF
+                    ? evalLeaf(pe, fields)
+                    : evalExpr(pe, fields, stack, locals);
+                if (v < 1)
+                    v = 1;
+                std::uint64_t dwell;
+                if (s.counter >= 0) {
+                    if (s.armOnly) {
+                        dwell = 1;
+                    } else if (s.waitScale > 1) {
+                        const std::int64_t scaled = v / s.waitScale;
+                        dwell = static_cast<std::uint64_t>(
+                            scaled < 1 ? 1 : scaled);
+                    } else {
+                        dwell = static_cast<std::uint64_t>(v);
+                    }
+                    if constexpr (WithRec) {
+                        recorder->onCounterArm(s.counter,
+                                               s.down ? v : 0,
+                                               s.down ? 0 : v);
+                    }
+                } else {
+                    dwell = static_cast<std::uint64_t>(v);
+                }
+                cycles += dwell;
+                energy_units += s.energy * static_cast<double>(dwell);
+                if constexpr (WithRec) {
+                    if (s.dst >= 0)
+                        recorder->onTransition(id, s.src, s.dst);
+                }
+            }
+            if (seg.next < 0)
+                break;
+            cur = seg.next;
+            continue;
+        }
+
+        // Branch-dynamic state: the taken edge depends on this item.
+        if (++visits > Interpreter::maxVisitsPerItem) {
+            const Fsm &f = src->fsms()[id];
+            panic("fsm '", f.name, "' exceeded ",
+                  Interpreter::maxVisitsPerItem,
+                  " state visits on one item (runaway control loop)");
+        }
+
+        const CState &st = base[cur];
+
+        std::uint64_t dwell;
+        if (st.prog < 0) {
+            dwell = st.fixedDwell;
+        } else if (st.kind == LatencyKind::CounterWait) {
+            const CExpr &pe = programs[st.prog];
+            std::int64_t range = pe.kind <= CExpr::Kind::BinCF
+                ? evalLeaf(pe, fields)
+                : evalExpr(pe, fields, stack, locals);
+            if (range < 1)
+                range = 1;
+            if (st.armOnly) {
+                dwell = 1;
+            } else if (st.waitScale > 1) {
+                const std::int64_t scaled = range / st.waitScale;
+                dwell = static_cast<std::uint64_t>(
+                    scaled < 1 ? 1 : scaled);
+            } else {
+                dwell = static_cast<std::uint64_t>(range);
+            }
+            if constexpr (WithRec) {
+                if (st.counterDir == CounterDir::Down)
+                    recorder->onCounterArm(st.counter, range, 0);
+                else
+                    recorder->onCounterArm(st.counter, 0, range);
+            }
+        } else {
+            const CExpr &pe = programs[st.prog];
+            std::int64_t lat = pe.kind <= CExpr::Kind::BinCF
+                ? evalLeaf(pe, fields)
+                : evalExpr(pe, fields, stack, locals);
+            if (lat < 1)
+                lat = 1;
+            dwell = static_cast<std::uint64_t>(lat);
+        }
+
+        cycles += dwell;
+        energy_units += st.energyPerCycle * static_cast<double>(dwell);
+
+        if (st.terminal)
+            break;
+
+        StateId next = -1;
+        const CTransition *tr = tbase + st.firstTrans;
+        for (std::uint32_t i = 0; i < st.numTrans; ++i) {
+            if (tr[i].guard < 0) {
+                next = tr[i].dst;
+                break;
+            }
+            const CExpr &ge = programs[tr[i].guard];
+            const std::int64_t g = ge.kind <= CExpr::Kind::BinCF
+                ? evalLeaf(ge, fields)
+                : evalExpr(ge, fields, stack, locals);
+            if (g != 0) {
+                next = tr[i].dst;
+                break;
+            }
+        }
+        if (next < 0) {
+            const Fsm &f = src->fsms()[id];
+            panic("state '", f.states[cur].name, "' in fsm '", f.name,
+                  "': no transition fired");
+        }
+
+        if constexpr (WithRec)
+            recorder->onTransition(id, cur, next);
+        cur = next;
+    }
+
+    return cycles;
+}
+
+template <bool WithRec>
+JobResult
+CompiledDesign::runJob(const JobInput &job, Recorder *recorder,
+                       std::vector<std::uint64_t> *item_cycles) const
+{
+    JobResult result;
+    result.cycles = jobOverhead;
+    result.energyUnits = ctrlEnergy * static_cast<double>(jobOverhead);
+
+    if (item_cycles) {
+        item_cycles->clear();
+        item_cycles->reserve(job.items.size());
+    }
+
+    // One allocation per job, reused by every program evaluation; the
+    // per-item and per-state paths below are allocation-free.
+    std::vector<std::int64_t> scratch(maxStack + maxLocals);
+    std::int64_t *stack = scratch.data();
+    std::int64_t *locals = scratch.data() + maxStack;
+    std::vector<std::uint64_t> end_time(cfsms.size(), 0);
+
+    for (const WorkItem &item : job.items) {
+        panicIf(maxFieldRead >= 0 &&
+                static_cast<std::size_t>(maxFieldRead) >=
+                    item.fields.size(),
+                "field ", maxFieldRead, " out of range (item has ",
+                item.fields.size(), " fields)");
+
+        std::fill(end_time.begin(), end_time.end(), 0);
+        std::uint64_t item_latency = 0;
+
+        for (FsmId id : order) {
+            const FsmId dep = cfsms[id].startAfter;
+            const std::uint64_t start = dep < 0 ? 0 : end_time[dep];
+            const std::uint64_t lat =
+                runFsm<WithRec>(id, item.fields.data(), recorder,
+                                result.energyUnits, stack, locals);
+            end_time[id] = start + lat;
+            item_latency = std::max(item_latency, end_time[id]);
+        }
+
+        result.cycles += item_latency;
+        if (item_cycles)
+            item_cycles->push_back(item_latency);
+    }
+
+    return result;
+}
+
+JobResult
+CompiledDesign::run(const JobInput &job, Recorder *recorder,
+                    std::vector<std::uint64_t> *item_cycles) const
+{
+    return recorder ? runJob<true>(job, recorder, item_cycles)
+                    : runJob<false>(job, nullptr, item_cycles);
+}
+
+} // namespace rtl
+} // namespace predvfs

@@ -9,11 +9,166 @@ namespace rtl {
 
 namespace {
 
+/**
+ * Apply one binary operator to concrete values — the same semantics
+ * Expr::eval() implements, shared with constant folding so a folded
+ * literal can never differ from an evaluated tree.
+ */
+std::int64_t
+applyBinary(Op op, std::int64_t a, std::int64_t b)
+{
+    switch (op) {
+      case Op::Add: return a + b;
+      case Op::Sub: return a - b;
+      case Op::Mul: return a * b;
+      case Op::Div: return safeDiv(a, b);
+      case Op::Mod: return safeMod(a, b);
+      case Op::Min: return a < b ? a : b;
+      case Op::Max: return a > b ? a : b;
+      case Op::Eq: return a == b ? 1 : 0;
+      case Op::Ne: return a != b ? 1 : 0;
+      case Op::Lt: return a < b ? 1 : 0;
+      case Op::Le: return a <= b ? 1 : 0;
+      case Op::Gt: return a > b ? 1 : 0;
+      case Op::Ge: return a >= b ? 1 : 0;
+      case Op::And: return (a != 0 && b != 0) ? 1 : 0;
+      case Op::Or: return (a != 0 || b != 0) ? 1 : 0;
+      default:
+        util::panic("applyBinary: non-binary op ",
+                    static_cast<int>(op));
+    }
+    return 0;
+}
+
+bool
+isConst(const ExprPtr &e)
+{
+    return e->op() == Op::Const;
+}
+
+bool
+isConstValue(const ExprPtr &e, std::int64_t v)
+{
+    return isConst(e) && e->constValue() == v;
+}
+
+/** True if the node can only ever evaluate to 0 or 1. */
+bool
+producesBool(const ExprPtr &e)
+{
+    switch (e->op()) {
+      case Op::Eq: case Op::Ne: case Op::Lt: case Op::Le:
+      case Op::Gt: case Op::Ge: case Op::And: case Op::Or:
+      case Op::Not:
+        return true;
+      case Op::Const:
+        return e->constValue() == 0 || e->constValue() == 1;
+      default:
+        return false;
+    }
+}
+
+/** Normalise a truth value to {0, 1}, as And/Or would have. */
+ExprPtr
+boolify(ExprPtr e)
+{
+    if (producesBool(e))
+        return e;
+    return Expr::ne(std::move(e), Expr::constant(0));
+}
+
+/**
+ * Fold and canonicalise at construction. Every rewrite here must hold
+ * for every field assignment: eval() is pure (no side effects) and
+ * total (division by zero is defined), so even rules that drop a
+ * short-circuited or untaken subtree preserve the evaluated value.
+ * Returns null when no simplification applies.
+ */
+ExprPtr
+foldNode(Op op, const std::vector<ExprPtr> &args)
+{
+    switch (op) {
+      case Op::Not:
+        if (isConst(args[0]))
+            return Expr::constant(args[0]->constValue() == 0 ? 1 : 0);
+        return nullptr;
+
+      case Op::Select:
+        if (isConst(args[0]))
+            return args[0]->constValue() != 0 ? args[1] : args[2];
+        return nullptr;
+
+      case Op::And:
+        if (isConst(args[0]))
+            return args[0]->constValue() == 0 ? Expr::constant(0)
+                                              : boolify(args[1]);
+        if (isConst(args[1]))
+            return args[1]->constValue() == 0 ? Expr::constant(0)
+                                              : boolify(args[0]);
+        return nullptr;
+
+      case Op::Or:
+        if (isConst(args[0]))
+            return args[0]->constValue() != 0 ? Expr::constant(1)
+                                              : boolify(args[1]);
+        if (isConst(args[1]))
+            return args[1]->constValue() != 0 ? Expr::constant(1)
+                                              : boolify(args[0]);
+        return nullptr;
+
+      default:
+        break;
+    }
+
+    // Binary arithmetic and comparisons from here on.
+    if (isConst(args[0]) && isConst(args[1]))
+        return Expr::constant(applyBinary(op, args[0]->constValue(),
+                                          args[1]->constValue()));
+
+    switch (op) {
+      case Op::Add:
+        if (isConstValue(args[0], 0))
+            return args[1];
+        if (isConstValue(args[1], 0))
+            return args[0];
+        break;
+      case Op::Sub:
+        if (isConstValue(args[1], 0))
+            return args[0];
+        break;
+      case Op::Mul:
+        if (isConstValue(args[0], 1))
+            return args[1];
+        if (isConstValue(args[1], 1))
+            return args[0];
+        if (isConstValue(args[0], 0) || isConstValue(args[1], 0))
+            return Expr::constant(0);
+        break;
+      case Op::Div:
+        if (isConstValue(args[1], 1))
+            return args[0];
+        if (isConstValue(args[0], 0))  // 0 / x == 0, even for x == 0.
+            return Expr::constant(0);
+        break;
+      case Op::Mod:
+        if (isConstValue(args[1], 1))  // x % 1 == 0 for every x.
+            return Expr::constant(0);
+        if (isConstValue(args[0], 0))  // 0 % x == 0, even for x == 0.
+            return Expr::constant(0);
+        break;
+      default:
+        break;
+    }
+    return nullptr;
+}
+
 ExprPtr
 makeNode(Op op, std::vector<ExprPtr> args)
 {
     for (const auto &a : args)
         util::panicIf(!a, "Expr: null child for op ", static_cast<int>(op));
+    if (ExprPtr folded = foldNode(op, args))
+        return folded;
     struct Access : Expr
     {
         Access(Op op, std::int64_t v, FieldId f, std::vector<ExprPtr> a)
@@ -154,25 +309,7 @@ Expr::eval(const std::vector<std::int64_t> &fields) const
     if (opTag == Op::Or)
         return (a != 0 || children[1]->eval(fields) != 0) ? 1 : 0;
 
-    const std::int64_t b = children[1]->eval(fields);
-    switch (opTag) {
-      case Op::Add: return a + b;
-      case Op::Sub: return a - b;
-      case Op::Mul: return a * b;
-      case Op::Div: return b == 0 ? 0 : a / b;
-      case Op::Mod: return b == 0 ? 0 : a % b;
-      case Op::Min: return a < b ? a : b;
-      case Op::Max: return a > b ? a : b;
-      case Op::Eq: return a == b ? 1 : 0;
-      case Op::Ne: return a != b ? 1 : 0;
-      case Op::Lt: return a < b ? 1 : 0;
-      case Op::Le: return a <= b ? 1 : 0;
-      case Op::Gt: return a > b ? 1 : 0;
-      case Op::Ge: return a >= b ? 1 : 0;
-      default:
-        util::panic("unreachable op in eval");
-    }
-    return 0;
+    return applyBinary(opTag, a, children[1]->eval(fields));
 }
 
 void

@@ -43,12 +43,53 @@ enum class Op
 };
 
 /**
+ * @name Division semantics of the IR (the single source of truth)
+ *
+ * Every evaluator of IR expressions — the tree walker (Expr::eval), the
+ * bytecode machine (rtl/compile), constant folding in the factory
+ * functions, and the interval domain (rtl/interval) — must route
+ * division and modulus through these two helpers so the semantics
+ * cannot drift between them:
+ *
+ *  - x / 0 == 0 and x % 0 == 0, mirroring the saturating behaviour a
+ *    synthesised divider-free datapath would use;
+ *  - INT64_MIN / -1 wraps to INT64_MIN (two's complement) instead of
+ *    being undefined, and INT64_MIN % -1 == 0, so no evaluator can
+ *    fault where another returns a value.
+ */
+/// @{
+constexpr std::int64_t
+safeDiv(std::int64_t a, std::int64_t b)
+{
+    if (b == 0)
+        return 0;
+    if (b == -1)  // Avoids UB on INT64_MIN / -1; wraps like hardware.
+        return static_cast<std::int64_t>(
+            0u - static_cast<std::uint64_t>(a));
+    return a / b;
+}
+
+constexpr std::int64_t
+safeMod(std::int64_t a, std::int64_t b)
+{
+    if (b == 0 || b == -1)  // a % -1 == 0 for every representable a.
+        return 0;
+    return a % b;
+}
+/// @}
+
+/**
  * An immutable expression-tree node.
  *
- * Division and modulus by zero are defined to yield zero, mirroring the
- * saturating behaviour a synthesised divider-free datapath would use;
- * this also keeps workload generators from having to special-case
- * degenerate items.
+ * Division and modulus follow safeDiv()/safeMod() above; this keeps
+ * workload generators from having to special-case degenerate items.
+ *
+ * The factory functions constant-fold and canonicalise: operations on
+ * literals collapse to a literal, and algebraic identities that hold
+ * for every field assignment (x+0, x*1, x*0, x/1, x%1, short-circuits
+ * against a constant, selects on a constant condition) are simplified
+ * at construction. Folding never changes the value an expression
+ * evaluates to — eval() is pure and total — it only shrinks the tree.
  */
 class Expr
 {

@@ -15,7 +15,14 @@ Instrumenter::Instrumenter(const Design &design,
 {
     panicIf(!design.validated(), "Instrumenter: design not validated");
 
-    stcIndex.resize(design.fsms().size());
+    stcTables.resize(design.fsms().size());
+    for (std::size_t f = 0; f < design.fsms().size(); ++f) {
+        StcTable &t = stcTables[f];
+        t.offset = static_cast<std::uint32_t>(stcFlat.size());
+        t.states =
+            static_cast<std::uint32_t>(design.fsms()[f].states.size());
+        stcFlat.resize(stcFlat.size() + t.states * t.states, -1);
+    }
     counterIndex.resize(design.counters().size());
     accumulators.assign(featureSpecs.size(), 0.0);
 
@@ -24,13 +31,23 @@ Instrumenter::Instrumenter(const Design &design,
         switch (spec.kind) {
           case FeatureKind::Stc: {
             panicIf(spec.fsm < 0 ||
-                    static_cast<std::size_t>(spec.fsm) >= stcIndex.size(),
+                    static_cast<std::size_t>(spec.fsm) >=
+                        stcTables.size(),
                     "STC feature '", spec.name, "': bad fsm ", spec.fsm);
-            auto &index = stcIndex[spec.fsm];
-            const auto key = edgeKey(spec.src, spec.dst);
-            panicIf(index.count(key),
+            const StcTable &t = stcTables[spec.fsm];
+            panicIf(spec.src < 0 ||
+                    static_cast<std::uint32_t>(spec.src) >= t.states ||
+                    spec.dst < 0 ||
+                    static_cast<std::uint32_t>(spec.dst) >= t.states,
+                    "STC feature '", spec.name, "': bad edge ",
+                    spec.src, "->", spec.dst);
+            std::int32_t &cell = stcFlat[
+                t.offset +
+                static_cast<std::uint32_t>(spec.src) * t.states +
+                static_cast<std::uint32_t>(spec.dst)];
+            panicIf(cell >= 0,
                     "duplicate STC feature '", spec.name, "'");
-            index[key] = i;
+            cell = static_cast<std::int32_t>(i);
             break;
           }
           case FeatureKind::Ic:
@@ -53,14 +70,6 @@ Instrumenter::Instrumenter(const Design &design,
     }
 }
 
-std::uint64_t
-Instrumenter::edgeKey(StateId src, StateId dst)
-{
-    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src))
-            << 32) |
-        static_cast<std::uint32_t>(dst);
-}
-
 void
 Instrumenter::reset()
 {
@@ -78,10 +87,12 @@ Instrumenter::areaUnits() const
 void
 Instrumenter::onTransition(FsmId fsm, StateId src, StateId dst)
 {
-    const auto &index = stcIndex[fsm];
-    const auto it = index.find(edgeKey(src, dst));
-    if (it != index.end())
-        accumulators[it->second] += 1.0;
+    const StcTable &t = stcTables[fsm];
+    const std::int32_t idx = stcFlat[
+        t.offset + static_cast<std::uint32_t>(src) * t.states +
+        static_cast<std::uint32_t>(dst)];
+    if (idx >= 0)
+        accumulators[idx] += 1.0;
 }
 
 void

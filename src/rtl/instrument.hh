@@ -13,7 +13,6 @@
 #define PREDVFS_RTL_INSTRUMENT_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "rtl/analysis.hh"
@@ -64,14 +63,22 @@ class Instrumenter : public Recorder
                       std::int64_t final_value) override;
 
   private:
-    /** Pack a (src, dst) pair into a map key. */
-    static std::uint64_t edgeKey(StateId src, StateId dst);
-
     std::vector<FeatureSpec> featureSpecs;
     FeatureValues accumulators;
 
-    /** Per FSM: (src,dst) -> feature index. */
-    std::vector<std::unordered_map<std::uint64_t, std::size_t>> stcIndex;
+    /**
+     * Per-FSM dense (src, dst) -> feature-index table, -1 where no
+     * feature watches the edge. onTransition() fires for every
+     * transition of every item, so the lookup is a single array load
+     * rather than a hash probe.
+     */
+    struct StcTable
+    {
+        std::uint32_t offset = 0;  //!< First entry in stcFlat.
+        std::uint32_t states = 0;  //!< Row stride (states in the FSM).
+    };
+    std::vector<StcTable> stcTables;
+    std::vector<std::int32_t> stcFlat;
 
     struct CounterSlots
     {

@@ -2,47 +2,48 @@
 
 #include <algorithm>
 
+#include "rtl/compile.hh"
 #include "util/logging.hh"
 
 namespace predvfs {
 namespace rtl {
 
-using util::panic;
 using util::panicIf;
 
 Interpreter::Interpreter(const Design &design)
-    : design(design)
+    : comp(std::make_shared<const CompiledDesign>(design))
 {
-    panicIf(!design.validated(),
-            "Interpreter: design '", design.name(), "' not validated");
+}
 
-    // Topological order over startAfter dependencies. validate()
-    // guarantees acyclicity, so a simple repeated sweep terminates.
-    const auto &fsms = design.fsms();
-    std::vector<bool> placed(fsms.size(), false);
-    while (order.size() < fsms.size()) {
-        bool progress = false;
-        for (std::size_t i = 0; i < fsms.size(); ++i) {
-            if (placed[i])
-                continue;
-            const FsmId dep = fsms[i].startAfter;
-            if (dep < 0 || placed[dep]) {
-                order.push_back(static_cast<FsmId>(i));
-                placed[i] = true;
-                progress = true;
-            }
-        }
-        panicIf(!progress, "startAfter ordering failed (cycle?)");
-    }
+Interpreter::Interpreter(std::shared_ptr<const CompiledDesign> compiled)
+    : comp(std::move(compiled))
+{
+    panicIf(!comp, "Interpreter: null compiled design");
+}
+
+Interpreter::~Interpreter() = default;
+
+const Design &
+Interpreter::design() const
+{
+    return comp->design();
+}
+
+JobResult
+Interpreter::run(const JobInput &job, Recorder *recorder,
+                 std::vector<std::uint64_t> *item_cycles) const
+{
+    return comp->run(job, recorder, item_cycles);
 }
 
 std::uint64_t
 Interpreter::runFsm(FsmId id, const WorkItem &item, Recorder *recorder,
                     double &energy_units) const
 {
-    const Fsm &fsm = design.fsms()[id];
-    const auto &counters = design.counters();
-    const auto &blocks = design.blocks();
+    const Design &dsn = comp->design();
+    const Fsm &fsm = dsn.fsms()[id];
+    const auto &counters = dsn.counters();
+    const auto &blocks = dsn.blocks();
 
     std::uint64_t cycles = 0;
     std::size_t visits = 0;
@@ -97,7 +98,7 @@ Interpreter::runFsm(FsmId id, const WorkItem &item, Recorder *recorder,
 
         cycles += dwell;
 
-        double per_cycle = design.controlEnergyPerCycle();
+        double per_cycle = dsn.controlEnergyPerCycle();
         if (st.block >= 0)
             per_cycle += st.dpOpsPerCycle * blocks[st.block].energyWeight;
         energy_units += per_cycle * static_cast<double>(dwell);
@@ -125,20 +126,23 @@ Interpreter::runFsm(FsmId id, const WorkItem &item, Recorder *recorder,
 }
 
 JobResult
-Interpreter::run(const JobInput &job, Recorder *recorder,
-                 std::vector<std::uint64_t> *item_cycles) const
+Interpreter::runReference(const JobInput &job, Recorder *recorder,
+                          std::vector<std::uint64_t> *item_cycles) const
 {
+    const Design &dsn = comp->design();
+
     JobResult result;
-    result.cycles = design.perJobOverheadCycles();
-    result.energyUnits = design.controlEnergyPerCycle() *
-        static_cast<double>(design.perJobOverheadCycles());
+    result.cycles = dsn.perJobOverheadCycles();
+    result.energyUnits = dsn.controlEnergyPerCycle() *
+        static_cast<double>(dsn.perJobOverheadCycles());
 
     if (item_cycles) {
         item_cycles->clear();
         item_cycles->reserve(job.items.size());
     }
 
-    const auto &fsms = design.fsms();
+    const auto &fsms = dsn.fsms();
+    const auto &order = comp->topoOrder();
     std::vector<std::uint64_t> end_time(fsms.size(), 0);
 
     for (const auto &item : job.items) {

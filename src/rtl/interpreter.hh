@@ -9,6 +9,11 @@
  * cycle, which keeps full-workload simulation fast while producing the
  * same cycle counts a cycle-stepped simulation of the IR would.
  *
+ * Construction lowers the design to bytecode (rtl/compile.hh); run()
+ * executes the compiled form. The original tree-walking evaluator is
+ * retained as runReference() — a slower oracle the differential tests
+ * hold the compiled path bit-for-bit equal to.
+ *
  * An optional Recorder observes the architectural events the paper's
  * instrumentation registers watch: FSM transitions and counter arms.
  */
@@ -17,6 +22,7 @@
 #define PREDVFS_RTL_INTERPRETER_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "rtl/design.hh"
@@ -58,9 +64,12 @@ struct JobResult
     double energyUnits = 0.0;    //!< Activity-weighted energy units.
 };
 
+class CompiledDesign;
+
 /**
- * Interprets jobs against one design. Construction precomputes the FSM
- * start-dependency order; run() is const and reentrant.
+ * Interprets jobs against one design. Construction compiles the design
+ * once (expression bytecode + FSM start order); run() is const and
+ * reentrant, so one interpreter can serve any number of threads.
  */
 class Interpreter
 {
@@ -69,7 +78,15 @@ class Interpreter
     explicit Interpreter(const Design &design);
 
     /**
-     * Execute one job.
+     * Share an already-compiled design (e.g. the engine's cached one)
+     * instead of compiling again.
+     */
+    explicit Interpreter(std::shared_ptr<const CompiledDesign> compiled);
+
+    ~Interpreter();
+
+    /**
+     * Execute one job on the compiled design.
      *
      * @param job           The work items to process.
      * @param recorder      Optional instrumentation observer.
@@ -78,16 +95,33 @@ class Interpreter
     JobResult run(const JobInput &job, Recorder *recorder = nullptr,
                   std::vector<std::uint64_t> *item_cycles = nullptr) const;
 
+    /**
+     * Execute one job by walking the expression trees — the reference
+     * oracle the bytecode path is differentially tested against.
+     * Produces identical results to run(), only slower.
+     */
+    JobResult
+    runReference(const JobInput &job, Recorder *recorder = nullptr,
+                 std::vector<std::uint64_t> *item_cycles = nullptr) const;
+
+    /** @return the design being interpreted. */
+    const Design &design() const;
+
+    /** @return the shared compiled form (for engines to cache). */
+    const std::shared_ptr<const CompiledDesign> &compiled() const
+    {
+        return comp;
+    }
+
     /** Upper bound on state visits per FSM per item before panicking. */
     static constexpr std::size_t maxVisitsPerItem = 100000;
 
   private:
-    /** Walk one FSM over one item; returns its latency in cycles. */
+    /** Tree-walk one FSM over one item; returns its latency in cycles. */
     std::uint64_t runFsm(FsmId id, const WorkItem &item,
                          Recorder *recorder, double &energy_units) const;
 
-    const Design &design;
-    std::vector<FsmId> order;  //!< FSMs topologically sorted by startAfter.
+    std::shared_ptr<const CompiledDesign> comp;
 };
 
 } // namespace rtl

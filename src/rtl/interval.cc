@@ -74,7 +74,7 @@ divCorners(const Interval &a, std::int64_t b_lo, std::int64_t b_hi,
     }
 }
 
-/** Division with the IR's divide-by-zero-yields-zero semantics. */
+/** Division following the IR's safeDiv() semantics. */
 Interval
 divIv(const Interval &a, const Interval &b)
 {
@@ -84,17 +84,31 @@ divIv(const Interval &a, const Interval &b)
         divCorners(a, b.lo, std::min<std::int64_t>(b.hi, -1), lo, hi);
     if (b.hi >= 1)   // Positive part of the divisor.
         divCorners(a, std::max<std::int64_t>(b.lo, 1), b.hi, lo, hi);
-    if (b.contains(0)) {  // x / 0 == 0 by definition.
-        lo = std::min<__int128>(lo, 0);
-        hi = std::max<__int128>(hi, 0);
+    if (b.contains(0)) {
+        const __int128 z = safeDiv(a.lo, 0);  // 0 by definition.
+        lo = std::min(lo, z);
+        hi = std::max(hi, z);
+    }
+    // The corner quotients are exact in 128 bits, but the concrete
+    // semantics wrap INT64_MIN / -1 back to INT64_MIN; include it.
+    if (a.contains(kMin) && b.contains(-1)) {
+        const __int128 w = safeDiv(kMin, -1);
+        lo = std::min(lo, w);
+        hi = std::max(hi, w);
     }
     return {saturate(lo), saturate(hi)};
 }
 
-/** Remainder with the IR's modulus-by-zero-yields-zero semantics. */
+/**
+ * Remainder following the IR's safeMod() semantics: a zero (or -1)
+ * divisor yields exactly safeMod(x, 0) == safeMod(x, -1) == 0, which
+ * every bound below contains.
+ */
 Interval
 modIv(const Interval &a, const Interval &b)
 {
+    static_assert(safeMod(kMin, 0) == 0 && safeMod(kMin, -1) == 0,
+                  "modIv bounds assume the shared helper yields 0 here");
     // |a % b| < |b| and a % b keeps the sign of a (C++ truncation),
     // so bound by the largest divisor magnitude and by a itself.
     const __int128 mag_lo = b.lo == kMin

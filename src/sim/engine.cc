@@ -2,8 +2,10 @@
 
 #include <algorithm>
 
+#include "rtl/instrument.hh"
 #include "rtl/interpreter.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace predvfs {
 namespace sim {
@@ -19,7 +21,8 @@ SimulationEngine::SimulationEngine(
       opTable(table),
       engineConfig(config),
       energyModel(energy_params ? *energy_params
-                                : accelerator.energyParams())
+                                : accelerator.energyParams()),
+      fullInterp(accelerator.design())
 {
     // Config mistakes here would otherwise surface as NaN-shaped
     // metrics several layers away; reject them up front.
@@ -34,26 +37,50 @@ SimulationEngine::SimulationEngine(
 std::vector<core::PreparedJob>
 SimulationEngine::prepare(const std::vector<rtl::JobInput> &jobs,
                           const core::SlicePredictor *predictor,
-                          const FaultSchedule *faults) const
+                          const FaultSchedule *faults,
+                          util::ThreadPool *pool) const
 {
-    rtl::Interpreter interp(accel.design());
+    std::vector<core::PreparedJob> prepared(jobs.size());
 
-    std::vector<core::PreparedJob> prepared;
-    prepared.reserve(jobs.size());
-    for (const auto &job : jobs) {
-        core::PreparedJob record;
+    // Record i depends only on job i, so any sharding of the index
+    // range produces the same vector; the instrumenter is the one
+    // stateful piece, hence one per worker.
+    const auto fill = [&](const rtl::JobInput &job,
+                          core::PreparedJob &record,
+                          rtl::Instrumenter *instr) {
         record.input = &job;
-        const rtl::JobResult result = interp.run(job);
+        const rtl::JobResult result = fullInterp.run(job);
         record.cycles = result.cycles;
         record.energyUnits = result.energyUnits;
         if (predictor) {
-            const core::SliceRun slice = predictor->run(job);
+            const core::SliceRun slice = predictor->runWith(job, *instr);
             record.sliceCycles = slice.sliceCycles;
             record.sliceEnergyUnits = slice.sliceEnergyUnits;
             record.predictedCycles = slice.predictedCycles;
         }
-        prepared.push_back(record);
+    };
+
+    if (pool && pool->workers() > 1 && jobs.size() > 1) {
+        std::vector<rtl::Instrumenter> scratch;
+        if (predictor) {
+            scratch.reserve(pool->workerSlots());
+            for (unsigned w = 0; w < pool->workerSlots(); ++w)
+                scratch.push_back(predictor->makeInstrumenter());
+        }
+        pool->run(jobs.size(), [&](unsigned w, std::size_t i) {
+            fill(jobs[i], prepared[i],
+                 predictor ? &scratch[w] : nullptr);
+        });
+    } else {
+        std::unique_ptr<rtl::Instrumenter> instr;
+        if (predictor) {
+            instr = std::make_unique<rtl::Instrumenter>(
+                predictor->makeInstrumenter());
+        }
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            fill(jobs[i], prepared[i], instr.get());
     }
+
     if (faults)
         faults->applyPrepareFaults(prepared);
     return prepared;

@@ -24,6 +24,11 @@
 #include "sim/metrics.hh"
 
 namespace predvfs {
+
+namespace util {
+class ThreadPool;
+} // namespace util
+
 namespace sim {
 
 /** Timing parameters of a simulated deployment. */
@@ -62,11 +67,16 @@ class SimulationEngine
      *        fault plans over a fixed stream is cheaper via
      *        FaultSchedule::applyPrepareFaults() on a copy of a
      *        fault-free prepared stream.
+     * @param pool Optional thread pool; jobs are sharded over its
+     *        workers. The result is bit-identical to the serial path
+     *        at any worker count (each record depends only on its own
+     *        job, and fault application stays serial and ordered).
      */
     std::vector<core::PreparedJob>
     prepare(const std::vector<rtl::JobInput> &jobs,
             const core::SlicePredictor *predictor = nullptr,
-            const FaultSchedule *faults = nullptr) const;
+            const FaultSchedule *faults = nullptr,
+            util::ThreadPool *pool = nullptr) const;
 
     /**
      * Replay a prepared stream under @p controller.
@@ -98,6 +108,9 @@ class SimulationEngine
     const power::OperatingPointTable &opTable;
     EngineConfig engineConfig;
     power::EnergyModel energyModel;
+    // The design is compiled once here, not per prepare() call; the
+    // interpreter is const and reentrant, so parallel prepare shares it.
+    rtl::Interpreter fullInterp;
 };
 
 } // namespace sim

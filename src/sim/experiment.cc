@@ -6,6 +6,7 @@
 #include "core/predictive_controller.hh"
 #include "core/table_controller.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace predvfs {
 namespace sim {
@@ -94,8 +95,16 @@ Experiment::Experiment(const std::string &benchmark,
         *accelPtr, *opTable, engine_config,
         platformEnergyParams(accelPtr->energyParams(), opts.platform));
 
-    trainJobs = simEngine->prepare(work.train, flow.predictor.get());
-    testJobs = simEngine->prepare(work.test, flow.predictor.get());
+    if (opts.prepareThreads > 1) {
+        util::ThreadPool pool(opts.prepareThreads);
+        trainJobs = simEngine->prepare(work.train, flow.predictor.get(),
+                                       nullptr, &pool);
+        testJobs = simEngine->prepare(work.test, flow.predictor.get(),
+                                      nullptr, &pool);
+    } else {
+        trainJobs = simEngine->prepare(work.train, flow.predictor.get());
+        testJobs = simEngine->prepare(work.test, flow.predictor.get());
+    }
 }
 
 const core::PidConfig &
@@ -234,6 +243,39 @@ Experiment::meanSliceEnergyFraction() const
         job_units += job.energyUnits;
     }
     return job_units > 0.0 ? slice_units / job_units : 0.0;
+}
+
+std::vector<MatrixCell>
+runExperimentMatrix(const std::vector<std::string> &benchmarks,
+                    const std::vector<Scheme> &schemes,
+                    const ExperimentOptions &options,
+                    util::ThreadPool *pool)
+{
+    std::vector<MatrixCell> cells(benchmarks.size() * schemes.size());
+
+    // One unit of work = one benchmark: the Experiment (flow training,
+    // stream preparation) dominates, and its scheme runs share caches.
+    // Each worker writes only its benchmark's row, keeping the output
+    // independent of sharding.
+    const auto runRow = [&](std::size_t b) {
+        Experiment exp(benchmarks[b], options);
+        for (std::size_t s = 0; s < schemes.size(); ++s) {
+            MatrixCell &cell = cells[b * schemes.size() + s];
+            cell.benchmark = benchmarks[b];
+            cell.scheme = schemes[s];
+            cell.metrics = exp.runScheme(schemes[s]);
+            cell.normalizedEnergy = exp.normalizedEnergy(schemes[s]);
+        }
+    };
+
+    if (pool && pool->workers() > 1) {
+        pool->run(benchmarks.size(),
+                  [&](unsigned, std::size_t b) { runRow(b); });
+    } else {
+        for (std::size_t b = 0; b < benchmarks.size(); ++b)
+            runRow(b);
+    }
+    return cells;
 }
 
 } // namespace sim

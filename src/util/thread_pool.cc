@@ -1,0 +1,106 @@
+#include "util/thread_pool.hh"
+
+namespace predvfs {
+namespace util {
+
+ThreadPool::ThreadPool(unsigned workers)
+    : numWorkers(workers <= 1 ? 0 : workers)
+{
+    if (numWorkers == 0)
+        return;
+    errors.resize(numWorkers);
+    threads.reserve(numWorkers);
+    for (unsigned w = 0; w < numWorkers; ++w)
+        threads.emplace_back([this, w] { workerLoop(w); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    if (numWorkers == 0)
+        return;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        stopping = true;
+    }
+    startCv.notify_all();
+    for (std::thread &t : threads)
+        t.join();
+}
+
+void
+ThreadPool::workerLoop(unsigned w)
+{
+    std::uint64_t seen = 0;
+    while (true) {
+        const Task *fn = nullptr;
+        std::size_t n = 0;
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            startCv.wait(lock, [&] {
+                return stopping || generation != seen;
+            });
+            if (stopping)
+                return;
+            seen = generation;
+            fn = job;
+            n = jobSize;
+        }
+
+        // Contiguous shard: always the same slice for the same (n, W).
+        const std::size_t begin = w * n / numWorkers;
+        const std::size_t end = (w + 1) * n / numWorkers;
+        try {
+            for (std::size_t i = begin; i < end; ++i)
+                (*fn)(w, i);
+        } catch (...) {
+            errors[w] = std::current_exception();
+        }
+
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            ++finished;
+        }
+        doneCv.notify_all();
+    }
+}
+
+void
+ThreadPool::run(std::size_t n, const Task &fn)
+{
+    if (numWorkers == 0 || n == 0) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(0, i);
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        job = &fn;
+        jobSize = n;
+        finished = 0;
+        for (auto &e : errors)
+            e = nullptr;
+        ++generation;
+    }
+    startCv.notify_all();
+
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        doneCv.wait(lock, [&] { return finished == numWorkers; });
+        job = nullptr;
+    }
+
+    for (const std::exception_ptr &e : errors)
+        if (e)
+            std::rethrow_exception(e);
+}
+
+unsigned
+ThreadPool::hardwareWorkers()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+} // namespace util
+} // namespace predvfs

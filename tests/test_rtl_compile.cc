@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Differential tests for the expression bytecode compiler: the
+ * compiled path must be value-identical to the tree walker on every
+ * registry design and on crafted edge cases (division by zero,
+ * INT64_MIN wrap, nested selects, saturation boundaries), and a
+ * CompiledDesign must reproduce the tree-walking interpreter
+ * bit-for-bit — cycles, energy, per-item latencies, and the exact
+ * Recorder event stream.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <tuple>
+#include <vector>
+
+#include "accel/registry.hh"
+#include "rtl/compile.hh"
+#include "rtl/interpreter.hh"
+#include "util/random.hh"
+#include "workload/suite.hh"
+
+using namespace predvfs;
+using namespace predvfs::rtl;
+
+namespace {
+
+constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+
+/** Every expression a design contains (guards, ranges, latencies). */
+std::vector<ExprPtr>
+collectExprs(const Design &design)
+{
+    std::vector<ExprPtr> out;
+    for (const Counter &c : design.counters())
+        out.push_back(c.range);
+    for (const Fsm &fsm : design.fsms()) {
+        for (const State &st : fsm.states) {
+            if (st.implicitLatency)
+                out.push_back(st.implicitLatency);
+            for (const Transition &t : st.transitions)
+                if (t.guard)
+                    out.push_back(t.guard);
+        }
+    }
+    return out;
+}
+
+/** A random field vector honouring the design's declared bounds. */
+std::vector<std::int64_t>
+randomFields(const Design &design, util::Rng &rng)
+{
+    std::vector<std::int64_t> fields;
+    fields.reserve(design.numFields());
+    for (const FieldBounds &b : design.fieldBounds()) {
+        // Clip undeclared (full-range) bounds so products of fields
+        // stay far from the overflow edge; declared bounds are what
+        // the workload generators honour anyway.
+        const std::int64_t lo = std::max<std::int64_t>(b.lo, -100000);
+        const std::int64_t hi = std::min<std::int64_t>(b.hi, 100000);
+        fields.push_back(rng.uniformInt(lo, std::max(lo, hi)));
+    }
+    return fields;
+}
+
+/** Captures the exact Recorder event stream for comparison. */
+struct EventLog : Recorder
+{
+    using Event = std::tuple<int, int, int, std::int64_t, std::int64_t>;
+    std::vector<Event> events;
+
+    void
+    onTransition(FsmId fsm, StateId src, StateId dst) override
+    {
+        events.emplace_back(0, fsm, src, dst, 0);
+    }
+
+    void
+    onCounterArm(CounterId counter, std::int64_t init_value,
+                 std::int64_t final_value) override
+    {
+        events.emplace_back(1, counter, 0, init_value, final_value);
+    }
+};
+
+} // namespace
+
+class CompileBenchmarks : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        acc = accel::makeAccelerator(GetParam());
+    }
+
+    std::shared_ptr<const accel::Accelerator> acc;
+};
+
+TEST_P(CompileBenchmarks, BytecodeMatchesTreeOnRandomFields)
+{
+    const Design &design = acc->design();
+    const auto exprs = collectExprs(design);
+    ASSERT_FALSE(exprs.empty());
+
+    util::Rng rng(0x5eedull + GetParam().size());
+    std::vector<ExprProgram> programs;
+    programs.reserve(exprs.size());
+    for (const ExprPtr &e : exprs)
+        programs.emplace_back(e);
+
+    for (int trial = 0; trial < 2000; ++trial) {
+        const auto fields = randomFields(design, rng);
+        for (std::size_t i = 0; i < exprs.size(); ++i) {
+            ASSERT_EQ(programs[i].eval(fields), exprs[i]->eval(fields))
+                << design.name() << " expr " << i << ": "
+                << exprs[i]->toString(&design.fieldNames());
+        }
+    }
+}
+
+TEST_P(CompileBenchmarks, CompiledJobBitForBitEqualsTreeWalk)
+{
+    const Interpreter interp(acc->design());
+    const workload::BenchmarkWorkload work = workload::makeWorkload(*acc);
+
+    // Real workload jobs plus a random tail; both paths must agree on
+    // every bit, including the floating-point energy accumulation.
+    std::vector<JobInput> jobs(work.test.begin(),
+                               work.test.begin() +
+                                   std::min<std::size_t>(
+                                       work.test.size(), 16));
+    util::Rng rng(0xabc);
+    for (int t = 0; t < 8; ++t) {
+        JobInput job;
+        const auto items = rng.uniformInt(1, 24);
+        for (std::int64_t i = 0; i < items; ++i) {
+            WorkItem item;
+            item.fields = randomFields(acc->design(), rng);
+            job.items.push_back(std::move(item));
+        }
+        jobs.push_back(std::move(job));
+    }
+
+    for (const JobInput &job : jobs) {
+        EventLog fast_log, ref_log;
+        std::vector<std::uint64_t> fast_items, ref_items;
+        const JobResult fast = interp.run(job, &fast_log, &fast_items);
+        const JobResult ref =
+            interp.runReference(job, &ref_log, &ref_items);
+
+        EXPECT_EQ(fast.cycles, ref.cycles);
+        // Exact binary equality, not a tolerance: the compiled path
+        // preserves the reference operation order.
+        EXPECT_EQ(fast.energyUnits, ref.energyUnits);
+        EXPECT_EQ(fast_items, ref_items);
+        EXPECT_EQ(fast_log.events, ref_log.events);
+    }
+}
+
+TEST_P(CompileBenchmarks, RootProgramsMatchSourceTrees)
+{
+    // The (tree, program) pairs a CompiledDesign exposes — the exact
+    // list the perf harness times — must agree with their source trees
+    // on random field vectors and on real workload items.
+    const Design &design = acc->design();
+    const CompiledDesign compiled(design);
+    const auto &roots = compiled.rootExprs();
+    ASSERT_FALSE(roots.empty());
+    std::vector<std::int64_t> scratch(
+        std::max<std::size_t>(compiled.scratchSize(), 1));
+
+    util::Rng rng(0x5007ull + GetParam().size());
+    for (int trial = 0; trial < 2000; ++trial) {
+        const auto fields = randomFields(design, rng);
+        for (std::size_t i = 0; i < roots.size(); ++i) {
+            ASSERT_EQ(compiled.evalProgram(roots[i].second,
+                                           fields.data(),
+                                           scratch.data()),
+                      roots[i].first->eval(fields))
+                << design.name() << " root " << i << ": "
+                << roots[i].first->toString(&design.fieldNames());
+        }
+    }
+
+    const workload::BenchmarkWorkload work = workload::makeWorkload(*acc);
+    for (std::size_t j = 0; j < std::min<std::size_t>(4, work.test.size());
+         ++j) {
+        for (const WorkItem &item : work.test[j].items) {
+            for (std::size_t i = 0; i < roots.size(); ++i) {
+                ASSERT_EQ(compiled.evalProgram(roots[i].second,
+                                               item.fields.data(),
+                                               scratch.data()),
+                          roots[i].first->eval(item.fields));
+            }
+        }
+    }
+}
+
+TEST_P(CompileBenchmarks, CompiledDesignIntrospection)
+{
+    const CompiledDesign compiled(acc->design());
+    EXPECT_GT(compiled.numPrograms(), 0u);
+    EXPECT_EQ(compiled.topoOrder().size(), acc->design().fsms().size());
+    // Specialised (const/field) programs never enter the code pool, so
+    // total instructions bound the non-specialised program count.
+    EXPECT_GE(compiled.codeSize(),
+              compiled.numPrograms() - compiled.numSpecialised());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, CompileBenchmarks,
+                         ::testing::ValuesIn(accel::benchmarkNames()));
+
+TEST(Compile, DivModByZeroAndWrapEdgeCases)
+{
+    const ExprPtr div_e = Expr::div(fld(0), fld(1));
+    const ExprPtr mod_e = Expr::mod(fld(0), fld(1));
+    const ExprProgram div_p(div_e);
+    const ExprProgram mod_p(mod_e);
+
+    const std::vector<std::pair<std::int64_t, std::int64_t>> cases = {
+        {5, 0}, {-5, 0}, {0, 0}, {kMax, 0}, {kMin, 0},
+        {7, -1}, {-7, -1}, {kMin, -1}, {kMax, -1},
+        {kMin, 1}, {kMin, 2}, {kMax, -2}, {100, 7}, {-100, 7},
+    };
+    for (const auto &[a, b] : cases) {
+        const std::vector<std::int64_t> fields = {a, b};
+        EXPECT_EQ(div_p.eval(fields), safeDiv(a, b))
+            << a << " / " << b;
+        EXPECT_EQ(mod_p.eval(fields), safeMod(a, b))
+            << a << " % " << b;
+        EXPECT_EQ(div_p.eval(fields), div_e->eval(fields));
+        EXPECT_EQ(mod_p.eval(fields), mod_e->eval(fields));
+    }
+    // The wrap case the corner-sampling interval domain special-cases.
+    EXPECT_EQ(safeDiv(kMin, -1), kMin);
+    EXPECT_EQ(safeMod(kMin, -1), 0);
+}
+
+TEST(Compile, NestedSelectMatchesTree)
+{
+    // Eager bytecode evaluates both arms; the tree walker only the
+    // taken one. Totality makes them agree anyway — including when the
+    // untaken arm divides by zero.
+    const ExprPtr e = Expr::select(
+        Expr::lt(fld(0), fld(1)),
+        Expr::select(Expr::eq(fld(2), lit(0)),
+                     Expr::div(fld(0), fld(2)),   // f2 == 0 here!
+                     Expr::add(fld(0), lit(7))),
+        Expr::select(Expr::ge(fld(0), lit(50)),
+                     Expr::mul(fld(1), lit(3)),
+                     Expr::sub(fld(1), fld(2))));
+    const ExprProgram p(e);
+
+    util::Rng rng(77);
+    for (int t = 0; t < 4000; ++t) {
+        const std::vector<std::int64_t> fields = {
+            rng.uniformInt(-100, 100), rng.uniformInt(-100, 100),
+            rng.uniformInt(-3, 3),
+        };
+        ASSERT_EQ(p.eval(fields), e->eval(fields));
+    }
+}
+
+TEST(Compile, MinMaxSaturationBoundaries)
+{
+    const ExprPtr e = Expr::min(
+        Expr::max(fld(0), Expr::constant(kMin + 1)),
+        Expr::constant(kMax - 1));
+    const ExprProgram p(e);
+
+    for (const std::int64_t v :
+         {kMin, kMin + 1, kMin + 2, std::int64_t{-1}, std::int64_t{0},
+          std::int64_t{1}, kMax - 2, kMax - 1, kMax}) {
+        const std::vector<std::int64_t> fields = {v};
+        EXPECT_EQ(p.eval(fields), e->eval(fields)) << v;
+    }
+}
+
+TEST(Compile, CommonSubtreesComputeOnce)
+{
+    // Two structurally identical (but distinct) products: the value
+    // numbering must merge them into one computation plus a reload.
+    const ExprPtr prod_a = Expr::mul(fld(0), fld(1));
+    const ExprPtr prod_b = Expr::mul(fld(0), fld(1));
+    const ExprPtr e =
+        Expr::add(Expr::add(prod_a, prod_b),
+                  Expr::mul(Expr::mul(fld(0), fld(1)), fld(2)));
+    const ExprProgram p(e);
+
+    EXPECT_EQ(p.numLocals(), 1u);
+    // Deduped: push f0, push f1, mul, store, load, add, load, push
+    // f2, mul, add = 10; a naive emit would recompute the product
+    // three times (12 instructions).
+    EXPECT_LE(p.codeLength(), 10u);
+
+    util::Rng rng(31);
+    for (int t = 0; t < 1000; ++t) {
+        const std::vector<std::int64_t> fields = {
+            rng.uniformInt(-1000, 1000), rng.uniformInt(-1000, 1000),
+            rng.uniformInt(-1000, 1000),
+        };
+        ASSERT_EQ(p.eval(fields), e->eval(fields));
+    }
+}
+
+TEST(Compile, SpecialisesConstantAndFieldPrograms)
+{
+    // Factory folding collapses the sum; the program needs no code.
+    const ExprProgram c(Expr::add(lit(2), lit(3)));
+    EXPECT_EQ(c.codeLength(), 0u);
+    EXPECT_EQ(c.eval({}), 5);
+
+    const ExprProgram f(fld(2));
+    EXPECT_EQ(f.codeLength(), 0u);
+    EXPECT_EQ(f.eval({10, 20, 30}), 30);
+}
+
+TEST(Compile, ShortCircuitOperatorsAgreeEagerly)
+{
+    // Tree And/Or short-circuit; bytecode evaluates both operands.
+    const ExprPtr e = Expr::logicalOr(
+        Expr::logicalAnd(Expr::gt(fld(0), lit(0)),
+                         Expr::lt(Expr::div(lit(100), fld(0)), lit(20))),
+        Expr::eq(fld(1), lit(0)));
+    const ExprProgram p(e);
+
+    for (const std::int64_t a : {-5, -1, 0, 1, 4, 5, 6, 100}) {
+        for (const std::int64_t b : {0, 1, 2}) {
+            const std::vector<std::int64_t> fields = {a, b};
+            EXPECT_EQ(p.eval(fields), e->eval(fields))
+                << "a=" << a << " b=" << b;
+        }
+    }
+}
+
+TEST(CompileDeath, RejectsUnvalidatedDesign)
+{
+    Design d("unvalidated");
+    EXPECT_DEATH(CompiledDesign compiled(d), "not validated");
+}

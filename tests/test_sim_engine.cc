@@ -8,8 +8,10 @@
 #include <gtest/gtest.h>
 
 #include "accel/registry.hh"
+#include "core/flow.hh"
 #include "core/oracle_controller.hh"
 #include "sim/engine.hh"
+#include "util/thread_pool.hh"
 #include "workload/suite.hh"
 
 using namespace predvfs;
@@ -227,4 +229,93 @@ TEST(Metrics, MissRateAndTotals)
     EXPECT_DOUBLE_EQ(m.totalEnergyJoules(), 1.25);
     RunMetrics empty;
     EXPECT_DOUBLE_EQ(empty.missRate(), 0.0);
+}
+
+namespace {
+
+/** Exact (bit-level) equality of two prepared streams. */
+void
+expectPreparedIdentical(const std::vector<core::PreparedJob> &a,
+                        const std::vector<core::PreparedJob> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].input, b[i].input) << "job " << i;
+        EXPECT_EQ(a[i].cycles, b[i].cycles) << "job " << i;
+        EXPECT_EQ(a[i].energyUnits, b[i].energyUnits) << "job " << i;
+        EXPECT_EQ(a[i].sliceCycles, b[i].sliceCycles) << "job " << i;
+        EXPECT_EQ(a[i].sliceEnergyUnits, b[i].sliceEnergyUnits)
+            << "job " << i;
+        EXPECT_EQ(a[i].predictedCycles, b[i].predictedCycles)
+            << "job " << i;
+    }
+}
+
+/** Exact equality of two run results. */
+void
+expectMetricsIdentical(const RunMetrics &a, const RunMetrics &b)
+{
+    EXPECT_EQ(a.jobs, b.jobs);
+    EXPECT_EQ(a.misses, b.misses);
+    EXPECT_EQ(a.switches, b.switches);
+    EXPECT_EQ(a.execEnergyJoules, b.execEnergyJoules);
+    EXPECT_EQ(a.overheadEnergyJoules, b.overheadEnergyJoules);
+    EXPECT_EQ(a.execSeconds, b.execSeconds);
+    EXPECT_EQ(a.overheadSeconds, b.overheadSeconds);
+}
+
+} // namespace
+
+TEST(Engine, ParallelPrepareBitIdenticalToSerial)
+{
+    Fixture f;
+    const core::FlowResult flow =
+        core::buildPredictor(f.acc->design(), f.work.train, {});
+    const auto serial =
+        f.engine.prepare(f.work.test, flow.predictor.get());
+
+    for (const unsigned workers : {1u, 2u, 4u, 7u}) {
+        util::ThreadPool pool(workers);
+        const auto parallel = f.engine.prepare(
+            f.work.test, flow.predictor.get(), nullptr, &pool);
+        SCOPED_TRACE("workers=" + std::to_string(workers));
+        expectPreparedIdentical(serial, parallel);
+    }
+}
+
+TEST(Engine, ParallelPrepareWithFaultsMatchesSerialRun)
+{
+    Fixture f;
+    const core::FlowResult flow =
+        core::buildPredictor(f.acc->design(), f.work.train, {});
+
+    FaultPlan plan(1234);
+    plan.sliceReadout(FaultTrigger::every(9))
+        .sliceStall(FaultTrigger::every(13, 3), 20.0)
+        .switchDenied(FaultTrigger::every(5, 1))
+        .switchSettle(FaultTrigger::every(11, 2), 10.0)
+        .oodSpike(FaultTrigger::every(17, 4), 3.0);
+    const FaultSchedule schedule =
+        plan.instantiate(f.work.test.size());
+
+    const auto serial =
+        f.engine.prepare(f.work.test, flow.predictor.get(), &schedule);
+
+    for (const unsigned workers : {2u, 4u, 7u}) {
+        util::ThreadPool pool(workers);
+        const auto parallel = f.engine.prepare(
+            f.work.test, flow.predictor.get(), &schedule, &pool);
+        SCOPED_TRACE("workers=" + std::to_string(workers));
+        expectPreparedIdentical(serial, parallel);
+
+        // Identical records must replay to identical metrics — run
+        // both anyway so a record-comparison gap cannot hide drift.
+        core::OracleController a(f.table,
+                                 f.acc->nominalFrequencyHz(), {});
+        core::OracleController b(f.table,
+                                 f.acc->nominalFrequencyHz(), {});
+        expectMetricsIdentical(
+            f.engine.run(a, serial, nullptr, &schedule),
+            f.engine.run(b, parallel, nullptr, &schedule));
+    }
 }

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * ThreadPool: full index coverage, deterministic contiguous sharding,
+ * output identical to a serial loop at every worker count, exception
+ * propagation, and reuse across many run() calls.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.hh"
+
+using predvfs::util::ThreadPool;
+
+namespace {
+
+/** A cheap index-dependent value both paths must compute. */
+std::uint64_t
+mix(std::size_t i)
+{
+    std::uint64_t x = static_cast<std::uint64_t>(i) * 0x9e3779b97f4a7c15ULL;
+    x ^= x >> 29;
+    return x * 0xbf58476d1ce4e5b9ULL;
+}
+
+} // namespace
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce)
+{
+    for (const unsigned workers : {0u, 1u, 2u, 4u, 7u}) {
+        ThreadPool pool(workers);
+        for (const std::size_t n : {std::size_t{0}, std::size_t{1},
+                                    std::size_t{5}, std::size_t{97}}) {
+            std::vector<std::atomic<int>> hits(n);
+            pool.run(n, [&](unsigned w, std::size_t i) {
+                ASSERT_LT(w, pool.workerSlots());
+                hits[i].fetch_add(1);
+            });
+            for (std::size_t i = 0; i < n; ++i)
+                EXPECT_EQ(hits[i].load(), 1)
+                    << "workers=" << workers << " n=" << n << " i=" << i;
+        }
+    }
+}
+
+TEST(ThreadPool, ShardsAreContiguousAndDeterministic)
+{
+    ThreadPool pool(4);
+    const std::size_t n = 103;
+    std::vector<unsigned> owner(n);
+    pool.run(n, [&](unsigned w, std::size_t i) { owner[i] = w; });
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const unsigned w = owner[i];
+        EXPECT_EQ(i >= w * n / 4 && i < (w + 1) * n / 4, true)
+            << "index " << i << " ran on worker " << w;
+    }
+
+    // The same (n, workers) must produce the same partition again.
+    std::vector<unsigned> owner2(n);
+    pool.run(n, [&](unsigned w, std::size_t i) { owner2[i] = w; });
+    EXPECT_EQ(owner, owner2);
+}
+
+TEST(ThreadPool, OutputIdenticalToSerialAtAnyWorkerCount)
+{
+    const std::size_t n = 500;
+    std::vector<std::uint64_t> serial(n);
+    for (std::size_t i = 0; i < n; ++i)
+        serial[i] = mix(i);
+
+    for (const unsigned workers : {1u, 2u, 4u, 7u}) {
+        ThreadPool pool(workers);
+        std::vector<std::uint64_t> parallel(n, 0);
+        pool.run(n, [&](unsigned, std::size_t i) {
+            parallel[i] = mix(i);
+        });
+        EXPECT_EQ(parallel, serial) << "workers=" << workers;
+    }
+}
+
+TEST(ThreadPool, PropagatesShardExceptions)
+{
+    ThreadPool pool(2);
+    EXPECT_THROW(
+        pool.run(10, [&](unsigned, std::size_t i) {
+            if (i == 7)
+                throw std::runtime_error("shard failure");
+        }),
+        std::runtime_error);
+
+    // The pool must stay usable after a failed run.
+    std::vector<int> out(4, 0);
+    pool.run(4, [&](unsigned, std::size_t i) { out[i] = 1; });
+    EXPECT_EQ(out, (std::vector<int>{1, 1, 1, 1}));
+}
+
+TEST(ThreadPool, SurvivesManyConsecutiveRuns)
+{
+    ThreadPool pool(3);
+    std::uint64_t expect = 0;
+    std::vector<std::uint64_t> partial(pool.workerSlots());
+    for (int round = 0; round < 200; ++round) {
+        const std::size_t n = 1 + (round % 17);
+        std::fill(partial.begin(), partial.end(), 0);
+        pool.run(n, [&](unsigned w, std::size_t i) {
+            partial[w] += i + 1;
+        });
+        std::uint64_t got = 0;
+        for (const std::uint64_t p : partial)
+            got += p;
+        expect = n * (n + 1) / 2;
+        ASSERT_EQ(got, expect) << "round " << round;
+    }
+}
+
+TEST(ThreadPool, InlineModeRunsOnCaller)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.workers(), 0u);
+    EXPECT_EQ(pool.workerSlots(), 1u);
+    const std::thread::id caller = std::this_thread::get_id();
+    pool.run(3, [&](unsigned w, std::size_t) {
+        EXPECT_EQ(w, 0u);
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+    });
+}
+
+TEST(ThreadPool, HardwareWorkersPositive)
+{
+    EXPECT_GE(ThreadPool::hardwareWorkers(), 1u);
+}
