@@ -21,17 +21,31 @@
  *             cached-interpreter prepare, serial and on a
  *             deterministic pool with 1/2/4 workers;
  *  - train:   the full offline flow (buildPredictor);
- *  - run:     controller replay of the prepared stream.
+ *  - run:     controller replay of the prepared stream;
+ *  - memo:    content-addressed prepare memoisation on a
+ *             duplicate-heavy stream — cold (empty JobCache) vs warm
+ *             (all hits) — with cache hit rates, plus a byte-wise
+ *             identity check of cached-vs-oracle records both clean
+ *             and under an active fault schedule;
+ *  - batch:   the lockstep SoA batch kernel (runBatch) vs the scalar
+ *             compiled path over the same jobs, with a byte-wise
+ *             identity check per lane;
+ *  - sweep:   a figure-style grid of experiment cells (deadline x
+ *             switch time) run end-to-end with and without cross-cell
+ *             prepared-stream reuse, metrics compared exactly.
  *
  * Results go to BENCH_perf.json (path overridable via argv[1]):
  * ns/eval, ns/item, items/s, and speedups against the tree-walk
  * serial baseline. The process exits non-zero if the compiled
  * evaluator is slower than the tree walker on any benchmark — at the
- * expression level or end-to-end — so CI catches a perf regression
- * the way it catches a failing test. Wall-clock speedups from extra
- * prepare workers require real cores; speedup_4t is still reported
- * against the seed baseline on any machine, with hardware_threads
- * recorded so readers can judge the scaling numbers.
+ * expression level or end-to-end — or if any byte-wise divergence is
+ * detected between the cached/batched/shared paths and their
+ * uncached oracles (including under fault schedules), so CI catches a
+ * perf or correctness regression the way it catches a failing test.
+ * Wall-clock speedups from extra prepare workers require real cores;
+ * speedup_4t is still reported against the seed baseline on any
+ * machine, with hardware_threads recorded so readers can judge the
+ * scaling numbers.
  */
 
 #include <algorithm>
@@ -53,6 +67,9 @@
 #include "rtl/instrument.hh"
 #include "rtl/interpreter.hh"
 #include "sim/engine.hh"
+#include "sim/experiment.hh"
+#include "sim/fault.hh"
+#include "sim/job_cache.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 #include "workload/suite.hh"
@@ -104,8 +121,62 @@ struct BenchResult
     double trainSeconds = 0.0;
     double runNsPerJob = 0.0;
 
+    // Memoised prepare on a duplicate-heavy stream.
+    std::size_t memoJobs = 0;
+    std::size_t memoUnique = 0;
+    double memoColdNsPerJob = 0.0;
+    double memoWarmNsPerJob = 0.0;
+    double memoWarmSpeedup = 0.0;
+    double memoHitRate = 0.0;
+    std::uint64_t memoHits = 0;
+    std::uint64_t memoMisses = 0;
+
+    // Lockstep SoA batch kernel vs the scalar compiled path.
+    std::size_t lockstepFsms = 0;
+    std::size_t totalFsms = 0;
+    double batchNsPerItem = 0.0;
+    double batchSpeedup = 0.0;
+
+    // Figure-style grid sweep with/without cross-cell stream reuse.
+    std::size_t sweepCells = 0;
+    double sweepNoReuseSeconds = 0.0;
+    double sweepReuseSeconds = 0.0;
+    double sweepSpeedup = 0.0;
+
+    bool divergence = false;  //!< Any byte-wise mismatch found.
+
     std::uint64_t checksum = 0;  //!< Defeats dead-code elimination.
 };
+
+/** Exact (byte-wise) equality of two prepared streams. */
+bool
+samePrepared(const std::vector<core::PreparedJob> &a,
+             const std::vector<core::PreparedJob> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].cycles != b[i].cycles ||
+            a[i].energyUnits != b[i].energyUnits ||
+            a[i].sliceCycles != b[i].sliceCycles ||
+            a[i].sliceEnergyUnits != b[i].sliceEnergyUnits ||
+            a[i].predictedCycles != b[i].predictedCycles)
+            return false;
+    }
+    return true;
+}
+
+/** Exact equality of two scheme-run metric sets. */
+bool
+sameMetrics(const sim::RunMetrics &a, const sim::RunMetrics &b)
+{
+    return a.jobs == b.jobs && a.misses == b.misses &&
+        a.switches == b.switches &&
+        a.execEnergyJoules == b.execEnergyJoules &&
+        a.overheadEnergyJoules == b.overheadEnergyJoules &&
+        a.execSeconds == b.execSeconds &&
+        a.overheadSeconds == b.overheadSeconds;
+}
 
 BenchResult
 benchOne(const std::string &name)
@@ -164,11 +235,11 @@ benchOne(const std::string &name)
     res.exprSpeedup = expr_tree_s / expr_comp_s;
 
     // --- job_sim: end-to-end tree walk vs compiled over the stream.
-    const double tree_s = timeBest(3, [&] {
+    const double tree_s = timeBest(5, [&] {
         for (const rtl::JobInput &job : jobs)
             sum += interp.runReference(job).cycles;
     });
-    const double compiled_s = timeBest(3, [&] {
+    const double compiled_s = timeBest(5, [&] {
         for (const rtl::JobInput &job : jobs)
             sum += interp.run(job).cycles;
     });
@@ -179,6 +250,33 @@ benchOne(const std::string &name)
     res.jobCompiledNsPerItem = compiled_s * 1e9 / items_d;
     res.jobCompiledItemsPerSec = items_d / compiled_s;
     res.jobSpeedup = tree_s / compiled_s;
+
+    // --- batch: march the whole test stream through the lockstep SoA
+    // kernel in one call, against the scalar compiled per-job loop
+    // timed above. Bit-for-bit identity per lane is a hard gate.
+    res.totalFsms = design.fsms().size();
+    res.lockstepFsms = comp.numLockstepFsms();
+    std::vector<const rtl::JobInput *> lanes;
+    lanes.reserve(jobs.size());
+    for (const rtl::JobInput &job : jobs)
+        lanes.push_back(&job);
+    std::vector<rtl::JobResult> batchOut(jobs.size());
+    const double batch_s = timeBest(5, [&] {
+        comp.runBatch(lanes.data(), lanes.size(), batchOut.data());
+        sum += batchOut.back().cycles;
+    });
+    res.batchNsPerItem = batch_s * 1e9 / items_d;
+    res.batchSpeedup = compiled_s / batch_s;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const rtl::JobResult scalar = interp.run(jobs[i]);
+        if (batchOut[i].cycles != scalar.cycles ||
+            batchOut[i].energyUnits != scalar.energyUnits) {
+            std::cerr << "DIVERGENCE: batch kernel lane " << i
+                      << " differs from scalar compiled run on " << name
+                      << "\n";
+            res.divergence = true;
+        }
+    }
 
     // --- prepare: seed-style baseline (tree walk everywhere) vs the
     // engine path. The baseline interpreters are built once, outside
@@ -217,16 +315,21 @@ benchOne(const std::string &name)
         sum += prepared.back().cycles;
     });
 
+    // The cache is cleared inside each rep so these keep measuring
+    // the uncached engine path; memoisation is timed separately below.
     std::vector<core::PreparedJob> prepared;
     const double serial_s = timeBest(3, [&] {
+        sim::JobCache::global().clear();
         prepared = engine.prepare(jobs, pred);
     });
     util::ThreadPool pool2(2);
     const double pool2_s = timeBest(3, [&] {
+        sim::JobCache::global().clear();
         prepared = engine.prepare(jobs, pred, nullptr, &pool2);
     });
     util::ThreadPool pool4(4);
     const double pool4_s = timeBest(3, [&] {
+        sim::JobCache::global().clear();
         prepared = engine.prepare(jobs, pred, nullptr, &pool4);
     });
 
@@ -246,6 +349,124 @@ benchOne(const std::string &name)
         sum += engine.run(controller, prepared).switches;
     });
     res.runNsPerJob = run_s * 1e9 / jobs_d;
+
+    // --- memo: a duplicate-heavy stream (the figures replay the same
+    // job mix across grid cells) prepared cold — empty cache — and
+    // warm. The warm path must reproduce the oracle records byte for
+    // byte, clean and under an active fault schedule.
+    const std::size_t unique_n = std::min<std::size_t>(8, jobs.size());
+    std::vector<rtl::JobInput> dup;
+    for (int rep = 0; rep < 3; ++rep)
+        for (std::size_t k = 0; k < unique_n; ++k)
+            dup.push_back(jobs[k]);
+    res.memoJobs = dup.size();
+    res.memoUnique = unique_n;
+
+    const double memo_cold_s = timeBest(3, [&] {
+        sim::JobCache::global().clear();
+        sum += engine.prepare(dup, pred).back().cycles;
+    });
+    sim::JobCache::global().clear();
+    const std::vector<core::PreparedJob> memo_cold =
+        engine.prepare(dup, pred);
+    const double memo_warm_s = timeBest(3, [&] {
+        sum += engine.prepare(dup, pred).back().cycles;
+    });
+    const sim::JobCache::Stats cs = sim::JobCache::global().stats();
+    res.memoHits = cs.hits;
+    res.memoMisses = cs.misses;
+    res.memoHitRate = cs.hitRate();
+
+    const double memo_jobs_d = static_cast<double>(dup.size());
+    res.memoColdNsPerJob = memo_cold_s * 1e9 / memo_jobs_d;
+    res.memoWarmNsPerJob = memo_warm_s * 1e9 / memo_jobs_d;
+    res.memoWarmSpeedup = memo_cold_s / memo_warm_s;
+
+    // Oracle identity: cached records vs a fresh tree-walk compute.
+    const std::vector<core::PreparedJob> memo_warm =
+        engine.prepare(dup, pred);
+    std::vector<core::PreparedJob> memo_oracle;
+    for (const rtl::JobInput &job : dup) {
+        core::PreparedJob record;
+        record.input = &job;
+        const rtl::JobResult r = full_tree.runReference(job);
+        record.cycles = r.cycles;
+        record.energyUnits = r.energyUnits;
+        instr.reset();
+        const rtl::JobResult s = slice_tree.runReference(job, &instr);
+        record.sliceCycles = s.cycles;
+        record.sliceEnergyUnits = s.energyUnits;
+        record.predictedCycles = pred->predictCycles(instr.values());
+        memo_oracle.push_back(record);
+    }
+    if (!samePrepared(memo_warm, memo_cold) ||
+        !samePrepared(memo_warm, memo_oracle)) {
+        std::cerr << "DIVERGENCE: memoised prepare differs from the "
+                  << "uncached oracle on " << name << "\n";
+        res.divergence = true;
+    }
+
+    // Fault identity: the cache stores clean simulations only, so a
+    // warm prepare under a schedule must equal the cold one exactly.
+    sim::FaultPlan plan(911);
+    plan.sliceReadout(sim::FaultTrigger::every(3))
+        .sliceStall(sim::FaultTrigger::every(5, 1), 25.0)
+        .oodSpike(sim::FaultTrigger::every(7, 2), 4.0);
+    const sim::FaultSchedule sched = plan.instantiate(dup.size());
+    sim::JobCache::global().clear();
+    const std::vector<core::PreparedJob> fault_cold =
+        engine.prepare(dup, pred, &sched);
+    const std::vector<core::PreparedJob> fault_warm =
+        engine.prepare(dup, pred, &sched);
+    std::vector<core::PreparedJob> fault_oracle = memo_oracle;
+    sched.applyPrepareFaults(fault_oracle);
+    if (!samePrepared(fault_warm, fault_cold) ||
+        !samePrepared(fault_warm, fault_oracle)) {
+        std::cerr << "DIVERGENCE: memoised prepare under a fault "
+                  << "schedule differs from the uncached oracle on "
+                  << name << "\n";
+        res.divergence = true;
+    }
+
+    // --- sweep: a figure-style grid of cells differing only in
+    // deadline and switch time, end-to-end (train + prepare + run),
+    // without and with cross-cell prepared-stream reuse.
+    const double deadlines[] = {1.0 / 60.0, 0.5 / 60.0};
+    const double switch_times[] = {100e-6, 250e-6};
+    std::vector<sim::RunMetrics> sweep_shared, sweep_private;
+    auto run_sweep = [&](bool share,
+                         std::vector<sim::RunMetrics> &metrics) {
+        sim::clearSharedStreams();
+        sim::JobCache::global().clear();
+        metrics.clear();
+        for (const double deadline : deadlines)
+            for (const double switch_time : switch_times) {
+                sim::ExperimentOptions cell;
+                cell.deadlineSeconds = deadline;
+                cell.switchTimeSeconds = switch_time;
+                cell.shareStreams = share;
+                sim::Experiment exp(name, cell);
+                metrics.push_back(
+                    exp.runScheme(sim::Scheme::Prediction));
+            }
+    };
+    res.sweepCells = 4;
+    res.sweepReuseSeconds = timeBest(1, [&] {
+        run_sweep(true, sweep_shared);
+    });
+    res.sweepNoReuseSeconds = timeBest(1, [&] {
+        run_sweep(false, sweep_private);
+    });
+    res.sweepSpeedup = res.sweepNoReuseSeconds / res.sweepReuseSeconds;
+    for (std::size_t i = 0; i < sweep_shared.size(); ++i)
+        if (!sameMetrics(sweep_shared[i], sweep_private[i])) {
+            std::cerr << "DIVERGENCE: grid-sweep cell " << i
+                      << " metrics differ with stream reuse on " << name
+                      << "\n";
+            res.divergence = true;
+        }
+    sim::clearSharedStreams();
+
     res.checksum ^= sum;
 
     return res;
@@ -263,13 +484,16 @@ geomean(const std::vector<BenchResult> &results,
 
 void
 writeJson(std::ostream &os, const std::vector<BenchResult> &results,
-          double interp_gm, double job_gm, double prep_gm, bool pass)
+          double interp_gm, double job_gm, double prep_gm,
+          double memo_gm, double sweep_gm, bool pass)
 {
     os.precision(6);
     os << "{\n"
        << "  \"generated_by\": \"bench_perf_pipeline\",\n"
        << "  \"hardware_threads\": "
        << util::ThreadPool::hardwareWorkers() << ",\n"
+       << "  \"cache_enabled\": "
+       << (sim::JobCache::enabledByEnv() ? "true" : "false") << ",\n"
        << "  \"benchmarks\": [\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
         const BenchResult &r = results[i];
@@ -309,6 +533,34 @@ writeJson(std::ostream &os, const std::vector<BenchResult> &results,
            << r.prepSpeedupSerial << ",\n"
            << "        \"speedup_4t_vs_baseline\": " << r.prepSpeedup4t
            << "\n      },\n"
+           << "      \"memo_prepare\": {\n"
+           << "        \"jobs\": " << r.memoJobs << ",\n"
+           << "        \"unique_jobs\": " << r.memoUnique << ",\n"
+           << "        \"cold_ns_per_job\": " << r.memoColdNsPerJob
+           << ",\n"
+           << "        \"warm_ns_per_job\": " << r.memoWarmNsPerJob
+           << ",\n"
+           << "        \"warm_speedup\": " << r.memoWarmSpeedup << ",\n"
+           << "        \"hits\": " << r.memoHits << ",\n"
+           << "        \"misses\": " << r.memoMisses << ",\n"
+           << "        \"hit_rate\": " << r.memoHitRate << "\n"
+           << "      },\n"
+           << "      \"batch\": {\n"
+           << "        \"lockstep_fsms\": " << r.lockstepFsms << ",\n"
+           << "        \"total_fsms\": " << r.totalFsms << ",\n"
+           << "        \"ns_per_item\": " << r.batchNsPerItem << ",\n"
+           << "        \"speedup_vs_scalar_compiled\": "
+           << r.batchSpeedup << "\n      },\n"
+           << "      \"grid_sweep\": {\n"
+           << "        \"cells\": " << r.sweepCells << ",\n"
+           << "        \"no_reuse_seconds\": " << r.sweepNoReuseSeconds
+           << ",\n"
+           << "        \"reuse_seconds\": " << r.sweepReuseSeconds
+           << ",\n"
+           << "        \"speedup\": " << r.sweepSpeedup << "\n"
+           << "      },\n"
+           << "      \"divergence\": "
+           << (r.divergence ? "true" : "false") << ",\n"
            << "      \"train_seconds\": " << r.trainSeconds << ",\n"
            << "      \"run_ns_per_job\": " << r.runNsPerJob << ",\n"
            << "      \"checksum\": " << r.checksum << "\n"
@@ -319,8 +571,12 @@ writeJson(std::ostream &os, const std::vector<BenchResult> &results,
        << "    \"geomean_interp_speedup\": " << interp_gm << ",\n"
        << "    \"geomean_job_sim_speedup\": " << job_gm << ",\n"
        << "    \"geomean_prepare_speedup_4t\": " << prep_gm << ",\n"
+       << "    \"geomean_memo_warm_speedup\": " << memo_gm << ",\n"
+       << "    \"geomean_grid_sweep_speedup\": " << sweep_gm << ",\n"
        << "    \"target_interp_speedup\": 5.0,\n"
        << "    \"target_prepare_speedup_4t\": 2.5,\n"
+       << "    \"target_memo_warm_speedup\": 5.0,\n"
+       << "    \"target_grid_sweep_speedup\": 1.3,\n"
        << "    \"pass\": " << (pass ? "true" : "false") << "\n"
        << "  }\n"
        << "}\n";
@@ -341,18 +597,29 @@ main(int argc, char **argv)
         results.push_back(benchOne(name));
         const BenchResult &r = results.back();
         std::cout << ": interp " << r.exprSpeedup << "x, job_sim "
-                  << r.jobSpeedup << "x, prepare(serial) "
-                  << r.prepSpeedupSerial << "x, prepare(4t) "
-                  << r.prepSpeedup4t << "x\n";
+                  << r.jobSpeedup << "x, prepare(4t) "
+                  << r.prepSpeedup4t << "x, memo(warm) "
+                  << r.memoWarmSpeedup << "x, batch "
+                  << r.batchSpeedup << "x, sweep "
+                  << r.sweepSpeedup << "x\n";
     }
 
     const double interp_gm = geomean(results, &BenchResult::exprSpeedup);
     const double job_gm = geomean(results, &BenchResult::jobSpeedup);
     const double prep_gm =
         geomean(results, &BenchResult::prepSpeedup4t);
+    const double memo_gm =
+        geomean(results, &BenchResult::memoWarmSpeedup);
+    const double sweep_gm =
+        geomean(results, &BenchResult::sweepSpeedup);
 
     // Hard regression gate: compiled evaluation slower than the tree
-    // walk on any benchmark — at either level — fails the harness.
+    // walk on any benchmark — at either level — or any byte-wise
+    // divergence between the reuse paths and their oracles fails the
+    // harness. The memo/sweep speed gates only apply when the cache
+    // is enabled; with PREDVFS_DISABLE_CACHE=1 both paths degenerate
+    // to the uncached pipeline and only the identity checks remain.
+    const bool cache_on = sim::JobCache::enabledByEnv();
     bool regression = false;
     for (const BenchResult &r : results) {
         if (r.exprSpeedup < 1.0) {
@@ -367,22 +634,51 @@ main(int argc, char **argv)
                       << r.jobSpeedup << "x)\n";
             regression = true;
         }
+        if (r.divergence) {
+            std::cerr << "REGRESSION: byte-wise divergence on "
+                      << r.name << "\n";
+            regression = true;
+        }
+        if (cache_on && r.memoWarmSpeedup < 1.0) {
+            std::cerr << "REGRESSION: warm memoised prepare slower "
+                      << "than cold on " << r.name << " ("
+                      << r.memoWarmSpeedup << "x)\n";
+            regression = true;
+        }
+        if (r.lockstepFsms == r.totalFsms && r.batchSpeedup < 1.0) {
+            std::cerr << "REGRESSION: batch kernel slower than the "
+                      << "scalar compiled path on fully-lockstep "
+                      << r.name << " (" << r.batchSpeedup << "x)\n";
+            regression = true;
+        }
+        if (cache_on && r.sweepSpeedup < 1.0) {
+            std::cerr << "REGRESSION: grid sweep slower with stream "
+                      << "reuse on " << r.name << " ("
+                      << r.sweepSpeedup << "x)\n";
+            regression = true;
+        }
     }
-    const bool pass =
-        !regression && interp_gm >= 5.0 && prep_gm >= 2.5;
+    const bool pass = !regression && interp_gm >= 5.0 &&
+        prep_gm >= 2.5 &&
+        (!cache_on || (memo_gm >= 5.0 && sweep_gm >= 1.3));
 
     std::ofstream out(out_path);
     if (!out) {
         std::cerr << "cannot open " << out_path << " for writing\n";
         return 1;
     }
-    writeJson(out, results, interp_gm, job_gm, prep_gm, pass);
+    writeJson(out, results, interp_gm, job_gm, prep_gm, memo_gm,
+              sweep_gm, pass);
 
     std::cout << "geomean interp speedup: " << interp_gm
               << "x (target 5x)\n"
               << "geomean job_sim speedup: " << job_gm << "x\n"
               << "geomean prepare speedup (4 workers vs baseline): "
               << prep_gm << "x (target 2.5x)\n"
+              << "geomean memo warm-over-cold prepare speedup: "
+              << memo_gm << "x (target 5x)\n"
+              << "geomean grid-sweep reuse speedup: " << sweep_gm
+              << "x (target 1.3x)\n"
               << "wrote " << out_path << "\n";
     return regression ? 1 : 0;
 }

@@ -1,35 +1,66 @@
 #!/bin/sh
 # Full local check: configure, build (warnings are errors), run the
-# test suite, lint every benchmark design, and smoke-run every bench
-# binary. Set CHECK_SANITIZE=1 for an additional ASan/UBSan pass.
+# test suite (with the job cache enabled and disabled), lint every
+# benchmark design, and smoke-run every bench binary. Set
+# CHECK_SANITIZE=1 for an additional ASan/UBSan pass. Each stage's
+# wall time is reported in a summary at the end.
 set -eu
 cd "$(dirname "$0")/.."
 
+TIMES=""
+STAGE=""
+STAGE_T0=0
+
+stage() {
+    stage_end
+    STAGE="$1"
+    STAGE_T0=$(date +%s)
+    echo "== $STAGE"
+}
+
+stage_end() {
+    if [ -n "$STAGE" ]; then
+        TIMES="${TIMES}$(printf '%6ss  %s' \
+            "$(( $(date +%s) - STAGE_T0 ))" "$STAGE")
+"
+        STAGE=""
+    fi
+}
+
+stage "configure"
 cmake -B build -G Ninja
+
+stage "build"
 cmake --build build
+
+stage "tests (cache enabled)"
 ctest --test-dir build --output-on-failure
 
-echo "== design lint"
+stage "tests (PREDVFS_DISABLE_CACHE=1)"
+PREDVFS_DISABLE_CACHE=1 ctest --test-dir build --output-on-failure
+
+stage "design lint"
 build/examples/example_lint_design all
 
-echo "== robustness smoke (1 benchmark, 60 jobs)"
+stage "robustness smoke (1 benchmark, 60 jobs)"
 build/bench/bench_robustness_faults sha 60 > /dev/null
 
-echo "== perf regression harness"
+stage "perf regression harness"
 build/bench/bench_perf_pipeline BENCH_perf.json
 
+stage "bench smoke"
 for b in build/bench/*; do
     case "$b" in
         */bench_perf_pipeline) continue ;;  # ran above, with output
     esac
     if [ -f "$b" ] && [ -x "$b" ]; then
-        echo "== $b"
+        echo "-- $b"
         "$b" > /dev/null
     fi
 done
 
 if [ "${CHECK_SANITIZE:-0}" = "1" ]; then
-    echo "== sanitizer pass (address;undefined)"
+    stage "sanitizer pass (address;undefined)"
     cmake -B build-san -G Ninja \
         -DPREDVFS_SANITIZE="address;undefined"
     cmake --build build-san
@@ -37,4 +68,7 @@ if [ "${CHECK_SANITIZE:-0}" = "1" ]; then
     build-san/examples/example_lint_design all
 fi
 
+stage_end
+echo "== stage wall times"
+printf '%s' "$TIMES"
 echo "all checks passed"

@@ -78,10 +78,19 @@ class SlicePredictor
     /** @return number of features the slice computes. */
     std::size_t numFeatures() const { return betaRaw.size(); }
 
+    /**
+     * Content fingerprint of the predictor: slice design text,
+     * coefficients, and intercept. Computed once at construction (the
+     * object is immutable) so per-prepare consumers — the job cache's
+     * stream keys — never re-serialise the slice design.
+     */
+    std::uint64_t fingerprint() const { return contentFp; }
+
   private:
     rtl::SliceResult sliceResult;
     opt::Vector betaRaw;
     double interceptRaw;
+    std::uint64_t contentFp;
     rtl::Interpreter sliceInterp;
     // Instrumenter is stateful; mutable because run() is logically
     // const (the accumulators are reset on entry).

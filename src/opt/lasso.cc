@@ -40,18 +40,6 @@ asymmetricLoss(const Vector &residual, double alpha)
     return loss;
 }
 
-/** Loss gradient with respect to the residual vector. */
-Vector
-lossGradient(const Vector &residual, double alpha)
-{
-    Vector g(residual.size());
-    for (std::size_t i = 0; i < residual.size(); ++i) {
-        const double r = residual[i];
-        g[i] = 2.0 * (r > 0.0 ? 1.0 : alpha) * r;
-    }
-    return g;
-}
-
 double
 softThreshold(double v, double t)
 {
@@ -112,21 +100,33 @@ AsymmetricLasso::fit(const Matrix &x, const Vector &y,
     double prev_obj =
         objective(x, y, beta, intercept, config);
 
+    // Iteration scratch, allocated once per fit. The soft-threshold
+    // scale is loop-invariant (gamma and the step never change), so it
+    // hoists too; every in-place update below performs the exact
+    // floating-point operation sequence of the allocating form it
+    // replaces, keeping FitResult bit-identical.
+    Vector residual(n);
+    Vector g_r(n);
+    Vector g_beta(p);
+    Vector beta_next(p);
+    const double thresh = config.gamma * step;
+
     int iter = 0;
     for (; iter < config.maxIterations; ++iter) {
         // Gradient of the smooth part at the momentum point.
-        Vector residual = x.multiply(z_beta);
+        x.multiplyInto(z_beta, residual);
         for (std::size_t i = 0; i < n; ++i)
             residual[i] += z_intercept - y[i];
-        const Vector g_r = lossGradient(residual, config.alpha);
-        const Vector g_beta = x.multiplyTransposed(g_r);
+        for (std::size_t i = 0; i < n; ++i) {
+            const double r = residual[i];
+            g_r[i] = 2.0 * (r > 0.0 ? 1.0 : config.alpha) * r;
+        }
+        x.multiplyTransposedInto(g_r, g_beta);
         double g_intercept = 0.0;
         for (std::size_t i = 0; i < n; ++i)
             g_intercept += g_r[i];
 
         // Proximal gradient step (soft threshold on beta only).
-        Vector beta_next(p);
-        const double thresh = config.gamma * step;
         for (std::size_t j = 0; j < p; ++j)
             beta_next[j] =
                 softThreshold(z_beta[j] - step * g_beta[j], thresh);
@@ -136,7 +136,9 @@ AsymmetricLasso::fit(const Matrix &x, const Vector &y,
         const double t_next =
             (1.0 + std::sqrt(1.0 + 4.0 * t * t)) / 2.0;
         const double momentum = (t - 1.0) / t_next;
-        z_beta = beta_next + (beta_next - beta) * momentum;
+        for (std::size_t j = 0; j < p; ++j)
+            z_beta[j] =
+                beta_next[j] + (beta_next[j] - beta[j]) * momentum;
         z_intercept =
             intercept_next + (intercept_next - intercept) * momentum;
 

@@ -99,8 +99,16 @@ Matrix::at(std::size_t r, std::size_t c) const
 Vector
 Matrix::multiply(const Vector &x) const
 {
-    panicIf(x.size() != numCols, "multiply: dimension mismatch");
     Vector y(numRows);
+    multiplyInto(x, y);
+    return y;
+}
+
+void
+Matrix::multiplyInto(const Vector &x, Vector &y) const
+{
+    panicIf(x.size() != numCols, "multiply: dimension mismatch");
+    panicIf(y.size() != numRows, "multiplyInto: output dimension");
     for (std::size_t r = 0; r < numRows; ++r) {
         double s = 0.0;
         const double *row = &data[r * numCols];
@@ -108,14 +116,23 @@ Matrix::multiply(const Vector &x) const
             s += row[c] * x[c];
         y[r] = s;
     }
-    return y;
 }
 
 Vector
 Matrix::multiplyTransposed(const Vector &x) const
 {
-    panicIf(x.size() != numRows, "multiplyTransposed: dimension mismatch");
     Vector y(numCols);
+    multiplyTransposedInto(x, y);
+    return y;
+}
+
+void
+Matrix::multiplyTransposedInto(const Vector &x, Vector &y) const
+{
+    panicIf(x.size() != numRows, "multiplyTransposed: dimension mismatch");
+    panicIf(y.size() != numCols, "multiplyTransposedInto: output dimension");
+    for (std::size_t c = 0; c < numCols; ++c)
+        y[c] = 0.0;
     for (std::size_t r = 0; r < numRows; ++r) {
         const double xr = x[r];
         if (xr == 0.0)
@@ -124,7 +141,6 @@ Matrix::multiplyTransposed(const Vector &x) const
         for (std::size_t c = 0; c < numCols; ++c)
             y[c] += row[c] * xr;
     }
-    return y;
 }
 
 Matrix

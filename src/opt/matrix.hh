@@ -73,6 +73,17 @@ class Matrix
     /** @return y = A^T x. */
     Vector multiplyTransposed(const Vector &x) const;
 
+    /**
+     * y = A x into a caller-owned vector of size rows() — the
+     * allocation-free form of multiply() with the identical
+     * floating-point operation sequence.
+     */
+    void multiplyInto(const Vector &x, Vector &y) const;
+
+    /** y = A^T x into a caller-owned vector of size cols(); same
+     *  operation sequence as multiplyTransposed(). */
+    void multiplyTransposedInto(const Vector &x, Vector &y) const;
+
     /** @return A^T A (a cols x cols symmetric matrix). */
     Matrix gram() const;
 

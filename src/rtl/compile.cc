@@ -734,6 +734,62 @@ CompiledDesign::CompiledDesign(const Design &design)
     }
 
     buildSegments();
+    buildTraces();
+}
+
+void
+CompiledDesign::buildTraces()
+{
+    traces.assign(cfsms.size(), CTrace{});
+    for (std::size_t id = 0; id < cfsms.size(); ++id) {
+        const CFsm &fsm = cfsms[id];
+        CTrace tr;
+        tr.first = static_cast<std::uint32_t>(traceStates.size());
+
+        std::vector<bool> visited(fsm.numStates, false);
+        StateId cur = fsm.initial;
+        bool ok = true;
+        while (true) {
+            const CSegment &seg = segs[fsm.firstState + cur];
+            // A branch-dynamic head (successor depends on the item's
+            // fields) or a statically-closed loop (would never
+            // terminate; the scalar path's visit counter owns that
+            // diagnosis) breaks the trace.
+            if (seg.numSlots == 0 || visited[cur]) {
+                ok = false;
+                break;
+            }
+            visited[cur] = true;
+            traceStates.push_back(
+                static_cast<std::uint32_t>(fsm.firstState + cur));
+            const CRun *rp = runs.data() + seg.firstRun;
+            for (std::uint32_t i = 0; i < seg.numRuns; ++i)
+                tr.staticCycles += rp[i].cycles;
+            if (seg.next < 0)
+                break;
+            cur = seg.next;
+        }
+
+        if (ok) {
+            tr.count = static_cast<std::uint32_t>(traceStates.size()) -
+                       tr.first;
+            tr.valid = true;
+        } else {
+            traceStates.resize(tr.first);
+            tr = CTrace{};
+        }
+        traces[id] = tr;
+    }
+}
+
+std::size_t
+CompiledDesign::numLockstepFsms() const
+{
+    std::size_t n = 0;
+    for (const CTrace &tr : traces)
+        if (tr.valid)
+            ++n;
+    return n;
 }
 
 bool
@@ -1205,6 +1261,234 @@ CompiledDesign::run(const JobInput &job, Recorder *recorder,
 {
     return recorder ? runJob<true>(job, recorder, item_cycles)
                     : runJob<false>(job, nullptr, item_cycles);
+}
+
+void
+CompiledDesign::runBatch(const JobInput *const *jobs, std::size_t n,
+                         JobResult *out) const
+{
+    const std::size_t num_fsms = cfsms.size();
+    const std::size_t nf = maxFieldRead < 0
+        ? 0
+        : static_cast<std::size_t>(maxFieldRead) + 1;
+
+    // One running energy accumulator per lane: a lane's additions
+    // happen in exactly run()'s order, so lockstep across lanes never
+    // reassociates any job's floating-point sum.
+    std::vector<double> energy(n);
+    std::size_t max_items = 0;
+    for (std::size_t l = 0; l < n; ++l) {
+        out[l].cycles = jobOverhead;
+        out[l].energyUnits = 0.0;
+        energy[l] = ctrlEnergy * static_cast<double>(jobOverhead);
+        max_items = std::max(max_items, jobs[l]->items.size());
+    }
+
+    std::vector<std::int64_t> scratch(maxStack + maxLocals);
+    std::int64_t *stack = scratch.data();
+    std::int64_t *locals = scratch.data() + maxStack;
+
+    std::vector<std::size_t> active(n);
+    std::vector<const std::int64_t *> fptr(n);
+    std::vector<std::int64_t> fieldsT(nf * n);
+    std::vector<std::int64_t> v(n);
+    std::vector<std::uint64_t> lat(n);
+    std::vector<double> estep(n);
+    std::vector<std::uint64_t> end_time(num_fsms * n);
+    std::vector<std::uint64_t> item_lat(n);
+
+    // Evaluate one dwell program for lanes [0, A): values into v.
+    // Field reads stream from the field-major transpose; only the
+    // rare non-leaf kinds fall back to per-lane recursive evaluation
+    // over the lane's original (AoS) field array.
+    const auto evalLanes = [&](const CExpr &pe, std::size_t A) {
+        switch (pe.kind) {
+          case CExpr::Kind::Const:
+            for (std::size_t j = 0; j < A; ++j)
+                v[j] = pe.imm;
+            break;
+          case CExpr::Kind::Field: {
+            const std::int64_t *F =
+                fieldsT.data() + static_cast<std::size_t>(pe.field) * A;
+            for (std::size_t j = 0; j < A; ++j)
+                v[j] = F[j];
+            break;
+          }
+          case CExpr::Kind::Affine: {
+            for (std::size_t j = 0; j < A; ++j)
+                v[j] = pe.imm;
+            const CTerm *terms = affinePool.data() + pe.first;
+            for (std::uint32_t i = 0; i < pe.count; ++i) {
+                const CTerm &m = terms[i];
+                const std::int64_t *F = fieldsT.data() +
+                    static_cast<std::size_t>(m.field) * A;
+                switch (m.kind) {
+                  case CTerm::Kind::Linear:
+                    for (std::size_t j = 0; j < A; ++j)
+                        v[j] += m.a * F[j];
+                    break;
+                  case CTerm::Kind::Cond:
+                    for (std::size_t j = 0; j < A; ++j)
+                        v[j] += F[j] != 0 ? m.a : m.b;
+                    break;
+                  case CTerm::Kind::CondCmp:
+                    for (std::size_t j = 0; j < A; ++j)
+                        v[j] += applyBOp(m.cmp, F[j], m.z) != 0
+                            ? m.a : m.b;
+                    break;
+                }
+            }
+            break;
+          }
+          case CExpr::Kind::BinFF: {
+            const std::int64_t *Fa =
+                fieldsT.data() + static_cast<std::size_t>(pe.field) * A;
+            const std::int64_t *Fb =
+                fieldsT.data() + static_cast<std::size_t>(pe.fieldB) * A;
+            for (std::size_t j = 0; j < A; ++j)
+                v[j] = applyBOp(pe.op, Fa[j], Fb[j]);
+            break;
+          }
+          case CExpr::Kind::BinFC: {
+            const std::int64_t *F =
+                fieldsT.data() + static_cast<std::size_t>(pe.field) * A;
+            for (std::size_t j = 0; j < A; ++j)
+                v[j] = applyBOp(pe.op, F[j], pe.imm);
+            break;
+          }
+          case CExpr::Kind::BinCF: {
+            const std::int64_t *F =
+                fieldsT.data() + static_cast<std::size_t>(pe.fieldB) * A;
+            for (std::size_t j = 0; j < A; ++j)
+                v[j] = applyBOp(pe.op, pe.imm, F[j]);
+            break;
+          }
+          default:
+            for (std::size_t j = 0; j < A; ++j)
+                v[j] = evalExpr(pe, fptr[j], stack, locals);
+            break;
+        }
+    };
+
+    // Clamp v to dwell and accumulate — the slot's counter/waitScale
+    // shape is lane-invariant, so the branches hoist out of the lane
+    // loops; the scalar path's value/clamp/product sequence is
+    // reproduced per lane exactly.
+    const auto addDyn = [&](const CSlot &s, std::size_t A) {
+        const double rate = s.energy;
+        if (s.counter >= 0 && s.armOnly) {
+            for (std::size_t j = 0; j < A; ++j) {
+                lat[j] += 1;
+                estep[j] += rate * 1.0;
+            }
+        } else if (s.counter >= 0 && s.waitScale > 1) {
+            const std::int64_t ws = s.waitScale;
+            for (std::size_t j = 0; j < A; ++j) {
+                std::int64_t x = v[j] < 1 ? 1 : v[j];
+                x /= ws;
+                const std::uint64_t dwell =
+                    static_cast<std::uint64_t>(x < 1 ? 1 : x);
+                lat[j] += dwell;
+                estep[j] += rate * static_cast<double>(dwell);
+            }
+        } else {
+            for (std::size_t j = 0; j < A; ++j) {
+                const std::uint64_t dwell =
+                    static_cast<std::uint64_t>(v[j] < 1 ? 1 : v[j]);
+                lat[j] += dwell;
+                estep[j] += rate * static_cast<double>(dwell);
+            }
+        }
+    };
+
+    for (std::size_t t = 0; t < max_items; ++t) {
+        // Compact the lanes still holding an item at this step.
+        std::size_t A = 0;
+        for (std::size_t l = 0; l < n; ++l) {
+            if (t >= jobs[l]->items.size())
+                continue;
+            const WorkItem &item = jobs[l]->items[t];
+            panicIf(maxFieldRead >= 0 &&
+                    static_cast<std::size_t>(maxFieldRead) >=
+                        item.fields.size(),
+                    "field ", maxFieldRead, " out of range (item has ",
+                    item.fields.size(), " fields)");
+            active[A] = l;
+            fptr[A] = item.fields.data();
+            estep[A] = energy[l];
+            ++A;
+        }
+
+        // Field-major transpose of the active lanes' items.
+        for (std::size_t j = 0; j < A; ++j) {
+            const std::int64_t *f = fptr[j];
+            for (std::size_t k = 0; k < nf; ++k)
+                fieldsT[k * A + j] = f[k];
+        }
+        std::fill(item_lat.begin(), item_lat.begin() + A, 0);
+
+        for (FsmId id : order) {
+            const CFsm &fsm = cfsms[id];
+            const CTrace &tr = traces[id];
+            if (tr.valid) {
+                for (std::size_t j = 0; j < A; ++j)
+                    lat[j] = tr.staticCycles;
+                const std::uint32_t *ts = traceStates.data() + tr.first;
+                for (std::uint32_t k = 0; k < tr.count; ++k) {
+                    const CSegment &seg = segs[ts[k]];
+                    const CRun *rp = runs.data() + seg.firstRun;
+                    for (std::uint32_t i = 0; i < seg.numRuns; ++i) {
+                        const CRun &r = rp[i];
+                        const double *a = addendPool.data() + r.firstAdd;
+                        for (std::uint32_t q = 0; q < r.numAdds; ++q) {
+                            const double add = a[q];
+                            for (std::size_t j = 0; j < A; ++j)
+                                estep[j] += add;
+                        }
+                        if (r.dynSlot < 0)
+                            continue;
+                        const CSlot &s = slots[r.dynSlot];
+                        evalLanes(programs[s.prog], A);
+                        addDyn(s, A);
+                    }
+                }
+            } else {
+                for (std::size_t j = 0; j < A; ++j)
+                    lat[j] = runFsm<false>(id, fptr[j], nullptr,
+                                           estep[j], stack, locals);
+            }
+
+            const FsmId dep = fsm.startAfter;
+            std::uint64_t *et =
+                end_time.data() + static_cast<std::size_t>(id) * n;
+            const std::uint64_t *ds = dep < 0
+                ? nullptr
+                : end_time.data() + static_cast<std::size_t>(dep) * n;
+            for (std::size_t j = 0; j < A; ++j) {
+                const std::uint64_t e = (ds ? ds[j] : 0) + lat[j];
+                et[j] = e;
+                item_lat[j] = std::max(item_lat[j], e);
+            }
+        }
+
+        for (std::size_t j = 0; j < A; ++j) {
+            const std::size_t l = active[j];
+            out[l].cycles += item_lat[j];
+            energy[l] = estep[j];
+        }
+    }
+
+    for (std::size_t l = 0; l < n; ++l)
+        out[l].energyUnits = energy[l];
+}
+
+std::vector<JobResult>
+CompiledDesign::runBatch(const std::vector<const JobInput *> &jobs) const
+{
+    std::vector<JobResult> out(jobs.size());
+    if (!jobs.empty())
+        runBatch(jobs.data(), jobs.size(), out.data());
+    return out;
 }
 
 } // namespace rtl

@@ -172,6 +172,32 @@ class CompiledDesign
     JobResult run(const JobInput &job, Recorder *recorder = nullptr,
                   std::vector<std::uint64_t> *item_cycles = nullptr) const;
 
+    /**
+     * Execute @p n jobs in lockstep — the batched (recorder-free)
+     * counterpart of run() with bit-identical results per job.
+     *
+     * Jobs are lanes: at item step t, every lane still holding an
+     * item marches through the design together. FSMs whose whole walk
+     * is statically routed (every segment chain closed, no
+     * field-dependent branching — all seven benchmark accelerators)
+     * execute as structure-of-arrays sweeps: the item fields of all
+     * active lanes are transposed into field-major storage, static
+     * dwell is added once per trace, the dense energy addends stream
+     * over the lanes, and each dwell-dynamic program evaluates over
+     * the whole lane vector in branch-free inner loops. Lanes never
+     * share accumulators, and each lane's energy additions happen in
+     * exactly run()'s order (item-major, FSM topo order, visit
+     * order), so the floating-point results match run() bit for bit —
+     * grouping jobs into different batches cannot change any result.
+     * Branch-dynamic FSMs fall back to the scalar per-lane walk.
+     */
+    void runBatch(const JobInput *const *jobs, std::size_t n,
+                  JobResult *out) const;
+
+    /** Convenience overload of the lockstep entry point. */
+    std::vector<JobResult>
+    runBatch(const std::vector<const JobInput *> &jobs) const;
+
     /** @name Introspection (tests, reports) */
     /// @{
     /** Total compiled programs (guards + ranges + latencies). */
@@ -186,6 +212,10 @@ class CompiledDesign
     /** States folded into precompiled segments (dwell and successor
      *  both compile-time constant). */
     std::size_t numStaticStates() const;
+
+    /** FSMs whose full walk is statically routed — the ones the
+     *  lockstep batch kernel executes as SoA sweeps. */
+    std::size_t numLockstepFsms() const;
 
     /**
      * Compiled root expressions: one (source tree, program index) per
@@ -417,10 +447,27 @@ class CompiledDesign
                           std::int64_t *stack,
                           std::int64_t *locals) const;
 
+    /**
+     * The statically-routed walk of one FSM, when it exists: the
+     * global state indices of the segments every item visits, in
+     * order, plus the sum of all their static-run dwell (integer adds
+     * commute, so the batch kernel adds it once per lane). An FSM
+     * with a field-dependent branch or a statically-closed loop is
+     * not traceable and uses the scalar fallback.
+     */
+    struct CTrace
+    {
+        std::uint32_t first = 0;        //!< Index into traceStates.
+        std::uint32_t count = 0;
+        std::uint64_t staticCycles = 0;
+        bool valid = false;
+    };
+
     bool staticDwell(const CState &st, std::uint64_t &dwell,
                      std::int64_t &range) const;
     StateId staticNext(const CState &st) const;
     void buildSegments();
+    void buildTraces();
 
     /**
      * Execute one FSM for one item. Compiled once per recorder
@@ -444,6 +491,8 @@ class CompiledDesign
     std::vector<CTransition> trans;
     std::vector<CSegment> segs;        //!< One per state (global index).
     std::vector<CSlot> slots;          //!< Shared slot pool.
+    std::vector<CTrace> traces;        //!< One per FSM.
+    std::vector<std::uint32_t> traceStates;  //!< Shared trace pool.
     std::vector<CRun> runs;            //!< Compressed static stretches.
     std::vector<double> addendPool;    //!< Energy addends, visit order.
     std::vector<CExpr> programs;

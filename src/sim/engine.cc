@@ -1,9 +1,12 @@
 #include "sim/engine.hh"
 
 #include <algorithm>
+#include <unordered_map>
 
+#include "rtl/compile.hh"
 #include "rtl/instrument.hh"
 #include "rtl/interpreter.hh"
+#include "sim/job_cache.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 
@@ -22,7 +25,8 @@ SimulationEngine::SimulationEngine(
       engineConfig(config),
       energyModel(energy_params ? *energy_params
                                 : accelerator.energyParams()),
-      fullInterp(accelerator.design())
+      fullInterp(accelerator.design()),
+      designHash(JobCache::hashDesign(accelerator.design()))
 {
     // Config mistakes here would otherwise surface as NaN-shaped
     // metrics several layers away; reject them up front.
@@ -32,6 +36,22 @@ SimulationEngine::SimulationEngine(
     fatalIf(engineConfig.switchTimeSeconds < 0.0,
             "SimulationEngine: switchTimeSeconds must be "
             "non-negative, got ", engineConfig.switchTimeSeconds);
+}
+
+std::uint64_t
+SimulationEngine::streamKey(const core::SlicePredictor *predictor) const
+{
+    std::uint64_t h = designHash;
+    if (predictor) {
+        // The predictor memoises its content fingerprint (slice design
+        // text, coefficients, intercept) at construction; re-deriving
+        // it here would serialise the slice design on every prepare().
+        const std::uint64_t fp = predictor->fingerprint();
+        h = JobCache::hashBytes(&fp, sizeof(fp), h);
+    } else {
+        h = JobCache::hashBytes("no-slice", 8, h);
+    }
+    return h;
 }
 
 std::vector<core::PreparedJob>
@@ -60,27 +80,151 @@ SimulationEngine::prepare(const std::vector<rtl::JobInput> &jobs,
         }
     };
 
-    if (pool && pool->workers() > 1 && jobs.size() > 1) {
+    if (!JobCache::enabledByEnv()) {
+        // The unmemoised reference path: simulate every job.
+        if (pool && pool->workers() > 1 && jobs.size() > 1) {
+            std::vector<rtl::Instrumenter> scratch;
+            if (predictor) {
+                scratch.reserve(pool->workerSlots());
+                for (unsigned w = 0; w < pool->workerSlots(); ++w)
+                    scratch.push_back(predictor->makeInstrumenter());
+            }
+            pool->run(jobs.size(), [&](unsigned w, std::size_t i) {
+                fill(jobs[i], prepared[i],
+                     predictor ? &scratch[w] : nullptr);
+            });
+        } else {
+            std::unique_ptr<rtl::Instrumenter> instr;
+            if (predictor) {
+                instr = std::make_unique<rtl::Instrumenter>(
+                    predictor->makeInstrumenter());
+            }
+            for (std::size_t i = 0; i < jobs.size(); ++i)
+                fill(jobs[i], prepared[i], instr.get());
+        }
+
+        if (faults)
+            faults->applyPrepareFaults(prepared);
+        return prepared;
+    }
+
+    // Memoised path. Phase 1 (serial): probe the global cache once
+    // per job and deduplicate the misses within this batch, keeping
+    // first-occurrence order. Serial probing makes the cache's LRU
+    // history a pure function of the job sequence — the worker count
+    // only shards phase 2, which touches no shared state.
+    JobCache &cache = JobCache::global();
+    const std::uint64_t key = streamKey(predictor);
+
+    std::vector<std::size_t> uniq;          //!< Indices to simulate.
+    std::vector<std::vector<std::int64_t>> uniqKeys;
+    std::vector<std::uint64_t> uniqHashes;
+    std::unordered_map<std::uint64_t, std::vector<std::size_t>> byHash;
+    // copyFrom[i] == i: simulate; == j < i: duplicate of job j;
+    // == SIZE_MAX: already filled from the cache.
+    std::vector<std::size_t> copyFrom(jobs.size());
+
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        prepared[i].input = &jobs[i];
+        CachedJob hit;
+        std::vector<std::int64_t> ck;
+        std::uint64_t h = 0;
+        if (cache.lookup(key, jobs[i], hit, &ck, &h)) {
+            prepared[i].cycles = hit.cycles;
+            prepared[i].energyUnits = hit.energyUnits;
+            prepared[i].sliceCycles = hit.sliceCycles;
+            prepared[i].sliceEnergyUnits = hit.sliceEnergyUnits;
+            prepared[i].predictedCycles = hit.predictedCycles;
+            copyFrom[i] = static_cast<std::size_t>(-1);
+            continue;
+        }
+        std::vector<std::size_t> &slot = byHash[h];
+        std::size_t rep = static_cast<std::size_t>(-1);
+        for (const std::size_t u : slot) {
+            if (uniqKeys[u] == ck) {
+                rep = uniq[u];
+                break;
+            }
+        }
+        if (rep != static_cast<std::size_t>(-1)) {
+            copyFrom[i] = rep;
+            continue;
+        }
+        copyFrom[i] = i;
+        slot.push_back(uniq.size());
+        uniq.push_back(i);
+        uniqKeys.push_back(std::move(ck));
+        uniqHashes.push_back(h);
+    }
+
+    // Phase 2: simulate only the unique misses. Sharded over the pool
+    // when available; the serial path pushes the full-design
+    // simulation through the lockstep batch kernel (bit-identical to
+    // per-job run() by construction).
+    if (pool && pool->workers() > 1 && uniq.size() > 1) {
         std::vector<rtl::Instrumenter> scratch;
         if (predictor) {
             scratch.reserve(pool->workerSlots());
             for (unsigned w = 0; w < pool->workerSlots(); ++w)
                 scratch.push_back(predictor->makeInstrumenter());
         }
-        pool->run(jobs.size(), [&](unsigned w, std::size_t i) {
-            fill(jobs[i], prepared[i],
+        pool->run(uniq.size(), [&](unsigned w, std::size_t k) {
+            fill(jobs[uniq[k]], prepared[uniq[k]],
                  predictor ? &scratch[w] : nullptr);
         });
-    } else {
+    } else if (!uniq.empty()) {
+        std::vector<const rtl::JobInput *> batch;
+        batch.reserve(uniq.size());
+        for (const std::size_t i : uniq)
+            batch.push_back(&jobs[i]);
+        const std::vector<rtl::JobResult> results =
+            fullInterp.compiled()->runBatch(batch);
+
         std::unique_ptr<rtl::Instrumenter> instr;
         if (predictor) {
             instr = std::make_unique<rtl::Instrumenter>(
                 predictor->makeInstrumenter());
         }
-        for (std::size_t i = 0; i < jobs.size(); ++i)
-            fill(jobs[i], prepared[i], instr.get());
+        for (std::size_t k = 0; k < uniq.size(); ++k) {
+            core::PreparedJob &record = prepared[uniq[k]];
+            record.cycles = results[k].cycles;
+            record.energyUnits = results[k].energyUnits;
+            if (predictor) {
+                const core::SliceRun slice =
+                    predictor->runWith(jobs[uniq[k]], *instr);
+                record.sliceCycles = slice.sliceCycles;
+                record.sliceEnergyUnits = slice.sliceEnergyUnits;
+                record.predictedCycles = slice.predictedCycles;
+            }
+        }
     }
 
+    // Phase 3 (serial, first-occurrence order): publish the clean
+    // results, then fan out to batch-level duplicates.
+    for (std::size_t k = 0; k < uniq.size(); ++k) {
+        const core::PreparedJob &record = prepared[uniq[k]];
+        CachedJob value;
+        value.cycles = record.cycles;
+        value.energyUnits = record.energyUnits;
+        value.sliceCycles = record.sliceCycles;
+        value.sliceEnergyUnits = record.sliceEnergyUnits;
+        value.predictedCycles = record.predictedCycles;
+        cache.insert(std::move(uniqKeys[k]), uniqHashes[k], value);
+    }
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const std::size_t src = copyFrom[i];
+        if (src == static_cast<std::size_t>(-1) || src == i)
+            continue;
+        prepared[i].cycles = prepared[src].cycles;
+        prepared[i].energyUnits = prepared[src].energyUnits;
+        prepared[i].sliceCycles = prepared[src].sliceCycles;
+        prepared[i].sliceEnergyUnits = prepared[src].sliceEnergyUnits;
+        prepared[i].predictedCycles = prepared[src].predictedCycles;
+    }
+
+    // Faults mutate the per-index copies only — the cache holds the
+    // clean simulation, so a faulted stream can never poison a later
+    // prepare.
     if (faults)
         faults->applyPrepareFaults(prepared);
     return prepared;

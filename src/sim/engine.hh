@@ -12,6 +12,7 @@
 #ifndef PREDVFS_SIM_ENGINE_HH
 #define PREDVFS_SIM_ENGINE_HH
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -61,22 +62,49 @@ class SimulationEngine
      * The returned records keep pointers into @p jobs; the caller must
      * keep the job vector alive while the records are used.
      *
+     * The simulation is memoised through the process-global JobCache:
+     * a record's value fields are a pure function of (design,
+     * predictor, job fields), so only *unique* field vectors are
+     * simulated — batch-level duplicates fan out from one simulation,
+     * and repeat streams (grid sweeps, repeated experiments) hit the
+     * cache outright. The unique-job miss path runs the full design
+     * through CompiledDesign::runBatch. All of this is bit-identical
+     * to simulating every job from scratch; set PREDVFS_DISABLE_CACHE=1
+     * to run the unmemoised path instead.
+     *
      * @param faults Optional fault schedule; its prepare-stage effects
      *        (readout corruption, slice stalls, model corruption, OOD
-     *        spikes) are applied to the returned records. Sweeping
-     *        fault plans over a fixed stream is cheaper via
+     *        spikes) are applied to the returned records. Only the
+     *        clean simulation is memoised: faults mutate per-index
+     *        copies after cache fan-out, exactly as they mutate
+     *        freshly-simulated records, so cached and uncached prepare
+     *        agree byte for byte under any schedule. Sweeping fault
+     *        plans over a fixed stream is cheaper via
      *        FaultSchedule::applyPrepareFaults() on a copy of a
      *        fault-free prepared stream.
-     * @param pool Optional thread pool; jobs are sharded over its
-     *        workers. The result is bit-identical to the serial path
-     *        at any worker count (each record depends only on its own
-     *        job, and fault application stays serial and ordered).
+     * @param pool Optional thread pool; unique jobs are sharded over
+     *        its workers. The result is bit-identical to the serial
+     *        path at any worker count (each record depends only on its
+     *        own job; cache probes and inserts stay serial and
+     *        ordered, so the LRU history is deterministic too).
      */
     std::vector<core::PreparedJob>
     prepare(const std::vector<rtl::JobInput> &jobs,
             const core::SlicePredictor *predictor = nullptr,
             const FaultSchedule *faults = nullptr,
             util::ThreadPool *pool = nullptr) const;
+
+    /**
+     * The content-addressed identity of this engine's prepared
+     * streams: the design's content hash folded with a fingerprint of
+     * @p predictor (slice design content, coefficients, intercept).
+     * Two engines with equal stream keys produce equal records for
+     * equal jobs — EngineConfig and energy-parameter overrides are
+     * deliberately outside the key because no record value depends on
+     * them.
+     */
+    std::uint64_t
+    streamKey(const core::SlicePredictor *predictor) const;
 
     /**
      * Replay a prepared stream under @p controller.
@@ -111,6 +139,7 @@ class SimulationEngine
     // The design is compiled once here, not per prepare() call; the
     // interpreter is const and reentrant, so parallel prepare shares it.
     rtl::Interpreter fullInterp;
+    std::uint64_t designHash;  //!< Content hash of the full design.
 };
 
 } // namespace sim

@@ -1,6 +1,12 @@
 #include "sim/experiment.hh"
 
+#include <future>
+#include <iomanip>
+#include <mutex>
+#include <sstream>
+
 #include "accel/registry.hh"
+#include "sim/job_cache.hh"
 #include "core/guarded_controller.hh"
 #include "core/oracle_controller.hh"
 #include "core/predictive_controller.hh"
@@ -58,20 +64,54 @@ platformEnergyParams(power::EnergyParams params, Platform platform)
     return params;
 }
 
+/**
+ * Registry of prepared streams, keyed by every option that can change
+ * a stream's content. A shared_future per key lets concurrent matrix
+ * workers build *different* streams in parallel while same-key
+ * requesters wait for the first builder instead of duplicating the
+ * flow training and the simulation.
+ */
+std::mutex streamMu;
+std::map<std::string,
+         std::shared_future<std::shared_ptr<const PreparedStream>>>
+    streamRegistry;
+
+/**
+ * Everything the prepared records and the trained predictor depend
+ * on. Platform, deadline, switch time, and margins are deliberately
+ * absent: they configure replay, not preparation.
+ */
+std::string
+streamKeyOf(const std::string &benchmark, const ExperimentOptions &opts)
+{
+    std::ostringstream key;
+    key << std::setprecision(17);
+    const core::FlowConfig &fc = opts.flowConfig;
+    key << benchmark << '|' << opts.seed << '|'
+        << (opts.sliceOptions.mode == rtl::SliceOptions::Mode::Hls
+                ? "hls" : "rtl")
+        << '|' << opts.sliceOptions.hlsSpeedup << '|' << fc.alpha << '|'
+        << fc.accuracyTolerance << '|' << fc.absoluteLossFloor << '|'
+        << fc.validationFraction << '|' << fc.coefficientThreshold;
+    for (const double gamma : fc.gammaSweep)
+        key << ',' << gamma;
+    return key.str();
+}
+
 } // namespace
+
+void
+clearSharedStreams()
+{
+    std::lock_guard<std::mutex> lock(streamMu);
+    streamRegistry.clear();
+}
 
 Experiment::Experiment(const std::string &benchmark,
                        ExperimentOptions options)
     : opts(std::move(options))
 {
     accelPtr = accel::makeAccelerator(benchmark);
-    work = workload::makeWorkload(*accelPtr, opts.seed);
-
-    // Offline flow: analyse, profile the training set, fit, slice.
-    core::FlowConfig flow_config = opts.flowConfig;
-    flow_config.sliceOptions = opts.sliceOptions;
-    flow = core::buildPredictor(accelPtr->design(), work.train,
-                                flow_config);
 
     const double f0 = accelPtr->nominalFrequencyHz();
     if (opts.platform == Platform::Asic) {
@@ -95,16 +135,65 @@ Experiment::Experiment(const std::string &benchmark,
         *accelPtr, *opTable, engine_config,
         platformEnergyParams(accelPtr->energyParams(), opts.platform));
 
-    if (opts.prepareThreads > 1) {
-        util::ThreadPool pool(opts.prepareThreads);
-        trainJobs = simEngine->prepare(work.train, flow.predictor.get(),
-                                       nullptr, &pool);
-        testJobs = simEngine->prepare(work.test, flow.predictor.get(),
-                                      nullptr, &pool);
-    } else {
-        trainJobs = simEngine->prepare(work.train, flow.predictor.get());
-        testJobs = simEngine->prepare(work.test, flow.predictor.get());
+    // Offline flow + stream preparation, shared across cells. The
+    // records are independent of the engine config, so whichever
+    // cell's engine runs prepare() first produces the stream every
+    // later cell replays.
+    const auto build = [&]() -> std::shared_ptr<const PreparedStream> {
+        auto s = std::make_shared<PreparedStream>();
+        s->work = workload::makeWorkload(*accelPtr, opts.seed);
+        core::FlowConfig flow_config = opts.flowConfig;
+        flow_config.sliceOptions = opts.sliceOptions;
+        s->flow = core::buildPredictor(accelPtr->design(),
+                                       s->work.train, flow_config);
+        if (opts.prepareThreads > 1) {
+            util::ThreadPool pool(opts.prepareThreads);
+            s->trainJobs = simEngine->prepare(
+                s->work.train, s->flow.predictor.get(), nullptr, &pool);
+            s->testJobs = simEngine->prepare(
+                s->work.test, s->flow.predictor.get(), nullptr, &pool);
+        } else {
+            s->trainJobs = simEngine->prepare(s->work.train,
+                                              s->flow.predictor.get());
+            s->testJobs = simEngine->prepare(s->work.test,
+                                             s->flow.predictor.get());
+        }
+        return s;
+    };
+
+    // A custom featureFilter has no content identity a key could
+    // capture; such experiments always build privately.
+    const bool share = opts.shareStreams && !opts.flowConfig.featureFilter
+        && JobCache::enabledByEnv();
+    if (!share) {
+        stream = build();
+        return;
     }
+
+    const std::string key = streamKeyOf(benchmark, opts);
+    std::promise<std::shared_ptr<const PreparedStream>> promise;
+    std::shared_future<std::shared_ptr<const PreparedStream>> future;
+    bool builder = false;
+    {
+        std::lock_guard<std::mutex> lock(streamMu);
+        const auto it = streamRegistry.find(key);
+        if (it != streamRegistry.end()) {
+            future = it->second;
+        } else {
+            future = promise.get_future().share();
+            streamRegistry.emplace(key, future);
+            builder = true;
+        }
+    }
+    if (builder) {
+        try {
+            promise.set_value(build());
+        } catch (...) {
+            promise.set_exception(std::current_exception());
+            throw;
+        }
+    }
+    stream = future.get();
 }
 
 const core::PidConfig &
@@ -112,8 +201,8 @@ Experiment::pidConfig()
 {
     if (!tunedPid) {
         std::vector<double> nominal;
-        nominal.reserve(trainJobs.size());
-        for (const auto &job : trainJobs)
+        nominal.reserve(stream->trainJobs.size());
+        for (const auto &job : stream->trainJobs)
             nominal.push_back(simEngine->nominalSeconds(job));
         tunedPid =
             core::PidController::tune(nominal, opts.pidMargin);
@@ -140,8 +229,8 @@ Experiment::makeController(Scheme scheme)
             *opTable, f0, dvfs, pidConfig());
       case Scheme::Table: {
         std::vector<std::pair<std::size_t, double>> profile;
-        profile.reserve(trainJobs.size());
-        for (const auto &job : trainJobs)
+        profile.reserve(stream->trainJobs.size());
+        for (const auto &job : stream->trainJobs)
             profile.emplace_back(job.input->items.size(),
                                  simEngine->nominalSeconds(job));
         core::DvfsModelConfig table_dvfs = dvfs;
@@ -185,7 +274,7 @@ Experiment::runScheme(Scheme scheme, std::vector<JobTrace> *trace)
     }
     auto controller = makeController(scheme);
     const RunMetrics metrics =
-        simEngine->run(*controller, testJobs, trace);
+        simEngine->run(*controller, stream->testJobs, trace);
     cache[scheme] = metrics;
     return metrics;
 }
@@ -202,14 +291,14 @@ Experiment::normalizedEnergy(Scheme scheme)
 double
 Experiment::sliceAreaFraction() const
 {
-    const auto &slice = flow.predictor->slice();
+    const auto &slice = stream->flow.predictor->slice();
     return slice.areaUnits() / accelPtr->design().areaUnits();
 }
 
 double
 Experiment::sliceResourceFraction() const
 {
-    const auto &slice = flow.predictor->slice();
+    const auto &slice = stream->flow.predictor->slice();
     const double lut_share = fpgaLutShare(accelPtr->name());
     // The slice is control logic and maps entirely to LUTs; relate it
     // to the accelerator's LUT footprint (hard blocks are excluded
@@ -221,24 +310,24 @@ Experiment::sliceResourceFraction() const
 double
 Experiment::meanSliceTimeFraction() const
 {
-    if (testJobs.empty())
+    if (stream->testJobs.empty())
         return 0.0;
     const double f0 = accelPtr->nominalFrequencyHz();
     double total = 0.0;
-    for (const auto &job : testJobs)
+    for (const auto &job : stream->testJobs)
         total += static_cast<double>(job.sliceCycles) / f0;
-    return (total / static_cast<double>(testJobs.size())) /
+    return (total / static_cast<double>(stream->testJobs.size())) /
         opts.deadlineSeconds;
 }
 
 double
 Experiment::meanSliceEnergyFraction() const
 {
-    if (testJobs.empty())
+    if (stream->testJobs.empty())
         return 0.0;
     double slice_units = 0.0;
     double job_units = 0.0;
-    for (const auto &job : testJobs) {
+    for (const auto &job : stream->testJobs) {
         slice_units += job.sliceEnergyUnits;
         job_units += job.energyUnits;
     }

@@ -60,7 +60,38 @@ struct ExperimentOptions
      * changes wall-clock time.
      */
     unsigned prepareThreads = 1;
+
+    /**
+     * Share the prepared stream (workload, trained predictor, job
+     * records) across Experiment instances whose cells differ only in
+     * deadline, switch time, margins, platform, or controller — the
+     * shape of every grid sweep. Records are a pure function of
+     * (design, workload seed, flow config), so sharing is
+     * bit-identical to rebuilding; disable to force a private stream
+     * (e.g. when timing cold construction). A custom featureFilter
+     * disables sharing automatically (a std::function has no content
+     * identity to key on).
+     */
+    bool shareStreams = true;
 };
+
+/**
+ * The cell-invariant parts of one experiment: the workload, the
+ * trained predictor, and the prepared job streams. Immutable once
+ * built; shared across every Experiment whose options agree on the
+ * stream key (benchmark, seed, slice options, flow tunables).
+ */
+struct PreparedStream
+{
+    workload::BenchmarkWorkload work;
+    core::FlowResult flow;
+    std::vector<core::PreparedJob> trainJobs;
+    std::vector<core::PreparedJob> testJobs;
+};
+
+/** Drop every entry of the process-global prepared-stream registry
+ *  (benchmarks use this to time cold vs warm construction). */
+void clearSharedStreams();
 
 /**
  * One benchmark fully set up for evaluation. Construction runs the
@@ -79,22 +110,28 @@ class Experiment
     /** @name Component access */
     /// @{
     const accel::Accelerator &accelerator() const { return *accelPtr; }
-    const workload::BenchmarkWorkload &workload() const { return work; }
-    const core::FlowReport &flowReport() const { return flow.report; }
+    const workload::BenchmarkWorkload &workload() const
+    {
+        return stream->work;
+    }
+    const core::FlowReport &flowReport() const
+    {
+        return stream->flow.report;
+    }
     const core::SlicePredictor &predictor() const
     {
-        return *flow.predictor;
+        return *stream->flow.predictor;
     }
     const power::VfModel &vfModel() const { return *vf; }
     const power::OperatingPointTable &table() const { return *opTable; }
     const SimulationEngine &engine() const { return *simEngine; }
     const std::vector<core::PreparedJob> &testPrepared() const
     {
-        return testJobs;
+        return stream->testJobs;
     }
     const std::vector<core::PreparedJob> &trainPrepared() const
     {
-        return trainJobs;
+        return stream->trainJobs;
     }
     const ExperimentOptions &options() const { return opts; }
     /// @}
@@ -133,13 +170,10 @@ class Experiment
 
     ExperimentOptions opts;
     std::shared_ptr<const accel::Accelerator> accelPtr;
-    workload::BenchmarkWorkload work;
-    core::FlowResult flow;
+    std::shared_ptr<const PreparedStream> stream;
     std::unique_ptr<power::VfModel> vf;
     std::unique_ptr<power::OperatingPointTable> opTable;
     std::unique_ptr<SimulationEngine> simEngine;
-    std::vector<core::PreparedJob> trainJobs;
-    std::vector<core::PreparedJob> testJobs;
     std::map<Scheme, RunMetrics> cache;
     std::optional<core::PidConfig> tunedPid;
 };

@@ -1,0 +1,333 @@
+#include "sim/job_cache.hh"
+
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "rtl/serialize.hh"
+#include "util/logging.hh"
+
+namespace predvfs {
+namespace sim {
+
+double
+JobCache::Stats::hitRate() const
+{
+    const std::uint64_t probes = hits + misses;
+    return probes == 0
+        ? 0.0
+        : static_cast<double>(hits) / static_cast<double>(probes);
+}
+
+JobCache::JobCache(std::size_t capacity_bytes)
+    : capacity(capacity_bytes)
+{
+}
+
+namespace {
+
+inline std::uint64_t
+mixWord(std::uint64_t h, std::uint64_t w)
+{
+    constexpr std::uint64_t mult = 0x9E3779B97F4A7C15ull;
+    h = (h ^ w) * mult;
+    h ^= h >> 29;
+    return h;
+}
+
+inline std::uint64_t
+finalizeHash(std::uint64_t h)
+{
+    h *= 0xBF58476D1CE4E5B9ull;
+    h ^= h >> 32;
+    return h;
+}
+
+/**
+ * Word-stream hasher over four independent lanes. mixWord's multiply
+ * chain is serially dependent, so a single-lane hash is latency-bound
+ * at ~7 cycles per 8 bytes; round-robining words across four lanes
+ * runs the chains in parallel. Canonical keys reach hundreds of
+ * kilobytes on image workloads and are hashed on every probe, so this
+ * is the cache's hot loop.
+ */
+struct WordHasher
+{
+    std::uint64_t lane[4] = {0x243F6A8885A308D3ull, 0x13198A2E03707344ull,
+                             0xA4093822299F31D0ull, 0x082EFA98EC4E6C89ull};
+    std::uint64_t words = 0;
+
+    void push(std::uint64_t w)
+    {
+        lane[words & 3] = mixWord(lane[words & 3], w);
+        ++words;
+    }
+
+    std::uint64_t digest(std::uint64_t seed,
+                         std::uint64_t total_bytes) const
+    {
+        // Folding the length in keeps "abc" + "" distinct from
+        // "ab" + "c" when ranges are hashed in sequence via the seed.
+        std::uint64_t h = seed ^ (total_bytes * 1099511628211ull);
+        for (int l = 0; l < 4; ++l)
+            h = mixWord(h, lane[l]);
+        return finalizeHash(h);
+    }
+};
+
+} // namespace
+
+std::uint64_t
+JobCache::hashBytes(const void *data, std::size_t n, std::uint64_t seed)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    WordHasher hasher;
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        std::uint64_t w;
+        std::memcpy(&w, p + i, 8);
+        hasher.push(w);
+    }
+    if (i < n) {
+        std::uint64_t w = 0;
+        std::memcpy(&w, p + i, n - i);
+        hasher.push(w);
+    }
+    return hasher.digest(seed, n);
+}
+
+std::uint64_t
+JobCache::hashDesign(const rtl::Design &design)
+{
+    std::ostringstream os;
+    rtl::writeDesign(os, design);
+    const std::string text = os.str();
+    return hashBytes(text.data(), text.size());
+}
+
+std::vector<std::int64_t>
+JobCache::canonicalKey(std::uint64_t stream_key, const rtl::JobInput &job)
+{
+    std::size_t total = 2 + job.items.size();
+    for (const rtl::WorkItem &item : job.items)
+        total += item.fields.size();
+
+    std::vector<std::int64_t> key;
+    key.reserve(total);
+    key.push_back(static_cast<std::int64_t>(stream_key));
+    key.push_back(static_cast<std::int64_t>(job.items.size()));
+    for (const rtl::WorkItem &item : job.items) {
+        key.push_back(static_cast<std::int64_t>(item.fields.size()));
+        key.insert(key.end(), item.fields.begin(), item.fields.end());
+    }
+    return key;
+}
+
+std::uint64_t
+JobCache::hashJob(std::uint64_t stream_key, const rtl::JobInput &job)
+{
+    // Must equal hashBytes(canonicalKey(...)) — same word sequence,
+    // same length fold — while touching the job in place. On a
+    // little-endian int64 array the byte stream is the word stream.
+    std::size_t total = 2 + job.items.size();
+    for (const rtl::WorkItem &item : job.items)
+        total += item.fields.size();
+
+    WordHasher hasher;
+    hasher.push(stream_key);
+    hasher.push(static_cast<std::uint64_t>(job.items.size()));
+    for (const rtl::WorkItem &item : job.items) {
+        hasher.push(static_cast<std::uint64_t>(item.fields.size()));
+        for (const std::int64_t f : item.fields)
+            hasher.push(static_cast<std::uint64_t>(f));
+    }
+    return hasher.digest(fnvOffset, total * sizeof(std::int64_t));
+}
+
+bool
+JobCache::keyMatchesJob(const std::vector<std::int64_t> &key,
+                        std::uint64_t stream_key,
+                        const rtl::JobInput &job)
+{
+    std::size_t pos = 0;
+    if (key.size() < 2 ||
+        key[0] != static_cast<std::int64_t>(stream_key) ||
+        key[1] != static_cast<std::int64_t>(job.items.size()))
+        return false;
+    pos = 2;
+    for (const rtl::WorkItem &item : job.items) {
+        if (pos + 1 + item.fields.size() > key.size() ||
+            key[pos] != static_cast<std::int64_t>(item.fields.size()))
+            return false;
+        ++pos;
+        if (!item.fields.empty() &&
+            std::memcmp(&key[pos], item.fields.data(),
+                        item.fields.size() * sizeof(std::int64_t)) != 0)
+            return false;
+        pos += item.fields.size();
+    }
+    return pos == key.size();
+}
+
+std::size_t
+JobCache::entryBytes(const Entry &entry)
+{
+    // Key storage + payload + list/index node overhead (approximate,
+    // but stable across runs, which is what the determinism tests
+    // need).
+    return entry.key.size() * sizeof(std::int64_t) + sizeof(Entry) + 64;
+}
+
+bool
+JobCache::lookup(std::uint64_t stream_key, const rtl::JobInput &job,
+                 CachedJob &out, std::vector<std::int64_t> *key_out,
+                 std::uint64_t *hash_out)
+{
+    // Probes stream over the job in place; the flattened key is only
+    // materialised for the caller on a miss.
+    const std::uint64_t h = hashJob(stream_key, job);
+
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        const auto bucket = index.find(h);
+        if (bucket != index.end()) {
+            for (const EntryList::iterator &it : bucket->second) {
+                if (keyMatchesJob(it->key, stream_key, job)) {
+                    out = it->value;
+                    lru.splice(lru.begin(), lru, it);
+                    ++hitCount;
+                    return true;
+                }
+            }
+        }
+        ++missCount;
+    }
+    if (key_out)
+        *key_out = canonicalKey(stream_key, job);
+    if (hash_out)
+        *hash_out = h;
+    return false;
+}
+
+void
+JobCache::evictToFit(std::size_t incoming_bytes)
+{
+    while (!lru.empty() && usedBytes + incoming_bytes > capacity) {
+        const Entry &victim = lru.back();
+        auto bucket = index.find(victim.hash);
+        if (bucket != index.end()) {
+            auto &vec = bucket->second;
+            for (auto it = vec.begin(); it != vec.end(); ++it) {
+                if (&**it == &victim) {
+                    vec.erase(it);
+                    break;
+                }
+            }
+            if (vec.empty())
+                index.erase(bucket);
+        }
+        usedBytes -= victim.bytes;
+        lru.pop_back();
+        ++evictCount;
+    }
+}
+
+void
+JobCache::insert(std::uint64_t stream_key, const rtl::JobInput &job,
+                 const CachedJob &value)
+{
+    std::vector<std::int64_t> key = canonicalKey(stream_key, job);
+    const std::uint64_t h =
+        hashBytes(key.data(), key.size() * sizeof(std::int64_t));
+    insert(std::move(key), h, value);
+}
+
+void
+JobCache::insert(std::vector<std::int64_t> key, std::uint64_t hash,
+                 const CachedJob &value)
+{
+    Entry entry;
+    entry.key = std::move(key);
+    entry.hash = hash;
+    entry.value = value;
+    entry.bytes = entryBytes(entry);
+
+    std::lock_guard<std::mutex> lock(mu);
+    if (entry.bytes > capacity)
+        return;
+
+    // Refresh an existing entry in place (same key means same value;
+    // re-inserting after a concurrent duplicate miss must not grow
+    // the cache).
+    const auto bucket = index.find(entry.hash);
+    if (bucket != index.end()) {
+        for (const EntryList::iterator &it : bucket->second) {
+            if (it->key == entry.key) {
+                lru.splice(lru.begin(), lru, it);
+                return;
+            }
+        }
+    }
+
+    evictToFit(entry.bytes);
+    usedBytes += entry.bytes;
+    lru.push_front(std::move(entry));
+    index[lru.front().hash].push_back(lru.begin());
+    ++insertCount;
+}
+
+JobCache::Stats
+JobCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    Stats s;
+    s.hits = hitCount;
+    s.misses = missCount;
+    s.insertions = insertCount;
+    s.evictions = evictCount;
+    s.entries = lru.size();
+    s.bytes = usedBytes;
+    s.capacityBytes = capacity;
+    return s;
+}
+
+void
+JobCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    lru.clear();
+    index.clear();
+    usedBytes = 0;
+    hitCount = missCount = insertCount = evictCount = 0;
+}
+
+JobCache &
+JobCache::global()
+{
+    static JobCache *cache = [] {
+        std::size_t bytes = defaultCapacityBytes;
+        if (const char *env = std::getenv("PREDVFS_CACHE_BYTES")) {
+            char *end = nullptr;
+            const unsigned long long v = std::strtoull(env, &end, 10);
+            if (end && *end == '\0')
+                bytes = static_cast<std::size_t>(v);
+            else
+                util::fatal("PREDVFS_CACHE_BYTES: not a number: ", env);
+        }
+        return new JobCache(bytes);
+    }();
+    return *cache;
+}
+
+bool
+JobCache::enabledByEnv()
+{
+    static const bool enabled = [] {
+        const char *env = std::getenv("PREDVFS_DISABLE_CACHE");
+        return !(env && std::string(env) == "1");
+    }();
+    return enabled;
+}
+
+} // namespace sim
+} // namespace predvfs

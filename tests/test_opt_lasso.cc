@@ -11,9 +11,19 @@
 
 #include <cmath>
 
+#include "accel/registry.hh"
+#include "core/features.hh"
 #include "opt/lasso.hh"
 #include "opt/least_squares.hh"
+#include "opt/standardize.hh"
+#include "rtl/analysis.hh"
 #include "util/random.hh"
+#include "workload/suite.hh"
+
+namespace accel = predvfs::accel;
+namespace core = predvfs::core;
+namespace rtl = predvfs::rtl;
+namespace workload = predvfs::workload;
 
 using namespace predvfs::opt;
 using predvfs::util::Rng;
@@ -39,6 +49,128 @@ makeProblem(std::size_t n, double noise, std::uint64_t seed)
             noise * rng.normal();
     }
     return p;
+}
+
+/** The pre-hoist loss gradient, allocating a fresh vector. */
+Vector
+referenceLossGradient(const Vector &residual, double alpha)
+{
+    Vector g(residual.size());
+    for (std::size_t i = 0; i < residual.size(); ++i) {
+        const double r = residual[i];
+        g[i] = 2.0 * (r > 0.0 ? 1.0 : alpha) * r;
+    }
+    return g;
+}
+
+double
+referenceSoftThreshold(double v, double t)
+{
+    if (v > t)
+        return v - t;
+    if (v < -t)
+        return v + t;
+    return 0.0;
+}
+
+/**
+ * The original AsymmetricLasso::fit before the scratch vectors were
+ * hoisted out of the iteration loop: every temporary is allocated
+ * afresh each pass and the momentum point is rebuilt with the
+ * allocating Vector operators. The production fit must produce a
+ * bit-identical FitResult.
+ */
+FitResult
+referenceFit(const Matrix &x, const Vector &y, const LassoConfig &config)
+{
+    const std::size_t n = x.rows();
+    const std::size_t p = x.cols();
+
+    const double spectral =
+        x.gramSpectralNorm() + static_cast<double>(n);
+    const double lipschitz =
+        2.0 * std::max(1.0, config.alpha) * std::max(spectral, 1e-12);
+    const double step = 1.0 / lipschitz;
+
+    FitResult result;
+    result.beta = Vector(p);
+    result.intercept = 0.0;
+
+    Vector beta = result.beta;
+    double intercept = 0.0;
+    Vector z_beta = beta;
+    double z_intercept = intercept;
+    double t = 1.0;
+
+    double prev_obj =
+        AsymmetricLasso::objective(x, y, beta, intercept, config);
+
+    int iter = 0;
+    for (; iter < config.maxIterations; ++iter) {
+        Vector residual = x.multiply(z_beta);
+        for (std::size_t i = 0; i < n; ++i)
+            residual[i] += z_intercept - y[i];
+        const Vector g_r = referenceLossGradient(residual, config.alpha);
+        const Vector g_beta = x.multiplyTransposed(g_r);
+        double g_intercept = 0.0;
+        for (std::size_t i = 0; i < n; ++i)
+            g_intercept += g_r[i];
+
+        Vector beta_next(p);
+        const double thresh = config.gamma * step;
+        for (std::size_t j = 0; j < p; ++j)
+            beta_next[j] = referenceSoftThreshold(
+                z_beta[j] - step * g_beta[j], thresh);
+        const double intercept_next = z_intercept - step * g_intercept;
+
+        const double t_next =
+            (1.0 + std::sqrt(1.0 + 4.0 * t * t)) / 2.0;
+        const double momentum = (t - 1.0) / t_next;
+        z_beta = beta_next + (beta_next - beta) * momentum;
+        z_intercept =
+            intercept_next + (intercept_next - intercept) * momentum;
+
+        beta = beta_next;
+        intercept = intercept_next;
+        t = t_next;
+
+        if ((iter + 1) % 10 == 0 || iter + 1 == config.maxIterations) {
+            const double obj =
+                AsymmetricLasso::objective(x, y, beta, intercept, config);
+            const double denom = std::max(std::fabs(prev_obj), 1.0);
+            if (std::fabs(prev_obj - obj) / denom < config.tolerance) {
+                result.converged = true;
+                prev_obj = obj;
+                ++iter;
+                break;
+            }
+            if (obj > prev_obj) {
+                z_beta = beta;
+                z_intercept = intercept;
+                t = 1.0;
+            }
+            prev_obj = obj;
+        }
+    }
+
+    result.beta = beta;
+    result.intercept = intercept;
+    result.iterations = iter;
+    result.objective =
+        AsymmetricLasso::objective(x, y, beta, intercept, config);
+    return result;
+}
+
+void
+expectFitsIdentical(const FitResult &got, const FitResult &want)
+{
+    ASSERT_EQ(got.beta.size(), want.beta.size());
+    for (std::size_t j = 0; j < got.beta.size(); ++j)
+        EXPECT_EQ(got.beta[j], want.beta[j]) << "beta[" << j << "]";
+    EXPECT_EQ(got.intercept, want.intercept);
+    EXPECT_EQ(got.iterations, want.iterations);
+    EXPECT_EQ(got.objective, want.objective);
+    EXPECT_EQ(got.converged, want.converged);
 }
 
 } // namespace
@@ -200,3 +332,41 @@ TEST_P(LassoAlphaSweep, UnderRateBoundedByAlpha)
 INSTANTIATE_TEST_SUITE_P(AlphaGrid, LassoAlphaSweep,
                          ::testing::Values(1.0, 2.0, 4.0, 8.0, 16.0,
                                            64.0));
+
+/** The hoisted fit must be bit-identical to the original allocating
+ *  algorithm on every registry benchmark's real training matrix. */
+class LassoHoistEquivalence : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(LassoHoistEquivalence, FitResultBitIdenticalToReference)
+{
+    const auto acc = accel::makeAccelerator(GetParam());
+    const auto work = workload::makeWorkload(*acc);
+    const rtl::AnalysisReport analysis = rtl::analyze(acc->design());
+    const core::FeatureDataset ds =
+        core::collectDataset(acc->design(), analysis.features, work.train);
+
+    const Standardizer stdizer(ds.x);
+    const Matrix x_std = stdizer.transform(ds.x);
+
+    // The flow's configuration shape: strongly asymmetric, with both a
+    // sparsifying gamma (exercises the exactly-zero coefficient paths)
+    // and an unpenalised one.
+    for (const double gamma : {0.0, 4.0}) {
+        LassoConfig config;
+        config.alpha = 8.0;
+        config.gamma = gamma;
+        const FitResult got = AsymmetricLasso::fit(x_std, ds.y, config);
+        const FitResult want = referenceFit(x_std, ds.y, config);
+        SCOPED_TRACE("gamma=" + std::to_string(gamma));
+        expectFitsIdentical(got, want);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, LassoHoistEquivalence,
+    ::testing::ValuesIn(accel::benchmarkNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });

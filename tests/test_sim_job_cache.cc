@@ -1,0 +1,335 @@
+/**
+ * @file
+ * JobCache: content addressing (exact canonical keys, stream-key
+ * separation), LRU eviction determinism across capacities, and the
+ * memoised SimulationEngine::prepare — duplicate-heavy and all-unique
+ * workloads, byte-identity with direct interpretation, and the
+ * clean-simulation-only invariant under an active FaultSchedule.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/registry.hh"
+#include "core/flow.hh"
+#include "rtl/interpreter.hh"
+#include "sim/engine.hh"
+#include "sim/fault.hh"
+#include "sim/job_cache.hh"
+#include "workload/suite.hh"
+
+using namespace predvfs;
+using namespace predvfs::sim;
+
+namespace {
+
+/** A one-item job whose single field is @p value. */
+rtl::JobInput
+jobOf(std::int64_t value)
+{
+    rtl::JobInput job;
+    rtl::WorkItem item;
+    item.fields = {value};
+    job.items.push_back(std::move(item));
+    return job;
+}
+
+CachedJob
+payloadOf(double seed)
+{
+    CachedJob value;
+    value.cycles = static_cast<std::uint64_t>(seed * 100.0);
+    value.energyUnits = seed;
+    value.sliceCycles = static_cast<std::uint64_t>(seed * 10.0);
+    value.sliceEnergyUnits = seed * 0.5;
+    value.predictedCycles = seed * 99.0;
+    return value;
+}
+
+} // namespace
+
+TEST(JobCache, StreamingHashMatchesFlattenedKeyHash)
+{
+    // lookup() hashes the job in place; insert() hashes the flattened
+    // key. The two must agree or every probe after an insert misses.
+    std::vector<rtl::JobInput> jobs;
+    jobs.push_back(rtl::JobInput{});  // No items at all.
+    jobs.push_back(jobOf(0));
+    jobs.push_back(jobOf(-1));
+    rtl::JobInput mixed;
+    for (int i = 0; i < 5; ++i) {
+        rtl::WorkItem item;
+        for (int f = 0; f <= i; ++f)
+            item.fields.push_back(i * 1000 + f);
+        mixed.items.push_back(std::move(item));
+    }
+    mixed.items.push_back(rtl::WorkItem{});  // Field-less item.
+    jobs.push_back(std::move(mixed));
+
+    for (const std::uint64_t stream : {0ull, 7ull, ~0ull}) {
+        for (const rtl::JobInput &job : jobs) {
+            const std::vector<std::int64_t> key =
+                JobCache::canonicalKey(stream, job);
+            EXPECT_EQ(JobCache::hashJob(stream, job),
+                      JobCache::hashBytes(
+                          key.data(),
+                          key.size() * sizeof(std::int64_t)));
+            EXPECT_TRUE(JobCache::keyMatchesJob(key, stream, job));
+            EXPECT_FALSE(JobCache::keyMatchesJob(key, stream + 1, job));
+        }
+    }
+}
+
+TEST(JobCache, LookupReturnsExactInsertedPayload)
+{
+    JobCache cache(1 << 20);
+    const rtl::JobInput job = jobOf(42);
+    const CachedJob in = payloadOf(1.75);
+    cache.insert(7, job, in);
+
+    CachedJob out;
+    ASSERT_TRUE(cache.lookup(7, job, out));
+    EXPECT_EQ(out.cycles, in.cycles);
+    EXPECT_EQ(out.energyUnits, in.energyUnits);
+    EXPECT_EQ(out.sliceCycles, in.sliceCycles);
+    EXPECT_EQ(out.sliceEnergyUnits, in.sliceEnergyUnits);
+    EXPECT_EQ(out.predictedCycles, in.predictedCycles);
+
+    const JobCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 0u);
+    EXPECT_EQ(stats.insertions, 1u);
+    EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(JobCache, KeysSeparateJobsAndStreams)
+{
+    JobCache cache(1 << 20);
+    cache.insert(1, jobOf(5), payloadOf(1.0));
+
+    CachedJob out;
+    // Different field value, different stream, and structurally
+    // different jobs (field split across items) all miss.
+    EXPECT_FALSE(cache.lookup(1, jobOf(6), out));
+    EXPECT_FALSE(cache.lookup(2, jobOf(5), out));
+    rtl::JobInput two_items = jobOf(5);
+    two_items.items.push_back(two_items.items.front());
+    EXPECT_FALSE(cache.lookup(1, two_items, out));
+    EXPECT_TRUE(cache.lookup(1, jobOf(5), out));
+    EXPECT_EQ(cache.stats().misses, 3u);
+}
+
+TEST(JobCache, ZeroCapacityNeverStores)
+{
+    JobCache cache(0);
+    cache.insert(1, jobOf(5), payloadOf(1.0));
+    CachedJob out;
+    EXPECT_FALSE(cache.lookup(1, jobOf(5), out));
+    EXPECT_EQ(cache.stats().entries, 0u);
+    EXPECT_EQ(cache.stats().bytes, 0u);
+}
+
+TEST(JobCache, LruEvictionIsDeterministicPerCapacity)
+{
+    // The same probe/insert sequence replayed against fresh caches of
+    // equal capacity must produce the identical hit/miss/eviction
+    // history; shrinking the capacity only adds evictions.
+    const auto replay = [](JobCache &cache) {
+        for (int round = 0; round < 3; ++round) {
+            for (std::int64_t v = 0; v < 64; ++v) {
+                const rtl::JobInput job = jobOf(v);
+                CachedJob out;
+                if (!cache.lookup(9, job, out))
+                    cache.insert(9, job, payloadOf(1.0 + double(v)));
+            }
+        }
+    };
+
+    std::size_t prev_evictions = 0;
+    bool first = true;
+    for (const std::size_t capacity :
+         {std::size_t(1) << 20, std::size_t(8192), std::size_t(4096)}) {
+        JobCache a(capacity), b(capacity);
+        replay(a);
+        replay(b);
+        const JobCache::Stats sa = a.stats(), sb = b.stats();
+        EXPECT_EQ(sa.hits, sb.hits) << "capacity " << capacity;
+        EXPECT_EQ(sa.misses, sb.misses) << "capacity " << capacity;
+        EXPECT_EQ(sa.evictions, sb.evictions) << "capacity " << capacity;
+        EXPECT_EQ(sa.entries, sb.entries) << "capacity " << capacity;
+        EXPECT_EQ(sa.bytes, sb.bytes) << "capacity " << capacity;
+        EXPECT_LE(sa.bytes, capacity);
+        if (!first)
+            EXPECT_GE(sa.evictions, prev_evictions)
+                << "capacity " << capacity;
+        prev_evictions = sa.evictions;
+        first = false;
+    }
+
+    // The big cache holds the whole working set: rounds 2 and 3 hit.
+    JobCache big(std::size_t(1) << 20);
+    replay(big);
+    EXPECT_EQ(big.stats().misses, 64u);
+    EXPECT_EQ(big.stats().hits, 128u);
+    EXPECT_EQ(big.stats().evictions, 0u);
+}
+
+TEST(JobCache, EvictionKeepsMostRecentlyUsed)
+{
+    // Size the cache for roughly two entries, touch the first entry,
+    // insert a third: the untouched second entry is the victim.
+    JobCache probe(1 << 20);
+    probe.insert(3, jobOf(0), payloadOf(1.0));
+    const std::size_t one_entry = probe.stats().bytes;
+
+    JobCache cache(2 * one_entry + one_entry / 2);
+    cache.insert(3, jobOf(0), payloadOf(1.0));
+    cache.insert(3, jobOf(1), payloadOf(2.0));
+    CachedJob out;
+    ASSERT_TRUE(cache.lookup(3, jobOf(0), out));  // Refresh entry 0.
+    cache.insert(3, jobOf(2), payloadOf(3.0));
+
+    EXPECT_TRUE(cache.lookup(3, jobOf(0), out));
+    EXPECT_FALSE(cache.lookup(3, jobOf(1), out));
+    EXPECT_TRUE(cache.lookup(3, jobOf(2), out));
+    EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+namespace {
+
+struct EngineFixture
+{
+    std::shared_ptr<const accel::Accelerator> acc =
+        accel::makeAccelerator("sha");
+    workload::BenchmarkWorkload work = workload::makeWorkload(*acc);
+    power::VfModel vf =
+        power::VfModel::asic65nm(acc->nominalFrequencyHz());
+    power::OperatingPointTable table =
+        power::OperatingPointTable::asic(vf, true);
+    SimulationEngine engine{*acc, table, EngineConfig{}};
+};
+
+void
+expectPreparedIdentical(const std::vector<core::PreparedJob> &a,
+                        const std::vector<core::PreparedJob> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].cycles, b[i].cycles) << "job " << i;
+        EXPECT_EQ(a[i].energyUnits, b[i].energyUnits) << "job " << i;
+        EXPECT_EQ(a[i].sliceCycles, b[i].sliceCycles) << "job " << i;
+        EXPECT_EQ(a[i].sliceEnergyUnits, b[i].sliceEnergyUnits)
+            << "job " << i;
+        EXPECT_EQ(a[i].predictedCycles, b[i].predictedCycles)
+            << "job " << i;
+    }
+}
+
+} // namespace
+
+TEST(MemoizedPrepare, DuplicateHeavyStreamSimulatesUniquesOnly)
+{
+    if (!JobCache::enabledByEnv())
+        GTEST_SKIP() << "cache disabled by environment";
+    EngineFixture f;
+
+    // 4 unique jobs, each repeated 8 times.
+    std::vector<rtl::JobInput> jobs;
+    for (int rep = 0; rep < 8; ++rep)
+        for (std::size_t u = 0; u < 4; ++u)
+            jobs.push_back(f.work.test.at(u));
+
+    JobCache::global().clear();
+    const auto before = JobCache::global().stats();
+    const auto prepared = f.engine.prepare(jobs);
+    const auto after = JobCache::global().stats();
+    EXPECT_EQ(after.misses - before.misses, jobs.size());
+    EXPECT_EQ(after.insertions - before.insertions, 4u);
+
+    // Every record matches direct interpretation — fan-out copies
+    // included.
+    rtl::Interpreter interp(f.acc->design());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const rtl::JobResult direct = interp.run(jobs[i]);
+        EXPECT_EQ(prepared[i].input, &jobs[i]);
+        EXPECT_EQ(prepared[i].cycles, direct.cycles);
+        EXPECT_EQ(prepared[i].energyUnits, direct.energyUnits);
+    }
+
+    // Re-preparing the same stream is all hits, with identical bits.
+    const auto warm_before = JobCache::global().stats();
+    const auto warm = f.engine.prepare(jobs);
+    const auto warm_after = JobCache::global().stats();
+    EXPECT_EQ(warm_after.hits - warm_before.hits, jobs.size());
+    EXPECT_EQ(warm_after.misses, warm_before.misses);
+    expectPreparedIdentical(prepared, warm);
+}
+
+TEST(MemoizedPrepare, AllUniqueStreamMissesOncePerJob)
+{
+    if (!JobCache::enabledByEnv())
+        GTEST_SKIP() << "cache disabled by environment";
+    EngineFixture f;
+    const core::FlowResult flow =
+        core::buildPredictor(f.acc->design(), f.work.train, {});
+
+    JobCache::global().clear();
+    const auto prepared =
+        f.engine.prepare(f.work.test, flow.predictor.get());
+    const auto stats = JobCache::global().stats();
+    // The generated test stream may contain natural duplicates, but
+    // each unique vector simulates (and inserts) exactly once.
+    EXPECT_EQ(stats.hits + stats.misses, f.work.test.size());
+    EXPECT_EQ(stats.insertions, stats.entries);
+    EXPECT_LE(stats.insertions, f.work.test.size());
+
+    // Slice features memoise with the stream: a warm re-prepare
+    // reproduces predictor outputs bit for bit.
+    const auto warm = f.engine.prepare(f.work.test, flow.predictor.get());
+    expectPreparedIdentical(prepared, warm);
+}
+
+TEST(MemoizedPrepare, FaultsNeverPoisonTheCache)
+{
+    if (!JobCache::enabledByEnv())
+        GTEST_SKIP() << "cache disabled by environment";
+    EngineFixture f;
+    const core::FlowResult flow =
+        core::buildPredictor(f.acc->design(), f.work.train, {});
+
+    FaultPlan plan(555);
+    plan.sliceReadout(FaultTrigger::every(3))
+        .sliceStall(FaultTrigger::every(5, 1), 25.0)
+        .oodSpike(FaultTrigger::every(7, 2), 4.0);
+    const FaultSchedule schedule = plan.instantiate(f.work.test.size());
+
+    // Cold faulted prepare, then a fully-warm faulted prepare: the
+    // cache holds only the clean simulation, and applyPrepareFaults
+    // re-mutates the fan-out copies identically both times.
+    JobCache::global().clear();
+    const auto cold = f.engine.prepare(f.work.test, flow.predictor.get(),
+                                       &schedule);
+    const auto warm = f.engine.prepare(f.work.test, flow.predictor.get(),
+                                       &schedule);
+    expectPreparedIdentical(cold, warm);
+
+    // A clean prepare after the faulted ones sees clean records: the
+    // faulted values never entered the cache.
+    const auto clean =
+        f.engine.prepare(f.work.test, flow.predictor.get());
+    rtl::Interpreter interp(f.acc->design());
+    for (std::size_t i = 0; i < clean.size(); ++i) {
+        const rtl::JobResult direct = interp.run(f.work.test[i]);
+        EXPECT_EQ(clean[i].cycles, direct.cycles);
+        EXPECT_EQ(clean[i].energyUnits, direct.energyUnits);
+    }
+
+    // And the faulted records differ from clean where the schedule
+    // fired (sanity that the schedule actually did something).
+    bool any_fault_effect = false;
+    for (std::size_t i = 0; i < clean.size(); ++i) {
+        if (cold[i].sliceCycles != clean[i].sliceCycles ||
+            cold[i].predictedCycles != clean[i].predictedCycles)
+            any_fault_effect = true;
+    }
+    EXPECT_TRUE(any_fault_effect);
+}
