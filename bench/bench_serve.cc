@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Serving-layer benchmark: the prediction service driven over the
+ * loopback transport.
+ *
+ * For each measured benchmark this times the full test workload as a
+ * pipelined client burst, cold (empty JobCache) and warm (all hits),
+ * then hammers the server with duplicate-heavy multi-client traffic
+ * to exercise the accumulation window. Reported per benchmark in
+ * BENCH_serve.json (path overridable via argv[1]): requests/s cold
+ * and warm, the stream's cache hit rate, mean batch lane occupancy,
+ * p50/p99 service time, and peak queue depth.
+ *
+ * The cold and warm replays are also golden-compared: any byte-level
+ * divergence between them (cache state leaking into response bytes)
+ * exits non-zero, so CI catches it the way it catches a failing test.
+ */
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "accel/registry.hh"
+#include "serve/client.hh"
+#include "serve/golden.hh"
+#include "serve/server.hh"
+#include "sim/job_cache.hh"
+#include "workload/replay.hh"
+#include "workload/suite.hh"
+
+using namespace predvfs;
+
+namespace {
+
+struct ServeResult
+{
+    std::string name;
+    std::size_t jobs = 0;
+    double coldSeconds = 0.0;
+    double warmSeconds = 0.0;
+    double coldRequestsPerSec = 0.0;
+    double warmRequestsPerSec = 0.0;
+    double hitRate = 0.0;
+    double meanBatchOccupancy = 0.0;
+    double p50ServiceMicros = 0.0;
+    double p99ServiceMicros = 0.0;
+    std::size_t peakQueueDepth = 0;
+    bool coldWarmIdentical = false;
+};
+
+double
+secondsSince(const std::chrono::steady_clock::time_point &t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+ServeResult
+measure(const std::string &bench)
+{
+    const sim::ExperimentOptions eopts;
+    serve::ServerOptions sopts;
+    sopts.workers = 2;
+    sopts.batchWindowMicros = 200;
+    sopts.experiment = eopts;
+
+    serve::PredictionServer server(sopts);
+    server.registerBenchmark(bench);
+
+    ServeResult r;
+    r.name = bench;
+
+    // Cold: nothing in the cache (when it is enabled at all).
+    sim::JobCache::global().clear();
+    serve::GoldenReport cold;
+    {
+        serve::PredictionClient client(server.connectLoopback());
+        const std::uint32_t sid = client.openStream(bench);
+        const auto t0 = std::chrono::steady_clock::now();
+        cold = serve::buildGoldenReport(client, sid, bench, eopts);
+        r.coldSeconds = secondsSince(t0);
+    }
+
+    // Warm: the same burst again, now answerable from the cache.
+    serve::GoldenReport warm;
+    {
+        serve::PredictionClient client(server.connectLoopback());
+        const std::uint32_t sid = client.openStream(bench);
+        const auto t0 = std::chrono::steady_clock::now();
+        warm = serve::buildGoldenReport(client, sid, bench, eopts);
+        r.warmSeconds = secondsSince(t0);
+    }
+
+    r.jobs = cold.jobs;
+    r.coldRequestsPerSec =
+        static_cast<double>(cold.jobs) / r.coldSeconds;
+    r.warmRequestsPerSec =
+        static_cast<double>(warm.jobs) / r.warmSeconds;
+    r.coldWarmIdentical = cold == warm;
+
+    // Duplicate-heavy multi-client traffic for the batching/telemetry
+    // numbers.
+    const workload::BenchmarkWorkload work = workload::makeWorkload(
+        *accel::makeAccelerator(bench), eopts.seed);
+    const std::size_t clients = 4;
+    const std::vector<workload::ReplayPlan> plans =
+        workload::duplicateHeavyPlans(work.test.size(), clients,
+                                      /*requests_per_client=*/200,
+                                      /*hot_jobs=*/8,
+                                      workload::defaultSeed);
+    std::vector<std::thread> threads;
+    for (std::size_t c = 0; c < clients; ++c) {
+        threads.emplace_back([&server, &work, &plans, &bench, c] {
+            serve::PredictionClient client(server.connectLoopback());
+            const std::uint32_t sid = client.openStream(bench);
+            std::vector<rtl::JobInput> burst;
+            burst.reserve(plans[c].indices.size());
+            for (const std::size_t index : plans[c].indices)
+                burst.push_back(work.test[index]);
+            client.predictMany(sid, burst);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    const serve::StreamTelemetry telem = server.telemetry(bench);
+    r.hitRate = telem.hitRate();
+    r.meanBatchOccupancy = telem.meanBatchOccupancy();
+    r.p50ServiceMicros = telem.p50ServiceMicros;
+    r.p99ServiceMicros = telem.p99ServiceMicros;
+    r.peakQueueDepth = server.maxQueueDepth();
+    server.stop();
+    return r;
+}
+
+void
+writeJson(std::ostream &os, const std::vector<ServeResult> &results)
+{
+    os.precision(6);
+    os << "{\n  \"bench\": \"serve\",\n  \"cache_enabled\": "
+       << (sim::JobCache::enabledByEnv() ? "true" : "false")
+       << ",\n  \"hardware_threads\": "
+       << std::thread::hardware_concurrency() << ",\n"
+       << "  \"benchmarks\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const ServeResult &r = results[i];
+        os << "    {\n"
+           << "      \"name\": \"" << r.name << "\",\n"
+           << "      \"jobs\": " << r.jobs << ",\n"
+           << "      \"cold_seconds\": " << r.coldSeconds << ",\n"
+           << "      \"warm_seconds\": " << r.warmSeconds << ",\n"
+           << "      \"cold_requests_per_sec\": "
+           << r.coldRequestsPerSec << ",\n"
+           << "      \"warm_requests_per_sec\": "
+           << r.warmRequestsPerSec << ",\n"
+           << "      \"cache_hit_rate\": " << r.hitRate << ",\n"
+           << "      \"mean_batch_occupancy\": "
+           << r.meanBatchOccupancy << ",\n"
+           << "      \"p50_service_us\": " << r.p50ServiceMicros
+           << ",\n"
+           << "      \"p99_service_us\": " << r.p99ServiceMicros
+           << ",\n"
+           << "      \"peak_queue_depth\": " << r.peakQueueDepth
+           << ",\n"
+           << "      \"cold_warm_identical\": "
+           << (r.coldWarmIdentical ? "true" : "false") << "\n    }"
+           << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string out_path =
+        argc > 1 ? argv[1] : "BENCH_serve.json";
+
+    std::vector<ServeResult> results;
+    bool ok = true;
+    for (const char *bench : {"sha", "cjpeg"}) {
+        ServeResult r = measure(bench);
+        std::cout << bench << ": " << r.jobs << " jobs, cold "
+                  << r.coldRequestsPerSec << " req/s, warm "
+                  << r.warmRequestsPerSec << " req/s, hit rate "
+                  << r.hitRate << ", occupancy "
+                  << r.meanBatchOccupancy << "\n";
+        if (!r.coldWarmIdentical) {
+            std::cerr << bench
+                      << ": cold and warm replies DIVERGED\n";
+            ok = false;
+        }
+        results.push_back(std::move(r));
+    }
+
+    std::ofstream out(out_path);
+    writeJson(out, results);
+    std::cout << "wrote " << out_path << "\n";
+    return ok ? 0 : 1;
+}

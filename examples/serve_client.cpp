@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The prediction service's client binary: connect to a serving socket
+ * (or spin up an in-process loopback server for a self-contained
+ * demo), replay a workload, and print the results.
+ *
+ * Usage:
+ *   example_serve_client (--socket PATH | --loopback)
+ *                        [--bench NAME] [--golden] [--trace FILE.csv]
+ *                        [--stats]
+ *
+ *  --golden  replay the benchmark's full test workload and print the
+ *            golden report (scripts/check.sh diffs this against the
+ *            checked-in fixture; tests/goldens/ is regenerated with
+ *            it too);
+ *  --trace   replay a CSV job trace instead of the built-in workload
+ *            and print one line per job;
+ *  --stats   fetch and print the server's telemetry JSON.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "accel/registry.hh"
+#include "serve/client.hh"
+#include "serve/golden.hh"
+#include "serve/server.hh"
+#include "util/logging.hh"
+#include "workload/trace_io.hh"
+
+using namespace predvfs;
+
+int
+main(int argc, char **argv)
+{
+    std::string socket_path;
+    std::string trace_path;
+    std::string bench = "sha";
+    bool loopback = false;
+    bool golden = false;
+    bool stats = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const bool has_value = i + 1 < argc;
+        if (arg == "--socket" && has_value) {
+            socket_path = argv[++i];
+        } else if (arg == "--loopback") {
+            loopback = true;
+        } else if (arg == "--bench" && has_value) {
+            bench = argv[++i];
+        } else if (arg == "--golden") {
+            golden = true;
+        } else if (arg == "--trace" && has_value) {
+            trace_path = argv[++i];
+        } else if (arg == "--stats") {
+            stats = true;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s (--socket PATH | --loopback) "
+                         "[--bench NAME] [--golden] [--trace FILE] "
+                         "[--stats]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    util::fatalIf(socket_path.empty() == !loopback,
+                  "pick exactly one of --socket and --loopback");
+
+    const sim::ExperimentOptions eopts;
+
+    // Loopback mode hosts the server in-process; socket mode dials a
+    // running example_serve_server.
+    std::unique_ptr<serve::PredictionServer> local;
+    std::unique_ptr<serve::Connection> conn;
+    if (loopback) {
+        serve::ServerOptions sopts;
+        sopts.experiment = eopts;
+        local = std::make_unique<serve::PredictionServer>(
+            serve::serverOptionsFromEnv(sopts));
+        local->registerBenchmark(bench);
+        conn = local->connectLoopback();
+    } else {
+        conn = serve::connectUnix(socket_path, /*timeout_ms=*/10000);
+        util::fatalIf(!conn, "cannot connect to ", socket_path);
+    }
+
+    serve::PredictionClient client(std::move(conn));
+    const std::uint32_t sid = client.openStream(bench);
+
+    if (golden) {
+        const serve::GoldenReport report =
+            serve::buildGoldenReport(client, sid, bench, eopts);
+        std::printf("%s", serve::formatGoldenReport(report).c_str());
+    }
+
+    if (!trace_path.empty()) {
+        const auto accel = accel::makeAccelerator(bench);
+        std::ifstream in(trace_path);
+        util::fatalIf(!in, "cannot read trace ", trace_path);
+        const std::vector<rtl::JobInput> jobs =
+            workload::readTraceCsv(in, accel->design());
+        const std::vector<serve::PredictReplyMsg> replies =
+            client.predictMany(sid, jobs);
+        for (std::size_t i = 0; i < replies.size(); ++i) {
+            std::printf("job %zu: cycles=%llu predicted=%a "
+                        "slice_cycles=%llu\n",
+                        i,
+                        static_cast<unsigned long long>(
+                            replies[i].cycles),
+                        replies[i].predictedCycles,
+                        static_cast<unsigned long long>(
+                            replies[i].sliceCycles));
+        }
+    }
+
+    if (stats)
+        std::printf("%s", client.statsJson().c_str());
+
+    return 0;
+}

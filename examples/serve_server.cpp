@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The prediction service as a standalone daemon: train the requested
+ * benchmarks, serve them over a Unix-domain socket, and keep serving
+ * until told to stop. Used by scripts/check.sh's serving smoke stage
+ * and as the quick-start server.
+ *
+ * Usage:
+ *   example_serve_server --socket /tmp/predvfs.sock
+ *                        [--bench sha,cjpeg,...] [--workers N]
+ *                        [--stop-file PATH] [--max-seconds S]
+ *
+ * With --stop-file the server polls for the file's existence and
+ * shuts down cleanly once it appears — scripts get a deterministic,
+ * sanitizer-clean teardown without signal races. --max-seconds bounds
+ * the wait either way. The PREDVFS_SERVE_* env knobs override the
+ * batching/worker defaults.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/server.hh"
+#include "util/logging.hh"
+
+using namespace predvfs;
+
+namespace {
+
+std::vector<std::string>
+splitCommas(const std::string &list)
+{
+    std::vector<std::string> out;
+    std::istringstream is(list);
+    std::string item;
+    while (std::getline(is, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+bool
+fileExists(const std::string &path)
+{
+    return std::ifstream(path).good();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socket_path;
+    std::string stop_file;
+    std::vector<std::string> benchmarks = {"sha"};
+    double max_seconds = 600.0;
+    serve::ServerOptions sopts;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const bool has_value = i + 1 < argc;
+        if (arg == "--socket" && has_value) {
+            socket_path = argv[++i];
+        } else if (arg == "--bench" && has_value) {
+            benchmarks = splitCommas(argv[++i]);
+        } else if (arg == "--workers" && has_value) {
+            sopts.workers =
+                static_cast<unsigned>(std::stoul(argv[++i]));
+        } else if (arg == "--stop-file" && has_value) {
+            stop_file = argv[++i];
+        } else if (arg == "--max-seconds" && has_value) {
+            max_seconds = std::stod(argv[++i]);
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s --socket PATH [--bench a,b,...] "
+                         "[--workers N] [--stop-file PATH] "
+                         "[--max-seconds S]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    util::fatalIf(socket_path.empty(), "--socket is required");
+    util::fatalIf(!serve::unixSocketsAvailable(),
+                  "this build has no Unix-domain socket support");
+
+    sopts = serve::serverOptionsFromEnv(sopts);
+    serve::PredictionServer server(sopts);
+    for (const std::string &bench : benchmarks)
+        server.registerBenchmark(bench);
+    server.listenUnix(socket_path);
+    std::printf("serving %zu benchmark(s) on %s (workers=%u)\n",
+                benchmarks.size(), socket_path.c_str(), sopts.workers);
+    std::fflush(stdout);
+
+    const auto deadline = std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(max_seconds));
+    while (std::chrono::steady_clock::now() < deadline) {
+        if (!stop_file.empty() && fileExists(stop_file))
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+
+    server.stop();
+    std::printf("%s", server.telemetryJson().c_str());
+    return 0;
+}

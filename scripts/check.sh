@@ -42,16 +42,41 @@ PREDVFS_DISABLE_CACHE=1 ctest --test-dir build --output-on-failure
 stage "design lint"
 build/examples/example_lint_design all
 
+stage "serving smoke (unix socket, 1 benchmark)"
+# Start the serving daemon, replay sha's test workload through the
+# client binary over the socket, and require the served golden to
+# byte-match the checked-in fixture. The stop file gives the server a
+# deterministic, sanitizer-clean shutdown.
+SERVE_SOCK="build/predvfs_smoke.sock"
+SERVE_STOP="build/predvfs_smoke.stop"
+SERVE_OUT="build/predvfs_smoke.golden"
+rm -f "$SERVE_SOCK" "$SERVE_STOP" "$SERVE_OUT"
+build/examples/example_serve_server --socket "$SERVE_SOCK" \
+    --bench sha --stop-file "$SERVE_STOP" --max-seconds 120 \
+    > /dev/null &
+SERVE_PID=$!
+build/examples/example_serve_client --socket "$SERVE_SOCK" \
+    --bench sha --golden > "$SERVE_OUT"
+touch "$SERVE_STOP"
+wait "$SERVE_PID"
+diff tests/goldens/serve_sha.golden "$SERVE_OUT"
+rm -f "$SERVE_SOCK" "$SERVE_STOP"
+
 stage "robustness smoke (1 benchmark, 60 jobs)"
 build/bench/bench_robustness_faults sha 60 > /dev/null
 
 stage "perf regression harness"
 build/bench/bench_perf_pipeline BENCH_perf.json
 
+stage "serving bench"
+# Exits non-zero if cold and warm serving replies ever diverge.
+build/bench/bench_serve BENCH_serve.json
+
 stage "bench smoke"
 for b in build/bench/*; do
     case "$b" in
         */bench_perf_pipeline) continue ;;  # ran above, with output
+        */bench_serve) continue ;;          # ran above, with output
     esac
     if [ -f "$b" ] && [ -x "$b" ]; then
         echo "-- $b"

@@ -1,0 +1,181 @@
+#include "serve/client.hh"
+
+#include <unordered_map>
+
+#include "util/logging.hh"
+
+namespace predvfs {
+namespace serve {
+
+PredictionClient::PredictionClient(
+    std::unique_ptr<Connection> connection)
+    : conn(std::move(connection))
+{
+    util::fatalIf(!conn, "PredictionClient: null connection");
+    send(MsgType::Hello, encodeHello(HelloMsg{}));
+    const Frame reply = readFrame();
+    raiseIfError(reply);
+    util::fatalIf(static_cast<MsgType>(reply.type) != MsgType::HelloOk,
+                  "PredictionClient: handshake got frame type ",
+                  reply.type, " instead of HelloOk");
+}
+
+PredictionClient::~PredictionClient()
+{
+    bye();
+}
+
+std::uint32_t
+PredictionClient::openStream(const std::string &benchmark)
+{
+    OpenStreamMsg open;
+    open.benchmark = benchmark;
+    send(MsgType::OpenStream, encodeOpenStream(open));
+    const Frame reply = readFrame();
+    raiseIfError(reply);
+    util::fatalIf(
+        static_cast<MsgType>(reply.type) != MsgType::StreamOpened,
+        "PredictionClient: OpenStream got frame type ", reply.type);
+    StreamOpenedMsg opened;
+    util::fatalIf(!decodeStreamOpened(reply.payload, opened),
+                  "PredictionClient: undecodable StreamOpened");
+    streamKeys[opened.streamId] = opened.streamKey;
+    return opened.streamId;
+}
+
+std::uint64_t
+PredictionClient::streamKey(std::uint32_t stream_id) const
+{
+    const auto it = streamKeys.find(stream_id);
+    util::fatalIf(it == streamKeys.end(),
+                  "PredictionClient: stream ", stream_id,
+                  " was never opened");
+    return it->second;
+}
+
+PredictReplyMsg
+PredictionClient::predict(std::uint32_t stream_id,
+                          const rtl::JobInput &job)
+{
+    std::vector<rtl::JobInput> jobs(1, job);
+    return predictMany(stream_id, jobs).front();
+}
+
+std::vector<PredictReplyMsg>
+PredictionClient::predictMany(std::uint32_t stream_id,
+                              const std::vector<rtl::JobInput> &jobs)
+{
+    // Write the whole burst before reading anything: the server's
+    // accumulation window can only coalesce requests that are already
+    // in flight.
+    std::unordered_map<std::uint64_t, std::size_t> order;
+    order.reserve(jobs.size());
+    for (const rtl::JobInput &job : jobs) {
+        PredictMsg request;
+        request.streamId = stream_id;
+        request.requestId = nextRequestId++;
+        request.job = job;
+        order[request.requestId] = order.size();
+        send(MsgType::Predict, encodePredict(request));
+    }
+
+    std::vector<PredictReplyMsg> replies(jobs.size());
+    std::vector<bool> seen(jobs.size(), false);
+    for (std::size_t got = 0; got < jobs.size(); ++got) {
+        const Frame frame = readFrame();
+        raiseIfError(frame);
+        util::fatalIf(
+            static_cast<MsgType>(frame.type) != MsgType::PredictReply,
+            "PredictionClient: expected PredictReply, got type ",
+            frame.type);
+        PredictReplyMsg reply;
+        util::fatalIf(!decodePredictReply(frame.payload, reply),
+                      "PredictionClient: undecodable PredictReply");
+        const auto it = order.find(reply.requestId);
+        util::fatalIf(it == order.end(),
+                      "PredictionClient: reply for unknown request ",
+                      reply.requestId);
+        util::fatalIf(seen[it->second],
+                      "PredictionClient: duplicate reply for request ",
+                      reply.requestId);
+        seen[it->second] = true;
+        replies[it->second] = reply;
+    }
+    return replies;
+}
+
+std::string
+PredictionClient::statsJson()
+{
+    send(MsgType::Stats, encodeStats(StatsMsg{}));
+    const Frame frame = readFrame();
+    raiseIfError(frame);
+    util::fatalIf(
+        static_cast<MsgType>(frame.type) != MsgType::StatsReply,
+        "PredictionClient: expected StatsReply, got type ", frame.type);
+    StatsReplyMsg reply;
+    util::fatalIf(!decodeStatsReply(frame.payload, reply),
+                  "PredictionClient: undecodable StatsReply");
+    return reply.json;
+}
+
+void
+PredictionClient::bye()
+{
+    if (closed)
+        return;
+    closed = true;
+    // Best effort: the server may already be gone.
+    const std::vector<std::uint8_t> frame =
+        encodeFrame(MsgType::Bye, {});
+    conn->writeAll(frame.data(), frame.size());
+    conn->close();
+}
+
+Frame
+PredictionClient::readFrame()
+{
+    util::fatalIf(closed, "PredictionClient: used after bye()");
+    Frame frame;
+    std::string error;
+    for (;;) {
+        const FrameDecoder::Status status = decoder.next(frame, &error);
+        if (status == FrameDecoder::Status::Ready)
+            return frame;
+        util::fatalIf(status == FrameDecoder::Status::Error,
+                      "PredictionClient: server sent garbage: ", error);
+        std::uint8_t buffer[4096];
+        const std::size_t n = conn->read(buffer, sizeof(buffer));
+        util::fatalIf(n == 0,
+                      "PredictionClient: server closed the connection");
+        decoder.feed(buffer, n);
+    }
+}
+
+void
+PredictionClient::send(MsgType type,
+                       const std::vector<std::uint8_t> &payload)
+{
+    util::fatalIf(closed, "PredictionClient: used after bye()");
+    const std::vector<std::uint8_t> frame = encodeFrame(type, payload);
+    util::fatalIf(!conn->writeAll(frame.data(), frame.size()),
+                  "PredictionClient: connection closed mid-write");
+}
+
+void
+PredictionClient::raiseIfError(const Frame &frame)
+{
+    if (static_cast<MsgType>(frame.type) != MsgType::Error)
+        return;
+    ErrorMsg msg;
+    if (!decodeError(frame.payload, msg)) {
+        util::fatal("PredictionClient: server sent an undecodable "
+                    "Error frame");
+    }
+    util::fatal("PredictionClient: server error ",
+                errorCodeName(static_cast<ErrorCode>(msg.code)),
+                " (request ", msg.requestId, "): ", msg.message);
+}
+
+} // namespace serve
+} // namespace predvfs

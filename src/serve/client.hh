@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Client side of the prediction service.
+ *
+ * A PredictionClient owns one Connection and speaks the wire protocol
+ * synchronously: the constructor performs the Hello handshake,
+ * openStream() resolves a benchmark name to a stream handle, and
+ * predict()/predictMany() exchange jobs for prepared-value replies.
+ * predictMany() pipelines — every request is written before the first
+ * reply is read — which is what lets the server's accumulation window
+ * actually coalesce a client's burst into one batch. Replies are
+ * matched to requests by the echoed requestId, so any server-side
+ * reordering across streams is invisible to the caller.
+ *
+ * Server-reported Error frames are fatal() here: the tests drive the
+ * client with known-good requests, so a typed error means a harness
+ * bug, not an expected outcome. The robustness corpus talks to the
+ * server through raw Connections instead of this class.
+ */
+
+#ifndef PREDVFS_SERVE_CLIENT_HH
+#define PREDVFS_SERVE_CLIENT_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hh"
+#include "serve/transport.hh"
+
+namespace predvfs {
+namespace serve {
+
+/** Synchronous protocol client over one Connection. */
+class PredictionClient
+{
+  public:
+    /** Take ownership of @p connection and handshake. fatal() when
+     *  the peer is not a compatible prediction server. */
+    explicit PredictionClient(std::unique_ptr<Connection> connection);
+
+    /** Sends Bye (best effort) and closes the connection. */
+    ~PredictionClient();
+
+    PredictionClient(const PredictionClient &) = delete;
+    PredictionClient &operator=(const PredictionClient &) = delete;
+
+    /**
+     * Resolve @p benchmark to a served stream. fatal() when the
+     * server does not serve it.
+     * @return the stream id for predict() calls.
+     */
+    std::uint32_t openStream(const std::string &benchmark);
+
+    /** Content-addressed key the server reported for an open stream
+     *  (design hash ⊕ predictor fingerprint). */
+    std::uint64_t streamKey(std::uint32_t stream_id) const;
+
+    /** One job in, one prepared record out. */
+    PredictReplyMsg predict(std::uint32_t stream_id,
+                            const rtl::JobInput &job);
+
+    /**
+     * Pipelined burst: write every request, then collect replies,
+     * matched by requestId. @return replies in @p jobs order.
+     */
+    std::vector<PredictReplyMsg>
+    predictMany(std::uint32_t stream_id,
+                const std::vector<rtl::JobInput> &jobs);
+
+    /** Fetch the server's telemetry JSON document. */
+    std::string statsJson();
+
+    /** Send Bye and close. Idempotent; the destructor calls it. */
+    void bye();
+
+  private:
+    /** Block until one complete frame arrives. fatal() on EOF or
+     *  framing garbage from the server (never expected in-process). */
+    Frame readFrame();
+
+    void send(MsgType type, const std::vector<std::uint8_t> &payload);
+
+    /** fatal() with the server's message if @p frame is an Error. */
+    static void raiseIfError(const Frame &frame);
+
+    std::unique_ptr<Connection> conn;
+    FrameDecoder decoder;
+    std::uint64_t nextRequestId = 1;
+    std::map<std::uint32_t, std::uint64_t> streamKeys;
+    bool closed = false;
+};
+
+} // namespace serve
+} // namespace predvfs
+
+#endif // PREDVFS_SERVE_CLIENT_HH

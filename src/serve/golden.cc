@@ -1,0 +1,223 @@
+#include "serve/golden.hh"
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "accel/registry.hh"
+#include "core/predictive_controller.hh"
+#include "sim/job_cache.hh"
+#include "util/logging.hh"
+#include "workload/suite.hh"
+
+namespace predvfs {
+namespace serve {
+
+namespace {
+
+std::uint64_t
+doubleBits(double value)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    return bits;
+}
+
+/** Chain one reply's value fields into the running digest. */
+std::uint64_t
+digestReply(std::uint64_t seed, const PredictReplyMsg &reply)
+{
+    const std::uint64_t words[5] = {
+        reply.cycles,
+        doubleBits(reply.energyUnits),
+        reply.sliceCycles,
+        doubleBits(reply.sliceEnergyUnits),
+        doubleBits(reply.predictedCycles),
+    };
+    return sim::JobCache::hashBytes(words, sizeof(words), seed);
+}
+
+void
+printMetrics(std::ostream &os, const char *name,
+             const sim::RunMetrics &m)
+{
+    os << name << ' ' << m.jobs << ' ' << m.misses << ' '
+       << m.switches << ' ' << std::hexfloat << m.execEnergyJoules
+       << ' ' << m.overheadEnergyJoules << ' ' << m.execSeconds << ' '
+       << m.overheadSeconds << std::defaultfloat << '\n';
+}
+
+sim::RunMetrics
+readMetrics(std::istream &in, const std::string &expect_tag)
+{
+    std::string tag;
+    sim::RunMetrics m;
+    std::string fields[4];
+    in >> tag >> m.jobs >> m.misses >> m.switches >> fields[0] >>
+        fields[1] >> fields[2] >> fields[3];
+    util::fatalIf(!in || tag != expect_tag,
+                  "golden: expected a '", expect_tag, "' line");
+    // operator>> on double rejects hexfloat; strtod accepts it.
+    double *out[4] = {&m.execEnergyJoules, &m.overheadEnergyJoules,
+                      &m.execSeconds, &m.overheadSeconds};
+    for (int i = 0; i < 4; ++i) {
+        char *end = nullptr;
+        *out[i] = std::strtod(fields[i].c_str(), &end);
+        util::fatalIf(!end || *end != '\0',
+                      "golden: bad double '", fields[i], "' in ",
+                      expect_tag, " line");
+    }
+    return m;
+}
+
+bool
+metricsEqual(const sim::RunMetrics &a, const sim::RunMetrics &b)
+{
+    return a.jobs == b.jobs && a.misses == b.misses &&
+        a.switches == b.switches &&
+        doubleBits(a.execEnergyJoules) ==
+            doubleBits(b.execEnergyJoules) &&
+        doubleBits(a.overheadEnergyJoules) ==
+            doubleBits(b.overheadEnergyJoules) &&
+        doubleBits(a.execSeconds) == doubleBits(b.execSeconds) &&
+        doubleBits(a.overheadSeconds) == doubleBits(b.overheadSeconds);
+}
+
+} // namespace
+
+bool
+operator==(const GoldenReport &a, const GoldenReport &b)
+{
+    return a.benchmark == b.benchmark && a.streamKey == b.streamKey &&
+        a.jobs == b.jobs && a.responseDigest == b.responseDigest &&
+        metricsEqual(a.baseline, b.baseline) &&
+        metricsEqual(a.prediction, b.prediction);
+}
+
+std::string
+formatGoldenReport(const GoldenReport &report)
+{
+    std::ostringstream os;
+    os << "predvfs-serve-golden v1\n"
+       << "benchmark " << report.benchmark << '\n'
+       << "stream_key " << report.streamKey << '\n'
+       << "jobs " << report.jobs << '\n'
+       << "response_digest " << report.responseDigest << '\n';
+    printMetrics(os, "baseline", report.baseline);
+    printMetrics(os, "prediction", report.prediction);
+    return os.str();
+}
+
+GoldenReport
+parseGoldenReport(std::istream &in)
+{
+    std::string header;
+    std::getline(in, header);
+    util::fatalIf(header != "predvfs-serve-golden v1",
+                  "golden: bad header '", header, "'");
+
+    GoldenReport report;
+    std::string tag;
+    in >> tag >> report.benchmark;
+    util::fatalIf(!in || tag != "benchmark",
+                  "golden: expected a 'benchmark' line");
+    in >> tag >> report.streamKey;
+    util::fatalIf(!in || tag != "stream_key",
+                  "golden: expected a 'stream_key' line");
+    in >> tag >> report.jobs;
+    util::fatalIf(!in || tag != "jobs",
+                  "golden: expected a 'jobs' line");
+    in >> tag >> report.responseDigest;
+    util::fatalIf(!in || tag != "response_digest",
+                  "golden: expected a 'response_digest' line");
+    report.baseline = readMetrics(in, "baseline");
+    report.prediction = readMetrics(in, "prediction");
+    return report;
+}
+
+GoldenReport
+loadGoldenReport(const std::string &path)
+{
+    std::ifstream in(path);
+    util::fatalIf(!in, "golden: cannot read ", path);
+    return parseGoldenReport(in);
+}
+
+GoldenReport
+buildGoldenReport(PredictionClient &client, std::uint32_t stream_id,
+                  const std::string &benchmark,
+                  const sim::ExperimentOptions &options)
+{
+    // Reconstruct the replay side locally — accelerator, operating
+    // points, engine — exactly as the server builds its stream; the
+    // *records* still come from the wire, so any server-side
+    // divergence shows up in the digest and the metrics alike.
+    const std::shared_ptr<const accel::Accelerator> accel =
+        accel::makeAccelerator(benchmark);
+    const double f0 = accel->nominalFrequencyHz();
+
+    std::unique_ptr<power::VfModel> vf;
+    std::unique_ptr<power::OperatingPointTable> table;
+    if (options.platform == sim::Platform::Asic) {
+        vf = std::make_unique<power::VfModel>(
+            power::VfModel::asic65nm(f0));
+        table = std::make_unique<power::OperatingPointTable>(
+            power::OperatingPointTable::asic(*vf, /*with_boost=*/true));
+    } else {
+        vf = std::make_unique<power::VfModel>(
+            power::VfModel::fpga28nm(f0));
+        table = std::make_unique<power::OperatingPointTable>(
+            power::OperatingPointTable::fpga(*vf, /*with_boost=*/true));
+    }
+
+    sim::EngineConfig engine_config;
+    engine_config.deadlineSeconds = options.deadlineSeconds;
+    engine_config.switchTimeSeconds = options.switchTimeSeconds;
+    const sim::SimulationEngine engine(
+        *accel, *table, engine_config,
+        sim::platformEnergyParams(accel->energyParams(),
+                                  options.platform));
+
+    const workload::BenchmarkWorkload work =
+        workload::makeWorkload(*accel, options.seed);
+
+    const std::vector<PredictReplyMsg> replies =
+        client.predictMany(stream_id, work.test);
+
+    GoldenReport report;
+    report.benchmark = benchmark;
+    report.streamKey = client.streamKey(stream_id);
+    report.jobs = replies.size();
+    std::uint64_t digest = 0;
+    std::vector<core::PreparedJob> records;
+    records.reserve(replies.size());
+    for (std::size_t i = 0; i < replies.size(); ++i) {
+        const PredictReplyMsg &reply = replies[i];
+        digest = digestReply(digest, reply);
+        core::PreparedJob record;
+        record.input = &work.test[i];
+        record.cycles = reply.cycles;
+        record.energyUnits = reply.energyUnits;
+        record.sliceCycles = reply.sliceCycles;
+        record.sliceEnergyUnits = reply.sliceEnergyUnits;
+        record.predictedCycles = reply.predictedCycles;
+        records.push_back(record);
+    }
+    report.responseDigest = digest;
+
+    core::ConstantController baseline(table->nominalIndex());
+    report.baseline = engine.run(baseline, records);
+
+    core::DvfsModelConfig dvfs;
+    dvfs.deadlineSeconds = options.deadlineSeconds;
+    dvfs.switchTimeSeconds = options.switchTimeSeconds;
+    dvfs.marginFraction = options.predictionMargin;
+    core::PredictiveController prediction(*table, f0, dvfs);
+    report.prediction = engine.run(prediction, records);
+
+    return report;
+}
+
+} // namespace serve
+} // namespace predvfs

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Golden end-to-end reports for the serving layer.
+ *
+ * A GoldenReport captures everything the replay harness asserts about
+ * one benchmark served over the wire: the content-addressed stream
+ * key, a digest chained over every reply's value fields byte-for-byte,
+ * and the Table-3 metrics (baseline and prediction schemes) replayed
+ * from those replies. It is deliberately buildable *client-side only*:
+ * buildGoldenReport() reconstructs the engine and controllers from the
+ * public experiment options and never peeks into the server, so the
+ * socket-split client binary can emit the same report the in-process
+ * tests golden against.
+ *
+ * The text format prints doubles as hexfloats, which round-trip
+ * exactly through strtod — a golden diff is a bit-level diff.
+ */
+
+#ifndef PREDVFS_SERVE_GOLDEN_HH
+#define PREDVFS_SERVE_GOLDEN_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "serve/client.hh"
+#include "sim/experiment.hh"
+
+namespace predvfs {
+namespace serve {
+
+/** Everything the replay harness asserts for one served benchmark. */
+struct GoldenReport
+{
+    std::string benchmark;
+    std::uint64_t streamKey = 0;
+    std::uint64_t jobs = 0;
+
+    /** JobCache::hashBytes chained over every reply's value fields
+     *  (cycles, energy, slice cycles/energy, prediction), in job
+     *  order. Catches any byte-level response divergence. */
+    std::uint64_t responseDigest = 0;
+
+    sim::RunMetrics baseline;    //!< Replayed at constant nominal V/f.
+    sim::RunMetrics prediction;  //!< Replayed under the paper's scheme.
+};
+
+/** @return true when every field matches bit-for-bit. */
+bool operator==(const GoldenReport &a, const GoldenReport &b);
+
+/** Serialise to the golden text format (hexfloat doubles). */
+std::string formatGoldenReport(const GoldenReport &report);
+
+/**
+ * Parse the golden text format. fatal() on malformed input — a golden
+ * that does not parse is a harness bug, not a tolerable state.
+ */
+GoldenReport parseGoldenReport(std::istream &in);
+
+/** parseGoldenReport() over a file. fatal() if unreadable. */
+GoldenReport loadGoldenReport(const std::string &path);
+
+/**
+ * Drive @p benchmark's full test workload through @p client on an
+ * already-open stream and build the report: request every test job
+ * (pipelined), digest the replies, and replay the baseline and
+ * prediction controllers over reply-built records using a locally
+ * constructed engine. @p options must equal the server's experiment
+ * options for the metrics to be meaningful.
+ */
+GoldenReport buildGoldenReport(PredictionClient &client,
+                               std::uint32_t stream_id,
+                               const std::string &benchmark,
+                               const sim::ExperimentOptions &options);
+
+} // namespace serve
+} // namespace predvfs
+
+#endif // PREDVFS_SERVE_GOLDEN_HH

@@ -1,0 +1,417 @@
+#include "serve/protocol.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace predvfs {
+namespace serve {
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::BadMagic: return "bad magic";
+      case ErrorCode::BadVersion: return "bad version";
+      case ErrorCode::BadFrame: return "bad frame";
+      case ErrorCode::UnknownType: return "unknown type";
+      case ErrorCode::UnknownBenchmark: return "unknown benchmark";
+      case ErrorCode::UnknownStream: return "unknown stream";
+      case ErrorCode::Oversized: return "oversized frame";
+      case ErrorCode::ShuttingDown: return "shutting down";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Append-only little-endian field writer. */
+struct WireWriter
+{
+    std::vector<std::uint8_t> bytes;
+
+    void u8(std::uint8_t v) { bytes.push_back(v); }
+
+    void u16(std::uint16_t v)
+    {
+        bytes.push_back(static_cast<std::uint8_t>(v));
+        bytes.push_back(static_cast<std::uint8_t>(v >> 8));
+    }
+
+    void u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            bytes.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            bytes.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+    void f64(double v)
+    {
+        // Bit pattern, not a decimal rendering: replies must byte-equal
+        // the server's in-memory doubles.
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        u64(bits);
+    }
+
+    void str(const std::string &s)
+    {
+        u32(static_cast<std::uint32_t>(s.size()));
+        bytes.insert(bytes.end(), s.begin(), s.end());
+    }
+};
+
+/**
+ * Bounds-checked little-endian field reader. Any read past the end
+ * sets the failed flag and returns a zero value; callers check ok()
+ * (and done(), to reject trailing bytes) once at the end instead of
+ * after every field.
+ */
+struct WireReader
+{
+    const std::uint8_t *data;
+    std::size_t size;
+    std::size_t pos = 0;
+    bool failed = false;
+
+    explicit WireReader(const std::vector<std::uint8_t> &payload)
+        : data(payload.data()), size(payload.size())
+    {
+    }
+
+    bool take(std::size_t n)
+    {
+        if (failed || size - pos < n || pos > size) {
+            failed = true;
+            return false;
+        }
+        return true;
+    }
+
+    std::uint16_t u16()
+    {
+        if (!take(2))
+            return 0;
+        std::uint16_t v = static_cast<std::uint16_t>(
+            data[pos] | (data[pos + 1] << 8));
+        pos += 2;
+        return v;
+    }
+
+    std::uint32_t u32()
+    {
+        if (!take(4))
+            return 0;
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(data[pos + i]) << (8 * i);
+        pos += 4;
+        return v;
+    }
+
+    std::uint64_t u64()
+    {
+        if (!take(8))
+            return 0;
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(data[pos + i]) << (8 * i);
+        pos += 8;
+        return v;
+    }
+
+    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+    double f64()
+    {
+        const std::uint64_t bits = u64();
+        double v;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    std::string str()
+    {
+        const std::uint32_t n = u32();
+        if (!take(n))
+            return {};
+        std::string s(reinterpret_cast<const char *>(data + pos), n);
+        pos += n;
+        return s;
+    }
+
+    bool ok() const { return !failed; }
+    bool done() const { return !failed && pos == size; }
+};
+
+} // namespace
+
+std::vector<std::uint8_t>
+encodeFrame(MsgType type, const std::vector<std::uint8_t> &payload)
+{
+    util::fatalIf(payload.size() > kMaxFramePayload,
+                  "serve: frame payload of ", payload.size(),
+                  " bytes exceeds the ", kMaxFramePayload,
+                  "-byte protocol limit");
+    WireWriter w;
+    w.bytes.reserve(8 + payload.size());
+    w.u32(static_cast<std::uint32_t>(payload.size()));
+    w.u16(static_cast<std::uint16_t>(type));
+    w.u16(0);  // reserved
+    w.bytes.insert(w.bytes.end(), payload.begin(), payload.end());
+    return std::move(w.bytes);
+}
+
+std::vector<std::uint8_t>
+encodeHello(const HelloMsg &msg)
+{
+    WireWriter w;
+    w.u32(msg.magic);
+    w.u16(msg.version);
+    return std::move(w.bytes);
+}
+
+bool
+decodeHello(const std::vector<std::uint8_t> &payload, HelloMsg &out)
+{
+    WireReader r(payload);
+    out.magic = r.u32();
+    out.version = r.u16();
+    return r.done();
+}
+
+std::vector<std::uint8_t>
+encodeOpenStream(const OpenStreamMsg &msg)
+{
+    WireWriter w;
+    w.str(msg.benchmark);
+    return std::move(w.bytes);
+}
+
+bool
+decodeOpenStream(const std::vector<std::uint8_t> &payload,
+                 OpenStreamMsg &out)
+{
+    WireReader r(payload);
+    out.benchmark = r.str();
+    return r.done();
+}
+
+std::vector<std::uint8_t>
+encodeStreamOpened(const StreamOpenedMsg &msg)
+{
+    WireWriter w;
+    w.u32(msg.streamId);
+    w.u64(msg.streamKey);
+    return std::move(w.bytes);
+}
+
+bool
+decodeStreamOpened(const std::vector<std::uint8_t> &payload,
+                   StreamOpenedMsg &out)
+{
+    WireReader r(payload);
+    out.streamId = r.u32();
+    out.streamKey = r.u64();
+    return r.done();
+}
+
+std::vector<std::uint8_t>
+encodePredict(const PredictMsg &msg)
+{
+    WireWriter w;
+    w.u32(msg.streamId);
+    w.u64(msg.requestId);
+    w.u32(static_cast<std::uint32_t>(msg.job.items.size()));
+    for (const rtl::WorkItem &item : msg.job.items) {
+        w.u32(static_cast<std::uint32_t>(item.fields.size()));
+        for (const std::int64_t f : item.fields)
+            w.i64(f);
+    }
+    return std::move(w.bytes);
+}
+
+bool
+decodePredict(const std::vector<std::uint8_t> &payload, PredictMsg &out)
+{
+    WireReader r(payload);
+    out.streamId = r.u32();
+    out.requestId = r.u64();
+    const std::uint32_t items = r.u32();
+    // Counts are attacker-controlled: never reserve() from them beyond
+    // what the remaining payload could actually hold (4 bytes per item
+    // minimum), so a forged count of 2^32 cannot drive allocation.
+    out.job.items.clear();
+    out.job.items.reserve(
+        std::min<std::size_t>(items, payload.size() / 4 + 1));
+    for (std::uint32_t i = 0; i < items && r.ok(); ++i) {
+        rtl::WorkItem item;
+        const std::uint32_t fields = r.u32();
+        item.fields.reserve(
+            std::min<std::size_t>(fields, payload.size() / 8 + 1));
+        for (std::uint32_t f = 0; f < fields && r.ok(); ++f)
+            item.fields.push_back(r.i64());
+        out.job.items.push_back(std::move(item));
+    }
+    return r.done();
+}
+
+std::vector<std::uint8_t>
+encodePredictReply(const PredictReplyMsg &msg)
+{
+    WireWriter w;
+    w.u64(msg.requestId);
+    w.u64(msg.cycles);
+    w.f64(msg.energyUnits);
+    w.u64(msg.sliceCycles);
+    w.f64(msg.sliceEnergyUnits);
+    w.f64(msg.predictedCycles);
+    return std::move(w.bytes);
+}
+
+bool
+decodePredictReply(const std::vector<std::uint8_t> &payload,
+                   PredictReplyMsg &out)
+{
+    WireReader r(payload);
+    out.requestId = r.u64();
+    out.cycles = r.u64();
+    out.energyUnits = r.f64();
+    out.sliceCycles = r.u64();
+    out.sliceEnergyUnits = r.f64();
+    out.predictedCycles = r.f64();
+    return r.done();
+}
+
+std::vector<std::uint8_t>
+encodeStats(const StatsMsg &msg)
+{
+    WireWriter w;
+    w.u32(msg.streamId);
+    return std::move(w.bytes);
+}
+
+bool
+decodeStats(const std::vector<std::uint8_t> &payload, StatsMsg &out)
+{
+    WireReader r(payload);
+    out.streamId = r.u32();
+    return r.done();
+}
+
+std::vector<std::uint8_t>
+encodeStatsReply(const StatsReplyMsg &msg)
+{
+    WireWriter w;
+    w.str(msg.json);
+    return std::move(w.bytes);
+}
+
+bool
+decodeStatsReply(const std::vector<std::uint8_t> &payload,
+                 StatsReplyMsg &out)
+{
+    WireReader r(payload);
+    out.json = r.str();
+    return r.done();
+}
+
+std::vector<std::uint8_t>
+encodeError(const ErrorMsg &msg)
+{
+    WireWriter w;
+    w.u32(msg.code);
+    w.u64(msg.requestId);
+    w.str(msg.message);
+    return std::move(w.bytes);
+}
+
+bool
+decodeError(const std::vector<std::uint8_t> &payload, ErrorMsg &out)
+{
+    WireReader r(payload);
+    out.code = r.u32();
+    out.requestId = r.u64();
+    out.message = r.str();
+    return r.done();
+}
+
+void
+FrameDecoder::feed(const void *data, std::size_t n)
+{
+    if (failed)
+        return;  // Framing is lost; discard everything further.
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    buffer.insert(buffer.end(), p, p + n);
+}
+
+FrameDecoder::Status
+FrameDecoder::next(Frame &out, std::string *error)
+{
+    if (failed) {
+        if (error)
+            *error = failReason;
+        return Status::Error;
+    }
+
+    // Compact lazily: drop consumed bytes only when they dominate the
+    // buffer, so a long-lived connection does not grow unboundedly and
+    // steady-state parsing does not memmove per frame.
+    if (consumed > 4096 && consumed * 2 > buffer.size()) {
+        buffer.erase(buffer.begin(),
+                     buffer.begin() +
+                         static_cast<std::ptrdiff_t>(consumed));
+        consumed = 0;
+    }
+
+    const std::size_t avail = buffer.size() - consumed;
+    if (avail < 8)
+        return Status::NeedMore;
+
+    const std::uint8_t *h = buffer.data() + consumed;
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i)
+        len |= static_cast<std::uint32_t>(h[i]) << (8 * i);
+    const std::uint16_t type =
+        static_cast<std::uint16_t>(h[4] | (h[5] << 8));
+    const std::uint16_t reserved =
+        static_cast<std::uint16_t>(h[6] | (h[7] << 8));
+
+    if (reserved != 0) {
+        failed = true;
+        failReason = "nonzero reserved field (garbage or misaligned "
+                     "stream)";
+        if (error)
+            *error = failReason;
+        return Status::Error;
+    }
+    if (len > kMaxFramePayload) {
+        failed = true;
+        failReason = "announced payload of " + std::to_string(len) +
+            " bytes exceeds the protocol limit";
+        if (error)
+            *error = failReason;
+        return Status::Error;
+    }
+    if (avail < 8 + static_cast<std::size_t>(len))
+        return Status::NeedMore;
+
+    out.type = type;
+    out.payload.assign(h + 8, h + 8 + len);
+    consumed += 8 + static_cast<std::size_t>(len);
+    if (consumed == buffer.size()) {
+        buffer.clear();
+        consumed = 0;
+    }
+    return Status::Ready;
+}
+
+} // namespace serve
+} // namespace predvfs

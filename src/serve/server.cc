@@ -1,0 +1,770 @@
+#include "serve/server.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "accel/registry.hh"
+#include "core/flow.hh"
+#include "serve/protocol.hh"
+#include "sim/job_cache.hh"
+#include "util/env.hh"
+#include "util/logging.hh"
+#include "util/thread_pool.hh"
+#include "workload/suite.hh"
+
+namespace predvfs {
+namespace serve {
+
+using Clock = std::chrono::steady_clock;
+
+ServerOptions
+serverOptionsFromEnv(ServerOptions base)
+{
+    base.workers = static_cast<unsigned>(
+        util::envUint("PREDVFS_SERVE_WORKERS", base.workers, 1, 64));
+    base.maxBatchJobs = static_cast<std::size_t>(
+        util::envUint("PREDVFS_SERVE_MAX_BATCH", base.maxBatchJobs, 1,
+                      4096));
+    base.batchWindowMicros = static_cast<unsigned>(
+        util::envUint("PREDVFS_SERVE_WINDOW_US", base.batchWindowMicros,
+                      0, 1000000));
+    return base;
+}
+
+double
+StreamTelemetry::hitRate() const
+{
+    return requests == 0
+        ? 0.0
+        : static_cast<double>(cacheHits + coalesced) /
+            static_cast<double>(requests);
+}
+
+double
+StreamTelemetry::meanBatchOccupancy() const
+{
+    return batches == 0
+        ? 0.0
+        : static_cast<double>(batchJobs) / static_cast<double>(batches);
+}
+
+namespace {
+
+/** Ring of recent service times; percentile queries copy and sort. */
+struct ServiceTimeRing
+{
+    static constexpr std::size_t kCapacity = 4096;
+    std::vector<double> micros;
+    std::size_t next = 0;
+
+    void push(double value)
+    {
+        if (micros.size() < kCapacity) {
+            micros.push_back(value);
+        } else {
+            micros[next] = value;
+            next = (next + 1) % kCapacity;
+        }
+    }
+
+    double percentile(double p) const
+    {
+        if (micros.empty())
+            return 0.0;
+        std::vector<double> sorted(micros);
+        const std::size_t k = std::min(
+            sorted.size() - 1,
+            static_cast<std::size_t>(
+                p * static_cast<double>(sorted.size() - 1) + 0.5));
+        std::nth_element(sorted.begin(),
+                         sorted.begin() + static_cast<std::ptrdiff_t>(k),
+                         sorted.end());
+        return sorted[static_cast<std::ptrdiff_t>(k)];
+    }
+};
+
+/** Counters of one served stream (all under one mutex). */
+struct TelemetryState
+{
+    mutable std::mutex mu;
+    std::uint64_t requests = 0;
+    std::uint64_t cacheHits = 0;
+    std::uint64_t coalesced = 0;
+    std::uint64_t simulated = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t batchJobs = 0;
+    ServiceTimeRing serviceTimes;
+};
+
+/** Everything one registered benchmark serves with. */
+struct Stream
+{
+    std::uint32_t id = 0;
+    std::string name;
+    std::shared_ptr<const accel::Accelerator> accel;
+    std::unique_ptr<power::VfModel> vf;
+    std::unique_ptr<power::OperatingPointTable> table;
+    std::unique_ptr<sim::SimulationEngine> engine;
+    core::FlowResult flow;
+    std::uint64_t streamKey = 0;
+    TelemetryState telem;
+};
+
+/** One live connection: the byte stream, its write lock (replies come
+ *  from both the reader and the dispatcher), and its reader thread. */
+struct ConnState
+{
+    std::shared_ptr<Connection> conn;
+    std::mutex writeMu;
+    std::thread reader;
+};
+
+/** A Predict request parked on the dispatch queue. */
+struct PendingRequest
+{
+    std::shared_ptr<ConnState> conn;
+    Stream *stream = nullptr;
+    std::uint64_t requestId = 0;
+    rtl::JobInput job;
+    Clock::time_point enqueued;
+};
+
+void
+writeFrame(ConnState &conn, MsgType type,
+           const std::vector<std::uint8_t> &payload)
+{
+    const std::vector<std::uint8_t> frame = encodeFrame(type, payload);
+    std::lock_guard<std::mutex> lock(conn.writeMu);
+    // A vanished peer makes the write fail; the reader thread sees the
+    // matching EOF and retires the connection, so ignore it here.
+    conn.conn->writeAll(frame.data(), frame.size());
+}
+
+void
+writeError(ConnState &conn, ErrorCode code, std::uint64_t request_id,
+           const std::string &message)
+{
+    ErrorMsg msg;
+    msg.code = static_cast<std::uint32_t>(code);
+    msg.requestId = request_id;
+    msg.message = message;
+    writeFrame(conn, MsgType::Error, encodeError(msg));
+}
+
+} // namespace
+
+struct PredictionServer::Impl
+{
+    explicit Impl(const ServerOptions &options) : opts(options)
+    {
+        if (opts.workers > 1)
+            pool = std::make_unique<util::ThreadPool>(opts.workers);
+        dispatcher = std::thread([this] { dispatchLoop(); });
+    }
+
+    // --- streams -------------------------------------------------
+    mutable std::mutex streamMu;
+    std::vector<std::unique_ptr<Stream>> streams;  //!< id = index + 1.
+
+    Stream *findStream(std::uint32_t id)
+    {
+        std::lock_guard<std::mutex> lock(streamMu);
+        if (id == 0 || id > streams.size())
+            return nullptr;
+        return streams[id - 1].get();
+    }
+
+    Stream *findStream(const std::string &name)
+    {
+        std::lock_guard<std::mutex> lock(streamMu);
+        for (const auto &s : streams) {
+            if (s->name == name)
+                return s.get();
+        }
+        return nullptr;
+    }
+
+    // --- request queue -------------------------------------------
+    std::mutex queueMu;
+    std::condition_variable queueCv;
+    std::deque<PendingRequest> queue;
+    std::size_t peakQueueDepth = 0;
+    bool stopping = false;
+
+    // --- threads & transports ------------------------------------
+    ServerOptions opts;
+    std::unique_ptr<util::ThreadPool> pool;
+    std::thread dispatcher;
+    std::unique_ptr<UnixListener> listener;
+    std::thread acceptThread;
+    std::mutex connMu;
+    std::vector<std::shared_ptr<ConnState>> conns;
+
+    // --- connection handling -------------------------------------
+
+    void adoptConnection(std::unique_ptr<Connection> connection)
+    {
+        auto state = std::make_shared<ConnState>();
+        state->conn = std::move(connection);
+        {
+            std::lock_guard<std::mutex> lock(connMu);
+            conns.push_back(state);
+        }
+        state->reader =
+            std::thread([this, state] { readerLoop(*state); });
+    }
+
+    /**
+     * Handle one decoded frame. @return false when the connection
+     * should close (protocol violation or Bye). Recoverable,
+     * per-request errors (unknown stream/benchmark) answer with a
+     * typed Error and keep the connection.
+     */
+    bool handleFrame(ConnState &conn,
+                     const std::shared_ptr<ConnState> &conn_ref,
+                     const Frame &frame)
+    {
+        switch (static_cast<MsgType>(frame.type)) {
+          case MsgType::Hello: {
+            HelloMsg hello;
+            if (!decodeHello(frame.payload, hello)) {
+                writeError(conn, ErrorCode::BadFrame, 0,
+                           "undecodable Hello");
+                return false;
+            }
+            if (hello.magic != kMagic) {
+                writeError(conn, ErrorCode::BadMagic, 0,
+                           "not a predvfs client");
+                return false;
+            }
+            if (hello.version != kVersion) {
+                writeError(conn, ErrorCode::BadVersion, 0,
+                           "server speaks version " +
+                               std::to_string(kVersion));
+                return false;
+            }
+            writeFrame(conn, MsgType::HelloOk,
+                       encodeHello(HelloMsg{}));
+            return true;
+          }
+
+          case MsgType::OpenStream: {
+            OpenStreamMsg open;
+            if (!decodeOpenStream(frame.payload, open)) {
+                writeError(conn, ErrorCode::BadFrame, 0,
+                           "undecodable OpenStream");
+                return false;
+            }
+            Stream *stream = findStream(open.benchmark);
+            if (!stream) {
+                writeError(conn, ErrorCode::UnknownBenchmark, 0,
+                           "benchmark '" + open.benchmark +
+                               "' is not registered");
+                return true;
+            }
+            StreamOpenedMsg opened;
+            opened.streamId = stream->id;
+            opened.streamKey = stream->streamKey;
+            writeFrame(conn, MsgType::StreamOpened,
+                       encodeStreamOpened(opened));
+            return true;
+          }
+
+          case MsgType::Predict: {
+            PredictMsg predict;
+            if (!decodePredict(frame.payload, predict)) {
+                writeError(conn, ErrorCode::BadFrame, 0,
+                           "undecodable Predict");
+                return false;
+            }
+            Stream *stream = findStream(predict.streamId);
+            if (!stream) {
+                writeError(conn, ErrorCode::UnknownStream,
+                           predict.requestId,
+                           "no stream with id " +
+                               std::to_string(predict.streamId));
+                return true;
+            }
+            PendingRequest request;
+            request.conn = conn_ref;
+            request.stream = stream;
+            request.requestId = predict.requestId;
+            request.job = std::move(predict.job);
+            request.enqueued = Clock::now();
+            {
+                std::lock_guard<std::mutex> lock(queueMu);
+                if (stopping) {
+                    writeError(conn, ErrorCode::ShuttingDown,
+                               predict.requestId, "server stopping");
+                    return false;
+                }
+                queue.push_back(std::move(request));
+                peakQueueDepth =
+                    std::max(peakQueueDepth, queue.size());
+            }
+            queueCv.notify_one();
+            return true;
+          }
+
+          case MsgType::Stats: {
+            StatsMsg stats;
+            if (!decodeStats(frame.payload, stats)) {
+                writeError(conn, ErrorCode::BadFrame, 0,
+                           "undecodable Stats");
+                return false;
+            }
+            StatsReplyMsg reply;
+            reply.json = telemetryJson();
+            writeFrame(conn, MsgType::StatsReply,
+                       encodeStatsReply(reply));
+            return true;
+          }
+
+          case MsgType::Bye:
+            return false;
+
+          default:
+            // Unknown types are survivable: framing is intact, the
+            // peer may just be newer. Reply and carry on.
+            writeError(conn, ErrorCode::UnknownType, 0,
+                       "unknown frame type " +
+                           std::to_string(frame.type));
+            return true;
+        }
+    }
+
+    void readerLoop(ConnState &conn)
+    {
+        // The shared_ptr alias keeps the ConnState alive inside
+        // queued requests even after this reader exits.
+        std::shared_ptr<ConnState> self;
+        {
+            std::lock_guard<std::mutex> lock(connMu);
+            for (const auto &c : conns) {
+                if (c.get() == &conn) {
+                    self = c;
+                    break;
+                }
+            }
+        }
+
+        FrameDecoder decoder;
+        std::uint8_t buffer[4096];
+        bool open = true;
+        while (open) {
+            const std::size_t n =
+                conn.conn->read(buffer, sizeof(buffer));
+            if (n == 0) {
+                // EOF. A mid-frame EOF is a peer that vanished; both
+                // cases are a clean close, never an error path.
+                break;
+            }
+            decoder.feed(buffer, n);
+            Frame frame;
+            std::string error;
+            for (;;) {
+                const FrameDecoder::Status status =
+                    decoder.next(frame, &error);
+                if (status == FrameDecoder::Status::NeedMore)
+                    break;
+                if (status == FrameDecoder::Status::Error) {
+                    // Framing is unrecoverable: answer with a typed
+                    // error (best effort) and close.
+                    writeError(conn,
+                               error.find("exceeds") !=
+                                       std::string::npos
+                                   ? ErrorCode::Oversized
+                                   : ErrorCode::BadFrame,
+                               0, error);
+                    open = false;
+                    break;
+                }
+                if (!handleFrame(conn, self, frame)) {
+                    open = false;
+                    break;
+                }
+            }
+        }
+        conn.conn->close();
+    }
+
+    // --- dispatch ------------------------------------------------
+
+    void dispatchLoop()
+    {
+        for (;;) {
+            std::deque<PendingRequest> taken;
+            {
+                std::unique_lock<std::mutex> lock(queueMu);
+                queueCv.wait(lock, [this] {
+                    return stopping || !queue.empty();
+                });
+                if (stopping)
+                    break;
+                // Accumulation window: wait once for the batch to
+                // fill, then take everything that made it.
+                if (queue.size() < opts.maxBatchJobs &&
+                    opts.batchWindowMicros > 0) {
+                    queueCv.wait_for(
+                        lock,
+                        std::chrono::microseconds(
+                            opts.batchWindowMicros),
+                        [this] {
+                            return stopping ||
+                                queue.size() >= opts.maxBatchJobs;
+                        });
+                }
+                taken.swap(queue);
+            }
+            processBatch(taken);
+        }
+
+        // Drain on shutdown: pending work is answered with a typed
+        // error, not silence (the peer may still be reading).
+        std::deque<PendingRequest> rest;
+        {
+            std::lock_guard<std::mutex> lock(queueMu);
+            rest.swap(queue);
+        }
+        for (PendingRequest &request : rest) {
+            writeError(*request.conn, ErrorCode::ShuttingDown,
+                       request.requestId, "server stopping");
+        }
+    }
+
+    void processBatch(std::deque<PendingRequest> &taken)
+    {
+        // Group by stream, preserving arrival order within each.
+        std::map<std::uint32_t, std::vector<PendingRequest *>> groups;
+        for (PendingRequest &request : taken)
+            groups[request.stream->id].push_back(&request);
+
+        for (auto &entry : groups) {
+            std::vector<PendingRequest *> &group = entry.second;
+            // Respect the batch cap even when a burst outran the
+            // window: chunked prepare() calls answer in order.
+            for (std::size_t begin = 0; begin < group.size();
+                 begin += opts.maxBatchJobs) {
+                const std::size_t end = std::min(
+                    group.size(), begin + opts.maxBatchJobs);
+                runChunk(group, begin, end);
+            }
+        }
+    }
+
+    void runChunk(std::vector<PendingRequest *> &group,
+                  std::size_t begin, std::size_t end)
+    {
+        Stream &stream = *group[begin]->stream;
+        std::vector<rtl::JobInput> jobs;
+        jobs.reserve(end - begin);
+        for (std::size_t i = begin; i < end; ++i)
+            jobs.push_back(std::move(group[i]->job));
+
+        sim::PrepareStats prep;
+        const std::vector<core::PreparedJob> prepared =
+            stream.engine->prepare(jobs, stream.flow.predictor.get(),
+                                   nullptr, pool.get(), &prep);
+
+        // Counters land before the replies go out: a client that has
+        // received every reply of its burst must find the telemetry
+        // identity (requests == hits + coalesced + simulated) already
+        // holding for those requests.
+        {
+            const Clock::time_point now = Clock::now();
+            std::lock_guard<std::mutex> lock(stream.telem.mu);
+            stream.telem.requests += end - begin;
+            stream.telem.cacheHits += prep.cacheHits;
+            stream.telem.coalesced += prep.coalesced;
+            stream.telem.simulated += prep.simulated;
+            stream.telem.batches += 1;
+            stream.telem.batchJobs += end - begin;
+            for (std::size_t i = begin; i < end; ++i) {
+                stream.telem.serviceTimes.push(
+                    std::chrono::duration<double, std::micro>(
+                        now - group[i]->enqueued)
+                        .count());
+            }
+        }
+
+        for (std::size_t i = begin; i < end; ++i) {
+            const core::PreparedJob &record = prepared[i - begin];
+            PredictReplyMsg reply;
+            reply.requestId = group[i]->requestId;
+            reply.cycles = record.cycles;
+            reply.energyUnits = record.energyUnits;
+            reply.sliceCycles = record.sliceCycles;
+            reply.sliceEnergyUnits = record.sliceEnergyUnits;
+            reply.predictedCycles = record.predictedCycles;
+            writeFrame(*group[i]->conn, MsgType::PredictReply,
+                       encodePredictReply(reply));
+        }
+    }
+
+    // --- telemetry -----------------------------------------------
+
+    StreamTelemetry snapshot(const Stream &stream) const
+    {
+        StreamTelemetry t;
+        t.benchmark = stream.name;
+        std::lock_guard<std::mutex> lock(stream.telem.mu);
+        t.requests = stream.telem.requests;
+        t.cacheHits = stream.telem.cacheHits;
+        t.coalesced = stream.telem.coalesced;
+        t.simulated = stream.telem.simulated;
+        t.batches = stream.telem.batches;
+        t.batchJobs = stream.telem.batchJobs;
+        t.p50ServiceMicros = stream.telem.serviceTimes.percentile(0.50);
+        t.p99ServiceMicros = stream.telem.serviceTimes.percentile(0.99);
+        return t;
+    }
+
+    std::string telemetryJson() const
+    {
+        std::size_t depth = 0;
+        std::size_t peak = 0;
+        {
+            std::lock_guard<std::mutex> lock(
+                const_cast<std::mutex &>(queueMu));
+            depth = queue.size();
+            peak = peakQueueDepth;
+        }
+        const sim::JobCache::Stats cache =
+            sim::JobCache::global().stats();
+
+        std::ostringstream os;
+        os.precision(6);
+        os << "{\n"
+           << "  \"server\": {\n"
+           << "    \"workers\": " << opts.workers << ",\n"
+           << "    \"max_batch_jobs\": " << opts.maxBatchJobs << ",\n"
+           << "    \"batch_window_us\": " << opts.batchWindowMicros
+           << ",\n"
+           << "    \"queue_depth\": " << depth << ",\n"
+           << "    \"peak_queue_depth\": " << peak << ",\n"
+           << "    \"job_cache\": {\n"
+           << "      \"enabled\": "
+           << (sim::JobCache::enabledByEnv() ? "true" : "false")
+           << ",\n"
+           << "      \"hits\": " << cache.hits << ",\n"
+           << "      \"misses\": " << cache.misses << ",\n"
+           << "      \"entries\": " << cache.entries << ",\n"
+           << "      \"bytes\": " << cache.bytes << ",\n"
+           << "      \"capacity_bytes\": " << cache.capacityBytes
+           << "\n    }\n"
+           << "  },\n"
+           << "  \"streams\": [\n";
+        std::vector<StreamTelemetry> snaps;
+        std::vector<std::uint64_t> keys;
+        {
+            std::lock_guard<std::mutex> lock(streamMu);
+            for (const auto &s : streams) {
+                snaps.push_back(snapshot(*s));
+                keys.push_back(s->streamKey);
+            }
+        }
+        for (std::size_t i = 0; i < snaps.size(); ++i) {
+            const StreamTelemetry &t = snaps[i];
+            os << "    {\n"
+               << "      \"benchmark\": \"" << t.benchmark << "\",\n"
+               << "      \"stream_key\": " << keys[i] << ",\n"
+               << "      \"requests\": " << t.requests << ",\n"
+               << "      \"cache_hits\": " << t.cacheHits << ",\n"
+               << "      \"coalesced\": " << t.coalesced << ",\n"
+               << "      \"simulated\": " << t.simulated << ",\n"
+               << "      \"hit_rate\": " << t.hitRate() << ",\n"
+               << "      \"batches\": " << t.batches << ",\n"
+               << "      \"batch_jobs\": " << t.batchJobs << ",\n"
+               << "      \"mean_batch_occupancy\": "
+               << t.meanBatchOccupancy() << ",\n"
+               << "      \"p50_service_us\": " << t.p50ServiceMicros
+               << ",\n"
+               << "      \"p99_service_us\": " << t.p99ServiceMicros
+               << "\n    }" << (i + 1 < snaps.size() ? "," : "")
+               << "\n";
+        }
+        os << "  ]\n}\n";
+        return os.str();
+    }
+
+    // --- lifecycle -----------------------------------------------
+
+    void stop()
+    {
+        {
+            std::lock_guard<std::mutex> lock(queueMu);
+            if (stopping)
+                return;
+            stopping = true;
+        }
+        queueCv.notify_all();
+
+        if (listener)
+            listener->close();
+        if (acceptThread.joinable())
+            acceptThread.join();
+
+        std::vector<std::shared_ptr<ConnState>> local;
+        {
+            std::lock_guard<std::mutex> lock(connMu);
+            local = conns;
+        }
+        for (const auto &conn : local)
+            conn->conn->close();
+        for (const auto &conn : local) {
+            if (conn->reader.joinable())
+                conn->reader.join();
+        }
+        if (dispatcher.joinable())
+            dispatcher.join();
+    }
+};
+
+PredictionServer::PredictionServer(ServerOptions options)
+    : opts(options), impl(std::make_unique<Impl>(options))
+{
+}
+
+PredictionServer::~PredictionServer()
+{
+    stop();
+}
+
+std::uint32_t
+PredictionServer::registerBenchmark(const std::string &name)
+{
+    if (Stream *existing = impl->findStream(name))
+        return existing->id;
+
+    // The offline flow (training + slicing) runs outside any lock —
+    // it can take seconds, and the server must keep serving existing
+    // streams meanwhile.
+    auto stream = std::make_unique<Stream>();
+    stream->name = name;
+    stream->accel = accel::makeAccelerator(name);
+
+    const double f0 = stream->accel->nominalFrequencyHz();
+    const sim::ExperimentOptions &eopts = opts.experiment;
+    if (eopts.platform == sim::Platform::Asic) {
+        stream->vf = std::make_unique<power::VfModel>(
+            power::VfModel::asic65nm(f0));
+        stream->table = std::make_unique<power::OperatingPointTable>(
+            power::OperatingPointTable::asic(*stream->vf,
+                                             /*with_boost=*/true));
+    } else {
+        stream->vf = std::make_unique<power::VfModel>(
+            power::VfModel::fpga28nm(f0));
+        stream->table = std::make_unique<power::OperatingPointTable>(
+            power::OperatingPointTable::fpga(*stream->vf,
+                                             /*with_boost=*/true));
+    }
+
+    sim::EngineConfig engine_config;
+    engine_config.deadlineSeconds = eopts.deadlineSeconds;
+    engine_config.switchTimeSeconds = eopts.switchTimeSeconds;
+    stream->engine = std::make_unique<sim::SimulationEngine>(
+        *stream->accel, *stream->table, engine_config,
+        sim::platformEnergyParams(stream->accel->energyParams(),
+                                  eopts.platform));
+
+    const workload::BenchmarkWorkload work =
+        workload::makeWorkload(*stream->accel, eopts.seed);
+    core::FlowConfig flow_config = eopts.flowConfig;
+    flow_config.sliceOptions = eopts.sliceOptions;
+    stream->flow = core::buildPredictor(stream->accel->design(),
+                                        work.train, flow_config);
+    stream->streamKey =
+        stream->engine->streamKey(stream->flow.predictor.get());
+
+    std::lock_guard<std::mutex> lock(impl->streamMu);
+    // Double-registration race: a concurrent caller may have beaten
+    // us; the first registration wins and this one is dropped.
+    for (const auto &s : impl->streams) {
+        if (s->name == name)
+            return s->id;
+    }
+    stream->id =
+        static_cast<std::uint32_t>(impl->streams.size() + 1);
+    impl->streams.push_back(std::move(stream));
+    util::inform("serve: registered '", name, "' as stream ",
+                 impl->streams.back()->id, " (key ",
+                 impl->streams.back()->streamKey, ")");
+    return impl->streams.back()->id;
+}
+
+std::unique_ptr<Connection>
+PredictionServer::connectLoopback()
+{
+    auto [client, server] = makeLoopbackPair();
+    impl->adoptConnection(std::move(server));
+    return std::move(client);
+}
+
+void
+PredictionServer::listenUnix(const std::string &path)
+{
+    util::fatalIf(impl->listener != nullptr,
+                  "PredictionServer: already listening on ",
+                  impl->listener ? impl->listener->path() : "");
+    impl->listener = std::make_unique<UnixListener>(path);
+    impl->acceptThread = std::thread([this] {
+        while (auto conn = impl->listener->accept())
+            impl->adoptConnection(std::move(conn));
+    });
+}
+
+void
+PredictionServer::stop()
+{
+    impl->stop();
+}
+
+std::vector<std::string>
+PredictionServer::streamNames() const
+{
+    std::vector<std::string> names;
+    std::lock_guard<std::mutex> lock(impl->streamMu);
+    for (const auto &s : impl->streams)
+        names.push_back(s->name);
+    return names;
+}
+
+StreamTelemetry
+PredictionServer::telemetry(const std::string &benchmark) const
+{
+    const Stream *stream = impl->findStream(benchmark);
+    util::fatalIf(!stream, "PredictionServer: no stream '", benchmark,
+                  "'");
+    return impl->snapshot(*stream);
+}
+
+std::uint64_t
+PredictionServer::streamKeyOf(const std::string &benchmark) const
+{
+    const Stream *stream = impl->findStream(benchmark);
+    util::fatalIf(!stream, "PredictionServer: no stream '", benchmark,
+                  "'");
+    return stream->streamKey;
+}
+
+std::size_t
+PredictionServer::maxQueueDepth() const
+{
+    std::lock_guard<std::mutex> lock(impl->queueMu);
+    return impl->peakQueueDepth;
+}
+
+std::string
+PredictionServer::telemetryJson() const
+{
+    return impl->telemetryJson();
+}
+
+} // namespace serve
+} // namespace predvfs

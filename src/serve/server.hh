@@ -1,0 +1,151 @@
+/**
+ * @file
+ * The long-lived prediction service.
+ *
+ * A PredictionServer wraps the engine stack behind the wire protocol:
+ * each registered benchmark becomes a served *stream* — accelerator,
+ * operating points, SimulationEngine, and the trained SlicePredictor,
+ * content-addressed by the same design/predictor fingerprints the
+ * JobCache keys on. Incoming Predict requests are answered through
+ * SimulationEngine::prepare, so hot jobs come straight from the
+ * process-global JobCache and cold ones run through
+ * CompiledDesign::runBatch.
+ *
+ * Request flow: one reader thread per connection decodes frames and
+ * enqueues Predict requests on a central queue; a single dispatcher
+ * thread drains the queue in arrival order. The dispatcher applies a
+ * small *accumulation window*: when it wakes with fewer than
+ * maxBatchJobs pending it waits once, up to batchWindow, for more
+ * requests to land, then takes everything queued, groups it by
+ * stream, and runs each group through one prepare() call (sharded
+ * over the server's thread pool when workers > 1). Batching and
+ * worker count change only latency and throughput, never bytes:
+ * prepare() is bit-deterministic at any worker count, so a reply is
+ * byte-identical however requests were coalesced.
+ *
+ * Telemetry: per-stream counters (requests, cache hits, in-batch
+ * coalescing, fresh simulations, batches, occupancy, queue depth,
+ * p50/p99 service time) are readable in-process and served over the
+ * wire as a JSON document via the Stats request.
+ */
+
+#ifndef PREDVFS_SERVE_SERVER_HH
+#define PREDVFS_SERVE_SERVER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/transport.hh"
+#include "sim/experiment.hh"
+
+namespace predvfs {
+namespace serve {
+
+/** Serving configuration. */
+struct ServerOptions
+{
+    /** Worker threads for batch simulation (1 = serial). Replies are
+     *  bit-identical at any value. */
+    unsigned workers = 1;
+
+    /** Accumulation cap: a drained batch never exceeds this many
+     *  jobs per stream. */
+    std::size_t maxBatchJobs = 64;
+
+    /** How long the dispatcher waits for a batch to fill before
+     *  draining what it has. 0 = drain immediately. */
+    unsigned batchWindowMicros = 200;
+
+    /** Flow/platform settings used when registering benchmarks; the
+     *  replay harness must use equal settings on its in-process
+     *  Experiment for responses to be comparable. */
+    sim::ExperimentOptions experiment;
+};
+
+/**
+ * ServerOptions overridden by PREDVFS_SERVE_WORKERS,
+ * PREDVFS_SERVE_MAX_BATCH, and PREDVFS_SERVE_WINDOW_US (all parsed
+ * with the hardened env helpers: malformed values warn and keep
+ * @p base's setting).
+ */
+ServerOptions serverOptionsFromEnv(ServerOptions base = {});
+
+/** Snapshot of one stream's serving counters. */
+struct StreamTelemetry
+{
+    std::string benchmark;
+    std::uint64_t requests = 0;
+    std::uint64_t cacheHits = 0;   //!< Answered from the JobCache.
+    std::uint64_t coalesced = 0;   //!< In-batch duplicate fan-out.
+    std::uint64_t simulated = 0;   //!< Fresh simulations.
+    std::uint64_t batches = 0;     //!< prepare() calls issued.
+    std::uint64_t batchJobs = 0;   //!< Sum of drained batch sizes.
+    double p50ServiceMicros = 0.0;
+    double p99ServiceMicros = 0.0;
+
+    /** Requests answered without fresh simulation / requests. */
+    double hitRate() const;
+
+    /** Mean jobs per drained batch (batch lane occupancy). */
+    double meanBatchOccupancy() const;
+};
+
+/** The serving process: registered streams + transports + dispatcher. */
+class PredictionServer
+{
+  public:
+    explicit PredictionServer(ServerOptions options = {});
+    ~PredictionServer();
+
+    PredictionServer(const PredictionServer &) = delete;
+    PredictionServer &operator=(const PredictionServer &) = delete;
+
+    /**
+     * Train and register one benchmark for serving (offline flow +
+     * engine construction; expensive). Idempotent per name.
+     * @return the stream id clients address it by.
+     */
+    std::uint32_t registerBenchmark(const std::string &name);
+
+    /**
+     * Open an in-process loopback connection served by its own reader
+     * thread; the returned endpoint is the client side.
+     */
+    std::unique_ptr<Connection> connectLoopback();
+
+    /** Serve a Unix-domain socket at @p path (accept loop thread). */
+    void listenUnix(const std::string &path);
+
+    /**
+     * Stop: close the listener and every connection, join all
+     * threads, drain the queue (pending requests get ShuttingDown
+     * errors). Called by the destructor; idempotent.
+     */
+    void stop();
+
+    /** @name In-process introspection (tests, goldens, benches) */
+    /// @{
+    const ServerOptions &options() const { return opts; }
+    std::vector<std::string> streamNames() const;
+    StreamTelemetry telemetry(const std::string &benchmark) const;
+    std::uint64_t streamKeyOf(const std::string &benchmark) const;
+
+    /** Peak and current request-queue depth since construction. */
+    std::size_t maxQueueDepth() const;
+
+    /** The full telemetry document (same JSON the Stats reply ships). */
+    std::string telemetryJson() const;
+    /// @}
+
+  private:
+    struct Impl;
+    ServerOptions opts;
+    std::unique_ptr<Impl> impl;
+};
+
+} // namespace serve
+} // namespace predvfs
+
+#endif // PREDVFS_SERVE_SERVER_HH

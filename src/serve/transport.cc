@@ -1,0 +1,340 @@
+#include "serve/transport.hh"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/logging.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PREDVFS_HAVE_UNIX_SOCKETS 1
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#else
+#define PREDVFS_HAVE_UNIX_SOCKETS 0
+#endif
+
+namespace predvfs {
+namespace serve {
+
+namespace {
+
+/** One direction of a loopback pipe: a chunked byte queue. */
+struct Pipe
+{
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::vector<std::uint8_t>> chunks;
+    std::size_t headOffset = 0;  //!< Consumed bytes of chunks.front().
+    bool closed = false;
+
+    void write(const void *buf, std::size_t n)
+    {
+        const auto *p = static_cast<const std::uint8_t *>(buf);
+        std::lock_guard<std::mutex> lock(mu);
+        if (closed)
+            return;
+        chunks.emplace_back(p, p + n);
+        cv.notify_all();
+    }
+
+    std::size_t read(void *buf, std::size_t max)
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return !chunks.empty() || closed; });
+        if (chunks.empty())
+            return 0;  // Closed and drained: EOF.
+        std::size_t copied = 0;
+        auto *out = static_cast<std::uint8_t *>(buf);
+        while (copied < max && !chunks.empty()) {
+            std::vector<std::uint8_t> &head = chunks.front();
+            const std::size_t take =
+                std::min(max - copied, head.size() - headOffset);
+            std::memcpy(out + copied, head.data() + headOffset, take);
+            copied += take;
+            headOffset += take;
+            if (headOffset == head.size()) {
+                chunks.pop_front();
+                headOffset = 0;
+            }
+        }
+        return copied;
+    }
+
+    void close()
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        closed = true;
+        cv.notify_all();
+    }
+};
+
+/** The shared state of a loopback pair: two pipes, one per direction. */
+struct Duplex
+{
+    Pipe aToB;
+    Pipe bToA;
+};
+
+/** One endpoint of a loopback pair. */
+class LoopbackConnection : public Connection
+{
+  public:
+    LoopbackConnection(std::shared_ptr<Duplex> shared, bool is_a)
+        : duplex(std::move(shared)), sideA(is_a)
+    {
+    }
+
+    ~LoopbackConnection() override { close(); }
+
+    std::size_t read(void *buf, std::size_t max) override
+    {
+        return inbound().read(buf, max);
+    }
+
+    bool writeAll(const void *buf, std::size_t n) override
+    {
+        Pipe &pipe = outbound();
+        {
+            std::lock_guard<std::mutex> lock(pipe.mu);
+            if (pipe.closed)
+                return false;
+        }
+        pipe.write(buf, n);
+        return true;
+    }
+
+    void close() override
+    {
+        // Closing an endpoint ends both directions, like a socket
+        // close: the peer's reads see EOF and its writes start failing.
+        duplex->aToB.close();
+        duplex->bToA.close();
+    }
+
+  private:
+    Pipe &inbound() { return sideA ? duplex->bToA : duplex->aToB; }
+    Pipe &outbound() { return sideA ? duplex->aToB : duplex->bToA; }
+
+    std::shared_ptr<Duplex> duplex;
+    bool sideA;
+};
+
+} // namespace
+
+std::pair<std::unique_ptr<Connection>, std::unique_ptr<Connection>>
+makeLoopbackPair()
+{
+    auto duplex = std::make_shared<Duplex>();
+    return {std::make_unique<LoopbackConnection>(duplex, true),
+            std::make_unique<LoopbackConnection>(duplex, false)};
+}
+
+bool
+unixSocketsAvailable()
+{
+    return PREDVFS_HAVE_UNIX_SOCKETS != 0;
+}
+
+#if PREDVFS_HAVE_UNIX_SOCKETS
+
+namespace {
+
+/** A connected AF_UNIX stream socket. */
+class SocketConnection : public Connection
+{
+  public:
+    explicit SocketConnection(int socket_fd) : fd(socket_fd) {}
+
+    ~SocketConnection() override { close(); }
+
+    std::size_t read(void *buf, std::size_t max) override
+    {
+        for (;;) {
+            const ssize_t n = ::recv(fd, buf, max, 0);
+            if (n >= 0)
+                return static_cast<std::size_t>(n);
+            if (errno == EINTR)
+                continue;
+            return 0;  // Connection reset/closed: report EOF.
+        }
+    }
+
+    bool writeAll(const void *buf, std::size_t n) override
+    {
+        const auto *p = static_cast<const std::uint8_t *>(buf);
+        std::size_t sent = 0;
+        while (sent < n) {
+            // MSG_NOSIGNAL: a vanished peer must surface as a failed
+            // write, not a process-killing SIGPIPE.
+            const ssize_t w =
+                ::send(fd, p + sent, n - sent, MSG_NOSIGNAL);
+            if (w < 0) {
+                if (errno == EINTR)
+                    continue;
+                return false;
+            }
+            sent += static_cast<std::size_t>(w);
+        }
+        return true;
+    }
+
+    void close() override
+    {
+        int expected = fd.load();
+        if (expected >= 0 && fd.compare_exchange_strong(expected, -1)) {
+            ::shutdown(expected, SHUT_RDWR);
+            ::close(expected);
+        }
+    }
+
+  private:
+    std::atomic<int> fd;
+};
+
+} // namespace
+
+struct ListenerState
+{
+    std::atomic<bool> closing{false};
+};
+
+UnixListener::UnixListener(const std::string &path)
+    : sockPath(path), state(std::make_shared<ListenerState>())
+{
+    sockaddr_un addr{};
+    util::fatalIf(path.size() >= sizeof(addr.sun_path),
+                  "UnixListener: socket path too long: ", path);
+
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    util::fatalIf(fd < 0, "UnixListener: socket(): ",
+                  std::strerror(errno));
+
+    ::unlink(path.c_str());
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    util::fatalIf(::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+                         sizeof(addr)) != 0,
+                  "UnixListener: bind(", path, "): ",
+                  std::strerror(errno));
+    util::fatalIf(::listen(fd, 16) != 0, "UnixListener: listen(): ",
+                  std::strerror(errno));
+}
+
+UnixListener::~UnixListener()
+{
+    close();
+}
+
+std::unique_ptr<Connection>
+UnixListener::accept()
+{
+    // Poll with a short timeout instead of blocking in accept(): the
+    // stop flag is the only portable way to end the accept loop
+    // without racing a concurrent close() of the fd.
+    while (!state->closing.load()) {
+        pollfd pfd{};
+        pfd.fd = fd;
+        pfd.events = POLLIN;
+        const int r = ::poll(&pfd, 1, 100);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return nullptr;
+        }
+        if (r == 0)
+            continue;
+        const int conn = ::accept(fd, nullptr, nullptr);
+        if (conn < 0) {
+            if (errno == EINTR)
+                continue;
+            return nullptr;
+        }
+        return std::make_unique<SocketConnection>(conn);
+    }
+    return nullptr;
+}
+
+void
+UnixListener::close()
+{
+    if (state->closing.exchange(true))
+        return;
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+    ::unlink(sockPath.c_str());
+}
+
+std::unique_ptr<Connection>
+connectUnix(const std::string &path, int timeout_ms)
+{
+    sockaddr_un addr{};
+    if (path.size() >= sizeof(addr.sun_path)) {
+        util::warn("connectUnix: socket path too long: ", path);
+        return nullptr;
+    }
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+
+    const auto deadline = std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0)
+            return nullptr;
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) == 0)
+            return std::make_unique<SocketConnection>(fd);
+        ::close(fd);
+        if (std::chrono::steady_clock::now() >= deadline)
+            return nullptr;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+}
+
+#else  // !PREDVFS_HAVE_UNIX_SOCKETS
+
+struct ListenerState
+{
+};
+
+UnixListener::UnixListener(const std::string &path) : sockPath(path)
+{
+    util::fatal("UnixListener: Unix-domain sockets are unavailable on "
+                "this platform; use the loopback transport");
+}
+
+UnixListener::~UnixListener() = default;
+
+std::unique_ptr<Connection>
+UnixListener::accept()
+{
+    return nullptr;
+}
+
+void
+UnixListener::close()
+{
+}
+
+std::unique_ptr<Connection>
+connectUnix(const std::string &, int)
+{
+    util::warn("connectUnix: Unix-domain sockets are unavailable on "
+               "this platform");
+    return nullptr;
+}
+
+#endif  // PREDVFS_HAVE_UNIX_SOCKETS
+
+} // namespace serve
+} // namespace predvfs

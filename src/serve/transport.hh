@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Byte transports for the prediction service.
+ *
+ * Two implementations of one blocking Connection interface:
+ *
+ *  - a loopback pipe pair (two in-process byte queues), used by the
+ *    replay/concurrency tests, the bench, and platforms without Unix
+ *    sockets — no file descriptors, no kernel, fully deterministic
+ *    teardown;
+ *  - AF_UNIX stream sockets (listener + connector) for the real
+ *    client/server split, POSIX-only and compiled out elsewhere.
+ *
+ * Connections are bidirectional byte streams with TCP-like semantics:
+ * read() blocks until data or EOF, close() is idempotent and wakes
+ * blocked peers. writeAll() on one endpoint may safely race with
+ * read() on the same endpoint, but concurrent writers must bring
+ * their own lock (the server keeps one per connection).
+ */
+
+#ifndef PREDVFS_SERVE_TRANSPORT_HH
+#define PREDVFS_SERVE_TRANSPORT_HH
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace predvfs {
+namespace serve {
+
+/** A blocking, bidirectional byte stream. */
+class Connection
+{
+  public:
+    virtual ~Connection() = default;
+
+    /**
+     * Read up to @p max bytes into @p buf, blocking until at least one
+     * byte is available. @return bytes read; 0 means the peer closed.
+     */
+    virtual std::size_t read(void *buf, std::size_t max) = 0;
+
+    /** Write all @p n bytes. @return false if the peer closed. */
+    virtual bool writeAll(const void *buf, std::size_t n) = 0;
+
+    /** Close both directions; safe to call twice or concurrently. */
+    virtual void close() = 0;
+};
+
+/** @return two connected in-process endpoints (client, server). */
+std::pair<std::unique_ptr<Connection>, std::unique_ptr<Connection>>
+makeLoopbackPair();
+
+/** @return true when this build has Unix-domain socket support. */
+bool unixSocketsAvailable();
+
+/**
+ * A listening Unix-domain socket. fatal() on bind/listen failure (a
+ * deployment error, not a protocol event). Any existing socket file
+ * at @p path is removed first, matching common daemon behaviour.
+ */
+class UnixListener
+{
+  public:
+    explicit UnixListener(const std::string &path);
+    ~UnixListener();
+
+    UnixListener(const UnixListener &) = delete;
+    UnixListener &operator=(const UnixListener &) = delete;
+
+    /**
+     * Accept one connection. Blocks; @return nullptr once close() was
+     * called (the accept loop's shutdown signal).
+     */
+    std::unique_ptr<Connection> accept();
+
+    /** Stop accepting and unlink the socket file. Idempotent. */
+    void close();
+
+    const std::string &path() const { return sockPath; }
+
+  private:
+    std::string sockPath;
+    int fd = -1;
+    // close() may race accept(); the flag is checked between polls.
+    std::shared_ptr<struct ListenerState> state;
+};
+
+/**
+ * Connect to a serving socket, retrying until @p timeout_ms elapses
+ * (covers the server-still-starting race in scripted smoke tests).
+ * @return nullptr on timeout or when sockets are unavailable.
+ */
+std::unique_ptr<Connection> connectUnix(const std::string &path,
+                                        int timeout_ms = 0);
+
+} // namespace serve
+} // namespace predvfs
+
+#endif // PREDVFS_SERVE_TRANSPORT_HH

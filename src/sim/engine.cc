@@ -58,9 +58,12 @@ std::vector<core::PreparedJob>
 SimulationEngine::prepare(const std::vector<rtl::JobInput> &jobs,
                           const core::SlicePredictor *predictor,
                           const FaultSchedule *faults,
-                          util::ThreadPool *pool) const
+                          util::ThreadPool *pool,
+                          PrepareStats *stats) const
 {
     std::vector<core::PreparedJob> prepared(jobs.size());
+    if (stats)
+        *stats = PrepareStats{};
 
     // Record i depends only on job i, so any sharding of the index
     // range produces the same vector; the instrumenter is the one
@@ -105,6 +108,10 @@ SimulationEngine::prepare(const std::vector<rtl::JobInput> &jobs,
 
         if (faults)
             faults->applyPrepareFaults(prepared);
+        if (stats) {
+            stats->jobs = jobs.size();
+            stats->simulated = jobs.size();
+        }
         return prepared;
     }
 
@@ -227,6 +234,17 @@ SimulationEngine::prepare(const std::vector<rtl::JobInput> &jobs,
     // prepare.
     if (faults)
         faults->applyPrepareFaults(prepared);
+    if (stats) {
+        stats->jobs = jobs.size();
+        stats->simulated = uniq.size();
+        // Phase 1 classified every job exactly once: cache hit,
+        // duplicate of an earlier miss, or fresh simulation.
+        std::size_t hits = 0;
+        for (const std::size_t src : copyFrom)
+            hits += src == static_cast<std::size_t>(-1) ? 1 : 0;
+        stats->cacheHits = hits;
+        stats->coalesced = jobs.size() - hits - uniq.size();
+    }
     return prepared;
 }
 

@@ -39,6 +39,29 @@ struct EngineConfig
     double switchTimeSeconds = 100e-6;    //!< DVFS settle time.
 };
 
+/**
+ * How one prepare() call was answered. jobs always equals
+ * cacheHits + coalesced + simulated; the serving layer's telemetry is
+ * built from these, and hit/miss accounting in tests leans on the
+ * identity.
+ */
+struct PrepareStats
+{
+    std::size_t jobs = 0;       //!< Records requested.
+    std::size_t cacheHits = 0;  //!< Answered from the global JobCache.
+    std::size_t coalesced = 0;  //!< In-batch duplicates fanned out.
+    std::size_t simulated = 0;  //!< Unique jobs actually simulated.
+
+    PrepareStats &operator+=(const PrepareStats &other)
+    {
+        jobs += other.jobs;
+        cacheHits += other.cacheHits;
+        coalesced += other.coalesced;
+        simulated += other.simulated;
+        return *this;
+    }
+};
+
 /** Precomputes job records and replays them under controllers. */
 class SimulationEngine
 {
@@ -87,12 +110,17 @@ class SimulationEngine
      *        path at any worker count (each record depends only on its
      *        own job; cache probes and inserts stay serial and
      *        ordered, so the LRU history is deterministic too).
+     * @param stats Optional counters describing how the call was
+     *        answered (cache hits, in-batch duplicates, fresh
+     *        simulations). With the cache disabled every job counts
+     *        as simulated.
      */
     std::vector<core::PreparedJob>
     prepare(const std::vector<rtl::JobInput> &jobs,
             const core::SlicePredictor *predictor = nullptr,
             const FaultSchedule *faults = nullptr,
-            util::ThreadPool *pool = nullptr) const;
+            util::ThreadPool *pool = nullptr,
+            PrepareStats *stats = nullptr) const;
 
     /**
      * The content-addressed identity of this engine's prepared

@@ -52,18 +52,6 @@ fpgaLutShare(const std::string &name)
     return 0.7;
 }
 
-power::EnergyParams
-platformEnergyParams(power::EnergyParams params, Platform platform)
-{
-    if (platform == Platform::Fpga) {
-        // FPGA fabric: higher switched capacitance per op and much
-        // higher static power than a 65 nm ASIC.
-        params.joulesPerUnit *= 3.0;
-        params.leakageWattsNominal *= 6.0;
-    }
-    return params;
-}
-
 /**
  * Registry of prepared streams, keyed by every option that can change
  * a stream's content. A shared_future per key lets concurrent matrix
@@ -99,6 +87,18 @@ streamKeyOf(const std::string &benchmark, const ExperimentOptions &opts)
 }
 
 } // namespace
+
+power::EnergyParams
+platformEnergyParams(power::EnergyParams params, Platform platform)
+{
+    if (platform == Platform::Fpga) {
+        // FPGA fabric: higher switched capacitance per op and much
+        // higher static power than a 65 nm ASIC.
+        params.joulesPerUnit *= 3.0;
+        params.leakageWattsNominal *= 6.0;
+    }
+    return params;
+}
 
 void
 clearSharedStreams()
@@ -149,14 +149,18 @@ Experiment::Experiment(const std::string &benchmark,
         if (opts.prepareThreads > 1) {
             util::ThreadPool pool(opts.prepareThreads);
             s->trainJobs = simEngine->prepare(
-                s->work.train, s->flow.predictor.get(), nullptr, &pool);
+                s->work.train, s->flow.predictor.get(), nullptr, &pool,
+                &s->trainPrepare);
             s->testJobs = simEngine->prepare(
-                s->work.test, s->flow.predictor.get(), nullptr, &pool);
+                s->work.test, s->flow.predictor.get(), nullptr, &pool,
+                &s->testPrepare);
         } else {
-            s->trainJobs = simEngine->prepare(s->work.train,
-                                              s->flow.predictor.get());
-            s->testJobs = simEngine->prepare(s->work.test,
-                                             s->flow.predictor.get());
+            s->trainJobs = simEngine->prepare(
+                s->work.train, s->flow.predictor.get(), nullptr,
+                nullptr, &s->trainPrepare);
+            s->testJobs = simEngine->prepare(
+                s->work.test, s->flow.predictor.get(), nullptr,
+                nullptr, &s->testPrepare);
         }
         return s;
     };

@@ -42,6 +42,15 @@ enum class Scheme
 /** @return the scheme label used in the paper's figures. */
 const char *schemeName(Scheme scheme);
 
+/**
+ * Adjust an accelerator's energy calibration for the implementation
+ * platform (FPGA fabric burns more switched capacitance and leakage
+ * than the 65 nm ASIC). Shared by Experiment and the serving layer's
+ * stream builder so both construct identical engines.
+ */
+power::EnergyParams platformEnergyParams(power::EnergyParams params,
+                                         Platform platform);
+
 /** Configuration of one experiment instance. */
 struct ExperimentOptions
 {
@@ -87,6 +96,8 @@ struct PreparedStream
     core::FlowResult flow;
     std::vector<core::PreparedJob> trainJobs;
     std::vector<core::PreparedJob> testJobs;
+    PrepareStats trainPrepare;  //!< How the train stream was answered.
+    PrepareStats testPrepare;   //!< How the test stream was answered.
 };
 
 /** Drop every entry of the process-global prepared-stream registry
@@ -132,6 +143,12 @@ class Experiment
     const std::vector<core::PreparedJob> &trainPrepared() const
     {
         return stream->trainJobs;
+    }
+    /** Cache/simulation counters of this stream's preparation (zeros
+     *  when another Experiment built the shared stream first). */
+    const PrepareStats &testPrepareStats() const
+    {
+        return stream->testPrepare;
     }
     const ExperimentOptions &options() const { return opts; }
     /// @}

@@ -1,10 +1,10 @@
 #include "sim/job_cache.hh"
 
-#include <cstdlib>
 #include <cstring>
 #include <sstream>
 
 #include "rtl/serialize.hh"
+#include "util/env.hh"
 #include "util/logging.hh"
 
 namespace predvfs {
@@ -304,17 +304,13 @@ JobCache::clear()
 JobCache &
 JobCache::global()
 {
+    // First read wins: a long-lived process (the prediction server)
+    // must not see its cache capacity change mid-flight. Malformed
+    // values warn and fall back to the default instead of aborting —
+    // a bad knob should degrade the deployment, not kill it.
     static JobCache *cache = [] {
-        std::size_t bytes = defaultCapacityBytes;
-        if (const char *env = std::getenv("PREDVFS_CACHE_BYTES")) {
-            char *end = nullptr;
-            const unsigned long long v = std::strtoull(env, &end, 10);
-            if (end && *end == '\0')
-                bytes = static_cast<std::size_t>(v);
-            else
-                util::fatal("PREDVFS_CACHE_BYTES: not a number: ", env);
-        }
-        return new JobCache(bytes);
+        return new JobCache(util::envSizeBytes("PREDVFS_CACHE_BYTES",
+                                               defaultCapacityBytes));
     }();
     return *cache;
 }
@@ -322,10 +318,8 @@ JobCache::global()
 bool
 JobCache::enabledByEnv()
 {
-    static const bool enabled = [] {
-        const char *env = std::getenv("PREDVFS_DISABLE_CACHE");
-        return !(env && std::string(env) == "1");
-    }();
+    static const bool enabled =
+        !util::envFlag("PREDVFS_DISABLE_CACHE", false);
     return enabled;
 }
 

@@ -1,0 +1,53 @@
+#include "workload/replay.hh"
+
+#include <algorithm>
+
+#include "util/random.hh"
+
+namespace predvfs {
+namespace workload {
+
+std::vector<ReplayPlan>
+roundRobinPlans(std::size_t job_count, std::size_t clients)
+{
+    std::vector<ReplayPlan> plans(std::max<std::size_t>(clients, 1));
+    for (std::size_t i = 0; i < job_count; ++i)
+        plans[i % plans.size()].indices.push_back(i);
+    return plans;
+}
+
+std::vector<ReplayPlan>
+duplicateHeavyPlans(std::size_t job_count, std::size_t clients,
+                    std::size_t requests_per_client,
+                    std::size_t hot_jobs, std::uint64_t seed)
+{
+    std::vector<ReplayPlan> plans(std::max<std::size_t>(clients, 1));
+    if (job_count == 0)
+        return plans;
+    const std::size_t hot = std::min(
+        std::max<std::size_t>(hot_jobs, 1), job_count);
+
+    util::Rng root(seed);
+    for (std::size_t c = 0; c < plans.size(); ++c) {
+        // Independent per-client streams: client c's plan is the same
+        // whether 1 or 16 clients run beside it.
+        util::Rng rng = root.split(c + 1);
+        ReplayPlan &plan = plans[c];
+        plan.indices.reserve(requests_per_client);
+        for (std::size_t r = 0; r < requests_per_client; ++r) {
+            if (rng.bernoulli(0.85)) {
+                plan.indices.push_back(static_cast<std::size_t>(
+                    rng.uniformInt(0,
+                                   static_cast<std::int64_t>(hot) - 1)));
+            } else {
+                plan.indices.push_back(static_cast<std::size_t>(
+                    rng.uniformInt(0, static_cast<std::int64_t>(
+                                          job_count) - 1)));
+            }
+        }
+    }
+    return plans;
+}
+
+} // namespace workload
+} // namespace predvfs

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Replay plans: deterministic orderings of a job stream for driving
+ * the prediction service from many concurrent clients.
+ *
+ * A ReplayPlan is just a sequence of indices into a job vector. The
+ * concurrency tests hand each client thread its own plan over the
+ * same test workload: round-robin plans partition the stream evenly,
+ * duplicate-heavy plans deliberately repeat a small set of hot jobs
+ * (seeded, so every run asks for exactly the same sequence) to push
+ * traffic onto the JobCache and the in-batch coalescing path.
+ */
+
+#ifndef PREDVFS_WORKLOAD_REPLAY_HH
+#define PREDVFS_WORKLOAD_REPLAY_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace predvfs {
+namespace workload {
+
+/** Indices into a job vector, replayed in order. */
+struct ReplayPlan
+{
+    std::vector<std::size_t> indices;
+};
+
+/**
+ * Partition @p job_count jobs over @p clients round-robin: client c
+ * replays jobs c, c + clients, c + 2*clients, ... Every job appears
+ * in exactly one plan.
+ */
+std::vector<ReplayPlan> roundRobinPlans(std::size_t job_count,
+                                        std::size_t clients);
+
+/**
+ * Duplicate-heavy plans: each client issues @p requests_per_client
+ * requests drawn from a hot set of @p hot_jobs distinct indices (the
+ * first hot_jobs jobs), with occasional excursions over the full
+ * stream. Deterministic in @p seed; client c draws from an
+ * independent split stream, so plans do not depend on how many other
+ * clients exist.
+ */
+std::vector<ReplayPlan> duplicateHeavyPlans(std::size_t job_count,
+                                            std::size_t clients,
+                                            std::size_t
+                                                requests_per_client,
+                                            std::size_t hot_jobs,
+                                            std::uint64_t seed);
+
+} // namespace workload
+} // namespace predvfs
+
+#endif // PREDVFS_WORKLOAD_REPLAY_HH

@@ -1,0 +1,405 @@
+/**
+ * @file
+ * Protocol robustness: the FrameDecoder against a seeded corpus of
+ * truncated, oversized, and garbage byte streams; the payload
+ * decoders against hostile length fields; and a live loopback server
+ * against malformed frames and mid-stream disconnects. Malformed
+ * input must produce a typed Error reply or a clean close — never a
+ * crash, a hang, or an attacker-sized allocation. Genuine caller bugs
+ * (oversized encode) are fatal() and covered by death tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "serve/client.hh"
+#include "serve/protocol.hh"
+#include "serve/server.hh"
+#include "util/random.hh"
+
+using namespace predvfs;
+using namespace predvfs::serve;
+
+namespace {
+
+/** Little-endian frame header for hand-built malformed frames. */
+std::vector<std::uint8_t>
+rawHeader(std::uint32_t len, std::uint16_t type, std::uint16_t reserved)
+{
+    std::vector<std::uint8_t> bytes(8);
+    for (int i = 0; i < 4; ++i)
+        bytes[static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(len >> (8 * i));
+    bytes[4] = static_cast<std::uint8_t>(type);
+    bytes[5] = static_cast<std::uint8_t>(type >> 8);
+    bytes[6] = static_cast<std::uint8_t>(reserved);
+    bytes[7] = static_cast<std::uint8_t>(reserved >> 8);
+    return bytes;
+}
+
+/** Read frames off @p conn until EOF; @return the frames seen. */
+std::vector<Frame>
+drainConnection(Connection &conn)
+{
+    std::vector<Frame> frames;
+    FrameDecoder decoder;
+    std::uint8_t buffer[512];
+    for (;;) {
+        const std::size_t n = conn.read(buffer, sizeof(buffer));
+        if (n == 0)
+            return frames;
+        decoder.feed(buffer, n);
+        Frame frame;
+        while (decoder.next(frame) == FrameDecoder::Status::Ready)
+            frames.push_back(frame);
+    }
+}
+
+void
+sendAll(Connection &conn, const std::vector<std::uint8_t> &bytes)
+{
+    conn.writeAll(bytes.data(), bytes.size());
+}
+
+ErrorMsg
+expectErrorFrame(const Frame &frame)
+{
+    EXPECT_EQ(static_cast<MsgType>(frame.type), MsgType::Error);
+    ErrorMsg msg;
+    EXPECT_TRUE(decodeError(frame.payload, msg));
+    return msg;
+}
+
+} // namespace
+
+TEST(FrameDecoder, ByteAtATimeDeliversIdenticalFrames)
+{
+    PredictMsg request;
+    request.streamId = 3;
+    request.requestId = 77;
+    rtl::WorkItem item;
+    item.fields = {1, -2, 3000000000LL};
+    request.job.items.push_back(item);
+    const std::vector<std::uint8_t> frame =
+        encodeFrame(MsgType::Predict, encodePredict(request));
+
+    FrameDecoder decoder;
+    Frame out;
+    for (std::size_t i = 0; i + 1 < frame.size(); ++i) {
+        decoder.feed(&frame[i], 1);
+        EXPECT_EQ(decoder.next(out), FrameDecoder::Status::NeedMore);
+        EXPECT_TRUE(decoder.midFrame());
+    }
+    decoder.feed(&frame[frame.size() - 1], 1);
+    ASSERT_EQ(decoder.next(out), FrameDecoder::Status::Ready);
+    EXPECT_FALSE(decoder.midFrame());
+
+    PredictMsg round;
+    ASSERT_TRUE(decodePredict(out.payload, round));
+    EXPECT_EQ(round.streamId, request.streamId);
+    EXPECT_EQ(round.requestId, request.requestId);
+    ASSERT_EQ(round.job.items.size(), 1u);
+    EXPECT_EQ(round.job.items[0].fields, item.fields);
+}
+
+TEST(FrameDecoder, OversizedLengthLatchesError)
+{
+    FrameDecoder decoder;
+    const auto header = rawHeader(kMaxFramePayload + 1,
+                                  static_cast<std::uint16_t>(
+                                      MsgType::Predict),
+                                  0);
+    decoder.feed(header.data(), header.size());
+    Frame out;
+    std::string error;
+    EXPECT_EQ(decoder.next(out, &error), FrameDecoder::Status::Error);
+    EXPECT_NE(error.find("exceeds"), std::string::npos);
+    EXPECT_TRUE(decoder.bad());
+
+    // Latched: even a perfectly valid frame after the poison header
+    // must keep erroring — framing sync is gone for good.
+    const auto good = encodeFrame(MsgType::Bye, {});
+    decoder.feed(good.data(), good.size());
+    EXPECT_EQ(decoder.next(out), FrameDecoder::Status::Error);
+}
+
+TEST(FrameDecoder, NonzeroReservedFieldIsAnError)
+{
+    FrameDecoder decoder;
+    const auto header = rawHeader(0, 1, 0xBEEF);
+    decoder.feed(header.data(), header.size());
+    Frame out;
+    EXPECT_EQ(decoder.next(out), FrameDecoder::Status::Error);
+}
+
+TEST(FrameDecoder, SeededGarbageNeverCrashes)
+{
+    // 64 random streams; each either parses as frames (a length field
+    // under the cap can look plausible) or latches an error. Neither
+    // outcome may crash or allocate per the announced length.
+    util::Rng rng(20151209);
+    for (int round = 0; round < 64; ++round) {
+        FrameDecoder decoder;
+        const std::size_t len =
+            static_cast<std::size_t>(rng.uniformInt(1, 4096));
+        std::vector<std::uint8_t> garbage(len);
+        for (std::uint8_t &b : garbage)
+            b = static_cast<std::uint8_t>(rng.nextU64());
+        decoder.feed(garbage.data(), garbage.size());
+        Frame out;
+        for (int pulls = 0; pulls < 1024; ++pulls) {
+            const FrameDecoder::Status status = decoder.next(out);
+            if (status != FrameDecoder::Status::Ready)
+                break;
+        }
+    }
+}
+
+TEST(Protocol, DecodersRejectHostileLengthFields)
+{
+    // A Predict payload that announces 2^31 work items in 16 bytes:
+    // the decoder must fail cleanly instead of reserving gigabytes.
+    std::vector<std::uint8_t> payload;
+    const std::uint32_t stream_id = 1;
+    const std::uint64_t request_id = 1;
+    for (int i = 0; i < 4; ++i)
+        payload.push_back(
+            static_cast<std::uint8_t>(stream_id >> (8 * i)));
+    for (int i = 0; i < 8; ++i)
+        payload.push_back(
+            static_cast<std::uint8_t>(request_id >> (8 * i)));
+    const std::uint32_t huge = 0x80000000u;
+    for (int i = 0; i < 4; ++i)
+        payload.push_back(static_cast<std::uint8_t>(huge >> (8 * i)));
+
+    PredictMsg out;
+    EXPECT_FALSE(decodePredict(payload, out));
+
+    // Truncation of every message type: cutting any suffix off a
+    // valid payload must fail, never read out of bounds.
+    OpenStreamMsg open;
+    open.benchmark = "sha";
+    const std::vector<std::uint8_t> full = encodeOpenStream(open);
+    for (std::size_t cut = 0; cut < full.size(); ++cut) {
+        const std::vector<std::uint8_t> truncated(
+            full.begin(), full.begin() + static_cast<std::ptrdiff_t>(cut));
+        OpenStreamMsg ignored;
+        EXPECT_FALSE(decodeOpenStream(truncated, ignored));
+    }
+
+    // Trailing junk is rejected too (strict framing).
+    std::vector<std::uint8_t> padded = full;
+    padded.push_back(0);
+    OpenStreamMsg ignored;
+    EXPECT_FALSE(decodeOpenStream(padded, ignored));
+}
+
+TEST(ServeProtocol, GarbageBytesGetTypedErrorThenClose)
+{
+    PredictionServer server;
+    const std::unique_ptr<Connection> conn = server.connectLoopback();
+
+    std::vector<std::uint8_t> garbage(64, 0xFF);
+    sendAll(*conn, garbage);
+    const std::vector<Frame> frames = drainConnection(*conn);
+    ASSERT_EQ(frames.size(), 1u);
+    const ErrorMsg msg = expectErrorFrame(frames[0]);
+    // All-0xFF trips the nonzero-reserved-field check.
+    EXPECT_EQ(static_cast<ErrorCode>(msg.code), ErrorCode::BadFrame);
+}
+
+TEST(ServeProtocol, OversizedAnnouncementGetsTypedErrorThenClose)
+{
+    PredictionServer server;
+    const std::unique_ptr<Connection> conn = server.connectLoopback();
+
+    // Well-formed header, absurd length: must be answered without
+    // allocating what it announces.
+    sendAll(*conn, rawHeader(0xFFFFFF00u,
+                             static_cast<std::uint16_t>(
+                                 MsgType::Predict),
+                             0));
+    const std::vector<Frame> frames = drainConnection(*conn);
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_EQ(static_cast<ErrorCode>(expectErrorFrame(frames[0]).code),
+              ErrorCode::Oversized);
+}
+
+TEST(ServeProtocol, BadMagicAndBadVersionAreRejected)
+{
+    PredictionServer server;
+    {
+        const std::unique_ptr<Connection> conn =
+            server.connectLoopback();
+        HelloMsg hello;
+        hello.magic = 0x12345678;
+        const auto frame =
+            encodeFrame(MsgType::Hello, encodeHello(hello));
+        sendAll(*conn, frame);
+        const std::vector<Frame> frames = drainConnection(*conn);
+        ASSERT_EQ(frames.size(), 1u);
+        EXPECT_EQ(static_cast<ErrorCode>(
+                      expectErrorFrame(frames[0]).code),
+                  ErrorCode::BadMagic);
+    }
+    {
+        const std::unique_ptr<Connection> conn =
+            server.connectLoopback();
+        HelloMsg hello;
+        hello.version = kVersion + 1;
+        const auto frame =
+            encodeFrame(MsgType::Hello, encodeHello(hello));
+        sendAll(*conn, frame);
+        const std::vector<Frame> frames = drainConnection(*conn);
+        ASSERT_EQ(frames.size(), 1u);
+        EXPECT_EQ(static_cast<ErrorCode>(
+                      expectErrorFrame(frames[0]).code),
+                  ErrorCode::BadVersion);
+    }
+}
+
+TEST(ServeProtocol, RecoverableErrorsKeepTheConnectionOpen)
+{
+    PredictionServer server;
+    const std::unique_ptr<Connection> conn = server.connectLoopback();
+
+    // Unknown benchmark → typed error, connection stays usable.
+    OpenStreamMsg open;
+    open.benchmark = "no-such-accelerator";
+    sendAll(*conn, encodeFrame(MsgType::OpenStream,
+                               encodeOpenStream(open)));
+
+    // Unknown stream id → typed error echoing the request id.
+    PredictMsg predict;
+    predict.streamId = 42;
+    predict.requestId = 1234;
+    sendAll(*conn,
+            encodeFrame(MsgType::Predict, encodePredict(predict)));
+
+    // Unknown frame type → typed error, still open.
+    sendAll(*conn, rawHeader(0, 999, 0));
+
+    // A Stats request still gets through after all three.
+    sendAll(*conn, encodeFrame(MsgType::Stats, encodeStats(StatsMsg{})));
+    sendAll(*conn, encodeFrame(MsgType::Bye, {}));
+
+    const std::vector<Frame> frames = drainConnection(*conn);
+    ASSERT_EQ(frames.size(), 4u);
+    EXPECT_EQ(static_cast<ErrorCode>(expectErrorFrame(frames[0]).code),
+              ErrorCode::UnknownBenchmark);
+    const ErrorMsg unknown_stream = expectErrorFrame(frames[1]);
+    EXPECT_EQ(static_cast<ErrorCode>(unknown_stream.code),
+              ErrorCode::UnknownStream);
+    EXPECT_EQ(unknown_stream.requestId, 1234u);
+    EXPECT_EQ(static_cast<ErrorCode>(expectErrorFrame(frames[2]).code),
+              ErrorCode::UnknownType);
+    EXPECT_EQ(static_cast<MsgType>(frames[3].type),
+              MsgType::StatsReply);
+}
+
+TEST(ServeProtocol, MidStreamDisconnectLeavesServerServing)
+{
+    PredictionServer server;
+    {
+        // Half a frame header, then vanish.
+        const std::unique_ptr<Connection> conn =
+            server.connectLoopback();
+        const auto header = rawHeader(16, 5, 0);
+        conn->writeAll(header.data(), 5);
+        conn->close();
+    }
+    {
+        // A full Hello announcing a payload that never arrives.
+        const std::unique_ptr<Connection> conn =
+            server.connectLoopback();
+        const auto header = rawHeader(4096, 5, 0);
+        sendAll(*conn, header);
+        conn->close();
+    }
+    // The server must still answer a well-behaved client.
+    PredictionClient client(server.connectLoopback());
+    EXPECT_NE(client.statsJson().find("\"streams\""),
+              std::string::npos);
+}
+
+TEST(ServeProtocol, TruncatedFrameCorpusAgainstLiveServer)
+{
+    // Every prefix of a valid OpenStream frame, sent then dropped:
+    // the server must survive all of them and stay responsive.
+    PredictionServer server;
+    OpenStreamMsg open;
+    open.benchmark = "sha";
+    const auto frame =
+        encodeFrame(MsgType::OpenStream, encodeOpenStream(open));
+    for (std::size_t cut = 1; cut < frame.size(); ++cut) {
+        const std::unique_ptr<Connection> conn =
+            server.connectLoopback();
+        conn->writeAll(frame.data(), cut);
+        conn->close();
+    }
+    PredictionClient client(server.connectLoopback());
+    EXPECT_NE(client.statsJson().find("\"server\""),
+              std::string::npos);
+}
+
+TEST(ServeProtocolDeathTest, OversizedEncodeIsFatal)
+{
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
+    const std::vector<std::uint8_t> payload(kMaxFramePayload + 1, 0);
+    EXPECT_EXIT(encodeFrame(MsgType::Predict, payload),
+                testing::ExitedWithCode(1), "exceeds");
+}
+
+TEST(ServeProtocol, UnixSocketTransportSpeaksTheSameProtocol)
+{
+    if (!unixSocketsAvailable())
+        GTEST_SKIP() << "no Unix-domain sockets on this platform";
+
+    const std::string path = testing::TempDir() + "predvfs_test.sock";
+    PredictionServer server;
+    server.listenUnix(path);
+
+    {
+        PredictionClient client(connectUnix(path, /*timeout_ms=*/5000));
+        EXPECT_NE(client.statsJson().find("\"server\""),
+                  std::string::npos);
+    }
+    {
+        // Malformed traffic over the real socket: typed error, clean
+        // close, server stays up.
+        const std::unique_ptr<Connection> conn =
+            connectUnix(path, /*timeout_ms=*/5000);
+        ASSERT_NE(conn, nullptr);
+        const std::vector<std::uint8_t> garbage(64, 0xFF);
+        sendAll(*conn, garbage);
+        const std::vector<Frame> frames = drainConnection(*conn);
+        ASSERT_EQ(frames.size(), 1u);
+        expectErrorFrame(frames[0]);
+    }
+    PredictionClient again(connectUnix(path, /*timeout_ms=*/5000));
+    EXPECT_NE(again.statsJson().find("\"streams\""), std::string::npos);
+}
+
+namespace {
+
+/** A "server" that answers the handshake with garbage: the client
+ *  must fatal() (a broken server is not a recoverable state for the
+ *  harness), never misparse. */
+void
+handshakeAgainstGarbage()
+{
+    auto pair = makeLoopbackPair();
+    const std::vector<std::uint8_t> garbage(32, 0xAB);
+    pair.second->writeAll(garbage.data(), garbage.size());
+    PredictionClient client(std::move(pair.first));
+}
+
+} // namespace
+
+TEST(ServeProtocolDeathTest, ClientRefusesGarbageFromServer)
+{
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_EXIT(handshakeAgainstGarbage(), testing::ExitedWithCode(1),
+                "");
+}

@@ -9,12 +9,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "accel/registry.hh"
 #include "core/flow.hh"
 #include "rtl/interpreter.hh"
 #include "sim/engine.hh"
 #include "sim/fault.hh"
 #include "sim/job_cache.hh"
+#include "util/env.hh"
 #include "workload/suite.hh"
 
 using namespace predvfs;
@@ -332,4 +335,108 @@ TEST(MemoizedPrepare, FaultsNeverPoisonTheCache)
             any_fault_effect = true;
     }
     EXPECT_TRUE(any_fault_effect);
+}
+
+// ---------------------------------------------------------------
+// Hardened env-knob parsing (shared by JobCache::global() and the
+// serving layer's PREDVFS_SERVE_* knobs). JobCache::global() itself
+// is first-read-wins, so these exercise the helpers directly: every
+// malformed value must warn and fall back, never abort or wrap.
+// ---------------------------------------------------------------
+
+namespace {
+
+/** RAII setenv/unsetenv so a failing expectation cannot leak state
+ *  into later tests. */
+struct ScopedEnv
+{
+    ScopedEnv(const char *name, const char *value) : name(name)
+    {
+        if (value)
+            ::setenv(name, value, 1);
+        else
+            ::unsetenv(name);
+    }
+    ~ScopedEnv() { ::unsetenv(name); }
+    const char *name;
+};
+
+} // namespace
+
+TEST(EnvKnobs, WellFormedValuesParse)
+{
+    {
+        ScopedEnv env("PREDVFS_TEST_KNOB", "12345");
+        EXPECT_EQ(util::envUint("PREDVFS_TEST_KNOB", 7), 12345u);
+        EXPECT_EQ(util::envSizeBytes("PREDVFS_TEST_KNOB", 7), 12345u);
+    }
+    {
+        ScopedEnv env("PREDVFS_TEST_KNOB", "0");
+        EXPECT_EQ(util::envUint("PREDVFS_TEST_KNOB", 7), 0u);
+        EXPECT_FALSE(util::envFlag("PREDVFS_TEST_KNOB", true));
+    }
+    {
+        ScopedEnv env("PREDVFS_TEST_KNOB", "1");
+        EXPECT_TRUE(util::envFlag("PREDVFS_TEST_KNOB", false));
+    }
+    {
+        ScopedEnv env("PREDVFS_TEST_KNOB", nullptr);
+        EXPECT_EQ(util::envUint("PREDVFS_TEST_KNOB", 7), 7u);
+        EXPECT_TRUE(util::envFlag("PREDVFS_TEST_KNOB", true));
+    }
+}
+
+TEST(EnvKnobs, MalformedValuesFallBackInsteadOfAborting)
+{
+    const char *bad[] = {
+        "",            // Empty.
+        "  ",          // Whitespace only.
+        "cats",        // Non-numeric.
+        "64k",         // Trailing junk (no size suffixes).
+        "12 34",       // Embedded junk.
+        "0x10",        // Hex is not accepted.
+        "+5",          // Sign characters rejected outright...
+    };
+    for (const char *value : bad) {
+        ScopedEnv env("PREDVFS_TEST_KNOB", value);
+        EXPECT_EQ(util::envUint("PREDVFS_TEST_KNOB", 99), 99u)
+            << "value: '" << value << "'";
+        EXPECT_EQ(util::envSizeBytes("PREDVFS_TEST_KNOB", 4096), 4096u)
+            << "value: '" << value << "'";
+    }
+    {
+        // ...especially "-5", which strtoull would silently wrap to
+        // 18446744073709551611.
+        ScopedEnv env("PREDVFS_TEST_KNOB", "-5");
+        EXPECT_EQ(util::envUint("PREDVFS_TEST_KNOB", 99), 99u);
+    }
+    {
+        // Overflow past 2^64.
+        ScopedEnv env("PREDVFS_TEST_KNOB", "99999999999999999999999");
+        EXPECT_EQ(util::envUint("PREDVFS_TEST_KNOB", 99), 99u);
+    }
+    {
+        // Flags accept exactly "0"/"1".
+        ScopedEnv env("PREDVFS_TEST_KNOB", "true");
+        EXPECT_TRUE(util::envFlag("PREDVFS_TEST_KNOB", true));
+        EXPECT_FALSE(util::envFlag("PREDVFS_TEST_KNOB", false));
+    }
+}
+
+TEST(EnvKnobs, OutOfRangeValuesFallBackNotClamp)
+{
+    {
+        ScopedEnv env("PREDVFS_TEST_KNOB", "500");
+        // A wildly wrong setting should be loud, not silently pulled
+        // to the nearest bound.
+        EXPECT_EQ(util::envUint("PREDVFS_TEST_KNOB", 8, 1, 64), 8u);
+    }
+    {
+        ScopedEnv env("PREDVFS_TEST_KNOB", "0");
+        EXPECT_EQ(util::envUint("PREDVFS_TEST_KNOB", 8, 1, 64), 8u);
+    }
+    {
+        ScopedEnv env("PREDVFS_TEST_KNOB", "64");
+        EXPECT_EQ(util::envUint("PREDVFS_TEST_KNOB", 8, 1, 64), 64u);
+    }
 }
