@@ -66,6 +66,7 @@
 #include "rtl/compile.hh"
 #include "rtl/instrument.hh"
 #include "rtl/interpreter.hh"
+#include "rtl/verify.hh"
 #include "sim/engine.hh"
 #include "sim/experiment.hh"
 #include "sim/fault.hh"
@@ -136,6 +137,15 @@ struct BenchResult
     std::size_t totalFsms = 0;
     double batchNsPerItem = 0.0;
     double batchSpeedup = 0.0;
+
+    // Translation validation (rtl/verify): one full static proof of
+    // the compiled artifact, and the per-FSM routability certificates
+    // the batch kernel's routing is cross-checked against.
+    std::vector<rtl::LockstepCertificate> certificates;
+    double verifySeconds = 0.0;
+    double coldPrepareSeconds = 0.0;
+    double verifyOverheadRatio = 0.0;
+    bool verifyClean = false;
 
     // Figure-style grid sweep with/without cross-cell stream reuse.
     std::size_t sweepCells = 0;
@@ -267,6 +277,29 @@ benchOne(const std::string &name)
     });
     res.batchNsPerItem = batch_s * 1e9 / items_d;
     res.batchSpeedup = compiled_s / batch_s;
+
+    // --- verify: one full static proof of the compiled artifact (the
+    // construction hook already ran it once; this times a fresh run),
+    // and the routability certificates cross-checked against the
+    // routing the batch kernel actually used above.
+    rtl::VerifyReport verify;
+    res.verifySeconds = timeBest(3, [&] {
+        verify = rtl::verifyCompiledDesign(comp);
+    });
+    res.verifyClean = verify.clean();
+    if (!res.verifyClean)
+        std::cerr << "DIVERGENCE: translation validation found "
+                  << verify.numErrors() << " error(s) on " << name
+                  << "\n";
+    for (const rtl::LockstepCertificate &cert : verify.certificates) {
+        if (cert.staticRouted != comp.fsmLockstep(cert.fsm)) {
+            std::cerr << "DIVERGENCE: lockstep certificate for FSM '"
+                      << cert.fsmName << "' contradicts the batch "
+                      << "kernel's routing on " << name << "\n";
+            res.divergence = true;
+        }
+    }
+    res.certificates = verify.certificates;
     for (std::size_t i = 0; i < jobs.size(); ++i) {
         const rtl::JobResult scalar = interp.run(jobs[i]);
         if (batchOut[i].cycles != scalar.cycles ||
@@ -340,6 +373,11 @@ benchOne(const std::string &name)
     res.prepPool4NsPerJob = pool4_s * 1e9 / jobs_d;
     res.prepSpeedupSerial = baseline_s / serial_s;
     res.prepSpeedup4t = baseline_s / pool4_s;
+
+    // Verification amortises against the serial cold prepare of the
+    // same stream: both are one-time costs of standing a design up.
+    res.coldPrepareSeconds = serial_s;
+    res.verifyOverheadRatio = res.verifySeconds / serial_s;
 
     // --- run: controller replay of the prepared stream.
     core::DvfsModelConfig dvfs;
@@ -546,11 +584,28 @@ writeJson(std::ostream &os, const std::vector<BenchResult> &results,
            << "        \"hit_rate\": " << r.memoHitRate << "\n"
            << "      },\n"
            << "      \"batch\": {\n"
-           << "        \"lockstep_fsms\": " << r.lockstepFsms << ",\n"
            << "        \"total_fsms\": " << r.totalFsms << ",\n"
+           << "        \"lockstep_certificates\": [\n";
+        for (std::size_t c = 0; c < r.certificates.size(); ++c) {
+            const rtl::LockstepCertificate &cert = r.certificates[c];
+            os << "          {\"fsm\": \"" << cert.fsmName
+               << "\", \"static_routed\": "
+               << (cert.staticRouted ? "true" : "false")
+               << ", \"reason\": \"" << cert.reason << "\"}"
+               << (c + 1 < r.certificates.size() ? "," : "") << "\n";
+        }
+        os << "        ],\n"
            << "        \"ns_per_item\": " << r.batchNsPerItem << ",\n"
            << "        \"speedup_vs_scalar_compiled\": "
            << r.batchSpeedup << "\n      },\n"
+           << "      \"verify\": {\n"
+           << "        \"clean\": "
+           << (r.verifyClean ? "true" : "false") << ",\n"
+           << "        \"seconds\": " << r.verifySeconds << ",\n"
+           << "        \"cold_prepare_seconds\": "
+           << r.coldPrepareSeconds << ",\n"
+           << "        \"overhead_vs_cold_prepare\": "
+           << r.verifyOverheadRatio << "\n      },\n"
            << "      \"grid_sweep\": {\n"
            << "        \"cells\": " << r.sweepCells << ",\n"
            << "        \"no_reuse_seconds\": " << r.sweepNoReuseSeconds
@@ -637,6 +692,18 @@ main(int argc, char **argv)
         if (r.divergence) {
             std::cerr << "REGRESSION: byte-wise divergence on "
                       << r.name << "\n";
+            regression = true;
+        }
+        if (!r.verifyClean) {
+            std::cerr << "REGRESSION: translation validation failed "
+                      << "on " << r.name << "\n";
+            regression = true;
+        }
+        if (r.verifyOverheadRatio > 0.10) {
+            std::cerr << "REGRESSION: verification costs "
+                      << r.verifyOverheadRatio * 100.0
+                      << "% of the cold prepare on " << r.name
+                      << " (budget 10%)\n";
             regression = true;
         }
         if (cache_on && r.memoWarmSpeedup < 1.0) {

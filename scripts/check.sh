@@ -42,6 +42,21 @@ PREDVFS_DISABLE_CACHE=1 ctest --test-dir build --output-on-failure
 stage "design lint"
 build/examples/example_lint_design all
 
+stage "translation validation"
+# Statically prove every benchmark's compiled bytecode (and its RTL
+# and HLS slices) equivalent to the source design.
+build/examples/example_verify_design all
+
+stage "clang-tidy (if available)"
+if command -v clang-tidy > /dev/null 2>&1; then
+    cmake -B build -G Ninja -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+        > /dev/null
+    find src -name '*.cc' -print0 \
+        | xargs -0 clang-tidy -p build --quiet
+else
+    echo "clang-tidy not installed; skipping (CI runs it)"
+fi
+
 stage "serving smoke (unix socket, 1 benchmark)"
 # Start the serving daemon, replay sha's test workload through the
 # client binary over the socket, and require the served golden to

@@ -9,6 +9,7 @@
 #include "rtl/analysis.hh"
 #include "rtl/lint.hh"
 #include "rtl/report.hh"
+#include "rtl/verify.hh"
 #include "util/logging.hh"
 #include "util/statistics.hh"
 
@@ -108,6 +109,23 @@ buildPredictor(const rtl::Design &design,
             util::fatal("buildPredictor: design '", design.name(),
                         "' fails lint with ", lint.numErrors(),
                         " error(s):\n", os.str());
+        }
+    }
+
+    // Translation validation: refuse designs whose compiled form is
+    // not provably equivalent to the source, independent of the
+    // PREDVFS_VERIFY knob (which only controls the construction hook).
+    {
+        const rtl::CompiledDesign compiled(design);
+        const rtl::VerifyReport verify =
+            rtl::verifyCompiledDesign(compiled);
+        if (!verify.clean()) {
+            std::ostringstream os;
+            rtl::writeVerifyReport(os, design, verify);
+            util::fatal("buildPredictor: compiled form of '",
+                        design.name(),
+                        "' fails translation validation with ",
+                        verify.numErrors(), " error(s):\n", os.str());
         }
     }
 

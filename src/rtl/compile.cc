@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "rtl/verify.hh"
 #include "util/logging.hh"
 
 namespace predvfs {
@@ -735,6 +736,10 @@ CompiledDesign::CompiledDesign(const Design &design)
 
     buildSegments();
     buildTraces();
+
+    // Translation validation: prove the artifact we just built matches
+    // the source design before anyone can run it (PREDVFS_VERIFY).
+    verifyOnBuild(*this);
 }
 
 void

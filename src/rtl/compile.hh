@@ -53,6 +53,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "rtl/interpreter.hh"
@@ -146,6 +147,17 @@ class ExprProgram
     FieldId fieldRef = -1;
 };
 
+// Translation validation (rtl/verify.hh). The validator and the
+// mutation harness inspect/corrupt the private compiled tables, so the
+// compiler grants them friendship instead of exposing the internals.
+class CompiledDesign;
+struct VerifyReport;
+enum class Miscompile;
+class Verifier;
+VerifyReport verifyCompiledDesign(const CompiledDesign &comp);
+std::string injectMiscompile(CompiledDesign &comp, Miscompile kind,
+                             unsigned seed);
+
 /**
  * A whole Design lowered to bytecode. Construction compiles every
  * guard, counter range, and implicit latency, computes the FSM
@@ -217,6 +229,13 @@ class CompiledDesign
      *  lockstep batch kernel executes as SoA sweeps. */
     std::size_t numLockstepFsms() const;
 
+    /** @return true if the batch kernel routes @p id in lockstep.
+     *  The verifier's routability certificates cross-check this. */
+    bool fsmLockstep(FsmId id) const
+    {
+        return traces[static_cast<std::size_t>(id)].valid;
+    }
+
     /**
      * Compiled root expressions: one (source tree, program index) per
      * guard, counter range, and implicit latency, in compile order.
@@ -250,6 +269,13 @@ class CompiledDesign
     /// @}
 
   private:
+    // Translation validation (rtl/verify.cc) audits the private
+    // tables; the mutation harness corrupts them in place.
+    friend class Verifier;
+    friend VerifyReport verifyCompiledDesign(const CompiledDesign &comp);
+    friend std::string injectMiscompile(CompiledDesign &comp,
+                                        Miscompile kind, unsigned seed);
+
     /**
      * A compiled expression: a typed node in a flat DAG. Design
      * expressions are small (affine cost models, select-based mode

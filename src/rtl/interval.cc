@@ -117,8 +117,12 @@ modIv(const Interval &a, const Interval &b)
     const __int128 mag_hi = b.hi == kMin
         ? -(static_cast<__int128>(kMin)) : static_cast<__int128>(
               b.hi < 0 ? -b.hi : b.hi);
-    const std::int64_t m = saturate(std::max(mag_lo, mag_hi));
-    const std::int64_t bound = m > 0 ? m - 1 : 0;
+    // Subtract before saturating: a divisor of INT64_MIN has magnitude
+    // 2^63, so remainders up to INT64_MAX (= 2^63 - 1) are reachable —
+    // saturating first would shave that bound to INT64_MAX - 1 and
+    // wrongly exclude e.g. INT64_MAX % INT64_MIN == INT64_MAX.
+    const __int128 max_mag = std::max(mag_lo, mag_hi);
+    const std::int64_t bound = max_mag > 0 ? saturate(max_mag - 1) : 0;
 
     std::int64_t lo = a.lo >= 0 ? 0 : -bound;
     std::int64_t hi = a.hi <= 0 ? 0 : bound;
@@ -240,7 +244,14 @@ evalInterval(const Expr &expr, const std::vector<Interval> &field_ranges,
     }
 
     const Interval b = evalInterval(*args[1], field_ranges, flags);
-    switch (expr.op()) {
+    return binaryOpInterval(expr.op(), a, b, flags);
+}
+
+Interval
+binaryOpInterval(Op op, const Interval &a, const Interval &b,
+                 IntervalEvalFlags *flags)
+{
+    switch (op) {
       case Op::Add: return addIv(a, b);
       case Op::Sub: return subIv(a, b);
       case Op::Mul: return mulIv(a, b);
@@ -250,7 +261,7 @@ evalInterval(const Expr &expr, const std::vector<Interval> &field_ranges,
             flags->divModByZeroPossible = true;
             flags->divModByZeroDefinite |= b.isPoint();
         }
-        return expr.op() == Op::Div ? divIv(a, b) : modIv(a, b);
+        return op == Op::Div ? divIv(a, b) : modIv(a, b);
       case Op::Min:
         return {std::min(a.lo, b.lo), std::min(a.hi, b.hi)};
       case Op::Max:
@@ -263,8 +274,17 @@ evalInterval(const Expr &expr, const std::vector<Interval> &field_ranges,
       case Op::Le: return boolIv(a.hi <= b.lo, a.lo > b.hi);
       case Op::Gt: return boolIv(a.lo > b.hi, a.hi <= b.lo);
       case Op::Ge: return boolIv(a.lo >= b.hi, a.hi < b.lo);
+      // Bytecode And/Or are eager (both operands already on the
+      // stack), so the short-circuit reachability logic above does not
+      // apply; the value bound is the same either way.
+      case Op::And:
+        return boolIv(a.definitelyTrue() && b.definitelyTrue(),
+                      a.definitelyFalse() || b.definitelyFalse());
+      case Op::Or:
+        return boolIv(a.definitelyTrue() || b.definitelyTrue(),
+                      a.definitelyFalse() && b.definitelyFalse());
       default:
-        util::panic("unreachable op in evalInterval");
+        util::panic("binaryOpInterval: not a binary op");
     }
     return Interval::full();
 }

@@ -90,6 +90,20 @@ Interval evalInterval(const Expr &expr,
                       const std::vector<Interval> &field_ranges,
                       IntervalEvalFlags *flags = nullptr);
 
+/**
+ * Transfer function for one binary operator over value intervals —
+ * the building block evalInterval() uses for its non-short-circuit
+ * tail, exported so the bytecode verifier (rtl/verify) can push
+ * intervals through postfix programs instruction by instruction.
+ *
+ * And/Or are evaluated eagerly here (both operand intervals exist):
+ * that matches the bytecode stack machine, where short-circuiting is
+ * gone after lowering. Div/Mod set the same flags as evalInterval().
+ * Panics on non-binary ops.
+ */
+Interval binaryOpInterval(Op op, const Interval &a, const Interval &b,
+                          IntervalEvalFlags *flags = nullptr);
+
 } // namespace rtl
 } // namespace predvfs
 

@@ -206,5 +206,63 @@ writeLintReportJson(std::ostream &os, const Design &design,
     os << (report.diagnostics.empty() ? "" : "\n  ") << "]\n}\n";
 }
 
+void
+writeVerifyReport(std::ostream &os, const Design &design,
+                  const VerifyReport &report)
+{
+    for (const auto &d : report.diagnostics) {
+        os << design.name() << ": " << verifySeverityName(d.severity)
+           << ": [" << verifyCodeName(d.code) << "] " << d.message
+           << "\n";
+    }
+    for (const auto &c : report.certificates) {
+        os << design.name() << ": lockstep: " << c.fsmName << ": "
+           << (c.staticRouted ? "static-routed" : "branch-dynamic")
+           << " — " << c.reason << "\n";
+    }
+    os << design.name() << ": verify: " << report.numErrors()
+       << " error(s), " << report.numWarnings() << " warning(s); "
+       << report.rootsProven << " roots proven, "
+       << report.rootsEnumerated << " enumerated, "
+       << report.programsChecked << " programs checked, "
+       << report.slotsChecked << " slots audited, "
+       << report.guardedDivSites << " guarded div site(s)\n";
+}
+
+void
+writeVerifyReportJson(std::ostream &os, const Design &design,
+                      const VerifyReport &report)
+{
+    os << "{\n  \"design\": \"" << jsonEscape(design.name())
+       << "\",\n  \"errors\": " << report.numErrors()
+       << ",\n  \"warnings\": " << report.numWarnings()
+       << ",\n  \"proven\": {\"roots_canonical\": " << report.rootsProven
+       << ", \"roots_enumerated\": " << report.rootsEnumerated
+       << ", \"programs_checked\": " << report.programsChecked
+       << ", \"slots_audited\": " << report.slotsChecked
+       << ", \"guarded_div_sites\": " << report.guardedDivSites
+       << "},\n  \"certificates\": [";
+    for (std::size_t i = 0; i < report.certificates.size(); ++i) {
+        const auto &c = report.certificates[i];
+        os << (i ? "," : "") << "\n    {\"fsm\": " << c.fsm
+           << ", \"name\": \"" << jsonEscape(c.fsmName)
+           << "\", \"static_routed\": "
+           << (c.staticRouted ? "true" : "false") << ", \"reason\": \""
+           << jsonEscape(c.reason) << "\"}";
+    }
+    os << (report.certificates.empty() ? "" : "\n  ")
+       << "],\n  \"diagnostics\": [";
+    for (std::size_t i = 0; i < report.diagnostics.size(); ++i) {
+        const auto &d = report.diagnostics[i];
+        os << (i ? "," : "") << "\n    {\"severity\": \""
+           << verifySeverityName(d.severity) << "\", \"code\": \""
+           << verifyCodeName(d.code) << "\", \"fsm\": " << d.fsm
+           << ", \"state\": " << d.state
+           << ", \"program\": " << d.program << ", \"message\": \""
+           << jsonEscape(d.message) << "\"}";
+    }
+    os << (report.diagnostics.empty() ? "" : "\n  ") << "]\n}\n";
+}
+
 } // namespace rtl
 } // namespace predvfs

@@ -16,6 +16,7 @@
 #include "rtl/analysis.hh"
 #include "rtl/design.hh"
 #include "rtl/lint.hh"
+#include "rtl/verify.hh"
 
 namespace predvfs {
 namespace rtl {
@@ -49,6 +50,22 @@ void writeLintReport(std::ostream &os, const Design &design,
  */
 void writeLintReportJson(std::ostream &os, const Design &design,
                          const LintReport &report);
+
+/**
+ * Write a translation-validation report in the lint style: one finding
+ * per line, one lockstep routability certificate per FSM, and a
+ * summary line with the totals and proof statistics.
+ */
+void writeVerifyReport(std::ostream &os, const Design &design,
+                       const VerifyReport &report);
+
+/**
+ * Write a translation-validation report as a JSON document: design
+ * name, totals, proof statistics, per-FSM lockstep certificates, and
+ * one object per diagnostic (stable schema for CI tooling).
+ */
+void writeVerifyReportJson(std::ostream &os, const Design &design,
+                           const VerifyReport &report);
 
 } // namespace rtl
 } // namespace predvfs
