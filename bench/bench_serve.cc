@@ -14,16 +14,28 @@
  * The cold and warm replays are also golden-compared: any byte-level
  * divergence between them (cache state leaking into response bytes)
  * exits non-zero, so CI catches it the way it catches a failing test.
+ *
+ * A second stage reruns the duplicate-heavy traffic through the
+ * fault-tolerance path: a small queue bound so Busy backpressure
+ * actually fires, chaos-wrapped connections at a fixed fault rate,
+ * and retrying clients. Every delivered reply must byte-equal the
+ * clean run's reply for the same job (divergence exits non-zero) and
+ * the JSON gains the client retry/busy/deadline counters plus the p99
+ * under chaos, so the cost of fault tolerance is tracked run to run.
  */
 
 #include <chrono>
+#include <cstdint>
+#include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "accel/registry.hh"
+#include "serve/chaos.hh"
 #include "serve/client.hh"
 #include "serve/golden.hh"
 #include "serve/server.hh"
@@ -57,6 +69,161 @@ secondsSince(const std::chrono::steady_clock::time_point &t0)
     return std::chrono::duration<double>(
                std::chrono::steady_clock::now() - t0)
         .count();
+}
+
+/** One benchmark's numbers from the chaos/backpressure stage. */
+struct ChaosStageResult
+{
+    std::string name;
+    double faultRate = 0.0;
+    std::size_t clients = 0;
+    std::size_t requests = 0;
+    serve::ClientStats client;       //!< Summed over all clients.
+    std::uint64_t serverBusy = 0;
+    std::uint64_t serverExpired = 0;
+    double p99ServiceMicros = 0.0;
+    bool identityBalances = false;
+    bool byteIdentical = false;
+};
+
+/** Bit-pattern double equality: the wire ships IEEE-754 bits, so the
+ *  comparison must too (a NaN payload is still a byte). */
+bool
+bitsEqual(double a, double b)
+{
+    std::uint64_t ba = 0;
+    std::uint64_t bb = 0;
+    std::memcpy(&ba, &a, sizeof(ba));
+    std::memcpy(&bb, &b, sizeof(bb));
+    return ba == bb;
+}
+
+bool
+sameValues(const serve::PredictReplyMsg &a,
+           const serve::PredictReplyMsg &b)
+{
+    return a.cycles == b.cycles &&
+           bitsEqual(a.energyUnits, b.energyUnits) &&
+           a.sliceCycles == b.sliceCycles &&
+           bitsEqual(a.sliceEnergyUnits, b.sliceEnergyUnits) &&
+           bitsEqual(a.predictedCycles, b.predictedCycles);
+}
+
+ChaosStageResult
+measureChaos(const std::string &bench, double fault_rate)
+{
+    const sim::ExperimentOptions eopts;
+    serve::ServerOptions sopts;
+    sopts.workers = 2;
+    sopts.batchWindowMicros = 200;
+    // Small enough that a pipelined burst overflows it: the Busy path
+    // is part of what this stage measures.
+    sopts.queueBound = 16;
+    sopts.experiment = eopts;
+
+    serve::PredictionServer server(sopts);
+    server.registerBenchmark(bench);
+
+    const workload::BenchmarkWorkload work = workload::makeWorkload(
+        *accel::makeAccelerator(bench), eopts.seed);
+    const std::size_t clients = 4;
+    const std::vector<workload::ReplayPlan> plans =
+        workload::duplicateHeavyPlans(work.test.size(), clients,
+                                      /*requests_per_client=*/200,
+                                      /*hot_jobs=*/8,
+                                      workload::defaultSeed);
+
+    ChaosStageResult r;
+    r.name = bench;
+    r.faultRate = fault_rate;
+    r.clients = clients;
+
+    // Clean pass: same plans over undisturbed loopback. The replies
+    // collected here are the byte-level reference for the chaos pass
+    // (the cache warming up in between is irrelevant — replies are
+    // byte-deterministic either way). The retry policy is on because
+    // the small queue bound makes Busy a normal event even without
+    // chaos.
+    std::vector<std::vector<serve::PredictReplyMsg>> expected(clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+        serve::RetryOptions ropts;
+        ropts.enabled = true;
+        ropts.jitterSeed = 100 + c;
+        serve::PredictionClient client(server.connectLoopback(),
+                                       ropts);
+        const std::uint32_t sid = client.openStream(bench);
+        std::vector<rtl::JobInput> burst;
+        burst.reserve(plans[c].indices.size());
+        for (const std::size_t index : plans[c].indices)
+            burst.push_back(work.test[index]);
+        for (const serve::PredictOutcome &o :
+             client.predictManyOutcomes(sid, burst)) {
+            if (o.ok)
+                expected[c].push_back(o.reply);
+        }
+    }
+
+    // Chaos pass: every dialled connection is wrapped in the seeded
+    // fault decorator; a disconnect mid-burst exercises the full
+    // reconnect + idempotent re-send path.
+    std::vector<serve::ClientStats> stats(clients);
+    std::vector<bool> identical(clients, false);
+    std::vector<std::thread> threads;
+    for (std::size_t c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            auto dials = std::make_shared<std::uint64_t>(0);
+            serve::RetryOptions ropts;
+            ropts.enabled = true;
+            ropts.jitterSeed = 200 + c;
+            ropts.connect = [&server, fault_rate, c, dials] {
+                const serve::ChaosPlan plan =
+                    serve::ChaosPlan::uniform(42, fault_rate);
+                return serve::chaosWrap(server.connectLoopback(),
+                                        plan,
+                                        c * 1000 + (*dials)++);
+            };
+            serve::PredictionClient client(ropts);
+            const std::uint32_t sid = client.openStream(bench);
+            std::vector<rtl::JobInput> burst;
+            burst.reserve(plans[c].indices.size());
+            for (const std::size_t index : plans[c].indices)
+                burst.push_back(work.test[index]);
+            const std::vector<serve::PredictOutcome> outcomes =
+                client.predictManyOutcomes(sid, burst);
+            bool ok = outcomes.size() == expected[c].size();
+            for (std::size_t i = 0; ok && i < outcomes.size(); ++i)
+                ok = outcomes[i].ok &&
+                     sameValues(outcomes[i].reply, expected[c][i]);
+            identical[c] = ok;
+            stats[c] = client.stats();
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    r.requests = clients * plans[0].indices.size();
+    r.byteIdentical = true;
+    for (std::size_t c = 0; c < clients; ++c) {
+        r.byteIdentical = r.byteIdentical && identical[c];
+        r.client.requestsSent += stats[c].requestsSent;
+        r.client.busyReplies += stats[c].busyReplies;
+        r.client.retries += stats[c].retries;
+        r.client.backoffSleeps += stats[c].backoffSleeps;
+        r.client.reconnects += stats[c].reconnects;
+        r.client.deadlineExpired += stats[c].deadlineExpired;
+        r.client.duplicateReplies += stats[c].duplicateReplies;
+    }
+
+    const serve::StreamTelemetry telem = server.telemetry(bench);
+    r.serverBusy = telem.busy;
+    r.serverExpired = telem.expired;
+    r.p99ServiceMicros = telem.p99ServiceMicros;
+    r.identityBalances =
+        telem.requests == telem.cacheHits + telem.coalesced +
+                              telem.simulated + telem.busy +
+                              telem.expired;
+    server.stop();
+    return r;
 }
 
 ServeResult
@@ -138,7 +305,8 @@ measure(const std::string &bench)
 }
 
 void
-writeJson(std::ostream &os, const std::vector<ServeResult> &results)
+writeJson(std::ostream &os, const std::vector<ServeResult> &results,
+          const std::vector<ChaosStageResult> &chaos)
 {
     os.precision(6);
     os << "{\n  \"bench\": \"serve\",\n  \"cache_enabled\": "
@@ -170,6 +338,36 @@ writeJson(std::ostream &os, const std::vector<ServeResult> &results)
            << (r.coldWarmIdentical ? "true" : "false") << "\n    }"
            << (i + 1 < results.size() ? "," : "") << "\n";
     }
+    os << "  ],\n  \"chaos\": [\n";
+    for (std::size_t i = 0; i < chaos.size(); ++i) {
+        const ChaosStageResult &c = chaos[i];
+        os << "    {\n"
+           << "      \"name\": \"" << c.name << "\",\n"
+           << "      \"fault_rate\": " << c.faultRate << ",\n"
+           << "      \"clients\": " << c.clients << ",\n"
+           << "      \"requests\": " << c.requests << ",\n"
+           << "      \"requests_sent\": " << c.client.requestsSent
+           << ",\n"
+           << "      \"busy_replies\": " << c.client.busyReplies
+           << ",\n"
+           << "      \"retries\": " << c.client.retries << ",\n"
+           << "      \"backoff_sleeps\": " << c.client.backoffSleeps
+           << ",\n"
+           << "      \"reconnects\": " << c.client.reconnects << ",\n"
+           << "      \"deadline_expired\": "
+           << c.client.deadlineExpired << ",\n"
+           << "      \"duplicate_replies\": "
+           << c.client.duplicateReplies << ",\n"
+           << "      \"server_busy\": " << c.serverBusy << ",\n"
+           << "      \"server_expired\": " << c.serverExpired << ",\n"
+           << "      \"p99_service_us\": " << c.p99ServiceMicros
+           << ",\n"
+           << "      \"telemetry_identity\": "
+           << (c.identityBalances ? "true" : "false") << ",\n"
+           << "      \"byte_identical\": "
+           << (c.byteIdentical ? "true" : "false") << "\n    }"
+           << (i + 1 < chaos.size() ? "," : "") << "\n";
+    }
     os << "  ]\n}\n";
 }
 
@@ -198,8 +396,29 @@ main(int argc, char **argv)
         results.push_back(std::move(r));
     }
 
+    std::vector<ChaosStageResult> chaos;
+    for (const char *bench : {"sha", "cjpeg"}) {
+        ChaosStageResult c = measureChaos(bench, /*fault_rate=*/0.05);
+        std::cout << bench << " chaos: " << c.client.requestsSent
+                  << " sends for " << c.requests << " requests, "
+                  << c.client.busyReplies << " busy, "
+                  << c.client.reconnects << " reconnects, p99 "
+                  << c.p99ServiceMicros << " us\n";
+        if (!c.byteIdentical) {
+            std::cerr << bench
+                      << ": chaos replies DIVERGED from clean run\n";
+            ok = false;
+        }
+        if (!c.identityBalances) {
+            std::cerr << bench
+                      << ": chaos telemetry identity broken\n";
+            ok = false;
+        }
+        chaos.push_back(std::move(c));
+    }
+
     std::ofstream out(out_path);
-    writeJson(out, results);
+    writeJson(out, results, chaos);
     std::cout << "wrote " << out_path << "\n";
     return ok ? 0 : 1;
 }

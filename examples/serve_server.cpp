@@ -9,21 +9,39 @@
  *   example_serve_server --socket /tmp/predvfs.sock
  *                        [--bench sha,cjpeg,...] [--workers N]
  *                        [--stop-file PATH] [--max-seconds S]
+ *                        [--snapshot PATH]
+ *                        [--snapshot-seconds S]
  *
  * With --stop-file the server polls for the file's existence and
  * shuts down cleanly once it appears — scripts get a deterministic,
- * sanitizer-clean teardown without signal races. --max-seconds bounds
- * the wait either way. The PREDVFS_SERVE_* env knobs override the
- * batching/worker defaults.
+ * sanitizer-clean teardown without signal races. SIGTERM and SIGINT
+ * run the *same* graceful drain: the handler only writes one byte to
+ * a self-pipe (the sole async-signal-safe act), the main loop sees it
+ * and falls into the ordinary stop path, so pending requests still
+ * get ShuttingDown replies and the snapshot still flushes — a
+ * container stop is indistinguishable from a scripted one.
+ * --max-seconds bounds the wait either way.
+ *
+ * --snapshot makes restarts warm: the JobCache is seeded from PATH at
+ * startup (entries that fail checksums or belong to other designs
+ * are rejected individually), rewritten every --snapshot-seconds
+ * while serving (atomic rename — a SIGKILL mid-write cannot corrupt
+ * the readable copy), and flushed once more on the drain path. The
+ * PREDVFS_SERVE_* / PREDVFS_SNAPSHOT env knobs override the defaults.
  */
 
+#include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <poll.h>
+#include <unistd.h>
 
 #include "serve/server.hh"
 #include "util/logging.hh"
@@ -50,6 +68,20 @@ fileExists(const std::string &path)
     return std::ifstream(path).good();
 }
 
+/** Write end of the self-pipe; the only state a handler touches. */
+int signalPipeWrite = -1;
+
+void
+onSignal(int)
+{
+    // Async-signal-safe by construction: one write(2), nothing else.
+    // Handling — logging, draining, snapshotting — happens on the
+    // main thread once the poll below sees the byte.
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n =
+        ::write(signalPipeWrite, &byte, 1);
+}
+
 } // namespace
 
 int
@@ -59,6 +91,7 @@ main(int argc, char **argv)
     std::string stop_file;
     std::vector<std::string> benchmarks = {"sha"};
     double max_seconds = 600.0;
+    double snapshot_seconds = 1.0;
     serve::ServerOptions sopts;
 
     for (int i = 1; i < argc; ++i) {
@@ -75,11 +108,16 @@ main(int argc, char **argv)
             stop_file = argv[++i];
         } else if (arg == "--max-seconds" && has_value) {
             max_seconds = std::stod(argv[++i]);
+        } else if (arg == "--snapshot" && has_value) {
+            sopts.snapshotPath = argv[++i];
+        } else if (arg == "--snapshot-seconds" && has_value) {
+            snapshot_seconds = std::stod(argv[++i]);
         } else {
             std::fprintf(stderr,
                          "usage: %s --socket PATH [--bench a,b,...] "
                          "[--workers N] [--stop-file PATH] "
-                         "[--max-seconds S]\n",
+                         "[--max-seconds S] [--snapshot PATH] "
+                         "[--snapshot-seconds S]\n",
                          argv[0]);
             return 2;
         }
@@ -88,10 +126,24 @@ main(int argc, char **argv)
     util::fatalIf(!serve::unixSocketsAvailable(),
                   "this build has no Unix-domain socket support");
 
+    // The self-pipe goes up before any thread exists so the handler
+    // never races its initialisation.
+    int signal_pipe[2] = {-1, -1};
+    util::fatalIf(::pipe(signal_pipe) != 0,
+                  "cannot create the signal self-pipe");
+    signalPipeWrite = signal_pipe[1];
+    struct sigaction action = {};
+    action.sa_handler = onSignal;
+    ::sigemptyset(&action.sa_mask);
+    ::sigaction(SIGTERM, &action, nullptr);
+    ::sigaction(SIGINT, &action, nullptr);
+
     sopts = serve::serverOptionsFromEnv(sopts);
     serve::PredictionServer server(sopts);
     for (const std::string &bench : benchmarks)
         server.registerBenchmark(bench);
+    if (!sopts.snapshotPath.empty())
+        server.loadSnapshot(sopts.snapshotPath);
     server.listenUnix(socket_path);
     std::printf("serving %zu benchmark(s) on %s (workers=%u)\n",
                 benchmarks.size(), socket_path.c_str(), sopts.workers);
@@ -100,13 +152,44 @@ main(int argc, char **argv)
     const auto deadline = std::chrono::steady_clock::now() +
         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
             std::chrono::duration<double>(max_seconds));
+    auto next_snapshot = std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(snapshot_seconds));
+    bool signalled = false;
     while (std::chrono::steady_clock::now() < deadline) {
         if (!stop_file.empty() && fileExists(stop_file))
             break;
-        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+        // Periodic snapshot while serving: each write is atomic, so
+        // even a SIGKILL between two of them leaves the last complete
+        // snapshot for the restart to warm up from.
+        const auto now = std::chrono::steady_clock::now();
+        if (!sopts.snapshotPath.empty() && snapshot_seconds > 0 &&
+            now >= next_snapshot) {
+            server.saveSnapshot(sopts.snapshotPath);
+            next_snapshot = now +
+                std::chrono::duration_cast<
+                    std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(snapshot_seconds));
+        }
+
+        struct pollfd pfd = {};
+        pfd.fd = signal_pipe[0];
+        pfd.events = POLLIN;
+        const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+        if (ready > 0 && (pfd.revents & POLLIN) != 0) {
+            signalled = true;
+            break;
+        }
     }
 
+    if (signalled)
+        std::printf("caught SIGTERM/SIGINT; draining\n");
+    // One stop path for every trigger — stop-file, signal, deadline:
+    // pending requests get ShuttingDown and the snapshot flushes.
     server.stop();
     std::printf("%s", server.telemetryJson().c_str());
+    ::close(signal_pipe[0]);
+    ::close(signal_pipe[1]);
     return 0;
 }

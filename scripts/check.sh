@@ -77,14 +77,47 @@ wait "$SERVE_PID"
 diff tests/goldens/serve_sha.golden "$SERVE_OUT"
 rm -f "$SERVE_SOCK" "$SERVE_STOP"
 
+stage "kill-restart smoke (SIGKILL, snapshot warm start, SIGTERM)"
+# Serve with periodic snapshots, SIGKILL mid-serving (no drain, no
+# flush — only atomically-renamed snapshots survive), restart from
+# the snapshot, and require the served golden to byte-match the
+# fixture again: a crash costs warmth, never correctness. The restart
+# is then stopped with SIGTERM to exercise the self-pipe drain path.
+KR_SOCK="build/predvfs_kr.sock"
+KR_SNAP="build/predvfs_kr.snapshot"
+KR_OUT="build/predvfs_kr.golden"
+rm -f "$KR_SOCK" "$KR_SNAP" "$KR_OUT"
+build/examples/example_serve_server --socket "$KR_SOCK" \
+    --bench sha --snapshot "$KR_SNAP" --snapshot-seconds 0.2 \
+    --max-seconds 120 > /dev/null &
+KR_PID=$!
+build/examples/example_serve_client --socket "$KR_SOCK" \
+    --bench sha --golden > /dev/null
+sleep 1  # Let a periodic snapshot observe the warmed cache.
+kill -9 "$KR_PID"
+wait "$KR_PID" 2> /dev/null || true
+test -s "$KR_SNAP"
+build/examples/example_serve_server --socket "$KR_SOCK" \
+    --bench sha --snapshot "$KR_SNAP" --max-seconds 120 \
+    > /dev/null &
+KR_PID=$!
+build/examples/example_serve_client --socket "$KR_SOCK" \
+    --bench sha --golden > "$KR_OUT"
+kill -TERM "$KR_PID"
+wait "$KR_PID"  # Must drain and exit 0, same as the stop-file path.
+diff tests/goldens/serve_sha.golden "$KR_OUT"
+rm -f "$KR_SOCK" "$KR_SNAP" "$KR_OUT"
+
 stage "robustness smoke (1 benchmark, 60 jobs)"
 build/bench/bench_robustness_faults sha 60 > /dev/null
 
 stage "perf regression harness"
 build/bench/bench_perf_pipeline BENCH_perf.json
 
-stage "serving bench"
-# Exits non-zero if cold and warm serving replies ever diverge.
+stage "serving bench + chaos soak"
+# Exits non-zero if cold and warm serving replies ever diverge, or if
+# the seeded chaos soak sees a byte divergence or a telemetry
+# identity violation.
 build/bench/bench_serve BENCH_serve.json
 
 stage "bench smoke"

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Seeded fault injection for serve transports.
+ *
+ * chaosWrap() decorates a Connection with the network's bad days:
+ * writes fragmented into arbitrary chunks, bytes held back until the
+ * next operation (a lazy flush), reads truncated to a few bytes, and
+ * mid-frame disconnects. Every decision is drawn from an Rng seeded
+ * by (plan seed, connection index), so a soak run is bit-for-bit
+ * reproducible from its seed — the same discipline as sim/fault's
+ * FaultSchedule, lifted to the byte-transport layer.
+ *
+ * The faults deliberately preserve what a real kernel socket
+ * preserves: bytes that are delivered arrive in order and unmodified.
+ * Chaos never corrupts payloads — corruption-at-rest is the frame
+ * decoder corpus's job — it only re-times, fragments, and severs. A
+ * correct client/server pair must therefore produce byte-identical
+ * replies under any chaos schedule; divergence is a protocol bug, not
+ * an artefact of the harness.
+ *
+ * The wrapper serialises no internal state: it is meant for the
+ * client endpoint of a connection, where one thread both reads and
+ * writes. Do not share a chaos-wrapped endpoint between threads.
+ */
+
+#ifndef PREDVFS_SERVE_CHAOS_HH
+#define PREDVFS_SERVE_CHAOS_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "serve/transport.hh"
+
+namespace predvfs {
+namespace serve {
+
+/** Fault rates for one chaos-wrapped connection; all in [0, 1]. */
+struct ChaosPlan
+{
+    /** Root seed; combined with the connection index so each wrapped
+     *  connection draws an independent, reproducible stream. */
+    std::uint64_t seed = 1;
+
+    double partialWriteRate = 0.0;  //!< Fragment a write into chunks.
+    double delayFlushRate = 0.0;    //!< Hold a write's tail until the
+                                    //!< next read/write/close.
+    double shortReadRate = 0.0;     //!< Cap a read at 1–7 bytes.
+    double disconnectRate = 0.0;    //!< Sever mid-write, dropping the
+                                    //!< unsent suffix.
+
+    /**
+     * A balanced plan at overall intensity @p rate: fragmentation,
+     * lazy flushes, and short reads at @p rate each, disconnects at a
+     * quarter of it (each disconnect costs a reconnect round trip, so
+     * equal weighting would drown the soak in handshakes).
+     */
+    static ChaosPlan uniform(std::uint64_t seed, double rate)
+    {
+        ChaosPlan plan;
+        plan.seed = seed;
+        plan.partialWriteRate = rate;
+        plan.delayFlushRate = rate;
+        plan.shortReadRate = rate;
+        plan.disconnectRate = rate / 4.0;
+        return plan;
+    }
+};
+
+/**
+ * Wrap @p inner in seeded chaos. @p connection_index distinguishes
+ * connections sharing one plan (client N of a soak) — the fault
+ * sequence is a pure function of (plan.seed, connection_index, the
+ * order of read/write/close calls).
+ */
+std::unique_ptr<Connection> chaosWrap(std::unique_ptr<Connection> inner,
+                                      const ChaosPlan &plan,
+                                      std::uint64_t connection_index);
+
+} // namespace serve
+} // namespace predvfs
+
+#endif // PREDVFS_SERVE_CHAOS_HH

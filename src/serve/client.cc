@@ -1,5 +1,9 @@
 #include "serve/client.hh"
 
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <thread>
 #include <unordered_map>
 
 #include "util/logging.hh"
@@ -9,15 +13,39 @@ namespace serve {
 
 PredictionClient::PredictionClient(
     std::unique_ptr<Connection> connection)
-    : conn(std::move(connection))
+    : PredictionClient(std::move(connection), RetryOptions{})
+{
+}
+
+PredictionClient::PredictionClient(
+    std::unique_ptr<Connection> connection, RetryOptions retry_)
+    : conn(std::move(connection)), retry(std::move(retry_)),
+      jitter(retry.jitterSeed)
 {
     util::fatalIf(!conn, "PredictionClient: null connection");
-    send(MsgType::Hello, encodeHello(HelloMsg{}));
-    const Frame reply = readFrame();
-    raiseIfError(reply);
-    util::fatalIf(static_cast<MsgType>(reply.type) != MsgType::HelloOk,
-                  "PredictionClient: handshake got frame type ",
-                  reply.type, " instead of HelloOk");
+    util::fatalIf(!tryHandshake(),
+                  "PredictionClient: handshake failed (peer closed "
+                  "or sent garbage)");
+}
+
+PredictionClient::PredictionClient(RetryOptions retry_)
+    : retry(std::move(retry_)), jitter(retry.jitterSeed)
+{
+    util::fatalIf(!retry.enabled || !retry.connect,
+                  "PredictionClient: the dialling constructor needs "
+                  "RetryOptions with a connect factory");
+    for (unsigned attempt = 0; attempt < retry.reconnectAttempts;
+         ++attempt) {
+        conn = retry.connect();
+        if (conn) {
+            decoder = FrameDecoder{};
+            if (tryHandshake())
+                return;
+        }
+        backoff(attempt, 0);
+    }
+    util::fatal("PredictionClient: could not establish a connection "
+                "in ", retry.reconnectAttempts, " attempts");
 }
 
 PredictionClient::~PredictionClient()
@@ -25,13 +53,36 @@ PredictionClient::~PredictionClient()
     bye();
 }
 
+bool
+PredictionClient::tryHandshake()
+{
+    if (!trySend(MsgType::Hello, encodeHello(HelloMsg{})))
+        return false;
+    Frame reply;
+    if (tryReadFrame(reply) != ReadStatus::Ok)
+        return false;
+    // A typed error here (BadVersion, BadMagic) is a configuration
+    // mismatch, not a transient fault: no amount of redialling fixes
+    // it, so it stays fatal even under a retry policy.
+    raiseIfError(reply);
+    util::fatalIf(static_cast<MsgType>(reply.type) != MsgType::HelloOk,
+                  "PredictionClient: handshake got frame type ",
+                  reply.type, " instead of HelloOk");
+    return true;
+}
+
 std::uint32_t
-PredictionClient::openStream(const std::string &benchmark)
+PredictionClient::openStreamRaw(const std::string &benchmark)
 {
     OpenStreamMsg open;
     open.benchmark = benchmark;
-    send(MsgType::OpenStream, encodeOpenStream(open));
-    const Frame reply = readFrame();
+    if (!trySend(MsgType::OpenStream, encodeOpenStream(open)))
+        return 0;
+    Frame reply;
+    if (tryReadFrame(reply) != ReadStatus::Ok)
+        return 0;
+    // UnknownBenchmark and friends are configuration errors — fatal
+    // whatever the retry policy, like the handshake above.
     raiseIfError(reply);
     util::fatalIf(
         static_cast<MsgType>(reply.type) != MsgType::StreamOpened,
@@ -39,8 +90,26 @@ PredictionClient::openStream(const std::string &benchmark)
     StreamOpenedMsg opened;
     util::fatalIf(!decodeStreamOpened(reply.payload, opened),
                   "PredictionClient: undecodable StreamOpened");
+    util::fatalIf(opened.streamId == 0,
+                  "PredictionClient: server assigned stream id 0");
     streamKeys[opened.streamId] = opened.streamKey;
     return opened.streamId;
+}
+
+std::uint32_t
+PredictionClient::openStream(const std::string &benchmark)
+{
+    for (;;) {
+        const std::uint32_t id = openStreamRaw(benchmark);
+        if (id != 0) {
+            streamBench[id] = benchmark;
+            remap[id] = id;
+            return id;
+        }
+        // 0 = connection lost mid-open; reconnect() is fatal without
+        // a factory, preserving the legacy behaviour.
+        reconnect();
+    }
 }
 
 std::uint64_t
@@ -51,6 +120,74 @@ PredictionClient::streamKey(std::uint32_t stream_id) const
                   "PredictionClient: stream ", stream_id,
                   " was never opened");
     return it->second;
+}
+
+std::uint32_t
+PredictionClient::activeId(std::uint32_t stream_id) const
+{
+    const auto it = remap.find(stream_id);
+    util::fatalIf(it == remap.end(), "PredictionClient: stream ",
+                  stream_id, " was never opened");
+    return it->second;
+}
+
+void
+PredictionClient::reconnect()
+{
+    util::fatalIf(!retry.enabled || !retry.connect,
+                  "PredictionClient: connection lost (no reconnect "
+                  "factory configured)");
+    for (unsigned attempt = 0; attempt < retry.reconnectAttempts;
+         ++attempt) {
+        std::unique_ptr<Connection> fresh = retry.connect();
+        if (!fresh) {
+            backoff(attempt, 0);
+            continue;
+        }
+        conn = std::move(fresh);
+        decoder = FrameDecoder{};
+        if (!tryHandshake()) {
+            backoff(attempt, 0);
+            continue;
+        }
+        // Re-open every stream the caller holds a handle to; ids may
+        // differ on the new connection (another server instance), so
+        // the remap table translates at send time.
+        bool opened_all = true;
+        for (const auto &entry : streamBench) {
+            const std::uint32_t fresh_id =
+                openStreamRaw(entry.second);
+            if (fresh_id == 0) {
+                opened_all = false;
+                break;
+            }
+            remap[entry.first] = fresh_id;
+        }
+        if (!opened_all) {
+            backoff(attempt, 0);
+            continue;
+        }
+        ++counters.reconnects;
+        return;
+    }
+    util::fatal("PredictionClient: reconnect failed after ",
+                retry.reconnectAttempts, " attempts");
+}
+
+void
+PredictionClient::backoff(unsigned round, std::uint64_t floor_micros)
+{
+    std::uint64_t wait = retry.baseBackoffMicros
+        << std::min(round, 20u);
+    wait = std::min(wait, retry.maxBackoffMicros);
+    // Jitter desynchronises retrying clients without giving up
+    // reproducibility: the schedule is a pure function of jitterSeed.
+    wait = static_cast<std::uint64_t>(
+        static_cast<double>(wait) * (0.5 + 0.5 * jitter.uniform()));
+    wait = std::max(wait, floor_micros);
+    ++counters.backoffSleeps;
+    if (wait > 0)
+        std::this_thread::sleep_for(std::chrono::microseconds(wait));
 }
 
 PredictReplyMsg
@@ -65,58 +202,263 @@ std::vector<PredictReplyMsg>
 PredictionClient::predictMany(std::uint32_t stream_id,
                               const std::vector<rtl::JobInput> &jobs)
 {
-    // Write the whole burst before reading anything: the server's
-    // accumulation window can only coalesce requests that are already
-    // in flight.
-    std::unordered_map<std::uint64_t, std::size_t> order;
-    order.reserve(jobs.size());
-    for (const rtl::JobInput &job : jobs) {
-        PredictMsg request;
-        request.streamId = stream_id;
-        request.requestId = nextRequestId++;
-        request.job = job;
-        order[request.requestId] = order.size();
-        send(MsgType::Predict, encodePredict(request));
-    }
-
-    std::vector<PredictReplyMsg> replies(jobs.size());
-    std::vector<bool> seen(jobs.size(), false);
-    for (std::size_t got = 0; got < jobs.size(); ++got) {
-        const Frame frame = readFrame();
-        raiseIfError(frame);
-        util::fatalIf(
-            static_cast<MsgType>(frame.type) != MsgType::PredictReply,
-            "PredictionClient: expected PredictReply, got type ",
-            frame.type);
-        PredictReplyMsg reply;
-        util::fatalIf(!decodePredictReply(frame.payload, reply),
-                      "PredictionClient: undecodable PredictReply");
-        const auto it = order.find(reply.requestId);
-        util::fatalIf(it == order.end(),
-                      "PredictionClient: reply for unknown request ",
-                      reply.requestId);
-        util::fatalIf(seen[it->second],
-                      "PredictionClient: duplicate reply for request ",
-                      reply.requestId);
-        seen[it->second] = true;
-        replies[it->second] = reply;
+    const std::vector<PredictOutcome> outcomes =
+        predictManyOutcomes(stream_id, jobs, 0);
+    std::vector<PredictReplyMsg> replies;
+    replies.reserve(outcomes.size());
+    for (const PredictOutcome &outcome : outcomes) {
+        util::fatalIf(!outcome.ok,
+                      "PredictionClient: request failed with ",
+                      errorCodeName(outcome.error),
+                      " (predictMany expects every job answered; use "
+                      "predictManyOutcomes for deadline workloads)");
+        replies.push_back(outcome.reply);
     }
     return replies;
+}
+
+std::vector<PredictOutcome>
+PredictionClient::predictManyOutcomes(
+    std::uint32_t stream_id, const std::vector<rtl::JobInput> &jobs,
+    std::uint64_t deadline_micros)
+{
+    enum class State { NeedSend, Sent, Done };
+    struct Slot
+    {
+        std::uint64_t requestId = 0;
+        const rtl::JobInput *job = nullptr;
+        State state = State::NeedSend;
+        bool parked = false;  //!< Waiting out a Busy before re-send.
+        bool everSent = false;
+        unsigned unanswered = 0;  //!< Consecutive sends with no reply.
+        std::size_t doneAtSend = 0;  //!< Burst progress at last send.
+        PredictOutcome outcome;
+    };
+
+    std::vector<Slot> slots(jobs.size());
+    // The in-flight table: requestId → slot. A re-send reuses the
+    // original requestId, so however many copies race, the first
+    // reply lands in the slot and later ones are counted duplicates.
+    std::unordered_map<std::uint64_t, std::size_t> inflight;
+    inflight.reserve(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        slots[i].requestId = nextRequestId++;
+        slots[i].job = &jobs[i];
+        inflight[slots[i].requestId] = i;
+    }
+
+    std::size_t done = 0;
+    const auto sendSlot = [&](Slot &slot) -> bool {
+        // maxAttempts bounds *livelock*, not contention. A Busy reply
+        // is the server answering this very request — legitimate
+        // overload, resolved when competing bursts drain, so it
+        // resets the count (below, where it's received). Only sends
+        // that vanish with no reply at all (connection-loss re-sends)
+        // accumulate, and any burst progress since this slot's last
+        // send starts the count over too.
+        if (slot.unanswered > 0 && done > slot.doneAtSend)
+            slot.unanswered = 0;
+        ++slot.unanswered;
+        util::fatalIf(slot.unanswered > retry.maxAttempts,
+                      "PredictionClient: request ", slot.requestId,
+                      " re-sent ", retry.maxAttempts,
+                      " times with no reply and no burst progress");
+        if (slot.everSent)
+            ++counters.retries;
+        slot.everSent = true;
+        slot.doneAtSend = done;
+        PredictMsg request;
+        request.streamId = activeId(stream_id);
+        request.requestId = slot.requestId;
+        request.deadlineMicros = deadline_micros;
+        request.job = *slot.job;
+        ++counters.requestsSent;
+        return trySend(MsgType::Predict, encodePredict(request));
+    };
+
+    const auto onConnectionLost = [&] {
+        // Whatever was written to the dead connection is gone (or its
+        // reply is); it all goes back on the send list. Re-execution
+        // is safe: the server's replies are byte-deterministic.
+        for (Slot &slot : slots) {
+            if (slot.state == State::Sent)
+                slot.state = State::NeedSend;
+        }
+        reconnect();
+    };
+
+    unsigned busy_round = 0;
+    std::uint64_t busy_floor = 0;
+    while (done < slots.size()) {
+        std::size_t sent_count = 0;
+        bool unsent = false;
+        bool any_parked = false;
+        for (const Slot &slot : slots) {
+            if (slot.state == State::Sent)
+                ++sent_count;
+            else if (slot.state == State::NeedSend) {
+                unsent = true;
+                any_parked |= slot.parked;
+            }
+        }
+
+        if (unsent && sent_count == 0) {
+            // Nothing in flight to wait on: ship the backlog. Busy-
+            // parked requests wait out the backoff first — the queue
+            // that bounced them needs a window to drain. With a retry
+            // policy the round is capped at maxInflight so a sever
+            // only voids one window, not the whole burst (see the
+            // RetryOptions doc); plain clients pipeline everything.
+            if (any_parked)
+                backoff(busy_round++, busy_floor);
+            const std::size_t window =
+                retry.enabled && retry.maxInflight > 0
+                ? retry.maxInflight
+                : slots.size();
+            std::size_t shipped = 0;
+            bool lost = false;
+            for (Slot &slot : slots) {
+                if (slot.state != State::NeedSend)
+                    continue;
+                if (shipped >= window)
+                    break;
+                slot.parked = false;
+                if (!sendSlot(slot)) {
+                    lost = true;
+                    break;
+                }
+                slot.state = State::Sent;
+                ++shipped;
+            }
+            if (lost)
+                onConnectionLost();
+            continue;
+        }
+
+        Frame frame;
+        if (tryReadFrame(frame) != ReadStatus::Ok) {
+            onConnectionLost();
+            continue;
+        }
+
+        if (static_cast<MsgType>(frame.type) == MsgType::PredictReply) {
+            PredictReplyMsg reply;
+            util::fatalIf(!decodePredictReply(frame.payload, reply),
+                          "PredictionClient: undecodable "
+                          "PredictReply");
+            const auto it = inflight.find(reply.requestId);
+            if (it == inflight.end() ||
+                slots[it->second].state == State::Done) {
+                util::fatalIf(!retry.enabled,
+                              "PredictionClient: duplicate or unknown "
+                              "reply for request ", reply.requestId);
+                ++counters.duplicateReplies;
+                continue;
+            }
+            Slot &slot = slots[it->second];
+            slot.state = State::Done;
+            slot.outcome.ok = true;
+            slot.outcome.reply = reply;
+            ++done;
+            busy_round = 0;  // The server is accepting work again.
+            continue;
+        }
+
+        if (static_cast<MsgType>(frame.type) == MsgType::Error) {
+            ErrorMsg error;
+            util::fatalIf(!decodeError(frame.payload, error),
+                          "PredictionClient: undecodable Error frame");
+            const ErrorCode code = static_cast<ErrorCode>(error.code);
+            const auto it = inflight.find(error.requestId);
+            Slot *slot = (it != inflight.end() &&
+                          slots[it->second].state != State::Done)
+                ? &slots[it->second]
+                : nullptr;
+
+            if (code == ErrorCode::Busy && slot) {
+                util::fatalIf(!retry.enabled,
+                              "PredictionClient: server busy and "
+                              "retries are disabled (request ",
+                              error.requestId, ")");
+                ++counters.busyReplies;
+                busy_floor = error.retryAfterMicros;
+                slot->state = State::NeedSend;
+                slot->parked = true;
+                slot->unanswered = 0;  // Answered; the server lives.
+                continue;
+            }
+            if (code == ErrorCode::DeadlineExceeded && slot) {
+                // Terminal by design: the deadline was the caller's
+                // promise that a late answer is worthless.
+                ++counters.deadlineExpired;
+                slot->state = State::Done;
+                slot->outcome.ok = false;
+                slot->outcome.error = code;
+                ++done;
+                continue;
+            }
+            if (code == ErrorCode::ShuttingDown && retry.enabled &&
+                retry.connect) {
+                // The connection is a dead end; everything still
+                // unanswered moves to a fresh one.
+                conn->close();
+                onConnectionLost();
+                continue;
+            }
+            raiseIfError(frame);  // Anything else is fatal.
+            continue;
+        }
+
+        util::fatal("PredictionClient: expected PredictReply, got "
+                    "type ", frame.type);
+    }
+
+    std::vector<PredictOutcome> outcomes;
+    outcomes.reserve(slots.size());
+    for (Slot &slot : slots)
+        outcomes.push_back(std::move(slot.outcome));
+    return outcomes;
 }
 
 std::string
 PredictionClient::statsJson()
 {
-    send(MsgType::Stats, encodeStats(StatsMsg{}));
-    const Frame frame = readFrame();
-    raiseIfError(frame);
-    util::fatalIf(
-        static_cast<MsgType>(frame.type) != MsgType::StatsReply,
-        "PredictionClient: expected StatsReply, got type ", frame.type);
-    StatsReplyMsg reply;
-    util::fatalIf(!decodeStatsReply(frame.payload, reply),
-                  "PredictionClient: undecodable StatsReply");
-    return reply.json;
+    std::string server_doc;
+    for (;;) {
+        if (trySend(MsgType::Stats, encodeStats(StatsMsg{}))) {
+            Frame frame;
+            if (tryReadFrame(frame) == ReadStatus::Ok) {
+                raiseIfError(frame);
+                util::fatalIf(static_cast<MsgType>(frame.type) !=
+                                  MsgType::StatsReply,
+                              "PredictionClient: expected StatsReply, "
+                              "got type ", frame.type);
+                StatsReplyMsg reply;
+                util::fatalIf(
+                    !decodeStatsReply(frame.payload, reply),
+                    "PredictionClient: undecodable StatsReply");
+                server_doc = std::move(reply.json);
+                break;
+            }
+        }
+        reconnect();  // Fatal without a factory — legacy behaviour.
+    }
+
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"client\": {\n"
+       << "    \"requests_sent\": " << counters.requestsSent << ",\n"
+       << "    \"busy_replies\": " << counters.busyReplies << ",\n"
+       << "    \"retries\": " << counters.retries << ",\n"
+       << "    \"backoff_sleeps\": " << counters.backoffSleeps
+       << ",\n"
+       << "    \"reconnects\": " << counters.reconnects << ",\n"
+       << "    \"deadline_expired\": " << counters.deadlineExpired
+       << ",\n"
+       << "    \"duplicate_replies\": " << counters.duplicateReplies
+       << "\n  },\n"
+       << "  \"server_report\": " << server_doc << "}\n";
+    return os.str();
 }
 
 void
@@ -126,40 +468,45 @@ PredictionClient::bye()
         return;
     closed = true;
     // Best effort: the server may already be gone.
-    const std::vector<std::uint8_t> frame =
-        encodeFrame(MsgType::Bye, {});
-    conn->writeAll(frame.data(), frame.size());
-    conn->close();
+    if (conn) {
+        const std::vector<std::uint8_t> frame =
+            encodeFrame(MsgType::Bye, {});
+        conn->writeAll(frame.data(), frame.size());
+        conn->close();
+    }
 }
 
-Frame
-PredictionClient::readFrame()
+PredictionClient::ReadStatus
+PredictionClient::tryReadFrame(Frame &out)
 {
     util::fatalIf(closed, "PredictionClient: used after bye()");
-    Frame frame;
     std::string error;
     for (;;) {
-        const FrameDecoder::Status status = decoder.next(frame, &error);
+        const FrameDecoder::Status status = decoder.next(out, &error);
         if (status == FrameDecoder::Status::Ready)
-            return frame;
-        util::fatalIf(status == FrameDecoder::Status::Error,
-                      "PredictionClient: server sent garbage: ", error);
+            return ReadStatus::Ok;
+        if (status == FrameDecoder::Status::Error) {
+            // Garbage means the byte stream is unusable — the same
+            // recovery (drop it, maybe redial) as a hard close.
+            util::warn("PredictionClient: server sent garbage: ",
+                       error);
+            return ReadStatus::Lost;
+        }
         std::uint8_t buffer[4096];
         const std::size_t n = conn->read(buffer, sizeof(buffer));
-        util::fatalIf(n == 0,
-                      "PredictionClient: server closed the connection");
+        if (n == 0)
+            return ReadStatus::Lost;
         decoder.feed(buffer, n);
     }
 }
 
-void
-PredictionClient::send(MsgType type,
-                       const std::vector<std::uint8_t> &payload)
+bool
+PredictionClient::trySend(MsgType type,
+                          const std::vector<std::uint8_t> &payload)
 {
     util::fatalIf(closed, "PredictionClient: used after bye()");
     const std::vector<std::uint8_t> frame = encodeFrame(type, payload);
-    util::fatalIf(!conn->writeAll(frame.data(), frame.size()),
-                  "PredictionClient: connection closed mid-write");
+    return conn->writeAll(frame.data(), frame.size());
 }
 
 void

@@ -12,16 +12,27 @@
  * matched to requests by the echoed requestId, so any server-side
  * reordering across streams is invisible to the caller.
  *
- * Server-reported Error frames are fatal() here: the tests drive the
- * client with known-good requests, so a typed error means a harness
- * bug, not an expected outcome. The robustness corpus talks to the
- * server through raw Connections instead of this class.
+ * Fault tolerance is opt-in via RetryOptions. A client with retries
+ * enabled absorbs the server's explicit backpressure: Busy replies
+ * park the request for a capped exponential backoff (seeded,
+ * deterministic jitter; the server's retry-after hint sets the floor)
+ * and re-send it under the *same* requestId — the in-flight table
+ * keyed by requestId makes re-sends idempotent at the client, so a
+ * reply that races a retry is delivered once and the duplicate is
+ * counted, not surfaced. With a connect factory configured, a dropped
+ * connection (mid-frame EOF, ShuttingDown) is re-dialled, streams are
+ * re-opened by name, and every unanswered request is re-sent; the
+ * server's byte-determinism guarantees a re-executed request returns
+ * the identical reply. Without RetryOptions the legacy behaviour
+ * stands: any Error frame or disconnect is fatal(), which is what the
+ * known-good test harnesses want.
  */
 
 #ifndef PREDVFS_SERVE_CLIENT_HH
 #define PREDVFS_SERVE_CLIENT_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -29,9 +40,80 @@
 
 #include "serve/protocol.hh"
 #include "serve/transport.hh"
+#include "util/random.hh"
 
 namespace predvfs {
 namespace serve {
+
+/** Retry/backoff policy; default-constructed = no fault tolerance. */
+struct RetryOptions
+{
+    /** Enable Busy/deadline handling and (with a factory) reconnect. */
+    bool enabled = false;
+
+    /** Consecutive sends of one request that vanish *with no reply
+     *  at all* before giving up (fatal). A livelock detector, not a
+     *  contention bound: a `Busy` reply is the server answering this
+     *  very request (legitimate overload — competing bursts can
+     *  starve a request on a small queue for arbitrarily many
+     *  rounds), so it resets the count, as does any burst progress
+     *  since the slot's last send. Only connection-loss re-sends
+     *  accumulate. Callers wanting bounded waiting under overload
+     *  use deadlines, not this knob. */
+    unsigned maxAttempts = 32;
+
+    /** Retry-enabled clients ship a burst in windows of at most this
+     *  many in-flight requests instead of writing the whole backlog
+     *  at once. Over a lossy transport an all-or-nothing round is
+     *  pathological — one mid-round sever voids every frame written,
+     *  so the chance of completing a round shrinks exponentially
+     *  with burst size. Windowing banks progress every window, at
+     *  the cost of lower server batch occupancy; clients without a
+     *  retry policy keep whole-burst pipelining. */
+    std::size_t maxInflight = 16;
+
+    /** First backoff after a Busy round; doubles each consecutive
+     *  round, capped at maxBackoffMicros. The server's retry-after
+     *  hint raises (never lowers) the wait. */
+    std::uint64_t baseBackoffMicros = 200;
+    std::uint64_t maxBackoffMicros = 20000;
+
+    /** Seed for the backoff jitter (uniform in [0.5, 1.0] of the
+     *  computed delay) — reruns sleep the same schedule. */
+    std::uint64_t jitterSeed = 1;
+
+    /** When set, a lost connection is re-dialled through this factory
+     *  (fresh handshake, streams re-opened by name, unanswered
+     *  requests re-sent). Without it, disconnects stay fatal. */
+    std::function<std::unique_ptr<Connection>()> connect;
+
+    /** Dial attempts per reconnect (each failed dial backs off like a
+     *  Busy round) before giving up (fatal). */
+    unsigned reconnectAttempts = 8;
+};
+
+/** Client-side fault counters (see statsJson()). */
+struct ClientStats
+{
+    std::uint64_t requestsSent = 0;     //!< Predict frames written,
+                                        //!< re-sends included.
+    std::uint64_t busyReplies = 0;      //!< Busy errors received.
+    std::uint64_t retries = 0;          //!< Requests re-sent.
+    std::uint64_t backoffSleeps = 0;    //!< Backoff waits taken.
+    std::uint64_t reconnects = 0;       //!< Successful re-dials.
+    std::uint64_t deadlineExpired = 0;  //!< DeadlineExceeded replies.
+    std::uint64_t duplicateReplies = 0; //!< Replies dropped by the
+                                        //!< in-flight table.
+};
+
+/** Terminal result of one request: a reply, or a typed error the
+ *  retry policy does not absorb (today: DeadlineExceeded). */
+struct PredictOutcome
+{
+    bool ok = false;
+    PredictReplyMsg reply;              //!< Valid when ok.
+    ErrorCode error = ErrorCode::BadFrame;  //!< Valid when !ok.
+};
 
 /** Synchronous protocol client over one Connection. */
 class PredictionClient
@@ -40,6 +122,15 @@ class PredictionClient
     /** Take ownership of @p connection and handshake. fatal() when
      *  the peer is not a compatible prediction server. */
     explicit PredictionClient(std::unique_ptr<Connection> connection);
+
+    /** As above, with a retry policy. */
+    PredictionClient(std::unique_ptr<Connection> connection,
+                     RetryOptions retry);
+
+    /** Dial through @p retry.connect (required), retrying failed
+     *  handshakes under the reconnect policy — the entry point for
+     *  transports that can fail mid-handshake. */
+    explicit PredictionClient(RetryOptions retry);
 
     /** Sends Bye (best effort) and closes the connection. */
     ~PredictionClient();
@@ -64,32 +155,79 @@ class PredictionClient
 
     /**
      * Pipelined burst: write every request, then collect replies,
-     * matched by requestId. @return replies in @p jobs order.
+     * matched by requestId. Retriable faults (Busy, disconnect with a
+     * factory) are absorbed; any other error is fatal().
+     * @return replies in @p jobs order.
      */
     std::vector<PredictReplyMsg>
     predictMany(std::uint32_t stream_id,
                 const std::vector<rtl::JobInput> &jobs);
 
-    /** Fetch the server's telemetry JSON document. */
+    /**
+     * predictMany() that reports per-request outcomes instead of
+     * insisting on success. @p deadline_micros (0 = none) rides on
+     * every request; a request the server expires while queued comes
+     * back as a DeadlineExceeded outcome rather than a fatal().
+     * @return outcomes in @p jobs order — every job gets exactly one.
+     */
+    std::vector<PredictOutcome>
+    predictManyOutcomes(std::uint32_t stream_id,
+                        const std::vector<rtl::JobInput> &jobs,
+                        std::uint64_t deadline_micros = 0);
+
+    /** This client's fault counters. */
+    const ClientStats &stats() const { return counters; }
+
+    /**
+     * Telemetry document: a "client" object with this client's
+     * retry/busy/deadline counters, plus the server's full report
+     * under "server_report".
+     */
     std::string statsJson();
 
     /** Send Bye and close. Idempotent; the destructor calls it. */
     void bye();
 
   private:
-    /** Block until one complete frame arrives. fatal() on EOF or
-     *  framing garbage from the server (never expected in-process). */
-    Frame readFrame();
+    enum class ReadStatus { Ok, Lost };
 
-    void send(MsgType type, const std::vector<std::uint8_t> &payload);
+    /** Block until one complete frame arrives, reporting a lost
+     *  connection (EOF or framing garbage) instead of dying — the
+     *  caller decides whether loss is survivable. */
+    ReadStatus tryReadFrame(Frame &out);
+
+    bool trySend(MsgType type,
+                 const std::vector<std::uint8_t> &payload);
+
+    /** Hello exchange on the current connection. */
+    bool tryHandshake();
+
+    /** Re-dial, re-handshake, re-open streams. fatal() when no
+     *  factory is configured or attempts run out. */
+    void reconnect();
+
+    /** Jittered, capped exponential backoff for round @p round. */
+    void backoff(unsigned round, std::uint64_t floor_micros);
+
+    /** The server-side id currently backing a caller-visible id. */
+    std::uint32_t activeId(std::uint32_t stream_id) const;
+
+    std::uint32_t openStreamRaw(const std::string &benchmark);
 
     /** fatal() with the server's message if @p frame is an Error. */
     static void raiseIfError(const Frame &frame);
 
     std::unique_ptr<Connection> conn;
     FrameDecoder decoder;
+    RetryOptions retry;
+    ClientStats counters;
+    util::Rng jitter;
     std::uint64_t nextRequestId = 1;
     std::map<std::uint32_t, std::uint64_t> streamKeys;
+    std::map<std::uint32_t, std::string> streamBench;
+    /** Caller-visible stream id → id on the current connection
+     *  (identity until a reconnect re-opens streams). */
+    std::map<std::uint32_t, std::uint32_t> remap;
     bool closed = false;
 };
 

@@ -19,6 +19,8 @@ errorCodeName(ErrorCode code)
       case ErrorCode::UnknownStream: return "unknown stream";
       case ErrorCode::Oversized: return "oversized frame";
       case ErrorCode::ShuttingDown: return "shutting down";
+      case ErrorCode::Busy: return "busy";
+      case ErrorCode::DeadlineExceeded: return "deadline exceeded";
     }
     return "?";
 }
@@ -229,6 +231,7 @@ encodePredict(const PredictMsg &msg)
     WireWriter w;
     w.u32(msg.streamId);
     w.u64(msg.requestId);
+    w.u64(msg.deadlineMicros);
     w.u32(static_cast<std::uint32_t>(msg.job.items.size()));
     for (const rtl::WorkItem &item : msg.job.items) {
         w.u32(static_cast<std::uint32_t>(item.fields.size()));
@@ -244,6 +247,7 @@ decodePredict(const std::vector<std::uint8_t> &payload, PredictMsg &out)
     WireReader r(payload);
     out.streamId = r.u32();
     out.requestId = r.u64();
+    out.deadlineMicros = r.u64();
     const std::uint32_t items = r.u32();
     // Counts are attacker-controlled: never reserve() from them beyond
     // what the remaining payload could actually hold (4 bytes per item
@@ -329,6 +333,7 @@ encodeError(const ErrorMsg &msg)
     WireWriter w;
     w.u32(msg.code);
     w.u64(msg.requestId);
+    w.u64(msg.retryAfterMicros);
     w.str(msg.message);
     return std::move(w.bytes);
 }
@@ -339,6 +344,7 @@ decodeError(const std::vector<std::uint8_t> &payload, ErrorMsg &out)
     WireReader r(payload);
     out.code = r.u32();
     out.requestId = r.u64();
+    out.retryAfterMicros = r.u64();
     out.message = r.str();
     return r.done();
 }

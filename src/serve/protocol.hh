@@ -40,8 +40,9 @@ namespace serve {
 /** Protocol magic carried in Hello ("PVFS"). */
 constexpr std::uint32_t kMagic = 0x50564653u;
 
-/** Protocol version; bumped on any incompatible frame change. */
-constexpr std::uint16_t kVersion = 1;
+/** Protocol version; bumped on any incompatible frame change.
+ *  v2 added PredictMsg::deadlineMicros and ErrorMsg::retryAfterMicros. */
+constexpr std::uint16_t kVersion = 2;
 
 /** Upper bound on one frame's payload (image-workload jobs run to
  *  hundreds of kilobytes; 4 MiB leaves headroom without letting a
@@ -74,6 +75,8 @@ enum class ErrorCode : std::uint32_t
     UnknownStream = 6,
     Oversized = 7,        //!< announced payload above kMaxFramePayload.
     ShuttingDown = 8,
+    Busy = 9,             //!< stream queue full; retry after the hint.
+    DeadlineExceeded = 10,  //!< request expired while queued.
 };
 
 /** @return a stable name for an error code (logs and tests). */
@@ -109,6 +112,15 @@ struct PredictMsg
 {
     std::uint32_t streamId = 0;
     std::uint64_t requestId = 0;  //!< echoed verbatim in the reply.
+
+    /** Optional deadline, microseconds from server receipt; 0 = none.
+     *  A request still queued when it expires is answered with a
+     *  DeadlineExceeded error. Expiry is only checked before its batch
+     *  is handed to the simulator — never afterwards — so whether a
+     *  reply carries values or the typed error, the values themselves
+     *  are deterministic. */
+    std::uint64_t deadlineMicros = 0;
+
     rtl::JobInput job;
 };
 
@@ -136,6 +148,11 @@ struct ErrorMsg
 {
     std::uint32_t code = 0;
     std::uint64_t requestId = 0;  //!< 0 when not tied to a request.
+
+    /** For Busy: how long the server suggests waiting before the
+     *  retry, in microseconds. 0 = no hint. */
+    std::uint64_t retryAfterMicros = 0;
+
     std::string message;
 };
 /// @}

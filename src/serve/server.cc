@@ -4,10 +4,10 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
-#include <map>
 #include <mutex>
 #include <sstream>
 #include <thread>
+#include <unordered_set>
 
 #include "accel/registry.hh"
 #include "core/flow.hh"
@@ -34,6 +34,11 @@ serverOptionsFromEnv(ServerOptions base)
     base.batchWindowMicros = static_cast<unsigned>(
         util::envUint("PREDVFS_SERVE_WINDOW_US", base.batchWindowMicros,
                       0, 1000000));
+    base.queueBound = static_cast<std::size_t>(
+        util::envUint("PREDVFS_SERVE_QUEUE", base.queueBound, 1,
+                      1u << 20));
+    base.snapshotPath =
+        util::envString("PREDVFS_SNAPSHOT", base.snapshotPath);
     return base;
 }
 
@@ -97,10 +102,14 @@ struct TelemetryState
     std::uint64_t cacheHits = 0;
     std::uint64_t coalesced = 0;
     std::uint64_t simulated = 0;
+    std::uint64_t busy = 0;
+    std::uint64_t expired = 0;
     std::uint64_t batches = 0;
     std::uint64_t batchJobs = 0;
     ServiceTimeRing serviceTimes;
 };
+
+struct PendingRequest;
 
 /** Everything one registered benchmark serves with. */
 struct Stream
@@ -114,6 +123,12 @@ struct Stream
     core::FlowResult flow;
     std::uint64_t streamKey = 0;
     TelemetryState telem;
+
+    /** @name Bounded pending queue — guarded by Impl::queueMu. */
+    /// @{
+    std::deque<PendingRequest> pending;
+    std::size_t peakDepth = 0;
+    /// @}
 };
 
 /** One live connection: the byte stream, its write lock (replies come
@@ -125,7 +140,7 @@ struct ConnState
     std::thread reader;
 };
 
-/** A Predict request parked on the dispatch queue. */
+/** A Predict request parked on its stream's dispatch queue. */
 struct PendingRequest
 {
     std::shared_ptr<ConnState> conn;
@@ -133,6 +148,10 @@ struct PendingRequest
     std::uint64_t requestId = 0;
     rtl::JobInput job;
     Clock::time_point enqueued;
+    /** Absolute expiry; time_point::max() when no deadline was set.
+     *  Checked exactly once, when the dispatcher takes the request
+     *  out of the queue — never after simulation has started. */
+    Clock::time_point expiry = Clock::time_point::max();
 };
 
 void
@@ -148,11 +167,13 @@ writeFrame(ConnState &conn, MsgType type,
 
 void
 writeError(ConnState &conn, ErrorCode code, std::uint64_t request_id,
-           const std::string &message)
+           const std::string &message,
+           std::uint64_t retry_after_micros = 0)
 {
     ErrorMsg msg;
     msg.code = static_cast<std::uint32_t>(code);
     msg.requestId = request_id;
+    msg.retryAfterMicros = retry_after_micros;
     msg.message = message;
     writeFrame(conn, MsgType::Error, encodeError(msg));
 }
@@ -190,11 +211,15 @@ struct PredictionServer::Impl
         return nullptr;
     }
 
-    // --- request queue -------------------------------------------
+    // --- request queues ------------------------------------------
+    // Each stream owns a bounded deque (Stream::pending); queueMu
+    // guards all of them plus the aggregate counter the dispatcher
+    // sleeps on. Lock order where nesting occurs: streamMu, then
+    // queueMu (telemetry); the hot enqueue/drain paths never nest.
     std::mutex queueMu;
     std::condition_variable queueCv;
-    std::deque<PendingRequest> queue;
-    std::size_t peakQueueDepth = 0;
+    std::size_t totalPending = 0;
+    std::size_t peakQueueDepth = 0;  //!< Peak of totalPending.
     bool stopping = false;
 
     // --- threads & transports ------------------------------------
@@ -297,6 +322,20 @@ struct PredictionServer::Impl
             request.requestId = predict.requestId;
             request.job = std::move(predict.job);
             request.enqueued = Clock::now();
+            if (predict.deadlineMicros > 0)
+                request.expiry = request.enqueued +
+                    std::chrono::microseconds(predict.deadlineMicros);
+
+            // Counted as a request whatever happens next: the
+            // telemetry identity (requests == hits + coalesced +
+            // simulated + busy + expired) accounts for every accepted
+            // Predict, including the ones backpressure turns away.
+            {
+                std::lock_guard<std::mutex> lock(stream->telem.mu);
+                ++stream->telem.requests;
+            }
+
+            bool rejected = false;
             {
                 std::lock_guard<std::mutex> lock(queueMu);
                 if (stopping) {
@@ -304,9 +343,31 @@ struct PredictionServer::Impl
                                predict.requestId, "server stopping");
                     return false;
                 }
-                queue.push_back(std::move(request));
-                peakQueueDepth =
-                    std::max(peakQueueDepth, queue.size());
+                if (stream->pending.size() >= opts.queueBound) {
+                    rejected = true;
+                } else {
+                    stream->pending.push_back(std::move(request));
+                    stream->peakDepth = std::max(
+                        stream->peakDepth, stream->pending.size());
+                    ++totalPending;
+                    peakQueueDepth =
+                        std::max(peakQueueDepth, totalPending);
+                }
+            }
+            if (rejected) {
+                // Backpressure, not failure: the connection stays up
+                // and the client is told when a retry is worth it
+                // (one accumulation window from now, plus slack).
+                {
+                    std::lock_guard<std::mutex> lock(
+                        stream->telem.mu);
+                    ++stream->telem.busy;
+                }
+                writeError(conn, ErrorCode::Busy, predict.requestId,
+                           "stream '" + stream->name +
+                               "' queue is full",
+                           opts.batchWindowMicros + 100);
+                return true;
             }
             queueCv.notify_one();
             return true;
@@ -399,17 +460,16 @@ struct PredictionServer::Impl
     void dispatchLoop()
     {
         for (;;) {
-            std::deque<PendingRequest> taken;
             {
                 std::unique_lock<std::mutex> lock(queueMu);
                 queueCv.wait(lock, [this] {
-                    return stopping || !queue.empty();
+                    return stopping || totalPending > 0;
                 });
                 if (stopping)
                     break;
                 // Accumulation window: wait once for the batch to
                 // fill, then take everything that made it.
-                if (queue.size() < opts.maxBatchJobs &&
+                if (totalPending < opts.maxBatchJobs &&
                     opts.batchWindowMicros > 0) {
                     queueCv.wait_for(
                         lock,
@@ -417,44 +477,88 @@ struct PredictionServer::Impl
                             opts.batchWindowMicros),
                         [this] {
                             return stopping ||
-                                queue.size() >= opts.maxBatchJobs;
+                                totalPending >= opts.maxBatchJobs;
                         });
                 }
-                taken.swap(queue);
             }
-            processBatch(taken);
+            drainQueues(/*shutting_down=*/false);
         }
 
         // Drain on shutdown: pending work is answered with a typed
         // error, not silence (the peer may still be reading).
-        std::deque<PendingRequest> rest;
+        drainQueues(/*shutting_down=*/true);
+    }
+
+    /** Empty every stream's queue; answer or simulate the contents. */
+    void drainQueues(bool shutting_down)
+    {
+        // Streams are snapshotted outside queueMu: streamMu must
+        // never nest inside it (telemetry nests the other way round),
+        // and registration only appends, so the pointers stay valid.
+        std::vector<Stream *> snapshot;
         {
-            std::lock_guard<std::mutex> lock(queueMu);
-            rest.swap(queue);
+            std::lock_guard<std::mutex> lock(streamMu);
+            snapshot.reserve(streams.size());
+            for (const auto &s : streams)
+                snapshot.push_back(s.get());
         }
-        for (PendingRequest &request : rest) {
-            writeError(*request.conn, ErrorCode::ShuttingDown,
-                       request.requestId, "server stopping");
+        for (Stream *stream : snapshot) {
+            std::deque<PendingRequest> taken;
+            {
+                std::lock_guard<std::mutex> lock(queueMu);
+                taken.swap(stream->pending);
+                totalPending -= taken.size();
+            }
+            if (taken.empty())
+                continue;
+            if (shutting_down) {
+                for (PendingRequest &request : taken) {
+                    writeError(*request.conn, ErrorCode::ShuttingDown,
+                               request.requestId, "server stopping");
+                }
+                continue;
+            }
+            processStream(*stream, taken);
         }
     }
 
-    void processBatch(std::deque<PendingRequest> &taken)
+    void processStream(Stream &stream,
+                       std::deque<PendingRequest> &taken)
     {
-        // Group by stream, preserving arrival order within each.
-        std::map<std::uint32_t, std::vector<PendingRequest *>> groups;
-        for (PendingRequest &request : taken)
-            groups[request.stream->id].push_back(&request);
-
-        for (auto &entry : groups) {
-            std::vector<PendingRequest *> &group = entry.second;
-            // Respect the batch cap even when a burst outran the
-            // window: chunked prepare() calls answer in order.
-            for (std::size_t begin = 0; begin < group.size();
-                 begin += opts.maxBatchJobs) {
-                const std::size_t end = std::min(
-                    group.size(), begin + opts.maxBatchJobs);
-                runChunk(group, begin, end);
+        // The one and only deadline check: a request that is expired
+        // *now*, before its batch exists, is dropped with a typed
+        // error; everything that survives into prepare() is answered
+        // with values no matter how long simulation takes. Arrival
+        // order within the stream is preserved either way.
+        const Clock::time_point now = Clock::now();
+        std::vector<PendingRequest *> live;
+        std::vector<PendingRequest *> expired;
+        live.reserve(taken.size());
+        for (PendingRequest &request : taken) {
+            if (request.expiry < now)
+                expired.push_back(&request);
+            else
+                live.push_back(&request);
+        }
+        if (!expired.empty()) {
+            {
+                std::lock_guard<std::mutex> lock(stream.telem.mu);
+                stream.telem.expired += expired.size();
             }
+            for (PendingRequest *request : expired) {
+                writeError(*request->conn, ErrorCode::DeadlineExceeded,
+                           request->requestId,
+                           "deadline expired while queued");
+            }
+        }
+
+        // Respect the batch cap even when a burst outran the window:
+        // chunked prepare() calls answer in order.
+        for (std::size_t begin = 0; begin < live.size();
+             begin += opts.maxBatchJobs) {
+            const std::size_t end =
+                std::min(live.size(), begin + opts.maxBatchJobs);
+            runChunk(live, begin, end);
         }
     }
 
@@ -474,12 +578,12 @@ struct PredictionServer::Impl
 
         // Counters land before the replies go out: a client that has
         // received every reply of its burst must find the telemetry
-        // identity (requests == hits + coalesced + simulated) already
-        // holding for those requests.
+        // identity (requests == hits + coalesced + simulated + busy
+        // + expired) already holding for those requests. requests
+        // itself was counted at accept time, in the reader.
         {
             const Clock::time_point now = Clock::now();
             std::lock_guard<std::mutex> lock(stream.telem.mu);
-            stream.telem.requests += end - begin;
             stream.telem.cacheHits += prep.cacheHits;
             stream.telem.coalesced += prep.coalesced;
             stream.telem.simulated += prep.simulated;
@@ -513,11 +617,18 @@ struct PredictionServer::Impl
     {
         StreamTelemetry t;
         t.benchmark = stream.name;
+        {
+            std::lock_guard<std::mutex> lock(
+                const_cast<std::mutex &>(queueMu));
+            t.peakQueueDepth = stream.peakDepth;
+        }
         std::lock_guard<std::mutex> lock(stream.telem.mu);
         t.requests = stream.telem.requests;
         t.cacheHits = stream.telem.cacheHits;
         t.coalesced = stream.telem.coalesced;
         t.simulated = stream.telem.simulated;
+        t.busy = stream.telem.busy;
+        t.expired = stream.telem.expired;
         t.batches = stream.telem.batches;
         t.batchJobs = stream.telem.batchJobs;
         t.p50ServiceMicros = stream.telem.serviceTimes.percentile(0.50);
@@ -532,7 +643,7 @@ struct PredictionServer::Impl
         {
             std::lock_guard<std::mutex> lock(
                 const_cast<std::mutex &>(queueMu));
-            depth = queue.size();
+            depth = totalPending;
             peak = peakQueueDepth;
         }
         const sim::JobCache::Stats cache =
@@ -546,6 +657,7 @@ struct PredictionServer::Impl
            << "    \"max_batch_jobs\": " << opts.maxBatchJobs << ",\n"
            << "    \"batch_window_us\": " << opts.batchWindowMicros
            << ",\n"
+           << "    \"queue_bound\": " << opts.queueBound << ",\n"
            << "    \"queue_depth\": " << depth << ",\n"
            << "    \"peak_queue_depth\": " << peak << ",\n"
            << "    \"job_cache\": {\n"
@@ -578,6 +690,10 @@ struct PredictionServer::Impl
                << "      \"cache_hits\": " << t.cacheHits << ",\n"
                << "      \"coalesced\": " << t.coalesced << ",\n"
                << "      \"simulated\": " << t.simulated << ",\n"
+               << "      \"busy\": " << t.busy << ",\n"
+               << "      \"expired\": " << t.expired << ",\n"
+               << "      \"peak_queue_depth\": " << t.peakQueueDepth
+               << ",\n"
                << "      \"hit_rate\": " << t.hitRate() << ",\n"
                << "      \"batches\": " << t.batches << ",\n"
                << "      \"batch_jobs\": " << t.batchJobs << ",\n"
@@ -623,6 +739,16 @@ struct PredictionServer::Impl
         }
         if (dispatcher.joinable())
             dispatcher.join();
+
+        // Everything is quiesced; leave a warm start behind. Failures
+        // warn inside saveSnapshotFile — a full disk must not turn a
+        // clean drain into a crash.
+        if (!opts.snapshotPath.empty() &&
+            sim::JobCache::global().saveSnapshotFile(
+                opts.snapshotPath)) {
+            util::inform("serve: cache snapshot flushed to '",
+                         opts.snapshotPath, "'");
+        }
     }
 };
 
@@ -764,6 +890,36 @@ std::string
 PredictionServer::telemetryJson() const
 {
     return impl->telemetryJson();
+}
+
+bool
+PredictionServer::saveSnapshot(const std::string &path) const
+{
+    return sim::JobCache::global().saveSnapshotFile(path);
+}
+
+sim::JobCache::SnapshotLoadStats
+PredictionServer::loadSnapshot(const std::string &path)
+{
+    // Only entries for streams this server actually serves: a
+    // snapshot written against other designs or retrained predictors
+    // carries stream keys no registered benchmark produces, and those
+    // entries are rejected rather than trusted.
+    std::unordered_set<std::uint64_t> accept;
+    {
+        std::lock_guard<std::mutex> lock(impl->streamMu);
+        for (const auto &s : impl->streams)
+            accept.insert(s->streamKey);
+    }
+    const sim::JobCache::SnapshotLoadStats stats =
+        sim::JobCache::global().loadSnapshotFile(path, &accept);
+    if (stats.loaded > 0 || stats.rejected > 0) {
+        util::inform("serve: snapshot '", path, "': loaded ",
+                     stats.loaded, " entries, rejected ",
+                     stats.rejected,
+                     stats.tornTail ? " (torn tail)" : "");
+    }
+    return stats;
 }
 
 } // namespace serve

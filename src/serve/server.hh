@@ -12,16 +12,22 @@
  * CompiledDesign::runBatch.
  *
  * Request flow: one reader thread per connection decodes frames and
- * enqueues Predict requests on a central queue; a single dispatcher
- * thread drains the queue in arrival order. The dispatcher applies a
- * small *accumulation window*: when it wakes with fewer than
- * maxBatchJobs pending it waits once, up to batchWindow, for more
- * requests to land, then takes everything queued, groups it by
- * stream, and runs each group through one prepare() call (sharded
- * over the server's thread pool when workers > 1). Batching and
- * worker count change only latency and throughput, never bytes:
- * prepare() is bit-deterministic at any worker count, so a reply is
- * byte-identical however requests were coalesced.
+ * enqueues Predict requests on its stream's *bounded* queue — a full
+ * queue answers Busy (with a retry-after hint) instead of parking the
+ * request, so overload is explicit backpressure rather than unbounded
+ * memory. A single dispatcher thread drains the queues in arrival
+ * order. The dispatcher applies a small *accumulation window*: when
+ * it wakes with fewer than maxBatchJobs pending it waits once, up to
+ * batchWindow, for more requests to land, then takes everything
+ * queued. Requests whose optional deadline expired while queued are
+ * answered with DeadlineExceeded at that point — and only at that
+ * point, never once simulation has started, so any reply that does
+ * carry values is byte-deterministic. The rest is grouped by stream
+ * and run through one prepare() call per chunk (sharded over the
+ * server's thread pool when workers > 1). Batching and worker count
+ * change only latency and throughput, never bytes: prepare() is
+ * bit-deterministic at any worker count, so a reply is byte-identical
+ * however requests were coalesced.
  *
  * Telemetry: per-stream counters (requests, cache hits, in-batch
  * coalescing, fresh simulations, batches, occupancy, queue depth,
@@ -39,6 +45,7 @@
 
 #include "serve/transport.hh"
 #include "sim/experiment.hh"
+#include "sim/job_cache.hh"
 
 namespace predvfs {
 namespace serve {
@@ -58,6 +65,25 @@ struct ServerOptions
      *  draining what it has. 0 = drain immediately. */
     unsigned batchWindowMicros = 200;
 
+    /**
+     * Bound on each stream's pending-request queue. A Predict that
+     * arrives with the stream's queue full is answered immediately
+     * with a Busy error (carrying a retry-after hint) instead of
+     * being parked — overload degrades into explicit backpressure,
+     * never into unbounded memory. The default is far above what the
+     * in-tree workloads queue, so only deployments (or the overload
+     * tests) that set it see Busy.
+     */
+    std::size_t queueBound = 1024;
+
+    /**
+     * When non-empty, stop() flushes the JobCache to this path so a
+     * drained server leaves a warm start behind. Loading at startup
+     * is the operator's call (PredictionServer::loadSnapshot), since
+     * benchmarks must be registered first for the fingerprint filter.
+     */
+    std::string snapshotPath;
+
     /** Flow/platform settings used when registering benchmarks; the
      *  replay harness must use equal settings on its in-process
      *  Experiment for responses to be comparable. */
@@ -66,9 +92,10 @@ struct ServerOptions
 
 /**
  * ServerOptions overridden by PREDVFS_SERVE_WORKERS,
- * PREDVFS_SERVE_MAX_BATCH, and PREDVFS_SERVE_WINDOW_US (all parsed
- * with the hardened env helpers: malformed values warn and keep
- * @p base's setting).
+ * PREDVFS_SERVE_MAX_BATCH, PREDVFS_SERVE_WINDOW_US,
+ * PREDVFS_SERVE_QUEUE, and PREDVFS_SNAPSHOT (all parsed with the
+ * hardened env helpers: malformed values warn and keep @p base's
+ * setting).
  */
 ServerOptions serverOptionsFromEnv(ServerOptions base = {});
 
@@ -76,12 +103,20 @@ ServerOptions serverOptionsFromEnv(ServerOptions base = {});
 struct StreamTelemetry
 {
     std::string benchmark;
-    std::uint64_t requests = 0;
+    std::uint64_t requests = 0;    //!< Every accepted Predict; the
+                                   //!< identity requests == cacheHits
+                                   //!< + coalesced + simulated + busy
+                                   //!< + expired holds once all of a
+                                   //!< burst's replies are out.
     std::uint64_t cacheHits = 0;   //!< Answered from the JobCache.
     std::uint64_t coalesced = 0;   //!< In-batch duplicate fan-out.
     std::uint64_t simulated = 0;   //!< Fresh simulations.
+    std::uint64_t busy = 0;        //!< Rejected: stream queue full.
+    std::uint64_t expired = 0;     //!< Dropped: deadline passed while
+                                   //!< queued.
     std::uint64_t batches = 0;     //!< prepare() calls issued.
     std::uint64_t batchJobs = 0;   //!< Sum of drained batch sizes.
+    std::size_t peakQueueDepth = 0;  //!< This stream's deepest queue.
     double p50ServiceMicros = 0.0;
     double p99ServiceMicros = 0.0;
 
@@ -132,11 +167,31 @@ class PredictionServer
     StreamTelemetry telemetry(const std::string &benchmark) const;
     std::uint64_t streamKeyOf(const std::string &benchmark) const;
 
-    /** Peak and current request-queue depth since construction. */
+    /** Peak total pending depth (all streams) since construction. */
     std::size_t maxQueueDepth() const;
 
     /** The full telemetry document (same JSON the Stats reply ships). */
     std::string telemetryJson() const;
+    /// @}
+
+    /** @name Cache persistence (crash-safe warm restarts) */
+    /// @{
+    /**
+     * Flush the process-global JobCache to @p path via
+     * JobCache::saveSnapshotFile (atomic rename, checksummed).
+     * Callable at any time, including while serving.
+     */
+    bool saveSnapshot(const std::string &path) const;
+
+    /**
+     * Seed the JobCache from a snapshot, accepting only entries whose
+     * stream key matches a benchmark registered on this server —
+     * stale designs and retrained predictors are rejected entry by
+     * entry, and a torn or corrupt file degrades to a cold start,
+     * never a crash. Register benchmarks first.
+     */
+    sim::JobCache::SnapshotLoadStats
+    loadSnapshot(const std::string &path);
     /// @}
 
   private:

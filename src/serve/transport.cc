@@ -275,16 +275,19 @@ UnixListener::close()
 }
 
 std::unique_ptr<Connection>
-connectUnix(const std::string &path, int timeout_ms)
+connectWithRetry(const std::string &path, int timeout_ms)
 {
     sockaddr_un addr{};
     if (path.size() >= sizeof(addr.sun_path)) {
-        util::warn("connectUnix: socket path too long: ", path);
+        util::warn("connectWithRetry: socket path too long: ", path);
         return nullptr;
     }
     addr.sun_family = AF_UNIX;
     std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
 
+    // timeout_ms = 0: the deadline is "now", so a failed first attempt
+    // falls through the deadline check below without ever sleeping —
+    // the documented single-shot probe.
     const auto deadline = std::chrono::steady_clock::now() +
         std::chrono::milliseconds(timeout_ms);
     for (;;) {
@@ -327,14 +330,20 @@ UnixListener::close()
 }
 
 std::unique_ptr<Connection>
-connectUnix(const std::string &, int)
+connectWithRetry(const std::string &, int)
 {
-    util::warn("connectUnix: Unix-domain sockets are unavailable on "
-               "this platform");
+    util::warn("connectWithRetry: Unix-domain sockets are unavailable "
+               "on this platform");
     return nullptr;
 }
 
 #endif  // PREDVFS_HAVE_UNIX_SOCKETS
+
+std::unique_ptr<Connection>
+connectUnix(const std::string &path, int timeout_ms)
+{
+    return connectWithRetry(path, timeout_ms);
+}
 
 } // namespace serve
 } // namespace predvfs

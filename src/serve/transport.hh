@@ -90,8 +90,20 @@ class UnixListener
 /**
  * Connect to a serving socket, retrying until @p timeout_ms elapses
  * (covers the server-still-starting race in scripted smoke tests).
- * @return nullptr on timeout or when sockets are unavailable.
+ *
+ * timeout_ms = 0 means exactly one connect(2) attempt with no sleep:
+ * the deadline is already in the past when the first attempt fails,
+ * so the loop exits before its 10 ms retry nap. Callers probing "is
+ * a server there right now?" rely on that single-shot behaviour —
+ * the unit tests pin it.
+ *
+ * @return nullptr on timeout (or immediate failure when
+ *         timeout_ms = 0), or when sockets are unavailable.
  */
+std::unique_ptr<Connection> connectWithRetry(const std::string &path,
+                                             int timeout_ms = 0);
+
+/** Historical name for connectWithRetry(). */
 std::unique_ptr<Connection> connectUnix(const std::string &path,
                                         int timeout_ms = 0);
 

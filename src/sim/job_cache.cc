@@ -1,6 +1,9 @@
 #include "sim/job_cache.hh"
 
+#include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <iomanip>
 #include <sstream>
 
 #include "rtl/serialize.hh"
@@ -299,6 +302,267 @@ JobCache::clear()
     index.clear();
     usedBytes = 0;
     hitCount = missCount = insertCount = evictCount = 0;
+}
+
+namespace {
+
+constexpr const char *snapshotMagic = "predvfs-jobcache-v1";
+
+/** 64-bit FNV-1a, matching persist.cc's checksum conventions. */
+std::uint64_t
+fnv1a(const char *data, std::size_t n)
+{
+    std::uint64_t hash = JobCache::fnvOffset;
+    for (std::size_t i = 0; i < n; ++i) {
+        hash ^= static_cast<unsigned char>(data[i]);
+        hash *= 1099511628211ULL;
+    }
+    return hash;
+}
+
+void
+hex16(std::ostream &os, std::uint64_t v)
+{
+    os << std::hex << std::setfill('0') << std::setw(16) << v
+       << std::dec << std::setfill(' ');
+}
+
+std::uint64_t
+doubleBits(double v)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits;
+}
+
+double
+bitsDouble(std::uint64_t bits)
+{
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+/**
+ * Parse one "entry ..." line body (the part before " crc <hex>",
+ * already checksum-verified). Returns false on any shape violation —
+ * a well-checksummed line can still be hostile, so token counts and
+ * allocations stay bounded by the line's actual length.
+ */
+bool
+parseEntryBody(const std::string &body, std::vector<std::int64_t> &key,
+               CachedJob &value)
+{
+    std::istringstream is(body);
+    std::string keyword;
+    std::uint64_t nkey = 0;
+    is >> keyword >> nkey;
+    if (is.fail() || keyword != "entry")
+        return false;
+    // A canonical key holds at least [stream key, item count], and the
+    // line must physically contain nkey tokens: two characters each at
+    // minimum, so nkey beyond body.size() / 2 cannot be satisfied and
+    // must not drive the reserve below.
+    if (nkey < 2 || nkey > body.size() / 2 + 1)
+        return false;
+    key.clear();
+    key.reserve(nkey);
+    for (std::uint64_t i = 0; i < nkey; ++i) {
+        std::int64_t k = 0;
+        is >> k;
+        if (is.fail())
+            return false;
+        key.push_back(k);
+    }
+    std::uint64_t energy_bits = 0;
+    std::uint64_t slice_energy_bits = 0;
+    std::uint64_t pred_bits = 0;
+    is >> value.cycles >> std::hex >> energy_bits >> std::dec
+       >> value.sliceCycles >> std::hex >> slice_energy_bits
+       >> pred_bits >> std::dec;
+    if (is.fail())
+        return false;
+    std::string trailing;
+    if (is >> trailing)
+        return false;  // Extra tokens: not a line the writer produced.
+    value.energyUnits = bitsDouble(energy_bits);
+    value.sliceEnergyUnits = bitsDouble(slice_energy_bits);
+    value.predictedCycles = bitsDouble(pred_bits);
+    return true;
+}
+
+} // namespace
+
+bool
+JobCache::saveSnapshotFile(const std::string &path) const
+{
+    // Serialise under the lock (entries are small relative to the
+    // I/O), then write outside it. LRU-first order means a loader
+    // inserting in file order rebuilds the same recency ranking.
+    std::ostringstream body;
+    body << snapshotMagic << "\n";
+    std::size_t count = 0;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        for (auto it = lru.rbegin(); it != lru.rend(); ++it) {
+            std::ostringstream line;
+            line << "entry " << it->key.size();
+            for (const std::int64_t k : it->key)
+                line << " " << k;
+            line << " " << it->value.cycles << " ";
+            hex16(line, doubleBits(it->value.energyUnits));
+            line << " " << it->value.sliceCycles << " ";
+            hex16(line, doubleBits(it->value.sliceEnergyUnits));
+            line << " ";
+            hex16(line, doubleBits(it->value.predictedCycles));
+            const std::string text = line.str();
+            body << text << " crc ";
+            hex16(body, fnv1a(text.data(), text.size()));
+            body << "\n";
+            ++count;
+        }
+    }
+    const std::string content = body.str();
+    std::ostringstream footer;
+    footer << "footer count " << count << " checksum ";
+    hex16(footer, fnv1a(content.data(), content.size()));
+    footer << "\n";
+
+    // Write to a sibling temp file and rename: rename(2) is atomic
+    // within a filesystem, so readers only ever see a complete
+    // snapshot or the previous one.
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os) {
+            util::warn("job cache snapshot: cannot open '", tmp,
+                       "' for writing");
+            return false;
+        }
+        os << content << footer.str();
+        os.flush();
+        if (!os) {
+            util::warn("job cache snapshot: write to '", tmp,
+                       "' failed");
+            std::remove(tmp.c_str());
+            return false;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        util::warn("job cache snapshot: rename '", tmp, "' -> '", path,
+                   "' failed");
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+JobCache::SnapshotLoadStats
+JobCache::loadSnapshotFile(
+    const std::string &path,
+    const std::unordered_set<std::uint64_t> *accept_stream_keys)
+{
+    SnapshotLoadStats stats;
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return stats;  // No snapshot is a normal cold start.
+
+    std::ostringstream all;
+    all << is.rdbuf();
+    const std::string text = all.str();
+
+    // Magic first (persist.cc discipline): a non-snapshot file gets a
+    // clear verdict instead of a stream of per-line rejections.
+    std::size_t pos = text.find('\n');
+    if (pos == std::string::npos ||
+        text.substr(0, pos) != snapshotMagic) {
+        util::warn("job cache snapshot '", path,
+                   "': not a predvfs job-cache snapshot; ignoring");
+        stats.tornTail = true;
+        return stats;
+    }
+    ++pos;
+
+    bool footer_ok = false;
+    std::size_t entry_lines = 0;
+    while (pos < text.size()) {
+        const std::size_t line_start = pos;
+        std::size_t nl = text.find('\n', pos);
+        const bool has_newline = nl != std::string::npos;
+        if (!has_newline)
+            nl = text.size();
+        const std::string line = text.substr(pos, nl - pos);
+        pos = nl + (has_newline ? 1 : 0);
+
+        if (line.rfind("footer ", 0) == 0) {
+            // The footer covers every byte before its own line. Bytes
+            // after it (or a count/checksum mismatch) mean the file
+            // was spliced or torn; keep what already validated.
+            std::istringstream fs(line);
+            std::string kw_footer, kw_count, kw_checksum;
+            std::uint64_t stored_count = 0;
+            std::uint64_t stored_sum = 0;
+            fs >> kw_footer >> kw_count >> stored_count >> kw_checksum
+               >> std::hex >> stored_sum;
+            const std::uint64_t actual =
+                fnv1a(text.data(), line_start);
+            footer_ok = !fs.fail() && kw_count == "count" &&
+                kw_checksum == "checksum" &&
+                stored_count == entry_lines && stored_sum == actual &&
+                pos >= text.size();
+            if (!footer_ok)
+                util::warn("job cache snapshot '", path,
+                           "': footer mismatch (torn write?); kept ",
+                           stats.loaded, " validated entries");
+            break;
+        }
+
+        if (!has_newline) {
+            // A last line without its newline is a torn write even if
+            // it starts with "entry": the writer always terminates
+            // lines, so the tail cannot be trusted.
+            ++stats.rejected;
+            break;
+        }
+
+        ++entry_lines;
+        const std::size_t crc_at = line.rfind(" crc ");
+        if (line.rfind("entry ", 0) != 0 ||
+            crc_at == std::string::npos) {
+            ++stats.rejected;
+            continue;
+        }
+        const std::string entry_body = line.substr(0, crc_at);
+        std::istringstream cs(line.substr(crc_at + 5));
+        std::uint64_t stored_crc = 0;
+        cs >> std::hex >> stored_crc;
+        if (cs.fail() ||
+            stored_crc != fnv1a(entry_body.data(), entry_body.size())) {
+            ++stats.rejected;
+            continue;
+        }
+
+        std::vector<std::int64_t> key;
+        CachedJob value;
+        if (!parseEntryBody(entry_body, key, value)) {
+            ++stats.rejected;
+            continue;
+        }
+        if (accept_stream_keys &&
+            accept_stream_keys->count(
+                static_cast<std::uint64_t>(key[0])) == 0) {
+            ++stats.rejected;
+            continue;
+        }
+        // The content hash is recomputed, never trusted from disk:
+        // hashBytes() is documented free to change between builds.
+        const std::uint64_t h =
+            hashBytes(key.data(), key.size() * sizeof(std::int64_t));
+        insert(std::move(key), h, value);
+        ++stats.loaded;
+    }
+    stats.tornTail = !footer_ok;
+    return stats;
 }
 
 JobCache &

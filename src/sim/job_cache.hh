@@ -34,7 +34,9 @@
 #include <cstdint>
 #include <list>
 #include <mutex>
+#include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "rtl/design.hh"
@@ -107,6 +109,43 @@ class JobCache
 
     /** Drop every entry and reset the counters. */
     void clear();
+
+    /** Outcome of loadSnapshotFile(): how much of the file survived. */
+    struct SnapshotLoadStats
+    {
+        std::size_t loaded = 0;    //!< Entries inserted.
+        std::size_t rejected = 0;  //!< Entries dropped (corrupt/filtered).
+        bool tornTail = false;     //!< Footer missing or wrong — the
+                                   //!< file was truncated mid-write.
+    };
+
+    /**
+     * Write every entry to @p path, crash-safely: the snapshot is
+     * serialised to @p path + ".tmp" and atomically renamed into
+     * place, so a crash mid-write leaves either the old snapshot or
+     * none — never a half-written file under the final name. Each
+     * entry line carries its own FNV-1a checksum and a footer
+     * checksums the whole body (persist.cc conventions). Entries are
+     * written least-recently-used first so a later load restores the
+     * recency order. @return false (with a warning) on I/O failure.
+     */
+    bool saveSnapshotFile(const std::string &path) const;
+
+    /**
+     * Load a snapshot written by saveSnapshotFile(). Corruption is
+     * rejected entry-by-entry, never fatally: a line whose checksum,
+     * shape, or key fails validation is skipped and counted in
+     * @ref SnapshotLoadStats::rejected, and a missing or mismatching
+     * footer flags tornTail while keeping every valid entry before
+     * the tear. When @p accept_stream_keys is non-null, entries whose
+     * stream key (design ⊕ predictor fingerprint) is not in the set
+     * are rejected — a snapshot from different designs or retrained
+     * predictors must not seed this process's cache.
+     */
+    SnapshotLoadStats loadSnapshotFile(
+        const std::string &path,
+        const std::unordered_set<std::uint64_t> *accept_stream_keys =
+            nullptr);
 
     std::size_t capacityBytes() const { return capacity; }
 

@@ -83,5 +83,18 @@ envFlag(const char *name, bool fallback)
     return fallback;
 }
 
+std::string
+envString(const char *name, const std::string &fallback)
+{
+    const char *env = std::getenv(name);
+    if (!env)
+        return fallback;
+    if (*env == '\0') {
+        warn(name, ": set but empty; using default '", fallback, "'");
+        return fallback;
+    }
+    return std::string(env);
+}
+
 } // namespace util
 } // namespace predvfs

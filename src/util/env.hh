@@ -16,6 +16,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 namespace predvfs {
 namespace util {
@@ -41,6 +42,13 @@ std::size_t envSizeBytes(const char *name, std::size_t fallback);
  * (including empty) warns and falls back.
  */
 bool envFlag(const char *name, bool fallback);
+
+/**
+ * Read a string knob (PREDVFS_SNAPSHOT). An empty value warns and
+ * falls back — an empty path is always a configuration mistake, and
+ * silently treating it as "disabled" would hide the typo.
+ */
+std::string envString(const char *name, const std::string &fallback);
 
 } // namespace util
 } // namespace predvfs

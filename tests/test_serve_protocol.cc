@@ -11,6 +11,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
 
 #include "serve/client.hh"
@@ -153,6 +155,108 @@ TEST(FrameDecoder, SeededGarbageNeverCrashes)
             if (status != FrameDecoder::Status::Ready)
                 break;
         }
+    }
+}
+
+TEST(Protocol, DeadlineAndRetryAfterFieldsRoundTrip)
+{
+    PredictMsg predict;
+    predict.streamId = 2;
+    predict.requestId = 99;
+    predict.deadlineMicros = 123456789012345ULL;
+    rtl::WorkItem item;
+    item.fields = {7, -8};
+    predict.job.items.push_back(item);
+    PredictMsg predict_round;
+    ASSERT_TRUE(decodePredict(encodePredict(predict), predict_round));
+    EXPECT_EQ(predict_round.deadlineMicros, predict.deadlineMicros);
+    EXPECT_EQ(predict_round.requestId, predict.requestId);
+
+    ErrorMsg error;
+    error.code = static_cast<std::uint16_t>(ErrorCode::Busy);
+    error.requestId = 41;
+    error.retryAfterMicros = 300;
+    error.message = "stream 'sha' queue is full";
+    ErrorMsg error_round;
+    ASSERT_TRUE(decodeError(encodeError(error), error_round));
+    EXPECT_EQ(error_round.retryAfterMicros, error.retryAfterMicros);
+    EXPECT_EQ(error_round.requestId, error.requestId);
+    EXPECT_EQ(error_round.message, error.message);
+
+    EXPECT_STREQ(errorCodeName(ErrorCode::Busy), "busy");
+    EXPECT_STREQ(errorCodeName(ErrorCode::DeadlineExceeded),
+                 "deadline exceeded");
+}
+
+TEST(FrameDecoder, ErrorFramesInterleaveWithRepliesMidPipeline)
+{
+    // The wire a retrying client actually sees under backpressure: a
+    // reply, a Busy, another reply, a DeadlineExceeded, a
+    // ShuttingDown, a final reply — fed in seeded random fragments.
+    // The decoder must hand back all six frames in order with exact
+    // field values, whatever the fragmentation.
+    const auto reply = [](std::uint64_t id) {
+        PredictReplyMsg msg;
+        msg.requestId = id;
+        msg.cycles = id * 100;
+        msg.predictedCycles = static_cast<double>(id) + 0.5;
+        return encodeFrame(MsgType::PredictReply,
+                           encodePredictReply(msg));
+    };
+    const auto typedError = [](ErrorCode code, std::uint64_t id,
+                               std::uint64_t retry_after) {
+        ErrorMsg msg;
+        msg.code = static_cast<std::uint16_t>(code);
+        msg.requestId = id;
+        msg.retryAfterMicros = retry_after;
+        msg.message = "typed";
+        return encodeFrame(MsgType::Error, encodeError(msg));
+    };
+
+    std::vector<std::uint8_t> wire;
+    for (const auto &frame :
+         {reply(1), typedError(ErrorCode::Busy, 2, 300), reply(3),
+          typedError(ErrorCode::DeadlineExceeded, 4, 0),
+          typedError(ErrorCode::ShuttingDown, 0, 0), reply(5)}) {
+        wire.insert(wire.end(), frame.begin(), frame.end());
+    }
+
+    util::Rng rng(777);
+    for (int round = 0; round < 16; ++round) {
+        FrameDecoder decoder;
+        std::vector<Frame> frames;
+        std::size_t fed = 0;
+        while (fed < wire.size()) {
+            const std::size_t chunk = std::min<std::size_t>(
+                static_cast<std::size_t>(rng.uniformInt(1, 9)),
+                wire.size() - fed);
+            decoder.feed(&wire[fed], chunk);
+            fed += chunk;
+            Frame frame;
+            while (decoder.next(frame) == FrameDecoder::Status::Ready)
+                frames.push_back(frame);
+        }
+        ASSERT_EQ(frames.size(), 6u) << "round " << round;
+
+        PredictReplyMsg r;
+        ASSERT_TRUE(decodePredictReply(frames[0].payload, r));
+        EXPECT_EQ(r.requestId, 1u);
+        const ErrorMsg busy = expectErrorFrame(frames[1]);
+        EXPECT_EQ(static_cast<ErrorCode>(busy.code), ErrorCode::Busy);
+        EXPECT_EQ(busy.requestId, 2u);
+        EXPECT_EQ(busy.retryAfterMicros, 300u);
+        ASSERT_TRUE(decodePredictReply(frames[2].payload, r));
+        EXPECT_EQ(r.requestId, 3u);
+        EXPECT_EQ(r.predictedCycles, 3.5);
+        const ErrorMsg dead = expectErrorFrame(frames[3]);
+        EXPECT_EQ(static_cast<ErrorCode>(dead.code),
+                  ErrorCode::DeadlineExceeded);
+        EXPECT_EQ(dead.requestId, 4u);
+        const ErrorMsg bye = expectErrorFrame(frames[4]);
+        EXPECT_EQ(static_cast<ErrorCode>(bye.code),
+                  ErrorCode::ShuttingDown);
+        ASSERT_TRUE(decodePredictReply(frames[5].payload, r));
+        EXPECT_EQ(r.requestId, 5u);
     }
 }
 
@@ -341,6 +445,38 @@ TEST(ServeProtocol, TruncatedFrameCorpusAgainstLiveServer)
     PredictionClient client(server.connectLoopback());
     EXPECT_NE(client.statsJson().find("\"server\""),
               std::string::npos);
+}
+
+TEST(ServeProtocol, ConnectWithRetryZeroTimeoutIsSingleShot)
+{
+    if (!unixSocketsAvailable())
+        GTEST_SKIP() << "no Unix-domain sockets on this platform";
+
+    // Nothing listens here: timeout_ms = 0 is the documented "is a
+    // server there right now?" probe — one connect(2) attempt, no
+    // retry nap, immediate nullptr. (A looping implementation would
+    // sleep 10 ms per round; a deadline bug would spin forever.)
+    const std::string absent =
+        testing::TempDir() + "predvfs_absent.sock";
+    const auto t0 = std::chrono::steady_clock::now();
+    EXPECT_EQ(connectWithRetry(absent, /*timeout_ms=*/0), nullptr);
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    EXPECT_LT(elapsed, 1.0);
+
+    // And when a server *is* there, the single attempt succeeds.
+    const std::string path = testing::TempDir() + "predvfs_probe.sock";
+    PredictionServer server;
+    server.listenUnix(path);
+    const std::unique_ptr<Connection> conn =
+        connectWithRetry(path, /*timeout_ms=*/0);
+    EXPECT_NE(conn, nullptr);
+
+    // connectUnix is the historical alias for the same function.
+    EXPECT_EQ(connectUnix(absent, 0), nullptr);
+    EXPECT_NE(connectUnix(path, 0), nullptr);
 }
 
 TEST(ServeProtocolDeathTest, OversizedEncodeIsFatal)

@@ -9,7 +9,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <unordered_set>
 
 #include "accel/registry.hh"
 #include "core/flow.hh"
@@ -335,6 +340,194 @@ TEST(MemoizedPrepare, FaultsNeverPoisonTheCache)
             any_fault_effect = true;
     }
     EXPECT_TRUE(any_fault_effect);
+}
+
+// ---------------------------------------------------------------
+// Crash-safe snapshot persistence: atomic-rename writes, per-entry
+// and whole-file checksums, fingerprint filtering. Loading must
+// reject torn, corrupt, or foreign data entry by entry and never
+// crash — the worst possible snapshot is a cold start.
+// ---------------------------------------------------------------
+
+namespace {
+
+std::string
+snapshotPath(const char *leaf)
+{
+    return testing::TempDir() + leaf;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+}
+
+void
+writeFile(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path, std::ios::binary);
+    out.write(text.data(), static_cast<std::streamsize>(text.size()));
+}
+
+void
+expectPayloadBits(const CachedJob &got, const CachedJob &want)
+{
+    EXPECT_EQ(got.cycles, want.cycles);
+    EXPECT_EQ(got.energyUnits, want.energyUnits);
+    EXPECT_EQ(got.sliceCycles, want.sliceCycles);
+    EXPECT_EQ(got.sliceEnergyUnits, want.sliceEnergyUnits);
+    EXPECT_EQ(got.predictedCycles, want.predictedCycles);
+}
+
+} // namespace
+
+TEST(JobCacheSnapshot, RoundTripRestoresEveryEntryBitForBit)
+{
+    const std::string path = snapshotPath("jobcache_roundtrip.snap");
+    JobCache source(1 << 20);
+    for (std::int64_t v = 0; v < 8; ++v)
+        source.insert(1, jobOf(v), payloadOf(1.0 + double(v) / 7.0));
+    // Negative values, NaN-adjacent doubles, and a second stream all
+    // have to survive the text format.
+    CachedJob odd = payloadOf(2.5);
+    odd.energyUnits = -0.0;
+    odd.predictedCycles = 5e-324;  // Subnormal.
+    source.insert(2, jobOf(-9), odd);
+    ASSERT_TRUE(source.saveSnapshotFile(path));
+
+    JobCache restored(1 << 20);
+    const JobCache::SnapshotLoadStats stats =
+        restored.loadSnapshotFile(path);
+    EXPECT_EQ(stats.loaded, 9u);
+    EXPECT_EQ(stats.rejected, 0u);
+    EXPECT_FALSE(stats.tornTail);
+
+    CachedJob out;
+    for (std::int64_t v = 0; v < 8; ++v) {
+        ASSERT_TRUE(restored.lookup(1, jobOf(v), out)) << "job " << v;
+        expectPayloadBits(out, payloadOf(1.0 + double(v) / 7.0));
+    }
+    ASSERT_TRUE(restored.lookup(2, jobOf(-9), out));
+    expectPayloadBits(out, odd);
+    std::remove(path.c_str());
+}
+
+TEST(JobCacheSnapshot, FingerprintFilterRejectsForeignStreams)
+{
+    const std::string path = snapshotPath("jobcache_filter.snap");
+    JobCache source(1 << 20);
+    for (std::int64_t v = 0; v < 5; ++v)
+        source.insert(10, jobOf(v), payloadOf(1.0));
+    for (std::int64_t v = 0; v < 3; ++v)
+        source.insert(20, jobOf(v), payloadOf(2.0));
+    ASSERT_TRUE(source.saveSnapshotFile(path));
+
+    // Only stream 10 is "registered": stream 20's entries are a stale
+    // design or retrained predictor and must not be resurrected.
+    const std::unordered_set<std::uint64_t> accept = {10};
+    JobCache restored(1 << 20);
+    const JobCache::SnapshotLoadStats stats =
+        restored.loadSnapshotFile(path, &accept);
+    EXPECT_EQ(stats.loaded, 5u);
+    EXPECT_EQ(stats.rejected, 3u);
+    EXPECT_FALSE(stats.tornTail);
+    CachedJob out;
+    EXPECT_TRUE(restored.lookup(10, jobOf(0), out));
+    EXPECT_FALSE(restored.lookup(20, jobOf(0), out));
+    std::remove(path.c_str());
+}
+
+TEST(JobCacheSnapshot, TornTailLoadsValidatedPrefixOnly)
+{
+    const std::string path = snapshotPath("jobcache_torn.snap");
+    JobCache source(1 << 20);
+    for (std::int64_t v = 0; v < 6; ++v)
+        source.insert(1, jobOf(v), payloadOf(1.0 + double(v)));
+    ASSERT_TRUE(source.saveSnapshotFile(path));
+
+    // Cut the file mid-entry: the intact prefix loads, the ragged
+    // tail is rejected, and the missing footer marks the tear.
+    const std::string text = readFile(path);
+    writeFile(path, text.substr(0, text.size() * 2 / 3));
+    JobCache restored(1 << 20);
+    const JobCache::SnapshotLoadStats stats =
+        restored.loadSnapshotFile(path);
+    EXPECT_TRUE(stats.tornTail);
+    EXPECT_LT(stats.loaded, 6u);
+    EXPECT_GT(stats.loaded, 0u);
+    CachedJob out;
+    EXPECT_TRUE(restored.lookup(1, jobOf(0), out));
+    std::remove(path.c_str());
+}
+
+TEST(JobCacheSnapshot, CorruptEntryIsRejectedOthersSurvive)
+{
+    const std::string path = snapshotPath("jobcache_corrupt.snap");
+    JobCache source(1 << 20);
+    for (std::int64_t v = 0; v < 4; ++v)
+        source.insert(1, jobOf(v), payloadOf(1.0 + double(v)));
+    ASSERT_TRUE(source.saveSnapshotFile(path));
+
+    // Flip one digit inside the second entry line: its CRC no longer
+    // matches, so only that entry dies. The whole-file checksum also
+    // fails, which reads as a torn tail — suspicion, not a crash.
+    std::string text = readFile(path);
+    const std::size_t second = text.find("\nentry ", text.find("entry "));
+    ASSERT_NE(second, std::string::npos);
+    const std::size_t digit =
+        text.find_first_of("0123456789", second + 7);
+    ASSERT_NE(digit, std::string::npos);
+    text[digit] = text[digit] == '9' ? '3' : '9';
+    writeFile(path, text);
+
+    JobCache restored(1 << 20);
+    const JobCache::SnapshotLoadStats stats =
+        restored.loadSnapshotFile(path);
+    EXPECT_EQ(stats.loaded, 3u);
+    EXPECT_EQ(stats.rejected, 1u);
+    EXPECT_TRUE(stats.tornTail);
+    std::remove(path.c_str());
+}
+
+TEST(JobCacheSnapshot, HostileFilesDegradeToColdStart)
+{
+    JobCache cache(1 << 20);
+    // Missing file: the normal first boot, not even a warning.
+    {
+        const JobCache::SnapshotLoadStats stats = cache.loadSnapshotFile(
+            snapshotPath("jobcache_never_written.snap"));
+        EXPECT_EQ(stats.loaded, 0u);
+        EXPECT_FALSE(stats.tornTail);
+    }
+    // Wrong magic, binary junk, a forged footer: all rejected whole.
+    const char *hostile[] = {
+        "some other file format\n",
+        "\x00\xFF\x7F binary junk",
+        "predvfs-jobcache-v1\nentry 2 bogus\nfooter count 1 "
+        "checksum 0000000000000000\n",
+        "predvfs-jobcache-v1\nfooter count 7 checksum dead\n",
+    };
+    for (const char *text : hostile) {
+        const std::string path = snapshotPath("jobcache_hostile.snap");
+        writeFile(path, text);
+        const JobCache::SnapshotLoadStats stats =
+            cache.loadSnapshotFile(path);
+        EXPECT_EQ(stats.loaded, 0u) << "file: " << text;
+        EXPECT_TRUE(stats.tornTail) << "file: " << text;
+        std::remove(path.c_str());
+    }
+    EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(JobCacheSnapshot, SaveToUnwritablePathFailsGracefully)
+{
+    JobCache cache(1 << 20);
+    cache.insert(1, jobOf(1), payloadOf(1.0));
+    EXPECT_FALSE(cache.saveSnapshotFile(
+        "/nonexistent-predvfs-dir/cache.snap"));
 }
 
 // ---------------------------------------------------------------
