@@ -5,6 +5,7 @@
 
 #include "rtl/verify.hh"
 #include "util/logging.hh"
+#include "util/simd.hh"
 
 namespace predvfs {
 namespace rtl {
@@ -46,13 +47,65 @@ lowerOp(Op op)
  * Run one straight-line program. @p sp_base and @p locals must have
  * room for the program's declared stack depth and local count; the
  * result is the single value left on the stack.
+ *
+ * On GCC/Clang dispatch is token-threaded: each handler jumps
+ * directly to the next instruction's handler through a label table
+ * (computed goto), so the indirect branch predictor sees one
+ * per-opcode-pair branch instead of a single shared dispatch branch.
+ * The portable switch loop below is the fallback — both execute the
+ * identical per-op semantics.
  */
 std::int64_t
 execProgram(const BInstr *code, std::size_t n, const std::int64_t *pool,
             const std::int64_t *fields, std::int64_t *sp_base,
             std::int64_t *locals)
 {
+    if (n == 0)
+        return 0;  // Program roots are never empty; defensive.
     std::int64_t *sp = sp_base;
+#if defined(__GNUC__) || defined(__clang__)
+    // One entry per BOp, in exact enum order.
+    static const void *const kLabels[] = {
+        &&l_push_const, &&l_push_field, &&l_load_local,
+        &&l_store_local, &&l_add, &&l_sub, &&l_mul, &&l_div, &&l_mod,
+        &&l_min, &&l_max, &&l_eq, &&l_ne, &&l_lt, &&l_le, &&l_gt,
+        &&l_ge, &&l_and, &&l_or, &&l_not, &&l_select,
+    };
+    const BInstr *ip = code;
+    const BInstr *const end = code + n;
+#define PREDVFS_NEXT                                                   \
+    do {                                                               \
+        if (++ip == end)                                               \
+            return sp[-1];                                             \
+        goto *kLabels[static_cast<std::size_t>(ip->op)];               \
+    } while (0)
+    goto *kLabels[static_cast<std::size_t>(ip->op)];
+  l_push_const: *sp++ = pool[ip->arg]; PREDVFS_NEXT;
+  l_push_field: *sp++ = fields[ip->arg]; PREDVFS_NEXT;
+  l_load_local: *sp++ = locals[ip->arg]; PREDVFS_NEXT;
+  l_store_local: locals[ip->arg] = sp[-1]; PREDVFS_NEXT;
+  l_add: sp[-2] = sp[-2] + sp[-1]; --sp; PREDVFS_NEXT;
+  l_sub: sp[-2] = sp[-2] - sp[-1]; --sp; PREDVFS_NEXT;
+  l_mul: sp[-2] = sp[-2] * sp[-1]; --sp; PREDVFS_NEXT;
+  l_div: sp[-2] = safeDiv(sp[-2], sp[-1]); --sp; PREDVFS_NEXT;
+  l_mod: sp[-2] = safeMod(sp[-2], sp[-1]); --sp; PREDVFS_NEXT;
+  l_min: sp[-2] = sp[-2] < sp[-1] ? sp[-2] : sp[-1]; --sp; PREDVFS_NEXT;
+  l_max: sp[-2] = sp[-2] > sp[-1] ? sp[-2] : sp[-1]; --sp; PREDVFS_NEXT;
+  l_eq: sp[-2] = sp[-2] == sp[-1] ? 1 : 0; --sp; PREDVFS_NEXT;
+  l_ne: sp[-2] = sp[-2] != sp[-1] ? 1 : 0; --sp; PREDVFS_NEXT;
+  l_lt: sp[-2] = sp[-2] < sp[-1] ? 1 : 0; --sp; PREDVFS_NEXT;
+  l_le: sp[-2] = sp[-2] <= sp[-1] ? 1 : 0; --sp; PREDVFS_NEXT;
+  l_gt: sp[-2] = sp[-2] > sp[-1] ? 1 : 0; --sp; PREDVFS_NEXT;
+  l_ge: sp[-2] = sp[-2] >= sp[-1] ? 1 : 0; --sp; PREDVFS_NEXT;
+  l_and: sp[-2] = (sp[-2] != 0 && sp[-1] != 0) ? 1 : 0; --sp;
+    PREDVFS_NEXT;
+  l_or: sp[-2] = (sp[-2] != 0 || sp[-1] != 0) ? 1 : 0; --sp;
+    PREDVFS_NEXT;
+  l_not: sp[-1] = sp[-1] == 0 ? 1 : 0; PREDVFS_NEXT;
+  l_select: sp[-3] = sp[-3] != 0 ? sp[-2] : sp[-1]; sp -= 2;
+    PREDVFS_NEXT;
+#undef PREDVFS_NEXT
+#else
     for (std::size_t i = 0; i < n; ++i) {
         const BInstr in = code[i];
         switch (in.op) {
@@ -95,6 +148,7 @@ execProgram(const BInstr *code, std::size_t n, const std::int64_t *pool,
         }
     }
     return sp[-1];
+#endif
 }
 
 /** Wrapping int64 helpers: reassociating an affine expression must
@@ -137,16 +191,93 @@ isCmpOp(Op op)
     }
 }
 
+/** Is @p e the guard shape `fields[f] == k`? Outputs f and k. */
+bool
+isFieldEqConst(const Expr &e, FieldId &field, std::int64_t &key)
+{
+    static const std::vector<std::int64_t> kNoFields;
+    if (e.op() != Op::Eq)
+        return false;
+    if (e.args()[0]->op() == Op::Field && e.args()[1]->isConstant()) {
+        field = e.args()[0]->fieldId();
+        key = e.args()[1]->eval(kNoFields);
+        return true;
+    }
+    if (e.args()[1]->op() == Op::Field && e.args()[0]->isConstant()) {
+        field = e.args()[1]->fieldId();
+        key = e.args()[0]->eval(kNoFields);
+        return true;
+    }
+    return false;
+}
+
+/**
+ * Fold a mode table — `select(f == k1, c1, select(f == k2, c2, ...,
+ * cn))`, one field, distinct keys, constant arms — into affine terms:
+ * the terminal constant joins the immediate and each arm becomes one
+ * CondCmp term `(f == ki) ? scale*ci - scale*cn : 0`. The keys are
+ * mutually exclusive on one field, so for any field value at most one
+ * term fires and the sum reproduces the chain's selected arm exactly
+ * (mod 2^64). Returns false (leaving no partial terms) on any other
+ * shape.
+ */
+bool
+foldSelectChain(const Expr &e, std::int64_t scale, std::int64_t &imm,
+                std::vector<ATerm> &terms)
+{
+    static const std::vector<std::int64_t> kNoFields;
+    FieldId field = -1;
+    std::vector<std::int64_t> keys;
+    std::vector<std::int64_t> arms;
+    const Expr *cur = &e;
+    while (cur->op() == Op::Select) {
+        FieldId f = -1;
+        std::int64_t k = 0;
+        if (!isFieldEqConst(*cur->args()[0], f, k) ||
+            !cur->args()[1]->isConstant())
+            return false;
+        if (field < 0)
+            field = f;
+        else if (f != field)
+            return false;
+        for (const std::int64_t seen : keys)
+            if (seen == k)
+                return false;
+        keys.push_back(k);
+        arms.push_back(cur->args()[1]->eval(kNoFields));
+        cur = cur->args()[2].get();
+    }
+    if (keys.size() < 2 || !cur->isConstant())
+        return false;
+    const std::int64_t term = cur->eval(kNoFields);
+    imm = addWrap(imm, mulWrap(scale, term));
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        ATerm t;
+        t.kind = 2;
+        t.field = field;
+        t.cmp = BOp::Eq;
+        t.z = keys[i];
+        t.a = addWrap(mulWrap(scale, arms[i]),
+                      mulWrap(scale, mulWrap(term, -1)));
+        t.b = 0;
+        terms.push_back(t);
+    }
+    return true;
+}
+
 /**
  * Extract `imm + sum(terms)` from a tree of Add/Sub/Mul-by-constant
  * nodes, where a term is a scaled field or a constant-armed Select
  * (`field ? a : b`, or `field cmp c ? a : b`). These are the only ops
  * that distribute over the collected scale, so the reassociated sum
- * equals the tree's evaluation mod 2^64.
+ * equals the tree's evaluation mod 2^64. With @p fold_chains,
+ * same-field equality-keyed select chains fold too (the caller gates
+ * this on the root's enumerable field domain so the translation
+ * validator can still prove the reassociated form equivalent).
  */
 bool
 collectAffine(const Expr &e, std::int64_t scale, std::int64_t &imm,
-              std::vector<ATerm> &terms)
+              std::vector<ATerm> &terms, bool fold_chains)
 {
     static const std::vector<std::int64_t> kNoFields;
     if (e.isConstant()) {
@@ -162,32 +293,37 @@ collectAffine(const Expr &e, std::int64_t scale, std::int64_t &imm,
         return true;
       }
       case Op::Add:
-        return collectAffine(*e.args()[0], scale, imm, terms) &&
-               collectAffine(*e.args()[1], scale, imm, terms);
+        return collectAffine(*e.args()[0], scale, imm, terms,
+                             fold_chains) &&
+               collectAffine(*e.args()[1], scale, imm, terms,
+                             fold_chains);
       case Op::Sub:
-        return collectAffine(*e.args()[0], scale, imm, terms) &&
+        return collectAffine(*e.args()[0], scale, imm, terms,
+                             fold_chains) &&
                collectAffine(*e.args()[1], mulWrap(scale, -1), imm,
-                             terms);
+                             terms, fold_chains);
       case Op::Mul:
         if (e.args()[0]->isConstant()) {
             return collectAffine(
                 *e.args()[1],
                 mulWrap(scale, e.args()[0]->eval(kNoFields)), imm,
-                terms);
+                terms, fold_chains);
         }
         if (e.args()[1]->isConstant()) {
             return collectAffine(
                 *e.args()[0],
                 mulWrap(scale, e.args()[1]->eval(kNoFields)), imm,
-                terms);
+                terms, fold_chains);
         }
         return false;
       case Op::Select: {
         const Expr &c = *e.args()[0];
         const Expr &ta = *e.args()[1];
         const Expr &fa = *e.args()[2];
-        if (!ta.isConstant() || !fa.isConstant())
-            return false;
+        if (!ta.isConstant() || !fa.isConstant()) {
+            return fold_chains &&
+                foldSelectChain(e, scale, imm, terms);
+        }
         ATerm t;
         t.a = mulWrap(scale, ta.eval(kNoFields));
         t.b = mulWrap(scale, fa.eval(kNoFields));
@@ -223,6 +359,60 @@ maxFieldOf(const Expr &e)
         m = std::max(m, maxFieldOf(*k));
     return m;
 }
+
+/** Mark every field @p e reads in @p used. */
+void
+collectFields(const Expr &e, std::vector<bool> &used)
+{
+    if (e.op() == Op::Field) {
+        const auto f = static_cast<std::size_t>(e.fieldId());
+        if (f < used.size())
+            used[f] = true;
+        return;
+    }
+    for (const ExprPtr &k : e.args())
+        collectFields(*k, used);
+}
+
+/**
+ * Product of the declared domain sizes of every field @p e reads,
+ * saturated at @p cap + 1. The select-chain fold reassociates in a
+ * way the validator's canonical polynomials cannot always match, so
+ * the fold is only legal when the validator's exhaustive-enumeration
+ * fallback (bounded by its point budget) can still discharge the
+ * proof.
+ */
+std::uint64_t
+fieldDomainProduct(const Expr &e, const std::vector<FieldBounds> &bounds,
+                   std::uint64_t cap)
+{
+    std::vector<bool> used(bounds.size(), false);
+    collectFields(e, used);
+    std::uint64_t product = 1;
+    for (std::size_t f = 0; f < used.size(); ++f) {
+        if (!used[f])
+            continue;
+        const FieldBounds &b = bounds[f];
+        if (b.lo > b.hi)
+            return cap + 1;
+        const std::uint64_t span =
+            static_cast<std::uint64_t>(b.hi) -
+            static_cast<std::uint64_t>(b.lo);
+        if (span >= cap)
+            return cap + 1;
+        product *= span + 1;
+        if (product > cap)
+            return cap + 1;
+    }
+    return product;
+}
+
+/**
+ * The validator proves enumeration-fallback roots over at most this
+ * many field-vector points (rtl/verify.cc kMaxEnumDomain); folds that
+ * rely on that fallback must stay within it.
+ */
+constexpr std::uint64_t kMaxFoldDomain = 4096;
 
 /** Total node count of a tree (for the Bin2-vs-bytecode heuristic). */
 std::size_t
@@ -549,9 +739,15 @@ CompiledDesign::CompiledDesign(const Design &design)
         // fields they read here.
         maxFieldRead = std::max(maxFieldRead, maxFieldOf(*tree));
 
+        // Mode-table select chains may fold into affine terms only
+        // when the root stays exhaustively provable (see
+        // fieldDomainProduct); plain affine shapes always fold.
+        const bool fold_chains =
+            fieldDomainProduct(*tree, src->fieldBounds(),
+                               kMaxFoldDomain) <= kMaxFoldDomain;
         std::int64_t imm = 0;
         std::vector<ATerm> terms;
-        if (collectAffine(*tree, 1, imm, terms)) {
+        if (collectAffine(*tree, 1, imm, terms, fold_chains)) {
             // Merge identical-shape terms: s1*f + s2*f == (s1+s2)*f
             // mod 2^64, so folding coefficients (and conditional arms)
             // preserves the sum.
@@ -737,6 +933,11 @@ CompiledDesign::CompiledDesign(const Design &design)
     buildSegments();
     buildTraces();
 
+    // Speculation is opt-in (speculate()); until then every FSM
+    // without a static trace takes the scalar batch fallback.
+    specTraces.assign(cfsms.size(), CSpecTrace{});
+    specPredict.assign(states.size(), 1);
+
     // Translation validation: prove the artifact we just built matches
     // the source design before anyone can run it (PREDVFS_VERIFY).
     verifyOnBuild(*this);
@@ -793,6 +994,222 @@ CompiledDesign::numLockstepFsms() const
     std::size_t n = 0;
     for (const CTrace &tr : traces)
         if (tr.valid)
+            ++n;
+    return n;
+}
+
+bool
+CompiledDesign::deriveDecision(std::uint32_t g, std::int32_t &guard,
+                               StateId &taken_dst,
+                               StateId &not_dst) const
+{
+    const CState &st = states[g];
+    if (st.terminal || segs[g].numSlots != 0)
+        return false;  // Only branch-dynamic heads carry a decision.
+
+    guard = -1;
+    taken_dst = -1;
+    not_dst = -1;
+    const CTransition *tr = trans.data() + st.firstTrans;
+    std::uint32_t i = 0;
+    for (; i < st.numTrans; ++i) {
+        if (tr[i].guard < 0)
+            return false;  // Static route; not a branch (defensive).
+        const CExpr &ge = programs[tr[i].guard];
+        if (ge.kind == CExpr::Kind::Const) {
+            if (ge.imm != 0)
+                return false;  // Constant-true: statically routed.
+            continue;          // Constant-false: always skipped.
+        }
+        guard = tr[i].guard;
+        taken_dst = tr[i].dst;
+        ++i;
+        break;
+    }
+    if (guard < 0)
+        return false;
+    // Two-way only: every edge after the decision must resolve
+    // statically, so guard-false lands on exactly one fallback.
+    for (; i < st.numTrans; ++i) {
+        if (tr[i].guard < 0) {
+            not_dst = tr[i].dst;
+            break;
+        }
+        const CExpr &ge = programs[tr[i].guard];
+        if (ge.kind != CExpr::Kind::Const)
+            return false;  // A second dynamic guard: not two-way.
+        if (ge.imm != 0) {
+            not_dst = tr[i].dst;
+            break;
+        }
+    }
+    // No fallback edge means guard-false panics in the scalar walk;
+    // never speculate over a partial transition relation.
+    return not_dst >= 0;
+}
+
+void
+CompiledDesign::buildSpecTraces()
+{
+    specNodes.clear();
+    specTraces.assign(cfsms.size(), CSpecTrace{});
+    for (std::size_t id = 0; id < cfsms.size(); ++id) {
+        if (traces[id].valid)
+            continue;  // Static lockstep is strictly better.
+        const CFsm &fsm = cfsms[id];
+        CSpecTrace sp;
+        sp.first = static_cast<std::uint32_t>(specNodes.size());
+
+        // `visited` marks walk heads; a chain may end inside itself
+        // (statically-closed loop), but the loop head then repeats as
+        // a walk head and the check still terminates the walk.
+        std::vector<bool> visited(fsm.numStates, false);
+        StateId cur = fsm.initial;
+        bool ok = true;
+        bool any_branch = false;
+        while (true) {
+            if (visited[cur]) {
+                ok = false;  // Predicted path loops: not speculable.
+                break;
+            }
+            visited[cur] = true;
+            const std::uint32_t g = fsm.firstState +
+                static_cast<std::uint32_t>(cur);
+            const CSegment &seg = segs[g];
+            if (seg.numSlots != 0) {
+                CSpecNode nd;
+                nd.g = g;
+                const CRun *rp = runs.data() + seg.firstRun;
+                for (std::uint32_t i = 0; i < seg.numRuns; ++i)
+                    nd.cycles += rp[i].cycles;
+                specNodes.push_back(nd);
+                if (seg.next < 0)
+                    break;
+                cur = seg.next;
+                continue;
+            }
+            CSpecNode nd;
+            nd.g = g;
+            nd.branch = true;
+            if (!deriveDecision(g, nd.guard, nd.takenDst, nd.notDst)) {
+                ok = false;
+                break;
+            }
+            nd.predictTaken = specPredict[g] != 0;
+            specNodes.push_back(nd);
+            any_branch = true;
+            cur = nd.predictTaken ? nd.takenDst : nd.notDst;
+        }
+
+        if (ok && any_branch) {
+            sp.count =
+                static_cast<std::uint32_t>(specNodes.size()) - sp.first;
+            sp.valid = true;
+        } else {
+            specNodes.resize(sp.first);
+            sp = CSpecTrace{};
+        }
+        specTraces[id] = sp;
+    }
+}
+
+void
+CompiledDesign::speculate(const JobInput *const *jobs, std::size_t n)
+{
+    // Identify every speculable decision up front so the profile pass
+    // knows which transitions to count.
+    std::vector<StateId> taken_of(states.size(), -1);
+    for (std::size_t id = 0; id < cfsms.size(); ++id) {
+        const CFsm &fsm = cfsms[id];
+        for (std::uint32_t s = 0; s < fsm.numStates; ++s) {
+            const std::uint32_t g = fsm.firstState + s;
+            std::int32_t guard = -1;
+            StateId tk = -1;
+            StateId nt = -1;
+            if (deriveDecision(g, guard, tk, nt))
+                taken_of[g] = tk;
+        }
+    }
+
+    // One recorded pass over the profile stream: count, per decision
+    // head, how often the taken edge fired. The recorder sees the
+    // exact transition stream the reference walker emits.
+    struct ProfileRecorder final : Recorder
+    {
+        const CompiledDesign &comp;
+        const std::vector<StateId> &takenOf;
+        std::vector<std::uint64_t> takenCnt;
+        std::vector<std::uint64_t> totalCnt;
+
+        explicit ProfileRecorder(const CompiledDesign &c,
+                                 const std::vector<StateId> &t)
+            : comp(c), takenOf(t), takenCnt(c.states.size(), 0),
+              totalCnt(c.states.size(), 0)
+        {}
+
+        void
+        onTransition(FsmId fsm, StateId src, StateId dst) override
+        {
+            const std::uint32_t g =
+                comp.cfsms[static_cast<std::size_t>(fsm)].firstState +
+                static_cast<std::uint32_t>(src);
+            if (takenOf[g] < 0)
+                return;
+            ++totalCnt[g];
+            if (dst == takenOf[g])
+                ++takenCnt[g];
+        }
+
+        void
+        onCounterArm(CounterId, std::int64_t, std::int64_t) override
+        {}
+    };
+
+    specPredict.assign(states.size(), 1);
+    if (n != 0) {
+        ProfileRecorder rec(*this, taken_of);
+        for (std::size_t i = 0; i < n; ++i)
+            run(*jobs[i], &rec);
+        for (std::size_t g = 0; g < states.size(); ++g) {
+            if (taken_of[g] < 0 || rec.totalCnt[g] == 0)
+                continue;
+            const std::uint64_t taken = rec.takenCnt[g];
+            specPredict[g] =
+                taken * 2 >= rec.totalCnt[g] ? 1 : 0;
+        }
+    }
+
+    buildSpecTraces();
+
+    // Re-audit the whole artifact, speculation tables included.
+    verifyOnBuild(*this);
+}
+
+void
+CompiledDesign::speculate(const std::vector<JobInput> &jobs)
+{
+    std::vector<const JobInput *> ptrs;
+    ptrs.reserve(jobs.size());
+    for (const JobInput &job : jobs)
+        ptrs.push_back(&job);
+    speculate(ptrs.data(), ptrs.size());
+}
+
+void
+CompiledDesign::invertSpeculation()
+{
+    for (std::uint8_t &p : specPredict)
+        p = p != 0 ? 0 : 1;
+    buildSpecTraces();
+    verifyOnBuild(*this);
+}
+
+std::size_t
+CompiledDesign::numSpeculatedFsms() const
+{
+    std::size_t n = 0;
+    for (const CSpecTrace &sp : specTraces)
+        if (sp.valid)
             ++n;
     return n;
 }
@@ -986,18 +1403,22 @@ CompiledDesign::evalExpr(const CExpr &e, const std::int64_t *fields,
 {
     if (e.kind <= CExpr::Kind::BinCF)
         return evalLeaf(e, fields);
+    // Superinstruction dispatch: leaf children (the overwhelmingly
+    // common case — Affine/Select3 and leaf-binary pairs) evaluate
+    // through the always-inlined evalLeaf instead of a recursive call.
+    const auto sub = [&](std::int32_t idx) {
+        const CExpr &k = programs[idx];
+        return k.kind <= CExpr::Kind::BinCF
+            ? evalLeaf(k, fields)
+            : evalExpr(k, fields, stack, locals);
+    };
     switch (e.kind) {
       case CExpr::Kind::Bin2:
-        return applyBOp(e.op,
-                        evalExpr(programs[e.a], fields, stack, locals),
-                        evalExpr(programs[e.b], fields, stack, locals));
+        return applyBOp(e.op, sub(e.a), sub(e.b));
       case CExpr::Kind::Not1:
-        return evalExpr(programs[e.a], fields, stack, locals) == 0
-            ? 1 : 0;
+        return sub(e.a) == 0 ? 1 : 0;
       case CExpr::Kind::Select3:
-        return evalExpr(programs[e.a], fields, stack, locals) != 0
-            ? evalExpr(programs[e.b], fields, stack, locals)
-            : evalExpr(programs[e.c], fields, stack, locals);
+        return sub(e.a) != 0 ? sub(e.b) : sub(e.c);
       default:
         return execProgram(code.data() + e.first, e.count, pool.data(),
                            fields, stack, locals);
@@ -1006,7 +1427,8 @@ CompiledDesign::evalExpr(const CExpr &e, const std::int64_t *fields,
 
 template <bool WithRec>
 std::uint64_t
-CompiledDesign::runFsm(FsmId id, const std::int64_t *fields,
+CompiledDesign::runFsm(FsmId id, StateId start,
+                       const std::int64_t *fields,
                        Recorder *recorder, double &energy_units,
                        std::int64_t *stack, std::int64_t *locals) const
 {
@@ -1018,7 +1440,7 @@ CompiledDesign::runFsm(FsmId id, const std::int64_t *fields,
 
     std::uint64_t cycles = 0;
     std::size_t visits = 0;
-    StateId cur = fsm.initial;
+    StateId cur = start;
 
     while (true) {
         const CSegment &seg = sbase[cur];
@@ -1246,7 +1668,8 @@ CompiledDesign::runJob(const JobInput &job, Recorder *recorder,
             const FsmId dep = cfsms[id].startAfter;
             const std::uint64_t start = dep < 0 ? 0 : end_time[dep];
             const std::uint64_t lat =
-                runFsm<WithRec>(id, item.fields.data(), recorder,
+                runFsm<WithRec>(id, cfsms[id].initial,
+                                item.fields.data(), recorder,
                                 result.energyUnits, stack, locals);
             end_time[id] = start + lat;
             item_latency = std::max(item_latency, end_time[id]);
@@ -1270,9 +1693,16 @@ CompiledDesign::run(const JobInput &job, Recorder *recorder,
 
 void
 CompiledDesign::runBatch(const JobInput *const *jobs, std::size_t n,
-                         JobResult *out) const
+                         JobResult *out, BatchStats *stats) const
 {
     const std::size_t num_fsms = cfsms.size();
+    if (stats) {
+        stats->fsms.assign(num_fsms, BatchFsmStats{});
+        for (std::size_t id = 0; id < num_fsms; ++id) {
+            stats->fsms[id].lockstep = traces[id].valid;
+            stats->fsms[id].speculated = specTraces[id].valid;
+        }
+    }
     const std::size_t nf = maxFieldRead < 0
         ? 0
         : static_cast<std::size_t>(maxFieldRead) + 1;
@@ -1297,31 +1727,33 @@ CompiledDesign::runBatch(const JobInput *const *jobs, std::size_t n,
     std::vector<const std::int64_t *> fptr(n);
     std::vector<std::int64_t> fieldsT(nf * n);
     std::vector<std::int64_t> v(n);
+    std::vector<std::int64_t> u(n);   //!< Superinstruction operand 1.
+    std::vector<std::int64_t> w(n);   //!< Superinstruction operand 2.
+    std::vector<std::size_t> spec(n); //!< Still-speculating lane set.
     std::vector<std::uint64_t> lat(n);
     std::vector<double> estep(n);
     std::vector<std::uint64_t> end_time(num_fsms * n);
     std::vector<std::uint64_t> item_lat(n);
 
-    // Evaluate one dwell program for lanes [0, A): values into v.
-    // Field reads stream from the field-major transpose; only the
-    // rare non-leaf kinds fall back to per-lane recursive evaluation
-    // over the lane's original (AoS) field array.
-    const auto evalLanes = [&](const CExpr &pe, std::size_t A) {
+    namespace simd = util::simd;
+
+    // Evaluate one flat (leaf) node for lanes [0, A) into @p dst.
+    // Field reads stream from the field-major transpose in stride-1
+    // lane loops.
+    const auto evalLeafLanes = [&](const CExpr &pe, std::size_t A,
+                                   std::int64_t *dst) {
         switch (pe.kind) {
           case CExpr::Kind::Const:
-            for (std::size_t j = 0; j < A; ++j)
-                v[j] = pe.imm;
+            simd::fillI64(dst, A, pe.imm);
             break;
           case CExpr::Kind::Field: {
             const std::int64_t *F =
                 fieldsT.data() + static_cast<std::size_t>(pe.field) * A;
-            for (std::size_t j = 0; j < A; ++j)
-                v[j] = F[j];
+            std::copy(F, F + A, dst);
             break;
           }
           case CExpr::Kind::Affine: {
-            for (std::size_t j = 0; j < A; ++j)
-                v[j] = pe.imm;
+            simd::fillI64(dst, A, pe.imm);
             const CTerm *terms = affinePool.data() + pe.first;
             for (std::uint32_t i = 0; i < pe.count; ++i) {
                 const CTerm &m = terms[i];
@@ -1329,17 +1761,23 @@ CompiledDesign::runBatch(const JobInput *const *jobs, std::size_t n,
                     static_cast<std::size_t>(m.field) * A;
                 switch (m.kind) {
                   case CTerm::Kind::Linear:
-                    for (std::size_t j = 0; j < A; ++j)
-                        v[j] += m.a * F[j];
+                    simd::addScaledI64(dst, F, A, m.a);
                     break;
                   case CTerm::Kind::Cond:
                     for (std::size_t j = 0; j < A; ++j)
-                        v[j] += F[j] != 0 ? m.a : m.b;
+                        dst[j] += F[j] != 0 ? m.a : m.b;
                     break;
                   case CTerm::Kind::CondCmp:
-                    for (std::size_t j = 0; j < A; ++j)
-                        v[j] += applyBOp(m.cmp, F[j], m.z) != 0
-                            ? m.a : m.b;
+                    if (m.cmp == BOp::Eq) {
+                        // The mode-table shape: a direct compare
+                        // beats the generic op dispatch.
+                        for (std::size_t j = 0; j < A; ++j)
+                            dst[j] += F[j] == m.z ? m.a : m.b;
+                    } else {
+                        for (std::size_t j = 0; j < A; ++j)
+                            dst[j] += applyBOp(m.cmp, F[j], m.z) != 0
+                                ? m.a : m.b;
+                    }
                     break;
                 }
             }
@@ -1351,28 +1789,75 @@ CompiledDesign::runBatch(const JobInput *const *jobs, std::size_t n,
             const std::int64_t *Fb =
                 fieldsT.data() + static_cast<std::size_t>(pe.fieldB) * A;
             for (std::size_t j = 0; j < A; ++j)
-                v[j] = applyBOp(pe.op, Fa[j], Fb[j]);
+                dst[j] = applyBOp(pe.op, Fa[j], Fb[j]);
             break;
           }
           case CExpr::Kind::BinFC: {
             const std::int64_t *F =
                 fieldsT.data() + static_cast<std::size_t>(pe.field) * A;
             for (std::size_t j = 0; j < A; ++j)
-                v[j] = applyBOp(pe.op, F[j], pe.imm);
+                dst[j] = applyBOp(pe.op, F[j], pe.imm);
             break;
           }
-          case CExpr::Kind::BinCF: {
+          default: {  // BinCF; callers never pass recursive kinds.
             const std::int64_t *F =
                 fieldsT.data() + static_cast<std::size_t>(pe.fieldB) * A;
             for (std::size_t j = 0; j < A; ++j)
-                v[j] = applyBOp(pe.op, pe.imm, F[j]);
+                dst[j] = applyBOp(pe.op, pe.imm, F[j]);
             break;
           }
+        }
+    };
+
+    // Evaluate one dwell/guard program for lanes [0, A): values into
+    // v. Leaf kinds vectorise directly; one-level composites over
+    // leaf children (the Select3/Bin2 superinstructions) evaluate
+    // both operands lane-wise and blend — exact, because every
+    // expression is pure and total, so evaluating an untaken select
+    // arm cannot change the selected lane value. Only deeper shapes
+    // fall back to per-lane recursive evaluation over the lane's
+    // original (AoS) field array.
+    const auto evalLanes = [&](const CExpr &pe, std::size_t A) {
+        if (pe.kind <= CExpr::Kind::BinCF) {
+            evalLeafLanes(pe, A, v.data());
+            return;
+        }
+        switch (pe.kind) {
+          case CExpr::Kind::Bin2:
+            if (programs[pe.a].kind <= CExpr::Kind::BinCF &&
+                programs[pe.b].kind <= CExpr::Kind::BinCF) {
+                evalLeafLanes(programs[pe.a], A, u.data());
+                evalLeafLanes(programs[pe.b], A, v.data());
+                for (std::size_t j = 0; j < A; ++j)
+                    v[j] = applyBOp(pe.op, u[j], v[j]);
+                return;
+            }
+            break;
+          case CExpr::Kind::Not1:
+            if (programs[pe.a].kind <= CExpr::Kind::BinCF) {
+                evalLeafLanes(programs[pe.a], A, v.data());
+                for (std::size_t j = 0; j < A; ++j)
+                    v[j] = v[j] == 0 ? 1 : 0;
+                return;
+            }
+            break;
+          case CExpr::Kind::Select3:
+            if (programs[pe.a].kind <= CExpr::Kind::BinCF &&
+                programs[pe.b].kind <= CExpr::Kind::BinCF &&
+                programs[pe.c].kind <= CExpr::Kind::BinCF) {
+                evalLeafLanes(programs[pe.a], A, u.data());
+                evalLeafLanes(programs[pe.b], A, w.data());
+                evalLeafLanes(programs[pe.c], A, v.data());
+                for (std::size_t j = 0; j < A; ++j)
+                    v[j] = u[j] != 0 ? w[j] : v[j];
+                return;
+            }
+            break;
           default:
-            for (std::size_t j = 0; j < A; ++j)
-                v[j] = evalExpr(pe, fptr[j], stack, locals);
             break;
         }
+        for (std::size_t j = 0; j < A; ++j)
+            v[j] = evalExpr(pe, fptr[j], stack, locals);
     };
 
     // Clamp v to dwell and accumulate — the slot's counter/waitScale
@@ -1435,9 +1920,9 @@ CompiledDesign::runBatch(const JobInput *const *jobs, std::size_t n,
         for (FsmId id : order) {
             const CFsm &fsm = cfsms[id];
             const CTrace &tr = traces[id];
+            const CSpecTrace &st_spec = specTraces[id];
             if (tr.valid) {
-                for (std::size_t j = 0; j < A; ++j)
-                    lat[j] = tr.staticCycles;
+                simd::fillU64(lat.data(), A, tr.staticCycles);
                 const std::uint32_t *ts = traceStates.data() + tr.first;
                 for (std::uint32_t k = 0; k < tr.count; ++k) {
                     const CSegment &seg = segs[ts[k]];
@@ -1445,11 +1930,8 @@ CompiledDesign::runBatch(const JobInput *const *jobs, std::size_t n,
                     for (std::uint32_t i = 0; i < seg.numRuns; ++i) {
                         const CRun &r = rp[i];
                         const double *a = addendPool.data() + r.firstAdd;
-                        for (std::uint32_t q = 0; q < r.numAdds; ++q) {
-                            const double add = a[q];
-                            for (std::size_t j = 0; j < A; ++j)
-                                estep[j] += add;
-                        }
+                        for (std::uint32_t q = 0; q < r.numAdds; ++q)
+                            simd::addScalarF64(estep.data(), A, a[q]);
                         if (r.dynSlot < 0)
                             continue;
                         const CSlot &s = slots[r.dynSlot];
@@ -1457,10 +1939,165 @@ CompiledDesign::runBatch(const JobInput *const *jobs, std::size_t n,
                         addDyn(s, A);
                     }
                 }
+                if (stats)
+                    stats->fsms[id].lockstepLaneItems += A;
+            } else if (st_spec.valid) {
+                // Speculative lockstep: all lanes march the predicted
+                // route; `spec` holds the lanes still in lockstep
+                // (initially all of them, compacted on demotion). A
+                // demoted lane's prefix — same segments, same slots,
+                // same addend order — is byte-identical to the scalar
+                // walk's, so finishing it with runFsm from the actual
+                // successor reproduces the scalar result exactly.
+                std::size_t S = A;
+                bool dense = true;
+                for (std::size_t j = 0; j < A; ++j)
+                    spec[j] = j;
+                simd::fillU64(lat.data(), A, 0);
+                const CSpecNode *nodes = specNodes.data() + st_spec.first;
+                for (std::uint32_t k = 0; k < st_spec.count && S != 0;
+                     ++k) {
+                    const CSpecNode &nd = nodes[k];
+                    if (!nd.branch) {
+                        const CSegment &seg = segs[nd.g];
+                        if (dense) {
+                            simd::addScalarU64(lat.data(), S, nd.cycles);
+                        } else {
+                            for (std::size_t q = 0; q < S; ++q)
+                                lat[spec[q]] += nd.cycles;
+                        }
+                        const CRun *rp = runs.data() + seg.firstRun;
+                        for (std::uint32_t i = 0; i < seg.numRuns; ++i) {
+                            const CRun &r = rp[i];
+                            const double *a =
+                                addendPool.data() + r.firstAdd;
+                            if (dense) {
+                                for (std::uint32_t q = 0; q < r.numAdds;
+                                     ++q)
+                                    simd::addScalarF64(estep.data(), S,
+                                                       a[q]);
+                            } else {
+                                for (std::uint32_t p = 0; p < r.numAdds;
+                                     ++p) {
+                                    const double add = a[p];
+                                    for (std::size_t q = 0; q < S; ++q)
+                                        estep[spec[q]] += add;
+                                }
+                            }
+                            if (r.dynSlot < 0)
+                                continue;
+                            const CSlot &s = slots[r.dynSlot];
+                            // Extra (demoted) lanes in v are computed
+                            // and ignored; only spec lanes accumulate.
+                            evalLanes(programs[s.prog], A);
+                            const double rate = s.energy;
+                            for (std::size_t q = 0; q < S; ++q) {
+                                const std::size_t j = spec[q];
+                                std::int64_t x = v[j] < 1 ? 1 : v[j];
+                                std::uint64_t dwell;
+                                if (s.counter >= 0 && s.armOnly) {
+                                    dwell = 1;
+                                } else if (s.counter >= 0 &&
+                                           s.waitScale > 1) {
+                                    x /= s.waitScale;
+                                    dwell = static_cast<std::uint64_t>(
+                                        x < 1 ? 1 : x);
+                                } else {
+                                    dwell =
+                                        static_cast<std::uint64_t>(x);
+                                }
+                                lat[j] += dwell;
+                                estep[j] +=
+                                    rate * static_cast<double>(dwell);
+                            }
+                        }
+                        continue;
+                    }
+
+                    // Branch head: its own dwell is outcome-invariant,
+                    // so it accumulates in lockstep before the guard
+                    // decides who stays.
+                    const CState &hs = states[nd.g];
+                    if (hs.prog < 0) {
+                        const std::uint64_t dw = hs.fixedDwell;
+                        // Same two operands as the scalar product, so
+                        // the addend is the same bits on every lane.
+                        const double add_e = hs.energyPerCycle *
+                            static_cast<double>(dw);
+                        if (dense) {
+                            simd::addScalarU64(lat.data(), S, dw);
+                            simd::addScalarF64(estep.data(), S, add_e);
+                        } else {
+                            for (std::size_t q = 0; q < S; ++q) {
+                                lat[spec[q]] += dw;
+                                estep[spec[q]] += add_e;
+                            }
+                        }
+                    } else {
+                        evalLanes(programs[hs.prog], A);
+                        const bool ctr =
+                            hs.kind == LatencyKind::CounterWait;
+                        const double rate = hs.energyPerCycle;
+                        for (std::size_t q = 0; q < S; ++q) {
+                            const std::size_t j = spec[q];
+                            // The scalar branch-dynamic clamp, per
+                            // lane: range/latency floors at 1, then
+                            // armOnly/waitScale shape the wait.
+                            std::int64_t x = v[j] < 1 ? 1 : v[j];
+                            std::uint64_t dwell;
+                            if (ctr && hs.armOnly) {
+                                dwell = 1;
+                            } else if (ctr && hs.waitScale > 1) {
+                                x /= hs.waitScale;
+                                dwell = static_cast<std::uint64_t>(
+                                    x < 1 ? 1 : x);
+                            } else {
+                                dwell = static_cast<std::uint64_t>(x);
+                            }
+                            lat[j] += dwell;
+                            estep[j] +=
+                                rate * static_cast<double>(dwell);
+                        }
+                    }
+
+                    // The decision: lanes whose guard outcome matches
+                    // the prediction stay in lockstep; the rest demote
+                    // to the scalar walk from their actual successor.
+                    evalLanes(programs[nd.guard], A);
+                    if (stats)
+                        stats->fsms[id].branchChecks += S;
+                    std::size_t kept = 0;
+                    for (std::size_t q = 0; q < S; ++q) {
+                        const std::size_t j = spec[q];
+                        const bool taken = v[j] != 0;
+                        if (taken == nd.predictTaken) {
+                            spec[kept++] = j;
+                            continue;
+                        }
+                        const StateId actual =
+                            taken ? nd.takenDst : nd.notDst;
+                        lat[j] += runFsm<false>(id, actual, fptr[j],
+                                                nullptr, estep[j],
+                                                stack, locals);
+                        if (stats)
+                            ++stats->fsms[id].mispredicts;
+                    }
+                    if (kept != S) {
+                        S = kept;
+                        dense = false;
+                    }
+                }
+                if (stats) {
+                    stats->fsms[id].lockstepLaneItems += S;
+                    stats->fsms[id].demotedLaneItems += A - S;
+                }
             } else {
                 for (std::size_t j = 0; j < A; ++j)
-                    lat[j] = runFsm<false>(id, fptr[j], nullptr,
-                                           estep[j], stack, locals);
+                    lat[j] = runFsm<false>(id, fsm.initial, fptr[j],
+                                           nullptr, estep[j], stack,
+                                           locals);
+                if (stats)
+                    stats->fsms[id].scalarLaneItems += A;
             }
 
             const FsmId dep = fsm.startAfter;

@@ -85,6 +85,60 @@ struct BInstr
 };
 
 /**
+ * How one FSM was executed by a runBatch() call. Lane-items are
+ * (lane, work-item) pairs: each counts once per FSM per item step, in
+ * exactly one of the three buckets.
+ */
+struct BatchFsmStats
+{
+    bool lockstep = false;    //!< Statically routed (CTrace valid).
+    bool speculated = false;  //!< Speculatively routed (CSpecTrace).
+    std::uint64_t branchChecks = 0;  //!< Speculated guard evaluations.
+    std::uint64_t mispredicts = 0;   //!< Checks that demoted the lane.
+    std::uint64_t lockstepLaneItems = 0;  //!< Completed in lockstep.
+    std::uint64_t demotedLaneItems = 0;   //!< Finished on the scalar
+                                          //!< path after a mispredict.
+    std::uint64_t scalarLaneItems = 0;    //!< Whole-item scalar walk.
+};
+
+/** Aggregated execution telemetry of one runBatch() call. */
+struct BatchStats
+{
+    std::vector<BatchFsmStats> fsms;  //!< One entry per FSM.
+
+    /** Mispredicted fraction of all speculated guard checks. */
+    double
+    mispredictRate() const
+    {
+        std::uint64_t checks = 0;
+        std::uint64_t miss = 0;
+        for (const BatchFsmStats &f : fsms) {
+            checks += f.branchChecks;
+            miss += f.mispredicts;
+        }
+        return checks == 0
+            ? 0.0
+            : static_cast<double>(miss) / static_cast<double>(checks);
+    }
+
+    /** Fraction of lane-items that ran SoA-vectorised to completion. */
+    double
+    laneOccupancy() const
+    {
+        std::uint64_t lock = 0;
+        std::uint64_t total = 0;
+        for (const BatchFsmStats &f : fsms) {
+            lock += f.lockstepLaneItems;
+            total += f.lockstepLaneItems + f.demotedLaneItems +
+                f.scalarLaneItems;
+        }
+        return total == 0
+            ? 1.0
+            : static_cast<double>(lock) / static_cast<double>(total);
+    }
+};
+
+/**
  * Apply one binary bytecode op — semantics identical to the stack
  * machine's. Inline in the header so the specialised evaluators in
  * the hot per-visit paths compile down to the bare operation.
@@ -201,14 +255,62 @@ class CompiledDesign
      * exactly run()'s order (item-major, FSM topo order, visit
      * order), so the floating-point results match run() bit for bit —
      * grouping jobs into different batches cannot change any result.
-     * Branch-dynamic FSMs fall back to the scalar per-lane walk.
+     * Branch-dynamic FSMs that speculate() routed (see below) run in
+     * *speculative* lockstep: all lanes march under the predicted
+     * branch outcome, and a lane whose guard disagrees is demoted to
+     * the scalar walk from its actual successor — the prefix it
+     * already executed is byte-identical to the scalar path's, so
+     * demotion never reruns or corrects anything. Unrouted
+     * branch-dynamic FSMs fall back to the whole-item scalar walk.
+     *
+     * @param stats Optional per-FSM execution telemetry (routing,
+     *        mispredicts, lane occupancy).
      */
     void runBatch(const JobInput *const *jobs, std::size_t n,
-                  JobResult *out) const;
+                  JobResult *out, BatchStats *stats = nullptr) const;
 
     /** Convenience overload of the lockstep entry point. */
     std::vector<JobResult>
     runBatch(const std::vector<const JobInput *> &jobs) const;
+
+    /**
+     * Build speculative lockstep routes for branch-dynamic FSMs.
+     *
+     * Profiles @p jobs (one recorded pass — typically a slice of the
+     * training stream) to find the hot successor of every two-way
+     * branch-dynamic state head, then precomputes, per FSM, the walk
+     * the design takes when every such branch goes the predicted way.
+     * runBatch() marches all lanes in lockstep under those
+     * predictions; only mispredicted lanes pay the scalar path.
+     *
+     * Speculation is a pure execution-strategy choice: results are
+     * bit-identical with any (or no) prediction, and the translation
+     * validator re-audits the artifact after the tables are built.
+     * With n == 0 every speculable branch predicts its first guarded
+     * edge. Not thread-safe against concurrent run()/runBatch() calls
+     * — speculate before sharing the design across threads.
+     */
+    void speculate(const JobInput *const *jobs, std::size_t n);
+
+    /** Convenience overload over a job vector. */
+    void speculate(const std::vector<JobInput> &jobs);
+
+    /** FSMs routed speculatively (disjoint from numLockstepFsms()). */
+    std::size_t numSpeculatedFsms() const;
+
+    /** @return true if the batch kernel speculates @p id. */
+    bool
+    fsmSpeculated(FsmId id) const
+    {
+        return specTraces[static_cast<std::size_t>(id)].valid;
+    }
+
+    /**
+     * Flip every branch prediction and rebuild the speculative routes
+     * (test hook: adversarial worst-case speculation must still be
+     * bit-exact, just slower).
+     */
+    void invertSpeculation();
 
     /** @name Introspection (tests, reports) */
     /// @{
@@ -489,6 +591,41 @@ class CompiledDesign
         bool valid = false;
     };
 
+    /**
+     * One step of a speculative route. A sweep node executes the
+     * precompiled segment chain headed at global state `g` exactly as
+     * the lockstep kernel would (presummed static dwell in `cycles`,
+     * addends streamed in visit order); a branch node executes the
+     * branch-dynamic state `g` itself, evaluates its decision guard
+     * over all lanes, and demotes the lanes whose outcome differs
+     * from `predictTaken`.
+     */
+    struct CSpecNode
+    {
+        std::uint32_t g = 0;        //!< Global state index.
+        bool branch = false;
+        bool predictTaken = false;  //!< Branch: predicted outcome.
+        std::int32_t guard = -1;    //!< Branch: decision guard program.
+        StateId takenDst = -1;      //!< Branch: dst when guard != 0.
+        StateId notDst = -1;        //!< Branch: dst when guard == 0.
+        std::uint64_t cycles = 0;   //!< Sweep: presummed static dwell.
+    };
+
+    /**
+     * The speculative route of one FSM: the node walk the design
+     * takes when every speculated branch goes the predicted way.
+     * Valid only for FSMs with at least one speculable branch and no
+     * statically-undecidable structure on the predicted path; FSMs
+     * with a valid CTrace never speculate (lockstep is strictly
+     * better).
+     */
+    struct CSpecTrace
+    {
+        std::uint32_t first = 0;  //!< Index into specNodes.
+        std::uint32_t count = 0;
+        bool valid = false;
+    };
+
     bool staticDwell(const CState &st, std::uint64_t &dwell,
                      std::int64_t &range) const;
     StateId staticNext(const CState &st) const;
@@ -496,12 +633,28 @@ class CompiledDesign
     void buildTraces();
 
     /**
-     * Execute one FSM for one item. Compiled once per recorder
-     * presence: the `WithRec == false` instantiation carries no event
-     * branches at all in the per-visit loops.
+     * Classify global state @p g as a speculable two-way branch head:
+     * after skipping constant-false guards, exactly one non-constant
+     * decision guard whose failure statically resolves to a single
+     * fallback edge. Outputs the decision guard's program index and
+     * both destinations.
+     */
+    bool deriveDecision(std::uint32_t g, std::int32_t &guard,
+                        StateId &taken_dst, StateId &not_dst) const;
+
+    /** Rebuild every CSpecTrace from the current specPredict table. */
+    void buildSpecTraces();
+
+    /**
+     * Execute one FSM for one item, starting at local state @p start
+     * (fsm.initial for a full walk; a mispredicted branch's actual
+     * successor when the batch kernel demotes a lane). Compiled once
+     * per recorder presence: the `WithRec == false` instantiation
+     * carries no event branches at all in the per-visit loops.
      */
     template <bool WithRec>
-    std::uint64_t runFsm(FsmId id, const std::int64_t *fields,
+    std::uint64_t runFsm(FsmId id, StateId start,
+                         const std::int64_t *fields,
                          Recorder *recorder, double &energy_units,
                          std::int64_t *stack,
                          std::int64_t *locals) const;
@@ -519,6 +672,10 @@ class CompiledDesign
     std::vector<CSlot> slots;          //!< Shared slot pool.
     std::vector<CTrace> traces;        //!< One per FSM.
     std::vector<std::uint32_t> traceStates;  //!< Shared trace pool.
+    std::vector<CSpecTrace> specTraces;      //!< One per FSM.
+    std::vector<CSpecNode> specNodes;        //!< Shared spec-node pool.
+    //! Per global state: predicted decision outcome (1 = taken edge).
+    std::vector<std::uint8_t> specPredict;
     std::vector<CRun> runs;            //!< Compressed static stretches.
     std::vector<double> addendPool;    //!< Energy addends, visit order.
     std::vector<CExpr> programs;

@@ -11,14 +11,24 @@ namespace rtl {
 using util::panicIf;
 
 Interpreter::Interpreter(const Design &design)
-    : comp(std::make_shared<const CompiledDesign>(design))
+    : comp(), owned(std::make_shared<CompiledDesign>(design))
 {
+    comp = owned;
 }
 
 Interpreter::Interpreter(std::shared_ptr<const CompiledDesign> compiled)
     : comp(std::move(compiled))
 {
     panicIf(!comp, "Interpreter: null compiled design");
+}
+
+bool
+Interpreter::speculate(const std::vector<JobInput> &jobs) const
+{
+    if (!owned)
+        return false;
+    owned->speculate(jobs);
+    return true;
 }
 
 Interpreter::~Interpreter() = default;

@@ -113,6 +113,18 @@ class Interpreter
         return comp;
     }
 
+    /**
+     * Build speculative lockstep routes for branch-dynamic FSMs from
+     * a one-pass profile of @p jobs (CompiledDesign::speculate).
+     * Results are bit-identical either way; only batch throughput
+     * changes. Only legal on an interpreter that compiled the design
+     * itself — returns false (no-op) when the compiled form was
+     * shared in from outside, since other owners may be running it.
+     * Not thread-safe against concurrent run()/runBatch() calls on
+     * the same compiled design; callers serialise (e.g. call_once).
+     */
+    bool speculate(const std::vector<JobInput> &jobs) const;
+
     /** Upper bound on state visits per FSM per item before panicking. */
     static constexpr std::size_t maxVisitsPerItem = 100000;
 
@@ -122,6 +134,10 @@ class Interpreter
                          Recorder *recorder, double &energy_units) const;
 
     std::shared_ptr<const CompiledDesign> comp;
+    //! Non-const view of `comp` when this interpreter compiled the
+    //! design itself (speculate() retunes it in place); null when the
+    //! compiled form was shared in from outside.
+    std::shared_ptr<CompiledDesign> owned;
 };
 
 } // namespace rtl

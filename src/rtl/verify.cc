@@ -460,6 +460,8 @@ verifyCodeName(VerifyCode code)
       case VerifyCode::StructureMismatch: return "structure-mismatch";
       case VerifyCode::LockstepCertMismatch:
         return "lockstep-cert-mismatch";
+      case VerifyCode::SpeculationMismatch:
+        return "speculation-mismatch";
     }
     return "?";
 }
@@ -499,6 +501,7 @@ class Verifier
             equivalencePass();
         segmentPass();
         tracePass();
+        specPass();
         return rep;
     }
 
@@ -511,6 +514,8 @@ class Verifier
     using CRun = CompiledDesign::CRun;
     using CSegment = CompiledDesign::CSegment;
     using CTrace = CompiledDesign::CTrace;
+    using CSpecNode = CompiledDesign::CSpecNode;
+    using CSpecTrace = CompiledDesign::CSpecTrace;
 
     const CompiledDesign &c;
     const Design &d;
@@ -611,6 +616,12 @@ class Verifier
 
     void tracePass();
     std::string dynReason(FsmId f, StateId s) const;
+
+    // ---- pass 6: speculation audit ------------------------------
+
+    void specPass();
+    bool srcDecision(FsmId f, StateId s, std::size_t &edge,
+                     StateId &taken, StateId &fall) const;
 
     friend VerifyReport verifyCompiledDesign(const CompiledDesign &);
 };
@@ -1749,6 +1760,234 @@ Verifier::tracePass()
     }
 }
 
+// ------------------------------------------------------------------
+// Pass 6: speculation audit. Every speculative lockstep route is
+// re-walked against the source design: branch decisions are re-derived
+// from the source transition relation, sweep dwells from the source
+// segment walk, and the predicted successor linkage is checked node by
+// node. Because each branch node's taken/fallback destinations are
+// proven to be the genuine source edges, a mispredicted lane's
+// demotion (resume the scalar walk at the actual successor) is
+// equivalent to the unspeculated route by construction.
+// ------------------------------------------------------------------
+
+bool
+Verifier::srcDecision(FsmId f, StateId s, std::size_t &edge,
+                      StateId &taken, StateId &fall) const
+{
+    const State &st = d.fsms()[f].states[s];
+    if (st.terminal)
+        return false;
+    const std::vector<std::int64_t> zeros(d.fieldBounds().size(), 0);
+    edge = 0;
+    taken = -1;
+    fall = -1;
+    bool found = false;
+    for (std::size_t i = 0; i < st.transitions.size(); ++i) {
+        const Transition &t = st.transitions[i];
+        if (!t.guard) {
+            if (!found)
+                return false;  // Unconditional first edge: static.
+            fall = t.dst;
+            return true;
+        }
+        if (t.guard->isConstant()) {
+            if (t.guard->eval(zeros) == 0)
+                continue;  // Constant-false: never fires.
+            if (!found)
+                return false;  // Constant-true first: static route.
+            fall = t.dst;
+            return true;
+        }
+        if (found)
+            return false;  // A second dynamic guard: not two-way.
+        found = true;
+        edge = i;
+        taken = t.dst;
+    }
+    return false;  // No fallback edge: guard-false would panic.
+}
+
+void
+Verifier::specPass()
+{
+    if (c.specTraces.size() != c.cfsms.size()) {
+        diag(VerifyCode::SpeculationMismatch, -1, -1, -1,
+             "speculation table covers " +
+                 std::to_string(c.specTraces.size()) +
+                 " FSM(s), design has " +
+                 std::to_string(c.cfsms.size()));
+        return;
+    }
+
+    const auto &fsms = d.fsms();
+    for (std::size_t f = 0; f < fsms.size(); ++f) {
+        const CSpecTrace &sp = c.specTraces[f];
+        if (!sp.valid)
+            continue;
+        const Fsm &fsm = fsms[f];
+        const CFsm &cf = c.cfsms[f];
+        const FsmId fid = static_cast<FsmId>(f);
+
+        if (c.traces[f].valid) {
+            diag(VerifyCode::SpeculationMismatch, fid, -1, -1,
+                 "FSM '" + fsm.name + "' is statically lockstep but "
+                 "carries a speculative route as well");
+            continue;
+        }
+        if (static_cast<std::size_t>(sp.first) + sp.count >
+            c.specNodes.size()) {
+            diag(VerifyCode::SpeculationMismatch, fid, -1, -1,
+                 "FSM '" + fsm.name + "' speculative route indexes "
+                 "past the node pool");
+            continue;
+        }
+
+        std::vector<bool> visited(fsm.states.size(), false);
+        StateId cur = fsm.initial;
+        std::size_t idx = sp.first;
+        const std::size_t end = sp.first + sp.count;
+        bool any_branch = false;
+        bool bad = false;
+        bool ended = false;
+        while (true) {
+            if (idx == end) {
+                diag(VerifyCode::SpeculationMismatch, fid, cur, -1,
+                     "FSM '" + fsm.name + "' speculative route ends "
+                     "at state '" + stateName(fid, cur) +
+                     "' before the source walk terminates");
+                bad = true;
+                break;
+            }
+            const CSpecNode &nd = c.specNodes[idx];
+            const std::size_t g = cf.firstState +
+                static_cast<std::size_t>(cur);
+            if (nd.g != g) {
+                diag(VerifyCode::SpeculationMismatch, fid, cur, -1,
+                     "FSM '" + fsm.name + "' speculative node " +
+                         std::to_string(idx - sp.first) +
+                         " visits global state " +
+                         std::to_string(nd.g) +
+                         ", source walk is at " + std::to_string(g));
+                bad = true;
+                break;
+            }
+            if (visited[cur]) {
+                diag(VerifyCode::SpeculationMismatch, fid, cur, -1,
+                     "FSM '" + fsm.name + "' predicted path loops "
+                     "through state '" + stateName(fid, cur) + "'");
+                bad = true;
+                break;
+            }
+            visited[cur] = true;
+
+            if (expDynHead[g]) {
+                // Branch node: re-derive the two-way decision from the
+                // source transition relation and demand the compiled
+                // node routes over exactly those edges.
+                if (!nd.branch) {
+                    diag(VerifyCode::SpeculationMismatch, fid, cur, -1,
+                         "FSM '" + fsm.name + "' sweeps over "
+                         "branch-dynamic state '" +
+                             stateName(fid, cur) + "'");
+                    bad = true;
+                    break;
+                }
+                std::size_t edge = 0;
+                StateId taken = -1;
+                StateId fall = -1;
+                if (!srcDecision(fid, cur, edge, taken, fall)) {
+                    diag(VerifyCode::SpeculationMismatch, fid, cur, -1,
+                         "FSM '" + fsm.name + "' speculates state '" +
+                             stateName(fid, cur) +
+                             "' which is not a two-way branch with a "
+                             "static fallback in the source");
+                    bad = true;
+                    break;
+                }
+                const CState &cs = c.states[g];
+                const std::int32_t want_guard =
+                    c.trans[cs.firstTrans + edge].guard;
+                if (nd.guard != want_guard || nd.takenDst != taken ||
+                    nd.notDst != fall) {
+                    diag(VerifyCode::SpeculationMismatch, fid, cur,
+                         nd.guard,
+                         "FSM '" + fsm.name + "' decision at state '" +
+                             stateName(fid, cur) +
+                             "' diverges from the source: compiled "
+                             "(guard #" + std::to_string(nd.guard) +
+                             ", taken " + std::to_string(nd.takenDst) +
+                             ", fallback " + std::to_string(nd.notDst) +
+                             "), source (guard #" +
+                             std::to_string(want_guard) + ", taken " +
+                             std::to_string(taken) + ", fallback " +
+                             std::to_string(fall) + ")");
+                    bad = true;
+                    break;
+                }
+                if (nd.predictTaken != (c.specPredict[g] != 0)) {
+                    diag(VerifyCode::SpeculationMismatch, fid, cur, -1,
+                         "FSM '" + fsm.name + "' node at state '" +
+                             stateName(fid, cur) +
+                             "' predicts the " +
+                             (nd.predictTaken ? "taken" : "fallback") +
+                             " edge, prediction table says " +
+                             (c.specPredict[g] != 0 ? "taken"
+                                                    : "fallback"));
+                    bad = true;
+                    break;
+                }
+                any_branch = true;
+                cur = nd.predictTaken ? taken : fall;
+                ++idx;
+                continue;
+            }
+
+            // Sweep node: the statically-routed segment headed here.
+            if (nd.branch) {
+                diag(VerifyCode::SpeculationMismatch, fid, cur, -1,
+                     "FSM '" + fsm.name + "' carries a branch node at "
+                     "statically-routed state '" +
+                         stateName(fid, cur) + "'");
+                bad = true;
+                break;
+            }
+            if (nd.cycles != expStaticCycles[g]) {
+                diag(VerifyCode::SpeculationMismatch, fid, cur, -1,
+                     "FSM '" + fsm.name + "' sweep at state '" +
+                         stateName(fid, cur) + "' presums " +
+                         std::to_string(nd.cycles) +
+                         " cycle(s), source walk presums " +
+                         std::to_string(expStaticCycles[g]));
+                bad = true;
+                break;
+            }
+            ++idx;
+            const StateId nxt = expNextOf[g];
+            if (nxt < 0) {
+                ended = true;
+                break;
+            }
+            cur = nxt;
+        }
+
+        if (bad || !ended)
+            continue;
+        if (idx != end) {
+            diag(VerifyCode::SpeculationMismatch, fid, -1, -1,
+                 "FSM '" + fsm.name + "' speculative route carries " +
+                     std::to_string(end - idx) +
+                     " node(s) past the source walk's end");
+            continue;
+        }
+        if (!any_branch) {
+            diag(VerifyCode::SpeculationMismatch, fid, -1, -1,
+                 "FSM '" + fsm.name + "' speculative route contains "
+                 "no branch — it should be statically lockstep");
+        }
+    }
+}
+
 VerifyReport
 verifyCompiledDesign(const CompiledDesign &comp)
 {
@@ -1827,6 +2066,9 @@ miscompileName(Miscompile kind)
       case Miscompile::FixedDwellCorrupt: return "fixed-dwell-corrupt";
       case Miscompile::JobOverheadCorrupt:
         return "job-overhead-corrupt";
+      case Miscompile::SpecRetarget: return "spec-retarget";
+      case Miscompile::SpecPredictFlip: return "spec-predict-flip";
+      case Miscompile::SpecCycleSkew: return "spec-cycle-skew";
     }
     return "?";
 }
@@ -2364,6 +2606,76 @@ injectMiscompile(CompiledDesign &comp, Miscompile kind, unsigned seed)
       case Miscompile::JobOverheadCorrupt:
         comp.jobOverhead += 1;
         return tag("bumped the per-job overhead cycles");
+
+      case Miscompile::SpecRetarget: {
+        struct Site
+        {
+            std::size_t idx;
+            StateId repl;
+        };
+        std::vector<Site> sites;
+        for (std::size_t f = 0; f < comp.specTraces.size(); ++f) {
+            const auto &sp = comp.specTraces[f];
+            if (!sp.valid)
+                continue;
+            const auto &cf = comp.cfsms[f];
+            if (cf.numStates < 2)
+                continue;
+            for (std::uint32_t k = 0; k < sp.count; ++k) {
+                const std::size_t idx = sp.first + k;
+                const auto &nd = comp.specNodes[idx];
+                if (!nd.branch)
+                    continue;
+                const StateId repl = static_cast<StateId>(
+                    (nd.takenDst + 1) %
+                    static_cast<StateId>(cf.numStates));
+                if (repl != nd.takenDst)
+                    sites.push_back({idx, repl});
+            }
+        }
+        if (sites.empty())
+            return "";
+        const Site &s = sites[pickSite(seed, sites.size())];
+        comp.specNodes[s.idx].takenDst = s.repl;
+        return tag("retargeted the taken edge of speculative node " +
+                   std::to_string(s.idx));
+      }
+
+      case Miscompile::SpecPredictFlip: {
+        std::vector<std::size_t> sites;
+        for (std::size_t f = 0; f < comp.specTraces.size(); ++f) {
+            const auto &sp = comp.specTraces[f];
+            if (!sp.valid)
+                continue;
+            for (std::uint32_t k = 0; k < sp.count; ++k)
+                if (comp.specNodes[sp.first + k].branch)
+                    sites.push_back(sp.first + k);
+        }
+        if (sites.empty())
+            return "";
+        const std::size_t i = sites[pickSite(seed, sites.size())];
+        comp.specNodes[i].predictTaken = !comp.specNodes[i].predictTaken;
+        return tag("flipped the predicted outcome of speculative "
+                   "node " + std::to_string(i));
+      }
+
+      case Miscompile::SpecCycleSkew: {
+        std::vector<std::size_t> sites;
+        for (std::size_t f = 0; f < comp.specTraces.size(); ++f) {
+            const auto &sp = comp.specTraces[f];
+            if (!sp.valid)
+                continue;
+            for (std::uint32_t k = 0; k < sp.count; ++k)
+                if (!comp.specNodes[sp.first + k].branch)
+                    sites.push_back(sp.first + k);
+        }
+        if (sites.empty())
+            return "";
+        const std::size_t i = sites[pickSite(seed, sites.size())];
+        comp.specNodes[i].cycles += 1;
+        return tag("skewed the presummed cycles of speculative "
+                   "sweep node " + std::to_string(i));
+      }
     }
     return "";
 }

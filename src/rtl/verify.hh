@@ -41,6 +41,16 @@
  *     kernel's routing decision (CompiledDesign::fsmLockstep) is
  *     cross-checked against the certificate.
  *
+ *  5. Speculation audit — every speculative lockstep route is
+ *     re-walked against the source design: each branch node's decision
+ *     guard, taken edge, and fallback edge are re-derived from the
+ *     source transition relation, each sweep node's presummed cycles
+ *     are re-derived from the source segment walk, the predicted
+ *     successor linkage is checked node by node, and the fallback path
+ *     out of every speculated branch is proven to land on a real
+ *     source edge — so a mispredicted lane's demotion to the scalar
+ *     walk is equivalent to never having speculated at all.
+ *
  * Verification runs automatically at CompiledDesign construction,
  * controlled by PREDVFS_VERIFY: unset or "1" panics on a failed proof
  * (a miscompile is an internal invariant violation), "warn" reports
@@ -85,6 +95,7 @@ enum class VerifyCode
     SegmentRouteMismatch, //!< Slot chain routing differs from source.
     StructureMismatch,    //!< Flattened tables differ from the source.
     LockstepCertMismatch, //!< Batch routing contradicts the certificate.
+    SpeculationMismatch,  //!< Speculative route contradicts the source.
 };
 
 /** @return the stable kebab-case name ("not-equivalent", ...). */
@@ -148,7 +159,7 @@ struct VerifyReport
 };
 
 /**
- * Run all four analyses over a compiled design. Purely static: no job
+ * Run all analyses over a compiled design. Purely static: no job
  * is executed, no random vector drawn; the only concrete evaluation is
  * exhaustive enumeration over a small declared field domain.
  */
@@ -198,6 +209,9 @@ enum class Miscompile
     StateEnergyCorrupt,      //!< Corrupt a state's energy rate.
     FixedDwellCorrupt,       //!< Corrupt a fixed state's dwell.
     JobOverheadCorrupt,      //!< Corrupt the per-job overhead cycles.
+    SpecRetarget,            //!< Retarget a speculative taken edge.
+    SpecPredictFlip,         //!< Flip a node's predicted outcome.
+    SpecCycleSkew,           //!< Skew a spec sweep's presummed cycles.
 };
 
 /** @return the stable name of a mutation kind. */

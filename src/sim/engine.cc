@@ -65,6 +65,21 @@ SimulationEngine::prepare(const std::vector<rtl::JobInput> &jobs,
     if (stats)
         *stats = PrepareStats{};
 
+    // One-time self-speculation: profile a slice of the first stream
+    // this engine prepares and retune the batch kernel's speculative
+    // lockstep routes to it. Bit-identical either way; the sample cap
+    // bounds the profiling pass on huge streams.
+    if (!jobs.empty()) {
+        std::call_once(specOnce, [&] {
+            constexpr std::size_t kSpecSample = 32;
+            const std::size_t n =
+                std::min(jobs.size(), kSpecSample);
+            const std::vector<rtl::JobInput> sample(jobs.begin(),
+                                                    jobs.begin() + n);
+            fullInterp.speculate(sample);
+        });
+    }
+
     // Record i depends only on job i, so any sharding of the index
     // range produces the same vector; the instrumenter is the one
     // stateful piece, hence one per worker.
@@ -131,10 +146,15 @@ SimulationEngine::prepare(const std::vector<rtl::JobInput> &jobs,
     // == SIZE_MAX: already filled from the cache.
     std::vector<std::size_t> copyFrom(jobs.size());
 
+    // One content-key buffer for the whole probe loop: lookup()
+    // rewrites it in place, and only unique misses steal its storage.
+    // The fresh-vector-per-job version showed up as allocator churn on
+    // item-heavy streams (the h264 serial-prepare regression).
+    std::vector<std::int64_t> ck;
+    CachedJob hit;
     for (std::size_t i = 0; i < jobs.size(); ++i) {
         prepared[i].input = &jobs[i];
-        CachedJob hit;
-        std::vector<std::int64_t> ck;
+        ck.clear();
         std::uint64_t h = 0;
         if (cache.lookup(key, jobs[i], hit, &ck, &h)) {
             prepared[i].cycles = hit.cycles;

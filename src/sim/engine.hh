@@ -13,6 +13,7 @@
 #define PREDVFS_SIM_ENGINE_HH
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -168,6 +169,12 @@ class SimulationEngine
     // interpreter is const and reentrant, so parallel prepare shares it.
     rtl::Interpreter fullInterp;
     std::uint64_t designHash;  //!< Content hash of the full design.
+    // The first prepare() call profiles a slice of its stream and
+    // builds speculative lockstep routes for branch-dynamic FSMs
+    // (results are bit-identical; only batch throughput changes).
+    // call_once gives the retuned tables a happens-before edge over
+    // every later prepare, including concurrent first calls.
+    mutable std::once_flag specOnce;
 };
 
 } // namespace sim

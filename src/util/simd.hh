@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Portable SIMD primitives for the batch kernel's SoA inner loops.
+ *
+ * The lockstep batch kernel spends its time in a handful of stride-1
+ * lane loops: broadcasting one energy addend across every lane,
+ * adding a presummed dwell to every lane's cycle count, and filling
+ * lane vectors with a constant. At the default -O2 these do not
+ * autovectorise, so the helpers here carry an explicit 4-wide path
+ * built on GCC/Clang vector extensions, with a plain scalar loop as
+ * the portable fallback (and for the tail).
+ *
+ * Exactness: every helper applies the *same* operation independently
+ * per lane — lanes never share an accumulator — so vectorising is a
+ * pure reordering of independent scalar operations and cannot change
+ * any lane's result. Integer adds additionally run through unsigned
+ * arithmetic so lane math wraps mod 2^64 without signed-overflow UB.
+ */
+
+#ifndef PREDVFS_UTIL_SIMD_HH
+#define PREDVFS_UTIL_SIMD_HH
+
+#include <cstdint>
+#include <cstring>
+
+namespace predvfs {
+namespace util {
+namespace simd {
+
+#if defined(__GNUC__) || defined(__clang__)
+#define PREDVFS_SIMD_VECTOR_EXT 1
+// The 32-byte vectors are an internal value representation only —
+// every helper below has a scalar-typed signature, so the psABI
+// warning about passing AVX types without AVX enabled is moot.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wpsabi"
+using V4d = double __attribute__((vector_size(32)));
+using V4u = std::uint64_t __attribute__((vector_size(32)));
+
+/** Unaligned vector load/store (compile to unaligned moves). */
+template <typename V, typename T>
+[[gnu::always_inline]] inline V
+vload(const T *p)
+{
+    V v;
+    std::memcpy(&v, p, sizeof(V));
+    return v;
+}
+
+template <typename V, typename T>
+[[gnu::always_inline]] inline void
+vstore(T *p, V v)
+{
+    std::memcpy(p, &v, sizeof(V));
+}
+#endif
+
+/** dst[i] += x for i in [0, n) — independent FP accumulators. */
+inline void
+addScalarF64(double *dst, std::size_t n, double x)
+{
+    std::size_t i = 0;
+#ifdef PREDVFS_SIMD_VECTOR_EXT
+    const V4d vx = {x, x, x, x};
+    for (; i + 4 <= n; i += 4)
+        vstore(dst + i, vload<V4d>(dst + i) + vx);
+#endif
+    for (; i < n; ++i)
+        dst[i] += x;
+}
+
+/** dst[i] += x for i in [0, n), wrapping mod 2^64. */
+inline void
+addScalarU64(std::uint64_t *dst, std::size_t n, std::uint64_t x)
+{
+    std::size_t i = 0;
+#ifdef PREDVFS_SIMD_VECTOR_EXT
+    const V4u vx = {x, x, x, x};
+    for (; i + 4 <= n; i += 4)
+        vstore(dst + i, vload<V4u>(dst + i) + vx);
+#endif
+    for (; i < n; ++i)
+        dst[i] += x;
+}
+
+/** dst[i] = x for i in [0, n). */
+inline void
+fillU64(std::uint64_t *dst, std::size_t n, std::uint64_t x)
+{
+    std::size_t i = 0;
+#ifdef PREDVFS_SIMD_VECTOR_EXT
+    const V4u vx = {x, x, x, x};
+    for (; i + 4 <= n; i += 4)
+        vstore(dst + i, vx);
+#endif
+    for (; i < n; ++i)
+        dst[i] = x;
+}
+
+/** dst[i] = x for i in [0, n) (signed lanes). */
+inline void
+fillI64(std::int64_t *dst, std::size_t n, std::int64_t x)
+{
+    fillU64(reinterpret_cast<std::uint64_t *>(dst), n,
+            static_cast<std::uint64_t>(x));
+}
+
+/**
+ * dst[i] += a * src[i] for i in [0, n), wrapping mod 2^64 (the affine
+ * lane loop). Unsigned lane arithmetic keeps the wrap defined; the
+ * bit pattern equals the tree walker's op-by-op result mod 2^64.
+ */
+inline void
+addScaledI64(std::int64_t *dst, const std::int64_t *src, std::size_t n,
+             std::int64_t a)
+{
+    const std::uint64_t ua = static_cast<std::uint64_t>(a);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t r = static_cast<std::uint64_t>(dst[i]) +
+            ua * static_cast<std::uint64_t>(src[i]);
+        dst[i] = static_cast<std::int64_t>(r);
+    }
+}
+
+#ifdef PREDVFS_SIMD_VECTOR_EXT
+#pragma GCC diagnostic pop
+#endif
+
+} // namespace simd
+} // namespace util
+} // namespace predvfs
+
+#endif // PREDVFS_UTIL_SIMD_HH

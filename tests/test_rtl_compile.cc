@@ -234,6 +234,172 @@ TEST_P(CompileBenchmarks, BatchKernelBitForBitEqualsScalar)
     }
 }
 
+namespace {
+
+/** All non-constant guard trees of a design (speculation subjects). */
+std::vector<ExprPtr>
+dynamicGuards(const Design &design)
+{
+    std::vector<ExprPtr> out;
+    for (const Fsm &fsm : design.fsms())
+        for (const State &st : fsm.states)
+            for (const Transition &t : st.transitions)
+                if (t.guard && !t.guard->isConstant())
+                    out.push_back(t.guard);
+    return out;
+}
+
+/**
+ * Rejection-sample a field vector on which every dynamic guard of the
+ * design evaluates to @p want — the building block of adversarial
+ * streams with a known per-branch outcome. Returns false when the
+ * conjunction resists sampling (the caller then skips that stream).
+ */
+bool
+sampleGuardFields(const Design &design,
+                  const std::vector<ExprPtr> &guards, bool want,
+                  util::Rng &rng, std::vector<std::int64_t> &out)
+{
+    for (int attempt = 0; attempt < 20000; ++attempt) {
+        out = randomFields(design, rng);
+        bool ok = true;
+        for (const ExprPtr &g : guards) {
+            if ((g->eval(out) != 0) != want) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+TEST_P(CompileBenchmarks, SpeculativeBatchBitExactOnAdversarialStreams)
+{
+    CompiledDesign compiled(acc->design());
+    const Interpreter interp(acc->design());
+    const Design &design = acc->design();
+
+    const auto guards = dynamicGuards(design);
+    if (guards.empty())
+        GTEST_SKIP() << "fully static-routed design: nothing to "
+                        "speculate";
+
+    // Field pools where every dynamic guard goes one known way, so a
+    // stream's misprediction rate is ours to choose.
+    util::Rng rng(0x5becull + GetParam().size());
+    std::vector<std::int64_t> f;
+    std::vector<std::vector<std::int64_t>> true_pool, false_pool;
+    for (int i = 0;
+         i < 24 && sampleGuardFields(design, guards, true, rng, f); ++i)
+        true_pool.push_back(f);
+    for (int i = 0;
+         i < 24 && sampleGuardFields(design, guards, false, rng, f);
+         ++i)
+        false_pool.push_back(f);
+    if (true_pool.empty())
+        GTEST_SKIP() << "all-taken field pool resisted sampling";
+
+    const auto make_jobs =
+        [](const std::vector<std::vector<std::int64_t>> &pool) {
+            std::vector<JobInput> jobs;
+            std::size_t k = 0;
+            for (int j = 0; j < 8; ++j) {
+                JobInput job;
+                for (int i = 0; i < 3 + j; ++i) {
+                    WorkItem item;
+                    item.fields = pool[k++ % pool.size()];
+                    job.items.push_back(std::move(item));
+                }
+                jobs.push_back(std::move(job));
+            }
+            return jobs;
+        };
+
+    // Every lane of every batch must be byte-identical to both the
+    // scalar compiled walk and the tree-walking reference, whatever
+    // the misprediction rate.
+    const auto check_batch = [&](const std::vector<JobInput> &jobs,
+                                 BatchStats &stats) {
+        std::vector<const JobInput *> ptrs;
+        for (const JobInput &job : jobs)
+            ptrs.push_back(&job);
+        std::vector<JobResult> out(jobs.size());
+        compiled.runBatch(ptrs.data(), ptrs.size(), out.data(), &stats);
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            const JobResult scalar = compiled.run(jobs[i]);
+            const JobResult ref = interp.runReference(jobs[i]);
+            ASSERT_EQ(out[i].cycles, scalar.cycles) << "lane " << i;
+            ASSERT_EQ(out[i].energyUnits, scalar.energyUnits)
+                << "lane " << i;
+            ASSERT_EQ(out[i].cycles, ref.cycles) << "lane " << i;
+            ASSERT_EQ(out[i].energyUnits, ref.energyUnits)
+                << "lane " << i;
+        }
+    };
+    const auto totals = [](const BatchStats &stats) {
+        std::pair<std::uint64_t, std::uint64_t> t{0, 0};
+        for (const BatchFsmStats &fs : stats.fsms) {
+            t.first += fs.branchChecks;
+            t.second += fs.mispredicts;
+        }
+        return t;
+    };
+
+    // Train on the all-taken stream: every branch predicts taken, and
+    // (speculation audit included) the artifact re-verifies.
+    const std::vector<JobInput> taken_jobs = make_jobs(true_pool);
+    compiled.speculate(taken_jobs);
+    // Every branch-dynamic FSM in the suite has a speculable two-way
+    // head, so routing is total: lockstep or speculated, never scalar.
+    EXPECT_EQ(compiled.numLockstepFsms() + compiled.numSpeculatedFsms(),
+              design.fsms().size());
+
+    // 0% misprediction: the stream matches the profile exactly.
+    BatchStats match_stats;
+    check_batch(taken_jobs, match_stats);
+    const auto match = totals(match_stats);
+    EXPECT_GT(match.first, 0u);
+    EXPECT_EQ(match.second, 0u);
+
+    if (!false_pool.empty()) {
+        // 100% misprediction: every guard check goes against the
+        // prediction and demotes its lane.
+        BatchStats foe_stats;
+        check_batch(make_jobs(false_pool), foe_stats);
+        const auto foe = totals(foe_stats);
+        EXPECT_GT(foe.first, 0u);
+        EXPECT_EQ(foe.second, foe.first);
+
+        // ~50%: alternate matching and adversarial items.
+        std::vector<std::vector<std::int64_t>> mixed;
+        const std::size_t pairs =
+            std::min(true_pool.size(), false_pool.size());
+        for (std::size_t i = 0; i < pairs; ++i) {
+            mixed.push_back(true_pool[i]);
+            mixed.push_back(false_pool[i]);
+        }
+        BatchStats mix_stats;
+        check_batch(make_jobs(mixed), mix_stats);
+        const auto mix = totals(mix_stats);
+        EXPECT_GT(mix.second, 0u);
+        EXPECT_LT(mix.second, mix.first);
+        EXPECT_GT(mix_stats.mispredictRate(), 0.0);
+        EXPECT_LT(mix_stats.mispredictRate(), 1.0);
+    }
+
+    // Worst-case tables: invert every prediction (re-audited) and run
+    // the stream they were trained on — still bit-exact.
+    compiled.invertSpeculation();
+    BatchStats inv_stats;
+    check_batch(taken_jobs, inv_stats);
+    const auto inv = totals(inv_stats);
+    EXPECT_EQ(inv.second, inv.first);
+}
+
 TEST_P(CompileBenchmarks, RootProgramsMatchSourceTrees)
 {
     // The (tree, program) pairs a CompiledDesign exposes — the exact

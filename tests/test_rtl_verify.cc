@@ -275,6 +275,85 @@ TEST(VerifyMutation, EveryMiscompileKindIsStaticallyRejected)
     }
 }
 
+// ---- Speculation audit ----------------------------------------------
+
+namespace {
+
+/** A profile stream for richDesign (x < y at S2, mixed outcomes). */
+std::vector<JobInput>
+richTrainStream()
+{
+    std::vector<JobInput> jobs;
+    for (int j = 0; j < 4; ++j) {
+        JobInput job;
+        for (int i = 0; i < 6; ++i) {
+            WorkItem item;
+            item.fields = {j % 5, 1 + (i + j) % 6};
+            job.items.push_back(std::move(item));
+        }
+        jobs.push_back(std::move(job));
+    }
+    return jobs;
+}
+
+const Miscompile kSpecMiscompiles[] = {
+    Miscompile::SpecRetarget,
+    Miscompile::SpecPredictFlip,
+    Miscompile::SpecCycleSkew,
+};
+
+} // namespace
+
+TEST(VerifySpeculation, SpeculatedDesignVerifiesClean)
+{
+    const Design d = richDesign();
+    CompiledDesign comp(d);
+    comp.speculate(richTrainStream());
+    ASSERT_EQ(comp.numSpeculatedFsms(), 1u);
+    const VerifyReport report = verifyCompiledDesign(comp);
+    EXPECT_EQ(report.diagnostics.size(), 0u) << [&] {
+        std::ostringstream os;
+        writeVerifyReport(os, d, report);
+        return os.str();
+    }();
+    // Inverting every prediction re-routes but stays provable.
+    comp.invertSpeculation();
+    EXPECT_TRUE(verifyCompiledDesign(comp).clean());
+}
+
+TEST(VerifySpeculation, SpecMiscompilesNeedASpeculatedDesign)
+{
+    // Without speculation tables there is no eligible site; the kinds
+    // must refuse rather than corrupt unrelated state.
+    const Design d = richDesign();
+    CompiledDesign comp(d);
+    for (const Miscompile kind : kSpecMiscompiles)
+        EXPECT_TRUE(injectMiscompile(comp, kind, 0).empty())
+            << miscompileName(kind);
+}
+
+TEST(VerifySpeculation, EverySpecMiscompileIsStaticallyRejected)
+{
+    const Design d = richDesign();
+    const std::vector<JobInput> stream = richTrainStream();
+    for (const Miscompile kind : kSpecMiscompiles) {
+        for (unsigned seed = 0; seed < 3; ++seed) {
+            CompiledDesign comp(d);
+            comp.speculate(stream);
+            const std::string what = injectMiscompile(comp, kind, seed);
+            ASSERT_FALSE(what.empty())
+                << miscompileName(kind) << " has no eligible site";
+            const VerifyReport report = verifyCompiledDesign(comp);
+            EXPECT_GT(report.numErrors(), 0u)
+                << "undetected miscompile: " << what;
+            EXPECT_FALSE(
+                report.withCode(VerifyCode::SpeculationMismatch)
+                    .empty())
+                << what;
+        }
+    }
+}
+
 TEST(VerifyMutation, BenchmarkModelsRejectMutationsToo)
 {
     // The harness must also bite on real designs, not only the

@@ -10,6 +10,7 @@
 #include "accel/registry.hh"
 #include "core/flow.hh"
 #include "core/oracle_controller.hh"
+#include "rtl/interpreter.hh"
 #include "sim/engine.hh"
 #include "util/thread_pool.hh"
 #include "workload/suite.hh"
@@ -279,6 +280,57 @@ TEST(Engine, ParallelPrepareBitIdenticalToSerial)
         const auto parallel = f.engine.prepare(
             f.work.test, flow.predictor.get(), nullptr, &pool);
         SCOPED_TRACE("workers=" + std::to_string(workers));
+        expectPreparedIdentical(serial, parallel);
+    }
+}
+
+// The engine self-speculates on its first prepare() (profiling a
+// slice of the stream to retune the batch kernel's lockstep routes).
+// Across all seven benchmarks, prove the optimisation is invisible:
+// prepared records stay byte-identical to the tree-walking reference
+// on the full-design fields, and serial vs pooled prepare agree byte
+// for byte even with a fault schedule active.
+TEST(Engine, AllDesignsPrepareBitExactUnderFaultsAfterSpeculation)
+{
+    for (const std::string &name : accel::benchmarkNames()) {
+        SCOPED_TRACE(name);
+        const auto acc = accel::makeAccelerator(name);
+        const workload::BenchmarkWorkload work =
+            workload::makeWorkload(*acc);
+        const power::VfModel vf =
+            power::VfModel::asic65nm(acc->nominalFrequencyHz());
+        const power::OperatingPointTable table =
+            power::OperatingPointTable::asic(vf, true);
+        const SimulationEngine engine{*acc, table, {}};
+        const core::FlowResult flow =
+            core::buildPredictor(acc->design(), work.train, {});
+
+        // First prepare triggers self-speculation; the clean records
+        // must match the unspeculated tree walker bit for bit.
+        const auto clean =
+            engine.prepare(work.test, flow.predictor.get());
+        const rtl::Interpreter oracle(acc->design());
+        ASSERT_EQ(clean.size(), work.test.size());
+        for (std::size_t i = 0; i < clean.size(); ++i) {
+            const rtl::JobResult ref =
+                oracle.runReference(work.test[i]);
+            ASSERT_EQ(clean[i].cycles, ref.cycles) << "job " << i;
+            ASSERT_EQ(clean[i].energyUnits, ref.energyUnits)
+                << "job " << i;
+        }
+
+        FaultPlan plan(987 + work.test.size());
+        plan.sliceReadout(FaultTrigger::every(7))
+            .sliceStall(FaultTrigger::every(11, 2), 15.0)
+            .oodSpike(FaultTrigger::every(13, 5), 2.0);
+        const FaultSchedule schedule =
+            plan.instantiate(work.test.size());
+
+        const auto serial = engine.prepare(
+            work.test, flow.predictor.get(), &schedule);
+        util::ThreadPool pool(4);
+        const auto parallel = engine.prepare(
+            work.test, flow.predictor.get(), &schedule, &pool);
         expectPreparedIdentical(serial, parallel);
     }
 }
