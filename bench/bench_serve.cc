@@ -22,6 +22,14 @@
  * clean run's reply for the same job (divergence exits non-zero) and
  * the JSON gains the client retry/busy/deadline counters plus the p99
  * under chaos, so the cost of fault tolerance is tracked run to run.
+ *
+ * A third stage drives two benchmarks concurrently through a sharded
+ * dispatcher (N shards) and through a single-dispatcher reference,
+ * byte-compares every reply between the two (divergence exits
+ * non-zero), and reports each shard's stream count, peak queue depth,
+ * drain count, and mean batch occupancy in the JSON, so shard balance
+ * and the cost of removing cross-stream head-of-line blocking are
+ * tracked run to run.
  */
 
 #include <chrono>
@@ -226,6 +234,147 @@ measureChaos(const std::string &bench, double fault_rate)
     return r;
 }
 
+/** One shard's gauges for the JSON report. */
+struct ShardStat
+{
+    unsigned index = 0;
+    std::size_t streams = 0;
+    std::size_t peakQueueDepth = 0;
+    std::uint64_t drains = 0;
+    std::uint64_t requests = 0;
+    double meanBatchOccupancy = 0.0;
+};
+
+/** The sharded-vs-single-dispatcher stage over a benchmark pair. */
+struct ShardedStageResult
+{
+    unsigned shards = 0;
+    std::size_t requests = 0;
+    double requestsPerSec = 0.0;
+    std::vector<ShardStat> perShard;
+    bool byteIdentical = false;    //!< Sharded == single dispatcher.
+    bool identityBalances = false; //!< Per shard and in aggregate.
+};
+
+ShardedStageResult
+measureSharded(const std::vector<std::string> &benches, unsigned shards)
+{
+    const sim::ExperimentOptions eopts;
+    const std::size_t clients_per_bench = 2;
+
+    // Shared plans and workloads, so both servers see identical
+    // traffic.
+    std::vector<workload::BenchmarkWorkload> works;
+    std::vector<std::vector<workload::ReplayPlan>> plans;
+    for (const std::string &bench : benches) {
+        works.push_back(workload::makeWorkload(
+            *accel::makeAccelerator(bench), eopts.seed));
+        plans.push_back(workload::duplicateHeavyPlans(
+            works.back().test.size(), clients_per_bench,
+            /*requests_per_client=*/200, /*hot_jobs=*/8,
+            workload::defaultSeed));
+    }
+
+    // Reference: one dispatcher, sequential bursts.
+    std::vector<std::vector<std::vector<serve::PredictReplyMsg>>>
+        expected(benches.size());
+    {
+        serve::ServerOptions sopts;
+        sopts.workers = 2;
+        sopts.batchWindowMicros = 200;
+        sopts.experiment = eopts;
+        serve::PredictionServer reference(sopts);
+        for (const std::string &bench : benches)
+            reference.registerBenchmark(bench);
+        for (std::size_t b = 0; b < benches.size(); ++b) {
+            expected[b].resize(clients_per_bench);
+            for (std::size_t c = 0; c < clients_per_bench; ++c) {
+                serve::PredictionClient client(
+                    reference.connectLoopback());
+                const std::uint32_t sid =
+                    client.openStream(benches[b]);
+                std::vector<rtl::JobInput> burst;
+                for (const std::size_t index : plans[b][c].indices)
+                    burst.push_back(works[b].test[index]);
+                expected[b][c] = client.predictMany(sid, burst);
+            }
+        }
+        reference.stop();
+    }
+
+    // Sharded: the same bursts, all clients concurrent, N shards.
+    ShardedStageResult r;
+    r.shards = shards;
+    serve::ServerOptions sopts;
+    sopts.workers = 2;
+    sopts.shards = shards;
+    sopts.batchWindowMicros = 200;
+    sopts.experiment = eopts;
+    serve::PredictionServer server(sopts);
+    for (const std::string &bench : benches)
+        server.registerBenchmark(bench);
+
+    std::vector<std::vector<bool>> identical(
+        benches.size(), std::vector<bool>(clients_per_bench, false));
+    std::vector<std::thread> threads;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t b = 0; b < benches.size(); ++b) {
+        for (std::size_t c = 0; c < clients_per_bench; ++c) {
+            threads.emplace_back([&, b, c] {
+                serve::PredictionClient client(
+                    server.connectLoopback());
+                const std::uint32_t sid =
+                    client.openStream(benches[b]);
+                std::vector<rtl::JobInput> burst;
+                for (const std::size_t index : plans[b][c].indices)
+                    burst.push_back(works[b].test[index]);
+                const std::vector<serve::PredictReplyMsg> replies =
+                    client.predictMany(sid, burst);
+                bool ok = replies.size() == expected[b][c].size();
+                for (std::size_t i = 0; ok && i < replies.size(); ++i)
+                    ok = sameValues(replies[i], expected[b][c][i]);
+                identical[b][c] = ok;
+            });
+        }
+    }
+    for (std::thread &t : threads)
+        t.join();
+    const double elapsed = secondsSince(t0);
+
+    r.byteIdentical = true;
+    for (std::size_t b = 0; b < benches.size(); ++b) {
+        r.requests += clients_per_bench * plans[b][0].indices.size();
+        for (std::size_t c = 0; c < clients_per_bench; ++c)
+            r.byteIdentical = r.byteIdentical && identical[b][c];
+    }
+    r.requestsPerSec = static_cast<double>(r.requests) / elapsed;
+
+    r.identityBalances = true;
+    std::uint64_t shard_requests = 0;
+    for (const serve::ShardTelemetry &s : server.shardTelemetry()) {
+        ShardStat stat;
+        stat.index = s.index;
+        stat.streams = s.streams;
+        stat.peakQueueDepth = s.peakQueueDepth;
+        stat.drains = s.drains;
+        stat.requests = s.requests;
+        stat.meanBatchOccupancy = s.meanBatchOccupancy();
+        r.perShard.push_back(stat);
+        shard_requests += s.requests;
+        r.identityBalances =
+            r.identityBalances &&
+            s.requests == s.cacheHits + s.coalesced + s.simulated +
+                              s.busy + s.expired;
+    }
+    std::uint64_t stream_requests = 0;
+    for (const std::string &bench : benches)
+        stream_requests += server.telemetry(bench).requests;
+    r.identityBalances =
+        r.identityBalances && shard_requests == stream_requests;
+    server.stop();
+    return r;
+}
+
 ServeResult
 measure(const std::string &bench)
 {
@@ -306,7 +455,8 @@ measure(const std::string &bench)
 
 void
 writeJson(std::ostream &os, const std::vector<ServeResult> &results,
-          const std::vector<ChaosStageResult> &chaos)
+          const std::vector<ChaosStageResult> &chaos,
+          const ShardedStageResult &sharded)
 {
     os.precision(6);
     os << "{\n  \"bench\": \"serve\",\n  \"cache_enabled\": "
@@ -368,7 +518,30 @@ writeJson(std::ostream &os, const std::vector<ServeResult> &results,
            << (c.byteIdentical ? "true" : "false") << "\n    }"
            << (i + 1 < chaos.size() ? "," : "") << "\n";
     }
-    os << "  ]\n}\n";
+    os << "  ],\n  \"sharded\": {\n"
+       << "    \"shards\": " << sharded.shards << ",\n"
+       << "    \"requests\": " << sharded.requests << ",\n"
+       << "    \"requests_per_sec\": " << sharded.requestsPerSec
+       << ",\n"
+       << "    \"byte_identical\": "
+       << (sharded.byteIdentical ? "true" : "false") << ",\n"
+       << "    \"telemetry_identity\": "
+       << (sharded.identityBalances ? "true" : "false") << ",\n"
+       << "    \"per_shard\": [\n";
+    for (std::size_t i = 0; i < sharded.perShard.size(); ++i) {
+        const ShardStat &s = sharded.perShard[i];
+        os << "      {\n"
+           << "        \"index\": " << s.index << ",\n"
+           << "        \"streams\": " << s.streams << ",\n"
+           << "        \"peak_queue_depth\": " << s.peakQueueDepth
+           << ",\n"
+           << "        \"drains\": " << s.drains << ",\n"
+           << "        \"requests\": " << s.requests << ",\n"
+           << "        \"mean_batch_occupancy\": "
+           << s.meanBatchOccupancy << "\n      }"
+           << (i + 1 < sharded.perShard.size() ? "," : "") << "\n";
+    }
+    os << "    ]\n  }\n}\n";
 }
 
 } // namespace
@@ -417,8 +590,28 @@ main(int argc, char **argv)
         chaos.push_back(std::move(c));
     }
 
+    const ShardedStageResult sharded =
+        measureSharded({"sha", "cjpeg"}, /*shards=*/4);
+    std::cout << "sharded: " << sharded.shards << " shards, "
+              << sharded.requests << " requests, "
+              << sharded.requestsPerSec << " req/s\n";
+    for (const ShardStat &s : sharded.perShard)
+        std::cout << "  shard " << s.index << ": " << s.streams
+                  << " stream(s), peak depth " << s.peakQueueDepth
+                  << ", " << s.drains << " drains, occupancy "
+                  << s.meanBatchOccupancy << "\n";
+    if (!sharded.byteIdentical) {
+        std::cerr
+            << "sharded replies DIVERGED from single dispatcher\n";
+        ok = false;
+    }
+    if (!sharded.identityBalances) {
+        std::cerr << "sharded telemetry identity broken\n";
+        ok = false;
+    }
+
     std::ofstream out(out_path);
-    writeJson(out, results, chaos);
+    writeJson(out, results, chaos, sharded);
     std::cout << "wrote " << out_path << "\n";
     return ok ? 0 : 1;
 }

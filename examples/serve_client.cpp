@@ -5,9 +5,13 @@
  * demo), replay a workload, and print the results.
  *
  * Usage:
- *   example_serve_client (--socket PATH | --loopback)
+ *   example_serve_client (--connect ADDR | --socket PATH | --loopback)
  *                        [--bench NAME] [--golden] [--trace FILE.csv]
  *                        [--stats]
+ *
+ *  --connect dispatches on the address scheme: "tcp://host:port"
+ *            dials TCP, anything else is a Unix socket path
+ *            (--socket PATH is the historical spelling);
  *
  *  --golden  replay the benchmark's full test workload and print the
  *            golden report (scripts/check.sh diffs this against the
@@ -35,7 +39,7 @@ using namespace predvfs;
 int
 main(int argc, char **argv)
 {
-    std::string socket_path;
+    std::string connect_address;
     std::string trace_path;
     std::string bench = "sha";
     bool loopback = false;
@@ -45,8 +49,8 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         const bool has_value = i + 1 < argc;
-        if (arg == "--socket" && has_value) {
-            socket_path = argv[++i];
+        if ((arg == "--connect" || arg == "--socket") && has_value) {
+            connect_address = argv[++i];
         } else if (arg == "--loopback") {
             loopback = true;
         } else if (arg == "--bench" && has_value) {
@@ -59,15 +63,17 @@ main(int argc, char **argv)
             stats = true;
         } else {
             std::fprintf(stderr,
-                         "usage: %s (--socket PATH | --loopback) "
+                         "usage: %s (--connect ADDR | --socket PATH "
+                         "| --loopback) "
                          "[--bench NAME] [--golden] [--trace FILE] "
                          "[--stats]\n",
                          argv[0]);
             return 2;
         }
     }
-    util::fatalIf(socket_path.empty() == !loopback,
-                  "pick exactly one of --socket and --loopback");
+    util::fatalIf(connect_address.empty() == !loopback,
+                  "pick exactly one of --connect/--socket and "
+                  "--loopback");
 
     const sim::ExperimentOptions eopts;
 
@@ -83,8 +89,9 @@ main(int argc, char **argv)
         local->registerBenchmark(bench);
         conn = local->connectLoopback();
     } else {
-        conn = serve::connectUnix(socket_path, /*timeout_ms=*/10000);
-        util::fatalIf(!conn, "cannot connect to ", socket_path);
+        conn = serve::connectEndpoint(connect_address,
+                                      /*timeout_ms=*/10000);
+        util::fatalIf(!conn, "cannot connect to ", connect_address);
     }
 
     serve::PredictionClient client(std::move(conn));

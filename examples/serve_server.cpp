@@ -6,11 +6,17 @@
  * and as the quick-start server.
  *
  * Usage:
- *   example_serve_server --socket /tmp/predvfs.sock
+ *   example_serve_server --listen ADDR | --socket /tmp/predvfs.sock
  *                        [--bench sha,cjpeg,...] [--workers N]
+ *                        [--shards N]
  *                        [--stop-file PATH] [--max-seconds S]
  *                        [--snapshot PATH]
  *                        [--snapshot-seconds S]
+ *
+ * --listen dispatches on the address scheme: "tcp://host:port" binds
+ * a TCP listener ("tcp://127.0.0.1:0" picks an ephemeral port and
+ * prints the concrete address), anything else is a Unix socket path.
+ * --socket PATH is the historical spelling of --listen PATH.
  *
  * With --stop-file the server polls for the file's existence and
  * shuts down cleanly once it appears — scripts get a deterministic,
@@ -87,7 +93,7 @@ onSignal(int)
 int
 main(int argc, char **argv)
 {
-    std::string socket_path;
+    std::string listen_address;
     std::string stop_file;
     std::vector<std::string> benchmarks = {"sha"};
     double max_seconds = 600.0;
@@ -97,12 +103,15 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         const bool has_value = i + 1 < argc;
-        if (arg == "--socket" && has_value) {
-            socket_path = argv[++i];
+        if ((arg == "--listen" || arg == "--socket") && has_value) {
+            listen_address = argv[++i];
         } else if (arg == "--bench" && has_value) {
             benchmarks = splitCommas(argv[++i]);
         } else if (arg == "--workers" && has_value) {
             sopts.workers =
+                static_cast<unsigned>(std::stoul(argv[++i]));
+        } else if (arg == "--shards" && has_value) {
+            sopts.shards =
                 static_cast<unsigned>(std::stoul(argv[++i]));
         } else if (arg == "--stop-file" && has_value) {
             stop_file = argv[++i];
@@ -114,17 +123,26 @@ main(int argc, char **argv)
             snapshot_seconds = std::stod(argv[++i]);
         } else {
             std::fprintf(stderr,
-                         "usage: %s --socket PATH [--bench a,b,...] "
-                         "[--workers N] [--stop-file PATH] "
+                         "usage: %s (--listen ADDR | --socket PATH) "
+                         "[--bench a,b,...] "
+                         "[--workers N] [--shards N] "
+                         "[--stop-file PATH] "
                          "[--max-seconds S] [--snapshot PATH] "
                          "[--snapshot-seconds S]\n",
                          argv[0]);
             return 2;
         }
     }
-    util::fatalIf(socket_path.empty(), "--socket is required");
-    util::fatalIf(!serve::unixSocketsAvailable(),
-                  "this build has no Unix-domain socket support");
+    util::fatalIf(listen_address.empty(),
+                  "--listen (or --socket) is required");
+    const serve::Endpoint endpoint =
+        serve::parseEndpoint(listen_address);
+    if (endpoint.kind == serve::Endpoint::Kind::Tcp)
+        util::fatalIf(!serve::tcpSocketsAvailable(),
+                      "this build has no TCP socket support");
+    else
+        util::fatalIf(!serve::unixSocketsAvailable(),
+                      "this build has no Unix-domain socket support");
 
     // The self-pipe goes up before any thread exists so the handler
     // never races its initialisation.
@@ -144,9 +162,13 @@ main(int argc, char **argv)
         server.registerBenchmark(bench);
     if (!sopts.snapshotPath.empty())
         server.loadSnapshot(sopts.snapshotPath);
-    server.listenUnix(socket_path);
-    std::printf("serving %zu benchmark(s) on %s (workers=%u)\n",
-                benchmarks.size(), socket_path.c_str(), sopts.workers);
+    // listen() returns the concrete address — for "tcp://host:0" it
+    // carries the kernel-assigned port, so scripts can scrape it.
+    const std::string bound = server.listen(listen_address);
+    std::printf("serving %zu benchmark(s) on %s (workers=%u, "
+                "shards=%u)\n",
+                benchmarks.size(), bound.c_str(), sopts.workers,
+                sopts.shards);
     std::fflush(stdout);
 
     const auto deadline = std::chrono::steady_clock::now() +

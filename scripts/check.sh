@@ -77,6 +77,92 @@ wait "$SERVE_PID"
 diff tests/goldens/serve_sha.golden "$SERVE_OUT"
 rm -f "$SERVE_SOCK" "$SERVE_STOP"
 
+stage "distributed smoke (2 TCP servers, client fleet, SIGKILL one)"
+# Two server processes split the benchmark set over TCP (ephemeral
+# ports, scraped from stdout). A client fleet replays both goldens
+# concurrently; then one server is SIGKILLed mid-run — the surviving
+# server keeps serving byte-exact replies — and the dead one
+# warm-restarts from its snapshot and must serve the identical bytes
+# again on a fresh port.
+TCP_LOG1="build/predvfs_tcp1.log"
+TCP_LOG2="build/predvfs_tcp2.log"
+TCP_STOP="build/predvfs_tcp.stop"
+TCP_SNAP="build/predvfs_tcp1.snapshot"
+rm -f "$TCP_LOG1" "$TCP_LOG2" "$TCP_STOP" "$TCP_SNAP" \
+    build/predvfs_tcp_*.golden
+
+# Block until a server's log shows its concrete tcp:// address.
+scrape_tcp_addr() {
+    i=0
+    while [ "$i" -lt 150 ]; do
+        addr=$(grep -o 'tcp://[0-9.]*:[0-9]*' "$1" 2> /dev/null \
+            | head -n 1 || true)
+        if [ -n "$addr" ]; then
+            echo "$addr"
+            return 0
+        fi
+        sleep 0.2
+        i=$((i + 1))
+    done
+    echo "server at $1 never reported its address" >&2
+    return 1
+}
+
+build/examples/example_serve_server --listen tcp://127.0.0.1:0 \
+    --bench sha --shards 2 --snapshot "$TCP_SNAP" \
+    --snapshot-seconds 0.2 --max-seconds 120 > "$TCP_LOG1" &
+TCP_PID1=$!
+build/examples/example_serve_server --listen tcp://127.0.0.1:0 \
+    --bench cjpeg --stop-file "$TCP_STOP" --max-seconds 120 \
+    > "$TCP_LOG2" &
+TCP_PID2=$!
+TCP_ADDR1=$(scrape_tcp_addr "$TCP_LOG1")
+TCP_ADDR2=$(scrape_tcp_addr "$TCP_LOG2")
+
+# Client fleet: both benchmarks replayed concurrently, each against
+# its server, plus a second sha client to exercise shard concurrency.
+build/examples/example_serve_client --connect "$TCP_ADDR1" \
+    --bench sha --golden > build/predvfs_tcp_sha.golden &
+TCP_C1=$!
+build/examples/example_serve_client --connect "$TCP_ADDR2" \
+    --bench cjpeg --golden > build/predvfs_tcp_cjpeg.golden &
+TCP_C2=$!
+build/examples/example_serve_client --connect "$TCP_ADDR1" \
+    --bench sha --golden > build/predvfs_tcp_sha2.golden &
+TCP_C3=$!
+wait "$TCP_C1" "$TCP_C2" "$TCP_C3"
+diff tests/goldens/serve_sha.golden build/predvfs_tcp_sha.golden
+diff tests/goldens/serve_sha.golden build/predvfs_tcp_sha2.golden
+diff tests/goldens/serve_cjpeg.golden build/predvfs_tcp_cjpeg.golden
+
+# SIGKILL server 1 while server 2 is mid-burst: the fleet survives.
+sleep 1  # Let a periodic snapshot observe the warmed cache.
+build/examples/example_serve_client --connect "$TCP_ADDR2" \
+    --bench cjpeg --golden > build/predvfs_tcp_cjpeg2.golden &
+TCP_C4=$!
+kill -9 "$TCP_PID1"
+wait "$TCP_PID1" 2> /dev/null || true
+wait "$TCP_C4"
+diff tests/goldens/serve_cjpeg.golden build/predvfs_tcp_cjpeg2.golden
+
+# Warm restart of the killed server on a fresh ephemeral port: the
+# snapshot survives the SIGKILL and the served bytes are identical.
+test -s "$TCP_SNAP"
+: > "$TCP_LOG1"
+build/examples/example_serve_server --listen tcp://127.0.0.1:0 \
+    --bench sha --shards 2 --snapshot "$TCP_SNAP" \
+    --stop-file "$TCP_STOP" --max-seconds 120 > "$TCP_LOG1" &
+TCP_PID1=$!
+TCP_ADDR1=$(scrape_tcp_addr "$TCP_LOG1")
+build/examples/example_serve_client --connect "$TCP_ADDR1" \
+    --bench sha --golden > build/predvfs_tcp_sha3.golden
+diff tests/goldens/serve_sha.golden build/predvfs_tcp_sha3.golden
+
+touch "$TCP_STOP"
+wait "$TCP_PID1" "$TCP_PID2"
+rm -f "$TCP_LOG1" "$TCP_LOG2" "$TCP_STOP" "$TCP_SNAP" \
+    build/predvfs_tcp_*.golden
+
 stage "kill-restart smoke (SIGKILL, snapshot warm start, SIGTERM)"
 # Serve with periodic snapshots, SIGKILL mid-serving (no drain, no
 # flush — only atomically-renamed snapshots survive), restart from
@@ -114,10 +200,11 @@ build/bench/bench_robustness_faults sha 60 > /dev/null
 stage "perf regression harness"
 build/bench/bench_perf_pipeline BENCH_perf.json
 
-stage "serving bench + chaos soak"
-# Exits non-zero if cold and warm serving replies ever diverge, or if
+stage "serving bench + chaos soak + sharded dispatch"
+# Exits non-zero if cold and warm serving replies ever diverge, if
 # the seeded chaos soak sees a byte divergence or a telemetry
-# identity violation.
+# identity violation, or if the sharded dispatcher's replies diverge
+# from the single-dispatcher reference.
 build/bench/bench_serve BENCH_serve.json
 
 stage "bench smoke"

@@ -524,5 +524,651 @@ PredictionClient::raiseIfError(const Frame &frame)
                 " (request ", msg.requestId, "): ", msg.message);
 }
 
+// ===================================================================
+// AsyncPredictionClient
+// ===================================================================
+
+namespace {
+
+/** fatal() with the server's message if @p frame is an Error. */
+void
+raiseServerError(const Frame &frame)
+{
+    if (static_cast<MsgType>(frame.type) != MsgType::Error)
+        return;
+    ErrorMsg msg;
+    if (!decodeError(frame.payload, msg)) {
+        util::fatal("AsyncPredictionClient: server sent an "
+                    "undecodable Error frame");
+    }
+    util::fatal("AsyncPredictionClient: server error ",
+                errorCodeName(static_cast<ErrorCode>(msg.code)),
+                " (request ", msg.requestId, "): ", msg.message);
+}
+
+} // namespace
+
+AsyncPredictionClient::AsyncPredictionClient(
+    std::unique_ptr<Connection> connection, RetryOptions retry_)
+    : conn(std::move(connection)), retry(std::move(retry_)),
+      jitter(retry.jitterSeed)
+{
+    util::fatalIf(!conn, "AsyncPredictionClient: null connection");
+    util::fatalIf(!syncHandshake(),
+                  "AsyncPredictionClient: handshake failed (peer "
+                  "closed or sent garbage)");
+}
+
+AsyncPredictionClient::AsyncPredictionClient(RetryOptions retry_)
+    : retry(std::move(retry_)), jitter(retry.jitterSeed)
+{
+    util::fatalIf(!retry.enabled || !retry.connect,
+                  "AsyncPredictionClient: the dialling constructor "
+                  "needs RetryOptions with a connect factory");
+    for (unsigned attempt = 0; attempt < retry.reconnectAttempts;
+         ++attempt) {
+        conn = retry.connect();
+        if (conn) {
+            decoder = FrameDecoder{};
+            if (syncHandshake())
+                return;
+        }
+        sleepBackoff(attempt, 0);
+    }
+    util::fatal("AsyncPredictionClient: could not establish a "
+                "connection in ", retry.reconnectAttempts,
+                " attempts");
+}
+
+AsyncPredictionClient::~AsyncPredictionClient()
+{
+    close();
+}
+
+bool
+AsyncPredictionClient::sendRaw(MsgType type,
+                               const std::vector<std::uint8_t> &payload)
+{
+    const std::vector<std::uint8_t> frame = encodeFrame(type, payload);
+    std::lock_guard<std::mutex> lock(writeMu);
+    return conn->writeAll(frame.data(), frame.size());
+}
+
+bool
+AsyncPredictionClient::syncReadFrame(Frame &out)
+{
+    std::string error;
+    for (;;) {
+        const FrameDecoder::Status status = decoder.next(out, &error);
+        if (status == FrameDecoder::Status::Ready)
+            return true;
+        if (status == FrameDecoder::Status::Error) {
+            util::warn("AsyncPredictionClient: server sent garbage: ",
+                       error);
+            return false;
+        }
+        std::uint8_t buffer[4096];
+        const std::size_t n = conn->read(buffer, sizeof(buffer));
+        if (n == 0)
+            return false;
+        decoder.feed(buffer, n);
+    }
+}
+
+bool
+AsyncPredictionClient::syncHandshake()
+{
+    if (!sendRaw(MsgType::Hello, encodeHello(HelloMsg{})))
+        return false;
+    Frame reply;
+    if (!syncReadFrame(reply))
+        return false;
+    // Typed errors here (BadVersion, BadMagic) are configuration
+    // mismatches — fatal whatever the retry policy.
+    raiseServerError(reply);
+    util::fatalIf(static_cast<MsgType>(reply.type) != MsgType::HelloOk,
+                  "AsyncPredictionClient: handshake got frame type ",
+                  reply.type, " instead of HelloOk");
+    return true;
+}
+
+std::uint32_t
+AsyncPredictionClient::syncOpenStream(const std::string &benchmark)
+{
+    OpenStreamMsg open;
+    open.benchmark = benchmark;
+    if (!sendRaw(MsgType::OpenStream, encodeOpenStream(open)))
+        return 0;
+    Frame reply;
+    if (!syncReadFrame(reply))
+        return 0;
+    raiseServerError(reply);
+    util::fatalIf(
+        static_cast<MsgType>(reply.type) != MsgType::StreamOpened,
+        "AsyncPredictionClient: OpenStream got frame type ",
+        reply.type);
+    StreamOpenedMsg opened;
+    util::fatalIf(!decodeStreamOpened(reply.payload, opened),
+                  "AsyncPredictionClient: undecodable StreamOpened");
+    util::fatalIf(opened.streamId == 0,
+                  "AsyncPredictionClient: server assigned stream id 0");
+    streamKeys[opened.streamId] = opened.streamKey;
+    return opened.streamId;
+}
+
+std::uint32_t
+AsyncPredictionClient::openStream(const std::string &benchmark)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        util::fatalIf(threadsStarted,
+                      "AsyncPredictionClient: open every stream "
+                      "before the first submit()");
+    }
+    for (;;) {
+        const std::uint32_t id = syncOpenStream(benchmark);
+        if (id != 0) {
+            streamBench[id] = benchmark;
+            remap[id] = id;
+            return id;
+        }
+        // Connection lost mid-open before any submit: redial inline.
+        util::fatalIf(!retry.enabled || !retry.connect,
+                      "AsyncPredictionClient: connection lost (no "
+                      "reconnect factory configured)");
+        bool redialled = false;
+        for (unsigned attempt = 0;
+             attempt < retry.reconnectAttempts && !redialled;
+             ++attempt) {
+            std::unique_ptr<Connection> fresh = retry.connect();
+            if (fresh) {
+                conn = std::move(fresh);
+                decoder = FrameDecoder{};
+                if (syncHandshake()) {
+                    redialled = true;
+                    break;
+                }
+            }
+            sleepBackoff(attempt, 0);
+        }
+        util::fatalIf(!redialled,
+                      "AsyncPredictionClient: reconnect failed after ",
+                      retry.reconnectAttempts, " attempts");
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            ++counters.reconnects;
+        }
+    }
+}
+
+std::uint64_t
+AsyncPredictionClient::streamKey(std::uint32_t stream_id) const
+{
+    const auto it = streamKeys.find(stream_id);
+    util::fatalIf(it == streamKeys.end(),
+                  "AsyncPredictionClient: stream ", stream_id,
+                  " was never opened");
+    return it->second;
+}
+
+std::uint64_t
+AsyncPredictionClient::backoffMicros(unsigned round,
+                                     std::uint64_t floor_micros)
+{
+    std::uint64_t wait = retry.baseBackoffMicros
+        << std::min(round, 20u);
+    wait = std::min(wait, retry.maxBackoffMicros);
+    wait = static_cast<std::uint64_t>(
+        static_cast<double>(wait) * (0.5 + 0.5 * jitter.uniform()));
+    wait = std::max(wait, floor_micros);
+    ++counters.backoffSleeps;
+    return wait;
+}
+
+void
+AsyncPredictionClient::sleepBackoff(unsigned round,
+                                    std::uint64_t floor_micros)
+{
+    std::uint64_t wait = 0;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        wait = backoffMicros(round, floor_micros);
+    }
+    if (wait > 0)
+        std::this_thread::sleep_for(std::chrono::microseconds(wait));
+}
+
+void
+AsyncPredictionClient::startThreads()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    if (threadsStarted)
+        return;
+    threadsStarted = true;
+    sender = std::thread([this] { senderLoop(); });
+    receiver = std::thread([this] { receiverLoop(); });
+}
+
+std::uint64_t
+AsyncPredictionClient::submit(std::uint32_t stream_id,
+                              const rtl::JobInput &job, Callback done,
+                              std::uint64_t deadline_micros)
+{
+    startThreads();
+    std::lock_guard<std::mutex> lock(mu);
+    util::fatalIf(closing,
+                  "AsyncPredictionClient: submit() after close()");
+    util::fatalIf(remap.find(stream_id) == remap.end(),
+                  "AsyncPredictionClient: stream ", stream_id,
+                  " was never opened");
+    const std::uint64_t id = nextRequestId++;
+    Slot slot;
+    slot.streamId = stream_id;
+    slot.job = job;
+    slot.deadlineMicros = deadline_micros;
+    slot.done = std::move(done);
+    inflight.emplace(id, std::move(slot));
+    sendQueue.push_back(id);
+    cv.notify_all();
+    return id;
+}
+
+void
+AsyncPredictionClient::senderLoop()
+{
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+        cv.wait(lock, [this] {
+            return closing || (!sendQueue.empty() && !reconnecting);
+        });
+        if (closing)
+            return;
+
+        // Retired slots can linger in the queue (a duplicate reply
+        // completed a Busy-requeued request); drop them here.
+        while (!sendQueue.empty() &&
+               inflight.find(sendQueue.front()) == inflight.end())
+            sendQueue.pop_front();
+        if (sendQueue.empty())
+            continue;
+
+        // Busy-parked requests carry a not-before time; pick the
+        // first sendable one, or sleep until the earliest gate.
+        const Clock::time_point now = Clock::now();
+        Clock::time_point earliest = Clock::time_point::max();
+        std::size_t pick = sendQueue.size();
+        for (std::size_t i = 0; i < sendQueue.size(); ++i) {
+            const auto it = inflight.find(sendQueue[i]);
+            if (it == inflight.end())
+                continue;
+            if (it->second.readyAt <= now) {
+                pick = i;
+                break;
+            }
+            earliest = std::min(earliest, it->second.readyAt);
+        }
+        if (pick == sendQueue.size()) {
+            cv.wait_until(lock, earliest);
+            continue;
+        }
+        const std::uint64_t id = sendQueue[pick];
+        sendQueue.erase(sendQueue.begin() +
+                        static_cast<std::ptrdiff_t>(pick));
+        Slot &slot = inflight[id];
+
+        // Same livelock accounting as the synchronous client: Busy
+        // replies and completion progress reset the count; only sends
+        // that vanish without any reply accumulate.
+        if (slot.unanswered > 0 && completedCount > slot.completedAtSend)
+            slot.unanswered = 0;
+        ++slot.unanswered;
+        util::fatalIf(slot.unanswered > retry.maxAttempts,
+                      "AsyncPredictionClient: request ", id,
+                      " re-sent ", retry.maxAttempts,
+                      " times with no reply and no progress");
+        if (slot.everSent)
+            ++counters.retries;
+        slot.everSent = true;
+        slot.completedAtSend = completedCount;
+        slot.sent = true;
+
+        PredictMsg request;
+        const auto mapped = remap.find(slot.streamId);
+        request.streamId =
+            mapped != remap.end() ? mapped->second : slot.streamId;
+        request.requestId = id;
+        request.deadlineMicros = slot.deadlineMicros;
+        request.job = slot.job;
+        ++counters.requestsSent;
+        const std::vector<std::uint8_t> frame =
+            encodeFrame(MsgType::Predict, encodePredict(request));
+
+        Connection *wire = conn.get();
+        senderInSend = true;
+        lock.unlock();
+        bool ok;
+        {
+            std::lock_guard<std::mutex> wl(writeMu);
+            ok = wire->writeAll(frame.data(), frame.size());
+        }
+        lock.lock();
+        senderInSend = false;
+        if (!ok) {
+            // The frame never made it. Requeue and park until the
+            // receiver notices the dead connection (its read sees
+            // EOF) and swaps in a fresh one.
+            const auto it = inflight.find(id);
+            if (it != inflight.end() && it->second.sent) {
+                it->second.sent = false;
+                it->second.readyAt = Clock::time_point{};
+                sendQueue.push_front(id);
+            }
+            const std::uint64_t gen = generation;
+            cv.notify_all();
+            cv.wait(lock, [this, gen] {
+                return closing || generation != gen;
+            });
+        } else {
+            cv.notify_all();
+        }
+    }
+}
+
+void
+AsyncPredictionClient::receiverLoop()
+{
+    for (;;) {
+        Frame frame;
+        std::string error;
+        bool lost = false;
+        for (;;) {
+            const FrameDecoder::Status status =
+                decoder.next(frame, &error);
+            if (status == FrameDecoder::Status::Ready)
+                break;
+            if (status == FrameDecoder::Status::Error) {
+                util::warn("AsyncPredictionClient: server sent "
+                           "garbage: ", error);
+                lost = true;
+                break;
+            }
+            std::uint8_t buffer[4096];
+            const std::size_t n = conn->read(buffer, sizeof(buffer));
+            if (n == 0) {
+                lost = true;
+                break;
+            }
+            decoder.feed(buffer, n);
+        }
+        if (lost) {
+            {
+                std::lock_guard<std::mutex> lock(mu);
+                if (closing)
+                    return;
+            }
+            if (!handleConnectionLost())
+                return;
+            continue;
+        }
+        if (!handleFrame(frame))
+            return;
+    }
+}
+
+bool
+AsyncPredictionClient::handleFrame(const Frame &frame)
+{
+    if (static_cast<MsgType>(frame.type) == MsgType::PredictReply) {
+        PredictReplyMsg reply;
+        util::fatalIf(!decodePredictReply(frame.payload, reply),
+                      "AsyncPredictionClient: undecodable "
+                      "PredictReply");
+        PredictOutcome outcome;
+        outcome.ok = true;
+        outcome.reply = reply;
+        complete(reply.requestId, outcome);
+        return true;
+    }
+
+    if (static_cast<MsgType>(frame.type) == MsgType::Error) {
+        ErrorMsg error;
+        util::fatalIf(!decodeError(frame.payload, error),
+                      "AsyncPredictionClient: undecodable Error "
+                      "frame");
+        const ErrorCode code = static_cast<ErrorCode>(error.code);
+
+        if (code == ErrorCode::Busy) {
+            std::lock_guard<std::mutex> lock(mu);
+            const auto it = inflight.find(error.requestId);
+            if (it == inflight.end()) {
+                util::fatalIf(!retry.enabled,
+                              "AsyncPredictionClient: Busy for "
+                              "unknown request ", error.requestId);
+                ++counters.duplicateReplies;
+                return true;
+            }
+            util::fatalIf(!retry.enabled,
+                          "AsyncPredictionClient: server busy and "
+                          "retries are disabled (request ",
+                          error.requestId, ")");
+            ++counters.busyReplies;
+            busyFloor = error.retryAfterMicros;
+            Slot &slot = it->second;
+            slot.sent = false;
+            slot.unanswered = 0;  // Answered; the server lives.
+            slot.readyAt = Clock::now() +
+                std::chrono::microseconds(
+                    backoffMicros(busyRound++, busyFloor));
+            sendQueue.push_back(error.requestId);
+            cv.notify_all();
+            return true;
+        }
+        if (code == ErrorCode::DeadlineExceeded) {
+            PredictOutcome outcome;
+            outcome.ok = false;
+            outcome.error = code;
+            complete(error.requestId, outcome);
+            return true;
+        }
+        if (code == ErrorCode::ShuttingDown && retry.enabled &&
+            retry.connect) {
+            // The connection is a dead end; everything unanswered
+            // moves to a fresh one.
+            {
+                std::lock_guard<std::mutex> wl(writeMu);
+                conn->close();
+            }
+            {
+                std::lock_guard<std::mutex> lock(mu);
+                if (closing)
+                    return false;
+            }
+            return handleConnectionLost();
+        }
+        raiseServerError(frame);
+        return true;
+    }
+
+    util::fatal("AsyncPredictionClient: expected PredictReply, got "
+                "type ", frame.type);
+    return false;
+}
+
+void
+AsyncPredictionClient::complete(std::uint64_t request_id,
+                                const PredictOutcome &outcome)
+{
+    Callback done;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        const auto it = inflight.find(request_id);
+        if (it == inflight.end()) {
+            util::fatalIf(!retry.enabled,
+                          "AsyncPredictionClient: duplicate or "
+                          "unknown reply for request ", request_id);
+            ++counters.duplicateReplies;
+            return;
+        }
+        done = std::move(it->second.done);
+        inflight.erase(it);
+        ++completedCount;
+        busyRound = 0;  // The server is making progress again.
+        if (!outcome.ok && outcome.error == ErrorCode::DeadlineExceeded)
+            ++counters.deadlineExpired;
+        ++dispatching;
+    }
+    if (done)
+        done(request_id, outcome);
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        --dispatching;
+    }
+    cv.notify_all();
+}
+
+bool
+AsyncPredictionClient::handleConnectionLost()
+{
+    util::fatalIf(!retry.enabled || !retry.connect,
+                  "AsyncPredictionClient: connection lost (no "
+                  "reconnect factory configured)");
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        reconnecting = true;
+        cv.notify_all();
+        // Wait the sender out of its in-progress write; after this,
+        // the receiver owns the connection exclusively.
+        cv.wait(lock, [this] { return !senderInSend || closing; });
+        if (closing) {
+            reconnecting = false;
+            return false;
+        }
+        // Whatever was written to the dead connection is gone (or
+        // its reply is); it all goes back on the send queue.
+        // Re-execution is safe: replies are byte-deterministic.
+        for (auto &entry : inflight) {
+            if (entry.second.sent) {
+                entry.second.sent = false;
+                entry.second.readyAt = Clock::time_point{};
+                sendQueue.push_back(entry.first);
+            }
+        }
+    }
+
+    for (unsigned attempt = 0; attempt < retry.reconnectAttempts;
+         ++attempt) {
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            if (closing) {
+                reconnecting = false;
+                return false;
+            }
+        }
+        std::unique_ptr<Connection> fresh = retry.connect();
+        if (!fresh) {
+            sleepBackoff(attempt, 0);
+            continue;
+        }
+        {
+            std::lock_guard<std::mutex> wl(writeMu);
+            conn = std::move(fresh);
+        }
+        decoder = FrameDecoder{};
+        if (!syncHandshake()) {
+            sleepBackoff(attempt, 0);
+            continue;
+        }
+        // Re-open every stream the caller holds a handle to; ids may
+        // differ on the new connection (another server instance), so
+        // the remap table translates at send time.
+        bool opened_all = true;
+        for (const auto &entry : streamBench) {
+            const std::uint32_t fresh_id =
+                syncOpenStream(entry.second);
+            if (fresh_id == 0) {
+                opened_all = false;
+                break;
+            }
+            std::lock_guard<std::mutex> lock(mu);
+            remap[entry.first] = fresh_id;
+        }
+        if (!opened_all) {
+            sleepBackoff(attempt, 0);
+            continue;
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        ++counters.reconnects;
+        reconnecting = false;
+        ++generation;
+        cv.notify_all();
+        return true;
+    }
+    util::fatal("AsyncPredictionClient: reconnect failed after ",
+                retry.reconnectAttempts, " attempts");
+    return false;
+}
+
+void
+AsyncPredictionClient::drain()
+{
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] {
+        return closing || (inflight.empty() && dispatching == 0);
+    });
+}
+
+void
+AsyncPredictionClient::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        if (closing)
+            return;
+        closing = true;
+        cv.notify_all();
+    }
+    {
+        // Unblocks the receiver's read and fails the sender's write.
+        std::lock_guard<std::mutex> wl(writeMu);
+        if (conn)
+            conn->close();
+    }
+    if (sender.joinable())
+        sender.join();
+    if (receiver.joinable())
+        receiver.join();
+
+    // Threads are gone; whatever is still in flight gets a typed
+    // shutdown outcome on this thread, honouring fire-exactly-once.
+    std::vector<std::pair<std::uint64_t, Callback>> leftovers;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        for (auto &entry : inflight)
+            leftovers.emplace_back(entry.first,
+                                   std::move(entry.second.done));
+        inflight.clear();
+        sendQueue.clear();
+    }
+    std::sort(leftovers.begin(), leftovers.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    PredictOutcome outcome;
+    outcome.ok = false;
+    outcome.error = ErrorCode::ShuttingDown;
+    for (auto &entry : leftovers) {
+        if (entry.second)
+            entry.second(entry.first, outcome);
+    }
+    cv.notify_all();
+}
+
+ClientStats
+AsyncPredictionClient::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return counters;
+}
+
 } // namespace serve
 } // namespace predvfs

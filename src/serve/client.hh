@@ -31,11 +31,17 @@
 #ifndef PREDVFS_SERVE_CLIENT_HH
 #define PREDVFS_SERVE_CLIENT_HH
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "serve/protocol.hh"
@@ -229,6 +235,176 @@ class PredictionClient
      *  (identity until a reconnect re-opens streams). */
     std::map<std::uint32_t, std::uint32_t> remap;
     bool closed = false;
+};
+
+/**
+ * Asynchronous pipelined protocol client.
+ *
+ * Where PredictionClient ships a burst and then collects it,
+ * AsyncPredictionClient ships each request the moment submit() is
+ * called and delivers its typed outcome through a completion
+ * callback — the producer never waits for the consumer. Internally a
+ * *sender* thread drains the submit queue onto the wire and a
+ * *receiver* thread matches replies through the same requestId
+ * in-flight table the synchronous client uses, so the fault handling
+ * is identical in kind: Busy re-queues the request with a seeded,
+ * capped exponential backoff (the server's retry-after hint sets the
+ * floor); DeadlineExceeded is terminal; a lost connection re-dials
+ * through the RetryOptions factory, re-opens streams by name, remaps
+ * ids, and re-sends everything unanswered under its original
+ * requestId, which keeps re-sends idempotent and duplicate replies
+ * countable.
+ *
+ * Request state machine: Queued → Sent → Done. Busy moves Sent back
+ * to Queued (with a not-before time); connection loss moves every
+ * Sent back to Queued; completion removes the slot and fires the
+ * callback exactly once.
+ *
+ * Ordering: callbacks may run in any order relative to submission —
+ * the server answers expired deadlines before simulated values, and
+ * retries reshuffle the wire order. Aggregate by requestId, never by
+ * arrival order. Callbacks run on the receiver thread: keep them
+ * short, and do not call submit()/drain()/close() from inside one
+ * (stats() and streamKey() are safe).
+ *
+ * Usage contract: open every stream before the first submit();
+ * drain() blocks until no request is outstanding; close() completes
+ * anything still unanswered with a ShuttingDown outcome.
+ */
+class AsyncPredictionClient
+{
+  public:
+    /** Completion callback: the id submit() returned plus the
+     *  request's terminal outcome. */
+    using Callback =
+        std::function<void(std::uint64_t, const PredictOutcome &)>;
+
+    /** Take ownership of @p connection and handshake. fatal() when
+     *  the peer is not a compatible prediction server. */
+    explicit AsyncPredictionClient(
+        std::unique_ptr<Connection> connection, RetryOptions retry = {});
+
+    /** Dial through @p retry.connect (required), retrying failed
+     *  handshakes under the reconnect policy. */
+    explicit AsyncPredictionClient(RetryOptions retry);
+
+    /** close(): outstanding requests get ShuttingDown outcomes. */
+    ~AsyncPredictionClient();
+
+    AsyncPredictionClient(const AsyncPredictionClient &) = delete;
+    AsyncPredictionClient &
+    operator=(const AsyncPredictionClient &) = delete;
+
+    /**
+     * Resolve @p benchmark to a served stream. Must be called before
+     * the first submit() — stream setup is synchronous, submission is
+     * not, and the two do not interleave on one connection.
+     */
+    std::uint32_t openStream(const std::string &benchmark);
+
+    /** Content-addressed key the server reported for an open stream. */
+    std::uint64_t streamKey(std::uint32_t stream_id) const;
+
+    /**
+     * Queue one job and return immediately; @p done fires exactly
+     * once with the terminal outcome. @p deadline_micros (0 = none)
+     * rides on the request like the synchronous client's.
+     * @return the requestId @p done will be called with.
+     */
+    std::uint64_t submit(std::uint32_t stream_id,
+                         const rtl::JobInput &job, Callback done,
+                         std::uint64_t deadline_micros = 0);
+
+    /** Block until every submitted request has completed and its
+     *  callback has returned. */
+    void drain();
+
+    /**
+     * Stop both threads, close the connection, and complete every
+     * still-outstanding request with a ShuttingDown outcome (on the
+     * calling thread). Idempotent; the destructor calls it.
+     */
+    void close();
+
+    /** This client's fault counters (racy snapshot while running). */
+    ClientStats stats() const;
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    /** One submitted request, keyed by requestId in `inflight`. */
+    struct Slot
+    {
+        std::uint32_t streamId = 0;
+        rtl::JobInput job;
+        std::uint64_t deadlineMicros = 0;
+        Callback done;
+        bool sent = false;           //!< Sent (true) vs Queued.
+        bool everSent = false;
+        Clock::time_point readyAt{};     //!< Busy backoff gate.
+        unsigned unanswered = 0;
+        std::uint64_t completedAtSend = 0;
+    };
+
+    void startThreads();
+    void senderLoop();
+    void receiverLoop();
+
+    /** Dispatch one server frame; @return false to stop receiving. */
+    bool handleFrame(const Frame &frame);
+
+    /** Retire a slot and run its callback (outside the lock). */
+    void complete(std::uint64_t request_id,
+                  const PredictOutcome &outcome);
+
+    /** Receiver-side: requeue Sent slots, re-dial, re-handshake,
+     *  re-open streams, bump the generation the sender waits on.
+     *  @return false when close() interrupted it. */
+    bool handleConnectionLost();
+
+    /** @name Synchronous helpers (constructor/openStream/reconnect —
+     *  contexts where this thread owns the connection). */
+    /// @{
+    bool syncHandshake();
+    std::uint32_t syncOpenStream(const std::string &benchmark);
+    bool syncReadFrame(Frame &out);
+    bool sendRaw(MsgType type, const std::vector<std::uint8_t> &payload);
+    /// @}
+
+    /** Jittered, capped backoff duration for round @p round; counts a
+     *  backoff sleep. Call with mu held. */
+    std::uint64_t backoffMicros(unsigned round,
+                                std::uint64_t floor_micros);
+    void sleepBackoff(unsigned round, std::uint64_t floor_micros);
+
+    std::unique_ptr<Connection> conn;  //!< Swapped only by reconnect.
+    FrameDecoder decoder;              //!< Owned by the receiver.
+    RetryOptions retry;
+    std::mutex writeMu;                //!< Serialises wire writes.
+
+    mutable std::mutex mu;             //!< Guards everything below.
+    std::condition_variable cv;
+    std::unordered_map<std::uint64_t, Slot> inflight;
+    std::deque<std::uint64_t> sendQueue;  //!< Queued requestIds.
+    ClientStats counters;
+    util::Rng jitter;
+    std::uint64_t nextRequestId = 1;
+    std::uint64_t completedCount = 0;
+    unsigned busyRound = 0;
+    std::uint64_t busyFloor = 0;
+    std::size_t dispatching = 0;  //!< Callbacks currently running.
+    std::uint64_t generation = 0; //!< Bumped per successful reconnect.
+    bool threadsStarted = false;
+    bool closing = false;
+    bool reconnecting = false;    //!< Receiver owns the connection.
+    bool senderInSend = false;    //!< Sender is inside writeAll().
+
+    std::map<std::uint32_t, std::uint64_t> streamKeys;
+    std::map<std::uint32_t, std::string> streamBench;
+    std::map<std::uint32_t, std::uint32_t> remap;
+
+    std::thread sender;
+    std::thread receiver;
 };
 
 } // namespace serve

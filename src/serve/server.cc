@@ -28,6 +28,8 @@ serverOptionsFromEnv(ServerOptions base)
 {
     base.workers = static_cast<unsigned>(
         util::envUint("PREDVFS_SERVE_WORKERS", base.workers, 1, 64));
+    base.shards = static_cast<unsigned>(
+        util::envUint("PREDVFS_SERVE_SHARDS", base.shards, 1, 64));
     base.maxBatchJobs = static_cast<std::size_t>(
         util::envUint("PREDVFS_SERVE_MAX_BATCH", base.maxBatchJobs, 1,
                       4096));
@@ -53,6 +55,14 @@ StreamTelemetry::hitRate() const
 
 double
 StreamTelemetry::meanBatchOccupancy() const
+{
+    return batches == 0
+        ? 0.0
+        : static_cast<double>(batchJobs) / static_cast<double>(batches);
+}
+
+double
+ShardTelemetry::meanBatchOccupancy() const
 {
     return batches == 0
         ? 0.0
@@ -110,6 +120,7 @@ struct TelemetryState
 };
 
 struct PendingRequest;
+struct Shard;
 
 /** Everything one registered benchmark serves with. */
 struct Stream
@@ -124,11 +135,38 @@ struct Stream
     std::uint64_t streamKey = 0;
     TelemetryState telem;
 
-    /** @name Bounded pending queue — guarded by Impl::queueMu. */
+    /** The dispatcher shard this stream hashed to (streamKey %
+     *  shards); set once at registration, before any request can
+     *  reference the stream. */
+    Shard *home = nullptr;
+
+    /** @name Bounded pending queue — guarded by home->mu. */
     /// @{
     std::deque<PendingRequest> pending;
     std::size_t peakDepth = 0;
     /// @}
+};
+
+/**
+ * One dispatcher shard: a disjoint set of streams, their pending
+ * queues, an accumulation window, and the thread that drains them.
+ * Every mutable field is guarded by mu; the dispatcher thread is the
+ * only consumer, readers are the producers. Each shard owns its own
+ * simulation pool because ThreadPool::run() is single-flight — two
+ * shards must never share one.
+ */
+struct Shard
+{
+    unsigned index = 0;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<Stream *> streams;   //!< Streams hashed here.
+    std::size_t totalPending = 0;    //!< Sum over streams' queues.
+    std::size_t peakPending = 0;     //!< Peak of totalPending.
+    std::uint64_t drains = 0;        //!< Sweeps that found work.
+    bool stopping = false;
+    std::unique_ptr<util::ThreadPool> pool;
+    std::thread dispatcher;
 };
 
 /** One live connection: the byte stream, its write lock (replies come
@@ -184,9 +222,22 @@ struct PredictionServer::Impl
 {
     explicit Impl(const ServerOptions &options) : opts(options)
     {
-        if (opts.workers > 1)
-            pool = std::make_unique<util::ThreadPool>(opts.workers);
-        dispatcher = std::thread([this] { dispatchLoop(); });
+        const unsigned n = std::max(1u, opts.shards);
+        shards.reserve(n);
+        for (unsigned i = 0; i < n; ++i) {
+            auto shard = std::make_unique<Shard>();
+            shard->index = i;
+            if (opts.workers > 1)
+                shard->pool =
+                    std::make_unique<util::ThreadPool>(opts.workers);
+            shards.push_back(std::move(shard));
+        }
+        // Threads start only after the shard vector is complete: a
+        // dispatcher must never observe a half-built sibling list.
+        for (auto &shard : shards) {
+            Shard *s = shard.get();
+            s->dispatcher = std::thread([this, s] { dispatchLoop(*s); });
+        }
     }
 
     // --- streams -------------------------------------------------
@@ -211,22 +262,19 @@ struct PredictionServer::Impl
         return nullptr;
     }
 
-    // --- request queues ------------------------------------------
-    // Each stream owns a bounded deque (Stream::pending); queueMu
-    // guards all of them plus the aggregate counter the dispatcher
-    // sleeps on. Lock order where nesting occurs: streamMu, then
-    // queueMu (telemetry); the hot enqueue/drain paths never nest.
-    std::mutex queueMu;
-    std::condition_variable queueCv;
-    std::size_t totalPending = 0;
-    std::size_t peakQueueDepth = 0;  //!< Peak of totalPending.
-    bool stopping = false;
+    // --- dispatcher shards ---------------------------------------
+    // Each stream's bounded deque (Stream::pending) is guarded by its
+    // home shard's mu, which also guards that shard's aggregate
+    // counters and stopping flag. Lock order where nesting occurs:
+    // streamMu, then a shard mu (telemetry); the hot enqueue/drain
+    // paths never nest. The vector itself is immutable after the
+    // constructor, so it is read without a lock.
+    std::vector<std::unique_ptr<Shard>> shards;
+    std::atomic<bool> stopped{false};
 
     // --- threads & transports ------------------------------------
     ServerOptions opts;
-    std::unique_ptr<util::ThreadPool> pool;
-    std::thread dispatcher;
-    std::unique_ptr<UnixListener> listener;
+    std::unique_ptr<Listener> listener;
     std::thread acceptThread;
     std::mutex connMu;
     std::vector<std::shared_ptr<ConnState>> conns;
@@ -335,10 +383,11 @@ struct PredictionServer::Impl
                 ++stream->telem.requests;
             }
 
+            Shard &shard = *stream->home;
             bool rejected = false;
             {
-                std::lock_guard<std::mutex> lock(queueMu);
-                if (stopping) {
+                std::lock_guard<std::mutex> lock(shard.mu);
+                if (shard.stopping) {
                     writeError(conn, ErrorCode::ShuttingDown,
                                predict.requestId, "server stopping");
                     return false;
@@ -349,9 +398,9 @@ struct PredictionServer::Impl
                     stream->pending.push_back(std::move(request));
                     stream->peakDepth = std::max(
                         stream->peakDepth, stream->pending.size());
-                    ++totalPending;
-                    peakQueueDepth =
-                        std::max(peakQueueDepth, totalPending);
+                    ++shard.totalPending;
+                    shard.peakPending =
+                        std::max(shard.peakPending, shard.totalPending);
                 }
             }
             if (rejected) {
@@ -369,7 +418,7 @@ struct PredictionServer::Impl
                            opts.batchWindowMicros + 100);
                 return true;
             }
-            queueCv.notify_one();
+            shard.cv.notify_one();
             return true;
           }
 
@@ -457,60 +506,64 @@ struct PredictionServer::Impl
 
     // --- dispatch ------------------------------------------------
 
-    void dispatchLoop()
+    void dispatchLoop(Shard &shard)
     {
         for (;;) {
             {
-                std::unique_lock<std::mutex> lock(queueMu);
-                queueCv.wait(lock, [this] {
-                    return stopping || totalPending > 0;
+                std::unique_lock<std::mutex> lock(shard.mu);
+                shard.cv.wait(lock, [&shard] {
+                    return shard.stopping || shard.totalPending > 0;
                 });
-                if (stopping)
+                if (shard.stopping)
                     break;
                 // Accumulation window: wait once for the batch to
                 // fill, then take everything that made it.
-                if (totalPending < opts.maxBatchJobs &&
+                if (shard.totalPending < opts.maxBatchJobs &&
                     opts.batchWindowMicros > 0) {
-                    queueCv.wait_for(
+                    shard.cv.wait_for(
                         lock,
                         std::chrono::microseconds(
                             opts.batchWindowMicros),
-                        [this] {
-                            return stopping ||
-                                totalPending >= opts.maxBatchJobs;
+                        [this, &shard] {
+                            return shard.stopping ||
+                                shard.totalPending >=
+                                    opts.maxBatchJobs;
                         });
                 }
             }
-            drainQueues(/*shutting_down=*/false);
+            drainShard(shard, /*shutting_down=*/false);
         }
 
         // Drain on shutdown: pending work is answered with a typed
-        // error, not silence (the peer may still be reading).
-        drainQueues(/*shutting_down=*/true);
+        // error, not silence (the peer may still be reading). The
+        // stopping flag was set under shard.mu, so every enqueue that
+        // saw it false strictly precedes this sweep.
+        drainShard(shard, /*shutting_down=*/true);
     }
 
-    /** Empty every stream's queue; answer or simulate the contents. */
-    void drainQueues(bool shutting_down)
+    /** Empty each of the shard's stream queues; answer or simulate
+     *  the contents. */
+    void drainShard(Shard &shard, bool shutting_down)
     {
-        // Streams are snapshotted outside queueMu: streamMu must
-        // never nest inside it (telemetry nests the other way round),
-        // and registration only appends, so the pointers stay valid.
+        // The stream list is snapshotted under shard.mu (registration
+        // appends under the same lock); the pointers stay valid for
+        // the server's lifetime.
         std::vector<Stream *> snapshot;
         {
-            std::lock_guard<std::mutex> lock(streamMu);
-            snapshot.reserve(streams.size());
-            for (const auto &s : streams)
-                snapshot.push_back(s.get());
+            std::lock_guard<std::mutex> lock(shard.mu);
+            snapshot = shard.streams;
         }
+        bool found_work = false;
         for (Stream *stream : snapshot) {
             std::deque<PendingRequest> taken;
             {
-                std::lock_guard<std::mutex> lock(queueMu);
+                std::lock_guard<std::mutex> lock(shard.mu);
                 taken.swap(stream->pending);
-                totalPending -= taken.size();
+                shard.totalPending -= taken.size();
             }
             if (taken.empty())
                 continue;
+            found_work = true;
             if (shutting_down) {
                 for (PendingRequest &request : taken) {
                     writeError(*request.conn, ErrorCode::ShuttingDown,
@@ -519,6 +572,10 @@ struct PredictionServer::Impl
                 continue;
             }
             processStream(*stream, taken);
+        }
+        if (found_work) {
+            std::lock_guard<std::mutex> lock(shard.mu);
+            ++shard.drains;
         }
     }
 
@@ -574,7 +631,8 @@ struct PredictionServer::Impl
         sim::PrepareStats prep;
         const std::vector<core::PreparedJob> prepared =
             stream.engine->prepare(jobs, stream.flow.predictor.get(),
-                                   nullptr, pool.get(), &prep);
+                                   nullptr, stream.home->pool.get(),
+                                   &prep);
 
         // Counters land before the replies go out: a client that has
         // received every reply of its burst must find the telemetry
@@ -617,9 +675,9 @@ struct PredictionServer::Impl
     {
         StreamTelemetry t;
         t.benchmark = stream.name;
+        t.shard = stream.home->index;
         {
-            std::lock_guard<std::mutex> lock(
-                const_cast<std::mutex &>(queueMu));
+            std::lock_guard<std::mutex> lock(stream.home->mu);
             t.peakQueueDepth = stream.peakDepth;
         }
         std::lock_guard<std::mutex> lock(stream.telem.mu);
@@ -636,15 +694,49 @@ struct PredictionServer::Impl
         return t;
     }
 
+    std::vector<ShardTelemetry> shardTelemetry() const
+    {
+        std::vector<ShardTelemetry> out;
+        out.reserve(shards.size());
+        for (const auto &shard : shards) {
+            ShardTelemetry t;
+            t.index = shard->index;
+            std::vector<Stream *> snapshot;
+            {
+                std::lock_guard<std::mutex> lock(shard->mu);
+                snapshot = shard->streams;
+                t.peakQueueDepth = shard->peakPending;
+                t.drains = shard->drains;
+            }
+            t.streams = snapshot.size();
+            // Counter sums, one stream lock at a time (never nested
+            // inside shard->mu): a stream's counters never move
+            // between shards, so the per-shard identity is exactly
+            // the sum of its streams' identities.
+            for (const Stream *stream : snapshot) {
+                std::lock_guard<std::mutex> lock(stream->telem.mu);
+                t.requests += stream->telem.requests;
+                t.cacheHits += stream->telem.cacheHits;
+                t.coalesced += stream->telem.coalesced;
+                t.simulated += stream->telem.simulated;
+                t.busy += stream->telem.busy;
+                t.expired += stream->telem.expired;
+                t.batches += stream->telem.batches;
+                t.batchJobs += stream->telem.batchJobs;
+            }
+            out.push_back(std::move(t));
+        }
+        return out;
+    }
+
     std::string telemetryJson() const
     {
         std::size_t depth = 0;
         std::size_t peak = 0;
-        {
-            std::lock_guard<std::mutex> lock(
-                const_cast<std::mutex &>(queueMu));
-            depth = totalPending;
-            peak = peakQueueDepth;
+        for (const auto &shard : shards) {
+            std::lock_guard<std::mutex> lock(shard->mu);
+            depth += shard->totalPending;
+            peak = std::max(peak, shard->peakPending);
         }
         const sim::JobCache::Stats cache =
             sim::JobCache::global().stats();
@@ -654,6 +746,7 @@ struct PredictionServer::Impl
         os << "{\n"
            << "  \"server\": {\n"
            << "    \"workers\": " << opts.workers << ",\n"
+           << "    \"shards\": " << shards.size() << ",\n"
            << "    \"max_batch_jobs\": " << opts.maxBatchJobs << ",\n"
            << "    \"batch_window_us\": " << opts.batchWindowMicros
            << ",\n"
@@ -671,6 +764,30 @@ struct PredictionServer::Impl
            << "      \"capacity_bytes\": " << cache.capacityBytes
            << "\n    }\n"
            << "  },\n"
+           << "  \"shards\": [\n";
+        const std::vector<ShardTelemetry> shard_snaps =
+            shardTelemetry();
+        for (std::size_t i = 0; i < shard_snaps.size(); ++i) {
+            const ShardTelemetry &t = shard_snaps[i];
+            os << "    {\n"
+               << "      \"index\": " << t.index << ",\n"
+               << "      \"streams\": " << t.streams << ",\n"
+               << "      \"peak_queue_depth\": " << t.peakQueueDepth
+               << ",\n"
+               << "      \"drains\": " << t.drains << ",\n"
+               << "      \"requests\": " << t.requests << ",\n"
+               << "      \"cache_hits\": " << t.cacheHits << ",\n"
+               << "      \"coalesced\": " << t.coalesced << ",\n"
+               << "      \"simulated\": " << t.simulated << ",\n"
+               << "      \"busy\": " << t.busy << ",\n"
+               << "      \"expired\": " << t.expired << ",\n"
+               << "      \"batches\": " << t.batches << ",\n"
+               << "      \"batch_jobs\": " << t.batchJobs << ",\n"
+               << "      \"mean_batch_occupancy\": "
+               << t.meanBatchOccupancy() << "\n    }"
+               << (i + 1 < shard_snaps.size() ? "," : "") << "\n";
+        }
+        os << "  ],\n"
            << "  \"streams\": [\n";
         std::vector<StreamTelemetry> snaps;
         std::vector<std::uint64_t> keys;
@@ -686,6 +803,7 @@ struct PredictionServer::Impl
             os << "    {\n"
                << "      \"benchmark\": \"" << t.benchmark << "\",\n"
                << "      \"stream_key\": " << keys[i] << ",\n"
+               << "      \"shard\": " << t.shard << ",\n"
                << "      \"requests\": " << t.requests << ",\n"
                << "      \"cache_hits\": " << t.cacheHits << ",\n"
                << "      \"coalesced\": " << t.coalesced << ",\n"
@@ -713,13 +831,16 @@ struct PredictionServer::Impl
 
     void stop()
     {
-        {
-            std::lock_guard<std::mutex> lock(queueMu);
-            if (stopping)
-                return;
-            stopping = true;
+        if (stopped.exchange(true))
+            return;
+        for (auto &shard : shards) {
+            // Under the shard mutex: an enqueue that saw stopping ==
+            // false strictly precedes the dispatcher's final drain
+            // sweep, so nothing is left unanswered.
+            std::lock_guard<std::mutex> lock(shard->mu);
+            shard->stopping = true;
+            shard->cv.notify_all();
         }
-        queueCv.notify_all();
 
         if (listener)
             listener->close();
@@ -737,8 +858,10 @@ struct PredictionServer::Impl
             if (conn->reader.joinable())
                 conn->reader.join();
         }
-        if (dispatcher.joinable())
-            dispatcher.join();
+        for (auto &shard : shards) {
+            if (shard->dispatcher.joinable())
+                shard->dispatcher.join();
+        }
 
         // Everything is quiesced; leave a warm start behind. Failures
         // warn inside saveSnapshotFile — a full disk must not turn a
@@ -807,6 +930,11 @@ PredictionServer::registerBenchmark(const std::string &name)
                                         work.train, flow_config);
     stream->streamKey =
         stream->engine->streamKey(stream->flow.predictor.get());
+    // Fingerprint-hash shard assignment: stable for the same design +
+    // predictor across restarts and across server processes, which is
+    // what lets N processes split the fingerprint space later.
+    stream->home = impl->shards[stream->streamKey %
+                                impl->shards.size()].get();
 
     std::lock_guard<std::mutex> lock(impl->streamMu);
     // Double-registration race: a concurrent caller may have beaten
@@ -817,11 +945,18 @@ PredictionServer::registerBenchmark(const std::string &name)
     }
     stream->id =
         static_cast<std::uint32_t>(impl->streams.size() + 1);
+    Stream *raw = stream.get();
     impl->streams.push_back(std::move(stream));
-    util::inform("serve: registered '", name, "' as stream ",
-                 impl->streams.back()->id, " (key ",
-                 impl->streams.back()->streamKey, ")");
-    return impl->streams.back()->id;
+    {
+        // Publish to the dispatcher only once the stream is complete;
+        // the shard lock pairs with drainShard's snapshot.
+        std::lock_guard<std::mutex> shard_lock(raw->home->mu);
+        raw->home->streams.push_back(raw);
+    }
+    util::inform("serve: registered '", name, "' as stream ", raw->id,
+                 " (key ", raw->streamKey, ", shard ",
+                 raw->home->index, ")");
+    return raw->id;
 }
 
 std::unique_ptr<Connection>
@@ -835,14 +970,21 @@ PredictionServer::connectLoopback()
 void
 PredictionServer::listenUnix(const std::string &path)
 {
+    listen(path);
+}
+
+std::string
+PredictionServer::listen(const std::string &address)
+{
     util::fatalIf(impl->listener != nullptr,
                   "PredictionServer: already listening on ",
-                  impl->listener ? impl->listener->path() : "");
-    impl->listener = std::make_unique<UnixListener>(path);
+                  impl->listener ? impl->listener->address() : "");
+    impl->listener = makeListener(address);
     impl->acceptThread = std::thread([this] {
         while (auto conn = impl->listener->accept())
             impl->adoptConnection(std::move(conn));
     });
+    return impl->listener->address();
 }
 
 void
@@ -882,8 +1024,18 @@ PredictionServer::streamKeyOf(const std::string &benchmark) const
 std::size_t
 PredictionServer::maxQueueDepth() const
 {
-    std::lock_guard<std::mutex> lock(impl->queueMu);
-    return impl->peakQueueDepth;
+    std::size_t peak = 0;
+    for (const auto &shard : impl->shards) {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        peak = std::max(peak, shard->peakPending);
+    }
+    return peak;
+}
+
+std::vector<ShardTelemetry>
+PredictionServer::shardTelemetry() const
+{
+    return impl->shardTelemetry();
 }
 
 std::string

@@ -15,19 +15,25 @@
  * enqueues Predict requests on its stream's *bounded* queue — a full
  * queue answers Busy (with a retry-after hint) instead of parking the
  * request, so overload is explicit backpressure rather than unbounded
- * memory. A single dispatcher thread drains the queues in arrival
- * order. The dispatcher applies a small *accumulation window*: when
- * it wakes with fewer than maxBatchJobs pending it waits once, up to
- * batchWindow, for more requests to land, then takes everything
- * queued. Requests whose optional deadline expired while queued are
- * answered with DeadlineExceeded at that point — and only at that
- * point, never once simulation has started, so any reply that does
- * carry values is byte-deterministic. The rest is grouped by stream
- * and run through one prepare() call per chunk (sharded over the
- * server's thread pool when workers > 1). Batching and worker count
- * change only latency and throughput, never bytes: prepare() is
- * bit-deterministic at any worker count, so a reply is byte-identical
- * however requests were coalesced.
+ * memory. Dispatch is *sharded*: each of the N dispatcher shards owns
+ * the disjoint set of streams whose fingerprint hashes to it
+ * (streamKey % shards), with its own bounded queues, accumulation
+ * window, wakeup, and telemetry — one hot benchmark can saturate its
+ * shard without head-of-line-blocking streams on the others. Each
+ * shard's dispatcher drains its queues in arrival order, applying a
+ * small *accumulation window*: when it wakes with fewer than
+ * maxBatchJobs pending it waits once, up to batchWindow, for more
+ * requests to land, then takes everything queued. Requests whose
+ * optional deadline expired while queued are answered with
+ * DeadlineExceeded at that point — and only at that point, never once
+ * simulation has started, so any reply that does carry values is
+ * byte-deterministic. The rest is grouped by stream and run through
+ * one prepare() call per chunk (over the shard's thread pool when
+ * workers > 1). Batching, worker count, and shard count change only
+ * latency and throughput, never bytes: prepare() is bit-deterministic
+ * at any worker count, requests of one stream never leave its shard,
+ * and arrival order is preserved within a stream, so a reply is
+ * byte-identical however requests were coalesced or sharded.
  *
  * Telemetry: per-stream counters (requests, cache hits, in-batch
  * coalescing, fresh simulations, batches, occupancy, queue depth,
@@ -53,9 +59,19 @@ namespace serve {
 /** Serving configuration. */
 struct ServerOptions
 {
-    /** Worker threads for batch simulation (1 = serial). Replies are
-     *  bit-identical at any value. */
+    /** Worker threads for batch simulation (1 = serial), per shard.
+     *  Replies are bit-identical at any value. */
     unsigned workers = 1;
+
+    /**
+     * Dispatcher shards. Streams are assigned by fingerprint hash
+     * (streamKey % shards), so the split is stable across restarts of
+     * the same designs/predictors; each shard runs its own dispatcher
+     * thread, queues, and accumulation window. Replies are
+     * byte-identical at any shard count — sharding only removes
+     * cross-stream head-of-line blocking.
+     */
+    unsigned shards = 1;
 
     /** Accumulation cap: a drained batch never exceeds this many
      *  jobs per stream. */
@@ -92,10 +108,10 @@ struct ServerOptions
 
 /**
  * ServerOptions overridden by PREDVFS_SERVE_WORKERS,
- * PREDVFS_SERVE_MAX_BATCH, PREDVFS_SERVE_WINDOW_US,
- * PREDVFS_SERVE_QUEUE, and PREDVFS_SNAPSHOT (all parsed with the
- * hardened env helpers: malformed values warn and keep @p base's
- * setting).
+ * PREDVFS_SERVE_SHARDS, PREDVFS_SERVE_MAX_BATCH,
+ * PREDVFS_SERVE_WINDOW_US, PREDVFS_SERVE_QUEUE, and PREDVFS_SNAPSHOT
+ * (all parsed with the hardened env helpers: malformed values warn
+ * and keep @p base's setting).
  */
 ServerOptions serverOptionsFromEnv(ServerOptions base = {});
 
@@ -103,6 +119,7 @@ ServerOptions serverOptionsFromEnv(ServerOptions base = {});
 struct StreamTelemetry
 {
     std::string benchmark;
+    unsigned shard = 0;            //!< Dispatcher shard owning it.
     std::uint64_t requests = 0;    //!< Every accepted Predict; the
                                    //!< identity requests == cacheHits
                                    //!< + coalesced + simulated + busy
@@ -124,6 +141,32 @@ struct StreamTelemetry
     double hitRate() const;
 
     /** Mean jobs per drained batch (batch lane occupancy). */
+    double meanBatchOccupancy() const;
+};
+
+/**
+ * Snapshot of one dispatcher shard: its queue gauges plus the sum of
+ * its streams' counters. The telemetry identity (requests ==
+ * cacheHits + coalesced + simulated + busy + expired) holds per shard
+ * exactly as it does per stream and in aggregate, because a stream's
+ * requests never leave its shard.
+ */
+struct ShardTelemetry
+{
+    unsigned index = 0;
+    std::size_t streams = 0;         //!< Streams hashed to this shard.
+    std::size_t peakQueueDepth = 0;  //!< Peak pending across them.
+    std::uint64_t drains = 0;        //!< Dispatcher sweeps with work.
+    std::uint64_t requests = 0;
+    std::uint64_t cacheHits = 0;
+    std::uint64_t coalesced = 0;
+    std::uint64_t simulated = 0;
+    std::uint64_t busy = 0;
+    std::uint64_t expired = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t batchJobs = 0;
+
+    /** Mean jobs per drained batch on this shard. */
     double meanBatchOccupancy() const;
 };
 
@@ -154,6 +197,14 @@ class PredictionServer
     void listenUnix(const std::string &path);
 
     /**
+     * Serve @p address, dispatching on its scheme ("tcp://host:port"
+     * or a Unix socket path) via makeListener(). @return the concrete
+     * bound address — for "tcp://host:0" it carries the
+     * kernel-assigned port, so callers can hand it to clients.
+     */
+    std::string listen(const std::string &address);
+
+    /**
      * Stop: close the listener and every connection, join all
      * threads, drain the queue (pending requests get ShuttingDown
      * errors). Called by the destructor; idempotent.
@@ -167,7 +218,10 @@ class PredictionServer
     StreamTelemetry telemetry(const std::string &benchmark) const;
     std::uint64_t streamKeyOf(const std::string &benchmark) const;
 
-    /** Peak total pending depth (all streams) since construction. */
+    /** Per-shard gauges + counter sums, indexed by shard. */
+    std::vector<ShardTelemetry> shardTelemetry() const;
+
+    /** Peak pending depth of the deepest shard since construction. */
     std::size_t maxQueueDepth() const;
 
     /** The full telemetry document (same JSON the Stats reply ships). */

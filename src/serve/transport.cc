@@ -13,6 +13,9 @@
 
 #if defined(__unix__) || defined(__APPLE__)
 #define PREDVFS_HAVE_UNIX_SOCKETS 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -143,6 +146,105 @@ unixSocketsAvailable()
     return PREDVFS_HAVE_UNIX_SOCKETS != 0;
 }
 
+bool
+tcpSocketsAvailable()
+{
+    return PREDVFS_HAVE_UNIX_SOCKETS != 0;
+}
+
+std::string
+Endpoint::address() const
+{
+    if (kind == Kind::Tcp)
+        return "tcp://" + host + ":" + std::to_string(port);
+    return path;
+}
+
+bool
+tryParseEndpoint(const std::string &address, Endpoint &out,
+                 std::string *error)
+{
+    const auto fail = [&](const std::string &why) {
+        if (error)
+            *error = why;
+        return false;
+    };
+    out = Endpoint{};
+
+    static const std::string kTcpScheme = "tcp://";
+    static const std::string kUnixScheme = "unix://";
+    if (address.rfind(kUnixScheme, 0) == 0) {
+        out.kind = Endpoint::Kind::Unix;
+        out.path = address.substr(kUnixScheme.size());
+        if (out.path.empty())
+            return fail("unix:// address has an empty path");
+        return true;
+    }
+    if (address.rfind(kTcpScheme, 0) != 0) {
+        // No scheme: a bare Unix socket path, the historical form.
+        if (address.empty())
+            return fail("empty address");
+        out.kind = Endpoint::Kind::Unix;
+        out.path = address;
+        return true;
+    }
+
+    const std::string authority = address.substr(kTcpScheme.size());
+    const std::size_t colon = authority.rfind(':');
+    if (colon == std::string::npos)
+        return fail("tcp:// address needs host:port");
+    out.kind = Endpoint::Kind::Tcp;
+    out.host = authority.substr(0, colon);
+
+    const std::string port_text = authority.substr(colon + 1);
+    if (port_text.empty() || port_text.size() > 5)
+        return fail("bad tcp port '" + port_text + "'");
+    unsigned long port = 0;
+    for (const char c : port_text) {
+        if (c < '0' || c > '9')
+            return fail("bad tcp port '" + port_text + "'");
+        port = port * 10 + static_cast<unsigned long>(c - '0');
+    }
+    if (port > 65535)
+        return fail("tcp port " + port_text + " out of range");
+    out.port = static_cast<std::uint16_t>(port);
+    return true;
+}
+
+Endpoint
+parseEndpoint(const std::string &address)
+{
+    Endpoint endpoint;
+    std::string error;
+    util::fatalIf(!tryParseEndpoint(address, endpoint, &error),
+                  "parseEndpoint('", address, "'): ", error);
+    return endpoint;
+}
+
+std::unique_ptr<Listener>
+makeListener(const std::string &address)
+{
+    const Endpoint endpoint = parseEndpoint(address);
+    if (endpoint.kind == Endpoint::Kind::Tcp)
+        return std::make_unique<TcpListener>(endpoint.host,
+                                             endpoint.port);
+    return std::make_unique<UnixListener>(endpoint.path);
+}
+
+std::unique_ptr<Connection>
+connectEndpoint(const std::string &address, int timeout_ms)
+{
+    Endpoint endpoint;
+    std::string error;
+    if (!tryParseEndpoint(address, endpoint, &error)) {
+        util::warn("connectEndpoint('", address, "'): ", error);
+        return nullptr;
+    }
+    if (endpoint.kind == Endpoint::Kind::Tcp)
+        return connectTcp(endpoint.host, endpoint.port, timeout_ms);
+    return connectWithRetry(endpoint.path, timeout_ms);
+}
+
 #if PREDVFS_HAVE_UNIX_SOCKETS
 
 namespace {
@@ -206,6 +308,71 @@ struct ListenerState
     std::atomic<bool> closing{false};
 };
 
+namespace {
+
+/** Nagle off: frames are small and latency-sensitive; the server's
+ *  accumulation window already provides the batching. Best effort —
+ *  a failure costs latency, not correctness. */
+void
+setTcpNoDelay(int fd)
+{
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/**
+ * The shared accept loop: poll with a short timeout instead of
+ * blocking in accept(2) — the stop flag is the only portable way to
+ * end the loop without racing a concurrent close() of the fd.
+ */
+std::unique_ptr<Connection>
+acceptLoop(int fd, ListenerState &state, bool tcp_nodelay)
+{
+    while (!state.closing.load()) {
+        pollfd pfd{};
+        pfd.fd = fd;
+        pfd.events = POLLIN;
+        const int r = ::poll(&pfd, 1, 100);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return nullptr;
+        }
+        if (r == 0)
+            continue;
+        const int conn = ::accept(fd, nullptr, nullptr);
+        if (conn < 0) {
+            if (errno == EINTR)
+                continue;
+            return nullptr;
+        }
+        if (tcp_nodelay)
+            setTcpNoDelay(conn);
+        return std::make_unique<SocketConnection>(conn);
+    }
+    return nullptr;
+}
+
+/** @return the IPv4 address @p host names, or false when it is not
+ *  numeric. Empty and "*" mean wildcard for listeners and loopback
+ *  for connectors; "localhost" is always loopback. */
+bool
+resolveIpv4(const std::string &host, bool for_listen, in_addr *out)
+{
+    if (host.empty() || host == "*") {
+        out->s_addr =
+            htonl(for_listen ? INADDR_ANY : INADDR_LOOPBACK);
+        return true;
+    }
+    if (host == "localhost") {
+        out->s_addr = htonl(INADDR_LOOPBACK);
+        return true;
+    }
+    return ::inet_pton(AF_INET, host.c_str(), out) == 1;
+}
+
+} // namespace
+
 UnixListener::UnixListener(const std::string &path)
     : sockPath(path), state(std::make_shared<ListenerState>())
 {
@@ -236,30 +403,7 @@ UnixListener::~UnixListener()
 std::unique_ptr<Connection>
 UnixListener::accept()
 {
-    // Poll with a short timeout instead of blocking in accept(): the
-    // stop flag is the only portable way to end the accept loop
-    // without racing a concurrent close() of the fd.
-    while (!state->closing.load()) {
-        pollfd pfd{};
-        pfd.fd = fd;
-        pfd.events = POLLIN;
-        const int r = ::poll(&pfd, 1, 100);
-        if (r < 0) {
-            if (errno == EINTR)
-                continue;
-            return nullptr;
-        }
-        if (r == 0)
-            continue;
-        const int conn = ::accept(fd, nullptr, nullptr);
-        if (conn < 0) {
-            if (errno == EINTR)
-                continue;
-            return nullptr;
-        }
-        return std::make_unique<SocketConnection>(conn);
-    }
-    return nullptr;
+    return acceptLoop(fd, *state, /*tcp_nodelay=*/false);
 }
 
 void
@@ -304,6 +448,110 @@ connectWithRetry(const std::string &path, int timeout_ms)
     }
 }
 
+TcpListener::TcpListener(const std::string &host, std::uint16_t port)
+    : bindHost(host), state(std::make_shared<ListenerState>())
+{
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    util::fatalIf(!resolveIpv4(host, /*for_listen=*/true, &addr.sin_addr),
+                  "TcpListener: bad host '", host,
+                  "' (numeric IPv4, 'localhost', or '*' expected)");
+
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    util::fatalIf(fd < 0, "TcpListener: socket(): ",
+                  std::strerror(errno));
+
+    // SO_REUSEADDR: restart smoke tests rebind the same fixed port
+    // seconds after a SIGKILL leaves it in TIME_WAIT.
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    util::fatalIf(::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+                         sizeof(addr)) != 0,
+                  "TcpListener: bind(", host, ":", port, "): ",
+                  std::strerror(errno));
+    util::fatalIf(::listen(fd, 16) != 0, "TcpListener: listen(): ",
+                  std::strerror(errno));
+
+    // Read the bound port back: with port 0 the kernel picked one,
+    // and tests need the concrete address to dial.
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    util::fatalIf(::getsockname(fd, reinterpret_cast<sockaddr *>(&bound),
+                                &len) != 0,
+                  "TcpListener: getsockname(): ", std::strerror(errno));
+    boundPort = ntohs(bound.sin_port);
+}
+
+TcpListener::~TcpListener()
+{
+    close();
+}
+
+std::unique_ptr<Connection>
+TcpListener::accept()
+{
+    return acceptLoop(fd, *state, /*tcp_nodelay=*/true);
+}
+
+void
+TcpListener::close()
+{
+    if (state->closing.exchange(true))
+        return;
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+std::string
+TcpListener::address() const
+{
+    Endpoint endpoint;
+    endpoint.kind = Endpoint::Kind::Tcp;
+    endpoint.host = bindHost.empty() || bindHost == "*"
+        ? std::string("127.0.0.1")
+        : bindHost;
+    if (endpoint.host == "localhost")
+        endpoint.host = "127.0.0.1";
+    endpoint.port = boundPort;
+    return endpoint.address();
+}
+
+std::unique_ptr<Connection>
+connectTcp(const std::string &host, std::uint16_t port, int timeout_ms)
+{
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (!resolveIpv4(host, /*for_listen=*/false, &addr.sin_addr)) {
+        util::warn("connectTcp: bad host '", host, "'");
+        return nullptr;
+    }
+
+    // Same retry discipline as connectWithRetry(): timeout_ms = 0 is
+    // a single-shot probe because the deadline is already in the past
+    // when the first attempt fails.
+    const auto deadline = std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+        const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0)
+            return nullptr;
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) == 0) {
+            setTcpNoDelay(fd);
+            return std::make_unique<SocketConnection>(fd);
+        }
+        ::close(fd);
+        if (std::chrono::steady_clock::now() >= deadline)
+            return nullptr;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+}
+
 #else  // !PREDVFS_HAVE_UNIX_SOCKETS
 
 struct ListenerState
@@ -329,11 +577,46 @@ UnixListener::close()
 {
 }
 
+TcpListener::TcpListener(const std::string &host, std::uint16_t)
+    : bindHost(host)
+{
+    util::fatal("TcpListener: TCP sockets are unavailable on this "
+                "platform; use the loopback transport");
+}
+
+TcpListener::~TcpListener() = default;
+
+std::unique_ptr<Connection>
+TcpListener::accept()
+{
+    return nullptr;
+}
+
+void
+TcpListener::close()
+{
+}
+
+std::string
+TcpListener::address() const
+{
+    return Endpoint{Endpoint::Kind::Tcp, "", bindHost, boundPort}
+        .address();
+}
+
 std::unique_ptr<Connection>
 connectWithRetry(const std::string &, int)
 {
     util::warn("connectWithRetry: Unix-domain sockets are unavailable "
                "on this platform");
+    return nullptr;
+}
+
+std::unique_ptr<Connection>
+connectTcp(const std::string &, std::uint16_t, int)
+{
+    util::warn("connectTcp: TCP sockets are unavailable on this "
+               "platform");
     return nullptr;
 }
 

@@ -142,6 +142,84 @@ TEST(ServeChaos, SoakDeliversByteIdenticalRepliesAtEveryFaultRate)
     server.stop();
 }
 
+TEST(ServeChaos, SoakOverTcpDeliversByteIdenticalRepliesAtEveryFaultRate)
+{
+    if (!serve::tcpSocketsAvailable())
+        GTEST_SKIP() << "no TCP sockets on this platform";
+
+    // The same seeded fault schedule as the loopback soak, but the
+    // chaos wrapper shears real TCP segments: same rates, same seed,
+    // same bar — every delivered reply byte-equals the reference.
+    sim::Experiment exp(kBench, sim::ExperimentOptions{});
+    const std::vector<rtl::JobInput> &jobs = exp.workload().test;
+    const std::vector<core::PreparedJob> &records = exp.testPrepared();
+
+    serve::ServerOptions sopts;
+    sopts.workers = 2;
+    sopts.batchWindowMicros = 200;
+    serve::PredictionServer server(sopts);
+    server.registerBenchmark(kBench);
+    const std::string addr = server.listen("tcp://127.0.0.1:0");
+
+    for (const double rate : {0.02, 0.05, 0.10}) {
+        const std::vector<workload::ReplayPlan> plans =
+            workload::duplicateHeavyPlans(jobs.size(), kClients,
+                                          /*requests_per_client=*/120,
+                                          /*hot_jobs=*/6,
+                                          workload::defaultSeed);
+        std::vector<std::vector<serve::PredictOutcome>> outcomes(
+            kClients);
+        std::vector<std::thread> threads;
+        for (std::size_t c = 0; c < kClients; ++c) {
+            threads.emplace_back([&, c] {
+                serve::RetryOptions ropts;
+                ropts.enabled = true;
+                ropts.jitterSeed = c + 1 +
+                    static_cast<std::uint64_t>(rate * 1e4);
+                auto dials = std::make_shared<std::uint64_t>(0);
+                ropts.connect = [&addr, rate, c, dials]()
+                    -> std::unique_ptr<serve::Connection> {
+                    std::unique_ptr<serve::Connection> raw =
+                        serve::connectEndpoint(addr,
+                                               /*timeout_ms=*/5000);
+                    if (!raw)
+                        return nullptr;
+                    const serve::ChaosPlan plan =
+                        serve::ChaosPlan::uniform(kChaosSeed, rate);
+                    return serve::chaosWrap(std::move(raw), plan,
+                                            c * 1000 + (*dials)++);
+                };
+                serve::PredictionClient client(ropts);
+                const std::uint32_t sid = client.openStream(kBench);
+                std::vector<rtl::JobInput> burst;
+                burst.reserve(plans[c].indices.size());
+                for (const std::size_t index : plans[c].indices)
+                    burst.push_back(jobs[index]);
+                outcomes[c] = client.predictManyOutcomes(sid, burst);
+            });
+        }
+        for (std::thread &t : threads)
+            t.join();
+
+        for (std::size_t c = 0; c < kClients; ++c) {
+            ASSERT_EQ(outcomes[c].size(), plans[c].indices.size());
+            for (std::size_t i = 0; i < outcomes[c].size(); ++i) {
+                std::ostringstream context;
+                context << "tcp rate " << rate << " client " << c
+                        << " request " << i;
+                ASSERT_TRUE(outcomes[c][i].ok) << context.str();
+                expectReplyMatchesRecord(
+                    outcomes[c][i].reply,
+                    records[plans[c].indices[i]], context.str());
+            }
+        }
+        const serve::StreamTelemetry t = server.telemetry(kBench);
+        expectTelemetryIdentity(t);
+        EXPECT_EQ(t.expired, 0u);
+    }
+    server.stop();
+}
+
 TEST(ServeChaos, OverloadBoundsQueueEmitsBusyAndConverges)
 {
     sim::Experiment exp(kBench, sim::ExperimentOptions{});

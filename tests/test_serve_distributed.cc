@@ -1,0 +1,651 @@
+/**
+ * @file
+ * The distributed serving tier, end to end: the same replay plan is
+ * driven against one server with 1 and N dispatcher shards, against
+ * two server instances splitting the benchmark set, and over all
+ * three transports (loopback, Unix socket, TCP), and every reply must
+ * be byte-identical to the in-process SimulationEngine pipeline and
+ * to the committed golden fixtures — including under seeded chaos
+ * faults on the TCP path and across a deterministic mid-run
+ * sever-and-reconnect. The async pipelined client is held to the same
+ * bar: completions may arrive out of submission order (the harness
+ * provokes and pins one such reordering), but aggregated by requestId
+ * its replies, digests, and retry counters match the synchronous
+ * client exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/chaos.hh"
+#include "serve/client.hh"
+#include "serve/golden.hh"
+#include "serve/server.hh"
+#include "serve/transport.hh"
+#include "sim/experiment.hh"
+#include "sim/job_cache.hh"
+#include "workload/replay.hh"
+
+using namespace predvfs;
+
+namespace {
+
+constexpr std::uint64_t kChaosSeed = 20150815;
+
+std::string
+goldenPath(const std::string &benchmark)
+{
+    return std::string(PREDVFS_SOURCE_DIR) + "/tests/goldens/serve_" +
+        benchmark + ".golden";
+}
+
+/** Build a golden report over an arbitrary ready-made client. */
+serve::GoldenReport
+reportVia(serve::PredictionClient &client, const std::string &bench,
+          const sim::ExperimentOptions &eopts)
+{
+    const std::uint32_t sid = client.openStream(bench);
+    return serve::buildGoldenReport(client, sid, bench, eopts);
+}
+
+/** The fixture every transport / shard count / process split must
+ *  reproduce bit for bit. */
+void
+expectMatchesFixture(const serve::GoldenReport &got,
+                     const std::string &bench,
+                     const std::string &context)
+{
+    const serve::GoldenReport want =
+        serve::loadGoldenReport(goldenPath(bench));
+    EXPECT_TRUE(got == want)
+        << context << ": served report diverged from "
+        << goldenPath(bench) << "\nserved:\n"
+        << serve::formatGoldenReport(got) << "golden:\n"
+        << serve::formatGoldenReport(want);
+}
+
+void
+expectStreamIdentity(const serve::StreamTelemetry &t)
+{
+    EXPECT_EQ(t.requests, t.cacheHits + t.coalesced + t.simulated +
+                              t.busy + t.expired)
+        << "stream " << t.benchmark;
+}
+
+void
+expectShardIdentity(const serve::ShardTelemetry &s)
+{
+    EXPECT_EQ(s.requests, s.cacheHits + s.coalesced + s.simulated +
+                              s.busy + s.expired)
+        << "shard " << s.index;
+}
+
+std::uint64_t
+doubleBits(double value)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    return bits;
+}
+
+/** Mirror of golden.cc's reply digest, so the async client's replies
+ *  can be chained in submission order and compared to the fixture. */
+std::uint64_t
+digestReply(std::uint64_t seed, const serve::PredictReplyMsg &reply)
+{
+    const std::uint64_t words[5] = {
+        reply.cycles,
+        doubleBits(reply.energyUnits),
+        reply.sliceCycles,
+        doubleBits(reply.sliceEnergyUnits),
+        doubleBits(reply.predictedCycles),
+    };
+    return sim::JobCache::hashBytes(words, sizeof(words), seed);
+}
+
+void
+expectReplyMatchesRecord(const serve::PredictReplyMsg &got,
+                         const core::PreparedJob &want,
+                         const std::string &context)
+{
+    ASSERT_EQ(got.cycles, want.cycles) << context;
+    ASSERT_EQ(got.energyUnits, want.energyUnits) << context;
+    ASSERT_EQ(got.sliceCycles, want.sliceCycles) << context;
+    ASSERT_EQ(got.sliceEnergyUnits, want.sliceEnergyUnits) << context;
+    ASSERT_EQ(got.predictedCycles, want.predictedCycles) << context;
+}
+
+/** A connection that severs itself (hard close, failed write) after a
+ *  fixed number of writeAll() calls — a deterministic mid-run cut,
+ *  unlike the probabilistic chaos wrapper. */
+class SeverAfter : public serve::Connection
+{
+  public:
+    SeverAfter(std::unique_ptr<serve::Connection> inner,
+               std::uint64_t writes)
+        : inner(std::move(inner)), remaining(writes)
+    {
+    }
+
+    std::size_t read(void *buf, std::size_t max) override
+    {
+        return inner->read(buf, max);
+    }
+
+    bool writeAll(const void *buf, std::size_t n) override
+    {
+        if (remaining == 0) {
+            inner->close();
+            return false;
+        }
+        --remaining;
+        return inner->writeAll(buf, n);
+    }
+
+    void close() override { inner->close(); }
+
+  private:
+    std::unique_ptr<serve::Connection> inner;
+    std::uint64_t remaining;
+};
+
+} // namespace
+
+// ---------------------------------------------------------------
+// 1 shard vs N shards: identical bytes, per-shard accounting exact.
+// ---------------------------------------------------------------
+
+TEST(ServeDistributed, ShardCountsServeIdenticalBytes)
+{
+    const std::vector<std::string> benches = {"sha", "cjpeg"};
+    const sim::ExperimentOptions eopts;
+
+    for (const unsigned shards : {1u, 4u}) {
+        serve::ServerOptions sopts;
+        sopts.shards = shards;
+        sopts.workers = 2;
+        sopts.experiment = eopts;
+        serve::PredictionServer server(sopts);
+        for (const std::string &bench : benches)
+            server.registerBenchmark(bench);
+
+        // Replay both benchmarks concurrently so shards actually run
+        // in parallel; each must still reproduce its fixture exactly.
+        std::vector<serve::GoldenReport> reports(benches.size());
+        std::vector<std::thread> threads;
+        for (std::size_t b = 0; b < benches.size(); ++b) {
+            threads.emplace_back([&, b] {
+                serve::PredictionClient client(
+                    server.connectLoopback());
+                reports[b] = reportVia(client, benches[b], eopts);
+            });
+        }
+        for (std::thread &t : threads)
+            t.join();
+        for (std::size_t b = 0; b < benches.size(); ++b) {
+            std::ostringstream context;
+            context << benches[b] << " @ " << shards << " shard(s)";
+            expectMatchesFixture(reports[b], benches[b],
+                                 context.str());
+        }
+
+        // Stream placement is the stable fingerprint hash, and the
+        // telemetry identity holds per stream, per shard, and in
+        // aggregate — no request crossed a shard boundary.
+        const std::vector<serve::ShardTelemetry> shardStats =
+            server.shardTelemetry();
+        ASSERT_EQ(shardStats.size(), shards);
+        std::uint64_t stream_requests = 0;
+        std::map<unsigned, std::uint64_t> per_shard_requests;
+        for (const std::string &bench : benches) {
+            const serve::StreamTelemetry t = server.telemetry(bench);
+            expectStreamIdentity(t);
+            EXPECT_EQ(t.shard, server.streamKeyOf(bench) % shards)
+                << bench;
+            stream_requests += t.requests;
+            per_shard_requests[t.shard] += t.requests;
+        }
+        std::uint64_t shard_requests = 0;
+        std::size_t placed_streams = 0;
+        std::size_t deepest = 0;
+        for (const serve::ShardTelemetry &s : shardStats) {
+            expectShardIdentity(s);
+            shard_requests += s.requests;
+            placed_streams += s.streams;
+            deepest = std::max(deepest, s.peakQueueDepth);
+            EXPECT_EQ(s.requests, per_shard_requests[s.index]);
+            if (s.requests > 0) {
+                EXPECT_GT(s.drains, 0u);
+            }
+        }
+        EXPECT_EQ(shard_requests, stream_requests);
+        EXPECT_EQ(placed_streams, benches.size());
+        EXPECT_EQ(server.maxQueueDepth(), deepest);
+        server.stop();
+    }
+}
+
+// ---------------------------------------------------------------
+// Two server instances splitting the benchmark set, over TCP, Unix,
+// and loopback at once: every path reproduces the fixtures.
+// ---------------------------------------------------------------
+
+TEST(ServeDistributed, ServerSplitAcrossTransportsServesIdenticalBytes)
+{
+    if (!serve::tcpSocketsAvailable() ||
+        !serve::unixSocketsAvailable())
+        GTEST_SKIP() << "socket transports unavailable";
+
+    const sim::ExperimentOptions eopts;
+
+    // Server A takes sha behind TCP (ephemeral port, sharded);
+    // server B takes cjpeg behind a Unix socket. Together they serve
+    // the split benchmark set of a two-process deployment.
+    serve::ServerOptions aopts;
+    aopts.shards = 2;
+    aopts.workers = 2;
+    aopts.experiment = eopts;
+    serve::PredictionServer serverA(aopts);
+    serverA.registerBenchmark("sha");
+    const std::string tcpAddr = serverA.listen("tcp://127.0.0.1:0");
+
+    serve::Endpoint parsed;
+    ASSERT_TRUE(serve::tryParseEndpoint(tcpAddr, parsed));
+    ASSERT_EQ(parsed.kind, serve::Endpoint::Kind::Tcp);
+    ASSERT_NE(parsed.port, 0) << "listen() must report the bound port";
+
+    serve::ServerOptions bopts;
+    bopts.experiment = eopts;
+    serve::PredictionServer serverB(bopts);
+    serverB.registerBenchmark("cjpeg");
+    const std::string unixPath =
+        testing::TempDir() + "predvfs_distributed.sock";
+    const std::string unixAddr = serverB.listen(unixPath);
+    ASSERT_EQ(unixAddr, unixPath);
+
+    // TCP to A, Unix to B, loopback to A — all three transports must
+    // carry the exact fixture bytes.
+    {
+        std::unique_ptr<serve::Connection> conn =
+            serve::connectEndpoint(tcpAddr, /*timeout_ms=*/2000);
+        ASSERT_NE(conn, nullptr);
+        serve::PredictionClient client(std::move(conn));
+        expectMatchesFixture(reportVia(client, "sha", eopts), "sha",
+                             "tcp to server A");
+    }
+    {
+        std::unique_ptr<serve::Connection> conn =
+            serve::connectEndpoint(unixAddr, /*timeout_ms=*/2000);
+        ASSERT_NE(conn, nullptr);
+        serve::PredictionClient client(std::move(conn));
+        expectMatchesFixture(reportVia(client, "cjpeg", eopts),
+                             "cjpeg", "unix to server B");
+    }
+    {
+        serve::PredictionClient client(serverA.connectLoopback());
+        expectMatchesFixture(reportVia(client, "sha", eopts), "sha",
+                             "loopback to server A");
+    }
+
+    // The split is clean: each server accounted only its own
+    // benchmark, and the identities hold on both.
+    expectStreamIdentity(serverA.telemetry("sha"));
+    expectStreamIdentity(serverB.telemetry("cjpeg"));
+    for (const serve::ShardTelemetry &s : serverA.shardTelemetry())
+        expectShardIdentity(s);
+
+    serverA.stop();
+    serverB.stop();
+}
+
+// ---------------------------------------------------------------
+// Chaos over TCP: the same seeded fault schedule as the Unix/loopback
+// soak, byte-exact replies at every fault rate.
+// ---------------------------------------------------------------
+
+TEST(ServeDistributed, ChaosOverTcpDeliversByteIdenticalReplies)
+{
+    if (!serve::tcpSocketsAvailable())
+        GTEST_SKIP() << "TCP transport unavailable";
+
+    sim::Experiment exp("sha", sim::ExperimentOptions{});
+    const std::vector<rtl::JobInput> &jobs = exp.workload().test;
+    const std::vector<core::PreparedJob> &records = exp.testPrepared();
+
+    serve::ServerOptions sopts;
+    sopts.shards = 2;
+    sopts.workers = 2;
+    sopts.batchWindowMicros = 200;
+    serve::PredictionServer server(sopts);
+    server.registerBenchmark("sha");
+    const std::string addr = server.listen("tcp://127.0.0.1:0");
+
+    constexpr std::size_t kClients = 3;
+    for (const double rate : {0.02, 0.10}) {
+        const std::vector<workload::ReplayPlan> plans =
+            workload::duplicateHeavyPlans(jobs.size(), kClients,
+                                          /*requests_per_client=*/80,
+                                          /*hot_jobs=*/6,
+                                          workload::defaultSeed);
+        std::vector<std::vector<serve::PredictOutcome>> outcomes(
+            kClients);
+        std::vector<std::thread> threads;
+        for (std::size_t c = 0; c < kClients; ++c) {
+            threads.emplace_back([&, c] {
+                serve::RetryOptions ropts;
+                ropts.enabled = true;
+                ropts.jitterSeed = c + 1 +
+                    static_cast<std::uint64_t>(rate * 1e4);
+                auto dials = std::make_shared<std::uint64_t>(0);
+                ropts.connect = [&addr, rate, c, dials]()
+                    -> std::unique_ptr<serve::Connection> {
+                    std::unique_ptr<serve::Connection> raw =
+                        serve::connectEndpoint(addr,
+                                               /*timeout_ms=*/2000);
+                    if (!raw)
+                        return nullptr;
+                    const serve::ChaosPlan plan =
+                        serve::ChaosPlan::uniform(kChaosSeed, rate);
+                    return serve::chaosWrap(std::move(raw), plan,
+                                            c * 1000 + (*dials)++);
+                };
+                serve::PredictionClient client(ropts);
+                const std::uint32_t sid = client.openStream("sha");
+                std::vector<rtl::JobInput> burst;
+                burst.reserve(plans[c].indices.size());
+                for (const std::size_t index : plans[c].indices)
+                    burst.push_back(jobs[index]);
+                outcomes[c] = client.predictManyOutcomes(sid, burst);
+            });
+        }
+        for (std::thread &t : threads)
+            t.join();
+
+        for (std::size_t c = 0; c < kClients; ++c) {
+            ASSERT_EQ(outcomes[c].size(), plans[c].indices.size());
+            for (std::size_t i = 0; i < outcomes[c].size(); ++i) {
+                std::ostringstream context;
+                context << "tcp rate " << rate << " client " << c
+                        << " request " << i;
+                ASSERT_TRUE(outcomes[c][i].ok) << context.str();
+                expectReplyMatchesRecord(
+                    outcomes[c][i].reply,
+                    records[plans[c].indices[i]], context.str());
+            }
+        }
+        expectStreamIdentity(server.telemetry("sha"));
+        for (const serve::ShardTelemetry &s : server.shardTelemetry())
+            expectShardIdentity(s);
+    }
+    server.stop();
+}
+
+// ---------------------------------------------------------------
+// A deterministic mid-run sever: the connection dies after a fixed
+// number of writes, the client re-dials, and the finished report is
+// still byte-identical to the fixture.
+// ---------------------------------------------------------------
+
+TEST(ServeDistributed, MidRunSeverAndReconnectOverTcp)
+{
+    if (!serve::tcpSocketsAvailable())
+        GTEST_SKIP() << "TCP transport unavailable";
+
+    const sim::ExperimentOptions eopts;
+    serve::ServerOptions sopts;
+    sopts.shards = 2;
+    sopts.experiment = eopts;
+    serve::PredictionServer server(sopts);
+    server.registerBenchmark("sha");
+    const std::string addr = server.listen("tcp://127.0.0.1:0");
+
+    // The first dial gets a connection that cuts out mid-burst (the
+    // handshake and stream-open writes fit well inside the budget);
+    // every redial gets a clean one.
+    auto dials = std::make_shared<std::uint64_t>(0);
+    serve::RetryOptions ropts;
+    ropts.enabled = true;
+    ropts.connect = [&addr, dials]()
+        -> std::unique_ptr<serve::Connection> {
+        std::unique_ptr<serve::Connection> raw =
+            serve::connectEndpoint(addr, /*timeout_ms=*/2000);
+        if (!raw)
+            return nullptr;
+        if ((*dials)++ == 0)
+            return std::make_unique<SeverAfter>(std::move(raw),
+                                                /*writes=*/12);
+        return raw;
+    };
+
+    serve::PredictionClient client(ropts);
+    expectMatchesFixture(reportVia(client, "sha", eopts), "sha",
+                         "severed mid-run");
+    EXPECT_GE(client.stats().reconnects, 1u);
+    EXPECT_GE(client.stats().retries, 1u);
+
+    expectStreamIdentity(server.telemetry("sha"));
+    server.stop();
+}
+
+// ---------------------------------------------------------------
+// Async pipelined client: provoke an out-of-submission-order
+// completion and pin it; aggregate by requestId and require bytes,
+// digests, and counters identical to the synchronous client.
+// ---------------------------------------------------------------
+
+TEST(ServeDistributed, AsyncCompletionsArriveOutOfSubmissionOrder)
+{
+    sim::Experiment exp("sha", sim::ExperimentOptions{});
+    const std::vector<rtl::JobInput> &jobs = exp.workload().test;
+    const std::vector<core::PreparedJob> &records = exp.testPrepared();
+    ASSERT_GE(jobs.size(), 2u);
+
+    // A long accumulation window keeps both requests queued in one
+    // batch; the dispatcher answers the expired one before any value
+    // reply in that drain, so the second submission completes first.
+    serve::ServerOptions sopts;
+    sopts.batchWindowMicros = 50000;
+    serve::PredictionServer server(sopts);
+    server.registerBenchmark("sha");
+
+    serve::AsyncPredictionClient client(server.connectLoopback());
+    const std::uint32_t sid = client.openStream("sha");
+
+    std::mutex order_mu;
+    std::vector<std::uint64_t> completion_order;
+    std::map<std::uint64_t, serve::PredictOutcome> by_id;
+    auto record = [&](std::uint64_t id,
+                      const serve::PredictOutcome &outcome) {
+        std::lock_guard<std::mutex> lock(order_mu);
+        completion_order.push_back(id);
+        by_id[id] = outcome;
+    };
+
+    const std::uint64_t unhurried =
+        client.submit(sid, jobs[0], record, /*deadline_micros=*/0);
+    const std::uint64_t hurried =
+        client.submit(sid, jobs[1], record, /*deadline_micros=*/1);
+    client.drain();
+
+    ASSERT_EQ(completion_order.size(), 2u);
+    // Submitted second, completed first: the adversarial ordering the
+    // callback contract warns about actually happened.
+    EXPECT_EQ(completion_order[0], hurried);
+    EXPECT_EQ(completion_order[1], unhurried);
+
+    // Aggregated by requestId the outcomes are exact: a typed expiry
+    // for the hurried request, fixture bytes for the unhurried one.
+    ASSERT_FALSE(by_id[hurried].ok);
+    EXPECT_EQ(by_id[hurried].error,
+              serve::ErrorCode::DeadlineExceeded);
+    ASSERT_TRUE(by_id[unhurried].ok);
+    expectReplyMatchesRecord(by_id[unhurried].reply, records[0],
+                             "async out-of-order");
+
+    EXPECT_EQ(client.stats().deadlineExpired, 1u);
+    const serve::StreamTelemetry t = server.telemetry("sha");
+    EXPECT_EQ(t.expired, 1u);
+    expectStreamIdentity(t);
+    client.close();
+    server.stop();
+}
+
+TEST(ServeDistributed, AsyncClientMatchesSyncBytesAndCounters)
+{
+    sim::Experiment exp("sha", sim::ExperimentOptions{});
+    const std::vector<rtl::JobInput> &jobs = exp.workload().test;
+
+    serve::PredictionServer server;
+    server.registerBenchmark("sha");
+
+    // Synchronous reference burst over the same server.
+    std::vector<serve::PredictReplyMsg> syncReplies;
+    serve::ClientStats syncStats;
+    {
+        serve::PredictionClient client(server.connectLoopback());
+        const std::uint32_t sid = client.openStream("sha");
+        syncReplies = client.predictMany(sid, jobs);
+        syncStats = client.stats();
+    }
+
+    // Async burst: ship everything without waiting, aggregate by
+    // requestId, then re-order into submission order.
+    std::mutex mu;
+    std::map<std::uint64_t, serve::PredictReplyMsg> by_id;
+    std::atomic<std::uint64_t> failures{0};
+    serve::AsyncPredictionClient client(server.connectLoopback());
+    const std::uint32_t sid = client.openStream("sha");
+    std::vector<std::uint64_t> ids;
+    ids.reserve(jobs.size());
+    for (const rtl::JobInput &job : jobs) {
+        ids.push_back(client.submit(
+            sid, job,
+            [&](std::uint64_t id,
+                const serve::PredictOutcome &outcome) {
+                if (!outcome.ok) {
+                    ++failures;
+                    return;
+                }
+                std::lock_guard<std::mutex> lock(mu);
+                by_id[id] = outcome.reply;
+            }));
+    }
+    client.drain();
+    ASSERT_EQ(failures.load(), 0u);
+    ASSERT_EQ(by_id.size(), jobs.size());
+
+    // Byte-identical replies, request by request, and the chained
+    // digest (submission order) equals both the sync digest and the
+    // committed fixture's.
+    ASSERT_EQ(syncReplies.size(), jobs.size());
+    std::uint64_t asyncDigest = 0;
+    std::uint64_t syncDigest = 0;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const serve::PredictReplyMsg &a = by_id[ids[i]];
+        std::ostringstream context;
+        context << "async vs sync, job " << i;
+        ASSERT_EQ(a.cycles, syncReplies[i].cycles) << context.str();
+        ASSERT_EQ(doubleBits(a.energyUnits),
+                  doubleBits(syncReplies[i].energyUnits))
+            << context.str();
+        ASSERT_EQ(a.sliceCycles, syncReplies[i].sliceCycles)
+            << context.str();
+        ASSERT_EQ(doubleBits(a.sliceEnergyUnits),
+                  doubleBits(syncReplies[i].sliceEnergyUnits))
+            << context.str();
+        ASSERT_EQ(doubleBits(a.predictedCycles),
+                  doubleBits(syncReplies[i].predictedCycles))
+            << context.str();
+        asyncDigest = digestReply(asyncDigest, a);
+        syncDigest = digestReply(syncDigest, syncReplies[i]);
+    }
+    EXPECT_EQ(asyncDigest, syncDigest);
+    const serve::GoldenReport fixture =
+        serve::loadGoldenReport(goldenPath("sha"));
+    EXPECT_EQ(asyncDigest, fixture.responseDigest);
+
+    // On a clean transport the fault counters agree too: nothing was
+    // retried, rejected, or duplicated on either client.
+    const serve::ClientStats asyncStats = client.stats();
+    EXPECT_EQ(asyncStats.busyReplies, syncStats.busyReplies);
+    EXPECT_EQ(asyncStats.retries, syncStats.retries);
+    EXPECT_EQ(asyncStats.duplicateReplies, syncStats.duplicateReplies);
+    EXPECT_EQ(asyncStats.deadlineExpired, 0u);
+    EXPECT_EQ(asyncStats.requestsSent, jobs.size());
+
+    expectStreamIdentity(server.telemetry("sha"));
+    client.close();
+    server.stop();
+}
+
+TEST(ServeDistributed, AsyncClientAbsorbsBusyAndConverges)
+{
+    sim::Experiment exp("sha", sim::ExperimentOptions{});
+    const std::vector<rtl::JobInput> &jobs = exp.workload().test;
+    const std::vector<core::PreparedJob> &records = exp.testPrepared();
+
+    // A tiny bound and a long window force Busy rejections the async
+    // client must absorb with backed-off re-sends.
+    serve::ServerOptions sopts;
+    sopts.batchWindowMicros = 2000;
+    sopts.queueBound = 8;
+    serve::PredictionServer server(sopts);
+    server.registerBenchmark("sha");
+
+    const std::vector<workload::ReplayPlan> plans =
+        workload::duplicateHeavyPlans(jobs.size(), 1,
+                                      /*requests_per_client=*/150,
+                                      /*hot_jobs=*/6,
+                                      workload::defaultSeed);
+
+    serve::RetryOptions ropts;
+    ropts.enabled = true;
+    ropts.jitterSeed = 7;
+    serve::AsyncPredictionClient client(server.connectLoopback(),
+                                        ropts);
+    const std::uint32_t sid = client.openStream("sha");
+
+    std::mutex mu;
+    std::map<std::uint64_t, serve::PredictOutcome> by_id;
+    std::vector<std::uint64_t> ids;
+    for (const std::size_t index : plans[0].indices) {
+        ids.push_back(client.submit(
+            sid, jobs[index],
+            [&](std::uint64_t id,
+                const serve::PredictOutcome &outcome) {
+                std::lock_guard<std::mutex> lock(mu);
+                by_id[id] = outcome;
+            }));
+    }
+    client.drain();
+
+    ASSERT_EQ(by_id.size(), plans[0].indices.size());
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        const serve::PredictOutcome &outcome = by_id[ids[i]];
+        ASSERT_TRUE(outcome.ok) << "request " << i;
+        expectReplyMatchesRecord(outcome.reply,
+                                 records[plans[0].indices[i]],
+                                 "async overload");
+    }
+
+    // Backpressure was explicit and fully accounted: the server's
+    // Busy count is exactly what this (only) client absorbed.
+    const serve::ClientStats stats = client.stats();
+    EXPECT_GT(stats.busyReplies, 0u);
+    const serve::StreamTelemetry t = server.telemetry("sha");
+    EXPECT_EQ(t.busy, stats.busyReplies);
+    EXPECT_LE(t.peakQueueDepth, sopts.queueBound);
+    expectStreamIdentity(t);
+    client.close();
+    server.stop();
+}

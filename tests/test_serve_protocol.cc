@@ -15,6 +15,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "serve/chaos.hh"
 #include "serve/client.hh"
 #include "serve/protocol.hh"
 #include "serve/server.hh"
@@ -515,6 +516,172 @@ TEST(ServeProtocol, UnixSocketTransportSpeaksTheSameProtocol)
     }
     PredictionClient again(connectUnix(path, /*timeout_ms=*/5000));
     EXPECT_NE(again.statsJson().find("\"streams\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------
+// The same hostile corpus over real TCP sockets: segmentation is the
+// kernel's, not the loopback pipe's, so reassembly and framing sync
+// are exercised against genuine network byte boundaries.
+// ---------------------------------------------------------------
+
+TEST(ServeProtocolTcp, TcpTransportSpeaksTheSameProtocol)
+{
+    if (!tcpSocketsAvailable())
+        GTEST_SKIP() << "no TCP sockets on this platform";
+
+    PredictionServer server;
+    const std::string addr = server.listen("tcp://127.0.0.1:0");
+
+    {
+        PredictionClient client(
+            connectEndpoint(addr, /*timeout_ms=*/5000));
+        EXPECT_NE(client.statsJson().find("\"server\""),
+                  std::string::npos);
+    }
+    {
+        // Malformed traffic over the real socket: typed error, clean
+        // close, server stays up.
+        const std::unique_ptr<Connection> conn =
+            connectEndpoint(addr, /*timeout_ms=*/5000);
+        ASSERT_NE(conn, nullptr);
+        const std::vector<std::uint8_t> garbage(64, 0xFF);
+        sendAll(*conn, garbage);
+        const std::vector<Frame> frames = drainConnection(*conn);
+        ASSERT_EQ(frames.size(), 1u);
+        EXPECT_EQ(static_cast<ErrorCode>(
+                      expectErrorFrame(frames[0]).code),
+                  ErrorCode::BadFrame);
+    }
+    PredictionClient again(connectEndpoint(addr, /*timeout_ms=*/5000));
+    EXPECT_NE(again.statsJson().find("\"streams\""), std::string::npos);
+}
+
+TEST(ServeProtocolTcp, ByteAtATimeReassemblyOverTcp)
+{
+    if (!tcpSocketsAvailable())
+        GTEST_SKIP() << "no TCP sockets on this platform";
+
+    PredictionServer server;
+    const std::string addr = server.listen("tcp://127.0.0.1:0");
+    const std::unique_ptr<Connection> conn =
+        connectEndpoint(addr, /*timeout_ms=*/5000);
+    ASSERT_NE(conn, nullptr);
+
+    // A whole session — Hello, Stats, Bye — trickled one byte per
+    // send() (TCP_NODELAY makes each its own segment): the server
+    // must reassemble exactly two reply frames, in order.
+    std::vector<std::uint8_t> wire;
+    for (const auto &frame :
+         {encodeFrame(MsgType::Hello, encodeHello(HelloMsg{})),
+          encodeFrame(MsgType::Stats, encodeStats(StatsMsg{})),
+          encodeFrame(MsgType::Bye, {})}) {
+        wire.insert(wire.end(), frame.begin(), frame.end());
+    }
+    for (const std::uint8_t byte : wire)
+        ASSERT_TRUE(conn->writeAll(&byte, 1));
+
+    const std::vector<Frame> frames = drainConnection(*conn);
+    ASSERT_EQ(frames.size(), 2u);
+    EXPECT_EQ(static_cast<MsgType>(frames[0].type), MsgType::HelloOk);
+    EXPECT_EQ(static_cast<MsgType>(frames[1].type),
+              MsgType::StatsReply);
+    StatsReplyMsg stats;
+    ASSERT_TRUE(decodeStatsReply(frames[1].payload, stats));
+    EXPECT_NE(stats.json.find("\"server\""), std::string::npos);
+}
+
+TEST(ServeProtocolTcp, HostileLengthAnnouncementsOverTcp)
+{
+    if (!tcpSocketsAvailable())
+        GTEST_SKIP() << "no TCP sockets on this platform";
+
+    PredictionServer server;
+    const std::string addr = server.listen("tcp://127.0.0.1:0");
+
+    {
+        // Absurd announced length: typed Oversized, no allocation of
+        // what was announced, clean close.
+        const std::unique_ptr<Connection> conn =
+            connectEndpoint(addr, /*timeout_ms=*/5000);
+        ASSERT_NE(conn, nullptr);
+        sendAll(*conn, rawHeader(0xFFFFFF00u,
+                                 static_cast<std::uint16_t>(
+                                     MsgType::Predict),
+                                 0));
+        const std::vector<Frame> frames = drainConnection(*conn);
+        ASSERT_EQ(frames.size(), 1u);
+        EXPECT_EQ(static_cast<ErrorCode>(
+                      expectErrorFrame(frames[0]).code),
+                  ErrorCode::Oversized);
+    }
+    {
+        // Poisoned reserved field.
+        const std::unique_ptr<Connection> conn =
+            connectEndpoint(addr, /*timeout_ms=*/5000);
+        ASSERT_NE(conn, nullptr);
+        sendAll(*conn, rawHeader(0, 1, 0xBEEF));
+        const std::vector<Frame> frames = drainConnection(*conn);
+        ASSERT_EQ(frames.size(), 1u);
+        EXPECT_EQ(static_cast<ErrorCode>(
+                      expectErrorFrame(frames[0]).code),
+                  ErrorCode::BadFrame);
+    }
+    PredictionClient client(connectEndpoint(addr, /*timeout_ms=*/5000));
+    EXPECT_NE(client.statsJson().find("\"server\""), std::string::npos);
+}
+
+TEST(ServeProtocolTcp, TruncatedFrameCorpusOverTcp)
+{
+    if (!tcpSocketsAvailable())
+        GTEST_SKIP() << "no TCP sockets on this platform";
+
+    // Every prefix of a valid OpenStream frame, sent over a fresh TCP
+    // connection then dropped mid-frame: the server must survive the
+    // whole corpus and stay responsive.
+    PredictionServer server;
+    const std::string addr = server.listen("tcp://127.0.0.1:0");
+    OpenStreamMsg open;
+    open.benchmark = "sha";
+    const auto frame =
+        encodeFrame(MsgType::OpenStream, encodeOpenStream(open));
+    for (std::size_t cut = 1; cut < frame.size(); ++cut) {
+        const std::unique_ptr<Connection> conn =
+            connectEndpoint(addr, /*timeout_ms=*/5000);
+        ASSERT_NE(conn, nullptr) << "cut " << cut;
+        conn->writeAll(frame.data(), cut);
+        conn->close();
+    }
+    PredictionClient client(connectEndpoint(addr, /*timeout_ms=*/5000));
+    EXPECT_NE(client.statsJson().find("\"server\""), std::string::npos);
+}
+
+TEST(ServeProtocolTcp, PartialWriteInjectionReassemblesOverTcp)
+{
+    if (!tcpSocketsAvailable())
+        GTEST_SKIP() << "no TCP sockets on this platform";
+
+    PredictionServer server;
+    const std::string addr = server.listen("tcp://127.0.0.1:0");
+
+    // Every client write split into short chunks (and reads sheared
+    // too): the frames land on the real socket in ragged pieces, yet
+    // whole sessions must still round-trip. No disconnect faults —
+    // this client has no retry policy, so a send that "fails" would
+    // be fatal, not reassembled.
+    serve::ChaosPlan plan;
+    plan.seed = 20151209;
+    plan.partialWriteRate = 1.0;
+    plan.shortReadRate = 0.5;
+    for (std::uint64_t index = 0; index < 4; ++index) {
+        std::unique_ptr<Connection> raw =
+            connectEndpoint(addr, /*timeout_ms=*/5000);
+        ASSERT_NE(raw, nullptr);
+        PredictionClient client(
+            chaosWrap(std::move(raw), plan, index));
+        EXPECT_NE(client.statsJson().find("\"server\""),
+                  std::string::npos)
+            << "connection " << index;
+    }
 }
 
 namespace {
